@@ -1,0 +1,217 @@
+// Benchmarks regenerating the paper's reproduction artifacts, one per
+// experiment in DESIGN.md's index (run `go test -bench=. -benchmem`), plus
+// micro-benchmarks of the engine's hot paths. cmd/benchrunner prints the
+// same experiments as human-readable tables; EXPERIMENTS.md records a
+// reference run.
+package instantdb_test
+
+import (
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"instantdb/internal/experiments"
+)
+
+// --- experiment harness benches (F/E/B series) ---
+
+func BenchmarkF1_GeneralizationTree(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.RunF1(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkF2_AttributeLCP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.RunF2(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkF3_TupleLCP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.RunF3(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1_Exposure(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunE1(io.Discard, 400)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.LCP >= res.Retention["30d"] {
+			b.Fatal("paper claim violated: LCP exposure above retention")
+		}
+	}
+}
+
+func BenchmarkE2_AttackWindow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunE2(io.Discard, 300); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE3_Usability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunE3(io.Discard, 400); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStoreDegradeMove(b *testing.B)    { benchStoreDegrade(b, "MOVE") }
+func BenchmarkStoreDegradeInPlace(b *testing.B) { benchStoreDegrade(b, "INPLACE") }
+
+// benchStoreDegrade measures one full first-transition wave per
+// iteration (B-STORE).
+func benchStoreDegrade(b *testing.B, layout string) {
+	const tuples = 1000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		env, err := experiments.NewEnv(experiments.EnvOptions{Layout: layout})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := env.Load(tuples); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		n, err := env.AdvanceAndTick(experiments.SimPolicyDelays[0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if n < tuples {
+			b.Fatalf("degraded %d of %d", n, tuples)
+		}
+		env.Close()
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(tuples), "transitions/op")
+}
+
+func BenchmarkLogStrategies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunBLog(io.Discard, 300); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIndexAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunBIdx(io.Discard, 400, 40); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTxnInterference(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunBTxn(io.Discard, 2, 100*time.Millisecond); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunBRec(io.Discard, 300)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res {
+			if !r.StateOK || !r.ForensicOK {
+				b.Fatal("recovery verification failed")
+			}
+		}
+	}
+}
+
+// --- engine micro-benchmarks ---
+
+// BenchmarkInsert measures SQL insert throughput (batched VALUES).
+func BenchmarkInsert(b *testing.B) {
+	env, err := experiments.NewEnv(experiments.EnvOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer env.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	const chunk = 100
+	for done := 0; done < b.N; done += chunk {
+		take := chunk
+		if b.N-done < take {
+			take = b.N - done
+		}
+		if err := env.Load(take); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchPointQuery measures country-level point queries per index kind.
+func benchPointQuery(b *testing.B, index string) {
+	env, err := experiments.NewEnv(experiments.EnvOptions{Index: index})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer env.Close()
+	if err := env.Load(2000); err != nil {
+		b.Fatal(err)
+	}
+	conn := env.DB.NewConn()
+	if err := conn.SetPurpose("stat"); err != nil {
+		b.Fatal(err)
+	}
+	countries := env.Uni.Tree.NodesAtLevel(3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := env.Uni.Tree.NodeValue(countries[i%len(countries)])
+		if _, err := conn.Exec(fmt.Sprintf(
+			"SELECT id FROM person WHERE location = '%s'", c)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPointQueryScan(b *testing.B)   { benchPointQuery(b, "") }
+func BenchmarkPointQueryBTree(b *testing.B)  { benchPointQuery(b, "BTREE") }
+func BenchmarkPointQueryBitmap(b *testing.B) { benchPointQuery(b, "BITMAP") }
+func BenchmarkPointQueryGT(b *testing.B)     { benchPointQuery(b, "GT") }
+
+// BenchmarkAggregateQuery measures the OLAP sweep (GROUP BY location at
+// country accuracy) on a GT-indexed table.
+func BenchmarkAggregateQuery(b *testing.B) {
+	env, err := experiments.NewEnv(experiments.EnvOptions{Index: "GT"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer env.Close()
+	if err := env.Load(2000); err != nil {
+		b.Fatal(err)
+	}
+	conn := env.DB.NewConn()
+	if err := conn.SetPurpose("stat"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := conn.Exec(
+			"SELECT location, COUNT(*) AS n FROM person GROUP BY location"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

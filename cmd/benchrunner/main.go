@@ -1,0 +1,61 @@
+// Command benchrunner regenerates every experiment of the reproduction:
+// the paper's three figures (F1–F3), the three quantified claims
+// (E1–E3), and the §III engineering ablations (B-STORE, B-LOG, B-IDX,
+// B-TXN, B-REC). EXPERIMENTS.md records a reference run.
+//
+// Usage:
+//
+//	benchrunner [-exp all|F1|F2|F3|E1|E2|E3|BSTORE|BLOG|BIDX|BTXN|BREC] [-n tuples] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"instantdb/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (all, F1, F2, F3, E1, E2, E3, BSTORE, BLOG, BIDX, BTXN, BREC)")
+	n := flag.Int("n", 2000, "workload size (tuples)")
+	queries := flag.Int("q", 200, "query count for B-IDX")
+	readers := flag.Int("readers", 4, "reader goroutines for B-TXN")
+	runFor := flag.Duration("runfor", 500*time.Millisecond, "wall-clock duration per B-TXN configuration")
+	quick := flag.Bool("quick", false, "small sizes for a fast smoke run")
+	flag.Parse()
+
+	if *quick {
+		*n = 400
+		*queries = 40
+		*runFor = 150 * time.Millisecond
+	}
+
+	w := os.Stdout
+	run := func(id string, fn func() error) {
+		want := strings.ToUpper(*exp)
+		if want != "ALL" && want != id {
+			return
+		}
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "[%s done in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("F1", func() error { return experiments.RunF1(w) })
+	run("F2", func() error { return experiments.RunF2(w) })
+	run("F3", func() error { return experiments.RunF3(w) })
+	run("E1", func() error { _, err := experiments.RunE1(w, *n); return err })
+	run("E2", func() error { _, err := experiments.RunE2(w, *n); return err })
+	run("E3", func() error { _, err := experiments.RunE3(w, *n); return err })
+	run("BSTORE", func() error { _, err := experiments.RunBStore(w, *n); return err })
+	run("BLOG", func() error { _, err := experiments.RunBLog(w, *n); return err })
+	run("BIDX", func() error { _, err := experiments.RunBIdx(w, *n, *queries); return err })
+	run("BTXN", func() error { _, err := experiments.RunBTxn(w, *readers, *runFor); return err })
+	run("BREC", func() error { _, err := experiments.RunBRec(w, *n); return err })
+}

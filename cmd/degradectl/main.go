@@ -1,0 +1,135 @@
+// Command degradectl inspects and operates the degradation machinery of
+// a database directory: show policies and pending deadlines, force a
+// degradation tick, fire events, run a forensic audit, vacuum the log,
+// or checkpoint.
+//
+// Usage:
+//
+//	degradectl -dir path <command> [args]
+//
+// Commands:
+//
+//	status            catalog summary: tables, policies, purposes, queues
+//	tick              run one degradation tick now
+//	fire <event>      raise an application event
+//	audit <needle>... forensic scan of store+log for the given text needles
+//	vacuum            rotate and vacuum the log
+//	checkpoint        sync pages and truncate the log
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"instantdb"
+	"instantdb/internal/forensic"
+)
+
+func main() {
+	dir := flag.String("dir", "", "database directory (required)")
+	flag.Parse()
+	if *dir == "" || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: degradectl -dir path <status|tick|fire|audit|vacuum|checkpoint> [args]")
+		os.Exit(2)
+	}
+	db, err := instantdb.Open(instantdb.Config{Dir: *dir})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer db.Close()
+
+	switch flag.Arg(0) {
+	case "status":
+		status(db)
+	case "tick":
+		n, err := db.DegradeNow()
+		fail(err)
+		fmt.Printf("%d transition(s) enforced\n", n)
+	case "fire":
+		if flag.NArg() < 2 {
+			fail(fmt.Errorf("fire needs an event name"))
+		}
+		db.FireEvent(flag.Arg(1))
+		n, err := db.DegradeNow()
+		fail(err)
+		fmt.Printf("event %q fired: %d transition(s)\n", flag.Arg(1), n)
+	case "audit":
+		if flag.NArg() < 2 {
+			fail(fmt.Errorf("audit needs at least one needle"))
+		}
+		var needles []forensic.Needle
+		for _, arg := range flag.Args()[1:] {
+			needles = append(needles, forensic.NeedleForText(arg, arg))
+		}
+		rep, err := forensic.ScanStore(db.StorageManager().Store(), needles)
+		fail(err)
+		walRep, err := forensic.ScanDir(filepath.Join(*dir, "wal"), needles)
+		fail(err)
+		rep.Merge(walRep)
+		fmt.Printf("scanned %d bytes, %d finding(s)\n", rep.BytesScanned, len(rep.Findings))
+		for _, f := range rep.Findings {
+			fmt.Println(" ", f)
+		}
+		if !rep.Clean() {
+			os.Exit(1)
+		}
+	case "vacuum":
+		fail(db.VacuumLog())
+		fmt.Println("log vacuumed")
+	case "checkpoint":
+		fail(db.Checkpoint())
+		fmt.Println("checkpointed: pages synced, log truncated and scrubbed")
+	default:
+		fail(fmt.Errorf("unknown command %q", flag.Arg(0)))
+	}
+}
+
+func status(db *instantdb.DB) {
+	cat := db.Catalog()
+	fmt.Println("tables:")
+	for _, tbl := range cat.Tables() {
+		ts := db.StorageManager().Table(tbl)
+		st := ts.Stats()
+		fmt.Printf("  %-16s %6d tuple(s) %4d page(s) layout=%s\n", tbl.Name, st.Tuples, st.Pages, tbl.Layout)
+		for _, ci := range tbl.DegradableColumns() {
+			col := tbl.Columns[ci]
+			fmt.Printf("    degradable %-12s %s\n", col.Name+":", col.Policy.String())
+		}
+		for _, def := range cat.Indexes(tbl.Name) {
+			fmt.Printf("    index %-16s on %s using %s\n", def.Name, tbl.Columns[def.Column].Name, def.Type)
+		}
+	}
+	fmt.Println("purposes:")
+	for _, p := range cat.Purposes() {
+		fmt.Printf("  %-12s", p.Name)
+		for col, lvl := range p.Levels {
+			fmt.Printf(" %s@%d", col, lvl)
+		}
+		if p.AllowUnlisted {
+			fmt.Print(" (allow unlisted)")
+		}
+		fmt.Println()
+	}
+	st := db.Degrader().Stats()
+	fmt.Printf("degrader: %d pending, %d transitions, %d deletions, max lag %v, lock skips %d\n",
+		st.Pending, st.Transitions, st.Deletions, st.MaxLag, st.LockSkips)
+	if next, ok := db.Degrader().NextDeadline(); ok {
+		fmt.Printf("next deadline: %v\n", next)
+	}
+	if ks := db.KeyStore(); ks != nil {
+		fmt.Printf("epoch keys live: %d\n", ks.LiveKeys())
+	}
+	if l := db.Log(); l != nil {
+		fmt.Printf("wal: %d segment(s), %d bytes\n", l.SegmentCount(), l.SizeBytes())
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,184 @@
+// Command instantdb is the interactive SQL shell: open (or create) a
+// database directory — or run fully in memory — and execute the
+// degradation-aware SQL dialect, including CREATE DOMAIN/POLICY,
+// DECLARE PURPOSE, SET PURPOSE and FIRE EVENT.
+//
+// Usage:
+//
+//	instantdb [-dir path] [-log shred|plain|vacuum] [-tick 1s] [-e 'stmt; stmt']
+//
+// Without -e the shell reads statements from stdin, one per line
+// (terminate with ';'; multi-line statements are accumulated).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"instantdb"
+)
+
+func main() {
+	dir := flag.String("dir", "", "database directory (empty = in-memory)")
+	logMode := flag.String("log", "shred", "log mode for durable databases: shred, plain, vacuum")
+	tick := flag.Duration("tick", time.Second, "background degradation tick interval (0 = manual)")
+	exec := flag.String("e", "", "execute the given statements and exit")
+	flag.Parse()
+
+	cfg := instantdb.Config{Dir: *dir, AutoDegrade: *tick}
+	switch *logMode {
+	case "shred":
+		cfg.LogMode = instantdb.LogShred
+	case "plain":
+		cfg.LogMode = instantdb.LogPlain
+	case "vacuum":
+		cfg.LogMode = instantdb.LogVacuum
+	default:
+		fmt.Fprintf(os.Stderr, "unknown log mode %q\n", *logMode)
+		os.Exit(2)
+	}
+	db, err := instantdb.Open(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer db.Close()
+	conn := db.NewConn()
+
+	if *exec != "" {
+		for _, stmt := range splitStatements(*exec) {
+			if err := runStatement(conn, stmt); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
+	fmt.Println("InstantDB shell — enforcing timely degradation of sensitive data")
+	fmt.Println(`type SQL terminated by ';' — try "help;" or "quit;"`)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var acc strings.Builder
+	prompt := func() {
+		if acc.Len() == 0 {
+			fmt.Print("instantdb> ")
+		} else {
+			fmt.Print("       ... ")
+		}
+	}
+	prompt()
+	for sc.Scan() {
+		line := sc.Text()
+		acc.WriteString(line)
+		acc.WriteString("\n")
+		if !strings.Contains(line, ";") {
+			prompt()
+			continue
+		}
+		input := acc.String()
+		acc.Reset()
+		for _, stmt := range splitStatements(input) {
+			switch strings.ToLower(stmt) {
+			case "quit", "exit":
+				return
+			case "help":
+				printHelp()
+				continue
+			case "purpose":
+				fmt.Println("current purpose:", conn.Purpose())
+				continue
+			case "tick":
+				n, err := db.DegradeNow()
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "error:", err)
+				} else {
+					fmt.Printf("%d transition(s)\n", n)
+				}
+				continue
+			}
+			if err := runStatement(conn, stmt); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+			}
+		}
+		prompt()
+	}
+}
+
+func splitStatements(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ";") {
+		if t := strings.TrimSpace(part); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func runStatement(conn *instantdb.Conn, stmt string) error {
+	start := time.Now()
+	res, err := conn.Exec(stmt)
+	if err != nil {
+		return err
+	}
+	if res.Rows != nil {
+		printRows(res.Rows)
+		fmt.Printf("%d row(s) in %v\n", res.Rows.Len(), time.Since(start).Round(time.Microsecond))
+		return nil
+	}
+	fmt.Printf("ok, %d row(s) affected in %v\n", res.RowsAffected, time.Since(start).Round(time.Microsecond))
+	return nil
+}
+
+func printRows(rows *instantdb.Rows) {
+	widths := make([]int, len(rows.Columns))
+	cells := make([][]string, 0, len(rows.Data)+1)
+	header := make([]string, len(rows.Columns))
+	for i, c := range rows.Columns {
+		header[i] = c
+		widths[i] = len(c)
+	}
+	cells = append(cells, header)
+	for _, row := range rows.Data {
+		line := make([]string, len(row))
+		for i, v := range row {
+			line[i] = v.String()
+			if len(line[i]) > widths[i] {
+				widths[i] = len(line[i])
+			}
+		}
+		cells = append(cells, line)
+	}
+	for ri, line := range cells {
+		for i, cell := range line {
+			fmt.Printf("%-*s", widths[i]+2, cell)
+		}
+		fmt.Println()
+		if ri == 0 {
+			for _, w := range widths {
+				fmt.Print(strings.Repeat("-", w), "  ")
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func printHelp() {
+	fmt.Print(`statements:
+  CREATE DOMAIN d TREE LEVELS (a,b,c) PATH ('x','y','z') ...
+  CREATE DOMAIN d RANGES (100, 1000, SUPPRESS)
+  CREATE DOMAIN d TIME (exact, hour, day, month)
+  CREATE POLICY p ON d (HOLD a FOR '15m', HOLD b FOR '1d') THEN DELETE
+  CREATE TABLE t (id INT PRIMARY KEY, v TEXT DEGRADABLE DOMAIN d POLICY p)
+  CREATE INDEX ix ON t (v) USING GT      -- or BTREE, BITMAP
+  DECLARE PURPOSE stats SET ACCURACY LEVEL c FOR t.v
+  SET PURPOSE stats
+  INSERT / SELECT / UPDATE / DELETE / BEGIN / COMMIT / ROLLBACK
+  FIRE EVENT 'name'
+shell commands: help; purpose; tick; quit;
+`)
+}

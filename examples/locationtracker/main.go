@@ -1,0 +1,131 @@
+// Command locationtracker plays the paper's motivating scenario (§I):
+// cell phones reporting locations continuously to a service provider.
+// The provider runs two services over the same table — a concierge
+// service needing fresh accurate positions and a long-term statistics
+// service needing only country-level counts — while the Life Cycle
+// Policy guarantees that accurate positions survive only minutes and
+// everything disappears after a month.
+//
+// The example also shows the event-trigger extension: a user withdraws
+// consent, and every tuple waiting in the accurate state degrades
+// immediately.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"instantdb"
+	"instantdb/internal/vclock"
+	"instantdb/internal/workload"
+)
+
+func main() {
+	clock := instantdb.NewSimClock(instantdb.Epoch)
+	db, err := instantdb.Open(instantdb.Config{Clock: clock})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// A synthetic location universe: 3 countries × 3 regions × 4 cities
+	// × 10 addresses, registered programmatically.
+	uni := workload.NewLocationUniverse(3, 3, 4, 10)
+	must(db.RegisterDomain(uni.Tree))
+	pol := instantdb.NewPolicy("tracker", uni.Tree).
+		HoldUntilEvent(0, 15*time.Minute, "consent-withdrawn").
+		Hold(1, time.Hour).
+		Hold(2, 24*time.Hour).
+		Hold(3, 30*24*time.Hour).
+		ThenDelete().
+		MustBuild()
+	must(db.RegisterPolicy(pol))
+	must(db.ExecScript(`
+CREATE TABLE pings (
+  id    INT PRIMARY KEY,
+  phone TEXT NOT NULL,
+  at    TIME,
+  place TEXT DEGRADABLE DOMAIN location POLICY tracker
+);
+CREATE INDEX ix_place ON pings (place) USING GT;
+DECLARE PURPOSE concierge SET ACCURACY LEVEL address FOR pings.place;
+DECLARE PURPOSE stats     SET ACCURACY LEVEL country FOR pings.place;
+`))
+
+	// Phones ping over 10 simulated minutes.
+	gen := workload.NewPersonGen(7, uni, vclock.Epoch)
+	for i := 1; i <= 200; i++ {
+		p := gen.Next()
+		clock.Advance(3 * time.Second)
+		_, err := db.Exec(fmt.Sprintf(
+			"INSERT INTO pings (id, phone, at, place) VALUES (%d, 'phone-%03d', TIMESTAMP '%s', '%s')",
+			i, p.ID%40, clock.Now().Format("2006-01-02 15:04:05"), p.Address))
+		must(err)
+	}
+
+	concierge := db.NewConn()
+	must(concierge.SetPurpose("concierge"))
+	stats := db.NewConn()
+	must(stats.SetPurpose("stats"))
+
+	// The concierge finds phones at an exact address right now.
+	target := uni.Addresses[3]
+	res, err := concierge.Exec(fmt.Sprintf(
+		"SELECT phone, at FROM pings WHERE place = '%s' LIMIT 5", target))
+	must(err)
+	fmt.Printf("concierge: %d phone(s) at %s\n", res.Rows.Len(), target)
+
+	// The statistics service counts by country.
+	res, err = stats.Exec("SELECT place, COUNT(*) AS n FROM pings GROUP BY place ORDER BY place")
+	must(err)
+	fmt.Println("stats by country:")
+	for _, row := range res.Rows.Data {
+		fmt.Printf("  %-12s %4d\n", row[0], row[1].Int())
+	}
+
+	// 20 minutes later, accurate addresses are gone — the concierge
+	// sees nothing, the stats service is unaffected.
+	clock.Advance(20 * time.Minute)
+	n, err := db.DegradeNow()
+	must(err)
+	fmt.Printf("\n+20m: %d transitions enforced\n", n)
+	res, err = concierge.Exec(fmt.Sprintf("SELECT phone FROM pings WHERE place = '%s'", target))
+	must(err)
+	fmt.Printf("concierge now sees %d phone(s) (accurate state expired)\n", res.Rows.Len())
+	res, err = stats.Exec("SELECT COUNT(*) AS n FROM pings")
+	must(err)
+	fmt.Printf("stats still sees %d pings\n", res.Rows.Data[0][0].Int())
+
+	// A user exercises the consent-withdrawal event: fresh pings still
+	// in the accurate (event-gated) state degrade immediately, long
+	// before their 15-minute deadline.
+	for i := 201; i <= 210; i++ {
+		p := gen.Next()
+		_, err := db.Exec(fmt.Sprintf(
+			"INSERT INTO pings (id, phone, at, place) VALUES (%d, 'phone-%03d', TIMESTAMP '%s', '%s')",
+			i, p.ID%40, clock.Now().Format("2006-01-02 15:04:05"), p.Address))
+		must(err)
+	}
+	db.MustExec("FIRE EVENT 'consent-withdrawn'")
+	n, err = db.DegradeNow()
+	must(err)
+	fmt.Printf("\nconsent withdrawn: %d immediate transition(s) on fresh pings\n", n)
+
+	// One month later everything has disappeared.
+	clock.Advance(32 * 24 * time.Hour)
+	_, err = db.DegradeNow()
+	must(err)
+	res, err = stats.Exec("SELECT COUNT(*) AS n FROM pings")
+	must(err)
+	fmt.Printf("\n+1 month: stats sees %d pings — the table emptied itself\n", res.Rows.Data[0][0].Int())
+	st := db.Degrader().Stats()
+	fmt.Printf("degrader: %d transitions, %d deletions, max lag %v\n",
+		st.Transitions, st.Deletions, st.MaxLag)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

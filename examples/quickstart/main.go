@@ -1,0 +1,106 @@
+// Command quickstart is the five-minute tour of InstantDB's public API:
+// define a generalization tree and a life cycle policy, create a table
+// with a degradable column, insert accurate data, query it under
+// different purposes, and watch the engine degrade it on schedule.
+//
+// The example runs on a simulated clock so the whole Figure 2 lifetime
+// (minutes to a month) plays out instantly.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"instantdb"
+)
+
+func main() {
+	// An ephemeral in-memory database on a simulated clock.
+	clock := instantdb.NewSimClock(instantdb.Epoch)
+	db, err := instantdb.Open(instantdb.Config{Clock: clock})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Schema: a generalization tree (Figure 1), a life cycle policy
+	// (Figure 2), a table with one degradable column, and a purpose.
+	must(db.ExecScript(`
+CREATE DOMAIN location TREE LEVELS (address, city, region, country)
+  PATH ('Dam 1',            'Amsterdam', 'Noord-Holland', 'Netherlands')
+  PATH ('Museumplein 6',    'Amsterdam', 'Noord-Holland', 'Netherlands')
+  PATH ('10 rue de Rivoli', 'Paris',     'Ile-de-France', 'France');
+
+CREATE POLICY locpol ON location (
+  HOLD address FOR '15m',
+  HOLD city    FOR '1h',
+  HOLD region  FOR '1d',
+  HOLD country FOR '1mo'
+) THEN DELETE;
+
+CREATE TABLE visits (
+  id    INT PRIMARY KEY,
+  who   TEXT NOT NULL,
+  place TEXT DEGRADABLE DOMAIN location POLICY locpol
+);
+
+DECLARE PURPOSE stats SET ACCURACY LEVEL country FOR visits.place;
+
+INSERT INTO visits (id, who, place) VALUES
+  (1, 'alice', 'Dam 1'),
+  (2, 'bob',   '10 rue de Rivoli'),
+  (3, 'carol', 'Museumplein 6');
+`))
+
+	show := func(stage string) {
+		fmt.Printf("--- %s\n", stage)
+		// Full accuracy (level 0): only computable while accurate.
+		res, err := db.Exec(`SELECT who, place FROM visits ORDER BY who`)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  accurate view: %d row(s)\n", res.Rows.Len())
+		for _, row := range res.Rows.Data {
+			fmt.Printf("    %s @ %s\n", row[0], row[1])
+		}
+		// The stats purpose sees country-level data for as long as the
+		// tuples live.
+		conn := db.NewConn()
+		must(conn.SetPurpose("stats"))
+		res, err = conn.Exec(`SELECT place, COUNT(*) AS n FROM visits GROUP BY place ORDER BY place`)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("  stats purpose (country):")
+		for _, row := range res.Rows.Data {
+			fmt.Printf("    %-12s %d\n", row[0], row[1].Int())
+		}
+	}
+
+	show("t0: all data accurate")
+
+	step := func(label, dur string) {
+		d, err := instantdb.ParseDuration(dur)
+		if err != nil {
+			log.Fatal(err)
+		}
+		clock.Advance(d)
+		n, err := db.DegradeNow()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n[clock +%s] %d transition(s) enforced\n", dur, n)
+		show(label)
+	}
+
+	step("after 15m: addresses became cities", "15m")
+	step("after 1h: cities became regions", "1h")
+	step("after 1d: regions became countries", "1d")
+	step("after 1mo: tuples removed", "1mo")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

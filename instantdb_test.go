@@ -1,0 +1,146 @@
+package instantdb_test
+
+import (
+	"testing"
+	"time"
+
+	"instantdb"
+)
+
+// TestPublicAPIEndToEnd drives the exported surface the README shows:
+// programmatic domains and policies, SQL schema, purposes, degradation
+// on a simulated clock, and the coarse-read extension.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	clock := instantdb.NewSimClock(instantdb.Epoch)
+	db, err := instantdb.Open(instantdb.Config{Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	// Programmatic tree + policy via the re-exported builders.
+	tree := instantdb.NewTreeBuilder("loc", "addr", "city", "country").
+		AddPath("a1", "Amsterdam", "NL").
+		AddPath("a2", "Rotterdam", "NL").
+		AddPath("p1", "Paris", "FR").
+		MustBuild()
+	if err := db.RegisterDomain(tree); err != nil {
+		t.Fatal(err)
+	}
+	pol, err := instantdb.NewPolicy("pol", tree).
+		Hold(0, 10*time.Minute).
+		Hold(1, time.Hour).
+		Hold(2, 24*time.Hour).
+		ThenDelete().
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RegisterPolicy(pol); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.ExecScript(`
+CREATE TABLE t (id INT PRIMARY KEY, place TEXT DEGRADABLE DOMAIN loc POLICY pol);
+DECLARE PURPOSE c SET ACCURACY LEVEL country FOR t.place;
+INSERT INTO t (id, place) VALUES (1, 'a1'), (2, 'p1');
+`); err != nil {
+		t.Fatal(err)
+	}
+
+	conn := db.NewConn()
+	if err := conn.SetPurpose("c"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := conn.Exec(`SELECT place, COUNT(*) AS n FROM t GROUP BY place ORDER BY place`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows.Len() != 2 || res.Rows.Data[0][0].String() != "FR" {
+		t.Fatalf("rows=%v", res.Rows.Data)
+	}
+
+	// Degrade past the accurate window; strict level-0 reads go empty,
+	// coarse reads serve the city level.
+	clock.Advance(10 * time.Minute)
+	if _, err := db.DegradeNow(); err != nil {
+		t.Fatal(err)
+	}
+	full := db.NewConn()
+	res, err = full.Exec(`SELECT place FROM t`)
+	if err != nil || res.Rows.Len() != 0 {
+		t.Fatalf("strict read after degrade: %d rows, err=%v", res.Rows.Len(), err)
+	}
+	full.SetCoarse(true)
+	res, err = full.Exec(`SELECT place FROM t WHERE id = 1`)
+	if err != nil || res.Rows.Len() != 1 || res.Rows.Data[0][0].String() != "Amsterdam" {
+		t.Fatalf("coarse read: %v err=%v", res.Rows.Data, err)
+	}
+
+	// Value constructors round-trip through results.
+	if v := instantdb.Int(42); v.Int() != 42 {
+		t.Fatal("Int constructor")
+	}
+	if v := instantdb.Text("x"); v.Text() != "x" {
+		t.Fatal("Text constructor")
+	}
+	if !instantdb.Null().IsNull() || instantdb.Bool(true).String() != "true" {
+		t.Fatal("Null/Bool constructors")
+	}
+	if instantdb.Float(1.5).Float() != 1.5 {
+		t.Fatal("Float constructor")
+	}
+	if ts := instantdb.Time(instantdb.Epoch); !ts.Time().Equal(instantdb.Epoch) {
+		t.Fatal("Time constructor")
+	}
+	if d, err := instantdb.ParseDuration("1mo"); err != nil || d != 30*24*time.Hour {
+		t.Fatal("ParseDuration re-export")
+	}
+
+	// Figure fixtures are exported.
+	if instantdb.Figure1Locations().Levels() != 4 {
+		t.Fatal("Figure1Locations")
+	}
+	if instantdb.Figure2Salary().Levels() != 4 {
+		t.Fatal("Figure2Salary")
+	}
+	if instantdb.Figure2Policy(instantdb.Figure1Locations()).StateCount() != 4 {
+		t.Fatal("Figure2Policy")
+	}
+	if _, err := instantdb.NewIntRange("r", 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := instantdb.NewTimeTrunc("tt"); err == nil {
+		t.Fatal("NewTimeTrunc should validate")
+	}
+}
+
+// TestPublicAPIDurable exercises Open with a directory and log mode
+// constants through the public surface.
+func TestPublicAPIDurable(t *testing.T) {
+	dir := t.TempDir()
+	clock := instantdb.NewSimClock(instantdb.Epoch)
+	db, err := instantdb.Open(instantdb.Config{Dir: dir, Clock: clock, LogMode: instantdb.LogVacuum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.ExecScript(`
+CREATE DOMAIN d RANGES (100, SUPPRESS);
+CREATE POLICY p ON d (HOLD exact FOR '1h') THEN SUPPRESS;
+CREATE TABLE t (id INT PRIMARY KEY, v INT DEGRADABLE DOMAIN d POLICY p);
+INSERT INTO t (id, v) VALUES (1, 2471);
+`); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := instantdb.Open(instantdb.Config{Dir: dir, Clock: clock, LogMode: instantdb.LogVacuum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	res, err := db2.Exec(`SELECT v FROM t WHERE id = 1`)
+	if err != nil || res.Rows.Len() != 1 || res.Rows.Data[0][0].Int() != 2471 {
+		t.Fatalf("recovered: %v err=%v", res.Rows, err)
+	}
+}

@@ -1,0 +1,174 @@
+// Package anon implements the anonymization baseline for the usability
+// comparison (E3): full-domain generalization k-anonymity in the style
+// of Samarati/Sweeney, reusing the same generalization hierarchies as
+// the degradation engine. The paper positions degradation against
+// anonymization (§I): "data degradation applies to attributes describing
+// a recorded event while keeping the identity of the donor intact" —
+// anonymization must also generalize (or suppress) identity, destroying
+// donor-oriented usability. This package makes that trade measurable.
+package anon
+
+import (
+	"fmt"
+
+	"instantdb/internal/gentree"
+	"instantdb/internal/value"
+	"instantdb/internal/workload"
+)
+
+// Result describes the chosen full-domain generalization.
+type Result struct {
+	// K is the anonymity parameter satisfied.
+	K int
+	// LocLevel and SalLevel are the uniform generalization levels chosen
+	// for the two quasi-identifiers.
+	LocLevel, SalLevel int
+	// Classes is the number of equivalence classes, MinClass the
+	// smallest class size (>= K on success).
+	Classes, MinClass int
+	// Precision is Sweeney's Prec metric: 1 - mean(level / (height-1))
+	// over the quasi-identifier attributes; 1.0 = no generalization.
+	Precision float64
+	// Suppressed counts records removed because no generalization level
+	// made their class large enough (only when even the coarsest levels
+	// fail).
+	Suppressed int
+}
+
+// Generalize finds the least-precision-loss full-domain generalization
+// of (location, salary) satisfying k-anonymity over the given records.
+// It scans (locLevel, salLevel) pairs in increasing total height and
+// returns the first satisfying assignment; if none does, the records in
+// undersized classes at the coarsest assignment are suppressed.
+func Generalize(tree *gentree.Tree, sal *gentree.IntRange, people []workload.Person, k int) (Result, error) {
+	if k <= 0 {
+		return Result{}, fmt.Errorf("anon: k must be positive, got %d", k)
+	}
+	if len(people) == 0 {
+		return Result{K: k, Precision: 1}, nil
+	}
+	locH := tree.Levels()
+	salH := sal.Levels()
+	type cand struct{ l, s int }
+	var cands []cand
+	for total := 0; total <= locH+salH-2; total++ {
+		for l := 0; l < locH; l++ {
+			s := total - l
+			if s >= 0 && s < salH {
+				cands = append(cands, cand{l, s})
+			}
+		}
+	}
+	var last Result
+	for _, c := range cands {
+		res, err := evaluate(tree, sal, people, k, c.l, c.s)
+		if err != nil {
+			return Result{}, err
+		}
+		last = res
+		if res.MinClass >= k {
+			return res, nil
+		}
+	}
+	// Even the coarsest assignment failed: suppress undersized classes.
+	last.Suppressed = countUndersized(tree, sal, people, k, last.LocLevel, last.SalLevel)
+	return last, nil
+}
+
+func classKey(tree *gentree.Tree, sal *gentree.IntRange, p workload.Person, locLvl, salLvl int) (string, error) {
+	stored, err := tree.ResolveInsert(value.Text(p.Address))
+	if err != nil {
+		return "", err
+	}
+	locG, err := tree.Degrade(stored, 0, locLvl)
+	if err != nil {
+		return "", err
+	}
+	salG, err := sal.Degrade(value.Int(p.Salary), 0, salLvl)
+	if err != nil {
+		return "", err
+	}
+	key := value.Encode(nil, locG)
+	key = value.Encode(key, salG)
+	return string(key), nil
+}
+
+func evaluate(tree *gentree.Tree, sal *gentree.IntRange, people []workload.Person, k, locLvl, salLvl int) (Result, error) {
+	classes := make(map[string]int)
+	for _, p := range people {
+		key, err := classKey(tree, sal, p, locLvl, salLvl)
+		if err != nil {
+			return Result{}, err
+		}
+		classes[key]++
+	}
+	min := len(people)
+	for _, n := range classes {
+		if n < min {
+			min = n
+		}
+	}
+	prec := 1 - 0.5*(float64(locLvl)/float64(tree.Levels()-1)+float64(salLvl)/float64(sal.Levels()-1))
+	return Result{K: k, LocLevel: locLvl, SalLevel: salLvl,
+		Classes: len(classes), MinClass: min, Precision: prec}, nil
+}
+
+func countUndersized(tree *gentree.Tree, sal *gentree.IntRange, people []workload.Person, k, locLvl, salLvl int) int {
+	classes := make(map[string]int)
+	keys := make([]string, len(people))
+	for i, p := range people {
+		key, err := classKey(tree, sal, p, locLvl, salLvl)
+		if err != nil {
+			continue
+		}
+		keys[i] = key
+		classes[key]++
+	}
+	n := 0
+	for _, key := range keys {
+		if key != "" && classes[key] < k {
+			n++
+		}
+	}
+	return n
+}
+
+// Utility compares the three protection mechanisms on donor-oriented
+// service quality (the paper's usability claim). For a dataset of n
+// records:
+//
+//   - Degradation at level j keeps every record linked to its donor at
+//     precision prec(j): donor-history queries answer on all n records.
+//   - Anonymization keeps precision Prec but severs donor identity:
+//     donor-history queries answer on 0 records.
+//   - Retention keeps full precision for records younger than θ and
+//     nothing for the rest.
+type Utility struct {
+	Mechanism string
+	// DonorQueries is the fraction of donor-history queries answerable.
+	DonorQueries float64
+	// Precision is the attribute precision of answerable data.
+	Precision float64
+}
+
+// DegradationUtility returns the usability of a degradation level j over
+// a domain of height h.
+func DegradationUtility(j, h int) Utility {
+	return Utility{
+		Mechanism:    fmt.Sprintf("degradation@%d", j),
+		DonorQueries: 1,
+		Precision:    1 - float64(j)/float64(h-1),
+	}
+}
+
+// AnonymizationUtility converts a Result into the shared utility form.
+func AnonymizationUtility(r Result) Utility {
+	return Utility{Mechanism: fmt.Sprintf("k-anon(k=%d)", r.K), DonorQueries: 0, Precision: r.Precision}
+}
+
+// RetentionUtility returns the usability of retention θ for data of the
+// given age distribution: aliveFraction is the fraction of the dataset
+// still younger than θ.
+func RetentionUtility(aliveFraction float64) Utility {
+	return Utility{Mechanism: "retention", DonorQueries: aliveFraction, Precision: aliveFraction}
+}

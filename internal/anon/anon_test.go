@@ -1,0 +1,91 @@
+package anon
+
+import (
+	"testing"
+
+	"instantdb/internal/gentree"
+	"instantdb/internal/vclock"
+	"instantdb/internal/workload"
+)
+
+func dataset(n int) (*gentree.Tree, *gentree.IntRange, []workload.Person) {
+	uni := workload.NewLocationUniverse(2, 2, 2, 4)
+	gen := workload.NewPersonGen(7, uni, vclock.Epoch)
+	return uni.Tree, gentree.Figure2Salary(), gen.Batch(n)
+}
+
+func TestGeneralizeReachesK(t *testing.T) {
+	tree, sal, people := dataset(500)
+	for _, k := range []int{2, 5, 25} {
+		res, err := Generalize(tree, sal, people, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MinClass < k && res.Suppressed == 0 {
+			t.Fatalf("k=%d: min class %d without suppression", k, res.MinClass)
+		}
+		if res.Precision < 0 || res.Precision > 1 {
+			t.Fatalf("k=%d: precision %v out of range", k, res.Precision)
+		}
+	}
+}
+
+func TestGeneralizePrecisionDecreasesWithK(t *testing.T) {
+	tree, sal, people := dataset(400)
+	r5, err := Generalize(tree, sal, people, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r50, err := Generalize(tree, sal, people, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r50.Precision > r5.Precision {
+		t.Fatalf("precision should not increase with k: k=5→%v k=50→%v", r5.Precision, r50.Precision)
+	}
+}
+
+func TestGeneralizeEdgeCases(t *testing.T) {
+	tree, sal, _ := dataset(0)
+	if _, err := Generalize(tree, sal, nil, 0); err == nil {
+		t.Fatal("k=0 should fail")
+	}
+	res, err := Generalize(tree, sal, nil, 5)
+	if err != nil || res.Precision != 1 {
+		t.Fatalf("empty dataset: %+v err=%v", res, err)
+	}
+	// k larger than the dataset: even the root level fails; everything
+	// suppressed.
+	uni := workload.NewLocationUniverse(1, 1, 1, 2)
+	gen := workload.NewPersonGen(1, uni, vclock.Epoch)
+	few := gen.Batch(3)
+	res, err = Generalize(uni.Tree, sal, few, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Suppressed != 3 {
+		t.Fatalf("want all 3 suppressed, got %d", res.Suppressed)
+	}
+}
+
+func TestUtilityComparison(t *testing.T) {
+	// The paper's usability claim in numbers: degradation keeps donor
+	// queries at 100% while anonymization zeroes them.
+	tree, sal, people := dataset(300)
+	res, err := Generalize(tree, sal, people, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := DegradationUtility(1, tree.Levels()) // city level
+	an := AnonymizationUtility(res)
+	ret := RetentionUtility(0.4)
+	if deg.DonorQueries != 1 || an.DonorQueries != 0 {
+		t.Fatalf("donor query availability: deg=%v anon=%v", deg.DonorQueries, an.DonorQueries)
+	}
+	if deg.Precision <= 0 {
+		t.Fatal("degradation precision must be positive at city level")
+	}
+	if ret.DonorQueries != 0.4 {
+		t.Fatal("retention utility wrong")
+	}
+}

@@ -1,0 +1,266 @@
+package catalog
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"instantdb/internal/gentree"
+	"instantdb/internal/lcp"
+	"instantdb/internal/value"
+)
+
+func personTable(t *testing.T) (*Catalog, *Table) {
+	t.Helper()
+	c := New()
+	loc := gentree.Figure1Locations()
+	sal := gentree.Figure2Salary()
+	if err := c.AddDomain(loc); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddDomain(sal); err != nil {
+		t.Fatal(err)
+	}
+	locPol := lcp.Figure2(loc)
+	salPol := lcp.NewBuilder("salary-policy", sal).
+		Hold(0, 12*time.Hour).Hold(2, 7*24*time.Hour).ThenSuppress().MustBuild()
+	if err := c.AddPolicy(locPol); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddPolicy(salPol); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := c.CreateTable("Person", []Column{
+		{Name: "ID", Kind: value.KindInt, NotNull: true},
+		{Name: "Name", Kind: value.KindText},
+		{Name: "Location", Kind: value.KindText, Degradable: true, Domain: loc, Policy: locPol},
+		{Name: "Salary", Kind: value.KindInt, Degradable: true, Domain: sal, Policy: salPol},
+	}, 0, LayoutMove)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, tbl
+}
+
+func TestCreateTableBasics(t *testing.T) {
+	c, tbl := personTable(t)
+	if tbl.ID == 0 {
+		t.Fatal("table ID not assigned")
+	}
+	if tbl.Name != "person" {
+		t.Fatalf("name %q not lowercased", tbl.Name)
+	}
+	got, err := c.Table("PERSON")
+	if err != nil || got != tbl {
+		t.Fatalf("case-insensitive lookup failed: %v", err)
+	}
+	byID, err := c.TableByID(tbl.ID)
+	if err != nil || byID != tbl {
+		t.Fatalf("TableByID failed: %v", err)
+	}
+	i, err := tbl.ColumnIndex("LOCATION")
+	if err != nil || i != 2 {
+		t.Fatalf("ColumnIndex=(%d,%v)", i, err)
+	}
+	if d := tbl.DegradableColumns(); len(d) != 2 || d[0] != 2 || d[1] != 3 {
+		t.Fatalf("DegradableColumns=%v", d)
+	}
+	if tbl.DegradablePos(3) != 1 || tbl.DegradablePos(0) != -1 {
+		t.Fatal("DegradablePos wrong")
+	}
+	if tbl.TupleLCP() == nil || tbl.TupleLCP().Attrs() != 2 {
+		t.Fatal("tuple LCP not derived")
+	}
+}
+
+func TestCreateTableValidation(t *testing.T) {
+	c := New()
+	loc := gentree.Figure1Locations()
+	pol := lcp.Figure2(loc)
+	sal := gentree.Figure2Salary()
+	salPol := lcp.NewBuilder("sp", sal).Hold(0, time.Hour).ThenDelete().MustBuild()
+
+	cases := []struct {
+		name string
+		cols []Column
+		pk   int
+	}{
+		{"no columns", nil, -1},
+		{"duplicate column", []Column{{Name: "a", Kind: value.KindInt}, {Name: "A", Kind: value.KindInt}}, -1},
+		{"degradable without domain", []Column{{Name: "a", Kind: value.KindText, Degradable: true}}, -1},
+		{"stable with policy", []Column{{Name: "a", Kind: value.KindText, Domain: loc}}, -1},
+		{"kind mismatch", []Column{{Name: "a", Kind: value.KindInt, Degradable: true, Domain: loc, Policy: pol}}, -1},
+		{"policy domain mismatch", []Column{{Name: "a", Kind: value.KindText, Degradable: true, Domain: loc, Policy: salPol}}, -1},
+		{"pk out of range", []Column{{Name: "a", Kind: value.KindInt}}, 5},
+		{"degradable pk", []Column{{Name: "a", Kind: value.KindText, Degradable: true, Domain: loc, Policy: pol}}, 0},
+	}
+	for _, tc := range cases {
+		if _, err := c.CreateTable("t", tc.cols, tc.pk, LayoutMove); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestCreateTableDuplicate(t *testing.T) {
+	c, _ := personTable(t)
+	_, err := c.CreateTable("person", []Column{{Name: "x", Kind: value.KindInt}}, -1, LayoutMove)
+	if !errors.Is(err, ErrExists) {
+		t.Fatalf("err=%v want ErrExists", err)
+	}
+}
+
+func TestDropTable(t *testing.T) {
+	c, tbl := personTable(t)
+	if err := c.AddIndex(IndexDef{Name: "ix", Table: "person", Column: 0, Type: IndexBTree}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropTable("person"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Table("person"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("table survived drop")
+	}
+	if _, err := c.TableByID(tbl.ID); !errors.Is(err, ErrNotFound) {
+		t.Fatal("table ID survived drop")
+	}
+	if got := c.Indexes("person"); len(got) != 0 {
+		t.Fatal("indexes survived table drop")
+	}
+	if err := c.DropTable("person"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("double drop should fail")
+	}
+}
+
+func TestDomainsAndPolicies(t *testing.T) {
+	c := New()
+	loc := gentree.Figure1Locations()
+	if err := c.AddDomain(loc); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddDomain(loc); !errors.Is(err, ErrExists) {
+		t.Fatal("duplicate domain should fail")
+	}
+	d, err := c.Domain("LOCATION")
+	if err != nil || d != gentree.Domain(loc) {
+		t.Fatalf("Domain lookup: %v", err)
+	}
+	if _, err := c.Domain("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("missing domain should be ErrNotFound")
+	}
+	p := lcp.Figure2(loc)
+	if err := c.AddPolicy(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddPolicy(p); !errors.Is(err, ErrExists) {
+		t.Fatal("duplicate policy should fail")
+	}
+	got, err := c.Policy("FIGURE2-LOCATION")
+	if err != nil || got != p {
+		t.Fatalf("Policy lookup: %v", err)
+	}
+}
+
+func TestIndexValidation(t *testing.T) {
+	c, _ := personTable(t)
+	if err := c.AddIndex(IndexDef{Name: "i1", Table: "nope", Column: 0, Type: IndexBTree}); !errors.Is(err, ErrNotFound) {
+		t.Error("missing table should fail")
+	}
+	if err := c.AddIndex(IndexDef{Name: "i1", Table: "person", Column: 9, Type: IndexBTree}); !errors.Is(err, ErrInvalid) {
+		t.Error("bad column should fail")
+	}
+	if err := c.AddIndex(IndexDef{Name: "i1", Table: "person", Column: 0, Type: IndexGT}); !errors.Is(err, ErrInvalid) {
+		t.Error("GT index on stable column should fail")
+	}
+	if err := c.AddIndex(IndexDef{Name: "i1", Table: "person", Column: 2, Type: IndexGT}); err != nil {
+		t.Errorf("valid GT index failed: %v", err)
+	}
+	if err := c.AddIndex(IndexDef{Name: "I1", Table: "person", Column: 0, Type: IndexBTree}); !errors.Is(err, ErrExists) {
+		t.Error("duplicate index name should fail")
+	}
+	defs := c.Indexes("person")
+	if len(defs) != 1 || defs[0].Type != IndexGT {
+		t.Fatalf("Indexes=%v", defs)
+	}
+	if err := c.DropIndex("i1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropIndex("i1"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("double index drop should fail")
+	}
+}
+
+func TestPurposes(t *testing.T) {
+	c, _ := personTable(t)
+	// The paper's example: DECLARE PURPOSE STAT SET ACCURACY LEVEL
+	// COUNTRY FOR P.LOCATION, RANGE1000 FOR P.SALARY.
+	stat := &Purpose{Name: "stat", Levels: map[string]int{
+		"person.location": 3,
+		"person.salary":   2,
+	}}
+	if err := c.DeclarePurpose(stat); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Purpose("STAT")
+	if err != nil || got != stat {
+		t.Fatalf("Purpose lookup: %v", err)
+	}
+	lvl, ok := got.LevelFor("person", "location")
+	if !ok || lvl != 3 {
+		t.Fatalf("LevelFor=(%d,%v)", lvl, ok)
+	}
+	if _, ok := got.LevelFor("person", "salary"); !ok {
+		t.Fatal("salary should be granted")
+	}
+	if _, ok := got.LevelFor("person", "name"); ok {
+		t.Fatal("unlisted column must be refused for a restricted purpose")
+	}
+	// Built-in full purpose grants everything at level 0.
+	full, err := c.Purpose("full")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lvl, ok = full.LevelFor("person", "location")
+	if !ok || lvl != 0 {
+		t.Fatalf("full LevelFor=(%d,%v)", lvl, ok)
+	}
+}
+
+func TestDeclarePurposeValidation(t *testing.T) {
+	c, _ := personTable(t)
+	cases := []*Purpose{
+		{Name: "full"},
+		{Name: "p", Levels: map[string]int{"badkey": 0}},
+		{Name: "p", Levels: map[string]int{"nope.location": 0}},
+		{Name: "p", Levels: map[string]int{"person.nope": 0}},
+		{Name: "p", Levels: map[string]int{"person.name": 0}},
+		{Name: "p", Levels: map[string]int{"person.location": 17}},
+	}
+	for i, p := range cases {
+		if err := c.DeclarePurpose(p); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestTablesSorted(t *testing.T) {
+	c, _ := personTable(t)
+	if _, err := c.CreateTable("aaa", []Column{{Name: "x", Kind: value.KindInt}}, -1, LayoutInPlace); err != nil {
+		t.Fatal(err)
+	}
+	ts := c.Tables()
+	if len(ts) != 2 || ts[0].Name != "aaa" || ts[1].Name != "person" {
+		t.Fatalf("Tables()=%v", ts)
+	}
+	if ts[0].Layout != LayoutInPlace {
+		t.Fatal("layout not preserved")
+	}
+}
+
+func TestLayoutAndIndexTypeStrings(t *testing.T) {
+	if LayoutMove.String() != "MOVE" || LayoutInPlace.String() != "INPLACE" {
+		t.Fatal("layout strings")
+	}
+	if IndexBTree.String() != "BTREE" || IndexBitmap.String() != "BITMAP" || IndexGT.String() != "GT" {
+		t.Fatal("index type strings")
+	}
+}

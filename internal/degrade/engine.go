@@ -1,0 +1,624 @@
+// Package degrade implements the degradation engine: the component that
+// makes LCP transitions actually happen on time (paper §III, "How to
+// enforce timely data degradation?"). It keeps, per table and per
+// degradable attribute, a FIFO queue of tuples ordered by their next
+// transition deadline (insert order equals deadline order under a uniform
+// policy), and on every tick executes due transitions in small batches as
+// system transactions: X row locks, one WAL commit batch, physical
+// rewrite with scrubbing, index maintenance, then log scrubbing (epoch
+// key shredding or vacuum) through the Scrubber hook.
+//
+// Readers holding row locks never block a whole batch: locked tuples are
+// skipped and retried on the next tick, trading bounded lag for reader
+// latency (experiment B-TXN).
+package degrade
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"instantdb/internal/catalog"
+	"instantdb/internal/lcp"
+	"instantdb/internal/storage"
+	"instantdb/internal/txn"
+	"instantdb/internal/value"
+	"instantdb/internal/vclock"
+	"instantdb/internal/wal"
+)
+
+// Committer persists and applies a batch of system-transaction records.
+// The engine layer provides it: WAL append (durable), then storage apply
+// and index maintenance — the same path user commits take.
+type Committer func(recs []*wal.Record) error
+
+// Scrubber performs log degradation after transitions commit.
+type Scrubber interface {
+	// AfterTransition runs after a batch moving tuples of tbl's
+	// degradable column degPos out of fromState commits. Every tuple
+	// inserted before cutoff has passed this transition's deadline, so
+	// log material carrying their fromState values may be destroyed.
+	AfterTransition(tbl *catalog.Table, degPos int, fromState uint8, cutoff time.Time) error
+	// Periodic runs once per tick for time-based maintenance (segment
+	// vacuum).
+	Periodic(now time.Time) error
+}
+
+// NopScrubber performs no log degradation (the leaky baseline).
+type NopScrubber struct{}
+
+// AfterTransition implements Scrubber.
+func (NopScrubber) AfterTransition(*catalog.Table, int, uint8, time.Time) error { return nil }
+
+// Periodic implements Scrubber.
+func (NopScrubber) Periodic(time.Time) error { return nil }
+
+// Predicate gates a predicate-triggered transition (paper §IV).
+type Predicate func(storage.Tuple) bool
+
+// Options tunes the engine.
+type Options struct {
+	// BatchSize bounds the tuples degraded per queue per tick
+	// (default 256).
+	BatchSize int
+	// RecheckInterval delays re-examination of tuples whose predicate
+	// gate refused the transition or whose row lock was busy
+	// (default 1s).
+	RecheckInterval time.Duration
+	// LockTimeoutSkip: the engine never waits for row locks; this is
+	// fixed behavior, documented here for clarity.
+}
+
+func (o Options) withDefaults() Options {
+	if o.BatchSize <= 0 {
+		o.BatchSize = 256
+	}
+	if o.RecheckInterval <= 0 {
+		o.RecheckInterval = time.Second
+	}
+	return o
+}
+
+// task is one tuple waiting for one transition.
+type task struct {
+	tid        storage.TupleID
+	insertNano int64
+	notBefore  int64 // retry gate (lock busy / predicate false)
+}
+
+// queueKey identifies a transition queue.
+type queueKey struct {
+	table uint32
+	// attr is the degradable column position, or -1 for the tuple
+	// deletion queue.
+	attr int
+	// state is the LCP state the transition leaves (unused for delete).
+	state uint8
+}
+
+// transQueue holds the FIFO of tuples awaiting one transition.
+type transQueue struct {
+	tbl *catalog.Table
+	// ageNano is the deadline age of this transition from insert.
+	ageNano int64
+	// For attribute transitions:
+	pol       *lcp.Policy
+	fromState int
+	toState   int // -1 = erased (terminal suppress/delete of the attr)
+	trigger   lcp.TriggerKind
+	event     string
+	predicate string
+	isDelete  bool
+
+	fifo    []task
+	retries []task
+	// eventFired drains the queue regardless of deadlines.
+	eventFired bool
+}
+
+// Stats aggregates engine activity (experiment instrumentation).
+type Stats struct {
+	Transitions   uint64
+	Deletions     uint64
+	Batches       uint64
+	LockSkips     uint64
+	PredicateHold uint64
+	// MaxLag and SumLag measure (execution time - deadline): the
+	// timeliness of enforcement.
+	MaxLag time.Duration
+	SumLag time.Duration
+	// Pending counts tuples currently enqueued.
+	Pending int
+}
+
+// Engine schedules and executes LCP transitions.
+type Engine struct {
+	mu     sync.Mutex
+	clock  vclock.Clock
+	cat    *catalog.Catalog
+	mgr    *storage.Manager
+	locks  *txn.LockManager
+	ids    *txn.IDSource
+	commit Committer
+	scrub  Scrubber
+	opts   Options
+
+	queues map[queueKey]*transQueue
+	preds  map[string]Predicate
+	stats  Stats
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New builds an engine. commit must be non-nil; scrub may be nil for no
+// log scrubbing.
+func New(clock vclock.Clock, cat *catalog.Catalog, mgr *storage.Manager,
+	locks *txn.LockManager, ids *txn.IDSource, commit Committer, scrub Scrubber, opts Options) *Engine {
+	if scrub == nil {
+		scrub = NopScrubber{}
+	}
+	return &Engine{
+		clock:  clock,
+		cat:    cat,
+		mgr:    mgr,
+		locks:  locks,
+		ids:    ids,
+		commit: commit,
+		scrub:  scrub,
+		opts:   opts.withDefaults(),
+		queues: make(map[queueKey]*transQueue),
+		preds:  make(map[string]Predicate),
+	}
+}
+
+// RegisterPredicate binds a named predicate used by TriggerPredicate
+// states. Unregistered predicates default to true (transition proceeds).
+func (e *Engine) RegisterPredicate(name string, p Predicate) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.preds[name] = p
+}
+
+// queueFor returns (creating if needed) the queue for a transition.
+func (e *Engine) queueFor(tbl *catalog.Table, attr int, state uint8) *transQueue {
+	key := queueKey{table: tbl.ID, attr: attr, state: state}
+	q, ok := e.queues[key]
+	if ok {
+		return q
+	}
+	q = &transQueue{tbl: tbl}
+	if attr == -1 {
+		age, _ := tbl.TupleLCP().DeleteAge()
+		q.ageNano = int64(age)
+		q.isDelete = true
+	} else {
+		pol := tbl.Columns[tbl.DegradableColumns()[attr]].Policy
+		q.pol = pol
+		q.fromState = int(state)
+		age, ok := pol.DeadlineFromInsert(int(state))
+		if !ok {
+			// Final state of a Remain policy: no outgoing transition.
+			return nil
+		}
+		q.ageNano = int64(age)
+		if int(state) == pol.StateCount()-1 {
+			q.toState = -1 // terminal: suppress / awaiting delete
+		} else {
+			q.toState = int(state) + 1
+		}
+		st := pol.StateAt(int(state))
+		q.trigger = st.Trigger
+		q.event = st.Event
+		q.predicate = st.Predicate
+	}
+	e.queues[key] = q
+	return q
+}
+
+// OnInsert registers a freshly inserted tuple with every queue that will
+// eventually degrade it. Call after the insert commits.
+func (e *Engine) OnInsert(tbl *catalog.Table, tid storage.TupleID, insertedAt time.Time) {
+	tl := tbl.TupleLCP()
+	if tl == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	nano := insertedAt.UTC().UnixNano()
+	for attr := range tbl.DegradableColumns() {
+		if q := e.queueFor(tbl, attr, 0); q != nil {
+			q.fifo = append(q.fifo, task{tid: tid, insertNano: nano})
+		}
+	}
+	if _, ok := tl.DeleteAge(); ok {
+		if q := e.queueFor(tbl, -1, 0); q != nil {
+			q.fifo = append(q.fifo, task{tid: tid, insertNano: nano})
+		}
+	}
+}
+
+// Reseed rebuilds all queues from the current storage state — the
+// recovery path. Existing queue content is discarded.
+func (e *Engine) Reseed() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.queues = make(map[queueKey]*transQueue)
+	for _, tbl := range e.cat.Tables() {
+		tl := tbl.TupleLCP()
+		if tl == nil {
+			continue
+		}
+		ts := e.mgr.Table(tbl)
+		_, hasDelete := tl.DeleteAge()
+		err := ts.Scan(func(t storage.Tuple) bool {
+			nano := t.InsertedAt.UnixNano()
+			for attr, st := range t.States {
+				if st == storage.StateErased {
+					continue
+				}
+				if q := e.queueFor(tbl, attr, st); q != nil {
+					q.fifo = append(q.fifo, task{tid: t.ID, insertNano: nano})
+				}
+			}
+			if hasDelete {
+				if q := e.queueFor(tbl, -1, 0); q != nil {
+					q.fifo = append(q.fifo, task{tid: t.ID, insertNano: nano})
+				}
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	// Scans return tuples in arbitrary order; restore deadline order.
+	for _, q := range e.queues {
+		sort.SliceStable(q.fifo, func(i, j int) bool { return q.fifo[i].insertNano < q.fifo[j].insertNano })
+	}
+	return nil
+}
+
+// FireEvent makes every event-triggered transition waiting on name due
+// immediately (paper §IV: transitions caused by events). The transitions
+// execute on the next Tick.
+func (e *Engine) FireEvent(name string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, q := range e.queues {
+		if q.trigger == lcp.TriggerEvent && q.event == name {
+			q.eventFired = true
+		}
+	}
+}
+
+// DropTable discards every queue of a dropped table.
+func (e *Engine) DropTable(tableID uint32) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for k := range e.queues {
+		if k.table == tableID {
+			delete(e.queues, k)
+		}
+	}
+}
+
+// Stats returns a snapshot of engine counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := e.stats
+	for _, q := range e.queues {
+		s.Pending += len(q.fifo) + len(q.retries)
+	}
+	return s
+}
+
+// Tick executes every transition due at the clock's current instant and
+// returns the number of tuples degraded or deleted.
+func (e *Engine) Tick() (int, error) {
+	now := e.clock.Now()
+	total := 0
+	for {
+		n, err := e.tickOnce(now)
+		total += n
+		if err != nil {
+			return total, err
+		}
+		if n == 0 {
+			break
+		}
+	}
+	if err := e.scrub.Periodic(now); err != nil {
+		return total, err
+	}
+	return total, nil
+}
+
+// tickOnce runs at most one batch per queue.
+func (e *Engine) tickOnce(now time.Time) (int, error) {
+	e.mu.Lock()
+	keys := make([]queueKey, 0, len(e.queues))
+	for k := range e.queues {
+		keys = append(keys, k)
+	}
+	e.mu.Unlock()
+	// Deterministic order: attribute transitions by (table, attr,
+	// state), deletions last so attributes are settled first.
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		ad, bd := a.attr == -1, b.attr == -1
+		if ad != bd {
+			return !ad
+		}
+		if a.table != b.table {
+			return a.table < b.table
+		}
+		if a.attr != b.attr {
+			return a.attr < b.attr
+		}
+		return a.state < b.state
+	})
+	total := 0
+	for _, k := range keys {
+		n, err := e.runQueue(k, now)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// popDue collects up to BatchSize due tasks from a queue.
+func (e *Engine) popDue(q *transQueue, now time.Time) []task {
+	nowNano := now.UTC().UnixNano()
+	var due []task
+	// Retries whose gate has passed.
+	keep := q.retries[:0]
+	for _, t := range q.retries {
+		if len(due) < e.opts.BatchSize && t.notBefore <= nowNano &&
+			(q.eventFired || t.insertNano+q.ageNano <= nowNano) {
+			due = append(due, t)
+		} else {
+			keep = append(keep, t)
+		}
+	}
+	q.retries = keep
+	for len(q.fifo) > 0 && len(due) < e.opts.BatchSize {
+		t := q.fifo[0]
+		if !q.eventFired && t.insertNano+q.ageNano > nowNano {
+			break
+		}
+		due = append(due, t)
+		q.fifo = q.fifo[1:]
+	}
+	if len(q.fifo) == 0 && len(q.retries) == 0 {
+		q.eventFired = false
+	}
+	return due
+}
+
+func (e *Engine) runQueue(key queueKey, now time.Time) (int, error) {
+	e.mu.Lock()
+	q := e.queues[key]
+	if q == nil {
+		e.mu.Unlock()
+		return 0, nil
+	}
+	due := e.popDue(q, now)
+	pred := Predicate(nil)
+	if q.predicate != "" {
+		pred = e.preds[q.predicate]
+	}
+	e.mu.Unlock()
+	if len(due) == 0 {
+		return 0, nil
+	}
+
+	ts := e.mgr.Table(q.tbl)
+	sysTxn := e.ids.Next()
+	defer e.locks.ReleaseAll(sysTxn)
+	if err := e.locks.Acquire(sysTxn, txn.TableRes(q.tbl.ID), txn.LockIX); err != nil {
+		// A DDL holds the table; retry the whole batch next tick.
+		e.requeue(q, due, now)
+		return 0, nil
+	}
+
+	var recs []*wal.Record
+	var followups []task
+	var skipped, held []task
+	nowNano := now.UTC().UnixNano()
+
+	for _, t := range due {
+		if !e.locks.TryAcquire(sysTxn, txn.RowRes(q.tbl.ID, t.tid), txn.LockX) {
+			skipped = append(skipped, t)
+			continue
+		}
+		tup, err := ts.Get(t.tid)
+		if err != nil {
+			continue // deleted meanwhile: nothing to do
+		}
+		if pred != nil && !pred(tup) {
+			held = append(held, t)
+			continue
+		}
+		if q.isDelete {
+			recs = append(recs, &wal.Record{Type: wal.RecDelete, Table: q.tbl.ID, Tuple: t.tid,
+				InsertNano: t.insertNano})
+			continue
+		}
+		// Stale check: the tuple must still be in the source state.
+		if int(tup.States[key.attr]) != q.fromState {
+			continue
+		}
+		col := q.tbl.DegradableColumns()[key.attr]
+		dom := q.tbl.Columns[col].Domain
+		rec := &wal.Record{
+			Type:       wal.RecDegrade,
+			Table:      q.tbl.ID,
+			Tuple:      t.tid,
+			InsertNano: t.insertNano,
+			DegPos:     uint8(key.attr),
+		}
+		if q.toState == -1 {
+			rec.NewState = storage.StateErased
+			rec.NewStored = value.Null()
+		} else {
+			fromLevel := q.pol.LevelOf(q.fromState)
+			toLevel := q.pol.LevelOf(q.toState)
+			next, err := dom.Degrade(tup.Row[col], fromLevel, toLevel)
+			if err != nil {
+				return 0, fmt.Errorf("degrade: %s.%s tuple %d: %w", q.tbl.Name, q.tbl.Columns[col].Name, t.tid, err)
+			}
+			rec.NewState = uint8(q.toState)
+			rec.NewStored = next
+			followups = append(followups, t)
+		}
+		recs = append(recs, rec)
+	}
+
+	n := 0
+	if len(recs) > 0 {
+		if err := e.commit(recs); err != nil {
+			// Nothing applied: put every popped task back for retry so
+			// a transient commit failure cannot silently drop deadlines.
+			e.requeue(q, due, now)
+			return 0, fmt.Errorf("degrade: commit batch: %w", err)
+		}
+		n = len(recs)
+	}
+
+	e.mu.Lock()
+	if len(recs) > 0 {
+		e.stats.Batches++
+		for _, r := range recs {
+			var lag time.Duration
+			if q.isDelete || r.Type == wal.RecDelete {
+				e.stats.Deletions++
+				lag = time.Duration(nowNano - (r.InsertNano + q.ageNano))
+			} else {
+				e.stats.Transitions++
+				lag = time.Duration(nowNano - (r.InsertNano + q.ageNano))
+			}
+			if lag > 0 {
+				e.stats.SumLag += lag
+				if lag > e.stats.MaxLag {
+					e.stats.MaxLag = lag
+				}
+			}
+		}
+	}
+	e.stats.LockSkips += uint64(len(skipped))
+	e.stats.PredicateHold += uint64(len(held))
+	retryAt := nowNano + int64(e.opts.RecheckInterval)
+	for _, t := range skipped {
+		t.notBefore = retryAt
+		q.retries = append(q.retries, t)
+	}
+	for _, t := range held {
+		t.notBefore = retryAt
+		q.retries = append(q.retries, t)
+	}
+	// Enqueue follow-up transitions for tuples that advanced to a
+	// non-terminal state.
+	if len(followups) > 0 && q.toState != -1 {
+		nq := e.queueFor(q.tbl, key.attr, uint8(q.toState))
+		if nq != nil {
+			nq.fifo = append(nq.fifo, followups...)
+		}
+	}
+	e.mu.Unlock()
+
+	if len(recs) > 0 && !q.isDelete {
+		// Log scrubbing: tuples inserted before cutoff have passed this
+		// transition's deadline.
+		cutoff := time.Unix(0, nowNano-q.ageNano)
+		if err := e.scrub.AfterTransition(q.tbl, key.attr, uint8(q.fromState), cutoff); err != nil {
+			return n, fmt.Errorf("degrade: scrub: %w", err)
+		}
+	}
+	return n, nil
+}
+
+// requeue returns tasks to a queue's retry list with a recheck delay.
+func (e *Engine) requeue(q *transQueue, tasks []task, now time.Time) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	at := now.UTC().UnixNano() + int64(e.opts.RecheckInterval)
+	for _, t := range tasks {
+		t.notBefore = at
+		q.retries = append(q.retries, t)
+	}
+}
+
+// NextDeadline returns the earliest pending transition deadline, ok=false
+// when nothing is queued. Simulation harnesses use it to advance virtual
+// time exactly to the next event.
+func (e *Engine) NextDeadline() (time.Time, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var best int64
+	found := false
+	for _, q := range e.queues {
+		if len(q.fifo) > 0 {
+			d := q.fifo[0].insertNano + q.ageNano
+			if !found || d < best {
+				best, found = d, true
+			}
+		}
+		for _, t := range q.retries {
+			d := t.notBefore
+			if dl := t.insertNano + q.ageNano; dl > d {
+				d = dl
+			}
+			if !found || d < best {
+				best, found = d, true
+			}
+		}
+	}
+	if !found {
+		return time.Time{}, false
+	}
+	return time.Unix(0, best).UTC(), true
+}
+
+// Run ticks the engine every interval until Stop. Use with wall clocks;
+// simulations call Tick directly.
+func (e *Engine) Run(interval time.Duration) {
+	e.mu.Lock()
+	if e.stop != nil {
+		e.mu.Unlock()
+		return
+	}
+	e.stop = make(chan struct{})
+	e.done = make(chan struct{})
+	stop, done := e.stop, e.done
+	e.mu.Unlock()
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				e.Tick() //nolint:errcheck // background loop; stats carry failures
+			}
+		}
+	}()
+}
+
+// Stop halts the background loop started by Run.
+func (e *Engine) Stop() {
+	e.mu.Lock()
+	stop, done := e.stop, e.done
+	e.stop, e.done = nil, nil
+	e.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}

@@ -1,0 +1,438 @@
+package degrade
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"instantdb/internal/catalog"
+	"instantdb/internal/gentree"
+	"instantdb/internal/lcp"
+	"instantdb/internal/storage"
+	"instantdb/internal/txn"
+	"instantdb/internal/value"
+	"instantdb/internal/vclock"
+	"instantdb/internal/wal"
+)
+
+// applier applies records straight to storage — the minimal Committer.
+func applier(cat *catalog.Catalog, mgr *storage.Manager) Committer {
+	return func(recs []*wal.Record) error {
+		for _, r := range recs {
+			tbl, err := cat.TableByID(r.Table)
+			if err != nil {
+				return err
+			}
+			ts := mgr.Table(tbl)
+			switch r.Type {
+			case wal.RecDelete:
+				if err := ts.Delete(r.Tuple); err != nil {
+					return err
+				}
+			case wal.RecDegrade:
+				if err := ts.DegradeAttr(r.Tuple, int(r.DegPos), r.NewStored, r.NewState); err != nil {
+					return err
+				}
+			default:
+				return fmt.Errorf("unexpected record type %d", r.Type)
+			}
+		}
+		return nil
+	}
+}
+
+type fixture struct {
+	cat   *catalog.Catalog
+	mgr   *storage.Manager
+	tbl   *catalog.Table
+	ts    *storage.TableStore
+	loc   *gentree.Tree
+	clock *vclock.Simulated
+	locks *txn.LockManager
+	eng   *Engine
+}
+
+// newFixture builds a person table under the Figure 2 policy and an
+// engine over a simulated clock.
+func newFixture(t *testing.T, opts Options, build func(loc *gentree.Tree) *lcp.Policy) *fixture {
+	t.Helper()
+	cat := catalog.New()
+	loc := gentree.Figure1Locations()
+	if err := cat.AddDomain(loc); err != nil {
+		t.Fatal(err)
+	}
+	pol := build(loc)
+	if err := cat.AddPolicy(pol); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := cat.CreateTable("person", []catalog.Column{
+		{Name: "id", Kind: value.KindInt},
+		{Name: "location", Kind: value.KindText, Degradable: true, Domain: loc, Policy: pol},
+	}, 0, catalog.LayoutMove)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := storage.NewManager(storage.NewMemStore())
+	clock := vclock.NewSimulated(vclock.Epoch)
+	locks := txn.NewLockManager(20 * time.Millisecond)
+	ids := &txn.IDSource{}
+	eng := New(clock, cat, mgr, locks, ids, applier(cat, mgr), nil, opts)
+	return &fixture{cat: cat, mgr: mgr, tbl: tbl, ts: mgr.Table(tbl), loc: loc,
+		clock: clock, locks: locks, eng: eng}
+}
+
+func figure2Policy(loc *gentree.Tree) *lcp.Policy { return lcp.Figure2(loc) }
+
+func (f *fixture) insert(t *testing.T, id int64, addr string) storage.TupleID {
+	t.Helper()
+	stored, err := f.loc.ResolveInsert(value.Text(addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tid, err := f.ts.Insert([]value.Value{value.Int(id), stored}, []uint8{0}, f.clock.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.eng.OnInsert(f.tbl, tid, f.clock.Now())
+	return tid
+}
+
+func (f *fixture) stateOf(t *testing.T, tid storage.TupleID) (uint8, bool) {
+	t.Helper()
+	tup, err := f.ts.Get(tid)
+	if err != nil {
+		return 0, false
+	}
+	return tup.States[0], true
+}
+
+func TestFigure2LifetimeOnSimClock(t *testing.T) {
+	f := newFixture(t, Options{}, figure2Policy)
+	tid := f.insert(t, 1, "45 avenue des Etats-Unis")
+
+	// At insert the tuple is accurate; the 0-minute state expires on the
+	// first tick.
+	if n, err := f.eng.Tick(); err != nil || n != 1 {
+		t.Fatalf("tick0: n=%d err=%v", n, err)
+	}
+	if st, ok := f.stateOf(t, tid); !ok || st != 1 {
+		t.Fatalf("state=%d want 1 (city)", st)
+	}
+	// 1 hour: city → region.
+	f.clock.Advance(time.Hour)
+	if n, _ := f.eng.Tick(); n != 1 {
+		t.Fatal("city→region did not fire")
+	}
+	if st, _ := f.stateOf(t, tid); st != 2 {
+		t.Fatalf("state=%d want 2", st)
+	}
+	// Check the stored value renders as the region.
+	tup, _ := f.ts.Get(tid)
+	r, err := f.loc.Render(tup.Row[1], 2)
+	if err != nil || r.Text() != "Ile-de-France" {
+		t.Fatalf("render: %v %v", r, err)
+	}
+	// +1 day: region → country.
+	f.clock.Advance(24 * time.Hour)
+	if n, _ := f.eng.Tick(); n != 1 {
+		t.Fatal("region→country did not fire")
+	}
+	// +1 month: terminal — attribute erased and tuple deleted.
+	f.clock.Advance(30 * 24 * time.Hour)
+	if n, _ := f.eng.Tick(); n < 1 {
+		t.Fatal("terminal transitions did not fire")
+	}
+	if _, ok := f.stateOf(t, tid); ok {
+		t.Fatal("tuple survived its Figure 2 horizon")
+	}
+	st := f.eng.Stats()
+	// 3 degradations + the terminal erase at the horizon, then deletion.
+	if st.Transitions != 4 || st.Deletions != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.Pending != 0 {
+		t.Fatalf("pending=%d want 0", st.Pending)
+	}
+}
+
+func TestNoEarlyFiring(t *testing.T) {
+	f := newFixture(t, Options{}, func(loc *gentree.Tree) *lcp.Policy {
+		return lcp.NewBuilder("slow", loc).
+			Hold(0, time.Hour).Hold(1, time.Hour).ThenSuppress().MustBuild()
+	})
+	tid := f.insert(t, 1, "Dam 1")
+	if n, _ := f.eng.Tick(); n != 0 {
+		t.Fatal("transition fired before deadline")
+	}
+	f.clock.Advance(59 * time.Minute)
+	if n, _ := f.eng.Tick(); n != 0 {
+		t.Fatal("transition fired 1 minute early")
+	}
+	f.clock.Advance(time.Minute)
+	if n, _ := f.eng.Tick(); n != 1 {
+		t.Fatal("transition missed its deadline")
+	}
+	if st, _ := f.stateOf(t, tid); st != 1 {
+		t.Fatalf("state=%d", st)
+	}
+	// Suppression leaves the tuple, erases the attribute.
+	f.clock.Advance(time.Hour)
+	if n, _ := f.eng.Tick(); n != 1 {
+		t.Fatal("suppression missed")
+	}
+	tup, err := f.ts.Get(tid)
+	if err != nil {
+		t.Fatal("suppress must keep the tuple")
+	}
+	if tup.States[0] != storage.StateErased || !tup.Row[1].IsNull() {
+		t.Fatalf("attr not erased: %+v", tup)
+	}
+}
+
+func TestBatchingAndFIFO(t *testing.T) {
+	f := newFixture(t, Options{BatchSize: 10}, func(loc *gentree.Tree) *lcp.Policy {
+		return lcp.NewBuilder("p", loc).Hold(0, time.Hour).Hold(3, time.Hour).ThenRemain().MustBuild()
+	})
+	for i := 0; i < 35; i++ {
+		f.insert(t, int64(i), "Dam 1")
+		f.clock.Advance(time.Second)
+	}
+	f.clock.Advance(time.Hour)
+	n, err := f.eng.Tick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tick loops batches until drained: all 35 fire.
+	if n != 35 {
+		t.Fatalf("tick degraded %d want 35", n)
+	}
+	st := f.eng.Stats()
+	if st.Batches < 4 {
+		t.Fatalf("batches=%d want >=4 given batch size 10", st.Batches)
+	}
+	// Remain policy: no further transitions ever.
+	f.clock.Advance(1000 * time.Hour)
+	if n, _ := f.eng.Tick(); n != 0 {
+		t.Fatal("Remain policy fired a terminal transition")
+	}
+	if got := f.ts.Count(); got != 35 {
+		t.Fatalf("tuples=%d", got)
+	}
+}
+
+func TestLagMetrics(t *testing.T) {
+	f := newFixture(t, Options{}, func(loc *gentree.Tree) *lcp.Policy {
+		return lcp.NewBuilder("p", loc).Hold(0, time.Hour).Hold(1, time.Hour).ThenSuppress().MustBuild()
+	})
+	f.insert(t, 1, "Dam 1")
+	// Tick 30 minutes late.
+	f.clock.Advance(90 * time.Minute)
+	f.eng.Tick()
+	st := f.eng.Stats()
+	if st.MaxLag < 30*time.Minute || st.MaxLag > 31*time.Minute {
+		t.Fatalf("MaxLag=%v want ~30m", st.MaxLag)
+	}
+}
+
+func TestLockedRowSkippedThenRetried(t *testing.T) {
+	f := newFixture(t, Options{RecheckInterval: time.Millisecond}, func(loc *gentree.Tree) *lcp.Policy {
+		return lcp.NewBuilder("p", loc).Hold(0, time.Hour).Hold(1, 1000*time.Hour).ThenSuppress().MustBuild()
+	})
+	tid := f.insert(t, 1, "Dam 1")
+	// A reader holds a row S lock.
+	reader := txn.ID(99999)
+	if err := f.locks.Acquire(reader, txn.RowRes(f.tbl.ID, tid), txn.LockS); err != nil {
+		t.Fatal(err)
+	}
+	f.clock.Advance(2 * time.Hour)
+	if n, _ := f.eng.Tick(); n != 0 {
+		t.Fatal("degraded a locked row")
+	}
+	st := f.eng.Stats()
+	if st.LockSkips == 0 {
+		t.Fatal("lock skip not counted")
+	}
+	if st.Pending != 1 {
+		t.Fatalf("pending=%d want 1", st.Pending)
+	}
+	// Reader commits; next tick succeeds.
+	f.locks.ReleaseAll(reader)
+	f.clock.Advance(time.Second)
+	if n, _ := f.eng.Tick(); n != 1 {
+		t.Fatal("retry did not degrade")
+	}
+	if got, _ := f.stateOf(t, tid); got != 1 {
+		t.Fatalf("state=%d", got)
+	}
+}
+
+func TestEventTrigger(t *testing.T) {
+	f := newFixture(t, Options{}, func(loc *gentree.Tree) *lcp.Policy {
+		return lcp.NewBuilder("p", loc).
+			HoldUntilEvent(0, 100*time.Hour, "consent-withdrawn").
+			Hold(1, time.Hour).ThenSuppress().MustBuild()
+	})
+	tid := f.insert(t, 1, "Dam 1")
+	// Long before the time deadline, nothing fires.
+	f.clock.Advance(time.Hour)
+	if n, _ := f.eng.Tick(); n != 0 {
+		t.Fatal("event state fired early")
+	}
+	// The event makes it due immediately.
+	f.eng.FireEvent("consent-withdrawn")
+	if n, _ := f.eng.Tick(); n != 1 {
+		t.Fatal("event did not trigger transition")
+	}
+	if st, _ := f.stateOf(t, tid); st != 1 {
+		t.Fatalf("state=%d", st)
+	}
+	// Unknown events are ignored.
+	f.eng.FireEvent("nothing-waits-on-this")
+	if n, _ := f.eng.Tick(); n != 0 {
+		t.Fatal("spurious transition")
+	}
+}
+
+func TestEventDeadlineStillApplies(t *testing.T) {
+	// Event states also expire at their retention deadline without the
+	// event.
+	f := newFixture(t, Options{}, func(loc *gentree.Tree) *lcp.Policy {
+		return lcp.NewBuilder("p", loc).
+			HoldUntilEvent(0, time.Hour, "ev").
+			Hold(1, time.Hour).ThenSuppress().MustBuild()
+	})
+	tid := f.insert(t, 1, "Dam 1")
+	f.clock.Advance(time.Hour)
+	if n, _ := f.eng.Tick(); n != 1 {
+		t.Fatal("time deadline ignored for event state")
+	}
+	if st, _ := f.stateOf(t, tid); st != 1 {
+		t.Fatalf("state=%d", st)
+	}
+}
+
+func TestPredicateGate(t *testing.T) {
+	f := newFixture(t, Options{RecheckInterval: time.Minute}, func(loc *gentree.Tree) *lcp.Policy {
+		return lcp.NewBuilder("p", loc).
+			HoldIf(0, time.Hour, "case-closed").
+			Hold(1, 1000*time.Hour).ThenSuppress().MustBuild()
+	})
+	closed := false
+	f.eng.RegisterPredicate("case-closed", func(storage.Tuple) bool { return closed })
+	tid := f.insert(t, 1, "Dam 1")
+	f.clock.Advance(2 * time.Hour)
+	if n, _ := f.eng.Tick(); n != 0 {
+		t.Fatal("gated transition fired")
+	}
+	if f.eng.Stats().PredicateHold == 0 {
+		t.Fatal("predicate hold not counted")
+	}
+	// Once the predicate holds, the retry fires.
+	closed = true
+	f.clock.Advance(time.Minute)
+	if n, _ := f.eng.Tick(); n != 1 {
+		t.Fatal("gated transition never fired")
+	}
+	if st, _ := f.stateOf(t, tid); st != 1 {
+		t.Fatalf("state=%d", st)
+	}
+}
+
+func TestReseedRebuildsQueues(t *testing.T) {
+	f := newFixture(t, Options{}, figure2Policy)
+	tid := f.insert(t, 1, "Dam 1")
+	f.eng.Tick() // 0-minute state expires: now at city (state 1)
+	f.clock.Advance(30 * time.Minute)
+
+	// A fresh engine reseeded from storage must pick up where the old
+	// one left off.
+	ids := &txn.IDSource{}
+	eng2 := New(f.clock, f.cat, f.mgr, f.locks, ids, applier(f.cat, f.mgr), nil, Options{})
+	if err := eng2.Reseed(); err != nil {
+		t.Fatal(err)
+	}
+	if eng2.Stats().Pending == 0 {
+		t.Fatal("reseed found nothing")
+	}
+	// 30 more minutes: the 1-hour city deadline passes.
+	f.clock.Advance(30 * time.Minute)
+	if n, _ := eng2.Tick(); n != 1 {
+		t.Fatal("reseeded engine missed the deadline")
+	}
+	if st, _ := f.stateOf(t, tid); st != 2 {
+		t.Fatalf("state=%d want 2", st)
+	}
+	// Full horizon: deletion also rescheduled.
+	f.clock.Advance(40 * 24 * time.Hour)
+	eng2.Tick()
+	if _, ok := f.stateOf(t, tid); ok {
+		t.Fatal("reseeded engine lost the deletion deadline")
+	}
+}
+
+func TestNextDeadline(t *testing.T) {
+	f := newFixture(t, Options{}, func(loc *gentree.Tree) *lcp.Policy {
+		return lcp.NewBuilder("p", loc).Hold(0, time.Hour).Hold(1, time.Hour).ThenSuppress().MustBuild()
+	})
+	if _, ok := f.eng.NextDeadline(); ok {
+		t.Fatal("empty engine has no deadline")
+	}
+	f.insert(t, 1, "Dam 1")
+	d, ok := f.eng.NextDeadline()
+	if !ok || !d.Equal(vclock.Epoch.Add(time.Hour)) {
+		t.Fatalf("NextDeadline=(%v,%v)", d, ok)
+	}
+	// Drive the simulation by deadlines only.
+	steps := 0
+	for {
+		d, ok := f.eng.NextDeadline()
+		if !ok {
+			break
+		}
+		f.clock.AdvanceTo(d)
+		if _, err := f.eng.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		steps++
+		if steps > 10 {
+			t.Fatal("simulation did not terminate")
+		}
+	}
+	if f.eng.Stats().Transitions != 2 {
+		t.Fatalf("transitions=%d", f.eng.Stats().Transitions)
+	}
+}
+
+func TestRunBackgroundLoop(t *testing.T) {
+	f := newFixture(t, Options{}, func(loc *gentree.Tree) *lcp.Policy {
+		return lcp.NewBuilder("p", loc).Hold(0, 0).Hold(1, time.Hour).ThenSuppress().MustBuild()
+	})
+	tid := f.insert(t, 1, "Dam 1")
+	f.eng.Run(5 * time.Millisecond)
+	defer f.eng.Stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if st, _ := f.stateOf(t, tid); st == 1 {
+			f.eng.Stop()
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("background loop never degraded the 0-retention state")
+}
+
+func TestStaleTasksSkipped(t *testing.T) {
+	// A tuple deleted by the user before its transition fires must be
+	// skipped silently.
+	f := newFixture(t, Options{}, func(loc *gentree.Tree) *lcp.Policy {
+		return lcp.NewBuilder("p", loc).Hold(0, time.Hour).Hold(1, time.Hour).ThenSuppress().MustBuild()
+	})
+	tid := f.insert(t, 1, "Dam 1")
+	if err := f.ts.Delete(tid); err != nil {
+		t.Fatal(err)
+	}
+	f.clock.Advance(2 * time.Hour)
+	if n, err := f.eng.Tick(); err != nil || n != 0 {
+		t.Fatalf("deleted tuple degraded: n=%d err=%v", n, err)
+	}
+}

@@ -1,0 +1,396 @@
+// Package engine assembles InstantDB: catalog, storage, WAL, indexes,
+// lock manager, degradation engine and SQL execution behind one DB type.
+// The public package instantdb at the module root re-exports this API.
+//
+// Durability design: the WAL is redo-only and the storage layer is
+// logically no-steal — a transaction's writes live in its write set until
+// commit, when they are appended to the WAL (fsync) and then applied to
+// storage and indexes under the commit mutex. Recovery rebuilds storage
+// directories from raw pages, replays the whole log idempotently, then
+// rebuilds indexes and reseeds the degradation queues. A crash therefore
+// never resurrects an accuracy state whose degradation committed: the
+// degrade record replays and re-scrubs before the database accepts
+// queries.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"instantdb/internal/catalog"
+	"instantdb/internal/degrade"
+	"instantdb/internal/gentree"
+	"instantdb/internal/lcp"
+	"instantdb/internal/query"
+	"instantdb/internal/storage"
+	"instantdb/internal/txn"
+	"instantdb/internal/value"
+	"instantdb/internal/vclock"
+	"instantdb/internal/wal"
+)
+
+// LogMode selects the log-degradation strategy (experiment B-LOG).
+type LogMode uint8
+
+const (
+	// LogNone disables the WAL: ephemeral databases (tests, benchmarks,
+	// simulations) with no durability.
+	LogNone LogMode = iota
+	// LogPlain writes payloads verbatim — durable but the log leaks
+	// expired accuracy states until a checkpoint truncates it.
+	LogPlain
+	// LogShred encrypts degradable payloads under epoch keys destroyed
+	// as deadlines pass (the default durable mode).
+	LogShred
+	// LogVacuum keeps payloads plain but periodically rewrites sealed
+	// segments, NULLing payloads that outlived their accuracy state.
+	LogVacuum
+)
+
+// Config tunes Open.
+type Config struct {
+	// Dir is the database directory; empty means an ephemeral in-memory
+	// database (implies LogNone).
+	Dir string
+	// Clock drives degradation deadlines (default: wall clock).
+	Clock vclock.Clock
+	// LogMode selects the log degradation strategy (default LogShred
+	// for durable databases).
+	LogMode LogMode
+	// ShredBucket is the epoch-key bucket width (default 1h). It bounds
+	// the lag between a deadline and log erasure in LogShred mode.
+	ShredBucket time.Duration
+	// VacuumEvery triggers a segment vacuum at most once per interval in
+	// LogVacuum mode (default 1h).
+	VacuumEvery time.Duration
+	// WALSync fsyncs every commit (default true for durable databases).
+	WALSync *bool
+	// SegmentBytes is the WAL rotation threshold.
+	SegmentBytes int64
+	// LockTimeout bounds lock waits (default 200ms).
+	LockTimeout time.Duration
+	// Degrade tunes the degradation engine.
+	Degrade degrade.Options
+	// CheckpointEvery checkpoints after this many commits (0 = manual).
+	CheckpointEvery int
+	// AutoDegrade starts a background degradation loop with this tick
+	// interval (0 = call Tick/DegradeNow manually — simulations).
+	AutoDegrade time.Duration
+}
+
+// DB is an open InstantDB database.
+type DB struct {
+	cfg   Config
+	cat   *catalog.Catalog
+	mgr   *storage.Manager
+	log   *wal.Log
+	keys  *wal.KeyStore
+	locks *txn.LockManager
+	ids   *txn.IDSource
+	deg   *degrade.Engine
+	clock vclock.Clock
+
+	mu        sync.Mutex // serializes commits, DDL and checkpoints
+	indexes   map[string]*indexInst
+	byTable   map[uint32][]*indexInst
+	commits   int
+	ddlFile   *os.File
+	lastVac   time.Time
+	closed    bool
+	replaying bool
+}
+
+// Open opens (or creates) a database.
+func Open(cfg Config) (*DB, error) {
+	if cfg.Clock == nil {
+		cfg.Clock = vclock.Wall{}
+	}
+	if cfg.ShredBucket <= 0 {
+		cfg.ShredBucket = time.Hour
+	}
+	if cfg.VacuumEvery <= 0 {
+		cfg.VacuumEvery = time.Hour
+	}
+	db := &DB{
+		cfg:     cfg,
+		cat:     catalog.New(),
+		locks:   txn.NewLockManager(cfg.LockTimeout),
+		ids:     &txn.IDSource{},
+		clock:   cfg.Clock,
+		indexes: make(map[string]*indexInst),
+		byTable: make(map[uint32][]*indexInst),
+	}
+
+	ephemeral := cfg.Dir == ""
+	if ephemeral {
+		db.mgr = storage.NewManager(storage.NewMemStore())
+		db.cfg.LogMode = LogNone
+	} else {
+		if err := os.MkdirAll(cfg.Dir, 0o700); err != nil {
+			return nil, fmt.Errorf("engine: mkdir: %w", err)
+		}
+		fs, err := storage.OpenFileStore(filepath.Join(cfg.Dir, "pages.db"))
+		if err != nil {
+			return nil, err
+		}
+		db.mgr = storage.NewManager(fs)
+		if db.cfg.LogMode == LogNone {
+			db.cfg.LogMode = LogShred
+		}
+	}
+
+	// Log + codec.
+	if db.cfg.LogMode != LogNone {
+		var codec wal.Codec = wal.PlainCodec{}
+		if db.cfg.LogMode == LogShred {
+			ks, err := wal.OpenKeyStore(filepath.Join(cfg.Dir, "keys.db"))
+			if err != nil {
+				return nil, err
+			}
+			db.keys = ks
+			codec = wal.NewShredCodec(ks, db.cfg.ShredBucket)
+		}
+		sync := true
+		if cfg.WALSync != nil {
+			sync = *cfg.WALSync
+		}
+		l, err := wal.Open(filepath.Join(cfg.Dir, "wal"), wal.Options{
+			Sync: sync, Codec: codec, SegmentBytes: cfg.SegmentBytes,
+		})
+		if err != nil {
+			return nil, err
+		}
+		db.log = l
+	}
+
+	// Degradation engine with the matching scrubber.
+	var scrub degrade.Scrubber = degrade.NopScrubber{}
+	switch db.cfg.LogMode {
+	case LogShred:
+		scrub = &shredScrubber{db: db}
+	case LogVacuum:
+		scrub = &vacuumScrubber{db: db}
+	}
+	db.deg = degrade.New(db.clock, db.cat, db.mgr, db.locks, db.ids, db.commitSystem, scrub, cfg.Degrade)
+
+	if !ephemeral {
+		if err := db.recover(); err != nil {
+			db.Close()
+			return nil, err
+		}
+	}
+	if cfg.AutoDegrade > 0 {
+		db.deg.Run(cfg.AutoDegrade)
+	}
+	return db, nil
+}
+
+// recover replays the catalog DDL, rebuilds storage, replays the WAL,
+// rebuilds indexes and reseeds degradation queues.
+func (db *DB) recover() error {
+	// 1. Catalog: replay persisted DDL.
+	ddlPath := filepath.Join(db.cfg.Dir, "catalog.sql")
+	if data, err := os.ReadFile(ddlPath); err == nil && len(data) > 0 {
+		stmts, err := query.ParseScript(string(data))
+		if err != nil {
+			return fmt.Errorf("engine: corrupt catalog.sql: %w", err)
+		}
+		db.replaying = true
+		for _, st := range stmts {
+			if err := db.execDDL(st, ""); err != nil {
+				db.replaying = false
+				return fmt.Errorf("engine: catalog replay: %w", err)
+			}
+		}
+		db.replaying = false
+	}
+	f, err := os.OpenFile(ddlPath, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o600)
+	if err != nil {
+		return err
+	}
+	db.ddlFile = f
+
+	// 2. Storage directories from raw pages.
+	if err := db.mgr.Rebuild(db.cat); err != nil {
+		return err
+	}
+	// 3. Redo the log (idempotent; complete batches only).
+	if db.log != nil {
+		err := db.log.Replay(func(r *wal.Record) error {
+			return db.applyRecord(r, false)
+		})
+		if err != nil {
+			return fmt.Errorf("engine: wal replay: %w", err)
+		}
+	}
+	// 4. Derived state.
+	if err := db.rebuildIndexes(); err != nil {
+		return err
+	}
+	return db.deg.Reseed()
+}
+
+// Catalog exposes the schema registry (tools, experiments).
+func (db *DB) Catalog() *catalog.Catalog { return db.cat }
+
+// Clock returns the database clock.
+func (db *DB) Clock() vclock.Clock { return db.clock }
+
+// Degrader exposes the degradation engine (simulation harnesses call
+// Tick; applications use FireEvent/RegisterPredicate).
+func (db *DB) Degrader() *degrade.Engine { return db.deg }
+
+// StorageManager exposes the storage layer (forensic scans, stats).
+func (db *DB) StorageManager() *storage.Manager { return db.mgr }
+
+// Log exposes the WAL (nil for ephemeral databases).
+func (db *DB) Log() *wal.Log { return db.log }
+
+// KeyStore exposes the epoch-key store (nil unless LogShred).
+func (db *DB) KeyStore() *wal.KeyStore { return db.keys }
+
+// commitSystem is the degrade.Committer: durable append then apply.
+func (db *DB) commitSystem(recs []*wal.Record) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.commitLocked(recs)
+}
+
+func (db *DB) commitLocked(recs []*wal.Record) error {
+	if db.closed {
+		return errors.New("engine: database closed")
+	}
+	if db.log != nil {
+		if err := db.log.Append(recs); err != nil {
+			return err
+		}
+	}
+	for _, r := range recs {
+		if err := db.applyRecord(r, true); err != nil {
+			// Apply failures after a durable append are unrecoverable
+			// inconsistencies; surface loudly.
+			return fmt.Errorf("engine: apply after append: %w", err)
+		}
+	}
+	db.commits++
+	if db.cfg.CheckpointEvery > 0 && db.commits%db.cfg.CheckpointEvery == 0 {
+		return db.checkpointLocked()
+	}
+	return nil
+}
+
+// Checkpoint makes the page store durable and truncates (scrubs) the log.
+func (db *DB) Checkpoint() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.checkpointLocked()
+}
+
+func (db *DB) checkpointLocked() error {
+	if err := db.mgr.Sync(); err != nil {
+		return err
+	}
+	if db.log != nil {
+		return db.log.Reset()
+	}
+	return nil
+}
+
+// DegradeNow runs one degradation tick synchronously and returns the
+// number of transitions executed.
+func (db *DB) DegradeNow() (int, error) { return db.deg.Tick() }
+
+// FireEvent raises an application event for event-triggered LCP states.
+func (db *DB) FireEvent(name string) { db.deg.FireEvent(name) }
+
+// RegisterPredicate binds a named predicate for predicate-gated LCP
+// states. Predicates are process-local; re-register after reopening.
+func (db *DB) RegisterPredicate(name string, p degrade.Predicate) {
+	db.deg.RegisterPredicate(name, p)
+}
+
+// Close stops background work and closes every file.
+func (db *DB) Close() error {
+	db.deg.Stop()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	db.closed = true
+	var first error
+	keep := func(err error) {
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	if db.log != nil {
+		keep(db.log.Close())
+	}
+	if db.keys != nil {
+		keep(db.keys.Close())
+	}
+	if db.ddlFile != nil {
+		keep(db.ddlFile.Close())
+	}
+	keep(db.mgr.Store().Close())
+	return first
+}
+
+// RegisterDomain registers a programmatically built generalization
+// domain, persisting its generated DDL so it survives reopen.
+func (db *DB) RegisterDomain(d gentree.Domain) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.cat.AddDomain(d); err != nil {
+		return err
+	}
+	return db.persistDDL(DomainDDL(d))
+}
+
+// RegisterPolicy registers a programmatically built policy, persisting
+// its generated DDL.
+func (db *DB) RegisterPolicy(p *lcp.Policy) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.cat.AddPolicy(p); err != nil {
+		return err
+	}
+	return db.persistDDL(PolicyDDL(p))
+}
+
+// persistDDL appends one DDL statement to catalog.sql.
+func (db *DB) persistDDL(stmt string) error {
+	if db.ddlFile == nil || db.replaying {
+		return nil
+	}
+	if _, err := db.ddlFile.WriteString(stmt + ";\n"); err != nil {
+		return err
+	}
+	return db.ddlFile.Sync()
+}
+
+// visibleLevel returns the stored level of a tuple's degradable column:
+// the policy level of its current state, or -1 when erased.
+func visibleLevel(tbl *catalog.Table, t *storage.Tuple, pos int) int {
+	st := t.States[pos]
+	if st == storage.StateErased {
+		return -1
+	}
+	col := tbl.DegradableColumns()[pos]
+	return tbl.Columns[col].Policy.LevelOf(int(st))
+}
+
+// renderAt degrades-and-renders a stored degradable value from its
+// current level to the demanded level (fk from the paper).
+func renderAt(dom gentree.Domain, stored value.Value, fromLevel, toLevel int) (value.Value, error) {
+	d, err := dom.Degrade(stored, fromLevel, toLevel)
+	if err != nil {
+		return value.Null(), err
+	}
+	return dom.Render(d, toLevel)
+}

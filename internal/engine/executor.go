@@ -1,0 +1,820 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"instantdb/internal/catalog"
+	"instantdb/internal/gentree"
+	"instantdb/internal/index"
+	"instantdb/internal/query"
+	"instantdb/internal/storage"
+	"instantdb/internal/txn"
+	"instantdb/internal/value"
+)
+
+// This file implements the paper's query semantics. A query runs under a
+// purpose that fixes a demanded accuracy level k per degradable column.
+// The select operator σP,k considers only tuples whose state can still
+// compute level k (current level j <= k, not erased), degrades them on
+// the fly with fk (Domain.Degrade + Render) and evaluates P on the
+// result; the projection π*,k renders every projected degradable column
+// at its purpose level. The coarse session flag enables the paper's §IV
+// alternative: tuples past the demanded level qualify and are evaluated
+// and projected at their actual (coarser) level.
+
+// selectPlan carries the resolved context of one SELECT/UPDATE/DELETE.
+type selectPlan struct {
+	tbl *catalog.Table
+	// levels[pos] is the demanded accuracy level per degradable column
+	// position; -1 when the column is not referenced by the statement.
+	levels []int
+}
+
+// resolveLevels computes the demanded accuracy per referenced degradable
+// column under the purpose.
+func resolveLevels(tbl *catalog.Table, purpose *catalog.Purpose, referenced map[string]bool) ([]int, error) {
+	levels := make([]int, len(tbl.DegradableColumns()))
+	for pos, ci := range tbl.DegradableColumns() {
+		col := tbl.Columns[ci]
+		if !referenced[col.Name] {
+			levels[pos] = -1
+			continue
+		}
+		lvl, ok := purpose.LevelFor(tbl.Name, col.Name)
+		if !ok {
+			return nil, fmt.Errorf("%w: %s.%s under purpose %s",
+				ErrPurposeDenied, tbl.Name, col.Name, purpose.Name)
+		}
+		levels[pos] = lvl
+	}
+	return levels, nil
+}
+
+// referencedColumns collects every column name a SELECT touches.
+func referencedColumns(tbl *catalog.Table, s *query.Select) map[string]bool {
+	out := make(map[string]bool)
+	star := false
+	for _, it := range s.Items {
+		switch {
+		case it.Star:
+			star = true
+		case it.Col != nil:
+			out[it.Col.Column] = true
+		}
+	}
+	if s.Where != nil {
+		query.ColumnsOf(s.Where, out)
+	}
+	for _, g := range s.GroupBy {
+		out[g.Column] = true
+	}
+	// ORDER BY may name an output alias instead of a table column.
+	aliases := make(map[string]bool)
+	for _, it := range s.Items {
+		if it.Alias != "" {
+			aliases[strings.ToLower(it.Alias)] = true
+		}
+	}
+	for _, o := range s.Order {
+		if !aliases[o.Col.Column] {
+			out[o.Col.Column] = true
+		}
+	}
+	if star {
+		for _, c := range tbl.Columns {
+			out[c.Name] = true
+		}
+	}
+	return out
+}
+
+// renderTuple builds the purpose-level view of a tuple: stable columns
+// verbatim, referenced degradable columns degraded to their demanded
+// level (or their actual coarser level under coarse semantics),
+// unreferenced or erased degradable columns as NULL. ok=false when the
+// tuple does not qualify under σP,k.
+func (c *Conn) renderTuple(tbl *catalog.Table, levels []int, t *storage.Tuple) (row []value.Value, ok bool, err error) {
+	row = make([]value.Value, len(tbl.Columns))
+	copy(row, t.Row)
+	for pos, ci := range tbl.DegradableColumns() {
+		k := levels[pos]
+		if k == -1 {
+			row[ci] = value.Null()
+			continue
+		}
+		j := visibleLevel(tbl, t, pos)
+		if j == -1 {
+			// Erased: the state is not computable at any accuracy.
+			return nil, false, nil
+		}
+		eff := k
+		if j > k {
+			if !c.coarse {
+				return nil, false, nil // state k not computable (paper core semantics)
+			}
+			eff = j // best-effort: coarser actual level
+		}
+		col := tbl.Columns[ci]
+		v, err := renderAt(col.Domain, t.Row[ci], j, eff)
+		if err != nil {
+			return nil, false, fmt.Errorf("engine: render %s.%s: %w", tbl.Name, col.Name, err)
+		}
+		row[ci] = v
+	}
+	return row, true, nil
+}
+
+// collectMatching returns the tuples qualifying under the purpose and
+// predicate, each locked with lockMode on behalf of the open
+// transaction. It consults indexes for candidate pruning and merges the
+// transaction overlay.
+func (c *Conn) collectMatching(tbl *catalog.Table, where query.Expr, purpose *catalog.Purpose, lockMode txn.LockMode) ([]storage.Tuple, error) {
+	referenced := make(map[string]bool)
+	if where != nil {
+		query.ColumnsOf(where, referenced)
+	}
+	// Writes must qualify tuples like reads do; unreferenced degradable
+	// columns do not constrain qualification.
+	levels, err := resolveLevels(tbl, purpose, referenced)
+	if err != nil {
+		return nil, err
+	}
+	rows, _, err := c.qualify(tbl, where, levels, nil, lockMode)
+	return rows, err
+}
+
+// qualify is the shared σP,k pipeline: candidate generation (index or
+// scan), overlay merge, state qualification, fk rendering, predicate
+// check, then lock-and-recheck. The engine is strictly no-steal, so
+// storage only ever holds committed data and candidate gathering needs
+// no locks; matched rows are then locked (S for reads, X for writes) and
+// re-verified, which pins them against the degrader for the rest of the
+// transaction. Rows that fail re-verification release their lock — they
+// were never used.
+func (c *Conn) qualify(tbl *catalog.Table, where query.Expr, levels []int,
+	_ map[string]bool, lockMode txn.LockMode) ([]storage.Tuple, [][]value.Value, error) {
+
+	ts := c.db.mgr.Table(tbl)
+	lockID := c.tx.id
+	if err := c.db.locks.Acquire(lockID, txn.TableRes(tbl.ID), intentionFor(lockMode)); err != nil {
+		return nil, nil, err
+	}
+
+	candidates, indexed, err := c.planCandidates(tbl, where, levels)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var ov *tableOverlay
+	if o, ok := c.tx.overlays[tbl.ID]; ok {
+		ov = o
+	}
+
+	// Provisional tuples, unlocked.
+	var raw []storage.Tuple
+	if indexed {
+		seen := make(map[storage.TupleID]bool, len(candidates))
+		for _, tid := range candidates {
+			if seen[tid] || (ov != nil && ov.deleted[tid]) {
+				continue
+			}
+			seen[tid] = true
+			if ov != nil {
+				if t, ok := ov.tuples[tid]; ok {
+					raw = append(raw, *t)
+					continue
+				}
+			}
+			t, err := ts.Get(tid)
+			if err != nil {
+				continue // degraded or deleted between index read and fetch
+			}
+			raw = append(raw, t)
+		}
+	} else {
+		err := ts.Scan(func(t storage.Tuple) bool {
+			if ov != nil && ov.deleted[t.ID] {
+				return true
+			}
+			if ov != nil {
+				if newer, ok := ov.tuples[t.ID]; ok {
+					raw = append(raw, *newer)
+					return true
+				}
+			}
+			raw = append(raw, t)
+			return true
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	// Overlay-only tuples (inserted by this transaction).
+	if ov != nil {
+		have := make(map[storage.TupleID]bool, len(raw))
+		for i := range raw {
+			have[raw[i].ID] = true
+		}
+		ids := make([]storage.TupleID, 0, len(ov.tuples))
+		for tid := range ov.tuples {
+			ids = append(ids, tid)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, tid := range ids {
+			if !have[tid] {
+				raw = append(raw, *ov.tuples[tid])
+			}
+		}
+	}
+
+	evalOne := func(t *storage.Tuple) ([]value.Value, bool, error) {
+		view, ok, err := c.renderTuple(tbl, levels, t)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		if where != nil {
+			match, err := query.EvalPredicate(where, columnGetter(tbl, view))
+			if err != nil || !match {
+				return nil, false, err
+			}
+		}
+		return view, true, nil
+	}
+
+	var matched []storage.Tuple
+	var views [][]value.Value
+	for i := range raw {
+		t := &raw[i]
+		view, ok, err := evalOne(t)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !ok {
+			continue
+		}
+		own := ov != nil && ov.tuples[t.ID] != nil
+		if !own {
+			// Lock, refetch, re-verify: the tuple may have degraded
+			// between the unlocked read and the lock grant.
+			res := txn.RowRes(tbl.ID, t.ID)
+			if err := c.db.locks.Acquire(lockID, res, lockMode); err != nil {
+				return nil, nil, err
+			}
+			fresh, err := ts.Get(t.ID)
+			if err != nil {
+				c.db.locks.Release(lockID, res)
+				continue
+			}
+			view, ok, err = evalOne(&fresh)
+			if err != nil {
+				return nil, nil, err
+			}
+			if !ok {
+				c.db.locks.Release(lockID, res)
+				continue
+			}
+			*t = fresh
+		}
+		matched = append(matched, *t)
+		views = append(views, view)
+	}
+	return matched, views, nil
+}
+
+func intentionFor(m txn.LockMode) txn.LockMode {
+	if m == txn.LockX {
+		return txn.LockIX
+	}
+	return txn.LockIS
+}
+
+func columnGetter(tbl *catalog.Table, view []value.Value) query.ColGetter {
+	return func(ref *query.ColumnRef) (value.Value, error) {
+		ci, err := tbl.ColumnIndex(ref.Column)
+		if err != nil {
+			return value.Null(), err
+		}
+		return view[ci], nil
+	}
+}
+
+// planCandidates inspects the WHERE conjuncts for one index-servable
+// predicate and returns candidate tuple ids. indexed=false means no
+// index applies (full scan).
+func (c *Conn) planCandidates(tbl *catalog.Table, where query.Expr, levels []int) ([]storage.TupleID, bool, error) {
+	if where == nil {
+		return nil, false, nil
+	}
+	for _, conj := range query.Conjuncts(where) {
+		sarg, ok := query.AsSargable(conj)
+		if !ok {
+			continue
+		}
+		ci, err := tbl.ColumnIndex(sarg.Col.Column)
+		if err != nil {
+			continue
+		}
+		for _, inst := range c.db.byTable[tbl.ID] {
+			if inst.col != ci {
+				continue
+			}
+			tids, served, err := c.serveFromIndex(inst, sarg, levels)
+			if err != nil {
+				return nil, false, err
+			}
+			if served {
+				return tids, true, nil
+			}
+		}
+	}
+	return nil, false, nil
+}
+
+// serveFromIndex asks one index instance to produce candidates for a
+// sargable predicate. served=false when this index cannot answer it.
+func (c *Conn) serveFromIndex(inst *indexInst, s query.Sargable, levels []int) ([]storage.TupleID, bool, error) {
+	if inst.deg == -1 {
+		return serveStable(inst, s)
+	}
+	k := levels[inst.deg]
+	if k < 0 {
+		return nil, false, nil
+	}
+	if inst.tree != nil {
+		return serveTree(inst, s, k)
+	}
+	return serveScalar(inst, s, k)
+}
+
+// serveStable answers predicates on stable BTree-indexed columns.
+func serveStable(inst *indexInst, s query.Sargable) ([]storage.TupleID, bool, error) {
+	if inst.bt == nil {
+		return nil, false, nil
+	}
+	var out []storage.TupleID
+	collect := func(_ []byte, tids []storage.TupleID) bool {
+		out = append(out, tids...)
+		return true
+	}
+	exact := func(v value.Value) {
+		inst.bt.Exact(value.AppendOrderedKey(nil, v), func(tids []storage.TupleID) {
+			out = append(out, tids...)
+		})
+	}
+	switch s.Op {
+	case "=":
+		exact(s.Vals[0])
+	case "IN":
+		for _, v := range s.Vals {
+			exact(v)
+		}
+	case "<":
+		inst.bt.Range(nil, value.AppendOrderedKey(nil, s.Vals[0]), collect)
+	case "<=":
+		inst.bt.Range(nil, append(value.AppendOrderedKey(nil, s.Vals[0]), 0), collect)
+	case ">":
+		inst.bt.Range(append(value.AppendOrderedKey(nil, s.Vals[0]), 0), nil, collect)
+	case ">=":
+		inst.bt.Range(value.AppendOrderedKey(nil, s.Vals[0]), nil, collect)
+	case "BETWEEN":
+		inst.bt.Range(value.AppendOrderedKey(nil, s.Vals[0]),
+			append(value.AppendOrderedKey(nil, s.Vals[1]), 0), collect)
+	default:
+		return nil, false, nil
+	}
+	return out, true, nil
+}
+
+// serveTree answers equality/IN on tree-domain columns at accuracy k:
+// the predicate constant locates GT nodes at level k and the qualifying
+// set is each node's subtree (tuples at level k or any finer level).
+func serveTree(inst *indexInst, s query.Sargable, k int) ([]storage.TupleID, bool, error) {
+	if s.Op != "=" && s.Op != "IN" {
+		return nil, false, nil // tree domains have no order
+	}
+	var out []storage.TupleID
+	for _, v := range s.Vals {
+		storeds, err := inst.dom.Locate(v, k)
+		if err != nil {
+			if errors.Is(err, gentree.ErrUnknownValue) {
+				continue // constant outside the domain: no matches
+			}
+			return nil, false, err
+		}
+		for _, sv := range storeds {
+			node, ok := gentree.StoredToNode(sv)
+			if !ok {
+				continue
+			}
+			switch {
+			case inst.gt != nil:
+				out = inst.gt.CollectSubtree(node, out)
+			case inst.bm != nil:
+				inst.bm.QuerySubtree(node).ForEach(func(tid storage.TupleID) bool {
+					out = append(out, tid)
+					return true
+				})
+			case inst.bt != nil:
+				lo, hi := index.TreePrefix(inst.tree, node)
+				inst.bt.Range(lo, hi, func(_ []byte, tids []storage.TupleID) bool {
+					out = append(out, tids...)
+					return true
+				})
+			}
+		}
+	}
+	return out, true, nil
+}
+
+// serveScalar answers equality on scalar-domain columns at accuracy k:
+// the constant's bucket at level k spans an order-key interval, scanned
+// at every level <= k (bucket nesting keeps this exact).
+func serveScalar(inst *indexInst, s query.Sargable, k int) ([]storage.TupleID, bool, error) {
+	if inst.bt == nil || (s.Op != "=" && s.Op != "IN") {
+		return nil, false, nil
+	}
+	var out []storage.TupleID
+	for _, v := range s.Vals {
+		storeds, err := inst.dom.Locate(v, k)
+		if err != nil {
+			if errors.Is(err, gentree.ErrUnknownValue) {
+				continue
+			}
+			return nil, false, err
+		}
+		for _, sv := range storeds {
+			lo, hi, err := bucketSpan(inst.dom, sv, k)
+			if err != nil {
+				if errors.Is(err, gentree.ErrNotOrdered) {
+					return nil, false, nil // suppressed level: fall back to scan
+				}
+				return nil, false, err
+			}
+			for lvl := 0; lvl <= k; lvl++ {
+				klo, khi := index.ScalarLevelRange(lvl, lo, hi)
+				inst.bt.Range(klo, khi, func(_ []byte, tids []storage.TupleID) bool {
+					out = append(out, tids...)
+					return true
+				})
+			}
+		}
+	}
+	return out, true, nil
+}
+
+func bucketSpan(dom gentree.Domain, stored value.Value, level int) (lo, hi value.Value, err error) {
+	switch d := dom.(type) {
+	case *gentree.IntRange:
+		return d.BucketSpan(stored, level)
+	case *gentree.TimeTrunc:
+		return d.BucketSpan(stored, level)
+	default:
+		return value.Null(), value.Null(), gentree.ErrNotOrdered
+	}
+}
+
+// runSelect executes a SELECT under the session (or FOR PURPOSE) purpose.
+func (c *Conn) runSelect(s *query.Select) (*Result, error) {
+	tbl, err := c.db.cat.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	purpose := c.purpose
+	if s.Purpose != "" {
+		purpose, err = c.db.cat.Purpose(s.Purpose)
+		if err != nil {
+			return nil, err
+		}
+	}
+	referenced := referencedColumns(tbl, s)
+	for name := range referenced {
+		if _, err := tbl.ColumnIndex(name); err != nil {
+			return nil, err
+		}
+	}
+	levels, err := resolveLevels(tbl, purpose, referenced)
+	if err != nil {
+		return nil, err
+	}
+
+	// Reads inside an explicit transaction keep their locks (strict
+	// 2PL); autocommit reads release at statement end.
+	implicit := c.tx == nil
+	if implicit {
+		c.begin()
+		defer c.rollbackTx() // read-only: nothing to apply, releases locks
+	}
+
+	_, views, err := c.qualify(tbl, s.Where, levels, nil, txn.LockS)
+	if err != nil {
+		return nil, err
+	}
+
+	rows, err := project(tbl, s, views)
+	if err != nil {
+		return nil, err
+	}
+	if err := orderAndLimit(s, rows); err != nil {
+		return nil, err
+	}
+	return &Result{Rows: rows, RowsAffected: len(rows.Data)}, nil
+}
+
+// project applies π*,k plus aggregation and grouping.
+func project(tbl *catalog.Table, s *query.Select, views [][]value.Value) (*Rows, error) {
+	hasAgg := false
+	for _, it := range s.Items {
+		if it.Agg != query.AggNone {
+			hasAgg = true
+		}
+	}
+	// Expand * into column items.
+	items := make([]query.SelectItem, 0, len(s.Items))
+	for _, it := range s.Items {
+		if it.Star {
+			if hasAgg || len(s.GroupBy) > 0 {
+				return nil, errors.New("engine: * cannot mix with aggregates or GROUP BY")
+			}
+			for _, col := range tbl.Columns {
+				name := col.Name
+				items = append(items, query.SelectItem{Col: &query.ColumnRef{Column: name}})
+			}
+			continue
+		}
+		items = append(items, it)
+	}
+	// Validate: with GROUP BY, plain columns must be grouping columns.
+	grouped := make(map[string]bool)
+	for _, g := range s.GroupBy {
+		grouped[g.Column] = true
+	}
+	if len(s.GroupBy) > 0 || hasAgg {
+		for _, it := range items {
+			if it.Agg == query.AggNone && it.Col != nil && !grouped[it.Col.Column] {
+				return nil, fmt.Errorf("engine: column %s must appear in GROUP BY or an aggregate", it.Col.Column)
+			}
+		}
+	}
+
+	names := make([]string, len(items))
+	for i, it := range items {
+		names[i] = outputName(it)
+	}
+	out := &Rows{Columns: names}
+
+	colIdx := func(ref *query.ColumnRef) (int, error) { return tbl.ColumnIndex(ref.Column) }
+
+	if !hasAgg && len(s.GroupBy) == 0 {
+		for _, view := range views {
+			row := make([]value.Value, len(items))
+			for i, it := range items {
+				ci, err := colIdx(it.Col)
+				if err != nil {
+					return nil, err
+				}
+				row[i] = view[ci]
+			}
+			out.Data = append(out.Data, row)
+		}
+		return out, nil
+	}
+
+	// Grouped/aggregated path.
+	type group struct {
+		key  []value.Value
+		aggs []*aggState
+	}
+	groups := make(map[string]*group)
+	var orderKeys []string
+	keyOf := func(view []value.Value) (string, []value.Value, error) {
+		if len(s.GroupBy) == 0 {
+			return "", nil, nil
+		}
+		var enc []byte
+		key := make([]value.Value, len(s.GroupBy))
+		for i, g := range s.GroupBy {
+			ci, err := colIdx(&g)
+			if err != nil {
+				return "", nil, err
+			}
+			key[i] = view[ci]
+			enc = value.Encode(enc, view[ci])
+		}
+		return string(enc), key, nil
+	}
+	for _, view := range views {
+		ks, key, err := keyOf(view)
+		if err != nil {
+			return nil, err
+		}
+		g, ok := groups[ks]
+		if !ok {
+			g = &group{key: key, aggs: make([]*aggState, len(items))}
+			for i, it := range items {
+				g.aggs[i] = &aggState{fn: it.Agg}
+			}
+			groups[ks] = g
+			orderKeys = append(orderKeys, ks)
+		}
+		for i, it := range items {
+			if it.Agg == query.AggNone {
+				continue
+			}
+			var v value.Value
+			if it.CountStar {
+				v = value.Int(1)
+			} else {
+				ci, err := colIdx(it.Col)
+				if err != nil {
+					return nil, err
+				}
+				v = view[ci]
+			}
+			if err := g.aggs[i].feed(v, it.CountStar); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(groups) == 0 && len(s.GroupBy) == 0 {
+		// Aggregates over an empty set produce one row.
+		g := &group{aggs: make([]*aggState, len(items))}
+		for i, it := range items {
+			g.aggs[i] = &aggState{fn: it.Agg}
+		}
+		groups[""] = g
+		orderKeys = append(orderKeys, "")
+	}
+	for _, ks := range orderKeys {
+		g := groups[ks]
+		row := make([]value.Value, len(items))
+		for i, it := range items {
+			if it.Agg == query.AggNone {
+				// Grouping column: position within GroupBy.
+				for gi, gb := range s.GroupBy {
+					if gb.Column == it.Col.Column {
+						row[i] = g.key[gi]
+						break
+					}
+				}
+				continue
+			}
+			row[i] = g.aggs[i].result()
+		}
+		out.Data = append(out.Data, row)
+	}
+	return out, nil
+}
+
+func outputName(it query.SelectItem) string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	switch it.Agg {
+	case query.AggNone:
+		return it.Col.Column
+	case query.AggCount:
+		if it.CountStar {
+			return "count(*)"
+		}
+		return "count(" + it.Col.Column + ")"
+	case query.AggSum:
+		return "sum(" + it.Col.Column + ")"
+	case query.AggAvg:
+		return "avg(" + it.Col.Column + ")"
+	case query.AggMin:
+		return "min(" + it.Col.Column + ")"
+	case query.AggMax:
+		return "max(" + it.Col.Column + ")"
+	}
+	return "?"
+}
+
+// aggState accumulates one aggregate.
+type aggState struct {
+	fn      query.AggFunc
+	count   int64
+	sumF    float64
+	allInt  bool
+	started bool
+	minV    value.Value
+	maxV    value.Value
+}
+
+func (a *aggState) feed(v value.Value, countStar bool) error {
+	if v.IsNull() && !countStar {
+		return nil // SQL semantics: aggregates skip NULLs
+	}
+	if !a.started {
+		a.allInt = true
+		a.started = true
+	}
+	a.count++
+	switch a.fn {
+	case query.AggCount:
+		return nil
+	case query.AggSum, query.AggAvg:
+		f, ok := v.AsFloat()
+		if !ok {
+			return fmt.Errorf("engine: %s over non-numeric value %s", aggName(a.fn), v.Kind())
+		}
+		if v.Kind() != value.KindInt {
+			a.allInt = false
+		}
+		a.sumF += f
+	case query.AggMin, query.AggMax:
+		if a.minV.IsNull() {
+			a.minV, a.maxV = v, v
+			return nil
+		}
+		if c, err := value.Compare(v, a.minV); err == nil && c < 0 {
+			a.minV = v
+		}
+		if c, err := value.Compare(v, a.maxV); err == nil && c > 0 {
+			a.maxV = v
+		}
+	}
+	return nil
+}
+
+func (a *aggState) result() value.Value {
+	switch a.fn {
+	case query.AggCount:
+		return value.Int(a.count)
+	case query.AggSum:
+		if a.count == 0 {
+			return value.Null()
+		}
+		if a.allInt {
+			return value.Int(int64(a.sumF))
+		}
+		return value.Float(a.sumF)
+	case query.AggAvg:
+		if a.count == 0 {
+			return value.Null()
+		}
+		return value.Float(a.sumF / float64(a.count))
+	case query.AggMin:
+		return a.minV
+	case query.AggMax:
+		return a.maxV
+	}
+	return value.Null()
+}
+
+func aggName(fn query.AggFunc) string {
+	switch fn {
+	case query.AggSum:
+		return "SUM"
+	case query.AggAvg:
+		return "AVG"
+	default:
+		return "AGG"
+	}
+}
+
+// orderAndLimit applies ORDER BY over output columns, then LIMIT.
+func orderAndLimit(s *query.Select, rows *Rows) error {
+	if len(s.Order) > 0 {
+		idx := make([]int, len(s.Order))
+		for i, ob := range s.Order {
+			found := -1
+			for ci, name := range rows.Columns {
+				if strings.EqualFold(name, ob.Col.Column) {
+					found = ci
+					break
+				}
+			}
+			if found == -1 {
+				return fmt.Errorf("engine: ORDER BY column %s not in output", ob.Col.Column)
+			}
+			idx[i] = found
+		}
+		var sortErr error
+		sort.SliceStable(rows.Data, func(a, b int) bool {
+			for i, ci := range idx {
+				cmp, err := value.Compare(rows.Data[a][ci], rows.Data[b][ci])
+				if err != nil {
+					sortErr = err
+					return false
+				}
+				if cmp != 0 {
+					if s.Order[i].Desc {
+						return cmp > 0
+					}
+					return cmp < 0
+				}
+			}
+			return false
+		})
+		if sortErr != nil {
+			return sortErr
+		}
+	}
+	if s.Limit >= 0 && len(rows.Data) > s.Limit {
+		rows.Data = rows.Data[:s.Limit]
+	}
+	return nil
+}

@@ -1,0 +1,276 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"instantdb/internal/catalog"
+	"instantdb/internal/gentree"
+	"instantdb/internal/index"
+	"instantdb/internal/storage"
+	"instantdb/internal/value"
+	"instantdb/internal/wal"
+)
+
+// indexInst is a live secondary index over one column.
+type indexInst struct {
+	def  catalog.IndexDef
+	tbl  *catalog.Table
+	col  int
+	deg  int // degradable position, -1 for stable columns
+	dom  gentree.Domain
+	tree *gentree.Tree // non-nil for tree domains
+	bt   *index.BTree
+	bm   *index.Bitmap
+	gt   *index.GTIndex
+}
+
+// buildIndexInst materializes an index definition and backfills it from
+// the table's current content. Caller holds db.mu.
+func (db *DB) buildIndexInst(def catalog.IndexDef) error {
+	tbl, err := db.cat.Table(def.Table)
+	if err != nil {
+		return err
+	}
+	inst := &indexInst{def: def, tbl: tbl, col: def.Column, deg: tbl.DegradablePos(def.Column)}
+	if inst.deg != -1 {
+		inst.dom = tbl.Columns[def.Column].Domain
+		inst.tree, _ = inst.dom.(*gentree.Tree)
+	}
+	switch def.Type {
+	case catalog.IndexBTree:
+		inst.bt = index.NewBTree()
+	case catalog.IndexBitmap:
+		if inst.tree == nil {
+			return fmt.Errorf("engine: bitmap index %s requires a tree domain", def.Name)
+		}
+		inst.bm = index.NewBitmap(inst.tree)
+	case catalog.IndexGT:
+		if inst.tree == nil {
+			return fmt.Errorf("engine: GT index %s requires a tree domain", def.Name)
+		}
+		inst.gt = index.NewGTIndex(inst.tree)
+	}
+	// Backfill.
+	ts := db.mgr.Table(tbl)
+	err = ts.Scan(func(t storage.Tuple) bool {
+		inst.add(&t)
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	db.indexes[def.Name] = inst
+	db.byTable[tbl.ID] = append(db.byTable[tbl.ID], inst)
+	return nil
+}
+
+// rebuildIndexes reconstructs every catalog index from storage (recovery).
+func (db *DB) rebuildIndexes() error {
+	db.indexes = make(map[string]*indexInst)
+	db.byTable = make(map[uint32][]*indexInst)
+	for _, tbl := range db.cat.Tables() {
+		for _, def := range db.cat.Indexes(tbl.Name) {
+			if err := db.buildIndexInst(def); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// keyOf builds the BTree key for a tuple's indexed column, ok=false when
+// the value is not indexable (erased attribute, NULL, no order key).
+func (inst *indexInst) keyOf(t *storage.Tuple) ([]byte, bool) {
+	v := t.Row[inst.col]
+	if inst.deg == -1 {
+		if v.IsNull() {
+			return nil, false
+		}
+		return index.StableKey(v), true
+	}
+	st := t.States[inst.deg]
+	if st == storage.StateErased || v.IsNull() {
+		return nil, false
+	}
+	level := inst.tbl.Columns[inst.col].Policy.LevelOf(int(st))
+	if inst.tree != nil {
+		k, err := index.TreePathKey(inst.tree, v, level)
+		if err != nil {
+			return nil, false
+		}
+		return k, true
+	}
+	k, err := index.ScalarLevelKey(inst.dom, v, level)
+	if err != nil {
+		return nil, false
+	}
+	return k, true
+}
+
+// nodeOf returns the GT node of a tuple's tree-domain column.
+func (inst *indexInst) nodeOf(t *storage.Tuple) (gentree.NodeID, bool) {
+	v := t.Row[inst.col]
+	if v.IsNull() || t.States[inst.deg] == storage.StateErased {
+		return gentree.InvalidNode, false
+	}
+	return gentree.StoredToNode(v)
+}
+
+// add registers a tuple.
+func (inst *indexInst) add(t *storage.Tuple) {
+	switch {
+	case inst.bt != nil:
+		if k, ok := inst.keyOf(t); ok {
+			inst.bt.Add(k, t.ID)
+		}
+	case inst.bm != nil:
+		if n, ok := inst.nodeOf(t); ok {
+			inst.bm.Add(n, t.ID)
+		}
+	case inst.gt != nil:
+		if n, ok := inst.nodeOf(t); ok {
+			inst.gt.Add(n, t.ID)
+		}
+	}
+}
+
+// remove unregisters a tuple.
+func (inst *indexInst) remove(t *storage.Tuple) {
+	switch {
+	case inst.bt != nil:
+		if k, ok := inst.keyOf(t); ok {
+			inst.bt.Remove(k, t.ID)
+		}
+	case inst.bm != nil:
+		if n, ok := inst.nodeOf(t); ok {
+			inst.bm.Remove(n, t.ID)
+		}
+	case inst.gt != nil:
+		if n, ok := inst.nodeOf(t); ok {
+			inst.gt.Remove(n, t.ID)
+		}
+	}
+}
+
+// degrade maintains the index across one LCP transition of column
+// position degPos. before is the pre-transition tuple.
+func (inst *indexInst) degrade(before *storage.Tuple, degPos int, newStored value.Value, newState uint8) {
+	if inst.deg != degPos {
+		return // index on another column: tuple id is stable, no work
+	}
+	after := *before
+	after.Row = append([]value.Value(nil), before.Row...)
+	after.States = append([]uint8(nil), before.States...)
+	after.Row[inst.col] = newStored
+	after.States[degPos] = newState
+	switch {
+	case inst.bt != nil:
+		inst.remove(before)
+		inst.add(&after)
+	case inst.bm != nil:
+		from, okF := inst.nodeOf(before)
+		to, okT := inst.nodeOf(&after)
+		switch {
+		case okF && okT:
+			inst.bm.Move(from, to, before.ID)
+		case okF:
+			inst.bm.Remove(from, before.ID)
+		case okT:
+			inst.bm.Add(to, before.ID)
+		}
+	case inst.gt != nil:
+		from, okF := inst.nodeOf(before)
+		to, okT := inst.nodeOf(&after)
+		switch {
+		case okF && okT:
+			inst.gt.Move(from, to, before.ID)
+		case okF:
+			inst.gt.Remove(from, before.ID)
+		case okT:
+			inst.gt.Add(to, before.ID)
+		}
+	}
+}
+
+// applyRecord applies one redo record to storage (always) and to indexes
+// and degradation queues (live mode only; recovery rebuilds both
+// afterwards in bulk).
+func (db *DB) applyRecord(r *wal.Record, live bool) error {
+	tbl, err := db.cat.TableByID(r.Table)
+	if err != nil {
+		// Records of dropped tables are ignorable during replay.
+		if !live {
+			return nil
+		}
+		return err
+	}
+	ts := db.mgr.Table(tbl)
+	switch r.Type {
+	case wal.RecInsert:
+		row := make([]value.Value, len(tbl.Columns))
+		copy(row, r.StableRow)
+		for i, col := range tbl.DegradableColumns() {
+			if i < len(r.DegVals) {
+				row[col] = r.DegVals[i]
+			}
+		}
+		at := time.Unix(0, r.InsertNano).UTC()
+		if err := ts.InsertWithID(r.Tuple, row, r.States, at); err != nil {
+			return err
+		}
+		if live {
+			t, err := ts.Get(r.Tuple)
+			if err != nil {
+				return err
+			}
+			for _, inst := range db.byTable[tbl.ID] {
+				inst.add(&t)
+			}
+			db.deg.OnInsert(tbl, r.Tuple, at)
+		}
+	case wal.RecDelete:
+		if live {
+			if t, err := ts.Get(r.Tuple); err == nil {
+				for _, inst := range db.byTable[tbl.ID] {
+					inst.remove(&t)
+				}
+			}
+		}
+		return ts.Delete(r.Tuple)
+	case wal.RecUpdateStable:
+		if live {
+			if t, err := ts.Get(r.Tuple); err == nil {
+				for _, inst := range db.byTable[tbl.ID] {
+					if inst.col == int(r.Col) {
+						inst.remove(&t)
+					}
+				}
+			}
+		}
+		if err := ts.UpdateStable(r.Tuple, int(r.Col), r.Val); err != nil {
+			return err
+		}
+		if live {
+			if t, err := ts.Get(r.Tuple); err == nil {
+				for _, inst := range db.byTable[tbl.ID] {
+					if inst.col == int(r.Col) {
+						inst.add(&t)
+					}
+				}
+			}
+		}
+	case wal.RecDegrade:
+		if live {
+			if t, err := ts.Get(r.Tuple); err == nil {
+				for _, inst := range db.byTable[tbl.ID] {
+					inst.degrade(&t, int(r.DegPos), r.NewStored, r.NewState)
+				}
+			}
+		}
+		return ts.DegradeAttr(r.Tuple, int(r.DegPos), r.NewStored, r.NewState)
+	default:
+		return fmt.Errorf("engine: unknown record type %d", r.Type)
+	}
+	return nil
+}

@@ -1,0 +1,481 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"instantdb/internal/catalog"
+	"instantdb/internal/query"
+	"instantdb/internal/storage"
+	"instantdb/internal/txn"
+	"instantdb/internal/value"
+	"instantdb/internal/wal"
+)
+
+// Session errors.
+var (
+	// ErrPurposeDenied marks access to a degradable column the session
+	// purpose does not grant.
+	ErrPurposeDenied = errors.New("engine: purpose does not grant access to column")
+	// ErrDegradableImmutable marks an UPDATE of a degradable column
+	// (forbidden after insert, paper §II).
+	ErrDegradableImmutable = errors.New("engine: degradable attributes are immutable after insert")
+	// ErrDuplicateKey marks a primary key violation.
+	ErrDuplicateKey = errors.New("engine: duplicate primary key")
+	// ErrNoTransaction is returned by COMMIT/ROLLBACK outside a
+	// transaction.
+	ErrNoTransaction = errors.New("engine: no open transaction")
+)
+
+// Rows is a fully materialized query result.
+type Rows struct {
+	Columns []string
+	Data    [][]value.Value
+}
+
+// Len returns the row count.
+func (r *Rows) Len() int { return len(r.Data) }
+
+// Result reports the outcome of one statement.
+type Result struct {
+	// Rows is non-nil for SELECT.
+	Rows *Rows
+	// RowsAffected counts inserted/updated/deleted tuples.
+	RowsAffected int
+	// LastInsertID is the TupleID of the last inserted tuple.
+	LastInsertID storage.TupleID
+}
+
+// tableOverlay is a transaction's private view of one table: rows it
+// inserted or rewrote, and rows it deleted.
+type tableOverlay struct {
+	tuples  map[storage.TupleID]*storage.Tuple
+	deleted map[storage.TupleID]bool
+}
+
+// openTxn is an in-progress transaction: a redo record list (applied at
+// commit) plus the read-your-writes overlay.
+type openTxn struct {
+	id       txn.ID
+	recs     []*wal.Record
+	overlays map[uint32]*tableOverlay
+}
+
+func (tx *openTxn) overlay(tableID uint32) *tableOverlay {
+	ov, ok := tx.overlays[tableID]
+	if !ok {
+		ov = &tableOverlay{tuples: make(map[storage.TupleID]*storage.Tuple), deleted: make(map[storage.TupleID]bool)}
+		tx.overlays[tableID] = ov
+	}
+	return ov
+}
+
+// Conn is a session: it carries the active purpose (the paper's DECLARE
+// PURPOSE context), the optional open transaction, and the coarse-read
+// flag (the paper's §IV alternative semantics). Conns are not safe for
+// concurrent use; open one per goroutine.
+type Conn struct {
+	db      *DB
+	purpose *catalog.Purpose
+	coarse  bool
+	tx      *openTxn
+}
+
+// NewConn opens a session with the built-in full-accuracy purpose.
+func (db *DB) NewConn() *Conn {
+	return &Conn{db: db, purpose: catalog.FullAccess}
+}
+
+// Exec parses and executes one statement on a fresh session (autocommit,
+// full purpose). Convenience for tools and tests.
+func (db *DB) Exec(src string) (*Result, error) {
+	return db.NewConn().Exec(src)
+}
+
+// ExecScript executes a semicolon-separated statement sequence on a
+// fresh session, stopping at the first error.
+func (db *DB) ExecScript(src string) error {
+	stmts, err := query.ParseScript(src)
+	if err != nil {
+		return err
+	}
+	conn := db.NewConn()
+	for _, st := range stmts {
+		if _, err := conn.ExecParsed(st, ""); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MustExec is Exec that panics on error (examples and fixtures).
+func (db *DB) MustExec(src string) *Result {
+	res, err := db.Exec(src)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// SetPurpose switches the session purpose by name.
+func (c *Conn) SetPurpose(name string) error {
+	p, err := c.db.cat.Purpose(name)
+	if err != nil {
+		return err
+	}
+	c.purpose = p
+	return nil
+}
+
+// Purpose returns the active purpose name.
+func (c *Conn) Purpose() string { return c.purpose.Name }
+
+// SetCoarse toggles the paper's §IV alternative query semantics: when
+// set, tuples whose attributes have degraded *past* the demanded
+// accuracy still qualify, evaluated and projected at their coarser
+// actual level (best-effort projection).
+func (c *Conn) SetCoarse(on bool) { c.coarse = on }
+
+// Exec parses and executes one statement.
+func (c *Conn) Exec(src string) (*Result, error) {
+	st, err := query.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return c.ExecParsed(st, src)
+}
+
+// ExecParsed executes an already parsed statement. src is used verbatim
+// for DDL persistence (may be empty to regenerate canonical DDL).
+func (c *Conn) ExecParsed(st query.Statement, src string) (*Result, error) {
+	switch s := st.(type) {
+	case *query.Select:
+		return c.runSelect(s)
+	case *query.Insert:
+		return c.autocommit(func() (*Result, error) { return c.runInsert(s) })
+	case *query.Update:
+		return c.autocommit(func() (*Result, error) { return c.runUpdate(s) })
+	case *query.Delete:
+		return c.autocommit(func() (*Result, error) { return c.runDelete(s) })
+	case *query.Begin:
+		if c.tx != nil {
+			return nil, errors.New("engine: transaction already open")
+		}
+		c.begin()
+		return &Result{}, nil
+	case *query.Commit:
+		if c.tx == nil {
+			return nil, ErrNoTransaction
+		}
+		return &Result{}, c.commitTx()
+	case *query.Rollback:
+		if c.tx == nil {
+			return nil, ErrNoTransaction
+		}
+		c.rollbackTx()
+		return &Result{}, nil
+	case *query.SetPurpose:
+		return &Result{}, c.SetPurpose(s.Name)
+	case *query.FireEvent:
+		c.db.FireEvent(s.Name)
+		return &Result{}, nil
+	default:
+		// DDL: forbidden inside an open transaction.
+		if c.tx != nil {
+			return nil, errors.New("engine: DDL inside a transaction is not supported")
+		}
+		c.db.mu.Lock()
+		defer c.db.mu.Unlock()
+		return &Result{}, c.db.execDDL(st, strings.TrimSuffix(strings.TrimSpace(src), ";"))
+	}
+}
+
+// begin opens an explicit transaction.
+func (c *Conn) begin() {
+	c.tx = &openTxn{id: c.db.ids.Next(), overlays: make(map[uint32]*tableOverlay)}
+}
+
+// autocommit runs fn inside the open transaction, or wraps it in an
+// implicit one.
+func (c *Conn) autocommit(fn func() (*Result, error)) (*Result, error) {
+	if c.tx != nil {
+		res, err := fn()
+		if err != nil {
+			// Statement failure aborts the whole transaction: strict
+			// and predictable under 2PL lock timeouts.
+			c.rollbackTx()
+			return nil, err
+		}
+		return res, nil
+	}
+	c.begin()
+	res, err := fn()
+	if err != nil {
+		c.rollbackTx()
+		return nil, err
+	}
+	if err := c.commitTx(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// commitTx makes the transaction durable and visible, then releases its
+// locks.
+func (c *Conn) commitTx() error {
+	tx := c.tx
+	c.tx = nil
+	defer c.db.locks.ReleaseAll(tx.id)
+	if len(tx.recs) == 0 {
+		return nil
+	}
+	c.db.mu.Lock()
+	defer c.db.mu.Unlock()
+	// Authoritative primary-key check under the commit mutex.
+	if err := c.db.checkUniqueLocked(tx.recs); err != nil {
+		return err
+	}
+	return c.db.commitLocked(tx.recs)
+}
+
+// rollbackTx discards the write set and releases locks.
+func (c *Conn) rollbackTx() {
+	tx := c.tx
+	c.tx = nil
+	if tx != nil {
+		c.db.locks.ReleaseAll(tx.id)
+	}
+}
+
+// checkUniqueLocked verifies primary-key uniqueness of the batch's
+// inserts against the pk indexes and within the batch itself.
+func (db *DB) checkUniqueLocked(recs []*wal.Record) error {
+	seen := make(map[string]bool)
+	for _, r := range recs {
+		if r.Type != wal.RecInsert {
+			continue
+		}
+		tbl, err := db.cat.TableByID(r.Table)
+		if err != nil || tbl.PrimaryKey < 0 {
+			continue
+		}
+		pkInst, ok := db.indexes["pk_"+tbl.Name]
+		if !ok {
+			continue
+		}
+		pk := r.StableRow[tbl.PrimaryKey]
+		key := string(append([]byte{byte(r.Table)}, value.Encode(nil, pk)...))
+		if seen[key] {
+			return fmt.Errorf("%w: %s=%v", ErrDuplicateKey, tbl.Columns[tbl.PrimaryKey].Name, pk)
+		}
+		seen[key] = true
+		dup := false
+		pkInst.bt.Exact(value.AppendOrderedKey(nil, pk), func([]storage.TupleID) { dup = true })
+		if dup {
+			return fmt.Errorf("%w: %s=%v", ErrDuplicateKey, tbl.Columns[tbl.PrimaryKey].Name, pk)
+		}
+	}
+	return nil
+}
+
+// runInsert buffers RecInsert records for each VALUES row. Inserts are
+// granted only in the most accurate state (paper §II): degradable
+// values resolve through the domain's level-0 form.
+func (c *Conn) runInsert(s *query.Insert) (*Result, error) {
+	tbl, err := c.db.cat.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	ts := c.db.mgr.Table(tbl)
+	// Column order.
+	order := make([]int, 0, len(tbl.Columns))
+	if len(s.Columns) == 0 {
+		for i := range tbl.Columns {
+			order = append(order, i)
+		}
+	} else {
+		for _, name := range s.Columns {
+			ci, err := tbl.ColumnIndex(name)
+			if err != nil {
+				return nil, err
+			}
+			order = append(order, ci)
+		}
+	}
+	if err := c.db.locks.Acquire(c.tx.id, txn.TableRes(tbl.ID), txn.LockIX); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	now := c.db.clock.Now()
+	for _, exprRow := range s.Rows {
+		if len(exprRow) != len(order) {
+			return nil, fmt.Errorf("engine: insert has %d values for %d columns", len(exprRow), len(order))
+		}
+		row := make([]value.Value, len(tbl.Columns))
+		assigned := make([]bool, len(tbl.Columns))
+		for i, e := range exprRow {
+			v, err := query.EvalValue(e, func(*query.ColumnRef) (value.Value, error) {
+				return value.Null(), errors.New("engine: column reference in VALUES")
+			})
+			if err != nil {
+				return nil, err
+			}
+			row[order[i]] = v
+			assigned[order[i]] = true
+		}
+		// Validate and resolve.
+		states := make([]uint8, len(tbl.DegradableColumns()))
+		stable := make([]value.Value, len(tbl.Columns))
+		degVals := make([]value.Value, len(tbl.DegradableColumns()))
+		for ci := range tbl.Columns {
+			col := &tbl.Columns[ci]
+			v := row[ci]
+			if v.IsNull() {
+				if col.NotNull {
+					return nil, fmt.Errorf("engine: column %s.%s is NOT NULL", tbl.Name, col.Name)
+				}
+				if col.Degradable {
+					return nil, fmt.Errorf("engine: degradable column %s.%s cannot be NULL", tbl.Name, col.Name)
+				}
+				continue
+			}
+			if pos := tbl.DegradablePos(ci); pos != -1 {
+				if v.Kind() != col.Kind {
+					return nil, fmt.Errorf("engine: column %s.%s wants %s, got %s", tbl.Name, col.Name, col.Kind, v.Kind())
+				}
+				stored, err := col.Domain.ResolveInsert(v)
+				if err != nil {
+					return nil, err
+				}
+				degVals[pos] = stored
+				states[pos] = 0
+				continue
+			}
+			if v.Kind() != col.Kind {
+				// One numeric coercion: integer literal into FLOAT.
+				if col.Kind == value.KindFloat && v.Kind() == value.KindInt {
+					v = value.Float(float64(v.Int()))
+				} else {
+					return nil, fmt.Errorf("engine: column %s.%s wants %s, got %s", tbl.Name, col.Name, col.Kind, v.Kind())
+				}
+			}
+			stable[ci] = v
+		}
+		_ = assigned
+		tid := ts.ReserveID()
+		if err := c.db.locks.Acquire(c.tx.id, txn.RowRes(tbl.ID, tid), txn.LockX); err != nil {
+			return nil, err
+		}
+		rec := &wal.Record{
+			Type:       wal.RecInsert,
+			Table:      tbl.ID,
+			Tuple:      tid,
+			InsertNano: now.UTC().UnixNano(),
+			States:     states,
+			StableRow:  stable,
+			DegVals:    degVals,
+		}
+		c.tx.recs = append(c.tx.recs, rec)
+		// Read-your-writes overlay with the materialized tuple.
+		full := make([]value.Value, len(tbl.Columns))
+		copy(full, stable)
+		for i, colIdx := range tbl.DegradableColumns() {
+			full[colIdx] = degVals[i]
+		}
+		ov := c.tx.overlay(tbl.ID)
+		ov.tuples[tid] = &storage.Tuple{ID: tid, InsertedAt: now.UTC(), States: states, Row: full}
+		res.RowsAffected++
+		res.LastInsertID = tid
+	}
+	return res, nil
+}
+
+// runUpdate rewrites stable columns of qualifying tuples. Updating a
+// degradable column is refused (paper §II); use privileged re-insert if
+// a collected value was wrong.
+func (c *Conn) runUpdate(s *query.Update) (*Result, error) {
+	tbl, err := c.db.cat.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	type setOp struct {
+		col int
+		val value.Value
+	}
+	sets := make([]setOp, 0, len(s.Sets))
+	for _, st := range s.Sets {
+		ci, err := tbl.ColumnIndex(st.Column)
+		if err != nil {
+			return nil, err
+		}
+		if tbl.DegradablePos(ci) != -1 {
+			return nil, fmt.Errorf("%w: %s.%s", ErrDegradableImmutable, tbl.Name, st.Column)
+		}
+		v, err := query.EvalValue(st.Val, func(*query.ColumnRef) (value.Value, error) {
+			return value.Null(), errors.New("engine: column reference in SET")
+		})
+		if err != nil {
+			return nil, err
+		}
+		col := tbl.Columns[ci]
+		if !v.IsNull() && v.Kind() != col.Kind {
+			if col.Kind == value.KindFloat && v.Kind() == value.KindInt {
+				v = value.Float(float64(v.Int()))
+			} else {
+				return nil, fmt.Errorf("engine: column %s.%s wants %s, got %s", tbl.Name, col.Name, col.Kind, v.Kind())
+			}
+		}
+		if v.IsNull() && col.NotNull {
+			return nil, fmt.Errorf("engine: column %s.%s is NOT NULL", tbl.Name, col.Name)
+		}
+		sets = append(sets, setOp{ci, v})
+	}
+	matched, err := c.matchForWrite(tbl, s.Where)
+	if err != nil {
+		return nil, err
+	}
+	ov := c.tx.overlay(tbl.ID)
+	for i := range matched {
+		t := &matched[i]
+		for _, so := range sets {
+			rec := &wal.Record{Type: wal.RecUpdateStable, Table: tbl.ID, Tuple: t.ID,
+				Col: uint16(so.col), Val: so.val}
+			c.tx.recs = append(c.tx.recs, rec)
+			t.Row[so.col] = so.val
+		}
+		cp := *t
+		ov.tuples[t.ID] = &cp
+	}
+	return &Result{RowsAffected: len(matched)}, nil
+}
+
+// runDelete removes qualifying tuples. Predicates are evaluated at the
+// purpose's accuracy like any query — the paper's "deletion through SQL
+// views" semantics.
+func (c *Conn) runDelete(s *query.Delete) (*Result, error) {
+	tbl, err := c.db.cat.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	matched, err := c.matchForWrite(tbl, s.Where)
+	if err != nil {
+		return nil, err
+	}
+	ov := c.tx.overlay(tbl.ID)
+	for i := range matched {
+		t := &matched[i]
+		c.tx.recs = append(c.tx.recs, &wal.Record{Type: wal.RecDelete, Table: tbl.ID, Tuple: t.ID})
+		ov.deleted[t.ID] = true
+		delete(ov.tuples, t.ID)
+	}
+	return &Result{RowsAffected: len(matched)}, nil
+}
+
+// matchForWrite finds qualifying tuples under X row locks.
+func (c *Conn) matchForWrite(tbl *catalog.Table, where query.Expr) ([]storage.Tuple, error) {
+	if err := c.db.locks.Acquire(c.tx.id, txn.TableRes(tbl.ID), txn.LockIX); err != nil {
+		return nil, err
+	}
+	return c.collectMatching(tbl, where, c.purpose, txn.LockX)
+}

@@ -1,0 +1,501 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"instantdb/internal/engine"
+	"instantdb/internal/forensic"
+	"instantdb/internal/lcp"
+	"instantdb/internal/storage"
+	"instantdb/internal/vclock"
+	"instantdb/internal/workload"
+)
+
+// sampleNeedles builds forensic needles from the stored location values
+// of up to max live tuples — the byte patterns that must disappear from
+// raw artifacts once the tuples degrade past their current state.
+func sampleNeedles(env *Env, max int) ([]forensic.Needle, error) {
+	tbl, err := env.DB.Catalog().Table("person")
+	if err != nil {
+		return nil, err
+	}
+	ts := env.DB.StorageManager().Table(tbl)
+	var needles []forensic.Needle
+	err = ts.Scan(func(t storage.Tuple) bool {
+		needles = append(needles, forensic.NeedleForStored(
+			fmt.Sprintf("tuple%d-loc", t.ID), t.Row[2]))
+		return len(needles) < max
+	})
+	return needles, err
+}
+
+// StoreResult carries the B-STORE ablation for assertions.
+type StoreResult struct {
+	Layout      string
+	Transitions int
+	Elapsed     time.Duration
+	PerSecond   float64
+	ScrubClean  bool
+	Findings    []forensic.Finding
+}
+
+// RunBStore ablates the two degradation storage layouts (§III challenge
+// "how to enforce timely data degradation"): state-partitioned
+// move+scrub versus in-place overwrite. Both must pass the forensic
+// scrub audit; the ablation measures their transition throughput.
+func RunBStore(w io.Writer, tuples int) ([]StoreResult, error) {
+	fmt.Fprintln(w, "== B-STORE: degradation layout ablation (move+scrub vs in-place) ==")
+	var out []StoreResult
+	fmt.Fprintf(w, "%-10s %12s %12s %14s %8s\n", "layout", "transitions", "elapsed", "tuples/s", "scrubbed")
+	for _, layout := range []string{"MOVE", "INPLACE"} {
+		env, err := NewEnv(EnvOptions{Layout: layout})
+		if err != nil {
+			return nil, err
+		}
+		if err := env.Load(tuples); err != nil {
+			env.Close()
+			return nil, err
+		}
+		needles, err := sampleNeedles(env, 64)
+		if err != nil {
+			env.Close()
+			return nil, err
+		}
+		start := time.Now()
+		n, err := env.AdvanceAndTick(SimPolicyDelays[0])
+		if err != nil {
+			env.Close()
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		rep, err := forensic.ScanStore(env.DB.StorageManager().Store(), needles)
+		if err != nil {
+			env.Close()
+			return nil, err
+		}
+		res := StoreResult{
+			Layout:      layout,
+			Transitions: n,
+			Elapsed:     elapsed,
+			PerSecond:   float64(n) / elapsed.Seconds(),
+			ScrubClean:  rep.Clean(),
+			Findings:    rep.Findings,
+		}
+		out = append(out, res)
+		fmt.Fprintf(w, "%-10s %12d %12v %14.0f %8v\n",
+			layout, n, elapsed.Round(time.Microsecond), res.PerSecond, res.ScrubClean)
+		env.Close()
+	}
+	return out, nil
+}
+
+// LogResult carries the B-LOG ablation for assertions.
+type LogResult struct {
+	Mode        string
+	LoadTime    time.Duration
+	DegradeTime time.Duration
+	LogBytes    int64
+	Leaks       int
+	Recovery    time.Duration
+}
+
+// RunBLog ablates the log-degradation strategies (§III: "the storage of
+// degradable attributes, indexes and logs have to be revisited"): plain
+// (leaky baseline), epoch-key shredding, and segment vacuum. Leaks
+// counts forensic findings of pre-degradation payloads in the log after
+// the first transition wave.
+func RunBLog(w io.Writer, tuples int) ([]LogResult, error) {
+	fmt.Fprintln(w, "== B-LOG: log degradation ablation (plain vs key-shred vs vacuum) ==")
+	modes := []struct {
+		name string
+		mode engine.LogMode
+	}{
+		{"plain", engine.LogPlain},
+		{"shred", engine.LogShred},
+		{"vacuum", engine.LogVacuum},
+	}
+	var out []LogResult
+	fmt.Fprintf(w, "%-8s %10s %12s %10s %7s %12s\n",
+		"mode", "load", "degrade", "log-bytes", "leaks", "recovery")
+	for _, m := range modes {
+		dir, err := os.MkdirTemp("", "instantdb-blog-*")
+		if err != nil {
+			return nil, err
+		}
+		res, err := runOneLogMode(dir, m.name, m.mode, tuples)
+		os.RemoveAll(dir)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, *res)
+		fmt.Fprintf(w, "%-8s %10v %12v %10d %7d %12v\n",
+			res.Mode, res.LoadTime.Round(time.Millisecond), res.DegradeTime.Round(time.Microsecond),
+			res.LogBytes, res.Leaks, res.Recovery.Round(time.Millisecond))
+	}
+	fmt.Fprintln(w, "shred leaves log bytes in place but undecipherable; vacuum rewrites segments;")
+	fmt.Fprintln(w, "plain leaks every accurate payload until a checkpoint.")
+	return out, nil
+}
+
+func runOneLogMode(dir, name string, mode engine.LogMode, tuples int) (*LogResult, error) {
+	env, err := NewEnv(EnvOptions{Dir: dir, LogMode: mode})
+	if err != nil {
+		return nil, err
+	}
+	res := &LogResult{Mode: name}
+	start := time.Now()
+	if err := env.Load(tuples); err != nil {
+		env.Close()
+		return nil, err
+	}
+	res.LoadTime = time.Since(start)
+	needles, err := sampleNeedles(env, 64)
+	if err != nil {
+		env.Close()
+		return nil, err
+	}
+	start = time.Now()
+	if _, err := env.AdvanceAndTick(SimPolicyDelays[0]); err != nil {
+		env.Close()
+		return nil, err
+	}
+	// Key shredding lags one epoch bucket behind the deadline; advance
+	// one bucket and tick again so the last epoch expires too.
+	if _, err := env.AdvanceAndTick(2 * time.Hour); err != nil {
+		env.Close()
+		return nil, err
+	}
+	res.DegradeTime = time.Since(start)
+	if log := env.DB.Log(); log != nil {
+		res.LogBytes = log.SizeBytes()
+	}
+	rep, err := forensic.ScanDir(filepath.Join(dir, "wal"), needles)
+	if err != nil {
+		env.Close()
+		return nil, err
+	}
+	res.Leaks = len(rep.Findings)
+	env.Close()
+
+	start = time.Now()
+	clock := vclock.NewSimulated(vclock.Epoch)
+	db2, err := engine.Open(engine.Config{Dir: dir, Clock: clock, LogMode: mode})
+	if err != nil {
+		return nil, err
+	}
+	res.Recovery = time.Since(start)
+	db2.Close()
+	return res, nil
+}
+
+// IdxResult carries the B-IDX ablation for assertions.
+type IdxResult struct {
+	Index      string
+	PointQuery time.Duration // mean per query, mixed states
+	Aggregate  time.Duration
+	Degrade    time.Duration // first transition wave
+}
+
+// RunBIdx ablates access paths for queries on degradable attributes
+// (§III: "indexing techniques supporting efficiently degradation"):
+// full scan, composite-key B+tree, bitmap-per-GT-node, and the GT
+// posting index, over a mixed-state table (half accurate, half degraded
+// one level).
+func RunBIdx(w io.Writer, tuples, queries int) ([]IdxResult, error) {
+	fmt.Fprintln(w, "== B-IDX: access paths for degradable attributes ==")
+	var out []IdxResult
+	fmt.Fprintf(w, "%-8s %14s %14s %14s\n", "index", "point/query", "aggregate", "degrade-wave")
+	for _, idx := range []string{"", "BTREE", "BITMAP", "GT"} {
+		env, err := NewEnv(EnvOptions{Index: idx})
+		if err != nil {
+			return nil, err
+		}
+		if err := env.Load(tuples / 2); err != nil {
+			env.Close()
+			return nil, err
+		}
+		// Degrade the first half one level, then load the second half:
+		// the table now mixes accuracy states, the regime the paper's
+		// OLTP discussion worries about.
+		degStart := time.Now()
+		if _, err := env.AdvanceAndTick(SimPolicyDelays[0]); err != nil {
+			env.Close()
+			return nil, err
+		}
+		degrade := time.Since(degStart)
+		if err := env.Load(tuples - tuples/2); err != nil {
+			env.Close()
+			return nil, err
+		}
+
+		qg := workload.NewQueryGen(99, env.Uni, "stat", 3)
+		conn := env.DB.NewConn()
+		start := time.Now()
+		for i := 0; i < queries; i++ {
+			q := qg.Point()
+			if _, err := conn.Exec(q.SQL); err != nil {
+				env.Close()
+				return nil, err
+			}
+		}
+		point := time.Since(start) / time.Duration(queries)
+		start = time.Now()
+		if _, err := conn.Exec(qg.Aggregate().SQL); err != nil {
+			env.Close()
+			return nil, err
+		}
+		agg := time.Since(start)
+
+		name := idx
+		if name == "" {
+			name = "scan"
+		}
+		res := IdxResult{Index: name, PointQuery: point, Aggregate: agg, Degrade: degrade}
+		out = append(out, res)
+		fmt.Fprintf(w, "%-8s %14v %14v %14v\n", name,
+			point.Round(time.Microsecond), agg.Round(time.Microsecond), degrade.Round(time.Microsecond))
+		env.Close()
+	}
+	return out, nil
+}
+
+// TxnResult carries the B-TXN interference run for assertions.
+type TxnResult struct {
+	BatchSize  int
+	ReaderP50  time.Duration
+	ReaderP99  time.Duration
+	MaxLag     time.Duration
+	Reads      int
+	LockSkips  uint64
+	Throughput float64 // reads/s
+}
+
+// RunBTxn measures reader/degrader interference (§III: "potential
+// conflicts between degradation steps and reader transactions"): wall
+// clock, millisecond retentions, a continuous insert+degrade stream, and
+// concurrent point readers, swept over the degrader batch size.
+func RunBTxn(w io.Writer, readers int, runFor time.Duration) ([]TxnResult, error) {
+	fmt.Fprintln(w, "== B-TXN: reader latency vs degradation batch size ==")
+	var out []TxnResult
+	fmt.Fprintf(w, "%-10s %10s %10s %12s %10s %12s\n",
+		"batch", "p50", "p99", "max-lag", "reads", "lock-skips")
+	for _, batch := range []int{16, 256, 4096} {
+		res, err := runOneTxnConfig(batch, readers, runFor)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, *res)
+		fmt.Fprintf(w, "%-10d %10v %10v %12v %10d %12d\n",
+			res.BatchSize, res.ReaderP50.Round(time.Microsecond), res.ReaderP99.Round(time.Microsecond),
+			res.MaxLag.Round(time.Microsecond), res.Reads, res.LockSkips)
+	}
+	return out, nil
+}
+
+func runOneTxnConfig(batch, readers int, runFor time.Duration) (*TxnResult, error) {
+	cfg := engine.Config{Clock: vclock.Wall{}}
+	cfg.Degrade.BatchSize = batch
+	cfg.Degrade.RecheckInterval = time.Millisecond
+	db, err := engine.Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	uni := workload.NewLocationUniverse(2, 2, 4, 10)
+	if err := db.RegisterDomain(uni.Tree); err != nil {
+		return nil, err
+	}
+	pol := lcp.NewBuilder("fast", uni.Tree).
+		Hold(0, 20*time.Millisecond).
+		Hold(1, 20*time.Millisecond).
+		Hold(2, 20*time.Millisecond).
+		Hold(3, 50*time.Millisecond).
+		ThenDelete().
+		MustBuild()
+	if err := db.RegisterPolicy(pol); err != nil {
+		return nil, err
+	}
+	if err := db.ExecScript(`
+CREATE TABLE person (id INT PRIMARY KEY, name TEXT, location TEXT DEGRADABLE DOMAIN location POLICY fast);
+DECLARE PURPOSE stat SET ACCURACY LEVEL country FOR person.location;
+CREATE INDEX ix ON person (location) USING GT;`); err != nil {
+		return nil, err
+	}
+	db.Degrader().Run(2 * time.Millisecond)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Writer: continuous inserts feed the degrader.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn := db.NewConn()
+		id := 0
+		gen := workload.NewPersonGen(3, uni, time.Now())
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			p := gen.Next()
+			id++
+			conn.Exec(fmt.Sprintf( //nolint:errcheck
+				"INSERT INTO person (id, name, location) VALUES (%d, 'w', '%s')", id, p.Address))
+		}
+	}()
+	// Readers: country-level point queries, latencies recorded.
+	var mu sync.Mutex
+	var lats []time.Duration
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			conn := db.NewConn()
+			qg := workload.NewQueryGen(seed, uni, "stat", 3)
+			var local []time.Duration
+			for {
+				select {
+				case <-stop:
+					mu.Lock()
+					lats = append(lats, local...)
+					mu.Unlock()
+					return
+				default:
+				}
+				q := qg.Point()
+				t0 := time.Now()
+				conn.Exec(q.SQL) //nolint:errcheck
+				local = append(local, time.Since(t0))
+			}
+		}(int64(r + 10))
+	}
+	time.Sleep(runFor)
+	close(stop)
+	wg.Wait()
+	db.Degrader().Stop()
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	st := db.Degrader().Stats()
+	res := &TxnResult{BatchSize: batch, Reads: len(lats), MaxLag: st.MaxLag, LockSkips: st.LockSkips}
+	if n := len(lats); n > 0 {
+		res.ReaderP50 = lats[n/2]
+		res.ReaderP99 = lats[n*99/100]
+		res.Throughput = float64(n) / runFor.Seconds()
+	}
+	return res, nil
+}
+
+// RecResult carries the B-REC run for assertions.
+type RecResult struct {
+	Checkpointed bool
+	WALBytes     int64
+	Recovery     time.Duration
+	StateOK      bool
+	ForensicOK   bool
+}
+
+// RunBRec exercises crash recovery (§III: atomicity and durability under
+// degradation): load, degrade, stop without graceful shutdown, reopen,
+// verify the logical state survived, the degradation queues resumed, and
+// no expired accuracy state is recoverable from any artifact — with and
+// without a pre-crash checkpoint.
+func RunBRec(w io.Writer, tuples int) ([]RecResult, error) {
+	fmt.Fprintln(w, "== B-REC: recovery and post-crash non-recoverability ==")
+	var out []RecResult
+	fmt.Fprintf(w, "%-12s %10s %12s %8s %10s\n", "checkpoint", "wal-bytes", "recovery", "state", "forensic")
+	for _, checkpoint := range []bool{false, true} {
+		dir, err := os.MkdirTemp("", "instantdb-brec-*")
+		if err != nil {
+			return nil, err
+		}
+		res, err := runOneRec(dir, checkpoint, tuples)
+		os.RemoveAll(dir)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, *res)
+		fmt.Fprintf(w, "%-12v %10d %12v %8v %10v\n",
+			res.Checkpointed, res.WALBytes, res.Recovery.Round(time.Millisecond), res.StateOK, res.ForensicOK)
+	}
+	return out, nil
+}
+
+func runOneRec(dir string, checkpoint bool, tuples int) (*RecResult, error) {
+	env, err := NewEnv(EnvOptions{Dir: dir, LogMode: engine.LogShred})
+	if err != nil {
+		return nil, err
+	}
+	if err := env.Load(tuples); err != nil {
+		env.Close()
+		return nil, err
+	}
+	needles, err := sampleNeedles(env, 64)
+	if err != nil {
+		env.Close()
+		return nil, err
+	}
+	if _, err := env.AdvanceAndTick(SimPolicyDelays[0]); err != nil {
+		env.Close()
+		return nil, err
+	}
+	if _, err := env.AdvanceAndTick(2 * time.Hour); err != nil { // expire the shred epoch
+		env.Close()
+		return nil, err
+	}
+	wantHist, err := env.LevelHistogram()
+	if err != nil {
+		env.Close()
+		return nil, err
+	}
+	crashClock := env.Clock.Now()
+	if checkpoint {
+		if err := env.DB.Checkpoint(); err != nil {
+			env.Close()
+			return nil, err
+		}
+	}
+	res := &RecResult{Checkpointed: checkpoint}
+	if log := env.DB.Log(); log != nil {
+		res.WALBytes = log.SizeBytes()
+	}
+	// "Crash": close file handles without checkpointing (the WAL and the
+	// unforced pages are exactly what recovery must reconcile).
+	env.DB.Close()
+
+	start := time.Now()
+	clock := vclock.NewSimulated(crashClock)
+	db2, err := engine.Open(engine.Config{Dir: dir, Clock: clock, LogMode: engine.LogShred})
+	if err != nil {
+		return nil, err
+	}
+	res.Recovery = time.Since(start)
+	defer db2.Close()
+
+	// Logical state must match.
+	env2 := &Env{DB: db2, Clock: clock, Uni: env.Uni, LocPolicy: env.LocPolicy}
+	gotHist, err := env2.LevelHistogram()
+	if err != nil {
+		return nil, err
+	}
+	res.StateOK = fmt.Sprint(wantHist) == fmt.Sprint(gotHist)
+
+	// No expired accuracy state recoverable from any artifact.
+	rep, err := forensic.ScanStore(db2.StorageManager().Store(), needles)
+	if err != nil {
+		return nil, err
+	}
+	dirRep, err := forensic.ScanDir(filepath.Join(dir, "wal"), needles)
+	if err != nil {
+		return nil, err
+	}
+	rep.Merge(dirRep)
+	res.ForensicOK = rep.Clean()
+	return res, nil
+}

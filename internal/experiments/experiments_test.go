@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunF1(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunF1(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"France", "Versailles", "Ile-de-France", "address"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("F1 output missing %q", want)
+		}
+	}
+}
+
+func TestRunF2(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunF2(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// 4 location transitions + 2 salary transitions fire over the
+	// simulated month.
+	for _, want := range []string{"address", "DELETE", "deleted", "transitions=6"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("F2 output missing %q:\n%s", want, out)
+		}
+	}
+	// The engine-enforced lifetime ends with zero live tuples.
+	if !strings.Contains(out, "live=0") {
+		t.Errorf("F2 lifetime did not end in deletion:\n%s", out)
+	}
+}
+
+func TestRunF3(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunF3(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"15 product states", "<d0,d0>", "tuple removed at age 745h"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("F3 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunE1OrderingHolds(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := RunE1(&buf, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's claim: LCP exposure below every retention period at
+	// or above its horizon.
+	if res.LCP >= res.Retention["30d"] || res.LCP >= res.Retention["1y"] {
+		t.Fatalf("LCP exposure %v not below retention: %v", res.LCP, res.Retention)
+	}
+	// Empirical and analytic runs agree exactly (deterministic engine).
+	if res.Empirical != res.Analytical {
+		t.Fatalf("empirical %v != analytic %v", res.Empirical, res.Analytical)
+	}
+}
+
+func TestRunE2CaptureShape(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := RunE2(&buf, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total capture at/below the accurate window, decreasing after.
+	if res.Captured[5*time.Minute] < 0.999 || res.Captured[15*time.Minute] < 0.999 {
+		t.Fatalf("sub-window attack should capture all: %v", res.Captured)
+	}
+	if res.Captured[time.Hour] >= res.Captured[15*time.Minute] {
+		t.Fatalf("capture must drop past the window: %v", res.Captured)
+	}
+	if res.Captured[24*time.Hour] >= res.Captured[time.Hour] {
+		t.Fatalf("capture must keep dropping: %v", res.Captured)
+	}
+}
+
+func TestRunE3UtilityShape(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := RunE3(&buf, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var degDonor, anonDonor float64 = -1, -1
+	for _, u := range res.Rows {
+		if strings.HasPrefix(u.Mechanism, "degradation@1") {
+			degDonor = u.DonorQueries
+		}
+		if strings.HasPrefix(u.Mechanism, "k-anon(k=25)") {
+			anonDonor = u.DonorQueries
+		}
+	}
+	if degDonor != 1 || anonDonor != 0 {
+		t.Fatalf("donor-query availability: deg=%v anon=%v", degDonor, anonDonor)
+	}
+}
+
+func TestRunBStoreBothLayoutsScrub(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := RunBStore(&buf, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("results=%d", len(res))
+	}
+	for _, r := range res {
+		if !r.ScrubClean {
+			t.Errorf("%s layout leaked pre-degradation bytes: %v", r.Layout, r.Findings)
+		}
+		if r.Transitions < 600 {
+			t.Errorf("%s degraded %d of 600", r.Layout, r.Transitions)
+		}
+	}
+}
+
+func TestRunBLogLeakProfile(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := RunBLog(&buf, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMode := map[string]LogResult{}
+	for _, r := range res {
+		byMode[r.Mode] = r
+	}
+	if byMode["plain"].Leaks == 0 {
+		t.Error("plain log should leak accurate payloads")
+	}
+	if byMode["shred"].Leaks != 0 {
+		t.Errorf("shred log leaked %d payloads", byMode["shred"].Leaks)
+	}
+	if byMode["vacuum"].Leaks != 0 {
+		t.Errorf("vacuumed log leaked %d payloads", byMode["vacuum"].Leaks)
+	}
+}
+
+func TestRunBIdxAllPathsAgree(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := RunBIdx(&buf, 400, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("results=%d", len(res))
+	}
+}
+
+func TestRunBRecStateAndForensics(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := RunBRec(&buf, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if !r.StateOK {
+			t.Errorf("checkpoint=%v: logical state diverged after recovery", r.Checkpointed)
+		}
+		if !r.ForensicOK {
+			t.Errorf("checkpoint=%v: expired accuracy states recoverable after recovery", r.Checkpointed)
+		}
+	}
+}
+
+func TestRunBTxnSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock interference run")
+	}
+	var buf bytes.Buffer
+	res, err := RunBTxn(&buf, 2, 150*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.Reads == 0 {
+			t.Errorf("batch %d: no reads completed", r.BatchSize)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+// Package exposure quantifies the paper's three claims (§I):
+//
+//   - E1, privacy: how much sensitive information a disclosure at an
+//     arbitrary instant reveals, as a weighted count of exposed accuracy
+//     states — degradation always below retention once the first delay
+//     elapses.
+//   - E2, security: how often an attacker must snapshot the store to
+//     capture accurate states — capture is bounded by the accurate
+//     window over the snapshot period, reaching totality only when the
+//     attack repeats faster than the shortest degradation step.
+//   - E3 support: sensitivity weights shared with the usability
+//     comparison.
+//
+// The package is pure math plus a discrete-event simulation over
+// arrival sequences; the bench harness feeds it real engine runs.
+package exposure
+
+import (
+	"math"
+	"time"
+
+	"instantdb/internal/lcp"
+)
+
+// Weights maps an accuracy level to its sensitivity weight in [0, 1].
+// Level -1 (erased) must map to 0.
+type Weights func(level int) float64
+
+// HalvingWeights is the default sensitivity model: each generalization
+// halves sensitivity (level 0 → 1.0, level 1 → 0.5, …, erased → 0).
+func HalvingWeights(level int) float64 {
+	if level < 0 {
+		return 0
+	}
+	return math.Pow(0.5, float64(level))
+}
+
+// LinearWeights decreases linearly over a domain of n levels.
+func LinearWeights(n int) Weights {
+	return func(level int) float64 {
+		if level < 0 || level >= n {
+			return 0
+		}
+		return float64(n-level) / float64(n)
+	}
+}
+
+// SteadyStateExposure returns the expected weighted amount of sensitive
+// information exposed at an arbitrary instant under a policy, for a
+// Poisson-ish arrival process of rate tuples/hour: rate × Σ_states
+// w(level) × retention(state). A Remain policy exposes its last level
+// forever and returns +Inf.
+func SteadyStateExposure(p *lcp.Policy, w Weights, ratePerHour float64) float64 {
+	total := 0.0
+	for i := 0; i < p.StateCount(); i++ {
+		st := p.StateAt(i)
+		last := i == p.StateCount()-1
+		if last && !p.HasTerminalTransition() {
+			if w(st.Level) > 0 {
+				return math.Inf(1)
+			}
+			continue
+		}
+		total += w(st.Level) * st.Retention.Hours()
+	}
+	return ratePerHour * total
+}
+
+// RetentionExposure returns the same metric for the all-or-nothing
+// retention baseline: full accuracy for the whole retention period.
+func RetentionExposure(theta time.Duration, w Weights, ratePerHour float64) float64 {
+	return ratePerHour * w(0) * theta.Hours()
+}
+
+// CaptureFraction returns the expected fraction of tuples whose state-0
+// (accurate) value a periodic attacker captures, for uniformly arriving
+// tuples: the accurate window over the snapshot period, capped at 1.
+// A period of zero or below the window means total capture — the paper's
+// "attack must be repeated with a frequency smaller than the duration of
+// the shortest degradation step".
+func CaptureFraction(accurateWindow, period time.Duration) float64 {
+	if period <= 0 {
+		return 1
+	}
+	if accurateWindow <= 0 {
+		return 0
+	}
+	f := float64(accurateWindow) / float64(period)
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// AttackResult reports a simulated periodic-snapshot attack.
+type AttackResult struct {
+	Tuples int
+	// CapturedAtLevel[j] counts tuples whose *best* (most accurate)
+	// capture across all snapshots was level j.
+	CapturedAtLevel map[int]int
+	// Missed counts tuples never observed (deleted between snapshots or
+	// erased attributes only).
+	Missed int
+	// WeightedLoot is the attacker's total information gain under the
+	// given weights.
+	WeightedLoot float64
+	Snapshots    int
+}
+
+// SimulateAttack replays a periodic snapshot attack against arrivals
+// governed by a policy: the attacker dumps the store every period from
+// start to start+horizon and keeps, per tuple, the most accurate level
+// observed. It is an exact discrete simulation of the model underlying
+// CaptureFraction.
+func SimulateAttack(arrivals []time.Time, p *lcp.Policy, w Weights,
+	start time.Time, period, horizon time.Duration) AttackResult {
+	res := AttackResult{Tuples: len(arrivals), CapturedAtLevel: make(map[int]int)}
+	if period <= 0 {
+		period = time.Nanosecond
+	}
+	for _, at := range arrivals {
+		best := -2 // -2 = never seen; -1 = erased only
+		for t := start; !t.After(start.Add(horizon)); t = t.Add(period) {
+			res.Snapshots++
+			age := t.Sub(at)
+			if age < 0 {
+				continue
+			}
+			idx, done := p.StateAtAge(age)
+			if done {
+				if p.Terminal() == lcp.Delete {
+					continue // tuple gone: nothing to capture
+				}
+				if best == -2 {
+					best = -1 // suppressed attribute: presence only
+				}
+				continue
+			}
+			lvl := p.LevelOf(idx)
+			if best == -2 || lvl < best || best == -1 {
+				best = lvl
+			}
+		}
+		switch best {
+		case -2:
+			res.Missed++
+		default:
+			res.CapturedAtLevel[best]++
+			res.WeightedLoot += w(best)
+		}
+	}
+	// Snapshots was incremented per tuple; normalize to the schedule.
+	if len(arrivals) > 0 {
+		res.Snapshots /= len(arrivals)
+	}
+	return res
+}
+
+// LevelTimeline returns, for a policy, the fraction of a tuple's
+// lifetime spent at each level (erased/deleted excluded) — the data
+// behind an exposure-over-age plot (E1's time axis).
+func LevelTimeline(p *lcp.Policy) map[int]time.Duration {
+	out := make(map[int]time.Duration)
+	for i := 0; i < p.StateCount(); i++ {
+		st := p.StateAt(i)
+		last := i == p.StateCount()-1
+		if last && !p.HasTerminalTransition() {
+			continue // forever
+		}
+		out[st.Level] += st.Retention
+	}
+	return out
+}

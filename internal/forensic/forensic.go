@@ -1,0 +1,144 @@
+// Package forensic implements the adversary the paper defends against
+// (§III, citing Stahlberg, Miklau and Levine, "Threats to privacy in the
+// forensic analysis of database systems"): an attacker with raw byte
+// access to every persistent artifact — page store, log segments, key
+// file — searching for recoverable traces of expired accuracy states.
+// The experiment harness uses it to *prove* non-recoverability: after a
+// transition's deadline, a scan for the old stored form must come back
+// empty.
+package forensic
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"instantdb/internal/storage"
+	"instantdb/internal/value"
+)
+
+// Needle is a byte pattern whose presence in a raw artifact counts as a
+// leak, labeled for reporting.
+type Needle struct {
+	Label string
+	Bytes []byte
+}
+
+// NeedleForStored builds a needle for a stored degradable value: the
+// exact encoding the storage layer and the (plain) log write for it.
+func NeedleForStored(label string, v value.Value) Needle {
+	return Needle{Label: label, Bytes: value.Encode(nil, v)}
+}
+
+// NeedleForText builds a needle for a raw text fragment (stable columns,
+// rendered values).
+func NeedleForText(label, text string) Needle {
+	return Needle{Label: label, Bytes: []byte(text)}
+}
+
+// Finding is one located leak.
+type Finding struct {
+	// Artifact names the scanned surface ("store", or a file path).
+	Artifact string
+	// Offset is the byte offset of the first occurrence within the
+	// artifact unit (page or file).
+	Offset int
+	// Unit identifies the page id or file.
+	Unit string
+	// Label is the needle's label.
+	Label string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %q at %s+%d", f.Artifact, f.Label, f.Unit, f.Offset)
+}
+
+// Report aggregates one scan.
+type Report struct {
+	BytesScanned int64
+	Findings     []Finding
+}
+
+// Clean reports whether the scan found no leaks.
+func (r Report) Clean() bool { return len(r.Findings) == 0 }
+
+// Merge folds another report into r.
+func (r *Report) Merge(other Report) {
+	r.BytesScanned += other.BytesScanned
+	r.Findings = append(r.Findings, other.Findings...)
+}
+
+// ScanStore searches every raw page of a store.
+func ScanStore(s storage.Store, needles []Needle) (Report, error) {
+	var rep Report
+	err := s.ForEachPage(func(id storage.PageID, data []byte) error {
+		rep.BytesScanned += int64(len(data))
+		for _, n := range needles {
+			if off := bytes.Index(data, n.Bytes); off >= 0 {
+				rep.Findings = append(rep.Findings, Finding{
+					Artifact: "store",
+					Unit:     fmt.Sprintf("page %d", id),
+					Offset:   off,
+					Label:    n.Label,
+				})
+			}
+		}
+		return nil
+	})
+	return rep, err
+}
+
+// ScanFile searches one file.
+func ScanFile(path string, needles []Needle) (Report, error) {
+	var rep Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return rep, nil
+		}
+		return rep, err
+	}
+	rep.BytesScanned = int64(len(data))
+	for _, n := range needles {
+		if off := bytes.Index(data, n.Bytes); off >= 0 {
+			rep.Findings = append(rep.Findings, Finding{
+				Artifact: path, Unit: filepath.Base(path), Offset: off, Label: n.Label,
+			})
+		}
+	}
+	return rep, nil
+}
+
+// ScanDir searches every regular file under dir (the WAL directory, the
+// key file's directory, or a whole database directory).
+func ScanDir(dir string, needles []Needle) (Report, error) {
+	var rep Report
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		sub, err := ScanFile(path, needles)
+		if err != nil {
+			return err
+		}
+		rep.Merge(sub)
+		return nil
+	})
+	if os.IsNotExist(err) {
+		err = nil
+	}
+	return rep, err
+}
+
+// Snapshot is the attacker's periodic-dump primitive (experiment E2): it
+// copies every live page, modeling a one-shot raw exfiltration of the
+// data space. The returned byte slab can be searched later.
+func Snapshot(s storage.Store) ([]byte, error) {
+	var out []byte
+	err := s.ForEachPage(func(_ storage.PageID, data []byte) error {
+		out = append(out, data...)
+		return nil
+	})
+	return out, err
+}

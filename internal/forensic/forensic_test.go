@@ -1,0 +1,104 @@
+package forensic
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"instantdb/internal/storage"
+	"instantdb/internal/value"
+)
+
+func TestScanStoreFindsAndMisses(t *testing.T) {
+	s := storage.NewMemStore()
+	id, _ := s.Allocate()
+	page := make([]byte, storage.PageSize)
+	copy(page[100:], "the-secret-address")
+	if err := s.WritePage(id, page); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ScanStore(s, []Needle{
+		NeedleForText("addr", "the-secret-address"),
+		NeedleForText("ghost", "never-written"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() || len(rep.Findings) != 1 {
+		t.Fatalf("findings=%v", rep.Findings)
+	}
+	f := rep.Findings[0]
+	if f.Label != "addr" || f.Offset != 100 || f.Unit != "page 0" {
+		t.Fatalf("finding=%+v", f)
+	}
+	if rep.BytesScanned != storage.PageSize {
+		t.Fatalf("scanned=%d", rep.BytesScanned)
+	}
+}
+
+func TestNeedleForStoredMatchesEncoding(t *testing.T) {
+	v := value.Int(424242)
+	n := NeedleForStored("node", v)
+	s := storage.NewMemStore()
+	id, _ := s.Allocate()
+	page := make([]byte, storage.PageSize)
+	copy(page[7:], value.Encode(nil, v))
+	s.WritePage(id, page)
+	rep, _ := ScanStore(s, []Needle{n})
+	if rep.Clean() {
+		t.Fatal("stored encoding not found")
+	}
+}
+
+func TestScanDirAndFile(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "wal-1.log"), []byte("xxleak-herexx"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	sub := filepath.Join(dir, "sub")
+	os.MkdirAll(sub, 0o700)
+	os.WriteFile(filepath.Join(sub, "keys.db"), []byte("clean"), 0o600)
+	rep, err := ScanDir(dir, []Needle{NeedleForText("leak", "leak-here")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Findings) != 1 || rep.Findings[0].Unit != "wal-1.log" {
+		t.Fatalf("findings=%v", rep.Findings)
+	}
+	// Missing paths scan clean.
+	rep, err = ScanDir(filepath.Join(dir, "nope"), nil)
+	if err != nil || !rep.Clean() {
+		t.Fatalf("missing dir: %v %v", rep, err)
+	}
+	rep, err = ScanFile(filepath.Join(dir, "nope.bin"), nil)
+	if err != nil || !rep.Clean() {
+		t.Fatalf("missing file: %v %v", rep, err)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	s := storage.NewMemStore()
+	for i := 0; i < 3; i++ {
+		id, _ := s.Allocate()
+		page := make([]byte, storage.PageSize)
+		page[0] = byte(i + 1)
+		s.WritePage(id, page)
+	}
+	snap, err := Snapshot(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) != 3*storage.PageSize {
+		t.Fatalf("snapshot size %d", len(snap))
+	}
+	if snap[0] != 1 || snap[storage.PageSize] != 2 || snap[2*storage.PageSize] != 3 {
+		t.Fatal("snapshot content wrong")
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{Artifact: "store", Unit: "page 3", Offset: 9, Label: "x"}
+	if f.String() == "" {
+		t.Fatal("empty finding string")
+	}
+}

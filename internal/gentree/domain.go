@@ -1,0 +1,110 @@
+// Package gentree implements generalization hierarchies — the paper's
+// Generalization Trees (Figure 1). A Domain describes, for one attribute
+// domain, the value an attribute takes at every accuracy level of its
+// lifetime: level 0 is the accurate (leaf) form, higher levels are
+// progressively coarser, and the last level is the most general form still
+// stored. Complete removal is not a Domain level; it is the terminal state
+// of a Life Cycle Policy (package lcp).
+//
+// Three families of domains cover the paper's examples:
+//
+//   - Tree: an explicit generalization tree (location: address → city →
+//     region → country, Figure 1).
+//   - IntRange: numeric bucketing (salary: exact → range 100 → range 1000),
+//     matching the paper's RANGE1000 purpose syntax and '2000-3000' literals.
+//   - TimeTrunc: timestamp truncation (exact → minute → hour → day → month).
+//
+// Degradable attributes are persisted in a *stored representation* chosen
+// by the domain (a node id for trees, a bucket floor for ranges, a
+// truncated timestamp for times). The Domain translates between the stored
+// form, the user-visible rendered form, and index-friendly order keys.
+package gentree
+
+import (
+	"errors"
+	"fmt"
+
+	"instantdb/internal/value"
+)
+
+// Common domain errors.
+var (
+	// ErrUnknownValue is returned when a value cannot be resolved within
+	// the domain (e.g., an address absent from the tree).
+	ErrUnknownValue = errors.New("gentree: value not in domain")
+	// ErrBadLevel is returned for accuracy levels outside [0, Levels()).
+	ErrBadLevel = errors.New("gentree: accuracy level out of range")
+	// ErrNotOrdered is returned by OrderKey for domains whose generalized
+	// values carry no meaningful order (tree domains).
+	ErrNotOrdered = errors.New("gentree: domain has no order at this level")
+)
+
+// Domain is a generalization hierarchy for one attribute domain.
+//
+// All methods are safe for concurrent use after construction; domains are
+// immutable once built.
+type Domain interface {
+	// Name returns the domain's catalog name.
+	Name() string
+
+	// Levels returns the number of accuracy levels. Level 0 is the most
+	// accurate; Levels()-1 is the most general form still stored.
+	Levels() int
+
+	// LevelName returns the human-readable name of a level ("city",
+	// "range1000", "hour"...). Used by the purpose declaration syntax.
+	LevelName(level int) string
+
+	// LevelByName resolves a level name (case-insensitive) to its index.
+	LevelByName(name string) (int, error)
+
+	// InsertKind returns the value kind accepted by ResolveInsert (the
+	// declared SQL type of columns bound to this domain).
+	InsertKind() value.Kind
+
+	// ResolveInsert converts a user-supplied accurate value into the
+	// stored representation at level 0.
+	ResolveInsert(v value.Value) (value.Value, error)
+
+	// Degrade converts a stored representation at level from into the
+	// stored representation at level to. It requires 0 <= from <= to <
+	// Levels(): degradation is irreversible, never a refinement.
+	Degrade(stored value.Value, from, to int) (value.Value, error)
+
+	// Render converts a stored representation at the given level into the
+	// user-visible value at that level.
+	Render(stored value.Value, level int) (value.Value, error)
+
+	// Locate maps a user-visible value at the given level to the stored
+	// representations that render to it. Tree domains may return several
+	// (homonym nodes); scalar domains return exactly one. It returns
+	// ErrUnknownValue when nothing matches.
+	Locate(v value.Value, level int) ([]value.Value, error)
+
+	// OrderKey converts a stored representation at the given level into a
+	// totally ordered Value suitable for range predicates and B+tree
+	// keys, or ErrNotOrdered if the level has no meaningful order.
+	OrderKey(stored value.Value, level int) (value.Value, error)
+}
+
+func checkLevel(d Domain, level int) error {
+	if level < 0 || level >= d.Levels() {
+		return fmt.Errorf("%w: %d not in [0,%d) of domain %s",
+			ErrBadLevel, level, d.Levels(), d.Name())
+	}
+	return nil
+}
+
+func checkSpan(d Domain, from, to int) error {
+	if err := checkLevel(d, from); err != nil {
+		return err
+	}
+	if err := checkLevel(d, to); err != nil {
+		return err
+	}
+	if from > to {
+		return fmt.Errorf("%w: refinement %d->%d forbidden in domain %s",
+			ErrBadLevel, from, to, d.Name())
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+package gentree
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"instantdb/internal/value"
+)
+
+func TestMustBuildersPanic(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("MustBuild", func() { NewTreeBuilder("x", "a").MustBuild() })
+	expectPanic("MustIntRange", func() { MustIntRange("x", -1) })
+	expectPanic("MustTimeTrunc", func() { MustTimeTrunc("x", UnitExact) })
+}
+
+func TestLevelNameOutOfRange(t *testing.T) {
+	tr := Figure1Locations()
+	if got := tr.LevelName(99); got != "level99" {
+		t.Errorf("tree LevelName(99)=%q", got)
+	}
+	d := Figure2Salary()
+	if got := d.LevelName(-1); got != "level-1" {
+		t.Errorf("range LevelName(-1)=%q", got)
+	}
+	tt := StandardTimestamp()
+	if got := tt.LevelName(42); got != "level42" {
+		t.Errorf("time LevelName(42)=%q", got)
+	}
+}
+
+func TestInsertKinds(t *testing.T) {
+	if Figure1Locations().InsertKind() != value.KindText {
+		t.Error("tree kind")
+	}
+	if Figure2Salary().InsertKind() != value.KindInt {
+		t.Error("range kind")
+	}
+	if StandardTimestamp().InsertKind() != value.KindTime {
+		t.Error("time kind")
+	}
+}
+
+func TestStoredToNodeRejects(t *testing.T) {
+	if _, ok := StoredToNode(value.Text("x")); ok {
+		t.Error("text accepted as node")
+	}
+	if _, ok := StoredToNode(value.Int(5)); ok {
+		t.Error("small int accepted as node (below stored base)")
+	}
+	if _, ok := StoredToNode(value.Int(0x1DB00000)); ok {
+		t.Error("base itself maps to invalid node 0")
+	}
+	n, ok := StoredToNode(NodeToStored(7))
+	if !ok || n != 7 {
+		t.Errorf("roundtrip=(%v,%v)", n, ok)
+	}
+}
+
+func TestIntRangeBucketSpan(t *testing.T) {
+	d := Figure2Salary()
+	stored, _ := d.Degrade(value.Int(2471), 0, 2)
+	lo, hi, err := d.BucketSpan(stored, 2)
+	if err != nil || lo.Int() != 2000 || hi.Int() != 3000 {
+		t.Fatalf("span=(%v,%v,%v)", lo, hi, err)
+	}
+	// Level 0: unit bucket.
+	lo, hi, err = d.BucketSpan(value.Int(5), 0)
+	if err != nil || lo.Int() != 5 || hi.Int() != 6 {
+		t.Fatalf("level0 span=(%v,%v,%v)", lo, hi, err)
+	}
+	// Suppressed level has no span.
+	if _, _, err := d.BucketSpan(value.Int(0), 3); err != ErrNotOrdered {
+		t.Fatalf("suppressed span err=%v", err)
+	}
+	if _, _, err := d.BucketSpan(value.Text("x"), 1); err == nil {
+		t.Fatal("text stored form accepted")
+	}
+	if _, _, err := d.BucketSpan(value.Int(0), 99); err == nil {
+		t.Fatal("bad level accepted")
+	}
+}
+
+func TestTimeTruncBucketSpan(t *testing.T) {
+	d := MustTimeTrunc("t", UnitExact, UnitSecond, UnitMinute, UnitHour, UnitDay, UnitWeek, UnitMonth, UnitYear)
+	base := time.Date(2008, 4, 1, 0, 0, 0, 0, time.UTC)
+	cases := []struct {
+		level int
+		want  time.Time
+	}{
+		{1, base.Add(time.Second)},
+		{2, base.Add(time.Minute)},
+		{3, base.Add(time.Hour)},
+		{4, base.AddDate(0, 0, 1)},
+		// base (Tue 2008-04-01) truncates to Monday 2008-03-31; the
+		// week bucket ends the following Monday.
+		{5, time.Date(2008, 4, 7, 0, 0, 0, 0, time.UTC)},
+		{6, time.Date(2008, 5, 1, 0, 0, 0, 0, time.UTC)},
+		// year truncation lands on Jan 1.
+		{7, time.Date(2009, 1, 1, 0, 0, 0, 0, time.UTC)},
+	}
+	for _, c := range cases {
+		stored, err := d.Degrade(value.Time(base), 0, c.level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, hi, err := d.BucketSpan(stored, c.level)
+		if err != nil {
+			t.Fatalf("level %d: %v", c.level, err)
+		}
+		if !hi.Time().Equal(c.want) {
+			t.Errorf("level %d span end %v want %v", c.level, hi.Time(), c.want)
+		}
+	}
+	// Exact level: nanosecond bucket.
+	_, hi, err := d.BucketSpan(value.Time(base), 0)
+	if err != nil || !hi.Time().Equal(base.Add(time.Nanosecond)) {
+		t.Fatalf("exact span=(%v,%v)", hi, err)
+	}
+	if _, _, err := d.BucketSpan(value.Int(1), 0); err == nil {
+		t.Fatal("non-time stored form accepted")
+	}
+}
+
+func TestTimeUnitStrings(t *testing.T) {
+	names := []string{"exact", "second", "minute", "hour", "day", "week", "month", "year"}
+	for u := UnitExact; u <= UnitYear; u++ {
+		if u.String() != names[u] {
+			t.Errorf("unit %d = %q want %q", u, u.String(), names[u])
+		}
+	}
+	if !strings.HasPrefix(TimeUnit(99).String(), "unit") {
+		t.Error("unknown unit string")
+	}
+}
+
+func TestScalarErrorPaths(t *testing.T) {
+	d := Figure2Salary()
+	if _, err := d.Degrade(value.Text("x"), 0, 1); err == nil {
+		t.Error("range degrade of text accepted")
+	}
+	if _, err := d.Render(value.Text("x"), 1); err == nil {
+		t.Error("range render of text accepted")
+	}
+	if _, err := d.OrderKey(value.Text("x"), 1); err == nil {
+		t.Error("range order key of text accepted")
+	}
+	if _, err := d.ResolveInsert(value.Text("x")); err == nil {
+		t.Error("range insert of text accepted")
+	}
+	if _, err := d.Locate(value.Int(5), 99); err == nil {
+		t.Error("bad level accepted")
+	}
+	tt := StandardTimestamp()
+	if _, err := tt.Render(value.Int(5), 1); err == nil {
+		t.Error("time render of int accepted")
+	}
+	if _, err := tt.OrderKey(value.Int(5), 1); err == nil {
+		t.Error("time order key of int accepted")
+	}
+	tr := Figure1Locations()
+	if _, err := tr.Degrade(value.Int(1), 3, 0); err == nil {
+		t.Error("tree refinement accepted")
+	}
+	if _, err := tr.Locate(value.Int(1), 0); err == nil {
+		t.Error("tree locate of int accepted")
+	}
+	if _, err := tr.Ancestor(InvalidNode, 2); err == nil {
+		t.Error("ancestor of invalid node accepted")
+	}
+}

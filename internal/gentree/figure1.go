@@ -1,0 +1,50 @@
+package gentree
+
+// This file reproduces the paper's Figure 1: the generalization tree of
+// the location domain (address → city → region → country). The node set
+// is a small but realistic sample; workload generators in
+// internal/workload synthesize larger trees with the same shape.
+
+// Figure1Locations builds the location generalization tree of the paper's
+// Figure 1 with levels address, city, region, country.
+func Figure1Locations() *Tree {
+	b := NewTreeBuilder("location", "address", "city", "region", "country")
+	for _, p := range figure1Paths {
+		b.AddPath(p[0], p[1], p[2], p[3])
+	}
+	return b.MustBuild()
+}
+
+var figure1Paths = [][4]string{
+	// France — the authors' home institutions.
+	{"Domaine de Voluceau, Rocquencourt", "Le Chesnay", "Ile-de-France", "France"},
+	{"45 avenue des Etats-Unis", "Versailles", "Ile-de-France", "France"},
+	{"2 place de la Defense", "Paris", "Ile-de-France", "France"},
+	{"10 rue de Rivoli", "Paris", "Ile-de-France", "France"},
+	{"1 quai du Port", "Marseille", "Provence", "France"},
+	{"20 cours Mirabeau", "Aix-en-Provence", "Provence", "France"},
+	{"5 place Bellecour", "Lyon", "Rhone-Alpes", "France"},
+	// The Netherlands — CTIT, University of Twente.
+	{"Drienerlolaan 5", "Enschede", "Overijssel", "Netherlands"},
+	{"Hengelosestraat 99", "Enschede", "Overijssel", "Netherlands"},
+	{"Dam 1", "Amsterdam", "Noord-Holland", "Netherlands"},
+	{"Museumplein 6", "Amsterdam", "Noord-Holland", "Netherlands"},
+	{"Coolsingel 40", "Rotterdam", "Zuid-Holland", "Netherlands"},
+	// Mexico — ICDE 2008 venue.
+	{"Blvd Kukulcan km 9", "Cancun", "Quintana Roo", "Mexico"},
+	{"5a Avenida Norte 100", "Playa del Carmen", "Quintana Roo", "Mexico"},
+	{"Paseo de la Reforma 325", "Mexico City", "CDMX", "Mexico"},
+}
+
+// Figure2Salary builds the salary range domain used by the paper's
+// example purpose (SET ACCURACY LEVEL RANGE1000 FOR P.SALARY): exact →
+// range 100 → range 1000 → suppressed.
+func Figure2Salary() *IntRange {
+	return MustIntRange("salary", 100, 1000, 0)
+}
+
+// StandardTimestamp builds the time-truncation domain used by the
+// location-tracker workloads: exact → hour → day → month.
+func StandardTimestamp() *TimeTrunc {
+	return MustTimeTrunc("timestamp", UnitExact, UnitHour, UnitDay, UnitMonth)
+}

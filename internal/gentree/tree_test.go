@@ -1,0 +1,278 @@
+package gentree
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"instantdb/internal/value"
+)
+
+func mustTree(t *testing.T) *Tree {
+	t.Helper()
+	return Figure1Locations()
+}
+
+func TestTreeBuilderValidation(t *testing.T) {
+	if _, err := NewTreeBuilder("x", "only").Build(); err == nil {
+		t.Error("single-level tree should fail")
+	}
+	if _, err := NewTreeBuilder("x", "a", "b").Build(); err == nil {
+		t.Error("empty tree should fail")
+	}
+	if _, err := NewTreeBuilder("x", "a", "b").AddPath("leaf").Build(); err == nil {
+		t.Error("short path should fail")
+	}
+	if _, err := NewTreeBuilder("x", "a", "b").
+		AddPath("l", "r").AddPath("l", "r").Build(); err == nil {
+		t.Error("duplicate leaf path should fail")
+	}
+}
+
+func TestTreeLevels(t *testing.T) {
+	tr := mustTree(t)
+	if tr.Levels() != 4 {
+		t.Fatalf("Levels()=%d want 4", tr.Levels())
+	}
+	for i, want := range []string{"address", "city", "region", "country"} {
+		if got := tr.LevelName(i); got != want {
+			t.Errorf("LevelName(%d)=%q want %q", i, got, want)
+		}
+		lvl, err := tr.LevelByName(strings.ToUpper(want))
+		if err != nil || lvl != i {
+			t.Errorf("LevelByName(%q)=(%d,%v) want %d", want, lvl, err, i)
+		}
+	}
+	if _, err := tr.LevelByName("continent"); err == nil {
+		t.Error("unknown level name should fail")
+	}
+}
+
+func TestTreeSharedInteriorNodes(t *testing.T) {
+	tr := mustTree(t)
+	// Two Enschede addresses must resolve to the same city node.
+	a, err := tr.ResolveInsert(value.Text("Drienerlolaan 5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tr.ResolveInsert(value.Text("Hengelosestraat 99"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, err := tr.Degrade(a, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := tr.Degrade(b, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !value.Equal(ca, cb) {
+		t.Fatalf("Enschede city nodes differ: %v vs %v", ca, cb)
+	}
+}
+
+func TestTreeDegradeRenderFigure1(t *testing.T) {
+	tr := mustTree(t)
+	stored, err := tr.ResolveInsert(value.Text("45 avenue des Etats-Unis"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"45 avenue des Etats-Unis", "Versailles", "Ile-de-France", "France"}
+	for lvl := 0; lvl < tr.Levels(); lvl++ {
+		d, err := tr.Degrade(stored, 0, lvl)
+		if err != nil {
+			t.Fatalf("Degrade to %d: %v", lvl, err)
+		}
+		r, err := tr.Render(d, lvl)
+		if err != nil {
+			t.Fatalf("Render at %d: %v", lvl, err)
+		}
+		if r.Text() != want[lvl] {
+			t.Errorf("level %d: %q want %q", lvl, r.Text(), want[lvl])
+		}
+	}
+}
+
+func TestTreeDegradeRejectsRefinement(t *testing.T) {
+	tr := mustTree(t)
+	stored, _ := tr.ResolveInsert(value.Text("Dam 1"))
+	city, _ := tr.Degrade(stored, 0, 1)
+	if _, err := tr.Degrade(city, 1, 0); err == nil {
+		t.Fatal("refinement must be rejected: degradation is irreversible")
+	}
+}
+
+func TestTreeDegradeLevelMismatch(t *testing.T) {
+	tr := mustTree(t)
+	stored, _ := tr.ResolveInsert(value.Text("Dam 1"))
+	// Claiming a leaf node is at level 2 must fail.
+	if _, err := tr.Degrade(stored, 2, 3); err == nil {
+		t.Fatal("level mismatch must be detected")
+	}
+}
+
+func TestTreeResolveInsertErrors(t *testing.T) {
+	tr := mustTree(t)
+	if _, err := tr.ResolveInsert(value.Text("1600 Pennsylvania Ave")); err == nil {
+		t.Error("unknown address should fail")
+	}
+	if _, err := tr.ResolveInsert(value.Int(5)); err == nil {
+		t.Error("non-text insert should fail")
+	}
+}
+
+func TestTreeLocate(t *testing.T) {
+	tr := mustTree(t)
+	got, err := tr.Locate(value.Text("France"), 3)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("Locate France: %v %v", got, err)
+	}
+	if _, err := tr.Locate(value.Text("France"), 1); err == nil {
+		t.Error("France is not a city")
+	}
+	if _, err := tr.Locate(value.Text("Atlantis"), 3); err == nil {
+		t.Error("unknown country should fail")
+	}
+	// Paris appears once as a city (both addresses share the node).
+	cities, err := tr.Locate(value.Text("Paris"), 1)
+	if err != nil || len(cities) != 1 {
+		t.Fatalf("Locate Paris city: %v %v", cities, err)
+	}
+}
+
+func TestTreeHomonymNodes(t *testing.T) {
+	b := NewTreeBuilder("loc", "addr", "city", "country")
+	b.AddPath("a1", "Paris", "France")
+	b.AddPath("a2", "Paris", "USA")
+	tr := b.MustBuild()
+	got, err := tr.Locate(value.Text("Paris"), 1)
+	if err != nil || len(got) != 2 {
+		t.Fatalf("homonym Locate: %v %v, want 2 nodes", got, err)
+	}
+}
+
+func TestTreeOrderKeyUnordered(t *testing.T) {
+	tr := mustTree(t)
+	if _, err := tr.OrderKey(value.Int(1), 0); err != ErrNotOrdered {
+		t.Fatalf("OrderKey err=%v want ErrNotOrdered", err)
+	}
+}
+
+func TestTreeNavigation(t *testing.T) {
+	tr := mustTree(t)
+	stored, _ := tr.ResolveInsert(value.Text("10 rue de Rivoli"))
+	leaf, ok := StoredToNode(stored)
+	if !ok {
+		t.Fatal("stored form did not unbox")
+	}
+	if tr.NodeLevel(leaf) != 0 {
+		t.Fatalf("leaf level %d", tr.NodeLevel(leaf))
+	}
+	country, err := tr.Ancestor(leaf, 3)
+	if err != nil || tr.NodeValue(country) != "France" {
+		t.Fatalf("Ancestor: %v %v", tr.NodeValue(country), err)
+	}
+	if p := tr.Path(leaf); len(p) != 4 || p[3] != "France" {
+		t.Fatalf("Path=%v", p)
+	}
+	if tr.Parent(country) != InvalidNode {
+		t.Fatal("country parent should be invalid (root)")
+	}
+	kids := tr.Children(country)
+	if len(kids) == 0 {
+		t.Fatal("France should have region children")
+	}
+	// Children and Parent are mutually consistent.
+	for _, k := range kids {
+		if tr.Parent(k) != country {
+			t.Fatalf("child %d parent mismatch", k)
+		}
+	}
+	if n := len(tr.Roots()); n != 3 {
+		t.Fatalf("roots=%d want 3 (France, Netherlands, Mexico)", n)
+	}
+}
+
+// Property: for every leaf, degrading stepwise equals degrading directly,
+// and the rendered path equals Path() reversed — the Figure 1 invariant
+// that a node's degraded forms are exactly its ancestor chain.
+func TestTreePropertyAncestorChain(t *testing.T) {
+	tr := mustTree(t)
+	for _, leaf := range tr.NodesAtLevel(0) {
+		stored := NodeToStored(leaf)
+		step := stored
+		for lvl := 1; lvl < tr.Levels(); lvl++ {
+			var err error
+			step, err = tr.Degrade(step, lvl-1, lvl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			direct, err := tr.Degrade(stored, 0, lvl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !value.Equal(step, direct) {
+				t.Fatalf("leaf %d: stepwise != direct at level %d", leaf, lvl)
+			}
+			anc, err := tr.Ancestor(leaf, lvl)
+			directNode, ok := StoredToNode(direct)
+			if err != nil || !ok || anc != directNode {
+				t.Fatalf("leaf %d: ancestor mismatch at level %d", leaf, lvl)
+			}
+		}
+	}
+}
+
+func TestTreeDump(t *testing.T) {
+	out := mustTree(t).Dump()
+	for _, want := range []string{"domain location", "France", "  Ile-de-France", "    Paris"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Dump missing %q", want)
+		}
+	}
+}
+
+// Property: NodesAtLevel partitions the node set.
+func TestTreeNodePartition(t *testing.T) {
+	tr := mustTree(t)
+	total := 0
+	for lvl := 0; lvl < tr.Levels(); lvl++ {
+		total += len(tr.NodesAtLevel(lvl))
+	}
+	if total != tr.NodeCount() {
+		t.Fatalf("levels hold %d nodes, tree has %d", total, tr.NodeCount())
+	}
+}
+
+// Property (quick): random walks down from any root always end at level 0
+// and Ancestor inverts the walk.
+func TestQuickTreeWalk(t *testing.T) {
+	tr := mustTree(t)
+	roots := tr.Roots()
+	if err := quick.Check(func(seed uint32) bool {
+		n := roots[int(seed)%len(roots)]
+		for {
+			kids := tr.Children(n)
+			if len(kids) == 0 {
+				break
+			}
+			n = kids[int(seed>>3)%len(kids)]
+		}
+		if tr.NodeLevel(n) != 0 {
+			return false
+		}
+		anc, err := tr.Ancestor(n, tr.Levels()-1)
+		if err != nil {
+			return false
+		}
+		for _, r := range roots {
+			if r == anc {
+				return true
+			}
+		}
+		return false
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,258 @@
+// Package index implements InstantDB's three secondary index families
+// and their degradation maintenance (experiment B-IDX):
+//
+//   - BTree: an in-memory B+tree over order-preserving byte keys with
+//     TupleID postings. Composite key builders encode stable values,
+//     tree-domain generalization paths (making a subtree query a prefix
+//     range scan), and (level, order-key) pairs for scalar domains.
+//   - Bitmap: one bitset per generalization-tree node — the OLAP-style
+//     index; a degradation step clears the child bit and sets the parent.
+//   - GTIndex: posting lists attached to generalization-tree nodes; a
+//     degradation step moves an id between two postings, and a predicate
+//     at any accuracy level is one subtree collection.
+//
+// Indexes are memory-resident, rebuilt from the heap at open: the
+// persistent artifacts audited for non-recoverability are the page store
+// and the log. Entry removal still erases eagerly (postings shrink and
+// freed tails are zeroed) so process memory does not accumulate expired
+// accuracy states.
+package index
+
+import (
+	"bytes"
+	"sort"
+	"sync"
+
+	"instantdb/internal/storage"
+)
+
+const (
+	maxLeafKeys   = 64
+	maxInnerChild = 64
+)
+
+// posting is a sorted TupleID set.
+type posting []storage.TupleID
+
+func (p posting) find(tid storage.TupleID) (int, bool) {
+	i := sort.Search(len(p), func(i int) bool { return p[i] >= tid })
+	return i, i < len(p) && p[i] == tid
+}
+
+func (p posting) add(tid storage.TupleID) posting {
+	i, ok := p.find(tid)
+	if ok {
+		return p
+	}
+	p = append(p, 0)
+	copy(p[i+1:], p[i:])
+	p[i] = tid
+	return p
+}
+
+// remove deletes tid, zeroing the vacated tail slot so the id does not
+// linger in memory.
+func (p posting) remove(tid storage.TupleID) posting {
+	i, ok := p.find(tid)
+	if !ok {
+		return p
+	}
+	copy(p[i:], p[i+1:])
+	p[len(p)-1] = 0
+	return p[:len(p)-1]
+}
+
+type leaf struct {
+	keys [][]byte
+	vals []posting
+	next *leaf
+}
+
+type inner struct {
+	// keys[i] is the smallest key reachable under children[i+1].
+	keys     [][]byte
+	children []node
+}
+
+type node interface{ isNode() }
+
+func (*leaf) isNode()  {}
+func (*inner) isNode() {}
+
+// BTree is an in-memory B+tree mapping byte keys to TupleID postings.
+// Safe for concurrent use.
+type BTree struct {
+	mu   sync.RWMutex
+	root node
+	n    int // live (key, tid) pairs
+}
+
+// NewBTree returns an empty tree.
+func NewBTree() *BTree { return &BTree{root: &leaf{}} }
+
+// Len returns the number of live (key, tuple) entries.
+func (t *BTree) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.n
+}
+
+// Add inserts tid under key.
+func (t *BTree) Add(key []byte, tid storage.TupleID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	k := append([]byte(nil), key...)
+	newChild, splitKey, added := t.insert(t.root, k, tid)
+	if added {
+		t.n++
+	}
+	if newChild != nil {
+		t.root = &inner{keys: [][]byte{splitKey}, children: []node{t.root, newChild}}
+	}
+}
+
+// insert descends, returning a new right sibling and its separator key
+// when the child split.
+func (t *BTree) insert(n node, key []byte, tid storage.TupleID) (node, []byte, bool) {
+	switch nd := n.(type) {
+	case *leaf:
+		i := sort.Search(len(nd.keys), func(i int) bool { return bytes.Compare(nd.keys[i], key) >= 0 })
+		if i < len(nd.keys) && bytes.Equal(nd.keys[i], key) {
+			before := len(nd.vals[i])
+			nd.vals[i] = nd.vals[i].add(tid)
+			return nil, nil, len(nd.vals[i]) != before
+		}
+		nd.keys = append(nd.keys, nil)
+		copy(nd.keys[i+1:], nd.keys[i:])
+		nd.keys[i] = key
+		nd.vals = append(nd.vals, nil)
+		copy(nd.vals[i+1:], nd.vals[i:])
+		nd.vals[i] = posting{tid}
+		if len(nd.keys) <= maxLeafKeys {
+			return nil, nil, true
+		}
+		mid := len(nd.keys) / 2
+		right := &leaf{
+			keys: append([][]byte(nil), nd.keys[mid:]...),
+			vals: append([]posting(nil), nd.vals[mid:]...),
+			next: nd.next,
+		}
+		nd.keys = nd.keys[:mid:mid]
+		nd.vals = nd.vals[:mid:mid]
+		nd.next = right
+		return right, right.keys[0], true
+	case *inner:
+		ci := sort.Search(len(nd.keys), func(i int) bool { return bytes.Compare(nd.keys[i], key) > 0 })
+		newChild, splitKey, added := t.insert(nd.children[ci], key, tid)
+		if newChild != nil {
+			nd.keys = append(nd.keys, nil)
+			copy(nd.keys[ci+1:], nd.keys[ci:])
+			nd.keys[ci] = splitKey
+			nd.children = append(nd.children, nil)
+			copy(nd.children[ci+2:], nd.children[ci+1:])
+			nd.children[ci+1] = newChild
+			if len(nd.children) > maxInnerChild {
+				mid := len(nd.keys) / 2
+				sep := nd.keys[mid]
+				right := &inner{
+					keys:     append([][]byte(nil), nd.keys[mid+1:]...),
+					children: append([]node(nil), nd.children[mid+1:]...),
+				}
+				nd.keys = nd.keys[:mid:mid]
+				nd.children = nd.children[: mid+1 : mid+1]
+				return right, sep, added
+			}
+		}
+		return nil, nil, added
+	}
+	return nil, nil, false
+}
+
+// Remove deletes tid from key's posting. Empty postings leave their key
+// behind as a tombstone-free empty entry removed lazily; the posting
+// memory is zeroed immediately.
+func (t *BTree) Remove(key []byte, tid storage.TupleID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	lf, i := t.seekLeaf(key)
+	if lf == nil || i >= len(lf.keys) || !bytes.Equal(lf.keys[i], key) {
+		return
+	}
+	before := len(lf.vals[i])
+	lf.vals[i] = lf.vals[i].remove(tid)
+	if len(lf.vals[i]) != before {
+		t.n--
+	}
+}
+
+// seekLeaf returns the leaf that would hold key and the in-leaf index of
+// the first entry >= key.
+func (t *BTree) seekLeaf(key []byte) (*leaf, int) {
+	n := t.root
+	for {
+		switch nd := n.(type) {
+		case *inner:
+			ci := sort.Search(len(nd.keys), func(i int) bool { return bytes.Compare(nd.keys[i], key) > 0 })
+			n = nd.children[ci]
+		case *leaf:
+			i := sort.Search(len(nd.keys), func(i int) bool { return bytes.Compare(nd.keys[i], key) >= 0 })
+			return nd, i
+		}
+	}
+}
+
+// Exact calls fn with the posting stored under key, if any. The posting
+// must not be retained.
+func (t *BTree) Exact(key []byte, fn func(tids []storage.TupleID)) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	lf, i := t.seekLeaf(key)
+	if lf != nil && i < len(lf.keys) && bytes.Equal(lf.keys[i], key) && len(lf.vals[i]) > 0 {
+		fn(lf.vals[i])
+	}
+}
+
+// Range iterates entries with lo <= key < hi (hi nil = unbounded),
+// calling fn per non-empty posting; fn returning false stops. Postings
+// must not be retained.
+func (t *BTree) Range(lo, hi []byte, fn func(key []byte, tids []storage.TupleID) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	lf, i := t.seekLeaf(lo)
+	for lf != nil {
+		for ; i < len(lf.keys); i++ {
+			if hi != nil && bytes.Compare(lf.keys[i], hi) >= 0 {
+				return
+			}
+			if len(lf.vals[i]) == 0 {
+				continue
+			}
+			if !fn(lf.keys[i], lf.vals[i]) {
+				return
+			}
+		}
+		lf = lf.next
+		i = 0
+	}
+}
+
+// Clear drops the whole tree content.
+func (t *BTree) Clear() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.root = &leaf{}
+	t.n = 0
+}
+
+// PrefixSuccessor returns the smallest byte string greater than every
+// string having p as a prefix, or nil when p is all 0xFF (unbounded).
+func PrefixSuccessor(p []byte) []byte {
+	out := append([]byte(nil), p...)
+	for i := len(out) - 1; i >= 0; i-- {
+		if out[i] != 0xFF {
+			out[i]++
+			return out[:i+1]
+		}
+	}
+	return nil
+}

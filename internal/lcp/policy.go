@@ -1,0 +1,341 @@
+// Package lcp implements Life Cycle Policies — the paper's degradation
+// automata. An attribute Policy (Figure 2) is a deterministic finite
+// automaton over the accuracy levels of a generalization domain: a chain
+// of states, each holding the attribute at one level for a retention
+// duration, ending either in suppression (the value becomes NULL but the
+// tuple remains) or in deletion (the tuple disappears from the database).
+// A TupleLCP (Figure 3) is the product of the attribute policies of a
+// table; with time triggers it collapses to a deterministic timeline of
+// tuple states.
+//
+// Beyond the paper's core model (time triggers, per-attribute policies,
+// uniform across a table), the package implements the extensions the
+// paper lists as future work: event triggers, predicate-conditioned
+// transitions, and per-tuple policy overrides ("paranoid users").
+package lcp
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"instantdb/internal/gentree"
+)
+
+// Terminal says what happens when a policy's last retained state expires.
+type Terminal uint8
+
+const (
+	// Remain: the attribute stays at its most general retained level
+	// forever; no terminal transition fires.
+	Remain Terminal = iota
+	// Suppress: the attribute value is physically erased (rendered NULL)
+	// but the tuple survives.
+	Suppress
+	// Delete: the tuple is removed from the database when this attribute's
+	// horizon expires (subject to the tuple-level rule in TupleLCP).
+	Delete
+)
+
+// String returns the DDL keyword for the terminal.
+func (t Terminal) String() string {
+	switch t {
+	case Remain:
+		return "REMAIN"
+	case Suppress:
+		return "SUPPRESS"
+	case Delete:
+		return "DELETE"
+	default:
+		return fmt.Sprintf("Terminal(%d)", uint8(t))
+	}
+}
+
+// TriggerKind classifies what fires a transition out of a state.
+type TriggerKind uint8
+
+const (
+	// TriggerTime fires when the state's retention duration elapses —
+	// the paper's core model.
+	TriggerTime TriggerKind = iota
+	// TriggerEvent fires when a named application event is raised
+	// (paper §IV: "state transitions could be caused by events"), or at
+	// the retention deadline, whichever comes first.
+	TriggerEvent
+	// TriggerPredicate fires at the retention deadline but only for
+	// tuples satisfying a named predicate; others are re-examined every
+	// engine tick (paper §IV: "conditioned by predicates applied to the
+	// data to be degraded").
+	TriggerPredicate
+)
+
+// State is one node of an attribute LCP automaton.
+type State struct {
+	// Level is the accuracy level of the domain held in this state.
+	Level int
+	// Retention is how long a tuple stays in this state before the
+	// outgoing transition fires. The final state of a Remain policy
+	// ignores it.
+	Retention time.Duration
+	// Trigger refines when the outgoing transition fires.
+	Trigger TriggerKind
+	// Event names the application event for TriggerEvent states.
+	Event string
+	// Predicate names the gating predicate for TriggerPredicate states;
+	// the engine resolves the name to an executable predicate at bind
+	// time.
+	Predicate string
+}
+
+// Policy is an immutable attribute LCP (Figure 2). Build one with
+// NewBuilder. States visit strictly increasing accuracy levels of the
+// bound domain starting at level 0 — insertion happens only in the most
+// accurate state, and degradation never refines.
+type Policy struct {
+	name     string
+	domain   gentree.Domain
+	states   []State
+	terminal Terminal
+}
+
+// ErrInvalidPolicy is wrapped by all policy validation failures.
+var ErrInvalidPolicy = errors.New("lcp: invalid policy")
+
+// Builder assembles a Policy.
+type Builder struct {
+	p   Policy
+	err error
+}
+
+// NewBuilder starts a policy over the given domain.
+func NewBuilder(name string, domain gentree.Domain) *Builder {
+	return &Builder{p: Policy{name: name, domain: domain, terminal: Remain}}
+}
+
+// Hold appends a state keeping the attribute at the given level for the
+// given retention.
+func (b *Builder) Hold(level int, retention time.Duration) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if retention < 0 {
+		b.err = fmt.Errorf("%w: negative retention at level %d", ErrInvalidPolicy, level)
+		return b
+	}
+	b.p.states = append(b.p.states, State{Level: level, Retention: retention})
+	return b
+}
+
+// HoldUntilEvent appends a state that the attribute leaves when the named
+// event fires or the retention elapses, whichever comes first.
+func (b *Builder) HoldUntilEvent(level int, retention time.Duration, event string) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if event == "" {
+		b.err = fmt.Errorf("%w: empty event name at level %d", ErrInvalidPolicy, level)
+		return b
+	}
+	b.p.states = append(b.p.states, State{Level: level, Retention: retention, Trigger: TriggerEvent, Event: event})
+	return b
+}
+
+// HoldIf appends a state whose outgoing transition fires at the retention
+// deadline only for tuples satisfying the named predicate.
+func (b *Builder) HoldIf(level int, retention time.Duration, predicate string) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if predicate == "" {
+		b.err = fmt.Errorf("%w: empty predicate name at level %d", ErrInvalidPolicy, level)
+		return b
+	}
+	b.p.states = append(b.p.states, State{Level: level, Retention: retention, Trigger: TriggerPredicate, Predicate: predicate})
+	return b
+}
+
+// ThenDelete makes the policy remove the tuple after the last state.
+func (b *Builder) ThenDelete() *Builder {
+	b.p.terminal = Delete
+	return b
+}
+
+// ThenSuppress makes the policy erase the attribute (NULL) after the last
+// state, keeping the tuple.
+func (b *Builder) ThenSuppress() *Builder {
+	b.p.terminal = Suppress
+	return b
+}
+
+// ThenRemain makes the policy stop at the last state forever (the
+// default).
+func (b *Builder) ThenRemain() *Builder {
+	b.p.terminal = Remain
+	return b
+}
+
+// Build validates and returns the policy.
+func (b *Builder) Build() (*Policy, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	p := b.p
+	if p.domain == nil {
+		return nil, fmt.Errorf("%w: %s has no domain", ErrInvalidPolicy, p.name)
+	}
+	if len(p.states) == 0 {
+		return nil, fmt.Errorf("%w: %s has no states", ErrInvalidPolicy, p.name)
+	}
+	if p.states[0].Level != 0 {
+		return nil, fmt.Errorf("%w: %s must start at level 0 (insertion is only granted in the most accurate state)",
+			ErrInvalidPolicy, p.name)
+	}
+	for i, s := range p.states {
+		if s.Level < 0 || s.Level >= p.domain.Levels() {
+			return nil, fmt.Errorf("%w: %s state %d uses level %d outside domain %s [0,%d)",
+				ErrInvalidPolicy, p.name, i, s.Level, p.domain.Name(), p.domain.Levels())
+		}
+		if i > 0 && s.Level <= p.states[i-1].Level {
+			return nil, fmt.Errorf("%w: %s levels must strictly increase (state %d: %d after %d)",
+				ErrInvalidPolicy, p.name, i, s.Level, p.states[i-1].Level)
+		}
+	}
+	out := p // copy; builder can be discarded
+	out.states = append([]State(nil), p.states...)
+	return &out, nil
+}
+
+// MustBuild is Build for static fixtures; it panics on error.
+func (b *Builder) MustBuild() *Policy {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Name returns the policy's catalog name.
+func (p *Policy) Name() string { return p.name }
+
+// Domain returns the generalization domain the policy degrades over.
+func (p *Policy) Domain() gentree.Domain { return p.domain }
+
+// Terminal returns what happens after the last state.
+func (p *Policy) Terminal() Terminal { return p.terminal }
+
+// StateCount returns the number of retained states.
+func (p *Policy) StateCount() int { return len(p.states) }
+
+// StateAt returns the i-th state.
+func (p *Policy) StateAt(i int) State { return p.states[i] }
+
+// LevelOf returns the accuracy level held in state i.
+func (p *Policy) LevelOf(i int) int { return p.states[i].Level }
+
+// StateForLevel returns the state index holding the given accuracy level,
+// or -1 if the policy never holds that level.
+func (p *Policy) StateForLevel(level int) int {
+	for i, s := range p.states {
+		if s.Level == level {
+			return i
+		}
+	}
+	return -1
+}
+
+// HasTerminalTransition reports whether the automaton has a transition
+// out of its last retained state (Suppress or Delete terminals do; Remain
+// does not).
+func (p *Policy) HasTerminalTransition() bool { return p.terminal != Remain }
+
+// TransitionCount returns the number of transitions in the automaton:
+// one between consecutive states, plus the terminal transition if any.
+func (p *Policy) TransitionCount() int {
+	n := len(p.states) - 1
+	if p.HasTerminalTransition() {
+		n++
+	}
+	return n
+}
+
+// DeadlineFromInsert returns the age (time since tuple insertion) at which
+// the transition out of state i fires, assuming pure time triggers. For
+// the last state of a Remain policy, ok is false.
+func (p *Policy) DeadlineFromInsert(i int) (age time.Duration, ok bool) {
+	if i < 0 || i >= len(p.states) {
+		return 0, false
+	}
+	if i == len(p.states)-1 && !p.HasTerminalTransition() {
+		return 0, false
+	}
+	for j := 0; j <= i; j++ {
+		age += p.states[j].Retention
+	}
+	return age, true
+}
+
+// Horizon returns the age at which the attribute leaves its last retained
+// state (suppression or tuple deletion). ok is false for Remain policies,
+// which have no horizon.
+func (p *Policy) Horizon() (time.Duration, bool) {
+	return p.DeadlineFromInsert(len(p.states) - 1)
+}
+
+// StateAtAge returns the state index a tuple inserted at age 0 occupies at
+// the given age under pure time triggers. done is true when the age is
+// past the horizon (attribute suppressed or tuple deleted).
+func (p *Policy) StateAtAge(age time.Duration) (idx int, done bool) {
+	var acc time.Duration
+	for i, s := range p.states {
+		last := i == len(p.states)-1
+		if last && !p.HasTerminalTransition() {
+			return i, false
+		}
+		acc += s.Retention
+		if age < acc {
+			return i, false
+		}
+	}
+	return len(p.states) - 1, true
+}
+
+// String renders the automaton in the style of Figure 2:
+//
+//	location: address --0s--> city --1h--> region --24h--> country --720h--> DELETE
+func (p *Policy) String() string {
+	var sb strings.Builder
+	sb.WriteString(p.name)
+	sb.WriteString(": ")
+	for i, s := range p.states {
+		sb.WriteString(p.domain.LevelName(s.Level))
+		last := i == len(p.states)-1
+		if !last || p.HasTerminalTransition() {
+			fmt.Fprintf(&sb, " --%s", s.Retention)
+			switch s.Trigger {
+			case TriggerEvent:
+				fmt.Fprintf(&sb, "|on %s", s.Event)
+			case TriggerPredicate:
+				fmt.Fprintf(&sb, "|if %s", s.Predicate)
+			}
+			sb.WriteString("--> ")
+		}
+		if last && p.HasTerminalTransition() {
+			sb.WriteString(p.terminal.String())
+		}
+	}
+	return sb.String()
+}
+
+// Figure2 builds the paper's Figure 2 policy over the given location
+// domain: address held 0 min, city 1 hour, region 1 day, country 1 month
+// (30 days), then the tuple is removed.
+func Figure2(location gentree.Domain) *Policy {
+	return NewBuilder("figure2-location", location).
+		Hold(0, 0).
+		Hold(1, time.Hour).
+		Hold(2, 24*time.Hour).
+		Hold(3, 30*24*time.Hour).
+		ThenDelete().
+		MustBuild()
+}

@@ -1,0 +1,182 @@
+package lcp
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"instantdb/internal/gentree"
+)
+
+func locDomain() *gentree.Tree { return gentree.Figure1Locations() }
+
+func TestBuilderValidation(t *testing.T) {
+	d := locDomain()
+	cases := []struct {
+		name string
+		b    *Builder
+	}{
+		{"no domain", NewBuilder("p", nil).Hold(0, 0)},
+		{"no states", NewBuilder("p", d)},
+		{"start not 0", NewBuilder("p", d).Hold(1, time.Hour)},
+		{"level out of range", NewBuilder("p", d).Hold(0, 0).Hold(9, time.Hour)},
+		{"non increasing", NewBuilder("p", d).Hold(0, 0).Hold(2, time.Hour).Hold(1, time.Hour)},
+		{"negative retention", NewBuilder("p", d).Hold(0, -time.Hour)},
+		{"empty event", NewBuilder("p", d).HoldUntilEvent(0, time.Hour, "")},
+		{"empty predicate", NewBuilder("p", d).HoldIf(0, time.Hour, "")},
+	}
+	for _, c := range cases {
+		if _, err := c.b.Build(); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestFigure2Automaton(t *testing.T) {
+	p := Figure2(locDomain())
+	if p.StateCount() != 4 {
+		t.Fatalf("StateCount=%d want 4", p.StateCount())
+	}
+	if p.Terminal() != Delete {
+		t.Fatalf("Terminal=%v want Delete", p.Terminal())
+	}
+	if p.TransitionCount() != 4 {
+		t.Fatalf("TransitionCount=%d want 4 (3 degradations + removal)", p.TransitionCount())
+	}
+	wantLevels := []int{0, 1, 2, 3}
+	wantRet := []time.Duration{0, time.Hour, 24 * time.Hour, 30 * 24 * time.Hour}
+	for i := range wantLevels {
+		s := p.StateAt(i)
+		if s.Level != wantLevels[i] || s.Retention != wantRet[i] {
+			t.Errorf("state %d = {level %d, ret %v}, want {%d, %v}",
+				i, s.Level, s.Retention, wantLevels[i], wantRet[i])
+		}
+	}
+}
+
+func TestDeadlinesFigure2(t *testing.T) {
+	p := Figure2(locDomain())
+	want := []time.Duration{
+		0,
+		time.Hour,
+		25 * time.Hour,
+		25*time.Hour + 30*24*time.Hour,
+	}
+	for i, w := range want {
+		got, ok := p.DeadlineFromInsert(i)
+		if !ok || got != w {
+			t.Errorf("DeadlineFromInsert(%d)=(%v,%v) want %v", i, got, ok, w)
+		}
+	}
+	h, ok := p.Horizon()
+	if !ok || h != want[3] {
+		t.Fatalf("Horizon=(%v,%v) want %v", h, ok, want[3])
+	}
+}
+
+func TestStateAtAge(t *testing.T) {
+	p := Figure2(locDomain())
+	cases := []struct {
+		age  time.Duration
+		idx  int
+		done bool
+	}{
+		{0, 1, false}, // the 0-minute accurate state expires immediately
+		{30 * time.Minute, 1, false},
+		{time.Hour, 2, false},
+		{25*time.Hour - time.Second, 2, false},
+		{25 * time.Hour, 3, false},
+		{25*time.Hour + 30*24*time.Hour, 3, true},
+		{365 * 24 * time.Hour, 3, true},
+	}
+	for _, c := range cases {
+		idx, done := p.StateAtAge(c.age)
+		if idx != c.idx || done != c.done {
+			t.Errorf("StateAtAge(%v)=(%d,%v) want (%d,%v)", c.age, idx, done, c.idx, c.done)
+		}
+	}
+}
+
+func TestRemainPolicyHasNoHorizon(t *testing.T) {
+	p := NewBuilder("keep", locDomain()).
+		Hold(0, time.Hour).Hold(3, time.Hour).ThenRemain().MustBuild()
+	if _, ok := p.Horizon(); ok {
+		t.Fatal("Remain policy must have no horizon")
+	}
+	if p.TransitionCount() != 1 {
+		t.Fatalf("TransitionCount=%d want 1", p.TransitionCount())
+	}
+	idx, done := p.StateAtAge(1000 * time.Hour)
+	if idx != 1 || done {
+		t.Fatalf("StateAtAge(forever)=(%d,%v) want (1,false)", idx, done)
+	}
+	if _, ok := p.DeadlineFromInsert(1); ok {
+		t.Fatal("last state of Remain policy has no deadline")
+	}
+}
+
+func TestSuppressPolicy(t *testing.T) {
+	p := NewBuilder("sup", locDomain()).
+		Hold(0, time.Hour).ThenSuppress().MustBuild()
+	h, ok := p.Horizon()
+	if !ok || h != time.Hour {
+		t.Fatalf("Horizon=(%v,%v)", h, ok)
+	}
+	_, done := p.StateAtAge(2 * time.Hour)
+	if !done {
+		t.Fatal("suppressed at 2h")
+	}
+}
+
+func TestStateForLevel(t *testing.T) {
+	p := NewBuilder("skip", locDomain()).
+		Hold(0, time.Hour).Hold(2, time.Hour).ThenDelete().MustBuild()
+	if p.StateForLevel(0) != 0 || p.StateForLevel(2) != 1 {
+		t.Fatal("StateForLevel wrong for held levels")
+	}
+	if p.StateForLevel(1) != -1 {
+		t.Fatal("level 1 is skipped, StateForLevel must be -1")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	s := Figure2(locDomain()).String()
+	for _, want := range []string{"address", "city", "region", "country", "DELETE", "1h0m0s"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q in %q", want, s)
+		}
+	}
+	ev := NewBuilder("e", locDomain()).
+		HoldUntilEvent(0, time.Hour, "consent-withdrawn").ThenSuppress().MustBuild()
+	if !strings.Contains(ev.String(), "on consent-withdrawn") {
+		t.Errorf("event trigger missing from %q", ev.String())
+	}
+	pr := NewBuilder("p", locDomain()).
+		HoldIf(0, time.Hour, "is_closed").ThenSuppress().MustBuild()
+	if !strings.Contains(pr.String(), "if is_closed") {
+		t.Errorf("predicate trigger missing from %q", pr.String())
+	}
+}
+
+func TestTriggerKindsPreserved(t *testing.T) {
+	p := NewBuilder("mixed", locDomain()).
+		HoldUntilEvent(0, time.Hour, "ev").
+		HoldIf(1, time.Hour, "pred").
+		Hold(2, time.Hour).
+		ThenDelete().MustBuild()
+	if p.StateAt(0).Trigger != TriggerEvent || p.StateAt(0).Event != "ev" {
+		t.Error("event trigger lost")
+	}
+	if p.StateAt(1).Trigger != TriggerPredicate || p.StateAt(1).Predicate != "pred" {
+		t.Error("predicate trigger lost")
+	}
+	if p.StateAt(2).Trigger != TriggerTime {
+		t.Error("default trigger should be time")
+	}
+}
+
+func TestTerminalString(t *testing.T) {
+	if Remain.String() != "REMAIN" || Suppress.String() != "SUPPRESS" || Delete.String() != "DELETE" {
+		t.Fatal("terminal names wrong")
+	}
+}

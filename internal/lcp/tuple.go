@@ -1,0 +1,218 @@
+package lcp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// TupleLCP is the product automaton of the attribute policies of one
+// table (the paper's Figure 3). Each attribute transitions independently;
+// the combination of per-attribute states forms the tuple state tk, and
+// the dataset is partitioned into subsets STk of tuples sharing a state.
+//
+// Under pure time triggers the product automaton is traversed along a
+// single deterministic chain: every transition deadline is a fixed age,
+// so sorting all deadlines yields the tuple's lifetime timeline.
+type TupleLCP struct {
+	policies []*Policy
+}
+
+// TerminalState is the per-attribute state index marking that the
+// attribute passed its horizon (suppressed or awaiting tuple deletion).
+const TerminalState = -1
+
+// NewTuple combines attribute policies (in degradable-column order) into
+// a tuple LCP.
+func NewTuple(policies ...*Policy) (*TupleLCP, error) {
+	if len(policies) == 0 {
+		return nil, fmt.Errorf("%w: tuple LCP needs at least one attribute policy", ErrInvalidPolicy)
+	}
+	for i, p := range policies {
+		if p == nil {
+			return nil, fmt.Errorf("%w: nil policy at position %d", ErrInvalidPolicy, i)
+		}
+	}
+	return &TupleLCP{policies: append([]*Policy(nil), policies...)}, nil
+}
+
+// Attrs returns the number of degradable attributes.
+func (t *TupleLCP) Attrs() int { return len(t.policies) }
+
+// Policy returns the policy of attribute i.
+func (t *TupleLCP) Policy(i int) *Policy { return t.policies[i] }
+
+// InitialState returns the tuple state vector at insertion: every
+// attribute in its state 0.
+func (t *TupleLCP) InitialState() []int {
+	return make([]int, len(t.policies))
+}
+
+// finalStateAge returns the age at which policy p settles in its final
+// state: entry into the last retained state for Remain, the horizon
+// (exit of the last state) otherwise.
+func finalStateAge(p *Policy) time.Duration {
+	if p.HasTerminalTransition() {
+		h, _ := p.Horizon()
+		return h
+	}
+	var acc time.Duration
+	for i := 0; i < len(p.states)-1; i++ {
+		acc += p.states[i].Retention
+	}
+	return acc
+}
+
+// DeleteAge returns the age at which the tuple is removed from the
+// database: the latest age at which every attribute has reached its final
+// state, provided at least one policy ends in Delete. ok is false when no
+// policy deletes (the tuple survives with degraded/suppressed attributes).
+func (t *TupleLCP) DeleteAge() (time.Duration, bool) {
+	anyDelete := false
+	var max time.Duration
+	for _, p := range t.policies {
+		if p.Terminal() == Delete {
+			anyDelete = true
+		}
+		if a := finalStateAge(p); a > max {
+			max = a
+		}
+	}
+	return max, anyDelete
+}
+
+// Transition is one edge of the tuple LCP timeline.
+type Transition struct {
+	// Age is the tuple age at which the transition fires.
+	Age time.Duration
+	// Attr is the degradable attribute index, or -1 for the tuple
+	// deletion event.
+	Attr int
+	// From and To are the attribute's state indexes (To==TerminalState
+	// when the attribute passes its horizon). Meaningless for deletion.
+	From, To int
+	// ToLevel is the accuracy level after the transition, or -1 past the
+	// horizon.
+	ToLevel int
+	// State is the tuple state vector after the transition.
+	State []int
+	// TupleDeleted marks the final removal of the tuple.
+	TupleDeleted bool
+}
+
+// Timeline returns the deterministic sequence of tuple-state transitions
+// under pure time triggers, sorted by age (ties: attribute order, tuple
+// deletion last). Event- and predicate-triggered steps are scheduled at
+// their retention deadline — the engine may fire them earlier (events) or
+// hold them (predicates); the timeline is the time-trigger skeleton.
+func (t *TupleLCP) Timeline() []Transition {
+	var out []Transition
+	for ai, p := range t.policies {
+		var acc time.Duration
+		for si := 0; si < p.StateCount(); si++ {
+			last := si == p.StateCount()-1
+			if last && !p.HasTerminalTransition() {
+				break
+			}
+			acc += p.states[si].Retention
+			to := si + 1
+			toLevel := -1
+			if !last {
+				toLevel = p.states[to].Level
+			} else {
+				to = TerminalState
+			}
+			out = append(out, Transition{Age: acc, Attr: ai, From: si, To: to, ToLevel: toLevel})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Age != out[j].Age {
+			return out[i].Age < out[j].Age
+		}
+		return out[i].Attr < out[j].Attr
+	})
+	// Materialize the tuple state vector after each transition.
+	cur := t.InitialState()
+	for i := range out {
+		cur[out[i].Attr] = out[i].To
+		out[i].State = append([]int(nil), cur...)
+	}
+	if age, ok := t.DeleteAge(); ok {
+		out = append(out, Transition{Age: age, Attr: -1, From: TerminalState, To: TerminalState,
+			ToLevel: -1, State: append([]int(nil), cur...), TupleDeleted: true})
+	}
+	return out
+}
+
+// ProductSize returns the number of states of the full product automaton
+// (each attribute contributes its retained states plus, if it has a
+// terminal transition, the terminal state) — the state count a Figure 3
+// diagram would draw.
+func (t *TupleLCP) ProductSize() int {
+	n := 1
+	for _, p := range t.policies {
+		k := p.StateCount()
+		if p.HasTerminalTransition() {
+			k++
+		}
+		n *= k
+	}
+	return n
+}
+
+// ReachableStates returns the tuple states actually traversed (the chain
+// of Figure 3 realized by time triggers), starting with the initial
+// state. Successive identical vectors (a deletion event) are collapsed.
+func (t *TupleLCP) ReachableStates() [][]int {
+	out := [][]int{t.InitialState()}
+	for _, tr := range t.Timeline() {
+		if tr.TupleDeleted {
+			continue
+		}
+		out = append(out, tr.State)
+	}
+	return out
+}
+
+// StateLabel renders a tuple state vector as the paper labels them:
+// "t3<d1,d0>" style — angle-bracketed per-attribute states.
+func StateLabel(state []int) string {
+	var sb strings.Builder
+	sb.WriteByte('<')
+	for i, s := range state {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		if s == TerminalState {
+			sb.WriteByte('#')
+		} else {
+			fmt.Fprintf(&sb, "d%d", s)
+		}
+	}
+	sb.WriteByte('>')
+	return sb.String()
+}
+
+// String renders the timeline in a compact human-readable form.
+func (t *TupleLCP) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "tuple LCP over %d attribute(s), %d product states\n", t.Attrs(), t.ProductSize())
+	fmt.Fprintf(&sb, "  t0 %s at insert\n", StateLabel(t.InitialState()))
+	for i, tr := range t.Timeline() {
+		if tr.TupleDeleted {
+			fmt.Fprintf(&sb, "  age %-8s tuple deleted\n", tr.Age)
+			continue
+		}
+		p := t.policies[tr.Attr]
+		toName := "erased"
+		if tr.To != TerminalState {
+			toName = p.Domain().LevelName(tr.ToLevel)
+		} else if p.Terminal() == Delete {
+			toName = "erased (awaiting tuple delete)"
+		}
+		fmt.Fprintf(&sb, "  age %-8s t%d %s  attr %d (%s) -> %s\n",
+			tr.Age, i+1, StateLabel(tr.State), tr.Attr, p.Name(), toName)
+	}
+	return sb.String()
+}

@@ -1,0 +1,198 @@
+package lcp
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"instantdb/internal/gentree"
+)
+
+func figure3Pair() (*Policy, *Policy) {
+	loc := Figure2(gentree.Figure1Locations())
+	sal := NewBuilder("salary", gentree.Figure2Salary()).
+		Hold(0, 12*time.Hour).
+		Hold(2, 7*24*time.Hour).
+		ThenSuppress().
+		MustBuild()
+	return loc, sal
+}
+
+func TestNewTupleValidation(t *testing.T) {
+	if _, err := NewTuple(); err == nil {
+		t.Error("empty tuple LCP should fail")
+	}
+	if _, err := NewTuple(nil); err == nil {
+		t.Error("nil policy should fail")
+	}
+}
+
+func TestTupleInitialState(t *testing.T) {
+	loc, sal := figure3Pair()
+	tl, err := NewTuple(loc, sal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := tl.InitialState()
+	if len(init) != 2 || init[0] != 0 || init[1] != 0 {
+		t.Fatalf("InitialState=%v", init)
+	}
+	if tl.Attrs() != 2 || tl.Policy(0) != loc {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestTupleProductSize(t *testing.T) {
+	loc, sal := figure3Pair()
+	tl, _ := NewTuple(loc, sal)
+	// loc: 4 states + terminal = 5; sal: 2 states + terminal = 3.
+	if got := tl.ProductSize(); got != 15 {
+		t.Fatalf("ProductSize=%d want 15", got)
+	}
+	remain := NewBuilder("r", gentree.Figure1Locations()).
+		Hold(0, time.Hour).Hold(1, time.Hour).ThenRemain().MustBuild()
+	tl2, _ := NewTuple(remain)
+	if got := tl2.ProductSize(); got != 2 {
+		t.Fatalf("Remain ProductSize=%d want 2", got)
+	}
+}
+
+func TestTupleTimelineSingleAttr(t *testing.T) {
+	loc := Figure2(gentree.Figure1Locations())
+	tl, _ := NewTuple(loc)
+	tr := tl.Timeline()
+	// 3 degradations + terminal + tuple deletion.
+	if len(tr) != 5 {
+		t.Fatalf("timeline has %d entries want 5: %v", len(tr), tr)
+	}
+	wantAges := []time.Duration{
+		0, time.Hour, 25 * time.Hour, 745 * time.Hour, 745 * time.Hour,
+	}
+	for i, w := range wantAges {
+		if tr[i].Age != w {
+			t.Errorf("transition %d at %v want %v", i, tr[i].Age, w)
+		}
+	}
+	if !tr[4].TupleDeleted || tr[4].Attr != -1 {
+		t.Fatal("last transition must be tuple deletion")
+	}
+	if tr[3].To != TerminalState {
+		t.Fatal("horizon transition must go terminal")
+	}
+	if tr[1].ToLevel != 2 {
+		t.Fatalf("second transition ToLevel=%d want 2 (region)", tr[1].ToLevel)
+	}
+}
+
+func TestTupleTimelineInterleaving(t *testing.T) {
+	loc, sal := figure3Pair()
+	tl, _ := NewTuple(loc, sal)
+	tr := tl.Timeline()
+	// Ages must be non-decreasing.
+	for i := 1; i < len(tr); i++ {
+		if tr[i].Age < tr[i-1].Age {
+			t.Fatalf("timeline out of order at %d: %v < %v", i, tr[i].Age, tr[i-1].Age)
+		}
+	}
+	// Expected interleave: loc@0h, loc@1h, sal@12h, loc@25h, sal@180h(12h+168h), loc@745h, delete@745h.
+	type ev struct {
+		age  time.Duration
+		attr int
+	}
+	want := []ev{
+		{0, 0}, {time.Hour, 0}, {12 * time.Hour, 1}, {25 * time.Hour, 0},
+		{180 * time.Hour, 1}, {745 * time.Hour, 0}, {745 * time.Hour, -1},
+	}
+	if len(tr) != len(want) {
+		t.Fatalf("timeline has %d entries want %d:\n%v", len(tr), len(want), tl.String())
+	}
+	for i, w := range want {
+		if tr[i].Age != w.age || tr[i].Attr != w.attr {
+			t.Errorf("entry %d = (age %v, attr %d) want (%v, %d)", i, tr[i].Age, tr[i].Attr, w.age, w.attr)
+		}
+	}
+	// The state vector evolves monotonically per attribute.
+	prev := tl.InitialState()
+	for _, e := range tr {
+		if e.TupleDeleted {
+			continue
+		}
+		for a := range prev {
+			cur := e.State[a]
+			if cur != TerminalState && prev[a] != TerminalState && cur < prev[a] {
+				t.Fatalf("attribute %d state regressed: %v -> %v", a, prev, e.State)
+			}
+		}
+		prev = e.State
+	}
+}
+
+func TestTupleDeleteAge(t *testing.T) {
+	loc, sal := figure3Pair()
+	tl, _ := NewTuple(loc, sal)
+	age, ok := tl.DeleteAge()
+	if !ok {
+		t.Fatal("location policy deletes; tuple must delete")
+	}
+	// Location horizon 745h, salary horizon 180h -> delete at max = 745h.
+	if age != 745*time.Hour {
+		t.Fatalf("DeleteAge=%v want 745h", age)
+	}
+	// No Delete terminal anywhere -> tuple survives.
+	sup := NewBuilder("s", gentree.Figure2Salary()).Hold(0, time.Hour).ThenSuppress().MustBuild()
+	tl2, _ := NewTuple(sup)
+	if _, ok := tl2.DeleteAge(); ok {
+		t.Fatal("Suppress-only tuple LCP must not delete")
+	}
+}
+
+func TestTupleDeleteWaitsForSlowestAttr(t *testing.T) {
+	// Delete policy expires at 1h, Remain policy settles at 5h:
+	// deletion must wait until every attribute reached its final state.
+	d := gentree.Figure2Salary()
+	fast := NewBuilder("fast", d).Hold(0, time.Hour).ThenDelete().MustBuild()
+	slow := NewBuilder("slow", d).Hold(0, 5*time.Hour).Hold(2, time.Hour).ThenRemain().MustBuild()
+	tl, _ := NewTuple(fast, slow)
+	age, ok := tl.DeleteAge()
+	if !ok || age != 5*time.Hour {
+		t.Fatalf("DeleteAge=(%v,%v) want 5h", age, ok)
+	}
+}
+
+func TestReachableStatesChain(t *testing.T) {
+	loc, sal := figure3Pair()
+	tl, _ := NewTuple(loc, sal)
+	chain := tl.ReachableStates()
+	// Initial + one per non-delete transition.
+	if len(chain) != 7 {
+		t.Fatalf("chain length %d want 7", len(chain))
+	}
+	if StateLabel(chain[0]) != "<d0,d0>" {
+		t.Fatalf("initial label %s", StateLabel(chain[0]))
+	}
+	last := chain[len(chain)-1]
+	if StateLabel(last) != "<#,#>" {
+		t.Fatalf("final label %s want <#,#>", StateLabel(last))
+	}
+	// The realized chain visits at most ProductSize states.
+	if len(chain) > tl.ProductSize() {
+		t.Fatalf("chain %d longer than product %d", len(chain), tl.ProductSize())
+	}
+}
+
+func TestStateLabel(t *testing.T) {
+	if got := StateLabel([]int{1, TerminalState, 0}); got != "<d1,#,d0>" {
+		t.Fatalf("StateLabel=%q", got)
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	loc, sal := figure3Pair()
+	tl, _ := NewTuple(loc, sal)
+	s := tl.String()
+	for _, want := range []string{"2 attribute(s)", "15 product states", "tuple deleted", "<d1,d0>"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String missing %q:\n%s", want, s)
+		}
+	}
+}

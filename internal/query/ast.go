@@ -1,0 +1,251 @@
+package query
+
+import (
+	"time"
+
+	"instantdb/internal/value"
+)
+
+// Statement is any parsed statement.
+type Statement interface{ stmt() }
+
+// --- expressions ---
+
+// Expr is a boolean/value expression over one row.
+type Expr interface{ expr() }
+
+// ColumnRef names a column, optionally table-qualified.
+type ColumnRef struct {
+	Table  string // lowercase, may be empty
+	Column string // lowercase
+}
+
+// Literal is a constant value.
+type Literal struct{ Val value.Value }
+
+// Compare is a binary comparison: = != < <= > >= LIKE.
+type Compare struct {
+	Op    string // "=", "!=", "<", "<=", ">", ">=", "LIKE"
+	Left  Expr
+	Right Expr
+}
+
+// Logical combines predicates with AND/OR.
+type Logical struct {
+	Op    string // "AND", "OR"
+	Left  Expr
+	Right Expr
+}
+
+// Not negates a predicate.
+type Not struct{ Inner Expr }
+
+// InList tests membership in a literal list.
+type InList struct {
+	Left Expr
+	Vals []Expr
+}
+
+// Between tests Lo <= Left <= Hi.
+type Between struct {
+	Left   Expr
+	Lo, Hi Expr
+}
+
+// IsNull tests nullness (Negate for IS NOT NULL).
+type IsNull struct {
+	Left   Expr
+	Negate bool
+}
+
+func (*ColumnRef) expr() {}
+func (*Literal) expr()   {}
+func (*Compare) expr()   {}
+func (*Logical) expr()   {}
+func (*Not) expr()       {}
+func (*InList) expr()    {}
+func (*Between) expr()   {}
+func (*IsNull) expr()    {}
+
+// --- SELECT ---
+
+// AggFunc enumerates aggregate functions.
+type AggFunc uint8
+
+// Aggregate functions.
+const (
+	AggNone AggFunc = iota
+	AggCount
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// SelectItem is one projection: a column, *, or an aggregate.
+type SelectItem struct {
+	Star bool
+	Agg  AggFunc
+	// CountStar marks COUNT(*).
+	CountStar bool
+	Col       *ColumnRef // nil for * / COUNT(*)
+	Alias     string
+}
+
+// OrderBy is one ordering key.
+type OrderBy struct {
+	Col  ColumnRef
+	Desc bool
+}
+
+// Select is a SELECT statement.
+type Select struct {
+	Items   []SelectItem
+	Table   string
+	Where   Expr // may be nil
+	GroupBy []ColumnRef
+	Order   []OrderBy
+	Limit   int // -1 = none
+	// Purpose optionally overrides the session purpose (FOR PURPOSE p).
+	Purpose string
+}
+
+// --- DML ---
+
+// Insert is an INSERT statement (multi-row VALUES).
+type Insert struct {
+	Table   string
+	Columns []string // empty = declaration order
+	Rows    [][]Expr // literals only
+}
+
+// Update is an UPDATE of stable columns.
+type Update struct {
+	Table string
+	Sets  []struct {
+		Column string
+		Val    Expr
+	}
+	Where Expr
+}
+
+// Delete is a DELETE statement.
+type Delete struct {
+	Table string
+	Where Expr
+}
+
+// --- DDL ---
+
+// CreateDomain declares a generalization domain.
+type CreateDomain struct {
+	Name string
+	// Kind: "TREE", "RANGES", "TIME".
+	Kind string
+	// Tree domains:
+	Levels []string
+	Paths  [][]string
+	// Range domains: widths, 0 = SUPPRESS (last only).
+	Widths []int64
+	// Time domains: unit names.
+	Units []string
+}
+
+// PolicyStep is one HOLD clause of CREATE POLICY.
+type PolicyStep struct {
+	LevelName string // resolved against the domain
+	Retention time.Duration
+	Event     string // UNTIL EVENT 'x'
+	Predicate string // IF name
+}
+
+// CreatePolicy declares a life cycle policy.
+type CreatePolicy struct {
+	Name     string
+	Domain   string
+	Steps    []PolicyStep
+	Terminal string // "DELETE", "SUPPRESS", "REMAIN"
+}
+
+// ColumnDef is one column of CREATE TABLE.
+type ColumnDef struct {
+	Name       string
+	TypeName   string
+	PrimaryKey bool
+	NotNull    bool
+	Degradable bool
+	Domain     string
+	Policy     string
+}
+
+// CreateTable declares a table.
+type CreateTable struct {
+	Name    string
+	Columns []ColumnDef
+	Layout  string // "MOVE" (default) or "INPLACE"
+}
+
+// CreateIndex declares a secondary index.
+type CreateIndex struct {
+	Name   string
+	Table  string
+	Column string
+	Using  string // "BTREE" (default), "BITMAP", "GT"
+}
+
+// DropTable / DropIndex.
+type DropTable struct{ Name string }
+
+// DropIndex drops a secondary index.
+type DropIndex struct{ Name string }
+
+// PurposeLevel is one accuracy grant of DECLARE PURPOSE.
+type PurposeLevel struct {
+	Table     string
+	Column    string
+	LevelName string
+}
+
+// DeclarePurpose is the paper's purpose declaration:
+//
+//	DECLARE PURPOSE stat SET ACCURACY LEVEL country FOR person.location,
+//	    range1000 FOR person.salary
+type DeclarePurpose struct {
+	Name          string
+	Levels        []PurposeLevel
+	AllowUnlisted bool
+}
+
+// --- session control ---
+
+// SetPurpose switches the session purpose.
+type SetPurpose struct{ Name string }
+
+// Begin / Commit / Rollback control explicit transactions.
+type Begin struct{}
+
+// Commit commits the open transaction.
+type Commit struct{}
+
+// Rollback aborts the open transaction.
+type Rollback struct{}
+
+// FireEvent raises an application event for event-triggered transitions.
+type FireEvent struct{ Name string }
+
+func (*Select) stmt()         {}
+func (*Insert) stmt()         {}
+func (*Update) stmt()         {}
+func (*Delete) stmt()         {}
+func (*CreateDomain) stmt()   {}
+func (*CreatePolicy) stmt()   {}
+func (*CreateTable) stmt()    {}
+func (*CreateIndex) stmt()    {}
+func (*DropTable) stmt()      {}
+func (*DropIndex) stmt()      {}
+func (*DeclarePurpose) stmt() {}
+func (*SetPurpose) stmt()     {}
+func (*Begin) stmt()          {}
+func (*Commit) stmt()         {}
+func (*Rollback) stmt()       {}
+func (*FireEvent) stmt()      {}

@@ -1,0 +1,291 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"instantdb/internal/value"
+)
+
+// ColGetter resolves a column reference to its value in the current row
+// (already degraded/rendered at the purpose's accuracy by the executor).
+type ColGetter func(ref *ColumnRef) (value.Value, error)
+
+// EvalPredicate evaluates a boolean expression over one row. Comparisons
+// involving NULL are false (InstantDB collapses SQL's UNKNOWN to false,
+// which also gives degraded-away values their natural "does not qualify"
+// semantics).
+func EvalPredicate(e Expr, col ColGetter) (bool, error) {
+	switch ex := e.(type) {
+	case *Logical:
+		l, err := EvalPredicate(ex.Left, col)
+		if err != nil {
+			return false, err
+		}
+		// Short-circuit.
+		if ex.Op == "AND" && !l {
+			return false, nil
+		}
+		if ex.Op == "OR" && l {
+			return true, nil
+		}
+		return EvalPredicate(ex.Right, col)
+	case *Not:
+		in, err := EvalPredicate(ex.Inner, col)
+		return !in, err
+	case *IsNull:
+		v, err := EvalValue(ex.Left, col)
+		if err != nil {
+			return false, err
+		}
+		return v.IsNull() != ex.Negate, nil
+	case *Compare:
+		l, err := EvalValue(ex.Left, col)
+		if err != nil {
+			return false, err
+		}
+		r, err := EvalValue(ex.Right, col)
+		if err != nil {
+			return false, err
+		}
+		if l.IsNull() || r.IsNull() {
+			return false, nil
+		}
+		if ex.Op == "LIKE" {
+			if l.Kind() != value.KindText || r.Kind() != value.KindText {
+				return false, fmt.Errorf("query: LIKE needs text operands")
+			}
+			return Like(l.Text(), r.Text()), nil
+		}
+		c, err := value.Compare(l, r)
+		if err != nil {
+			// Incomparable kinds never match (e.g., a numeric literal
+			// against a degraded "2000-3000" range literal).
+			if ex.Op == "!=" {
+				return true, nil
+			}
+			return false, nil
+		}
+		switch ex.Op {
+		case "=":
+			return c == 0, nil
+		case "!=":
+			return c != 0, nil
+		case "<":
+			return c < 0, nil
+		case "<=":
+			return c <= 0, nil
+		case ">":
+			return c > 0, nil
+		case ">=":
+			return c >= 0, nil
+		}
+		return false, fmt.Errorf("query: unknown comparison %q", ex.Op)
+	case *InList:
+		l, err := EvalValue(ex.Left, col)
+		if err != nil {
+			return false, err
+		}
+		if l.IsNull() {
+			return false, nil
+		}
+		for _, ve := range ex.Vals {
+			v, err := EvalValue(ve, col)
+			if err != nil {
+				return false, err
+			}
+			if c, err := value.Compare(l, v); err == nil && c == 0 {
+				return true, nil
+			}
+		}
+		return false, nil
+	case *Between:
+		l, err := EvalValue(ex.Left, col)
+		if err != nil {
+			return false, err
+		}
+		lo, err := EvalValue(ex.Lo, col)
+		if err != nil {
+			return false, err
+		}
+		hi, err := EvalValue(ex.Hi, col)
+		if err != nil {
+			return false, err
+		}
+		if l.IsNull() || lo.IsNull() || hi.IsNull() {
+			return false, nil
+		}
+		c1, err1 := value.Compare(l, lo)
+		c2, err2 := value.Compare(l, hi)
+		if err1 != nil || err2 != nil {
+			return false, nil
+		}
+		return c1 >= 0 && c2 <= 0, nil
+	case *Literal:
+		if ex.Val.Kind() == value.KindBool {
+			return ex.Val.Bool(), nil
+		}
+		return false, fmt.Errorf("query: non-boolean literal as predicate")
+	case *ColumnRef:
+		v, err := col(ex)
+		if err != nil {
+			return false, err
+		}
+		if v.Kind() == value.KindBool {
+			return v.Bool(), nil
+		}
+		return false, fmt.Errorf("query: non-boolean column %s as predicate", ex.Column)
+	default:
+		return false, fmt.Errorf("query: unsupported predicate node %T", e)
+	}
+}
+
+// EvalValue evaluates a value expression over one row.
+func EvalValue(e Expr, col ColGetter) (value.Value, error) {
+	switch ex := e.(type) {
+	case *Literal:
+		return ex.Val, nil
+	case *ColumnRef:
+		return col(ex)
+	default:
+		return value.Null(), fmt.Errorf("query: expected value expression, got %T", e)
+	}
+}
+
+// Like implements SQL LIKE: '%' matches any run, '_' any single byte.
+func Like(s, pattern string) bool {
+	// Iterative two-pointer matcher with backtracking on the last '%'.
+	si, pi := 0, 0
+	star, mark := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(pattern) && (pattern[pi] == '_' || pattern[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(pattern) && pattern[pi] == '%':
+			star = pi
+			mark = si
+			pi++
+		case star != -1:
+			pi = star + 1
+			mark++
+			si = mark
+		default:
+			return false
+		}
+	}
+	for pi < len(pattern) && pattern[pi] == '%' {
+		pi++
+	}
+	return pi == len(pattern)
+}
+
+// Conjuncts flattens an AND tree into its conjunct list (planner input).
+func Conjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if l, ok := e.(*Logical); ok && l.Op == "AND" {
+		return append(Conjuncts(l.Left), Conjuncts(l.Right)...)
+	}
+	return []Expr{e}
+}
+
+// Sargable describes an index-usable predicate on a single column.
+type Sargable struct {
+	Col *ColumnRef
+	// Op: "=", "<", "<=", ">", ">=", "IN", "BETWEEN".
+	Op string
+	// Vals: one value for comparisons, the list for IN, [lo, hi] for
+	// BETWEEN.
+	Vals []value.Value
+}
+
+// AsSargable recognizes predicates an index can serve: column-vs-literal
+// comparison (either side), IN over literals, BETWEEN literals.
+func AsSargable(e Expr) (Sargable, bool) {
+	switch ex := e.(type) {
+	case *Compare:
+		if ex.Op == "LIKE" || ex.Op == "!=" {
+			return Sargable{}, false
+		}
+		if c, ok := ex.Left.(*ColumnRef); ok {
+			if l, ok := ex.Right.(*Literal); ok {
+				return Sargable{Col: c, Op: ex.Op, Vals: []value.Value{l.Val}}, true
+			}
+		}
+		if c, ok := ex.Right.(*ColumnRef); ok {
+			if l, ok := ex.Left.(*Literal); ok {
+				return Sargable{Col: c, Op: flipOp(ex.Op), Vals: []value.Value{l.Val}}, true
+			}
+		}
+	case *InList:
+		c, ok := ex.Left.(*ColumnRef)
+		if !ok {
+			return Sargable{}, false
+		}
+		var vals []value.Value
+		for _, v := range ex.Vals {
+			l, ok := v.(*Literal)
+			if !ok {
+				return Sargable{}, false
+			}
+			vals = append(vals, l.Val)
+		}
+		return Sargable{Col: c, Op: "IN", Vals: vals}, true
+	case *Between:
+		c, ok := ex.Left.(*ColumnRef)
+		if !ok {
+			return Sargable{}, false
+		}
+		lo, ok1 := ex.Lo.(*Literal)
+		hi, ok2 := ex.Hi.(*Literal)
+		if !ok1 || !ok2 {
+			return Sargable{}, false
+		}
+		return Sargable{Col: c, Op: "BETWEEN", Vals: []value.Value{lo.Val, hi.Val}}, true
+	}
+	return Sargable{}, false
+}
+
+func flipOp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	default:
+		return op
+	}
+}
+
+// ColumnsOf collects every column referenced by an expression.
+func ColumnsOf(e Expr, out map[string]bool) {
+	switch ex := e.(type) {
+	case *ColumnRef:
+		out[strings.ToLower(ex.Column)] = true
+	case *Compare:
+		ColumnsOf(ex.Left, out)
+		ColumnsOf(ex.Right, out)
+	case *Logical:
+		ColumnsOf(ex.Left, out)
+		ColumnsOf(ex.Right, out)
+	case *Not:
+		ColumnsOf(ex.Inner, out)
+	case *InList:
+		ColumnsOf(ex.Left, out)
+		for _, v := range ex.Vals {
+			ColumnsOf(v, out)
+		}
+	case *Between:
+		ColumnsOf(ex.Left, out)
+		ColumnsOf(ex.Lo, out)
+		ColumnsOf(ex.Hi, out)
+	case *IsNull:
+		ColumnsOf(ex.Left, out)
+	}
+}

@@ -1,0 +1,44 @@
+// Package retention implements the baseline the paper argues against:
+// classic limited data retention, where a record is kept fully accurate
+// for a retention period θ and then deleted outright (§I: "the
+// all-or-nothing behaviour implied by limited data retention"). In the
+// LCP formalism this is exactly a single-state policy — Hold(accurate, θ)
+// then delete — so the baseline runs on the very same engine, which makes
+// the comparisons in E1/E3 apples-to-apples: same storage, same WAL, same
+// scheduler, different automaton.
+package retention
+
+import (
+	"time"
+
+	"instantdb/internal/gentree"
+	"instantdb/internal/lcp"
+)
+
+// Policy builds the limited-retention baseline automaton: full accuracy
+// for theta, then tuple deletion.
+func Policy(name string, domain gentree.Domain, theta time.Duration) *lcp.Policy {
+	return lcp.NewBuilder(name, domain).
+		Hold(0, theta).
+		ThenDelete().
+		MustBuild()
+}
+
+// Infinite builds the degenerate "keep forever" policy companies default
+// to when retention limits are overstated (§I): full accuracy, no
+// transition, ever.
+func Infinite(name string, domain gentree.Domain) *lcp.Policy {
+	return lcp.NewBuilder(name, domain).
+		Hold(0, 0).
+		ThenRemain().
+		MustBuild()
+}
+
+// CommonPeriods are the retention limits swept by experiment E1 — the
+// orders of magnitude civil-rights organizations criticize ("retention
+// limits are usually expressed in terms of years").
+var CommonPeriods = map[string]time.Duration{
+	"1d":  24 * time.Hour,
+	"30d": 30 * 24 * time.Hour,
+	"1y":  365 * 24 * time.Hour,
+}

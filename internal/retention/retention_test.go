@@ -1,0 +1,47 @@
+package retention
+
+import (
+	"testing"
+	"time"
+
+	"instantdb/internal/gentree"
+)
+
+func TestPolicyShape(t *testing.T) {
+	loc := gentree.Figure1Locations()
+	p := Policy("ret30", loc, 30*24*time.Hour)
+	if p.StateCount() != 1 || p.Terminal().String() != "DELETE" {
+		t.Fatalf("retention policy shape: %v", p)
+	}
+	h, ok := p.Horizon()
+	if !ok || h != 30*24*time.Hour {
+		t.Fatalf("horizon=(%v,%v)", h, ok)
+	}
+	// Fully accurate until deletion.
+	idx, done := p.StateAtAge(29 * 24 * time.Hour)
+	if idx != 0 || done {
+		t.Fatal("retention must stay accurate until θ")
+	}
+	_, done = p.StateAtAge(31 * 24 * time.Hour)
+	if !done {
+		t.Fatal("retention must delete after θ")
+	}
+}
+
+func TestInfinite(t *testing.T) {
+	loc := gentree.Figure1Locations()
+	p := Infinite("forever", loc)
+	if _, ok := p.Horizon(); ok {
+		t.Fatal("infinite retention has no horizon")
+	}
+	idx, done := p.StateAtAge(100 * 365 * 24 * time.Hour)
+	if idx != 0 || done {
+		t.Fatal("infinite retention never degrades")
+	}
+}
+
+func TestCommonPeriods(t *testing.T) {
+	if CommonPeriods["1y"] != 365*24*time.Hour || len(CommonPeriods) != 3 {
+		t.Fatalf("periods=%v", CommonPeriods)
+	}
+}

@@ -1,0 +1,177 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+
+	"instantdb/internal/catalog"
+)
+
+// Manager owns one Store and hands out TableStores over it. It maintains
+// the free-page list (scrubbed pages ready for reuse) and rebuilds all
+// in-memory directories from raw pages at recovery.
+type Manager struct {
+	mu     sync.Mutex
+	store  Store
+	free   []PageID
+	tables map[uint32]*TableStore
+}
+
+// NewManager wraps a raw page store.
+func NewManager(store Store) *Manager {
+	return &Manager{store: store, tables: make(map[uint32]*TableStore)}
+}
+
+// Store returns the underlying raw page store (the forensic scanner and
+// checkpointing use it directly).
+func (m *Manager) Store() Store { return m.store }
+
+// Table returns the TableStore for a catalog table, creating it on first
+// use.
+func (m *Manager) Table(tbl *catalog.Table) *TableStore {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ts, ok := m.tables[tbl.ID]
+	if !ok {
+		ts = newTableStore(m, tbl)
+		m.tables[tbl.ID] = ts
+	}
+	return ts
+}
+
+// DropTable scrubs and releases every page of a table.
+func (m *Manager) DropTable(tableID uint32) error {
+	m.mu.Lock()
+	ts, ok := m.tables[tableID]
+	delete(m.tables, tableID)
+	m.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	for pid := range ts.pageSeg {
+		if err := m.freePage(pid); err != nil {
+			return err
+		}
+	}
+	ts.dir = make(map[TupleID]RID)
+	ts.segs = make(map[uint64]*segment)
+	ts.pageSeg = make(map[PageID]uint64)
+	return nil
+}
+
+// allocPage returns a fresh (or recycled) page initialized for tableID.
+// buf (len PageSize) receives the initialized content; the page is not
+// yet written — the caller writes after filling it.
+func (m *Manager) allocPage(tableID uint32, buf []byte) (PageID, error) {
+	m.mu.Lock()
+	var pid PageID
+	var err error
+	if n := len(m.free); n > 0 {
+		pid = m.free[n-1]
+		m.free = m.free[:n-1]
+	} else {
+		pid, err = m.store.Allocate()
+	}
+	m.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	initPage(buf, tableID)
+	return pid, nil
+}
+
+// freePage scrubs a page and returns it to the free list.
+func (m *Manager) freePage(pid PageID) error {
+	buf := make([]byte, PageSize)
+	if err := m.store.WritePage(pid, buf); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.free = append(m.free, pid)
+	m.mu.Unlock()
+	return nil
+}
+
+// Sync flushes the page store (checkpoint support).
+func (m *Manager) Sync() error { return m.store.Sync() }
+
+// Rebuild reconstructs every table's in-memory state (tuple directory,
+// segments, free list, next tuple id) from raw pages — the recovery path
+// after reopening a file-backed database. Pages of tables absent from the
+// catalog (dropped tables) are scrubbed and freed.
+func (m *Manager) Rebuild(cat *catalog.Catalog) error {
+	m.mu.Lock()
+	m.free = nil
+	m.tables = make(map[uint32]*TableStore)
+	m.mu.Unlock()
+
+	type orphan struct{ pid PageID }
+	var orphans []orphan
+	err := m.store.ForEachPage(func(pid PageID, data []byte) error {
+		if !pageInUse(data) {
+			m.mu.Lock()
+			m.free = append(m.free, pid)
+			m.mu.Unlock()
+			return nil
+		}
+		tbl, err := cat.TableByID(pageTableID(data))
+		if err != nil {
+			orphans = append(orphans, orphan{pid})
+			return nil
+		}
+		ts := m.Table(tbl)
+		ts.mu.Lock()
+		defer ts.mu.Unlock()
+		n := pageNumSlots(data)
+		var segKeySet bool
+		var segKey uint64
+		live := 0
+		for s := uint16(0); s < n; s++ {
+			rec, ok := pageRead(data, s)
+			if !ok {
+				continue
+			}
+			t, err := decodeRecord(rec)
+			if err != nil {
+				return fmt.Errorf("storage: rebuild %s page %d slot %d: %w", tbl.Name, pid, s, err)
+			}
+			live++
+			ts.dir[t.ID] = RID{Page: pid, Slot: s}
+			if t.ID > ts.nextID {
+				ts.nextID = t.ID
+			}
+			if !segKeySet {
+				segKey = ts.segKeyFor(t.States)
+				segKeySet = true
+			}
+		}
+		if live == 0 {
+			// In-use header but no live tuples (crash between scrub and
+			// free): scrub fully and free.
+			orphans = append(orphans, orphan{pid})
+			return nil
+		}
+		seg, ok := ts.segs[segKey]
+		if !ok {
+			seg = newSegment()
+			ts.segs[segKey] = seg
+		}
+		seg.pages[pid] = struct{}{}
+		ts.pageSeg[pid] = segKey
+		if pageFreeSpace(data) >= openSpaceThreshold {
+			seg.open = append(seg.open, pid)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, o := range orphans {
+		if err := m.freePage(o.pid); err != nil {
+			return err
+		}
+	}
+	return nil
+}

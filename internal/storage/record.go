@@ -1,0 +1,82 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"instantdb/internal/value"
+)
+
+// TupleID is the stable logical identifier of a tuple within its table.
+// It survives degradation moves between state segments; secondary indexes
+// reference tuples by TupleID, never by physical location.
+type TupleID uint64
+
+// RID is a physical record location.
+type RID struct {
+	Page PageID
+	Slot uint16
+}
+
+// StateErased marks a degradable attribute that passed its horizon: the
+// stored value is NULL and the original is physically gone.
+const StateErased = 0xFF
+
+// Tuple is a materialized record: the stored (not rendered) forms of all
+// columns plus degradation metadata.
+type Tuple struct {
+	ID TupleID
+	// InsertedAt anchors every LCP deadline of this tuple.
+	InsertedAt time.Time
+	// States holds the LCP state index of each degradable column (in
+	// catalog DegradableColumns order); StateErased past the horizon.
+	States []uint8
+	// Row holds the stored form of every column in declaration order.
+	// Degradable columns hold their domain's stored representation at
+	// the current state's level.
+	Row []value.Value
+}
+
+// Record layout: tupleID u64 | insertNano i64 | nDeg u8 | states nDeg |
+// EncodeRow(row). Self-delimiting, so in-place shrink with zero-fill is
+// safe.
+func encodeRecord(dst []byte, id TupleID, at time.Time, states []uint8, row []value.Value) []byte {
+	var b [16]byte
+	binary.LittleEndian.PutUint64(b[0:], uint64(id))
+	binary.LittleEndian.PutUint64(b[8:], uint64(at.UTC().UnixNano()))
+	dst = append(dst, b[:]...)
+	dst = append(dst, byte(len(states)))
+	dst = append(dst, states...)
+	return value.EncodeRow(dst, row)
+}
+
+func decodeRecord(src []byte) (Tuple, error) {
+	if len(src) < 17 {
+		return Tuple{}, fmt.Errorf("storage: record too short (%d bytes)", len(src))
+	}
+	var t Tuple
+	t.ID = TupleID(binary.LittleEndian.Uint64(src[0:]))
+	t.InsertedAt = time.Unix(0, int64(binary.LittleEndian.Uint64(src[8:]))).UTC()
+	n := int(src[16])
+	if len(src) < 17+n {
+		return Tuple{}, fmt.Errorf("storage: record truncated in state vector")
+	}
+	t.States = append([]uint8(nil), src[17:17+n]...)
+	row, _, err := value.DecodeRow(src[17+n:])
+	if err != nil {
+		return Tuple{}, fmt.Errorf("storage: record row: %w", err)
+	}
+	t.Row = row
+	return t, nil
+}
+
+// stateKey packs a state vector into a comparable key. At most
+// catalog.MaxDegradableColumns (8) states fit.
+func stateKey(states []uint8) uint64 {
+	var k uint64
+	for i, s := range states {
+		k |= uint64(s) << (8 * i)
+	}
+	return k
+}

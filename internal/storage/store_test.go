@@ -1,0 +1,244 @@
+package storage
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func testStores(t *testing.T) map[string]func(t *testing.T) Store {
+	t.Helper()
+	return map[string]func(t *testing.T) Store{
+		"mem": func(t *testing.T) Store { return NewMemStore() },
+		"file": func(t *testing.T) Store {
+			s, err := OpenFileStore(filepath.Join(t.TempDir(), "pages.db"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		},
+	}
+}
+
+func TestStoreBasics(t *testing.T) {
+	for name, open := range testStores(t) {
+		t.Run(name, func(t *testing.T) {
+			s := open(t)
+			defer s.Close()
+			if s.NumPages() != 0 {
+				t.Fatal("new store not empty")
+			}
+			id, err := s.Allocate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if id != 0 || s.NumPages() != 1 {
+				t.Fatalf("first page id=%d n=%d", id, s.NumPages())
+			}
+			data := make([]byte, PageSize)
+			copy(data, "hello pages")
+			if err := s.WritePage(id, data); err != nil {
+				t.Fatal(err)
+			}
+			got := make([]byte, PageSize)
+			if err := s.ReadPage(id, got); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatal("read != write")
+			}
+			if err := s.ReadPage(99, got); err == nil {
+				t.Fatal("out of range read should fail")
+			}
+			if err := s.WritePage(99, data); err == nil {
+				t.Fatal("out of range write should fail")
+			}
+			if err := s.Sync(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestStoreAllocateZeroed(t *testing.T) {
+	for name, open := range testStores(t) {
+		t.Run(name, func(t *testing.T) {
+			s := open(t)
+			defer s.Close()
+			id, _ := s.Allocate()
+			buf := make([]byte, PageSize)
+			if err := s.ReadPage(id, buf); err != nil {
+				t.Fatal(err)
+			}
+			for _, b := range buf {
+				if b != 0 {
+					t.Fatal("allocated page not zeroed")
+				}
+			}
+		})
+	}
+}
+
+func TestStoreForEachPage(t *testing.T) {
+	for name, open := range testStores(t) {
+		t.Run(name, func(t *testing.T) {
+			s := open(t)
+			defer s.Close()
+			for i := 0; i < 3; i++ {
+				id, _ := s.Allocate()
+				data := make([]byte, PageSize)
+				data[0] = byte(i + 1)
+				if err := s.WritePage(id, data); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var seen []byte
+			err := s.ForEachPage(func(id PageID, data []byte) error {
+				seen = append(seen, data[0])
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(seen, []byte{1, 2, 3}) {
+				t.Fatalf("seen=%v", seen)
+			}
+		})
+	}
+}
+
+func TestFileStorePersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	s, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := s.Allocate()
+	data := make([]byte, PageSize)
+	copy(data, "durable bytes")
+	if err := s.WritePage(id, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.NumPages() != 1 {
+		t.Fatalf("reopened pages=%d", s2.NumPages())
+	}
+	got := make([]byte, PageSize)
+	if err := s2.ReadPage(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("content lost across reopen")
+	}
+	if s2.Path() != path {
+		t.Fatalf("Path()=%q", s2.Path())
+	}
+}
+
+func TestPageOps(t *testing.T) {
+	p := make([]byte, PageSize)
+	initPage(p, 42)
+	if !pageInUse(p) || pageTableID(p) != 42 {
+		t.Fatal("init header wrong")
+	}
+	rec1 := []byte("first record")
+	s1, ok := pageInsert(p, rec1)
+	if !ok {
+		t.Fatal("insert failed")
+	}
+	rec2 := []byte("second, longer record payload")
+	s2, ok := pageInsert(p, rec2)
+	if !ok || s2 == s1 {
+		t.Fatal("second insert failed")
+	}
+	got, ok := pageRead(p, s1)
+	if !ok || !bytes.Equal(got, rec1) {
+		t.Fatalf("read slot1=%q", got)
+	}
+	if pageLive(p) != 2 {
+		t.Fatalf("live=%d", pageLive(p))
+	}
+	// Delete scrubs.
+	live, err := pageDelete(p, s1)
+	if err != nil || live != 1 {
+		t.Fatalf("delete: live=%d err=%v", live, err)
+	}
+	if _, ok := pageRead(p, s1); ok {
+		t.Fatal("dead slot readable")
+	}
+	if bytes.Contains(p, rec1) {
+		t.Fatal("deleted payload bytes survive in page")
+	}
+	// Dead slot directory entry is recycled.
+	s3, ok := pageInsert(p, []byte("third"))
+	if !ok || s3 != s1 {
+		t.Fatalf("dead slot not recycled: %d", s3)
+	}
+	// Overwrite in place with shrink scrubs the tail.
+	if !pageOverwrite(p, s2, []byte("tiny")) {
+		t.Fatal("overwrite failed")
+	}
+	got, _ = pageRead(p, s2)
+	if !bytes.Equal(got, []byte("tiny")) {
+		t.Fatalf("after overwrite: %q", got)
+	}
+	if bytes.Contains(p, []byte("longer record payload")) {
+		t.Fatal("overwritten payload bytes survive")
+	}
+	// Overwrite that grows is refused.
+	if pageOverwrite(p, s2, bytes.Repeat([]byte("x"), 200)) {
+		t.Fatal("growing overwrite must be refused")
+	}
+	// Double delete is a no-op.
+	if _, err := pageDelete(p, s2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pageDelete(p, s2); err != nil {
+		t.Fatal("double delete must not error")
+	}
+	// Out-of-range slot errors.
+	if _, err := pageDelete(p, 99); err == nil {
+		t.Fatal("oob delete should fail")
+	}
+}
+
+func TestPageFillsUp(t *testing.T) {
+	p := make([]byte, PageSize)
+	initPage(p, 1)
+	rec := bytes.Repeat([]byte("z"), 100)
+	count := 0
+	for {
+		if _, ok := pageInsert(p, rec); !ok {
+			break
+		}
+		count++
+	}
+	// 4096-16 bytes / (100+4) per record ≈ 39.
+	if count < 35 || count > 40 {
+		t.Fatalf("page held %d 100-byte records", count)
+	}
+	if pageFreeSpace(p) >= 104 {
+		t.Fatal("free space inconsistent with failed insert")
+	}
+}
+
+func TestPageRejectsOversized(t *testing.T) {
+	p := make([]byte, PageSize)
+	initPage(p, 1)
+	if _, ok := pageInsert(p, make([]byte, MaxRecordSize+1)); ok {
+		t.Fatal("oversized record accepted")
+	}
+	if _, ok := pageInsert(p, make([]byte, MaxRecordSize)); !ok {
+		t.Fatal("max-size record refused")
+	}
+}

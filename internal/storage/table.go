@@ -1,0 +1,448 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"instantdb/internal/catalog"
+	"instantdb/internal/value"
+)
+
+// ErrNoTuple is returned for operations on unknown tuple ids.
+var ErrNoTuple = errors.New("storage: no such tuple")
+
+// openSpaceThreshold removes a page from the open list once its free
+// space drops below this many bytes.
+const openSpaceThreshold = 64
+
+var pagePool = sync.Pool{New: func() any {
+	b := make([]byte, PageSize)
+	return &b
+}}
+
+// segment is the set of pages holding tuples of one tuple state (the
+// paper's STk subset). Tables with LayoutInPlace use a single mixed
+// segment.
+type segment struct {
+	pages map[PageID]struct{}
+	open  []PageID // pages believed to have insert space
+}
+
+func newSegment() *segment { return &segment{pages: make(map[PageID]struct{})} }
+
+// TableStore stores the tuples of one table. All methods are safe for
+// concurrent use; logical isolation (two-phase locking) lives in the
+// transaction layer above.
+type TableStore struct {
+	mu      sync.RWMutex
+	mgr     *Manager
+	tbl     *catalog.Table
+	dir     map[TupleID]RID
+	segs    map[uint64]*segment
+	pageSeg map[PageID]uint64
+	nextID  TupleID
+}
+
+func newTableStore(mgr *Manager, tbl *catalog.Table) *TableStore {
+	return &TableStore{
+		mgr:     mgr,
+		tbl:     tbl,
+		dir:     make(map[TupleID]RID),
+		segs:    make(map[uint64]*segment),
+		pageSeg: make(map[PageID]uint64),
+	}
+}
+
+// Def returns the catalog definition this store serves.
+func (ts *TableStore) Def() *catalog.Table { return ts.tbl }
+
+// segKeyFor maps a tuple state vector to its segment key under the
+// table's layout: state-partitioned for LayoutMove, one mixed segment for
+// LayoutInPlace.
+func (ts *TableStore) segKeyFor(states []uint8) uint64 {
+	if ts.tbl.Layout == catalog.LayoutInPlace {
+		return 0
+	}
+	return stateKey(states)
+}
+
+// ReserveID allocates a tuple id without storing anything. The engine
+// reserves ids for transaction write sets so WAL records carry final ids
+// before the deferred apply.
+func (ts *TableStore) ReserveID() TupleID {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	ts.nextID++
+	return ts.nextID
+}
+
+// Insert stores a new tuple and returns its id.
+func (ts *TableStore) Insert(row []value.Value, states []uint8, at time.Time) (TupleID, error) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	id := ts.nextID + 1
+	if err := ts.insertLocked(id, row, states, at); err != nil {
+		return 0, err
+	}
+	ts.nextID = id
+	return id, nil
+}
+
+// InsertWithID stores a tuple under a caller-chosen id; it is a no-op if
+// the id already exists (idempotent redo during recovery).
+func (ts *TableStore) InsertWithID(id TupleID, row []value.Value, states []uint8, at time.Time) error {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if _, ok := ts.dir[id]; ok {
+		return nil
+	}
+	if err := ts.insertLocked(id, row, states, at); err != nil {
+		return err
+	}
+	if id > ts.nextID {
+		ts.nextID = id
+	}
+	return nil
+}
+
+func (ts *TableStore) insertLocked(id TupleID, row []value.Value, states []uint8, at time.Time) error {
+	if len(row) != len(ts.tbl.Columns) {
+		return fmt.Errorf("storage: %s: row has %d columns, want %d", ts.tbl.Name, len(row), len(ts.tbl.Columns))
+	}
+	if len(states) != len(ts.tbl.DegradableColumns()) {
+		return fmt.Errorf("storage: %s: state vector has %d entries, want %d",
+			ts.tbl.Name, len(states), len(ts.tbl.DegradableColumns()))
+	}
+	rec := encodeRecord(nil, id, at, states, row)
+	if len(rec) > MaxRecordSize {
+		return fmt.Errorf("%w: %d bytes", ErrRecordTooLarge, len(rec))
+	}
+	rid, err := ts.placeLocked(ts.segKeyFor(states), rec)
+	if err != nil {
+		return err
+	}
+	ts.dir[id] = rid
+	return nil
+}
+
+// placeLocked finds room for rec in the segment and writes it.
+func (ts *TableStore) placeLocked(key uint64, rec []byte) (RID, error) {
+	seg, ok := ts.segs[key]
+	if !ok {
+		seg = newSegment()
+		ts.segs[key] = seg
+	}
+	bufp := pagePool.Get().(*[]byte)
+	defer pagePool.Put(bufp)
+	buf := *bufp
+	// Try open pages from most recently opened.
+	for len(seg.open) > 0 {
+		pid := seg.open[len(seg.open)-1]
+		if err := ts.mgr.store.ReadPage(pid, buf); err != nil {
+			return RID{}, err
+		}
+		slot, ok := pageInsert(buf, rec)
+		if ok {
+			if pageFreeSpace(buf) < openSpaceThreshold {
+				seg.open = seg.open[:len(seg.open)-1]
+			}
+			if err := ts.mgr.store.WritePage(pid, buf); err != nil {
+				return RID{}, err
+			}
+			return RID{Page: pid, Slot: slot}, nil
+		}
+		seg.open = seg.open[:len(seg.open)-1]
+	}
+	// Allocate a fresh page.
+	pid, err := ts.mgr.allocPage(ts.tbl.ID, buf)
+	if err != nil {
+		return RID{}, err
+	}
+	slot, ok := pageInsert(buf, rec)
+	if !ok {
+		return RID{}, fmt.Errorf("%w: %d bytes", ErrRecordTooLarge, len(rec))
+	}
+	if err := ts.mgr.store.WritePage(pid, buf); err != nil {
+		return RID{}, err
+	}
+	seg.pages[pid] = struct{}{}
+	ts.pageSeg[pid] = key
+	if pageFreeSpace(buf) >= openSpaceThreshold {
+		seg.open = append(seg.open, pid)
+	}
+	return RID{Page: pid, Slot: slot}, nil
+}
+
+// Get materializes a tuple by id.
+func (ts *TableStore) Get(id TupleID) (Tuple, error) {
+	ts.mu.RLock()
+	defer ts.mu.RUnlock()
+	rid, ok := ts.dir[id]
+	if !ok {
+		return Tuple{}, fmt.Errorf("%w: %s #%d", ErrNoTuple, ts.tbl.Name, id)
+	}
+	return ts.readLocked(rid)
+}
+
+func (ts *TableStore) readLocked(rid RID) (Tuple, error) {
+	bufp := pagePool.Get().(*[]byte)
+	defer pagePool.Put(bufp)
+	buf := *bufp
+	if err := ts.mgr.store.ReadPage(rid.Page, buf); err != nil {
+		return Tuple{}, err
+	}
+	rec, ok := pageRead(buf, rid.Slot)
+	if !ok {
+		return Tuple{}, fmt.Errorf("storage: %s: dangling rid %v", ts.tbl.Name, rid)
+	}
+	return decodeRecord(rec)
+}
+
+// Delete removes a tuple, scrubbing its payload. Unknown ids are a no-op
+// (idempotent redo).
+func (ts *TableStore) Delete(id TupleID) error {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	rid, ok := ts.dir[id]
+	if !ok {
+		return nil
+	}
+	if err := ts.eraseLocked(rid); err != nil {
+		return err
+	}
+	delete(ts.dir, id)
+	return nil
+}
+
+// eraseLocked scrubs the slot and recycles the page if it became empty.
+func (ts *TableStore) eraseLocked(rid RID) error {
+	bufp := pagePool.Get().(*[]byte)
+	defer pagePool.Put(bufp)
+	buf := *bufp
+	if err := ts.mgr.store.ReadPage(rid.Page, buf); err != nil {
+		return err
+	}
+	live, err := pageDelete(buf, rid.Slot)
+	if err != nil {
+		return err
+	}
+	if live == 0 {
+		return ts.recyclePageLocked(rid.Page)
+	}
+	return ts.mgr.store.WritePage(rid.Page, buf)
+}
+
+func (ts *TableStore) recyclePageLocked(pid PageID) error {
+	key, ok := ts.pageSeg[pid]
+	if ok {
+		seg := ts.segs[key]
+		delete(seg.pages, pid)
+		for i, p := range seg.open {
+			if p == pid {
+				seg.open = append(seg.open[:i], seg.open[i+1:]...)
+				break
+			}
+		}
+		delete(ts.pageSeg, pid)
+	}
+	return ts.mgr.freePage(pid)
+}
+
+// DegradeAttr applies one LCP transition to a tuple: the degradable
+// column at position degPos (in DegradableColumns order) moves to state
+// newState with stored form newStored. The previous stored form is
+// physically scrubbed: overwritten in place when the layout allows it,
+// otherwise deleted-and-rewritten in the target state segment. Unknown
+// ids are a no-op (idempotent redo).
+func (ts *TableStore) DegradeAttr(id TupleID, degPos int, newStored value.Value, newState uint8) error {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	rid, ok := ts.dir[id]
+	if !ok {
+		return nil
+	}
+	t, err := ts.readLocked(rid)
+	if err != nil {
+		return err
+	}
+	if degPos < 0 || degPos >= len(t.States) {
+		return fmt.Errorf("storage: %s: degradable position %d out of %d", ts.tbl.Name, degPos, len(t.States))
+	}
+	col := ts.tbl.DegradableColumns()[degPos]
+	t.States[degPos] = newState
+	t.Row[col] = newStored
+	return ts.rewriteLocked(id, rid, t)
+}
+
+// UpdateStable overwrites a stable column. Degradable columns are
+// immutable after insert (paper §II); callers enforce that rule — this
+// method checks it defensively.
+func (ts *TableStore) UpdateStable(id TupleID, col int, v value.Value) error {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if ts.tbl.DegradablePos(col) != -1 {
+		return fmt.Errorf("storage: %s: column %d is degradable and immutable", ts.tbl.Name, col)
+	}
+	rid, ok := ts.dir[id]
+	if !ok {
+		return fmt.Errorf("%w: %s #%d", ErrNoTuple, ts.tbl.Name, id)
+	}
+	t, err := ts.readLocked(rid)
+	if err != nil {
+		return err
+	}
+	t.Row[col] = v
+	return ts.rewriteLocked(id, rid, t)
+}
+
+// rewriteLocked re-encodes a tuple after modification, preferring
+// in-place overwrite when the layout keeps the tuple in its segment,
+// falling back to scrub-and-move.
+func (ts *TableStore) rewriteLocked(id TupleID, rid RID, t Tuple) error {
+	rec := encodeRecord(nil, t.ID, t.InsertedAt, t.States, t.Row)
+	if len(rec) > MaxRecordSize {
+		return fmt.Errorf("%w: %d bytes", ErrRecordTooLarge, len(rec))
+	}
+	oldKey := ts.pageSeg[rid.Page]
+	newKey := ts.segKeyFor(t.States)
+	if oldKey == newKey {
+		// Same segment: try the in-place path.
+		bufp := pagePool.Get().(*[]byte)
+		buf := *bufp
+		if err := ts.mgr.store.ReadPage(rid.Page, buf); err != nil {
+			pagePool.Put(bufp)
+			return err
+		}
+		if pageOverwrite(buf, rid.Slot, rec) {
+			err := ts.mgr.store.WritePage(rid.Page, buf)
+			pagePool.Put(bufp)
+			return err
+		}
+		pagePool.Put(bufp)
+	}
+	// Move: scrub the old copy, place the new one in its segment.
+	if err := ts.eraseLocked(rid); err != nil {
+		return err
+	}
+	newRID, err := ts.placeLocked(newKey, rec)
+	if err != nil {
+		return err
+	}
+	ts.dir[id] = newRID
+	return nil
+}
+
+// Scan calls fn with every live tuple. fn returning false stops the scan.
+// The scan holds the table read lock; concurrent writers block.
+func (ts *TableStore) Scan(fn func(Tuple) bool) error {
+	ts.mu.RLock()
+	defer ts.mu.RUnlock()
+	for pid := range ts.pageSeg {
+		stop, err := ts.scanPageLocked(pid, fn)
+		if err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+	}
+	return nil
+}
+
+// ScanState calls fn with every live tuple in the given tuple state. On
+// LayoutMove tables only the matching segment's pages are read; on
+// LayoutInPlace the whole table is scanned and filtered — the cost
+// difference is the point of experiment B-STORE.
+func (ts *TableStore) ScanState(states []uint8, fn func(Tuple) bool) error {
+	ts.mu.RLock()
+	defer ts.mu.RUnlock()
+	want := stateKey(states)
+	filter := func(t Tuple) bool {
+		if stateKey(t.States) != want {
+			return true
+		}
+		return fn(t)
+	}
+	if ts.tbl.Layout == catalog.LayoutMove {
+		seg, ok := ts.segs[want]
+		if !ok {
+			return nil
+		}
+		for pid := range seg.pages {
+			stop, err := ts.scanPageLocked(pid, filter)
+			if err != nil {
+				return err
+			}
+			if stop {
+				return nil
+			}
+		}
+		return nil
+	}
+	for pid := range ts.pageSeg {
+		stop, err := ts.scanPageLocked(pid, filter)
+		if err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+	}
+	return nil
+}
+
+func (ts *TableStore) scanPageLocked(pid PageID, fn func(Tuple) bool) (stop bool, err error) {
+	bufp := pagePool.Get().(*[]byte)
+	defer pagePool.Put(bufp)
+	buf := *bufp
+	if err := ts.mgr.store.ReadPage(pid, buf); err != nil {
+		return false, err
+	}
+	n := pageNumSlots(buf)
+	for s := uint16(0); s < n; s++ {
+		rec, ok := pageRead(buf, s)
+		if !ok {
+			continue
+		}
+		t, err := decodeRecord(rec)
+		if err != nil {
+			return false, fmt.Errorf("storage: %s page %d slot %d: %w", ts.tbl.Name, pid, s, err)
+		}
+		if !fn(t) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Count returns the number of live tuples.
+func (ts *TableStore) Count() int {
+	ts.mu.RLock()
+	defer ts.mu.RUnlock()
+	return len(ts.dir)
+}
+
+// Stats summarizes physical occupancy for tooling and experiments.
+type Stats struct {
+	Tuples   int
+	Pages    int
+	Segments map[uint64]int // state key -> page count
+}
+
+// Stats returns current occupancy.
+func (ts *TableStore) Stats() Stats {
+	ts.mu.RLock()
+	defer ts.mu.RUnlock()
+	s := Stats{Tuples: len(ts.dir), Pages: len(ts.pageSeg), Segments: make(map[uint64]int)}
+	for key, seg := range ts.segs {
+		if len(seg.pages) > 0 {
+			s.Segments[key] = len(seg.pages)
+		}
+	}
+	return s
+}
+
+// StateKeyOf exposes the state-vector packing for tools and tests.
+func StateKeyOf(states []uint8) uint64 { return stateKey(states) }

@@ -1,0 +1,292 @@
+// Package txn provides transaction identity and the hierarchical lock
+// manager used for isolation between user transactions and the system
+// degradation transactions (paper §III: "potential conflicts between
+// degradation steps and reader transactions").
+//
+// Locking is strict two-phase: locks accumulate during a transaction and
+// release together at commit or abort. Granularity is hierarchical —
+// intention locks (IS/IX) at table level, S/X at row level — so a scan
+// holding a table S lock blocks the degrader wholesale, while row-locked
+// readers only delay degradation of the tuples they touch (the trade-off
+// measured by experiment B-TXN). Deadlocks resolve by bounded waiting:
+// a request that cannot be granted within the configured timeout fails
+// with ErrLockTimeout and the caller aborts.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"instantdb/internal/storage"
+)
+
+// ID identifies a transaction. System (degradation) transactions share
+// the same id space.
+type ID uint64
+
+// IDSource hands out transaction ids.
+type IDSource struct{ n atomic.Uint64 }
+
+// Next returns a fresh transaction id.
+func (s *IDSource) Next() ID { return ID(s.n.Add(1)) }
+
+// LockMode is a hierarchical lock mode.
+type LockMode uint8
+
+// Lock modes, weakest to strongest.
+const (
+	LockIS LockMode = iota // intention shared (table, before row S)
+	LockIX                 // intention exclusive (table, before row X)
+	LockS                  // shared
+	LockX                  // exclusive
+)
+
+// String returns the mode name.
+func (m LockMode) String() string {
+	switch m {
+	case LockIS:
+		return "IS"
+	case LockIX:
+		return "IX"
+	case LockS:
+		return "S"
+	case LockX:
+		return "X"
+	default:
+		return fmt.Sprintf("LockMode(%d)", uint8(m))
+	}
+}
+
+// compatible is the classic hierarchical compatibility matrix.
+var compatible = [4][4]bool{
+	LockIS: {LockIS: true, LockIX: true, LockS: true, LockX: false},
+	LockIX: {LockIS: true, LockIX: true, LockS: false, LockX: false},
+	LockS:  {LockIS: true, LockIX: false, LockS: true, LockX: false},
+	LockX:  {LockIS: false, LockIX: false, LockS: false, LockX: false},
+}
+
+// stronger reports whether a subsumes b for upgrade purposes.
+func stronger(a, b LockMode) bool {
+	rank := map[LockMode]int{LockIS: 0, LockIX: 1, LockS: 1, LockX: 2}
+	if a == b {
+		return true
+	}
+	if a == LockX {
+		return true
+	}
+	if a == LockIX && b == LockIS {
+		return true
+	}
+	if a == LockS && b == LockIS {
+		return true
+	}
+	return rank[a] > rank[b] && a != LockS // S does not subsume IX
+}
+
+// ErrLockTimeout is returned when a lock cannot be acquired within the
+// manager's timeout — the deadlock-avoidance signal; the caller must
+// abort its transaction.
+var ErrLockTimeout = errors.New("txn: lock wait timeout (possible deadlock)")
+
+// Resource names a lockable object: a table or one row of it.
+type Resource struct {
+	Table uint32
+	Row   storage.TupleID // 0 for the table itself
+}
+
+// TableRes names a whole table.
+func TableRes(table uint32) Resource { return Resource{Table: table} }
+
+// RowRes names one row.
+func RowRes(table uint32, row storage.TupleID) Resource {
+	return Resource{Table: table, Row: row}
+}
+
+type lockState struct {
+	holders map[ID]LockMode
+	queue   []*waiter
+}
+
+type waiter struct {
+	txn     ID
+	mode    LockMode
+	granted chan struct{}
+}
+
+// LockManager grants hierarchical locks with bounded waiting.
+type LockManager struct {
+	mu      sync.Mutex
+	locks   map[Resource]*lockState
+	held    map[ID]map[Resource]LockMode
+	timeout time.Duration
+}
+
+// NewLockManager builds a lock manager; timeout bounds every wait
+// (default 200ms when zero).
+func NewLockManager(timeout time.Duration) *LockManager {
+	if timeout <= 0 {
+		timeout = 200 * time.Millisecond
+	}
+	return &LockManager{
+		locks:   make(map[Resource]*lockState),
+		held:    make(map[ID]map[Resource]LockMode),
+		timeout: timeout,
+	}
+}
+
+// Acquire grants mode on res to txn, waiting up to the timeout. Repeat
+// and weaker requests are no-ops; upgrades wait like fresh requests.
+func (lm *LockManager) Acquire(txn ID, res Resource, mode LockMode) error {
+	lm.mu.Lock()
+	st, ok := lm.locks[res]
+	if !ok {
+		st = &lockState{holders: make(map[ID]LockMode)}
+		lm.locks[res] = st
+	}
+	if cur, holds := st.holders[txn]; holds && stronger(cur, mode) {
+		lm.mu.Unlock()
+		return nil
+	}
+	if lm.grantableLocked(st, txn, mode) && len(st.queue) == 0 {
+		lm.grantLocked(st, txn, res, mode)
+		lm.mu.Unlock()
+		return nil
+	}
+	w := &waiter{txn: txn, mode: mode, granted: make(chan struct{})}
+	st.queue = append(st.queue, w)
+	lm.mu.Unlock()
+
+	timer := time.NewTimer(lm.timeout)
+	defer timer.Stop()
+	select {
+	case <-w.granted:
+		return nil
+	case <-timer.C:
+		lm.mu.Lock()
+		// Re-check: the grant may have raced the timer.
+		select {
+		case <-w.granted:
+			lm.mu.Unlock()
+			return nil
+		default:
+		}
+		for i, q := range st.queue {
+			if q == w {
+				st.queue = append(st.queue[:i], st.queue[i+1:]...)
+				break
+			}
+		}
+		lm.mu.Unlock()
+		return fmt.Errorf("%w: %s on table %d row %d", ErrLockTimeout, mode, res.Table, res.Row)
+	}
+}
+
+// TryAcquire grants mode without waiting; ok is false when it would
+// block. The degrader uses it to skip row-locked tuples until the next
+// tick instead of stalling a whole batch.
+func (lm *LockManager) TryAcquire(txn ID, res Resource, mode LockMode) bool {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	st, ok := lm.locks[res]
+	if !ok {
+		st = &lockState{holders: make(map[ID]LockMode)}
+		lm.locks[res] = st
+	}
+	if cur, holds := st.holders[txn]; holds && stronger(cur, mode) {
+		return true
+	}
+	if len(st.queue) > 0 || !lm.grantableLocked(st, txn, mode) {
+		return false
+	}
+	lm.grantLocked(st, txn, res, mode)
+	return true
+}
+
+func (lm *LockManager) grantableLocked(st *lockState, txn ID, mode LockMode) bool {
+	for holder, held := range st.holders {
+		if holder == txn {
+			continue // upgrade: only others matter
+		}
+		if !compatible[held][mode] {
+			return false
+		}
+	}
+	return true
+}
+
+func (lm *LockManager) grantLocked(st *lockState, txn ID, res Resource, mode LockMode) {
+	if cur, ok := st.holders[txn]; !ok || !stronger(cur, mode) {
+		st.holders[txn] = mode
+	}
+	h := lm.held[txn]
+	if h == nil {
+		h = make(map[Resource]LockMode)
+		lm.held[txn] = h
+	}
+	if cur, ok := h[res]; !ok || !stronger(cur, mode) {
+		h[res] = mode
+	}
+}
+
+// Release drops one lock early. Strict two-phase locking only permits
+// this for resources whose data the transaction did not use — the
+// executor releases rows that failed re-qualification after locking.
+func (lm *LockManager) Release(txn ID, res Resource) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	st := lm.locks[res]
+	if st == nil {
+		return
+	}
+	if _, ok := st.holders[txn]; !ok {
+		return
+	}
+	delete(st.holders, txn)
+	delete(lm.held[txn], res)
+	lm.wakeLocked(st, res)
+	if len(st.holders) == 0 && len(st.queue) == 0 {
+		delete(lm.locks, res)
+	}
+}
+
+// ReleaseAll releases every lock of txn and wakes eligible waiters (the
+// end of the two-phase protocol).
+func (lm *LockManager) ReleaseAll(txn ID) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	for res := range lm.held[txn] {
+		st := lm.locks[res]
+		if st == nil {
+			continue
+		}
+		delete(st.holders, txn)
+		lm.wakeLocked(st, res)
+		if len(st.holders) == 0 && len(st.queue) == 0 {
+			delete(lm.locks, res)
+		}
+	}
+	delete(lm.held, txn)
+}
+
+// wakeLocked grants queued waiters in FIFO order while compatible.
+func (lm *LockManager) wakeLocked(st *lockState, res Resource) {
+	for len(st.queue) > 0 {
+		w := st.queue[0]
+		if !lm.grantableLocked(st, w.txn, w.mode) {
+			return
+		}
+		lm.grantLocked(st, w.txn, res, w.mode)
+		close(w.granted)
+		st.queue = st.queue[1:]
+	}
+}
+
+// HeldCount returns how many locks txn currently holds (tests, stats).
+func (lm *LockManager) HeldCount(txn ID) int {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	return len(lm.held[txn])
+}

@@ -1,0 +1,225 @@
+package txn
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"instantdb/internal/storage"
+)
+
+func TestIDSource(t *testing.T) {
+	var s IDSource
+	a, b := s.Next(), s.Next()
+	if a == 0 || b <= a {
+		t.Fatalf("ids %d %d", a, b)
+	}
+}
+
+func TestCompatibilityMatrix(t *testing.T) {
+	cases := []struct {
+		a, b LockMode
+		ok   bool
+	}{
+		{LockIS, LockIS, true}, {LockIS, LockIX, true}, {LockIS, LockS, true}, {LockIS, LockX, false},
+		{LockIX, LockIX, true}, {LockIX, LockS, false}, {LockIX, LockX, false},
+		{LockS, LockS, true}, {LockS, LockX, false},
+		{LockX, LockX, false},
+	}
+	for _, c := range cases {
+		if compatible[c.a][c.b] != c.ok {
+			t.Errorf("compat[%s][%s]=%v want %v", c.a, c.b, compatible[c.a][c.b], c.ok)
+		}
+	}
+}
+
+func TestSharedLocksCoexist(t *testing.T) {
+	lm := NewLockManager(50 * time.Millisecond)
+	r := RowRes(1, 7)
+	if err := lm.Acquire(1, r, LockS); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.Acquire(2, r, LockS); err != nil {
+		t.Fatal(err)
+	}
+	if lm.HeldCount(1) != 1 || lm.HeldCount(2) != 1 {
+		t.Fatal("held counts wrong")
+	}
+}
+
+func TestExclusiveBlocksAndTimesOut(t *testing.T) {
+	lm := NewLockManager(30 * time.Millisecond)
+	r := RowRes(1, 7)
+	if err := lm.Acquire(1, r, LockX); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err := lm.Acquire(2, r, LockS)
+	if !errors.Is(err, ErrLockTimeout) {
+		t.Fatalf("err=%v want timeout", err)
+	}
+	if time.Since(start) < 25*time.Millisecond {
+		t.Fatal("timed out too early")
+	}
+}
+
+func TestReleaseWakesWaiter(t *testing.T) {
+	lm := NewLockManager(time.Second)
+	r := RowRes(1, 7)
+	if err := lm.Acquire(1, r, LockX); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() { got <- lm.Acquire(2, r, LockX) }()
+	time.Sleep(10 * time.Millisecond)
+	lm.ReleaseAll(1)
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("waiter never woke")
+	}
+}
+
+func TestUpgradeSToX(t *testing.T) {
+	lm := NewLockManager(30 * time.Millisecond)
+	r := RowRes(1, 7)
+	if err := lm.Acquire(1, r, LockS); err != nil {
+		t.Fatal(err)
+	}
+	// Sole holder upgrades immediately.
+	if err := lm.Acquire(1, r, LockX); err != nil {
+		t.Fatal(err)
+	}
+	// Now another S must block.
+	if lm.TryAcquire(2, r, LockS) {
+		t.Fatal("S granted alongside upgraded X")
+	}
+}
+
+func TestUpgradeBlockedByOtherHolder(t *testing.T) {
+	lm := NewLockManager(30 * time.Millisecond)
+	r := RowRes(1, 7)
+	lm.Acquire(1, r, LockS)
+	lm.Acquire(2, r, LockS)
+	if err := lm.Acquire(1, r, LockX); !errors.Is(err, ErrLockTimeout) {
+		t.Fatalf("upgrade with peer holder: err=%v", err)
+	}
+}
+
+func TestReacquireWeakerIsNoop(t *testing.T) {
+	lm := NewLockManager(30 * time.Millisecond)
+	r := TableRes(1)
+	lm.Acquire(1, r, LockX)
+	if err := lm.Acquire(1, r, LockIS); err != nil {
+		t.Fatal("weaker re-request should be immediate")
+	}
+	if lm.HeldCount(1) != 1 {
+		t.Fatal("duplicate lock entries")
+	}
+}
+
+func TestIntentionAndRowLocks(t *testing.T) {
+	lm := NewLockManager(30 * time.Millisecond)
+	// Reader: table IS + row S. Degrader: table IX + row X on another row.
+	if err := lm.Acquire(1, TableRes(1), LockIS); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.Acquire(1, RowRes(1, 5), LockS); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.Acquire(2, TableRes(1), LockIX); err != nil {
+		t.Fatal("IX should coexist with IS")
+	}
+	if !lm.TryAcquire(2, RowRes(1, 6), LockX) {
+		t.Fatal("X on a different row should succeed")
+	}
+	// Same row conflicts.
+	if lm.TryAcquire(2, RowRes(1, 5), LockX) {
+		t.Fatal("X granted over S on the same row")
+	}
+	// DDL X on the table blocks behind both intents.
+	if lm.TryAcquire(3, TableRes(1), LockX) {
+		t.Fatal("table X granted over intents")
+	}
+}
+
+func TestTryAcquireRespectsQueue(t *testing.T) {
+	lm := NewLockManager(500 * time.Millisecond)
+	r := RowRes(1, 7)
+	lm.Acquire(1, r, LockX)
+	done := make(chan error, 1)
+	go func() { done <- lm.Acquire(2, r, LockX) }()
+	time.Sleep(10 * time.Millisecond)
+	// Txn 3 must not jump the queue even for a compatible-looking grab
+	// after release.
+	lm.ReleaseAll(1)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if lm.TryAcquire(3, r, LockS) {
+		t.Fatal("S granted while txn2 holds X")
+	}
+	lm.ReleaseAll(2)
+	if !lm.TryAcquire(3, r, LockS) {
+		t.Fatal("S refused on free resource")
+	}
+}
+
+func TestFIFOWakeOrder(t *testing.T) {
+	lm := NewLockManager(2 * time.Second)
+	r := RowRes(1, 7)
+	lm.Acquire(1, r, LockX)
+	var order []ID
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, id := range []ID{2, 3, 4} {
+		wg.Add(1)
+		go func(id ID) {
+			defer wg.Done()
+			if err := lm.Acquire(id, r, LockX); err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			order = append(order, id)
+			mu.Unlock()
+			time.Sleep(5 * time.Millisecond)
+			lm.ReleaseAll(id)
+		}(id)
+		time.Sleep(20 * time.Millisecond) // establish queue order
+	}
+	lm.ReleaseAll(1)
+	wg.Wait()
+	if len(order) != 3 || order[0] != 2 || order[1] != 3 || order[2] != 4 {
+		t.Fatalf("wake order %v want [2 3 4]", order)
+	}
+}
+
+func TestConcurrentStress(t *testing.T) {
+	lm := NewLockManager(time.Second)
+	var wg sync.WaitGroup
+	var src IDSource
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := src.Next()
+				res := RowRes(1, storage.TupleID(i%10))
+				if err := lm.Acquire(id, TableRes(1), LockIX); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := lm.Acquire(id, res, LockX); err == nil {
+					_ = err
+				}
+				lm.ReleaseAll(id)
+			}
+		}()
+	}
+	wg.Wait()
+}

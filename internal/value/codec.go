@@ -1,0 +1,173 @@
+package value
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Encode appends the compact storage encoding of v to dst and returns the
+// extended slice. Layout: 1 byte kind, then a kind-specific payload
+// (fixed 8 bytes for INT/FLOAT/TIME, 1 byte for BOOL, uvarint length +
+// bytes for TEXT, nothing for NULL).
+func Encode(dst []byte, v Value) []byte {
+	dst = append(dst, byte(v.kind))
+	switch v.kind {
+	case KindNull:
+	case KindInt, KindTime:
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], uint64(v.i))
+		dst = append(dst, b[:]...)
+	case KindFloat:
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], math.Float64bits(v.f))
+		dst = append(dst, b[:]...)
+	case KindBool:
+		dst = append(dst, byte(v.i))
+	case KindText:
+		var b [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(b[:], uint64(len(v.s)))
+		dst = append(dst, b[:n]...)
+		dst = append(dst, v.s...)
+	}
+	return dst
+}
+
+// Decode reads one encoded value from src, returning the value and the
+// number of bytes consumed.
+func Decode(src []byte) (Value, int, error) {
+	if len(src) == 0 {
+		return Value{}, 0, fmt.Errorf("value: decode on empty input")
+	}
+	k := Kind(src[0])
+	rest := src[1:]
+	switch k {
+	case KindNull:
+		return Null(), 1, nil
+	case KindInt, KindTime:
+		if len(rest) < 8 {
+			return Value{}, 0, fmt.Errorf("value: short %s payload", k)
+		}
+		return Value{kind: k, i: int64(binary.BigEndian.Uint64(rest[:8]))}, 9, nil
+	case KindFloat:
+		if len(rest) < 8 {
+			return Value{}, 0, fmt.Errorf("value: short FLOAT payload")
+		}
+		return Float(math.Float64frombits(binary.BigEndian.Uint64(rest[:8]))), 9, nil
+	case KindBool:
+		if len(rest) < 1 {
+			return Value{}, 0, fmt.Errorf("value: short BOOL payload")
+		}
+		return Bool(rest[0] != 0), 2, nil
+	case KindText:
+		n, sz := binary.Uvarint(rest)
+		if sz <= 0 {
+			return Value{}, 0, fmt.Errorf("value: bad TEXT length")
+		}
+		if uint64(len(rest)-sz) < n {
+			return Value{}, 0, fmt.Errorf("value: short TEXT payload (want %d have %d)", n, len(rest)-sz)
+		}
+		return Text(string(rest[sz : sz+int(n)])), 1 + sz + int(n), nil
+	default:
+		return Value{}, 0, fmt.Errorf("value: unknown kind byte 0x%02x", src[0])
+	}
+}
+
+// EncodeRow appends the encoding of a row (a value sequence, prefixed by
+// its length) to dst.
+func EncodeRow(dst []byte, row []Value) []byte {
+	var b [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(b[:], uint64(len(row)))
+	dst = append(dst, b[:n]...)
+	for _, v := range row {
+		dst = Encode(dst, v)
+	}
+	return dst
+}
+
+// DecodeRow reads a row encoded by EncodeRow and returns it with the
+// number of bytes consumed.
+func DecodeRow(src []byte) ([]Value, int, error) {
+	n, sz := binary.Uvarint(src)
+	if sz <= 0 {
+		return nil, 0, fmt.Errorf("value: bad row length")
+	}
+	off := sz
+	row := make([]Value, 0, n)
+	for i := uint64(0); i < n; i++ {
+		v, c, err := Decode(src[off:])
+		if err != nil {
+			return nil, 0, fmt.Errorf("value: row field %d: %w", i, err)
+		}
+		row = append(row, v)
+		off += c
+	}
+	return row, off, nil
+}
+
+// AppendOrderedKey appends an order-preserving byte encoding of v: for any
+// two values a, b of comparable kinds, bytes(a) < bytes(b) iff
+// Compare(a, b) < 0 (with INTs and FLOATs sharing one numeric order).
+// The encoding is used for B+tree keys. Layout: 1 tag byte establishing
+// kind order (NULL < numerics < text < bool is avoided — numerics share a
+// tag), then a payload in big-endian order-preserving form.
+func AppendOrderedKey(dst []byte, v Value) []byte {
+	const (
+		tagNull    = 0x00
+		tagNumeric = 0x10
+		tagTime    = 0x20
+		tagText    = 0x30
+		tagBool    = 0x40
+	)
+	switch v.kind {
+	case KindNull:
+		return append(dst, tagNull)
+	case KindInt, KindFloat:
+		f := v.f
+		if v.kind == KindInt {
+			f = float64(v.i)
+		}
+		dst = append(dst, tagNumeric)
+		return appendOrderedFloat(dst, f)
+	case KindTime:
+		dst = append(dst, tagTime)
+		return appendOrderedInt(dst, v.i)
+	case KindText:
+		dst = append(dst, tagText)
+		// Escape 0x00 as 0x00 0xFF so the 0x00 0x00 terminator cannot
+		// appear inside the payload, keeping prefix ordering correct.
+		for i := 0; i < len(v.s); i++ {
+			c := v.s[i]
+			if c == 0x00 {
+				dst = append(dst, 0x00, 0xFF)
+			} else {
+				dst = append(dst, c)
+			}
+		}
+		return append(dst, 0x00, 0x00)
+	case KindBool:
+		dst = append(dst, tagBool)
+		return append(dst, byte(v.i))
+	default:
+		panic("value: AppendOrderedKey on unknown kind")
+	}
+}
+
+func appendOrderedInt(dst []byte, i int64) []byte {
+	u := uint64(i) ^ (1 << 63) // flip sign bit: negative ints sort first
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], u)
+	return append(dst, b[:]...)
+}
+
+func appendOrderedFloat(dst []byte, f float64) []byte {
+	u := math.Float64bits(f)
+	if u&(1<<63) != 0 {
+		u = ^u // negative floats: flip all bits
+	} else {
+		u ^= 1 << 63 // positive floats: flip sign bit
+	}
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], u)
+	return append(dst, b[:]...)
+}

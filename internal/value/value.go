@@ -1,0 +1,279 @@
+// Package value implements the typed scalar values InstantDB stores and
+// queries. A Value is a small immutable variant record (null, integer,
+// float, text, boolean or timestamp) with total ordering inside each kind,
+// numeric coercion between integers and floats, and two binary encodings:
+// a compact storage codec (Encode/Decode) and an order-preserving key
+// codec (AppendOrderedKey) used by the B+tree index.
+package value
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"time"
+)
+
+// Kind identifies the runtime type of a Value.
+type Kind uint8
+
+// The supported kinds. KindNull is the zero Kind so the zero Value is NULL.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindText
+	KindBool
+	KindTime
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INT"
+	case KindFloat:
+		return "FLOAT"
+	case KindText:
+		return "TEXT"
+	case KindBool:
+		return "BOOL"
+	case KindTime:
+		return "TIME"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// ParseKind maps a SQL type name to a Kind. It accepts the aliases used by
+// the query language (INTEGER, REAL, DOUBLE, VARCHAR, STRING, TIMESTAMP,
+// BOOLEAN, DATETIME).
+func ParseKind(name string) (Kind, error) {
+	switch name {
+	case "INT", "INTEGER", "BIGINT":
+		return KindInt, nil
+	case "FLOAT", "REAL", "DOUBLE":
+		return KindFloat, nil
+	case "TEXT", "VARCHAR", "STRING", "CHAR":
+		return KindText, nil
+	case "BOOL", "BOOLEAN":
+		return KindBool, nil
+	case "TIME", "TIMESTAMP", "DATETIME", "DATE":
+		return KindTime, nil
+	default:
+		return KindNull, fmt.Errorf("value: unknown type name %q", name)
+	}
+}
+
+// Value is an immutable scalar. The zero value is NULL.
+type Value struct {
+	kind Kind
+	i    int64 // int payload, bool (0/1), time (UnixNano)
+	f    float64
+	s    string
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{} }
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// Float returns a floating-point value.
+func Float(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// Text returns a text value.
+func Text(s string) Value { return Value{kind: KindText, s: s} }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value {
+	var i int64
+	if b {
+		i = 1
+	}
+	return Value{kind: KindBool, i: i}
+}
+
+// Time returns a timestamp value with nanosecond precision, stored in UTC.
+func Time(t time.Time) Value { return Value{kind: KindTime, i: t.UTC().UnixNano()} }
+
+// Kind reports the kind of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Int returns the integer payload; it panics if v is not an INT.
+func (v Value) Int() int64 {
+	if v.kind != KindInt {
+		panic("value: Int() on " + v.kind.String())
+	}
+	return v.i
+}
+
+// Float returns the float payload; it panics if v is not a FLOAT.
+func (v Value) Float() float64 {
+	if v.kind != KindFloat {
+		panic("value: Float() on " + v.kind.String())
+	}
+	return v.f
+}
+
+// Text returns the text payload; it panics if v is not a TEXT.
+func (v Value) Text() string {
+	if v.kind != KindText {
+		panic("value: Text() on " + v.kind.String())
+	}
+	return v.s
+}
+
+// Bool returns the boolean payload; it panics if v is not a BOOL.
+func (v Value) Bool() bool {
+	if v.kind != KindBool {
+		panic("value: Bool() on " + v.kind.String())
+	}
+	return v.i != 0
+}
+
+// Time returns the timestamp payload; it panics if v is not a TIME.
+func (v Value) Time() time.Time {
+	if v.kind != KindTime {
+		panic("value: Time() on " + v.kind.String())
+	}
+	return time.Unix(0, v.i).UTC()
+}
+
+// AsFloat converts numeric values to float64. ok is false for
+// non-numeric kinds.
+func (v Value) AsFloat() (f float64, ok bool) {
+	switch v.kind {
+	case KindInt:
+		return float64(v.i), true
+	case KindFloat:
+		return v.f, true
+	default:
+		return 0, false
+	}
+}
+
+// String renders the value for display. Text is returned verbatim
+// (unquoted); use %q formatting when quoting matters.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindText:
+		return v.s
+	case KindBool:
+		if v.i != 0 {
+			return "true"
+		}
+		return "false"
+	case KindTime:
+		return v.Time().Format(time.RFC3339Nano)
+	default:
+		return fmt.Sprintf("Value(kind=%d)", v.kind)
+	}
+}
+
+// ErrIncomparable is returned by Compare when the two kinds cannot be
+// ordered against each other.
+var ErrIncomparable = errors.New("value: incomparable kinds")
+
+// Compare orders a against b: -1, 0 or +1. NULL sorts before everything
+// and equals only NULL. INT and FLOAT compare numerically with each other;
+// all other cross-kind comparisons return ErrIncomparable.
+func Compare(a, b Value) (int, error) {
+	if a.kind == KindNull || b.kind == KindNull {
+		switch {
+		case a.kind == KindNull && b.kind == KindNull:
+			return 0, nil
+		case a.kind == KindNull:
+			return -1, nil
+		default:
+			return 1, nil
+		}
+	}
+	if a.kind != b.kind {
+		af, aok := a.AsFloat()
+		bf, bok := b.AsFloat()
+		if aok && bok {
+			return cmpFloat(af, bf), nil
+		}
+		return 0, fmt.Errorf("%w: %s vs %s", ErrIncomparable, a.kind, b.kind)
+	}
+	switch a.kind {
+	case KindInt, KindTime:
+		return cmpInt(a.i, b.i), nil
+	case KindFloat:
+		return cmpFloat(a.f, b.f), nil
+	case KindText:
+		switch {
+		case a.s < b.s:
+			return -1, nil
+		case a.s > b.s:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	case KindBool:
+		return cmpInt(a.i, b.i), nil
+	default:
+		return 0, fmt.Errorf("%w: %s", ErrIncomparable, a.kind)
+	}
+}
+
+// Equal reports whether a and b are the same value (same kind, same
+// payload; INT does not equal FLOAT here — Equal is identity, Compare is
+// ordering).
+func Equal(a, b Value) bool {
+	if a.kind != b.kind {
+		return false
+	}
+	switch a.kind {
+	case KindNull:
+		return true
+	case KindFloat:
+		return a.f == b.f || (math.IsNaN(a.f) && math.IsNaN(b.f))
+	case KindText:
+		return a.s == b.s
+	default:
+		return a.i == b.i
+	}
+}
+
+func cmpInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	case a == b:
+		return 0
+	// NaN ordering: NaN sorts before every number and equals NaN, so
+	// comparisons stay total for index use.
+	case math.IsNaN(a) && math.IsNaN(b):
+		return 0
+	case math.IsNaN(a):
+		return -1
+	default:
+		return 1
+	}
+}

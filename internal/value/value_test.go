@@ -1,0 +1,310 @@
+package value
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull: "NULL", KindInt: "INT", KindFloat: "FLOAT",
+		KindText: "TEXT", KindBool: "BOOL", KindTime: "TIME",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String()=%q want %q", k, got, want)
+		}
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	ok := map[string]Kind{
+		"INT": KindInt, "INTEGER": KindInt, "BIGINT": KindInt,
+		"FLOAT": KindFloat, "REAL": KindFloat, "DOUBLE": KindFloat,
+		"TEXT": KindText, "VARCHAR": KindText, "STRING": KindText,
+		"BOOL": KindBool, "BOOLEAN": KindBool,
+		"TIME": KindTime, "TIMESTAMP": KindTime, "DATE": KindTime,
+	}
+	for name, want := range ok {
+		got, err := ParseKind(name)
+		if err != nil || got != want {
+			t.Errorf("ParseKind(%q)=(%v,%v) want %v", name, got, err, want)
+		}
+	}
+	if _, err := ParseKind("BLOB"); err == nil {
+		t.Error("ParseKind(BLOB) should fail")
+	}
+}
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	ts := time.Date(2008, 4, 7, 12, 30, 0, 0, time.UTC)
+	if v := Int(42); v.Kind() != KindInt || v.Int() != 42 {
+		t.Error("Int roundtrip failed")
+	}
+	if v := Float(3.5); v.Kind() != KindFloat || v.Float() != 3.5 {
+		t.Error("Float roundtrip failed")
+	}
+	if v := Text("paris"); v.Kind() != KindText || v.Text() != "paris" {
+		t.Error("Text roundtrip failed")
+	}
+	if v := Bool(true); v.Kind() != KindBool || !v.Bool() {
+		t.Error("Bool roundtrip failed")
+	}
+	if v := Time(ts); v.Kind() != KindTime || !v.Time().Equal(ts) {
+		t.Error("Time roundtrip failed")
+	}
+	if !Null().IsNull() || Int(0).IsNull() {
+		t.Error("IsNull wrong")
+	}
+	var zero Value
+	if !zero.IsNull() {
+		t.Error("zero Value must be NULL")
+	}
+}
+
+func TestAccessorPanicsOnWrongKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Text("x").Int()
+}
+
+func TestCompareSameKind(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(2), 0},
+		{Int(3), Int(2), 1},
+		{Float(1.5), Float(2.5), -1},
+		{Text("a"), Text("b"), -1},
+		{Text("b"), Text("b"), 0},
+		{Bool(false), Bool(true), -1},
+		{Time(time.Unix(1, 0)), Time(time.Unix(2, 0)), -1},
+		{Null(), Null(), 0},
+		{Null(), Int(0), -1},
+		{Int(0), Null(), 1},
+	}
+	for _, c := range cases {
+		got, err := Compare(c.a, c.b)
+		if err != nil || got != c.want {
+			t.Errorf("Compare(%v,%v)=(%d,%v) want %d", c.a, c.b, got, err, c.want)
+		}
+	}
+}
+
+func TestCompareNumericCoercion(t *testing.T) {
+	got, err := Compare(Int(2), Float(2.5))
+	if err != nil || got != -1 {
+		t.Fatalf("Compare(2, 2.5)=(%d,%v) want -1", got, err)
+	}
+	got, err = Compare(Float(2.0), Int(2))
+	if err != nil || got != 0 {
+		t.Fatalf("Compare(2.0, 2)=(%d,%v) want 0", got, err)
+	}
+}
+
+func TestCompareIncomparable(t *testing.T) {
+	if _, err := Compare(Int(1), Text("1")); err == nil {
+		t.Fatal("INT vs TEXT should be incomparable")
+	}
+	if _, err := Compare(Bool(true), Time(time.Unix(0, 0))); err == nil {
+		t.Fatal("BOOL vs TIME should be incomparable")
+	}
+}
+
+func TestCompareNaNTotalOrder(t *testing.T) {
+	nan := Float(math.NaN())
+	if c, _ := Compare(nan, nan); c != 0 {
+		t.Error("NaN should equal NaN in index order")
+	}
+	if c, _ := Compare(nan, Float(-1e308)); c != -1 {
+		t.Error("NaN should sort before all numbers")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal(Int(5), Int(5)) || Equal(Int(5), Int(6)) {
+		t.Error("Int Equal wrong")
+	}
+	if Equal(Int(5), Float(5)) {
+		t.Error("Equal is identity: INT != FLOAT")
+	}
+	if !Equal(Null(), Null()) {
+		t.Error("NULL equals NULL")
+	}
+	if !Equal(Float(math.NaN()), Float(math.NaN())) {
+		t.Error("NaN identity-equals NaN")
+	}
+	if !Equal(Text("x"), Text("x")) || Equal(Text("x"), Text("y")) {
+		t.Error("Text Equal wrong")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	cases := map[string]Value{
+		"NULL": Null(), "42": Int(42), "3.5": Float(3.5),
+		"paris": Text("paris"), "true": Bool(true), "false": Bool(false),
+	}
+	for want, v := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("%v.String()=%q want %q", v.Kind(), got, want)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	vals := []Value{
+		Null(), Int(0), Int(-1), Int(1 << 40), Float(3.14), Float(math.Inf(-1)),
+		Text(""), Text("hello"), Text(string([]byte{0, 1, 2, 0xff})),
+		Bool(true), Bool(false), Time(time.Unix(123456789, 987654321)),
+	}
+	for _, v := range vals {
+		enc := Encode(nil, v)
+		got, n, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("Decode(%v): %v", v, err)
+		}
+		if n != len(enc) {
+			t.Fatalf("Decode(%v) consumed %d of %d", v, n, len(enc))
+		}
+		if !Equal(got, v) {
+			t.Fatalf("roundtrip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	bad := [][]byte{
+		nil,
+		{byte(KindInt)},          // truncated int
+		{byte(KindFloat), 1, 2},  // truncated float
+		{byte(KindBool)},         // truncated bool
+		{byte(KindText), 5, 'a'}, // short text
+		{0xEE},                   // unknown kind
+	}
+	for i, b := range bad {
+		if _, _, err := Decode(b); err == nil {
+			t.Errorf("case %d: Decode(%v) should fail", i, b)
+		}
+	}
+}
+
+func TestRowCodecRoundtrip(t *testing.T) {
+	row := []Value{Int(7), Text("bob"), Null(), Float(2.25), Bool(true)}
+	enc := EncodeRow(nil, row)
+	got, n, err := DecodeRow(enc)
+	if err != nil || n != len(enc) {
+		t.Fatalf("DecodeRow: n=%d err=%v", n, err)
+	}
+	if len(got) != len(row) {
+		t.Fatalf("row length %d want %d", len(got), len(row))
+	}
+	for i := range row {
+		if !Equal(got[i], row[i]) {
+			t.Fatalf("field %d: %v want %v", i, got[i], row[i])
+		}
+	}
+}
+
+func TestRowCodecEmpty(t *testing.T) {
+	enc := EncodeRow(nil, nil)
+	got, _, err := DecodeRow(enc)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty row roundtrip: %v %v", got, err)
+	}
+}
+
+// Property: the storage codec round-trips arbitrary ints, floats, strings.
+func TestQuickCodecRoundtrip(t *testing.T) {
+	if err := quick.Check(func(i int64, f float64, s string, b bool) bool {
+		for _, v := range []Value{Int(i), Float(f), Text(s), Bool(b)} {
+			enc := Encode(nil, v)
+			got, n, err := Decode(enc)
+			if err != nil || n != len(enc) || !Equal(got, v) {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ordered-key encoding preserves Compare for ints.
+func TestQuickOrderedKeyInt(t *testing.T) {
+	if err := quick.Check(func(a, b int64) bool {
+		ka := AppendOrderedKey(nil, Int(a))
+		kb := AppendOrderedKey(nil, Int(b))
+		c, _ := Compare(Int(a), Int(b))
+		return bytes.Compare(ka, kb) == c
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ordered-key encoding preserves Compare for mixed int/float.
+func TestQuickOrderedKeyNumeric(t *testing.T) {
+	if err := quick.Check(func(a int64, b float64) bool {
+		if math.IsNaN(b) {
+			return true // NaN handled by the dedicated test below
+		}
+		ka := AppendOrderedKey(nil, Int(a))
+		kb := AppendOrderedKey(nil, Float(b))
+		c, err := Compare(Int(a), Float(b))
+		if err != nil {
+			return false
+		}
+		// float64(a) may round; Compare uses the same rounding, so the
+		// orderings must agree.
+		return bytes.Compare(ka, kb) == c
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ordered-key encoding preserves lexicographic order for text,
+// including strings containing NUL bytes.
+func TestQuickOrderedKeyText(t *testing.T) {
+	if err := quick.Check(func(a, b string) bool {
+		ka := AppendOrderedKey(nil, Text(a))
+		kb := AppendOrderedKey(nil, Text(b))
+		c, _ := Compare(Text(a), Text(b))
+		return bytes.Compare(ka, kb) == c
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderedKeyTextNulEscape(t *testing.T) {
+	a := Text("a")
+	b := Text("a\x00b")
+	ka := AppendOrderedKey(nil, a)
+	kb := AppendOrderedKey(nil, b)
+	if bytes.Compare(ka, kb) != -1 {
+		t.Fatalf("%q should order before %q", "a", "a\\x00b")
+	}
+}
+
+func TestOrderedKeyNullFirst(t *testing.T) {
+	kn := AppendOrderedKey(nil, Null())
+	for _, v := range []Value{Int(math.MinInt64), Float(math.Inf(-1)), Text(""), Bool(false)} {
+		if bytes.Compare(kn, AppendOrderedKey(nil, v)) != -1 {
+			t.Errorf("NULL key must sort before %v", v)
+		}
+	}
+}
+
+func TestOrderedKeyTimeOrder(t *testing.T) {
+	t1 := Time(time.Unix(100, 0))
+	t2 := Time(time.Unix(200, 0))
+	if bytes.Compare(AppendOrderedKey(nil, t1), AppendOrderedKey(nil, t2)) != -1 {
+		t.Fatal("time keys out of order")
+	}
+}

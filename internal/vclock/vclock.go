@@ -1,0 +1,111 @@
+// Package vclock provides the notion of time used by every InstantDB
+// component. Degradation deadlines span minutes to months (the paper's
+// Figure 2 uses 0 min / 1 hour / 1 day / 1 month), so tests and benchmarks
+// cannot wait on the wall clock. All engine code reads time through the
+// Clock interface; production uses Wall, tests and the experiment harness
+// use a Simulated clock advanced explicitly.
+package vclock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the minimal time source the engine depends on.
+type Clock interface {
+	// Now returns the current instant of this clock.
+	Now() time.Time
+}
+
+// Wall is the real-time clock.
+type Wall struct{}
+
+// Now implements Clock using the operating system clock.
+func (Wall) Now() time.Time { return time.Now() }
+
+// Simulated is a manually advanced clock. The zero value is not usable;
+// construct with NewSimulated. It is safe for concurrent use.
+type Simulated struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []waiter
+}
+
+type waiter struct {
+	at time.Time
+	ch chan time.Time
+}
+
+// NewSimulated returns a simulated clock starting at the given instant.
+func NewSimulated(start time.Time) *Simulated {
+	return &Simulated{now: start}
+}
+
+// Now returns the simulated instant.
+func (s *Simulated) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Advance moves the clock forward by d and releases any waiter whose
+// deadline has been reached. Advancing by a negative duration panics:
+// time never goes backwards in the engine.
+func (s *Simulated) Advance(d time.Duration) time.Time {
+	if d < 0 {
+		panic("vclock: negative advance")
+	}
+	s.mu.Lock()
+	s.now = s.now.Add(d)
+	now := s.now
+	var fire []waiter
+	rest := s.waiters[:0]
+	for _, w := range s.waiters {
+		if !w.at.After(now) {
+			fire = append(fire, w)
+		} else {
+			rest = append(rest, w)
+		}
+	}
+	s.waiters = rest
+	s.mu.Unlock()
+	for _, w := range fire {
+		w.ch <- now
+		close(w.ch)
+	}
+	return now
+}
+
+// AdvanceTo moves the clock to instant t. It is a no-op if t is not after
+// the current instant.
+func (s *Simulated) AdvanceTo(t time.Time) time.Time {
+	s.mu.Lock()
+	d := t.Sub(s.now)
+	s.mu.Unlock()
+	if d <= 0 {
+		return s.Now()
+	}
+	return s.Advance(d)
+}
+
+// After returns a channel that receives the clock value once the simulated
+// time reaches now+d. If d <= 0 the channel is ready immediately.
+func (s *Simulated) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	s.mu.Lock()
+	at := s.now.Add(d)
+	if d <= 0 {
+		now := s.now
+		s.mu.Unlock()
+		ch <- now
+		close(ch)
+		return ch
+	}
+	s.waiters = append(s.waiters, waiter{at: at, ch: ch})
+	s.mu.Unlock()
+	return ch
+}
+
+// Epoch is a convenient fixed origin for simulations and tests: midnight
+// UTC, 2008-04-07 — the week ICDE 2008 took place.
+var Epoch = time.Date(2008, time.April, 7, 0, 0, 0, 0, time.UTC)

@@ -1,0 +1,140 @@
+package vclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWallNow(t *testing.T) {
+	var c Clock = Wall{}
+	before := time.Now()
+	got := c.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("Wall.Now()=%v not in [%v,%v]", got, before, after)
+	}
+}
+
+func TestSimulatedNow(t *testing.T) {
+	s := NewSimulated(Epoch)
+	if !s.Now().Equal(Epoch) {
+		t.Fatalf("Now()=%v want %v", s.Now(), Epoch)
+	}
+}
+
+func TestSimulatedAdvance(t *testing.T) {
+	s := NewSimulated(Epoch)
+	got := s.Advance(time.Hour)
+	want := Epoch.Add(time.Hour)
+	if !got.Equal(want) {
+		t.Fatalf("Advance=%v want %v", got, want)
+	}
+	if !s.Now().Equal(want) {
+		t.Fatalf("Now=%v want %v", s.Now(), want)
+	}
+}
+
+func TestSimulatedAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative advance")
+		}
+	}()
+	NewSimulated(Epoch).Advance(-time.Second)
+}
+
+func TestSimulatedAdvanceTo(t *testing.T) {
+	s := NewSimulated(Epoch)
+	target := Epoch.Add(24 * time.Hour)
+	s.AdvanceTo(target)
+	if !s.Now().Equal(target) {
+		t.Fatalf("Now=%v want %v", s.Now(), target)
+	}
+	// Moving to the past is a no-op.
+	s.AdvanceTo(Epoch)
+	if !s.Now().Equal(target) {
+		t.Fatalf("AdvanceTo past moved the clock: %v", s.Now())
+	}
+}
+
+func TestSimulatedAfterImmediate(t *testing.T) {
+	s := NewSimulated(Epoch)
+	select {
+	case got := <-s.After(0):
+		if !got.Equal(Epoch) {
+			t.Fatalf("After(0)=%v want %v", got, Epoch)
+		}
+	default:
+		t.Fatal("After(0) not immediately ready")
+	}
+}
+
+func TestSimulatedAfterFiresOnAdvance(t *testing.T) {
+	s := NewSimulated(Epoch)
+	ch := s.After(time.Minute)
+	select {
+	case <-ch:
+		t.Fatal("After fired before advance")
+	default:
+	}
+	s.Advance(30 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("After fired too early")
+	default:
+	}
+	s.Advance(30 * time.Second)
+	select {
+	case got := <-ch:
+		want := Epoch.Add(time.Minute)
+		if !got.Equal(want) {
+			t.Fatalf("fired at %v want %v", got, want)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("After never fired")
+	}
+}
+
+func TestSimulatedConcurrentAdvance(t *testing.T) {
+	s := NewSimulated(Epoch)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				s.Advance(time.Millisecond)
+				_ = s.Now()
+			}
+		}()
+	}
+	wg.Wait()
+	want := Epoch.Add(1600 * time.Millisecond)
+	if !s.Now().Equal(want) {
+		t.Fatalf("Now=%v want %v", s.Now(), want)
+	}
+}
+
+func TestSimulatedMultipleWaitersOrdered(t *testing.T) {
+	s := NewSimulated(Epoch)
+	a := s.After(time.Minute)
+	b := s.After(2 * time.Minute)
+	s.Advance(90 * time.Second)
+	select {
+	case <-a:
+	default:
+		t.Fatal("first waiter not released")
+	}
+	select {
+	case <-b:
+		t.Fatal("second waiter released early")
+	default:
+	}
+	s.Advance(time.Minute)
+	select {
+	case <-b:
+	default:
+		t.Fatal("second waiter not released")
+	}
+}

@@ -1,0 +1,303 @@
+package wal
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"instantdb/internal/storage"
+)
+
+// Codec seals and opens the degradable payloads of log records. Seal runs
+// at append time, Open at replay time. Open's ok result is false when the
+// payload is irrecoverable (its epoch key was shredded) — the caller
+// replays the value as NULL, which is correct because a later degrade
+// record (whose key is still alive) supplies the tuple's current form.
+type Codec interface {
+	Seal(table uint32, col, state uint8, insertNano int64, tuple storage.TupleID, plain []byte) ([]byte, error)
+	Open(table uint32, col, state uint8, insertNano int64, tuple storage.TupleID, sealed []byte) (plain []byte, ok bool, err error)
+}
+
+// Sealed payload framing.
+const (
+	frmPlain = 0x00
+	frmEnc   = 0x01
+)
+
+// PlainCodec stores payloads verbatim — the baseline whose log leaks
+// every accuracy state until vacuumed.
+type PlainCodec struct{}
+
+// Seal implements Codec.
+func (PlainCodec) Seal(_ uint32, _, _ uint8, _ int64, _ storage.TupleID, plain []byte) ([]byte, error) {
+	return append([]byte{frmPlain}, plain...), nil
+}
+
+// Open implements Codec.
+func (PlainCodec) Open(_ uint32, _, _ uint8, _ int64, _ storage.TupleID, sealed []byte) ([]byte, bool, error) {
+	if len(sealed) < 1 || sealed[0] != frmPlain {
+		return nil, false, errors.New("wal: bad plain payload framing")
+	}
+	return sealed[1:], true, nil
+}
+
+// keyID identifies one epoch key: every degradable payload written for
+// (table, column, LCP state) by tuples inserted within one time bucket
+// shares a key, so destroying that single key erases them all from the
+// log at once.
+type keyID struct {
+	table  uint32
+	col    uint8
+	state  uint8
+	bucket int64 // insertNano / bucketWidth
+}
+
+// keyEntrySize is the fixed on-disk footprint of one key record, allowing
+// in-place zero-overwrite when shredding.
+const keyEntrySize = 64
+
+type keyEntry struct {
+	off      int64
+	key      [32]byte
+	shredded bool
+}
+
+// KeyStore persists epoch keys in a dedicated file. Shredding overwrites
+// the 32 key bytes in place and syncs; the ciphertext in the log is then
+// permanently undecipherable (AES-CTR with a destroyed key), achieving
+// log degradation without rewriting log segments.
+type KeyStore struct {
+	mu      sync.Mutex
+	f       *os.File
+	entries map[keyID]*keyEntry
+	size    int64
+}
+
+// OpenKeyStore opens (or creates) the key file at path and loads live
+// keys.
+func OpenKeyStore(path string) (*KeyStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open keystore %s: %w", path, err)
+	}
+	ks := &KeyStore{f: f, entries: make(map[keyID]*keyEntry)}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	buf := make([]byte, keyEntrySize)
+	for off := int64(0); off+keyEntrySize <= st.Size(); off += keyEntrySize {
+		if _, err := f.ReadAt(buf, off); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: keystore read: %w", err)
+		}
+		id := keyID{
+			table:  binary.LittleEndian.Uint32(buf[0:]),
+			col:    buf[4],
+			state:  buf[5],
+			bucket: int64(binary.LittleEndian.Uint64(buf[8:])),
+		}
+		e := &keyEntry{off: off}
+		copy(e.key[:], buf[16:48])
+		allZero := true
+		for _, b := range e.key {
+			if b != 0 {
+				allZero = false
+				break
+			}
+		}
+		e.shredded = allZero
+		ks.entries[id] = e
+	}
+	ks.size = st.Size() - st.Size()%keyEntrySize
+	return ks, nil
+}
+
+// keyFor returns the live key for id, creating and persisting one when
+// create is set. ok is false when the key is shredded or absent.
+func (ks *KeyStore) keyFor(id keyID, create bool) (key [32]byte, ok bool, err error) {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	if e, found := ks.entries[id]; found {
+		if e.shredded {
+			return key, false, nil
+		}
+		return e.key, true, nil
+	}
+	if !create {
+		return key, false, nil
+	}
+	e := &keyEntry{off: ks.size}
+	if _, err := rand.Read(e.key[:]); err != nil {
+		return key, false, fmt.Errorf("wal: key generation: %w", err)
+	}
+	buf := make([]byte, keyEntrySize)
+	binary.LittleEndian.PutUint32(buf[0:], id.table)
+	buf[4], buf[5] = id.col, id.state
+	binary.LittleEndian.PutUint64(buf[8:], uint64(id.bucket))
+	copy(buf[16:48], e.key[:])
+	if _, err := ks.f.WriteAt(buf, e.off); err != nil {
+		return key, false, fmt.Errorf("wal: keystore append: %w", err)
+	}
+	if err := ks.f.Sync(); err != nil {
+		return key, false, err
+	}
+	ks.size += keyEntrySize
+	ks.entries[id] = e
+	return e.key, true, nil
+}
+
+// Shred destroys every epoch key of (table, col, state) whose bucket ends
+// at or before cutoff, zero-overwriting the key bytes on disk and
+// syncing. It returns the number of keys destroyed. The caller (the
+// degradation engine) must only invoke it after every transition covered
+// by those keys is durable.
+func (ks *KeyStore) Shred(table uint32, col, state uint8, cutoff time.Time, bucketWidth time.Duration) (int, error) {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	w := int64(bucketWidth)
+	if w <= 0 {
+		return 0, errors.New("wal: non-positive bucket width")
+	}
+	n := 0
+	zero := make([]byte, 32)
+	for id, e := range ks.entries {
+		if id.table != table || id.col != col || id.state != state || e.shredded {
+			continue
+		}
+		bucketEnd := (id.bucket + 1) * w
+		if bucketEnd > cutoff.UTC().UnixNano() {
+			continue
+		}
+		if _, err := ks.f.WriteAt(zero, e.off+16); err != nil {
+			return n, fmt.Errorf("wal: shred: %w", err)
+		}
+		e.key = [32]byte{}
+		e.shredded = true
+		n++
+	}
+	if n > 0 {
+		if err := ks.f.Sync(); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// LiveKeys returns the number of unshredded keys (tooling/experiments).
+func (ks *KeyStore) LiveKeys() int {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	n := 0
+	for _, e := range ks.entries {
+		if !e.shredded {
+			n++
+		}
+	}
+	return n
+}
+
+// Close closes the key file.
+func (ks *KeyStore) Close() error {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	return ks.f.Close()
+}
+
+// ShredCodec encrypts degradable payloads under epoch keys from a
+// KeyStore. Sealed framing: 0x01 | bucket i64 | ciphertext. The CTR
+// nonce derives from (tuple, table, col, state), unique per sealed
+// payload within a key's scope.
+type ShredCodec struct {
+	Keys *KeyStore
+	// BucketWidth groups tuples into key epochs by insert time. Smaller
+	// buckets tighten the lag between a state's deadline and its log
+	// erasure at the cost of more keys; it should be well below the
+	// shortest LCP retention.
+	BucketWidth time.Duration
+}
+
+// NewShredCodec builds a key-shredding codec over an opened key store.
+func NewShredCodec(ks *KeyStore, bucketWidth time.Duration) *ShredCodec {
+	return &ShredCodec{Keys: ks, BucketWidth: bucketWidth}
+}
+
+func (c *ShredCodec) bucketOf(insertNano int64) int64 {
+	w := int64(c.BucketWidth)
+	b := insertNano / w
+	if insertNano < 0 && insertNano%w != 0 {
+		b--
+	}
+	return b
+}
+
+func ctrNonce(tuple storage.TupleID, table uint32, col, state uint8) [16]byte {
+	var iv [16]byte
+	binary.LittleEndian.PutUint64(iv[0:], uint64(tuple))
+	binary.LittleEndian.PutUint32(iv[8:], table)
+	iv[12], iv[13] = col, state
+	return iv
+}
+
+// Seal implements Codec.
+func (c *ShredCodec) Seal(table uint32, col, state uint8, insertNano int64, tuple storage.TupleID, plain []byte) ([]byte, error) {
+	bucket := c.bucketOf(insertNano)
+	key, ok, err := c.Keys.keyFor(keyID{table, col, state, bucket}, true)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("wal: sealing under an already-shredded key (table %d col %d state %d)", table, col, state)
+	}
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 9+len(plain))
+	out[0] = frmEnc
+	binary.LittleEndian.PutUint64(out[1:], uint64(bucket))
+	iv := ctrNonce(tuple, table, col, state)
+	cipher.NewCTR(block, iv[:]).XORKeyStream(out[9:], plain)
+	return out, nil
+}
+
+// Open implements Codec.
+func (c *ShredCodec) Open(table uint32, col, state uint8, _ int64, tuple storage.TupleID, sealed []byte) ([]byte, bool, error) {
+	if len(sealed) < 1 {
+		return nil, false, errors.New("wal: empty sealed payload")
+	}
+	if sealed[0] == frmPlain {
+		return sealed[1:], true, nil
+	}
+	if sealed[0] != frmEnc || len(sealed) < 9 {
+		return nil, false, errors.New("wal: bad sealed payload framing")
+	}
+	bucket := int64(binary.LittleEndian.Uint64(sealed[1:]))
+	key, ok, err := c.Keys.keyFor(keyID{table, col, state, bucket}, false)
+	if err != nil {
+		return nil, false, err
+	}
+	if !ok {
+		return nil, false, nil // key shredded: value irrecoverable by design
+	}
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, false, err
+	}
+	plain := make([]byte, len(sealed)-9)
+	iv := ctrNonce(tuple, table, col, state)
+	cipher.NewCTR(block, iv[:]).XORKeyStream(plain, sealed[9:])
+	return plain, true, nil
+}
+
+var (
+	_ Codec = PlainCodec{}
+	_ Codec = (*ShredCodec)(nil)
+)

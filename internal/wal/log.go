@@ -1,0 +1,493 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+const (
+	batchMagic      = 0x4C415749 // "IWAL"
+	batchHeaderSize = 12
+	segPrefix       = "wal-"
+	segSuffix       = ".log"
+	tmpSuffix       = ".tmp"
+)
+
+// Options configures a Log.
+type Options struct {
+	// SegmentBytes rotates the active segment once it exceeds this size.
+	// Default 1 MiB.
+	SegmentBytes int64
+	// Sync fsyncs every commit batch. Default true; benchmarks may
+	// disable it to isolate CPU cost.
+	Sync bool
+	// Codec seals degradable payloads. Default PlainCodec.
+	Codec Codec
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 1 << 20
+	}
+	if o.Codec == nil {
+		o.Codec = PlainCodec{}
+	}
+	return o
+}
+
+// Log is a segmented redo-only write-ahead log. Commit batches are
+// appended atomically (length + CRC framing); replay applies complete
+// batches in order and stops cleanly at a torn tail. All methods are safe
+// for concurrent use, though the engine serializes Append with its commit
+// critical section anyway.
+type Log struct {
+	mu         sync.Mutex
+	dir        string
+	opts       Options
+	active     *os.File
+	activeID   int
+	activeSize int64
+}
+
+// Open opens (or creates) a log directory. An interrupted vacuum is
+// completed, and a torn tail in the newest segment is truncated away.
+func Open(dir string, opts Options) (*Log, error) {
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return nil, fmt.Errorf("wal: mkdir %s: %w", dir, err)
+	}
+	l := &Log{dir: dir, opts: opts.withDefaults()}
+	if err := l.recoverTmp(); err != nil {
+		return nil, err
+	}
+	ids, err := l.segmentIDs()
+	if err != nil {
+		return nil, err
+	}
+	l.activeID = 1
+	if len(ids) > 0 {
+		l.activeID = ids[len(ids)-1]
+		// Truncate a torn tail so future appends stay readable.
+		path := l.segPath(l.activeID)
+		valid, err := validPrefixLen(path)
+		if err != nil {
+			return nil, err
+		}
+		if err := os.Truncate(path, valid); err != nil {
+			return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+		}
+	}
+	f, err := os.OpenFile(l.segPath(l.activeID), os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open segment: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	l.active, l.activeSize = f, st.Size()
+	return l, nil
+}
+
+// Dir returns the log directory (forensic scans read it directly).
+func (l *Log) Dir() string { return l.dir }
+
+func (l *Log) segPath(id int) string {
+	return filepath.Join(l.dir, fmt.Sprintf("%s%08d%s", segPrefix, id, segSuffix))
+}
+
+func (l *Log) segmentIDs() ([]int, error) {
+	ents, err := os.ReadDir(l.dir)
+	if err != nil {
+		return nil, err
+	}
+	var ids []int
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		var id int
+		if _, err := fmt.Sscanf(name, segPrefix+"%08d"+segSuffix, &id); err == nil {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	return ids, nil
+}
+
+// recoverTmp completes vacuums interrupted between the zero-overwrite of
+// the original and the rename of the rewritten copy.
+func (l *Log) recoverTmp() error {
+	ents, err := os.ReadDir(l.dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		if !strings.HasSuffix(e.Name(), tmpSuffix) {
+			continue
+		}
+		tmp := filepath.Join(l.dir, e.Name())
+		final := strings.TrimSuffix(tmp, tmpSuffix)
+		// The tmp file was fully written and synced before the original
+		// was zeroed, so it always wins.
+		if err := os.Rename(tmp, final); err != nil {
+			return fmt.Errorf("wal: complete interrupted vacuum: %w", err)
+		}
+	}
+	return nil
+}
+
+// Append durably appends one commit batch.
+func (l *Log) Append(recs []*Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	var payload []byte
+	var err error
+	for _, r := range recs {
+		payload, err = encodeRecord(payload, r, l.opts.Codec)
+		if err != nil {
+			return err
+		}
+	}
+	buf := make([]byte, batchHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:], batchMagic)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[8:], crc32.ChecksumIEEE(payload))
+	copy(buf[batchHeaderSize:], payload)
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.active == nil {
+		return errors.New("wal: log closed")
+	}
+	if _, err := l.active.Write(buf); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	l.activeSize += int64(len(buf))
+	if l.opts.Sync {
+		if err := l.active.Sync(); err != nil {
+			return err
+		}
+	}
+	if l.activeSize >= l.opts.SegmentBytes {
+		return l.rotateLocked()
+	}
+	return nil
+}
+
+// Rotate seals the active segment and starts a new one (vacuum operates
+// only on sealed segments).
+func (l *Log) Rotate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rotateLocked()
+}
+
+func (l *Log) rotateLocked() error {
+	if err := l.active.Sync(); err != nil {
+		return err
+	}
+	if err := l.active.Close(); err != nil {
+		return err
+	}
+	l.activeID++
+	f, err := os.OpenFile(l.segPath(l.activeID), os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o600)
+	if err != nil {
+		return fmt.Errorf("wal: rotate: %w", err)
+	}
+	l.active, l.activeSize = f, 0
+	return nil
+}
+
+// Replay invokes fn with every record of every complete batch, in log
+// order. A torn tail (incomplete final batch) ends replay without error.
+func (l *Log) Replay(fn func(*Record) error) error {
+	l.mu.Lock()
+	ids, err := l.segmentIDs()
+	codec := l.opts.Codec
+	l.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	for _, id := range ids {
+		data, err := os.ReadFile(l.segPath(id))
+		if err != nil {
+			return fmt.Errorf("wal: replay segment %d: %w", id, err)
+		}
+		if err := replayBuffer(data, codec, fn); err != nil {
+			return fmt.Errorf("wal: replay segment %d: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// replayBuffer walks complete batches in data, stopping silently at the
+// first incomplete or corrupt batch (torn tail).
+func replayBuffer(data []byte, codec Codec, fn func(*Record) error) error {
+	off := 0
+	for off+batchHeaderSize <= len(data) {
+		if binary.LittleEndian.Uint32(data[off:]) != batchMagic {
+			return nil
+		}
+		n := int(binary.LittleEndian.Uint32(data[off+4:]))
+		crc := binary.LittleEndian.Uint32(data[off+8:])
+		if off+batchHeaderSize+n > len(data) {
+			return nil
+		}
+		payload := data[off+batchHeaderSize : off+batchHeaderSize+n]
+		if crc32.ChecksumIEEE(payload) != crc {
+			return nil
+		}
+		rest := payload
+		for len(rest) > 0 {
+			var r Record
+			var err error
+			r, rest, err = decodeRecord(rest, codec)
+			if err != nil {
+				return err
+			}
+			if err := fn(&r); err != nil {
+				return err
+			}
+		}
+		off += batchHeaderSize + n
+	}
+	return nil
+}
+
+// validPrefixLen returns the byte length of the valid batch prefix of a
+// segment file.
+func validPrefixLen(path string) (int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	off := 0
+	for off+batchHeaderSize <= len(data) {
+		if binary.LittleEndian.Uint32(data[off:]) != batchMagic {
+			break
+		}
+		n := int(binary.LittleEndian.Uint32(data[off+4:]))
+		if off+batchHeaderSize+n > len(data) {
+			break
+		}
+		if crc32.ChecksumIEEE(data[off+batchHeaderSize:off+batchHeaderSize+n]) !=
+			binary.LittleEndian.Uint32(data[off+8:]) {
+			break
+		}
+		off += batchHeaderSize + n
+	}
+	return int64(off), nil
+}
+
+// Reset discards the whole log after a checkpoint: every segment is
+// zero-overwritten, synced and removed, and a fresh segment begins. The
+// caller must have made the page store durable first.
+func (l *Log) Reset() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.active.Close(); err != nil {
+		return err
+	}
+	ids, err := l.segmentIDs()
+	if err != nil {
+		return err
+	}
+	for _, id := range ids {
+		if err := scrubFile(l.segPath(id)); err != nil {
+			return err
+		}
+	}
+	l.activeID++
+	f, err := os.OpenFile(l.segPath(l.activeID), os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o600)
+	if err != nil {
+		return err
+	}
+	l.active, l.activeSize = f, 0
+	return nil
+}
+
+// scrubFile zero-overwrites a file's content, syncs, and removes it —
+// deleted log bytes must not survive on disk.
+func scrubFile(path string) error {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	zero := make([]byte, 64<<10)
+	for off := int64(0); off < st.Size(); off += int64(len(zero)) {
+		n := st.Size() - off
+		if n > int64(len(zero)) {
+			n = int64(len(zero))
+		}
+		if _, err := f.WriteAt(zero[:n], off); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Remove(path)
+}
+
+// Vacuum rewrites every sealed segment, passing each record through
+// transform (which typically NULLs degradable payloads that outlived
+// their accuracy state). The original segment bytes are zero-overwritten
+// before the rewritten copy takes their place, so vacuumed payloads are
+// physically gone. The active segment is untouched; call Rotate first to
+// seal it.
+func (l *Log) Vacuum(transform func(*Record)) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ids, err := l.segmentIDs()
+	if err != nil {
+		return err
+	}
+	for _, id := range ids {
+		if id == l.activeID {
+			continue
+		}
+		if err := l.vacuumSegment(l.segPath(id), transform); err != nil {
+			return fmt.Errorf("wal: vacuum segment %d: %w", id, err)
+		}
+	}
+	return nil
+}
+
+func (l *Log) vacuumSegment(path string, transform func(*Record)) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	tmpPath := path + tmpSuffix
+	tmp, err := os.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
+		return err
+	}
+	// Re-encode batch by batch, preserving commit boundaries.
+	off := 0
+	for off+batchHeaderSize <= len(data) {
+		if binary.LittleEndian.Uint32(data[off:]) != batchMagic {
+			break
+		}
+		n := int(binary.LittleEndian.Uint32(data[off+4:]))
+		if off+batchHeaderSize+n > len(data) {
+			break
+		}
+		payload := data[off+batchHeaderSize : off+batchHeaderSize+n]
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[off+8:]) {
+			break
+		}
+		var out []byte
+		rest := payload
+		for len(rest) > 0 {
+			var r Record
+			r, rest, err = decodeRecord(rest, l.opts.Codec)
+			if err != nil {
+				tmp.Close()
+				os.Remove(tmpPath)
+				return err
+			}
+			transform(&r)
+			out, err = encodeRecord(out, &r, l.opts.Codec)
+			if err != nil {
+				tmp.Close()
+				os.Remove(tmpPath)
+				return err
+			}
+		}
+		var hdr [batchHeaderSize]byte
+		binary.LittleEndian.PutUint32(hdr[0:], batchMagic)
+		binary.LittleEndian.PutUint32(hdr[4:], uint32(len(out)))
+		binary.LittleEndian.PutUint32(hdr[8:], crc32.ChecksumIEEE(out))
+		if _, err := tmp.Write(hdr[:]); err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return err
+		}
+		if _, err := tmp.Write(out); err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return err
+		}
+		off += batchHeaderSize + n
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	// Secure order: the rewritten copy is durable; now destroy the
+	// original bytes, then promote the copy. Open completes the rename
+	// if we crash in between.
+	if err := scrubFile(path); err != nil {
+		return err
+	}
+	return os.Rename(tmpPath, path)
+}
+
+// SegmentCount returns the number of segment files (including active).
+func (l *Log) SegmentCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ids, _ := l.segmentIDs()
+	return len(ids)
+}
+
+// SizeBytes returns the total log size on disk.
+func (l *Log) SizeBytes() int64 {
+	l.mu.Lock()
+	ids, _ := l.segmentIDs()
+	dir := l.dir
+	l.mu.Unlock()
+	var total int64
+	for _, id := range ids {
+		if st, err := os.Stat(filepath.Join(dir, fmt.Sprintf("%s%08d%s", segPrefix, id, segSuffix))); err == nil {
+			total += st.Size()
+		}
+	}
+	return total
+}
+
+// Close syncs and closes the active segment.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.active == nil {
+		return nil
+	}
+	if err := l.active.Sync(); err != nil {
+		return err
+	}
+	err := l.active.Close()
+	l.active = nil
+	return err
+}

@@ -1,0 +1,255 @@
+// Package wal implements InstantDB's redo-only write-ahead log and the
+// two degradation-aware log-scrubbing strategies the engine ablates
+// (experiment B-LOG):
+//
+//   - Vacuum: whole log segments are periodically rewritten, replacing
+//     degradable payloads that have outlived their accuracy state with
+//     NULL; the original segment file is zero-overwritten before removal.
+//   - Key-shred: degradable payloads are AES-CTR-encrypted under epoch
+//     keys scoped to (table, column, LCP state, insert-time bucket) and
+//     kept in a separate key store; a degradation step destroys the epoch
+//     key (zero-overwrite + sync), making every log copy of the expired
+//     accuracy state permanently undecipherable without touching the log
+//     files themselves.
+//
+// The log is logical-redo only: the engine applies a transaction's
+// operations to the (no-steal) storage layer only after the commit batch
+// is durable, so recovery replays complete batches in order with
+// idempotent per-record application and never needs undo.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"instantdb/internal/storage"
+	"instantdb/internal/value"
+)
+
+// RecType enumerates logical redo record types.
+type RecType uint8
+
+// Record types.
+const (
+	RecInsert RecType = iota + 1
+	RecDelete
+	RecUpdateStable
+	RecDegrade
+)
+
+// Record is one logical redo operation. Degradable payloads (DegVals for
+// inserts, NewStored for degradations) pass through the log's Codec and
+// may be sealed; SealedLost marks payloads whose epoch key was shredded —
+// the value is gone, which is exactly the guarantee the paper asks for.
+type Record struct {
+	Type  RecType
+	Table uint32
+	Tuple storage.TupleID
+
+	// InsertNano (insert, degrade) anchors epoch-key buckets and, on
+	// replay of inserts, the tuple's LCP deadlines.
+	InsertNano int64
+	// States (insert) is the degradable state vector at insert
+	// (normally all zeros: the most accurate state).
+	States []uint8
+	// StableRow (insert) is the full row with degradable columns NULLed.
+	StableRow []value.Value
+	// DegVals (insert) holds the stored forms of the degradable columns,
+	// in DegradableColumns order.
+	DegVals []value.Value
+	// DegLost (insert, replay only) marks degradable positions whose
+	// sealed payload could not be opened (key shredded).
+	DegLost []bool
+
+	// Col and Val (update-stable).
+	Col uint16
+	Val value.Value
+
+	// DegPos, NewState, NewStored (degrade). NewLost set on replay when
+	// the sealed payload is gone.
+	DegPos    uint8
+	NewState  uint8
+	NewStored value.Value
+	NewLost   bool
+}
+
+func appendUvarint(dst []byte, v uint64) []byte {
+	var b [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(b[:], v)
+	return append(dst, b[:n]...)
+}
+
+func appendBytes(dst, b []byte) []byte {
+	dst = appendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+func readUvarint(src []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(src)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("wal: bad uvarint")
+	}
+	return v, src[n:], nil
+}
+
+func readBytes(src []byte) ([]byte, []byte, error) {
+	n, rest, err := readUvarint(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	if uint64(len(rest)) < n {
+		return nil, nil, fmt.Errorf("wal: short bytes field")
+	}
+	return rest[:n], rest[n:], nil
+}
+
+// encodeRecord serializes r, sealing degradable payloads with codec.
+func encodeRecord(dst []byte, r *Record, codec Codec) ([]byte, error) {
+	dst = append(dst, byte(r.Type))
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:], r.Table)
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(r.Tuple))
+	dst = append(dst, hdr[:]...)
+	switch r.Type {
+	case RecInsert:
+		dst = appendUvarint(dst, uint64(r.InsertNano))
+		dst = appendBytes(dst, r.States)
+		dst = appendBytes(dst, value.EncodeRow(nil, r.StableRow))
+		dst = appendUvarint(dst, uint64(len(r.DegVals)))
+		for i, v := range r.DegVals {
+			state := uint8(0)
+			if i < len(r.States) {
+				state = r.States[i]
+			}
+			sealed, err := codec.Seal(r.Table, uint8(i), state, r.InsertNano, r.Tuple, value.Encode(nil, v))
+			if err != nil {
+				return nil, err
+			}
+			dst = appendBytes(dst, sealed)
+		}
+	case RecDelete:
+		// Header only.
+	case RecUpdateStable:
+		var c [2]byte
+		binary.LittleEndian.PutUint16(c[:], r.Col)
+		dst = append(dst, c[:]...)
+		dst = appendBytes(dst, value.Encode(nil, r.Val))
+	case RecDegrade:
+		dst = appendUvarint(dst, uint64(r.InsertNano))
+		dst = append(dst, r.DegPos, r.NewState)
+		sealed, err := codec.Seal(r.Table, r.DegPos, r.NewState, r.InsertNano, r.Tuple, value.Encode(nil, r.NewStored))
+		if err != nil {
+			return nil, err
+		}
+		dst = appendBytes(dst, sealed)
+	default:
+		return nil, fmt.Errorf("wal: unknown record type %d", r.Type)
+	}
+	return dst, nil
+}
+
+// decodeRecord parses one record, unsealing degradable payloads. Payloads
+// whose key is gone decode as NULL with the corresponding Lost flag set.
+// It returns the remaining input.
+func decodeRecord(src []byte, codec Codec) (Record, []byte, error) {
+	if len(src) < 13 {
+		return Record{}, nil, fmt.Errorf("wal: record header truncated")
+	}
+	var r Record
+	r.Type = RecType(src[0])
+	r.Table = binary.LittleEndian.Uint32(src[1:])
+	r.Tuple = storage.TupleID(binary.LittleEndian.Uint64(src[5:]))
+	rest := src[13:]
+	var err error
+	switch r.Type {
+	case RecInsert:
+		var u uint64
+		if u, rest, err = readUvarint(rest); err != nil {
+			return r, nil, err
+		}
+		r.InsertNano = int64(u)
+		var b []byte
+		if b, rest, err = readBytes(rest); err != nil {
+			return r, nil, err
+		}
+		r.States = append([]uint8(nil), b...)
+		if b, rest, err = readBytes(rest); err != nil {
+			return r, nil, err
+		}
+		if r.StableRow, _, err = value.DecodeRow(b); err != nil {
+			return r, nil, fmt.Errorf("wal: insert stable row: %w", err)
+		}
+		var n uint64
+		if n, rest, err = readUvarint(rest); err != nil {
+			return r, nil, err
+		}
+		r.DegVals = make([]value.Value, n)
+		r.DegLost = make([]bool, n)
+		for i := uint64(0); i < n; i++ {
+			var sealed []byte
+			if sealed, rest, err = readBytes(rest); err != nil {
+				return r, nil, err
+			}
+			state := uint8(0)
+			if int(i) < len(r.States) {
+				state = r.States[i]
+			}
+			plain, ok, err := codec.Open(r.Table, uint8(i), state, r.InsertNano, r.Tuple, sealed)
+			if err != nil {
+				return r, nil, err
+			}
+			if !ok {
+				r.DegVals[i] = value.Null()
+				r.DegLost[i] = true
+				continue
+			}
+			v, _, err := value.Decode(plain)
+			if err != nil {
+				return r, nil, fmt.Errorf("wal: insert degradable %d: %w", i, err)
+			}
+			r.DegVals[i] = v
+		}
+	case RecDelete:
+	case RecUpdateStable:
+		if len(rest) < 2 {
+			return r, nil, fmt.Errorf("wal: update record truncated")
+		}
+		r.Col = binary.LittleEndian.Uint16(rest)
+		rest = rest[2:]
+		var b []byte
+		if b, rest, err = readBytes(rest); err != nil {
+			return r, nil, err
+		}
+		if r.Val, _, err = value.Decode(b); err != nil {
+			return r, nil, err
+		}
+	case RecDegrade:
+		var u uint64
+		if u, rest, err = readUvarint(rest); err != nil {
+			return r, nil, err
+		}
+		r.InsertNano = int64(u)
+		if len(rest) < 2 {
+			return r, nil, fmt.Errorf("wal: degrade record truncated")
+		}
+		r.DegPos, r.NewState = rest[0], rest[1]
+		rest = rest[2:]
+		var sealed []byte
+		if sealed, rest, err = readBytes(rest); err != nil {
+			return r, nil, err
+		}
+		plain, ok, err := codec.Open(r.Table, r.DegPos, r.NewState, r.InsertNano, r.Tuple, sealed)
+		if err != nil {
+			return r, nil, err
+		}
+		if !ok {
+			r.NewStored = value.Null()
+			r.NewLost = true
+		} else if r.NewStored, _, err = value.Decode(plain); err != nil {
+			return r, nil, fmt.Errorf("wal: degrade payload: %w", err)
+		}
+	default:
+		return r, nil, fmt.Errorf("wal: unknown record type %d", r.Type)
+	}
+	return r, rest, nil
+}

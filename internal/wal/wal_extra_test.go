@@ -1,0 +1,166 @@
+package wal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"instantdb/internal/storage"
+	"instantdb/internal/value"
+	"instantdb/internal/vclock"
+)
+
+func TestVacuumAcrossMultipleSegments(t *testing.T) {
+	l, dir := openTestLog(t, Options{Sync: false, SegmentBytes: 512})
+	defer l.Close()
+	secret := "multiseg-secret-payload"
+	for i := 0; i < 30; i++ {
+		if err := l.Append([]*Record{insertRec(storage.TupleID(i), "name", value.Text(secret))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.SegmentCount() < 3 {
+		t.Fatalf("want several segments, have %d", l.SegmentCount())
+	}
+	if err := l.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Vacuum(func(r *Record) {
+		if r.Type == RecInsert {
+			for i := range r.DegVals {
+				r.DegVals[i] = value.Null()
+				r.DegLost[i] = true
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		data, _ := os.ReadFile(filepath.Join(dir, e.Name()))
+		if bytes.Contains(data, []byte(secret)) {
+			t.Fatalf("secret survives vacuum in %s", e.Name())
+		}
+	}
+	// Every record still replays.
+	n := 0
+	l.Replay(func(*Record) error { n++; return nil })
+	if n != 30 {
+		t.Fatalf("replayed %d want 30", n)
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	l, _ := openTestLog(t, Options{Sync: false})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]*Record{insertRec(1, "x", value.Int(1))}); err == nil {
+		t.Fatal("append on closed log accepted")
+	}
+	// Double close is a no-op.
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShredCodecBadFraming(t *testing.T) {
+	ks, err := OpenKeyStore(filepath.Join(t.TempDir(), "keys.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ks.Close()
+	c := NewShredCodec(ks, time.Hour)
+	if _, _, err := c.Open(1, 0, 0, 0, 1, nil); err == nil {
+		t.Error("empty sealed payload accepted")
+	}
+	if _, _, err := c.Open(1, 0, 0, 0, 1, []byte{0x7F, 1, 2}); err == nil {
+		t.Error("bad frame byte accepted")
+	}
+	if _, _, err := c.Open(1, 0, 0, 0, 1, []byte{frmEnc, 1, 2}); err == nil {
+		t.Error("short encrypted payload accepted")
+	}
+	// Plain framing passes through a shred codec (vacuumed payloads).
+	plain, ok, err := c.Open(1, 0, 0, 0, 1, append([]byte{frmPlain}, 'h', 'i'))
+	if err != nil || !ok || string(plain) != "hi" {
+		t.Errorf("plain passthrough: %q %v %v", plain, ok, err)
+	}
+}
+
+func TestPlainCodecBadFraming(t *testing.T) {
+	var c PlainCodec
+	if _, _, err := c.Open(0, 0, 0, 0, 0, nil); err == nil {
+		t.Error("empty payload accepted")
+	}
+	if _, _, err := c.Open(0, 0, 0, 0, 0, []byte{frmEnc, 1}); err == nil {
+		t.Error("encrypted payload accepted by plain codec")
+	}
+}
+
+func TestShredNonPositiveBucket(t *testing.T) {
+	ks, err := OpenKeyStore(filepath.Join(t.TempDir(), "keys.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ks.Close()
+	if _, err := ks.Shred(1, 0, 0, time.Now(), 0); err == nil {
+		t.Fatal("zero bucket width accepted")
+	}
+}
+
+func TestNegativeInsertNanoBuckets(t *testing.T) {
+	// Pre-epoch timestamps must bucket consistently (floor division).
+	ks, err := OpenKeyStore(filepath.Join(t.TempDir(), "keys.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ks.Close()
+	c := NewShredCodec(ks, time.Hour)
+	plain := []byte("pre-epoch")
+	sealed, err := c.Seal(1, 0, 0, -1, 7, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := c.Open(1, 0, 0, -1, 7, sealed)
+	if err != nil || !ok || !bytes.Equal(got, plain) {
+		t.Fatalf("pre-epoch roundtrip: %q %v %v", got, ok, err)
+	}
+}
+
+func TestLogDirAccessor(t *testing.T) {
+	l, dir := openTestLog(t, Options{})
+	defer l.Close()
+	if l.Dir() != dir {
+		t.Fatalf("Dir()=%q want %q", l.Dir(), dir)
+	}
+}
+
+func TestUpdateStableRecordRoundtripThroughLog(t *testing.T) {
+	l, _ := openTestLog(t, Options{Sync: false})
+	defer l.Close()
+	recs := []*Record{
+		{Type: RecUpdateStable, Table: 2, Tuple: 5, Col: 3, Val: value.Text("renamed")},
+		{Type: RecDegrade, Table: 2, Tuple: 5, InsertNano: vclock.Epoch.UnixNano(),
+			DegPos: 1, NewState: storage.StateErased, NewStored: value.Null()},
+	}
+	if err := l.Append(recs); err != nil {
+		t.Fatal(err)
+	}
+	var got []*Record
+	l.Replay(func(r *Record) error {
+		cp := *r
+		got = append(got, &cp)
+		return nil
+	})
+	if len(got) != 2 {
+		t.Fatalf("replayed %d", len(got))
+	}
+	if got[0].Col != 3 || got[0].Val.Text() != "renamed" {
+		t.Fatalf("update record: %+v", got[0])
+	}
+	if got[1].NewState != storage.StateErased || !got[1].NewStored.IsNull() {
+		t.Fatalf("erase record: %+v", got[1])
+	}
+}

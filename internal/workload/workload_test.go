@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"instantdb/internal/value"
+	"instantdb/internal/vclock"
+)
+
+func TestLocationUniverseShape(t *testing.T) {
+	uni := NewLocationUniverse(2, 3, 4, 5)
+	if got := len(uni.Addresses); got != 2*3*4*5 {
+		t.Fatalf("addresses=%d", got)
+	}
+	if uni.Tree.Levels() != 4 {
+		t.Fatal("levels")
+	}
+	if got := len(uni.Tree.NodesAtLevel(3)); got != 2 {
+		t.Fatalf("countries=%d", got)
+	}
+	if got := len(uni.Tree.NodesAtLevel(1)); got != 2*3*4 {
+		t.Fatalf("cities=%d", got)
+	}
+	// Every address resolves.
+	for _, a := range uni.Addresses[:10] {
+		if _, err := uni.Tree.ResolveInsert(value.Text(a)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPersonGenDeterministic(t *testing.T) {
+	uni := NewLocationUniverse(2, 2, 2, 3)
+	a := NewPersonGen(42, uni, vclock.Epoch).Batch(50)
+	b := NewPersonGen(42, uni, vclock.Epoch).Batch(50)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("generator not deterministic at %d", i)
+		}
+	}
+	c := NewPersonGen(43, uni, vclock.Epoch).Batch(50)
+	same := 0
+	for i := range a {
+		if a[i].Address == c[i].Address {
+			same++
+		}
+	}
+	if same == 50 {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestPersonGenFields(t *testing.T) {
+	uni := NewLocationUniverse(2, 2, 2, 3)
+	g := NewPersonGen(1, uni, vclock.Epoch)
+	g.Interarrival = time.Minute
+	people := g.Batch(10)
+	for i, p := range people {
+		if p.ID != int64(i+1) {
+			t.Fatalf("id=%d", p.ID)
+		}
+		if p.Salary < 800 || p.Salary > 20000 {
+			t.Fatalf("salary=%d", p.Salary)
+		}
+		want := vclock.Epoch.Add(time.Duration(i) * time.Minute)
+		if !p.SeenAt.Equal(want) {
+			t.Fatalf("seenAt=%v want %v", p.SeenAt, want)
+		}
+	}
+}
+
+func TestQueryGen(t *testing.T) {
+	uni := NewLocationUniverse(2, 2, 2, 3)
+	g := NewQueryGen(5, uni, "stat", 3)
+	p := g.Point()
+	if p.Kind != QPoint || !strings.Contains(p.SQL, "FOR PURPOSE stat") ||
+		!strings.Contains(p.SQL, "country-0") {
+		t.Fatalf("point=%+v", p)
+	}
+	r := g.Range()
+	if r.Kind != QRange || !strings.Contains(r.SQL, "salary = '") {
+		t.Fatalf("range=%+v", r)
+	}
+	a := g.Aggregate()
+	if a.Kind != QAggregate || !strings.Contains(a.SQL, "GROUP BY location") {
+		t.Fatalf("agg=%+v", a)
+	}
+	counts := map[QueryKind]int{}
+	for i := 0; i < 300; i++ {
+		counts[g.Mix(8, 1, 1).Kind]++
+	}
+	if counts[QPoint] < 150 || counts[QAggregate] == 0 || counts[QRange] == 0 {
+		t.Fatalf("mix=%v", counts)
+	}
+}
