@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build test race vet serve clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+serve:
+	$(GO) run ./cmd/instantdb-server -dir demo.db -listen :7654
+
+clean:
+	rm -rf instantdb instantdb-server degradectl benchrunner bin demo.db

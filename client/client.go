@@ -1,0 +1,298 @@
+// Package client is the pure-Go client for an InstantDB network server
+// (internal/server, started by cmd/instantdb-server). A Conn is one
+// remote session: it carries a purpose, at most one open transaction,
+// and observes the same purpose-limited accuracy views as an embedded
+// engine.Conn with that purpose. Values in query results are
+// instantdb.Value scalars decoded with the engine's own codec.
+//
+//	conn, err := client.Dial(ctx, "localhost:7654", client.WithPurpose("stats"))
+//	...
+//	rows, err := conn.Query(ctx, "SELECT place FROM visits")
+//
+// A Conn serializes its requests internally, so it may be shared between
+// goroutines, but statements then interleave on one session — open one
+// Conn per logical session (in particular per transaction).
+package client
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"instantdb/internal/value"
+	"instantdb/internal/wire"
+)
+
+// Error is a server-reported failure. Code is one of the wire.Code*
+// constants; fatal codes end the session.
+type Error = wire.Error
+
+// ErrClosed marks use of a closed client connection.
+var ErrClosed = errors.New("client: connection closed")
+
+// Rows is a materialized query result.
+type Rows struct {
+	Columns []string
+	Data    [][]value.Value
+}
+
+// Len returns the row count.
+func (r *Rows) Len() int { return len(r.Data) }
+
+// Result reports one statement's outcome.
+type Result struct {
+	// Rows is non-nil for SELECT.
+	Rows *Rows
+	// RowsAffected counts inserted/updated/deleted tuples.
+	RowsAffected int
+	// LastInsertID is the tuple id of the last inserted tuple.
+	LastInsertID uint64
+}
+
+// Option tunes Dial.
+type Option func(*config)
+
+type config struct {
+	purpose  string
+	coarse   bool
+	maxFrame int
+}
+
+// WithPurpose sets the session purpose during the handshake; Dial fails
+// with a CodeUnknownPurpose error if the server has no such purpose.
+func WithPurpose(name string) Option { return func(c *config) { c.purpose = name } }
+
+// WithCoarse enables the paper's §IV best-effort semantics: tuples
+// degraded past the demanded accuracy still qualify, rendered at their
+// coarser actual level.
+func WithCoarse() Option { return func(c *config) { c.coarse = true } }
+
+// WithMaxFrame overrides the maximum response payload size accepted
+// from the server (default wire.MaxFrameDefault).
+func WithMaxFrame(n int) Option { return func(c *config) { c.maxFrame = n } }
+
+// Conn is a client session on a remote InstantDB server.
+type Conn struct {
+	mu     sync.Mutex
+	nc     net.Conn
+	br     *bufio.Reader
+	cfg    config
+	closed bool
+
+	// deadlineMu orders socket deadline writes between round trips and
+	// stale cancellation watchers; deadlineGen invalidates watchers of
+	// finished round trips.
+	deadlineMu  sync.Mutex
+	deadlineGen uint64
+}
+
+// Dial connects, performs the protocol handshake and returns the
+// session. The context bounds the dial and the handshake.
+func Dial(ctx context.Context, addr string, opts ...Option) (*Conn, error) {
+	cfg := config{maxFrame: wire.MaxFrameDefault}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	var d net.Dialer
+	nc, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Conn{nc: nc, br: bufio.NewReader(nc), cfg: cfg}
+	hello := wire.EncodeHello(wire.Hello{Version: wire.Version, Purpose: cfg.purpose, Coarse: cfg.coarse})
+	op, payload, err := c.roundTrip(ctx, wire.OpHello, hello)
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	if op != wire.OpWelcome {
+		nc.Close()
+		return nil, fmt.Errorf("client: unexpected handshake reply opcode %#x", op)
+	}
+	if _, err := wire.DecodeWelcome(payload); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close ends the session. The server rolls back any open transaction.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.nc.Close()
+}
+
+// Exec runs one SQL statement and returns its result.
+func (c *Conn) Exec(ctx context.Context, sql string) (*Result, error) {
+	return c.request(ctx, wire.OpExec, []byte(sql))
+}
+
+// Query runs one SQL statement and returns its rows (empty, never nil,
+// for statements that produce none).
+func (c *Conn) Query(ctx context.Context, sql string) (*Rows, error) {
+	res, err := c.request(ctx, wire.OpQuery, []byte(sql))
+	if err != nil {
+		return nil, err
+	}
+	if res.Rows == nil {
+		return &Rows{}, nil
+	}
+	return res.Rows, nil
+}
+
+// SetPurpose switches the session purpose by name.
+func (c *Conn) SetPurpose(ctx context.Context, name string) error {
+	_, err := c.request(ctx, wire.OpSetPurpose, []byte(name))
+	return err
+}
+
+// Begin opens an explicit transaction on the session.
+func (c *Conn) Begin(ctx context.Context) error {
+	_, err := c.request(ctx, wire.OpBegin, nil)
+	return err
+}
+
+// Commit commits the open transaction.
+func (c *Conn) Commit(ctx context.Context) error {
+	_, err := c.request(ctx, wire.OpCommit, nil)
+	return err
+}
+
+// Rollback aborts the open transaction.
+func (c *Conn) Rollback(ctx context.Context) error {
+	_, err := c.request(ctx, wire.OpRollback, nil)
+	return err
+}
+
+// Ping checks server liveness over the session.
+func (c *Conn) Ping(ctx context.Context) error {
+	op, _, err := c.roundTripLocked(ctx, wire.OpPing, nil)
+	if err != nil {
+		return err
+	}
+	if op != wire.OpPong {
+		return fmt.Errorf("client: unexpected ping reply opcode %#x", op)
+	}
+	return nil
+}
+
+// request performs one request round trip and decodes the result frame.
+func (c *Conn) request(ctx context.Context, op byte, payload []byte) (*Result, error) {
+	rop, rp, err := c.roundTripLocked(ctx, op, payload)
+	if err != nil {
+		return nil, err
+	}
+	if rop != wire.OpResult {
+		return nil, fmt.Errorf("client: unexpected reply opcode %#x", rop)
+	}
+	wres, err := wire.DecodeResult(rp)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{RowsAffected: int(wres.RowsAffected), LastInsertID: wres.LastInsertID}
+	if wres.Rows != nil {
+		res.Rows = &Rows{Columns: wres.Rows.Columns, Data: wres.Rows.Data}
+	}
+	return res, nil
+}
+
+func (c *Conn) roundTripLocked(ctx context.Context, op byte, payload []byte) (byte, []byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.roundTrip(ctx, op, payload)
+}
+
+// roundTrip writes one frame and reads the reply, honoring the context
+// deadline and cancellation. Server-reported errors come back as *Error;
+// fatal ones poison the connection. Caller holds c.mu (or owns the Conn
+// exclusively, during Dial).
+func (c *Conn) roundTrip(ctx context.Context, op byte, payload []byte) (byte, []byte, error) {
+	if c.closed {
+		return 0, nil, ErrClosed
+	}
+	stop := c.watchCtx(ctx)
+	defer stop()
+
+	if err := wire.WriteFrame(c.nc, op, payload); err != nil {
+		c.poison()
+		return 0, nil, c.ctxErr(ctx, err)
+	}
+	rop, rp, err := wire.ReadFrame(c.br, c.cfg.maxFrame)
+	if err != nil {
+		c.poison()
+		return 0, nil, c.ctxErr(ctx, err)
+	}
+	if rop == wire.OpError {
+		werr, derr := wire.DecodeError(rp)
+		if derr != nil {
+			c.poison()
+			return 0, nil, derr
+		}
+		if werr.Fatal() {
+			c.poison()
+		}
+		return 0, nil, werr
+	}
+	return rop, rp, nil
+}
+
+// watchCtx applies the context deadline to the socket and interrupts the
+// round trip if the context is canceled mid-flight. The generation
+// counter keeps a watcher that loses the race against stop — its
+// context was canceled right as the round trip completed — from
+// poisoning the deadline of a later round trip.
+func (c *Conn) watchCtx(ctx context.Context) (stop func()) {
+	c.deadlineMu.Lock()
+	c.deadlineGen++
+	gen := c.deadlineGen
+	if deadline, ok := ctx.Deadline(); ok {
+		c.nc.SetDeadline(deadline)
+	} else {
+		c.nc.SetDeadline(time.Time{})
+	}
+	c.deadlineMu.Unlock()
+	if ctx.Done() == nil {
+		return func() {}
+	}
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			c.deadlineMu.Lock()
+			if c.deadlineGen == gen {
+				// Unblock the in-flight read/write immediately.
+				c.nc.SetDeadline(time.Unix(1, 0))
+			}
+			c.deadlineMu.Unlock()
+		case <-done:
+		}
+	}()
+	return func() { close(done) }
+}
+
+// ctxErr prefers the context's error over the socket's when the context
+// ended the round trip.
+func (c *Conn) ctxErr(ctx context.Context, err error) error {
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return err
+}
+
+// poison marks the session unusable after a fatal transport or protocol
+// failure: request/response framing may be out of sync.
+func (c *Conn) poison() {
+	if !c.closed {
+		c.closed = true
+		c.nc.Close()
+	}
+}

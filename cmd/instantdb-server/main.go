@@ -1,0 +1,103 @@
+// Command instantdb-server serves an InstantDB database over TCP with
+// the internal/wire protocol. Each client connection gets its own
+// session (purpose, transaction), so remote clients observe the same
+// purpose-limited accuracy views as embedded sessions. The degradation
+// engine keeps running server-side: remote data expires on schedule
+// whether or not anyone is connected.
+//
+// Usage:
+//
+//	instantdb-server [-dir path] [-log shred|plain|vacuum] [-tick 1s]
+//	                 [-listen :7654] [-max-conns 0] [-v]
+//
+// SIGINT/SIGTERM shut down gracefully: stop accepting, close live
+// sessions (rolling back their open transactions), then close the
+// database so the degradation engine stops cleanly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"instantdb"
+	"instantdb/internal/server"
+)
+
+func main() {
+	dir := flag.String("dir", "", "database directory (empty = in-memory)")
+	logMode := flag.String("log", "shred", "log mode for durable databases: shred, plain, vacuum")
+	tick := flag.Duration("tick", time.Second, "background degradation tick interval (0 = manual)")
+	listen := flag.String("listen", ":7654", "TCP listen address")
+	maxConns := flag.Int("max-conns", 0, "max concurrent client sessions (0 = unlimited)")
+	verbose := flag.Bool("v", false, "log per-connection diagnostics")
+	flag.Parse()
+
+	cfg := instantdb.Config{Dir: *dir, AutoDegrade: *tick}
+	var err error
+	if cfg.LogMode, err = instantdb.ParseLogMode(*logMode); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	db, err := instantdb.Open(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opts := server.Options{MaxConns: *maxConns}
+	if *verbose {
+		opts.Logf = log.Printf
+	}
+	srv := server.New(db, opts)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe(*listen) }()
+
+	// Give the listener a beat to bind so the startup line is truthful.
+	for i := 0; i < 100 && srv.Addr() == nil; i++ {
+		select {
+		case err := <-done:
+			db.Close()
+			log.Fatal(err)
+		default:
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	log.Printf("instantdb-server: serving %s on %s (log=%s tick=%v max-conns=%d)",
+		dbName(*dir), srv.Addr(), *logMode, *tick, *maxConns)
+
+	select {
+	case s := <-sig:
+		log.Printf("instantdb-server: %v — draining sessions", s)
+		if err := srv.Close(); err != nil {
+			log.Printf("instantdb-server: close: %v", err)
+		}
+	case err := <-done:
+		if err != nil {
+			log.Printf("instantdb-server: serve: %v", err)
+		}
+		// Even on an accept failure, drain live sessions (rolling back
+		// their open transactions) before closing the database.
+		if err := srv.Close(); err != nil {
+			log.Printf("instantdb-server: close: %v", err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		log.Printf("instantdb-server: db close: %v", err)
+		os.Exit(1)
+	}
+	log.Printf("instantdb-server: database closed cleanly")
+}
+
+func dbName(dir string) string {
+	if dir == "" {
+		return "in-memory database"
+	}
+	return dir
+}

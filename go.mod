@@ -1,0 +1,3 @@
+module instantdb
+
+go 1.22

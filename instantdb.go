@@ -24,6 +24,11 @@
 //	_ = conn.SetPurpose("stats")
 //	res, err := conn.Exec(`SELECT place FROM visits`)
 //
+// The database also runs as a network service: cmd/instantdb-server
+// serves it over TCP and the client package (instantdb/client) is the
+// matching pure-Go driver, giving every remote connection its own
+// purpose-scoped session.
+//
 // See DESIGN.md for the architecture and EXPERIMENTS.md for the
 // reproduction of the paper's figures and claims.
 package instantdb
@@ -74,6 +79,10 @@ const (
 
 // Open opens (or creates) a database.
 func Open(cfg Config) (*DB, error) { return engine.Open(cfg) }
+
+// ParseLogMode parses a log-mode name ("none", "shred", "plain",
+// "vacuum").
+func ParseLogMode(s string) (LogMode, error) { return engine.ParseLogMode(s) }
 
 // Value constructors, re-exported for programmatic rows and results.
 var (

@@ -1,0 +1,106 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentConns enforces the package's concurrency contract:
+// DB.NewConn and Conn.Exec are safe from N goroutines. Writers insert
+// disjoint key ranges, readers run purposed selects, one goroutine
+// creates and drops indexes (racing the copy-on-write index registry),
+// and the degrader ticks throughout. Run with -race.
+func TestConcurrentConns(t *testing.T) {
+	db, clock := openSim(t)
+	installSchema(t, db)
+
+	const (
+		writers   = 4
+		readers   = 4
+		perWriter = 25
+	)
+	var wg sync.WaitGroup
+	errc := make(chan error, writers+readers+2)
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			conn := db.NewConn()
+			for i := 0; i < perWriter; i++ {
+				id := w*perWriter + i + 1
+				stmt := fmt.Sprintf(`INSERT INTO person (id, name, location, salary)
+					VALUES (%d, 'p%d', 'Dam 1', %d)`, id, id, 1000+id)
+				if _, err := conn.Exec(stmt); err != nil {
+					errc <- fmt.Errorf("writer %d: %w", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			conn := db.NewConn()
+			if err := conn.SetPurpose("stat"); err != nil {
+				errc <- err
+				return
+			}
+			for i := 0; i < 40; i++ {
+				res, err := conn.Exec(`SELECT name, location FROM person WHERE location = 'Netherlands'`)
+				if err != nil {
+					errc <- fmt.Errorf("reader %d: %w", r, err)
+					return
+				}
+				for _, row := range res.Rows.Data {
+					if got := row[1].String(); got != "Netherlands" {
+						errc <- fmt.Errorf("reader %d: leaked accuracy %q", r, got)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	// DDL racer: create/drop an index while queries plan against the
+	// registry.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn := db.NewConn()
+		for i := 0; i < 10; i++ {
+			if _, err := conn.Exec(`CREATE INDEX ix_loc ON person (location) USING GT`); err != nil {
+				errc <- fmt.Errorf("create index: %w", err)
+				return
+			}
+			if _, err := conn.Exec(`DROP INDEX ix_loc`); err != nil {
+				errc <- fmt.Errorf("drop index: %w", err)
+				return
+			}
+		}
+	}()
+	// Degrader racer.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			clock.Advance(1) // stay inside every HOLD window
+			if _, err := db.DegradeNow(); err != nil {
+				errc <- fmt.Errorf("degrade: %w", err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	res := db.MustExec(`SELECT count(*) FROM person`)
+	if got := res.Rows.Data[0][0].Int(); got != writers*perWriter {
+		t.Fatalf("want %d rows, got %d", writers*perWriter, got)
+	}
+}

@@ -11,6 +11,18 @@
 // never resurrects an accuracy state whose degradation committed: the
 // degrade record replays and re-scrubs before the database accepts
 // queries.
+//
+// Concurrency contract: a DB is safe for concurrent use — NewConn and
+// Exec may be called from any number of goroutines, and the background
+// degradation loop runs alongside queries. Each layer guards its own
+// state (catalog, storage, WAL, lock manager and index structures carry
+// internal mutexes; commits, DDL and checkpoints serialize on db.mu;
+// the index registry is published copy-on-write under db.idxMu so query
+// planning never blocks on DDL). A Conn, by contrast, is a single
+// session — one purpose, at most one open transaction — and is NOT safe
+// for concurrent use; open one Conn per goroutine. The network server
+// (internal/server) maps every remote connection to its own Conn on
+// exactly this contract.
 package engine
 
 import (
@@ -50,6 +62,22 @@ const (
 	// segments, NULLing payloads that outlived their accuracy state.
 	LogVacuum
 )
+
+// ParseLogMode parses a log-mode name ("none", "shred", "plain",
+// "vacuum"), as spelled by the command-line tools' -log flag.
+func ParseLogMode(s string) (LogMode, error) {
+	switch s {
+	case "none":
+		return LogNone, nil
+	case "shred":
+		return LogShred, nil
+	case "plain":
+		return LogPlain, nil
+	case "vacuum":
+		return LogVacuum, nil
+	}
+	return 0, fmt.Errorf("engine: unknown log mode %q", s)
+}
 
 // Config tunes Open.
 type Config struct {
@@ -94,7 +122,8 @@ type DB struct {
 	deg   *degrade.Engine
 	clock vclock.Clock
 
-	mu        sync.Mutex // serializes commits, DDL and checkpoints
+	mu        sync.Mutex   // serializes commits, DDL and checkpoints
+	idxMu     sync.RWMutex // guards indexes/byTable for lock-free readers
 	indexes   map[string]*indexInst
 	byTable   map[uint32][]*indexInst
 	commits   int

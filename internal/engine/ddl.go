@@ -112,10 +112,7 @@ func (db *DB) execDDL(st query.Statement, src string) error {
 		if err := db.cat.DropTable(s.Name); err != nil {
 			return err
 		}
-		for _, inst := range db.byTable[tbl.ID] {
-			delete(db.indexes, inst.def.Name)
-		}
-		delete(db.byTable, tbl.ID)
+		db.dropTableIndexes(tbl.ID)
 		db.deg.DropTable(tbl.ID)
 		if err := db.mgr.DropTable(tbl.ID); err != nil {
 			return err
@@ -132,14 +129,7 @@ func (db *DB) execDDL(st query.Statement, src string) error {
 		if err := db.cat.DropIndex(s.Name); err != nil {
 			return err
 		}
-		delete(db.indexes, inst.def.Name)
-		insts := db.byTable[inst.tbl.ID]
-		for i, x := range insts {
-			if x == inst {
-				db.byTable[inst.tbl.ID] = append(insts[:i], insts[i+1:]...)
-				break
-			}
-		}
+		db.dropIndexInst(inst)
 		if src == "" {
 			src = "DROP INDEX " + inst.def.Name
 		}

@@ -317,7 +317,7 @@ func (c *Conn) planCandidates(tbl *catalog.Table, where query.Expr, levels []int
 		if err != nil {
 			continue
 		}
-		for _, inst := range c.db.byTable[tbl.ID] {
+		for _, inst := range c.db.tableIndexes(tbl.ID) {
 			if inst.col != ci {
 				continue
 			}

@@ -60,15 +60,63 @@ func (db *DB) buildIndexInst(def catalog.IndexDef) error {
 	if err != nil {
 		return err
 	}
-	db.indexes[def.Name] = inst
-	db.byTable[tbl.ID] = append(db.byTable[tbl.ID], inst)
+	db.publishIndex(inst)
 	return nil
+}
+
+// publishIndex registers an index instance copy-on-write, so slices
+// handed out by tableIndexes stay immutable. Caller holds db.mu.
+func (db *DB) publishIndex(inst *indexInst) {
+	db.idxMu.Lock()
+	defer db.idxMu.Unlock()
+	db.indexes[inst.def.Name] = inst
+	old := db.byTable[inst.tbl.ID]
+	next := make([]*indexInst, len(old), len(old)+1)
+	copy(next, old)
+	db.byTable[inst.tbl.ID] = append(next, inst)
+}
+
+// tableIndexes snapshots a table's index list for query planning without
+// taking db.mu. The returned slice is never mutated: DDL replaces it
+// wholesale under idxMu.
+func (db *DB) tableIndexes(tableID uint32) []*indexInst {
+	db.idxMu.RLock()
+	defer db.idxMu.RUnlock()
+	return db.byTable[tableID]
+}
+
+// dropIndexInst unregisters an index instance copy-on-write. Caller
+// holds db.mu.
+func (db *DB) dropIndexInst(inst *indexInst) {
+	db.idxMu.Lock()
+	defer db.idxMu.Unlock()
+	delete(db.indexes, inst.def.Name)
+	old := db.byTable[inst.tbl.ID]
+	next := make([]*indexInst, 0, len(old))
+	for _, x := range old {
+		if x != inst {
+			next = append(next, x)
+		}
+	}
+	db.byTable[inst.tbl.ID] = next
+}
+
+// dropTableIndexes unregisters every index of a table. Caller holds db.mu.
+func (db *DB) dropTableIndexes(tableID uint32) {
+	db.idxMu.Lock()
+	defer db.idxMu.Unlock()
+	for _, inst := range db.byTable[tableID] {
+		delete(db.indexes, inst.def.Name)
+	}
+	delete(db.byTable, tableID)
 }
 
 // rebuildIndexes reconstructs every catalog index from storage (recovery).
 func (db *DB) rebuildIndexes() error {
+	db.idxMu.Lock()
 	db.indexes = make(map[string]*indexInst)
 	db.byTable = make(map[uint32][]*indexInst)
+	db.idxMu.Unlock()
 	for _, tbl := range db.cat.Tables() {
 		for _, def := range db.cat.Indexes(tbl.Name) {
 			if err := db.buildIndexInst(def); err != nil {

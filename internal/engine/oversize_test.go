@@ -1,0 +1,48 @@
+package engine
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"instantdb/internal/storage"
+	"instantdb/internal/vclock"
+)
+
+// TestOversizedRowRefusedBeforeWAL checks a row too large for a page is
+// refused as a statement error before its redo record reaches the WAL —
+// previously the append succeeded, the apply failed, and the poisoned
+// log made the database unopenable (replay hit the same apply error).
+func TestOversizedRowRefusedBeforeWAL(t *testing.T) {
+	dir := t.TempDir()
+	open := func() *DB {
+		db, err := Open(Config{Dir: dir, Clock: vclock.NewSimulated(vclock.Epoch)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+	db := open()
+	db.MustExec(`CREATE TABLE notes (id INT PRIMARY KEY, body TEXT NOT NULL)`)
+
+	big := strings.Repeat("x", storage.MaxRecordSize+1)
+	if _, err := db.Exec(`INSERT INTO notes (id, body) VALUES (1, '` + big + `')`); !errors.Is(err, storage.ErrRecordTooLarge) {
+		t.Fatalf("oversized insert: want ErrRecordTooLarge, got %v", err)
+	}
+	db.MustExec(`INSERT INTO notes (id, body) VALUES (2, 'fits')`)
+	if _, err := db.Exec(`UPDATE notes SET body = '` + big + `' WHERE id = 2`); !errors.Is(err, storage.ErrRecordTooLarge) {
+		t.Fatalf("oversized update: want ErrRecordTooLarge, got %v", err)
+	}
+
+	// The refusals never reached the log: the database reopens cleanly
+	// with only the fitting row, body intact.
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db = open()
+	defer db.Close()
+	res := db.MustExec(`SELECT id, body FROM notes`)
+	if res.Rows.Len() != 1 || res.Rows.Data[0][1].String() != "fits" {
+		t.Fatalf("after reopen: %+v", res.Rows.Data)
+	}
+}

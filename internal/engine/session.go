@@ -364,6 +364,17 @@ func (c *Conn) runInsert(s *query.Insert) (*Result, error) {
 		}
 		_ = assigned
 		tid := ts.ReserveID()
+		// Refuse oversized rows here, before their redo record can reach
+		// the WAL: a durably appended record must never fail to apply or
+		// to replay.
+		full := make([]value.Value, len(tbl.Columns))
+		copy(full, stable)
+		for i, colIdx := range tbl.DegradableColumns() {
+			full[colIdx] = degVals[i]
+		}
+		if err := storage.CheckRecordSize(states, full); err != nil {
+			return nil, fmt.Errorf("engine: %s: %w", tbl.Name, err)
+		}
 		if err := c.db.locks.Acquire(c.tx.id, txn.RowRes(tbl.ID, tid), txn.LockX); err != nil {
 			return nil, err
 		}
@@ -378,11 +389,6 @@ func (c *Conn) runInsert(s *query.Insert) (*Result, error) {
 		}
 		c.tx.recs = append(c.tx.recs, rec)
 		// Read-your-writes overlay with the materialized tuple.
-		full := make([]value.Value, len(tbl.Columns))
-		copy(full, stable)
-		for i, colIdx := range tbl.DegradableColumns() {
-			full[colIdx] = degVals[i]
-		}
 		ov := c.tx.overlay(tbl.ID)
 		ov.tuples[tid] = &storage.Tuple{ID: tid, InsertedAt: now.UTC(), States: states, Row: full}
 		res.RowsAffected++
@@ -443,6 +449,10 @@ func (c *Conn) runUpdate(s *query.Update) (*Result, error) {
 				Col: uint16(so.col), Val: so.val}
 			c.tx.recs = append(c.tx.recs, rec)
 			t.Row[so.col] = so.val
+		}
+		// The rewritten tuple must still fit a page (see runInsert).
+		if err := storage.CheckRecordSize(t.States, t.Row); err != nil {
+			return nil, fmt.Errorf("engine: %s: %w", tbl.Name, err)
 		}
 		cp := *t
 		ov.tuples[t.ID] = &cp

@@ -1,0 +1,309 @@
+// Package server exposes an InstantDB database over TCP. Each accepted
+// connection is bound to its own engine.Conn, so purpose-based accuracy
+// views, the coarse-semantics flag and transactions stay strictly
+// per-session — a remote client observes exactly the accuracy states an
+// embedded session with the same purpose would, and a dropped
+// connection rolls its open transaction back before the session is
+// discarded. The wire format is defined in internal/wire; the matching
+// client lives in the top-level client package.
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"instantdb/internal/engine"
+	"instantdb/internal/wire"
+)
+
+// Options tunes a Server.
+type Options struct {
+	// MaxConns caps concurrently served sessions (0 = unlimited).
+	// Connections over the cap receive a CodeServerBusy error frame and
+	// are closed without a handshake.
+	MaxConns int
+	// MaxFrame bounds request payloads (default wire.MaxFrameDefault).
+	MaxFrame int
+	// Logf, when non-nil, receives connection-level diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Server serves one engine.DB to remote clients.
+type Server struct {
+	db   *engine.DB
+	opts Options
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New wraps an open database. The server does not own the DB: Close
+// stops serving but leaves the database open.
+func New(db *engine.DB, opts Options) *Server {
+	if opts.MaxFrame <= 0 {
+		opts.MaxFrame = wire.MaxFrameDefault
+	}
+	return &Server{db: db, opts: opts, conns: make(map[net.Conn]struct{})}
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Close. It returns nil after a
+// graceful Close, or the first fatal Accept error.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("server: already closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		if !s.track(nc) {
+			continue
+		}
+		go func() {
+			defer s.wg.Done()
+			s.handle(nc)
+		}()
+	}
+}
+
+// Addr returns the bound listener address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops accepting, closes every live connection and waits for the
+// session goroutines to drain. It is idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for nc := range s.conns {
+		nc.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// track registers a new connection, enforcing MaxConns and the closed
+// state, and reserves the session's WaitGroup slot while still under
+// s.mu so Close cannot observe a zero counter between Accept and the
+// handler goroutine starting. A rejected connection is answered and
+// closed here.
+func (s *Server) track(nc net.Conn) bool {
+	s.mu.Lock()
+	switch {
+	case s.closed:
+		s.mu.Unlock()
+		wire.WriteFrame(nc, wire.OpError, wire.EncodeError(wire.CodeShutdown, "server: shutting down"))
+		nc.Close()
+		return false
+	case s.opts.MaxConns > 0 && len(s.conns) >= s.opts.MaxConns:
+		s.mu.Unlock()
+		wire.WriteFrame(nc, wire.OpError, wire.EncodeError(wire.CodeServerBusy,
+			fmt.Sprintf("server: connection limit (%d) reached", s.opts.MaxConns)))
+		nc.Close()
+		s.logf("reject %s: connection limit", nc.RemoteAddr())
+		return false
+	}
+	s.conns[nc] = struct{}{}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	return true
+}
+
+func (s *Server) untrack(nc net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, nc)
+	s.mu.Unlock()
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// handle runs one session: handshake, then the request loop.
+func (s *Server) handle(nc net.Conn) {
+	defer s.untrack(nc)
+	defer nc.Close()
+	br := bufio.NewReader(nc)
+
+	sess, err := s.handshake(nc, br)
+	if err != nil {
+		if !errors.Is(err, io.EOF) {
+			s.logf("handshake %s: %v", nc.RemoteAddr(), err)
+		}
+		return
+	}
+	// A dropped connection must not leak its transaction's locks.
+	defer func() {
+		if _, err := sess.Exec("ROLLBACK"); err != nil && !errors.Is(err, engine.ErrNoTransaction) {
+			s.logf("rollback %s: %v", nc.RemoteAddr(), err)
+		}
+	}()
+
+	for {
+		op, payload, err := s.readRequest(nc, br)
+		if err != nil {
+			return
+		}
+		if !s.serveRequest(nc, sess, op, payload) {
+			return
+		}
+	}
+}
+
+// handshake validates the Hello frame and builds the session Conn.
+func (s *Server) handshake(nc net.Conn, br *bufio.Reader) (*engine.Conn, error) {
+	op, payload, err := s.readRequest(nc, br)
+	if err != nil {
+		return nil, err
+	}
+	if op != wire.OpHello {
+		s.fail(nc, wire.CodeProtocol, fmt.Sprintf("server: expected hello, got opcode %#x", op))
+		return nil, fmt.Errorf("first frame opcode %#x", op)
+	}
+	h, err := wire.DecodeHello(payload)
+	if err != nil {
+		s.fail(nc, wire.CodeProtocol, err.Error())
+		return nil, err
+	}
+	if h.Version != wire.Version {
+		s.fail(nc, wire.CodeProtocol,
+			fmt.Sprintf("server: protocol version %d unsupported (want %d)", h.Version, wire.Version))
+		return nil, fmt.Errorf("protocol version %d", h.Version)
+	}
+	sess := s.db.NewConn()
+	if h.Purpose != "" {
+		if err := sess.SetPurpose(h.Purpose); err != nil {
+			s.fail(nc, wire.CodeUnknownPurpose, err.Error())
+			return nil, err
+		}
+	}
+	sess.SetCoarse(h.Coarse)
+	if err := wire.WriteFrame(nc, wire.OpWelcome, wire.EncodeWelcome()); err != nil {
+		return nil, err
+	}
+	return sess, nil
+}
+
+// readRequest reads one frame, reporting size violations to the peer
+// before failing the session.
+func (s *Server) readRequest(nc net.Conn, br *bufio.Reader) (byte, []byte, error) {
+	op, payload, err := wire.ReadFrame(br, s.opts.MaxFrame)
+	if err != nil {
+		if errors.Is(err, wire.ErrFrameTooLarge) {
+			s.fail(nc, wire.CodeFrameTooLarge, err.Error())
+		}
+		return 0, nil, err
+	}
+	return op, payload, nil
+}
+
+// serveRequest dispatches one request frame. It returns false when the
+// session must end (protocol violation or a dead peer).
+func (s *Server) serveRequest(nc net.Conn, sess *engine.Conn, op byte, payload []byte) bool {
+	switch op {
+	case wire.OpPing:
+		return wire.WriteFrame(nc, wire.OpPong, nil) == nil
+	case wire.OpExec, wire.OpQuery:
+		return s.execSQL(nc, sess, string(payload))
+	case wire.OpSetPurpose:
+		if err := sess.SetPurpose(string(payload)); err != nil {
+			return s.sendErr(nc, wire.CodeUnknownPurpose, err)
+		}
+		return s.sendResult(nc, &engine.Result{})
+	case wire.OpBegin:
+		return s.execSQL(nc, sess, "BEGIN")
+	case wire.OpCommit:
+		return s.execSQL(nc, sess, "COMMIT")
+	case wire.OpRollback:
+		return s.execSQL(nc, sess, "ROLLBACK")
+	default:
+		s.fail(nc, wire.CodeProtocol, fmt.Sprintf("server: unknown opcode %#x", op))
+		return false
+	}
+}
+
+// execSQL runs one statement on the session and answers with its result
+// or a non-fatal SQL error.
+func (s *Server) execSQL(nc net.Conn, sess *engine.Conn, sql string) bool {
+	res, err := sess.Exec(sql)
+	if err != nil {
+		return s.sendErr(nc, wire.CodeSQL, err)
+	}
+	return s.sendResult(nc, res)
+}
+
+func (s *Server) sendResult(nc net.Conn, res *engine.Result) bool {
+	wres := &wire.Result{
+		RowsAffected: uint64(res.RowsAffected),
+		LastInsertID: uint64(res.LastInsertID),
+	}
+	if res.Rows != nil {
+		wres.Rows = &wire.Rows{Columns: res.Rows.Columns, Data: res.Rows.Data}
+	}
+	payload := wire.EncodeResult(wres)
+	// An oversized response would be rejected by the peer's frame limit
+	// and poison its session; refuse it as a statement error instead so
+	// the client can narrow the query and carry on.
+	if len(payload) > s.opts.MaxFrame {
+		return s.sendErr(nc, wire.CodeSQL, fmt.Errorf(
+			"server: result is %d bytes, over the %d-byte frame limit; narrow the query (LIMIT, fewer columns)",
+			len(payload), s.opts.MaxFrame))
+	}
+	return wire.WriteFrame(nc, wire.OpResult, payload) == nil
+}
+
+func (s *Server) sendErr(nc net.Conn, code uint16, err error) bool {
+	return wire.WriteFrame(nc, wire.OpError, wire.EncodeError(code, err.Error())) == nil
+}
+
+// fail sends a fatal error frame; the caller closes the connection.
+func (s *Server) fail(nc net.Conn, code uint16, msg string) {
+	wire.WriteFrame(nc, wire.OpError, wire.EncodeError(code, msg))
+}

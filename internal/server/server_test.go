@@ -1,0 +1,602 @@
+package server
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"instantdb/client"
+	"instantdb/internal/engine"
+	"instantdb/internal/vclock"
+	"instantdb/internal/wire"
+)
+
+// paperSchema is the paper's running example plus the purposes the
+// tests dial in with.
+const paperSchema = `
+CREATE DOMAIN location TREE LEVELS (address, city, region, country)
+  PATH ('Dam 1', 'Amsterdam', 'Noord-Holland', 'Netherlands')
+  PATH ('Coolsingel 40', 'Rotterdam', 'Zuid-Holland', 'Netherlands')
+  PATH ('10 rue de Rivoli', 'Paris', 'Ile-de-France', 'France');
+CREATE POLICY locpol ON location (
+  HOLD address FOR '15m',
+  HOLD city FOR '1h',
+  HOLD region FOR '1d',
+  HOLD country FOR '1mo'
+) THEN DELETE;
+CREATE TABLE visits (
+  id INT PRIMARY KEY,
+  who TEXT NOT NULL,
+  place TEXT DEGRADABLE DOMAIN location POLICY locpol
+);
+DECLARE PURPOSE cities SET ACCURACY LEVEL city FOR visits.place;
+DECLARE PURPOSE stats SET ACCURACY LEVEL country FOR visits.place;
+`
+
+// startServer opens an ephemeral database on a simulated clock, installs
+// the schema, and serves it on a loopback listener.
+func startServer(t *testing.T, opts Options) (*engine.DB, *vclock.Simulated, string) {
+	t.Helper()
+	clock := vclock.NewSimulated(vclock.Epoch)
+	db, err := engine.Open(engine.Config{Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.ExecScript(paperSchema); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(db, opts)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("server close: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+		db.Close()
+	})
+	return db, clock, ln.Addr().String()
+}
+
+func dial(t *testing.T, addr string, opts ...client.Option) *client.Conn {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	c, err := client.Dial(ctx, addr, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func ctxT(t *testing.T) context.Context {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// TestRemoteMatchesEmbedded is the acceptance criterion: a remote
+// session observes exactly the purpose-limited views an embedded
+// engine.Conn with the same purpose does.
+func TestRemoteMatchesEmbedded(t *testing.T) {
+	db, _, addr := startServer(t, Options{})
+	ctx := ctxT(t)
+
+	c := dial(t, addr)
+	if _, err := c.Exec(ctx, `INSERT INTO visits (id, who, place) VALUES (1, 'anciaux', '10 rue de Rivoli')`); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetPurpose(ctx, "stats"); err != nil {
+		t.Fatal(err)
+	}
+	remote, err := c.Query(ctx, `SELECT who, place FROM visits`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	emb := db.NewConn()
+	if err := emb.SetPurpose("stats"); err != nil {
+		t.Fatal(err)
+	}
+	local, err := emb.Exec(`SELECT who, place FROM visits`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remote.Len() != 1 || local.Rows.Len() != 1 {
+		t.Fatalf("row counts: remote %d local %d", remote.Len(), local.Rows.Len())
+	}
+	for i := range remote.Data[0] {
+		r, l := remote.Data[0][i], local.Rows.Data[0][i]
+		if r.Kind() != l.Kind() || r.String() != l.String() {
+			t.Fatalf("col %d: remote %v local %v", i, r, l)
+		}
+	}
+	if got := remote.Data[0][1].String(); got != "France" {
+		t.Fatalf("stats purpose must see country accuracy, got %q", got)
+	}
+}
+
+// TestSetPurposeViaSQL checks SET PURPOSE works as a plain statement
+// over the wire too (the shell's remote mode relies on it).
+func TestSetPurposeViaSQL(t *testing.T) {
+	_, _, addr := startServer(t, Options{})
+	ctx := ctxT(t)
+	c := dial(t, addr)
+	if _, err := c.Exec(ctx, `INSERT INTO visits (id, who, place) VALUES (1, 'x', 'Dam 1')`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec(ctx, `SET PURPOSE cities`); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := c.Query(ctx, `SELECT place FROM visits`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 1 || rows.Data[0][0].String() != "Amsterdam" {
+		t.Fatalf("cities purpose: got %+v", rows.Data)
+	}
+}
+
+// TestConcurrentClients drives 9 purposed sessions in parallel: three
+// inserters at full accuracy, three "cities" readers, three "stats"
+// readers, all against one server. Run under -race this is the
+// concurrent-session safety check demanded by the engine contract.
+func TestConcurrentClients(t *testing.T) {
+	_, _, addr := startServer(t, Options{})
+
+	places := []string{"Dam 1", "Coolsingel 40", "10 rue de Rivoli"}
+	cityOf := map[string]string{"Dam 1": "Amsterdam", "Coolsingel 40": "Rotterdam", "10 rue de Rivoli": "Paris"}
+	countryOf := map[string]string{"Dam 1": "Netherlands", "Coolsingel 40": "Netherlands", "10 rue de Rivoli": "France"}
+
+	const perWriter = 20
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+			defer cancel()
+			c, err := client.Dial(ctx, addr)
+			if err != nil {
+				errc <- err
+				return
+			}
+			defer c.Close()
+			for i := 0; i < perWriter; i++ {
+				id := w*perWriter + i + 1
+				stmt := fmt.Sprintf(`INSERT INTO visits (id, who, place) VALUES (%d, 'w%d', '%s')`,
+					id, w, places[id%len(places)])
+				if _, err := c.Exec(ctx, stmt); err != nil {
+					errc <- fmt.Errorf("writer %d: %w", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 6; r++ {
+		purpose, level := "cities", cityOf
+		if r%2 == 1 {
+			purpose, level = "stats", countryOf
+		}
+		wg.Add(1)
+		go func(r int, purpose string, level map[string]string) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+			defer cancel()
+			c, err := client.Dial(ctx, addr, client.WithPurpose(purpose))
+			if err != nil {
+				errc <- err
+				return
+			}
+			defer c.Close()
+			allowed := make(map[string]bool)
+			for _, v := range level {
+				allowed[v] = true
+			}
+			for i := 0; i < 30; i++ {
+				rows, err := c.Query(ctx, `SELECT who, place FROM visits`)
+				if err != nil {
+					errc <- fmt.Errorf("reader %d (%s): %w", r, purpose, err)
+					return
+				}
+				for _, row := range rows.Data {
+					if got := row[1].String(); !allowed[got] {
+						errc <- fmt.Errorf("reader %d (%s): leaked accuracy %q", r, purpose, got)
+						return
+					}
+				}
+			}
+		}(r, purpose, level)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	// All writes must have landed exactly once.
+	ctx := ctxT(t)
+	c := dial(t, addr)
+	rows, err := c.Query(ctx, `SELECT count(*) FROM visits`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rows.Data[0][0].Int(); got != 3*perWriter {
+		t.Fatalf("want %d rows, got %d", 3*perWriter, got)
+	}
+}
+
+// TestDegradationVisibleToConnectedClients forces a transition while
+// clients stay connected: the full-accuracy session loses the tuples
+// (state address is no longer computable), the stats session keeps its
+// country view.
+func TestDegradationVisibleToConnectedClients(t *testing.T) {
+	db, clock, addr := startServer(t, Options{})
+	ctx := ctxT(t)
+
+	full := dial(t, addr)
+	stats := dial(t, addr, client.WithPurpose("stats"))
+	if _, err := full.Exec(ctx, `INSERT INTO visits (id, who, place) VALUES (1, 'x', 'Dam 1')`); err != nil {
+		t.Fatal(err)
+	}
+
+	rows, err := full.Query(ctx, `SELECT place FROM visits`)
+	if err != nil || rows.Len() != 1 || rows.Data[0][0].String() != "Dam 1" {
+		t.Fatalf("before degradation: rows=%+v err=%v", rows, err)
+	}
+
+	clock.Advance(16 * time.Minute) // past HOLD address FOR '15m'
+	if n, err := db.DegradeNow(); err != nil || n == 0 {
+		t.Fatalf("DegradeNow: n=%d err=%v", n, err)
+	}
+
+	rows, err = full.Query(ctx, `SELECT place FROM visits`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 0 {
+		t.Fatalf("full accuracy after degradation: want 0 rows, got %+v", rows.Data)
+	}
+	rows, err = stats.Query(ctx, `SELECT place FROM visits`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 1 || rows.Data[0][0].String() != "Netherlands" {
+		t.Fatalf("stats after degradation: got %+v", rows.Data)
+	}
+}
+
+// TestTransactions exercises the Begin/Commit/Rollback frames.
+func TestTransactions(t *testing.T) {
+	_, _, addr := startServer(t, Options{})
+	ctx := ctxT(t)
+	c := dial(t, addr)
+
+	if err := c.Begin(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec(ctx, `INSERT INTO visits (id, who, place) VALUES (1, 'x', 'Dam 1')`); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rollback(ctx); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := c.Query(ctx, `SELECT id FROM visits`)
+	if err != nil || rows.Len() != 0 {
+		t.Fatalf("after rollback: rows=%+v err=%v", rows, err)
+	}
+
+	if err := c.Begin(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec(ctx, `INSERT INTO visits (id, who, place) VALUES (2, 'y', 'Dam 1')`); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	rows, err = c.Query(ctx, `SELECT id FROM visits`)
+	if err != nil || rows.Len() != 1 {
+		t.Fatalf("after commit: rows=%+v err=%v", rows, err)
+	}
+	if err := c.Commit(ctx); err == nil {
+		t.Fatal("commit outside transaction must fail")
+	}
+}
+
+// TestDisconnectReleasesLocks drops a client mid-transaction and checks
+// the server rolled it back (its row locks are released, its writes are
+// gone).
+func TestDisconnectReleasesLocks(t *testing.T) {
+	db, _, addr := startServer(t, Options{})
+	ctx := ctxT(t)
+
+	c := dial(t, addr)
+	if err := c.Begin(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec(ctx, `INSERT INTO visits (id, who, place) VALUES (1, 'x', 'Dam 1')`); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	// The rollback is asynchronous with the close; poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		res, err := db.Exec(`INSERT INTO visits (id, who, place) VALUES (1, 'y', 'Dam 1')`)
+		if err == nil && res.RowsAffected == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("orphaned transaction still holds its locks: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSQLErrorsKeepSession checks statement failures are non-fatal.
+func TestSQLErrorsKeepSession(t *testing.T) {
+	_, _, addr := startServer(t, Options{})
+	ctx := ctxT(t)
+	c := dial(t, addr)
+
+	if _, err := c.Exec(ctx, `SELECT nope FROM nowhere`); err == nil {
+		t.Fatal("want SQL error")
+	} else {
+		var werr *client.Error
+		if !errors.As(err, &werr) || werr.Code != wire.CodeSQL || werr.Fatal() {
+			t.Fatalf("want non-fatal CodeSQL, got %v", err)
+		}
+	}
+	if err := c.SetPurpose(ctx, "no-such-purpose"); err == nil {
+		t.Fatal("want unknown-purpose error")
+	}
+	// The session survives both failures.
+	if err := c.Ping(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec(ctx, `INSERT INTO visits (id, who, place) VALUES (1, 'x', 'Dam 1')`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHandshakeUnknownPurpose rejects a Dial naming an undeclared
+// purpose.
+func TestHandshakeUnknownPurpose(t *testing.T) {
+	_, _, addr := startServer(t, Options{})
+	ctx := ctxT(t)
+	_, err := client.Dial(ctx, addr, client.WithPurpose("nonexistent"))
+	var werr *client.Error
+	if !errors.As(err, &werr) || werr.Code != wire.CodeUnknownPurpose {
+		t.Fatalf("want CodeUnknownPurpose, got %v", err)
+	}
+}
+
+// rawConn dials without the client package, for protocol-abuse tests.
+func rawConn(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nc.Close() })
+	nc.SetDeadline(time.Now().Add(5 * time.Second))
+	return nc
+}
+
+func expectError(t *testing.T, nc net.Conn, code uint16) {
+	t.Helper()
+	op, payload, err := wire.ReadFrame(nc, wire.MaxFrameDefault)
+	if err != nil {
+		t.Fatalf("reading error frame: %v", err)
+	}
+	if op != wire.OpError {
+		t.Fatalf("want OpError, got opcode %#x", op)
+	}
+	werr, err := wire.DecodeError(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if werr.Code != code {
+		t.Fatalf("want error code %d, got %d (%s)", code, werr.Code, werr.Msg)
+	}
+}
+
+// TestProtocolBadMagic sends an HTTP-looking first frame.
+func TestProtocolBadMagic(t *testing.T) {
+	_, _, addr := startServer(t, Options{})
+	nc := rawConn(t, addr)
+	if err := wire.WriteFrame(nc, wire.OpHello, []byte("GET / HTTP/1.1\r\nHost: x\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	expectError(t, nc, wire.CodeProtocol)
+}
+
+// TestProtocolWrongFirstOpcode requires Hello before anything else.
+func TestProtocolWrongFirstOpcode(t *testing.T) {
+	_, _, addr := startServer(t, Options{})
+	nc := rawConn(t, addr)
+	if err := wire.WriteFrame(nc, wire.OpExec, []byte("SELECT 1")); err != nil {
+		t.Fatal(err)
+	}
+	expectError(t, nc, wire.CodeProtocol)
+}
+
+// TestProtocolBadVersion rejects a future protocol version.
+func TestProtocolBadVersion(t *testing.T) {
+	_, _, addr := startServer(t, Options{})
+	nc := rawConn(t, addr)
+	h := wire.EncodeHello(wire.Hello{Version: wire.Version + 1})
+	if err := wire.WriteFrame(nc, wire.OpHello, h); err != nil {
+		t.Fatal(err)
+	}
+	expectError(t, nc, wire.CodeProtocol)
+}
+
+// TestProtocolOversizedFrame announces a payload over the server limit
+// and must be refused before the server buffers it.
+func TestProtocolOversizedFrame(t *testing.T) {
+	_, _, addr := startServer(t, Options{MaxFrame: 4096})
+	nc := rawConn(t, addr)
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 1<<30)
+	if _, err := nc.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	expectError(t, nc, wire.CodeFrameTooLarge)
+}
+
+// TestProtocolUnknownOpcode closes the session after an undefined
+// request opcode.
+func TestProtocolUnknownOpcode(t *testing.T) {
+	_, _, addr := startServer(t, Options{})
+	nc := rawConn(t, addr)
+	if err := wire.WriteFrame(nc, wire.OpHello, wire.EncodeHello(wire.Hello{Version: wire.Version})); err != nil {
+		t.Fatal(err)
+	}
+	op, _, err := wire.ReadFrame(nc, wire.MaxFrameDefault)
+	if err != nil || op != wire.OpWelcome {
+		t.Fatalf("handshake: op=%#x err=%v", op, err)
+	}
+	if err := wire.WriteFrame(nc, 0x7F, nil); err != nil {
+		t.Fatal(err)
+	}
+	expectError(t, nc, wire.CodeProtocol)
+	// The server must then close the connection.
+	if _, _, err := wire.ReadFrame(nc, wire.MaxFrameDefault); err == nil {
+		t.Fatal("connection must be closed after a protocol error")
+	}
+}
+
+// TestOversizedResult checks a result bigger than the frame limit comes
+// back as a statement error, not a frame the client must reject, and
+// the session survives.
+func TestOversizedResult(t *testing.T) {
+	_, _, addr := startServer(t, Options{MaxFrame: 4096})
+	ctx := ctxT(t)
+	c := dial(t, addr)
+
+	big := make([]byte, 700)
+	for i := range big {
+		big[i] = 'x'
+	}
+	for i := 0; i < 10; i++ {
+		stmt := fmt.Sprintf(`INSERT INTO visits (id, who, place) VALUES (%d, '%s', 'Dam 1')`, i+1, big)
+		if _, err := c.Exec(ctx, stmt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := c.Query(ctx, `SELECT id, who FROM visits`)
+	var werr *client.Error
+	if !errors.As(err, &werr) || werr.Code != wire.CodeSQL {
+		t.Fatalf("want CodeSQL frame-limit error, got %v", err)
+	}
+	// Narrowing the query fits and the session still works.
+	rows, err := c.Query(ctx, `SELECT id, who FROM visits LIMIT 2`)
+	if err != nil || rows.Len() != 2 {
+		t.Fatalf("narrowed query: rows=%v err=%v", rows, err)
+	}
+}
+
+// TestMaxConns rejects sessions over the configured cap with a busy
+// error, and frees the slot when a session ends.
+func TestMaxConns(t *testing.T) {
+	_, _, addr := startServer(t, Options{MaxConns: 2})
+	ctx := ctxT(t)
+
+	c1 := dial(t, addr)
+	c2 := dial(t, addr)
+	_ = c2
+	_, err := client.Dial(ctx, addr)
+	var werr *client.Error
+	if !errors.As(err, &werr) || werr.Code != wire.CodeServerBusy {
+		t.Fatalf("want CodeServerBusy, got %v", err)
+	}
+
+	c1.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c4, err := client.Dial(ctx, addr)
+		if err == nil {
+			c4.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slot not released after close: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestContextCancellation interrupts an in-flight round trip.
+func TestContextCancellation(t *testing.T) {
+	_, _, addr := startServer(t, Options{})
+	c := dial(t, addr)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Exec(ctx, `SELECT id FROM visits`); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestGracefulClose drains sessions and leaves the DB consistent.
+func TestGracefulClose(t *testing.T) {
+	clock := vclock.NewSimulated(vclock.Epoch)
+	db, err := engine.Open(engine.Config{Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.ExecScript(paperSchema); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(db, Options{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	ctx := ctxT(t)
+	c, err := client.Dial(ctx, ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Begin(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec(ctx, `INSERT INTO visits (id, who, place) VALUES (1, 'x', 'Dam 1')`); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("serve returned %v after graceful close", err)
+	}
+	// The orphaned transaction was rolled back during the drain.
+	res, err := db.Exec(`INSERT INTO visits (id, who, place) VALUES (1, 'y', 'Dam 1')`)
+	if err != nil || res.RowsAffected != 1 {
+		t.Fatalf("post-shutdown insert: res=%+v err=%v", res, err)
+	}
+	// And new connections are refused.
+	if _, err := client.Dial(ctx, ln.Addr().String()); err == nil {
+		t.Fatal("dial must fail after Close")
+	}
+}

@@ -107,6 +107,21 @@ func (ts *TableStore) InsertWithID(id TupleID, row []value.Value, states []uint8
 	return nil
 }
 
+// CheckRecordSize reports whether a tuple would fit a page, without
+// encoding it. The engine calls it at statement time so an oversized
+// row is refused as a plain SQL error before its redo record reaches
+// the durable log — a record appended to the WAL must never fail to
+// apply (or to replay during recovery).
+func CheckRecordSize(states []uint8, row []value.Value) error {
+	// Record layout (encodeRecord): id u64 | insertNano i64 | nDeg u8 |
+	// states | EncodeRow(row).
+	n := 16 + 1 + len(states) + value.RowEncodedSize(row)
+	if n > MaxRecordSize {
+		return fmt.Errorf("%w: %d bytes (max %d)", ErrRecordTooLarge, n, MaxRecordSize)
+	}
+	return nil
+}
+
 func (ts *TableStore) insertLocked(id TupleID, row []value.Value, states []uint8, at time.Time) error {
 	if len(row) != len(ts.tbl.Columns) {
 		return fmt.Errorf("storage: %s: row has %d columns, want %d", ts.tbl.Name, len(row), len(ts.tbl.Columns))

@@ -73,6 +73,39 @@ func Decode(src []byte) (Value, int, error) {
 	}
 }
 
+// EncodedSize returns len(Encode(nil, v)) without building the buffer.
+func EncodedSize(v Value) int {
+	switch v.kind {
+	case KindInt, KindTime, KindFloat:
+		return 9
+	case KindBool:
+		return 2
+	case KindText:
+		return 1 + uvarintLen(uint64(len(v.s))) + len(v.s)
+	default: // KindNull
+		return 1
+	}
+}
+
+// RowEncodedSize returns len(EncodeRow(nil, row)) without building the
+// buffer, so callers can size-check rows cheaply.
+func RowEncodedSize(row []Value) int {
+	n := uvarintLen(uint64(len(row)))
+	for _, v := range row {
+		n += EncodedSize(v)
+	}
+	return n
+}
+
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
 // EncodeRow appends the encoding of a row (a value sequence, prefixed by
 // its length) to dst.
 func EncodeRow(dst []byte, row []Value) []byte {
@@ -91,6 +124,12 @@ func DecodeRow(src []byte) ([]Value, int, error) {
 	n, sz := binary.Uvarint(src)
 	if sz <= 0 {
 		return nil, 0, fmt.Errorf("value: bad row length")
+	}
+	// Every encoded value needs at least one byte; a count beyond the
+	// remaining input is corrupt, and checking before make() keeps a
+	// hostile count from forcing a huge allocation.
+	if n > uint64(len(src)-sz) {
+		return nil, 0, fmt.Errorf("value: row claims %d fields in %d bytes", n, len(src)-sz)
 	}
 	off := sz
 	row := make([]Value, 0, n)

@@ -2,6 +2,7 @@ package value
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math"
 	"testing"
 	"testing/quick"
@@ -306,5 +307,31 @@ func TestOrderedKeyTimeOrder(t *testing.T) {
 	t2 := Time(time.Unix(200, 0))
 	if bytes.Compare(AppendOrderedKey(nil, t1), AppendOrderedKey(nil, t2)) != -1 {
 		t.Fatal("time keys out of order")
+	}
+}
+
+func TestEncodedSizeMatchesEncode(t *testing.T) {
+	vals := []Value{
+		Null(), Int(0), Int(-1), Int(1 << 40), Float(3.14), Bool(true),
+		Time(time.Unix(0, 0).UTC()), Text(""), Text("x"), Text(string(make([]byte, 200))),
+		Text(string(make([]byte, 40000))),
+	}
+	for _, v := range vals {
+		if got, want := EncodedSize(v), len(Encode(nil, v)); got != want {
+			t.Errorf("EncodedSize(%v) = %d, encoded length %d", v, got, want)
+		}
+	}
+	if got, want := RowEncodedSize(vals), len(EncodeRow(nil, vals)); got != want {
+		t.Errorf("RowEncodedSize = %d, encoded length %d", got, want)
+	}
+}
+
+func TestDecodeRowHostileCount(t *testing.T) {
+	// A row claiming 2^60 fields in a 3-byte payload must error, not
+	// attempt the allocation.
+	enc := binary.AppendUvarint(nil, 1<<60)
+	enc = append(enc, byte(KindNull), byte(KindNull))
+	if _, _, err := DecodeRow(enc); err == nil {
+		t.Fatal("want error for hostile field count")
 	}
 }

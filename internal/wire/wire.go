@@ -1,0 +1,329 @@
+// Package wire defines the length-prefixed binary protocol spoken
+// between the InstantDB network server (internal/server) and the Go
+// client (client). Every frame is
+//
+//	uint32 big-endian length | 1 byte opcode | payload
+//
+// where length counts the opcode byte plus the payload. The first frame
+// on a connection must be a Hello carrying the protocol magic, version,
+// and the session purpose; the server answers Welcome or Error and the
+// connection then alternates request/response frames. Typed result rows
+// reuse the storage codec of internal/value, so a remote client decodes
+// exactly the values an embedded engine.Conn would observe.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"instantdb/internal/value"
+)
+
+// Magic opens every Hello payload; it doubles as a fast reject of
+// clients speaking the wrong protocol (e.g. HTTP).
+const Magic uint32 = 0x49444201 // "IDB\x01"
+
+// Version is the protocol version this package implements. The server
+// refuses handshakes with a different major version.
+const Version uint16 = 1
+
+// MaxFrameDefault bounds frame payloads unless overridden: large enough
+// for sizeable result sets, small enough that a hostile length prefix
+// cannot balloon server memory.
+const MaxFrameDefault = 4 << 20
+
+// Request opcodes (client → server).
+const (
+	// OpHello is the handshake frame (EncodeHello payload).
+	OpHello byte = 0x01
+	// OpExec executes one SQL statement; the payload is the statement
+	// text. The response is OpResult.
+	OpExec byte = 0x02
+	// OpQuery is OpExec with the declared intent of reading rows; the
+	// server answers OpResult with a (possibly empty) row block.
+	OpQuery byte = 0x03
+	// OpSetPurpose switches the session purpose; payload is the name.
+	OpSetPurpose byte = 0x04
+	// OpBegin/OpCommit/OpRollback control the session transaction.
+	OpBegin    byte = 0x05
+	OpCommit   byte = 0x06
+	OpRollback byte = 0x07
+	// OpPing is a liveness probe; the server answers OpPong.
+	OpPing byte = 0x08
+)
+
+// Response opcodes (server → client).
+const (
+	// OpWelcome acknowledges the handshake; payload is the server's
+	// protocol version (uint16).
+	OpWelcome byte = 0x80
+	// OpError reports a failure (EncodeError payload).
+	OpError byte = 0x81
+	// OpResult carries a statement outcome (EncodeResult payload).
+	OpResult byte = 0x82
+	// OpPong answers OpPing.
+	OpPong byte = 0x88
+)
+
+// Error codes carried by OpError frames.
+const (
+	// CodeSQL is a statement-level failure (parse error, purpose denial,
+	// duplicate key, lock timeout, ...). The connection stays usable.
+	CodeSQL uint16 = 1
+	// CodeProtocol is a framing violation (bad magic, bad version,
+	// unknown opcode, truncated payload). The server closes the
+	// connection after sending it.
+	CodeProtocol uint16 = 2
+	// CodeUnknownPurpose rejects a handshake or SET PURPOSE naming an
+	// undeclared purpose.
+	CodeUnknownPurpose uint16 = 3
+	// CodeFrameTooLarge rejects a frame whose length prefix exceeds the
+	// negotiated maximum. Fatal.
+	CodeFrameTooLarge uint16 = 4
+	// CodeServerBusy rejects a connection over the server's -max-conns
+	// limit.
+	CodeServerBusy uint16 = 5
+	// CodeShutdown reports that the server is draining connections.
+	CodeShutdown uint16 = 6
+)
+
+// ErrFrameTooLarge is returned by ReadFrame when the length prefix
+// exceeds the caller's limit.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+
+// WriteFrame writes one frame as a single Write call, so concurrent
+// writers on distinct frames never interleave bytes.
+func WriteFrame(w io.Writer, op byte, payload []byte) error {
+	buf := make([]byte, 4+1+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(1+len(payload)))
+	buf[4] = op
+	copy(buf[5:], payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one frame, enforcing the size limit before allocating.
+func ReadFrame(r io.Reader, maxPayload int) (op byte, payload []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return 0, nil, fmt.Errorf("wire: empty frame")
+	}
+	if int64(n) > int64(maxPayload)+1 {
+		return 0, nil, fmt.Errorf("%w: %d bytes (limit %d)", ErrFrameTooLarge, n-1, maxPayload)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, fmt.Errorf("wire: short frame: %w", err)
+	}
+	return buf[0], buf[1:], nil
+}
+
+// Hello is the handshake payload.
+type Hello struct {
+	Version uint16
+	// Purpose is the initial session purpose ("" keeps the server's
+	// default full-accuracy purpose).
+	Purpose string
+	// Coarse enables the paper's §IV best-effort projection semantics
+	// for the session.
+	Coarse bool
+}
+
+// EncodeHello serializes a handshake payload.
+func EncodeHello(h Hello) []byte {
+	var b []byte
+	b = binary.BigEndian.AppendUint32(b, Magic)
+	b = binary.BigEndian.AppendUint16(b, h.Version)
+	var flags byte
+	if h.Coarse {
+		flags |= 1
+	}
+	b = append(b, flags)
+	return appendString(b, h.Purpose)
+}
+
+// DecodeHello parses a handshake payload, validating the magic.
+func DecodeHello(p []byte) (Hello, error) {
+	if len(p) < 7 {
+		return Hello{}, fmt.Errorf("wire: short hello (%d bytes)", len(p))
+	}
+	if m := binary.BigEndian.Uint32(p); m != Magic {
+		return Hello{}, fmt.Errorf("wire: bad magic 0x%08x", m)
+	}
+	h := Hello{Version: binary.BigEndian.Uint16(p[4:]), Coarse: p[6]&1 != 0}
+	purpose, _, err := readString(p[7:])
+	if err != nil {
+		return Hello{}, fmt.Errorf("wire: hello purpose: %w", err)
+	}
+	h.Purpose = purpose
+	return h, nil
+}
+
+// EncodeWelcome serializes the handshake acknowledgement.
+func EncodeWelcome() []byte {
+	return binary.BigEndian.AppendUint16(nil, Version)
+}
+
+// DecodeWelcome parses the handshake acknowledgement.
+func DecodeWelcome(p []byte) (version uint16, err error) {
+	if len(p) < 2 {
+		return 0, fmt.Errorf("wire: short welcome")
+	}
+	return binary.BigEndian.Uint16(p), nil
+}
+
+// Error is a wire-level failure report.
+type Error struct {
+	Code uint16
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return e.Msg }
+
+// Fatal reports whether the server closes the connection after this
+// error.
+func (e *Error) Fatal() bool {
+	return e.Code == CodeProtocol || e.Code == CodeFrameTooLarge ||
+		e.Code == CodeServerBusy || e.Code == CodeShutdown
+}
+
+// EncodeError serializes an OpError payload.
+func EncodeError(code uint16, msg string) []byte {
+	b := binary.BigEndian.AppendUint16(nil, code)
+	return appendString(b, msg)
+}
+
+// DecodeError parses an OpError payload.
+func DecodeError(p []byte) (*Error, error) {
+	if len(p) < 2 {
+		return nil, fmt.Errorf("wire: short error frame")
+	}
+	msg, _, err := readString(p[2:])
+	if err != nil {
+		return nil, fmt.Errorf("wire: error message: %w", err)
+	}
+	return &Error{Code: binary.BigEndian.Uint16(p), Msg: msg}, nil
+}
+
+// Rows is a materialized query result crossing the wire.
+type Rows struct {
+	Columns []string
+	Data    [][]value.Value
+}
+
+// Result is a statement outcome crossing the wire.
+type Result struct {
+	RowsAffected uint64
+	LastInsertID uint64
+	// Rows is non-nil for SELECT.
+	Rows *Rows
+}
+
+// EncodeResult serializes an OpResult payload: two uvarints, a has-rows
+// flag, then (column names, row count, EncodeRow-encoded rows).
+func EncodeResult(r *Result) []byte {
+	b := binary.AppendUvarint(nil, r.RowsAffected)
+	b = binary.AppendUvarint(b, r.LastInsertID)
+	if r.Rows == nil {
+		return append(b, 0)
+	}
+	b = append(b, 1)
+	b = binary.AppendUvarint(b, uint64(len(r.Rows.Columns)))
+	for _, c := range r.Rows.Columns {
+		b = appendString(b, c)
+	}
+	b = binary.AppendUvarint(b, uint64(len(r.Rows.Data)))
+	for _, row := range r.Rows.Data {
+		b = value.EncodeRow(b, row)
+	}
+	return b
+}
+
+// DecodeResult parses an OpResult payload.
+func DecodeResult(p []byte) (*Result, error) {
+	r := &Result{}
+	affected, n := binary.Uvarint(p)
+	if n <= 0 {
+		return nil, fmt.Errorf("wire: result rows-affected")
+	}
+	p = p[n:]
+	last, n := binary.Uvarint(p)
+	if n <= 0 {
+		return nil, fmt.Errorf("wire: result last-insert-id")
+	}
+	p = p[n:]
+	r.RowsAffected, r.LastInsertID = affected, last
+	if len(p) < 1 {
+		return nil, fmt.Errorf("wire: result missing rows flag")
+	}
+	hasRows := p[0] == 1
+	p = p[1:]
+	if !hasRows {
+		return r, nil
+	}
+	ncols, n := binary.Uvarint(p)
+	if n <= 0 {
+		return nil, fmt.Errorf("wire: result column count")
+	}
+	p = p[n:]
+	// Every encoded column needs at least one byte, so a count beyond the
+	// remaining payload is corrupt; checking before make() keeps a hostile
+	// count from forcing a huge allocation.
+	if ncols > uint64(len(p)) {
+		return nil, fmt.Errorf("wire: result claims %d columns in %d bytes", ncols, len(p))
+	}
+	rows := &Rows{Columns: make([]string, 0, ncols)}
+	for i := uint64(0); i < ncols; i++ {
+		name, used, err := readString(p)
+		if err != nil {
+			return nil, fmt.Errorf("wire: result column %d: %w", i, err)
+		}
+		rows.Columns = append(rows.Columns, name)
+		p = p[used:]
+	}
+	nrows, n := binary.Uvarint(p)
+	if n <= 0 {
+		return nil, fmt.Errorf("wire: result row count")
+	}
+	p = p[n:]
+	if nrows > uint64(len(p)) {
+		return nil, fmt.Errorf("wire: result claims %d rows in %d bytes", nrows, len(p))
+	}
+	rows.Data = make([][]value.Value, 0, nrows)
+	for i := uint64(0); i < nrows; i++ {
+		row, used, err := value.DecodeRow(p)
+		if err != nil {
+			return nil, fmt.Errorf("wire: result row %d: %w", i, err)
+		}
+		rows.Data = append(rows.Data, row)
+		p = p[used:]
+	}
+	r.Rows = rows
+	return r, nil
+}
+
+// appendString appends a uvarint-length-prefixed string.
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// readString reads a uvarint-length-prefixed string, returning the bytes
+// consumed.
+func readString(p []byte) (s string, used int, err error) {
+	n, sz := binary.Uvarint(p)
+	if sz <= 0 {
+		return "", 0, fmt.Errorf("bad string length")
+	}
+	if uint64(len(p)-sz) < n {
+		return "", 0, fmt.Errorf("short string (want %d have %d)", n, len(p)-sz)
+	}
+	return string(p[sz : sz+int(n)]), sz + int(n), nil
+}
