@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet serve clean
+.PHONY: build test race vet fuzz bench serve clean
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,12 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+fuzz:
+	$(GO) test ./internal/query -run '^$$' -fuzz FuzzParse -fuzztime 30s
+
+bench:
+	$(GO) test ./... -run '^$$' -bench . -benchmem
 
 serve:
 	$(GO) run ./cmd/instantdb-server -dir demo.db -listen :7654

@@ -6,12 +6,17 @@
 package instantdb_test
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"net"
 	"testing"
 	"time"
 
+	"instantdb"
+	"instantdb/client"
 	"instantdb/internal/experiments"
+	"instantdb/internal/server"
 )
 
 // --- experiment harness benches (F/E/B series) ---
@@ -191,6 +196,205 @@ func BenchmarkPointQueryScan(b *testing.B)   { benchPointQuery(b, "") }
 func BenchmarkPointQueryBTree(b *testing.B)  { benchPointQuery(b, "BTREE") }
 func BenchmarkPointQueryBitmap(b *testing.B) { benchPointQuery(b, "BITMAP") }
 func BenchmarkPointQueryGT(b *testing.B)     { benchPointQuery(b, "GT") }
+
+// --- prepared-vs-text benchmarks ---
+//
+// The pairs below measure the parse-amortization win of the prepared-
+// statement API: the Text variant re-lexes, re-parses and re-binds the
+// SQL on every call, the Prepared variant parses once and binds typed
+// arguments per call. The Net variants run the same workload through
+// the TCP server and Go client, where prepared execution additionally
+// skips re-sending and re-parsing the statement text.
+
+// benchOpen opens an ephemeral database with a plain table, so the
+// pairs measure statement overhead rather than degradation machinery.
+func benchOpen(b *testing.B) *instantdb.DB {
+	b.Helper()
+	db, err := instantdb.Open(instantdb.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	db.MustExec("CREATE TABLE kv (id INT PRIMARY KEY, who TEXT NOT NULL, score INT)")
+	return db
+}
+
+// benchServe serves an equally shaped database over loopback TCP.
+func benchServe(b *testing.B) string {
+	b.Helper()
+	db := benchOpen(b)
+	srv := server.New(db, server.Options{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	b.Cleanup(func() {
+		srv.Close()
+		<-done
+	})
+	return ln.Addr().String()
+}
+
+const benchSelectSQL = "SELECT who, score FROM kv WHERE id = "
+
+func benchFill(b *testing.B, exec func(id int) error) {
+	b.Helper()
+	for i := 0; i < 1000; i++ {
+		if err := exec(i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInsertTextLocal(b *testing.B) {
+	conn := benchOpen(b).NewConn()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := conn.Exec(fmt.Sprintf(
+			"INSERT INTO kv (id, who, score) VALUES (%d, 'writer-%d', %d)", i, i%8, i%100)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInsertPreparedLocal(b *testing.B) {
+	conn := benchOpen(b).NewConn()
+	st, err := conn.Prepare("INSERT INTO kv (id, who, score) VALUES (?, ?, ?)")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Exec(instantdb.Int(int64(i)),
+			instantdb.Text(fmt.Sprintf("writer-%d", i%8)), instantdb.Int(int64(i%100))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelectTextLocal(b *testing.B) {
+	conn := benchOpen(b).NewConn()
+	benchFill(b, func(id int) error {
+		_, err := conn.Exec("INSERT INTO kv (id, who, score) VALUES (?, 'w', 1)", instantdb.Int(int64(id)))
+		return err
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := conn.Exec(fmt.Sprintf("%s%d", benchSelectSQL, i%1000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelectPreparedLocal(b *testing.B) {
+	conn := benchOpen(b).NewConn()
+	benchFill(b, func(id int) error {
+		_, err := conn.Exec("INSERT INTO kv (id, who, score) VALUES (?, 'w', 1)", instantdb.Int(int64(id)))
+		return err
+	})
+	st, err := conn.Prepare("SELECT who, score FROM kv WHERE id = ?")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Query(instantdb.Int(int64(i % 1000))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInsertTextNet(b *testing.B) {
+	addr := benchServe(b)
+	ctx := context.Background()
+	c, err := client.Dial(ctx, addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Exec(ctx, fmt.Sprintf(
+			"INSERT INTO kv (id, who, score) VALUES (%d, 'writer-%d', %d)", i, i%8, i%100)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInsertPreparedNet(b *testing.B) {
+	addr := benchServe(b)
+	ctx := context.Background()
+	c, err := client.Dial(ctx, addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	st, err := c.Prepare(ctx, "INSERT INTO kv (id, who, score) VALUES (?, ?, ?)")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Exec(ctx, instantdb.Int(int64(i)),
+			instantdb.Text(fmt.Sprintf("writer-%d", i%8)), instantdb.Int(int64(i%100))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelectTextNet(b *testing.B) {
+	addr := benchServe(b)
+	ctx := context.Background()
+	c, err := client.Dial(ctx, addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	benchFill(b, func(id int) error {
+		_, err := c.Exec(ctx, "INSERT INTO kv (id, who, score) VALUES (?, 'w', 1)", instantdb.Int(int64(id)))
+		return err
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Query(ctx, fmt.Sprintf("%s%d", benchSelectSQL, i%1000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelectPreparedNet(b *testing.B) {
+	addr := benchServe(b)
+	ctx := context.Background()
+	c, err := client.Dial(ctx, addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	benchFill(b, func(id int) error {
+		_, err := c.Exec(ctx, "INSERT INTO kv (id, who, score) VALUES (?, 'w', 1)", instantdb.Int(int64(id)))
+		return err
+	})
+	st, err := c.Prepare(ctx, "SELECT who, score FROM kv WHERE id = ?")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Query(ctx, instantdb.Int(int64(i%1000))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // BenchmarkAggregateQuery measures the OLAP sweep (GROUP BY location at
 // country accuracy) on a GT-indexed table.

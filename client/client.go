@@ -34,6 +34,30 @@ type Error = wire.Error
 // ErrClosed marks use of a closed client connection.
 var ErrClosed = errors.New("client: connection closed")
 
+// Sentinel errors for server-reported failure conditions. Every
+// server-reported error carries a wire code, and errors.Is matches it
+// against the corresponding sentinel, so callers branch on conditions
+// instead of string-matching messages:
+//
+//	if errors.Is(err, client.ErrServerBusy) { backoff() }
+var (
+	// ErrUnknownPurpose: the handshake or SET PURPOSE named a purpose
+	// the server has not declared.
+	ErrUnknownPurpose = wire.ErrUnknownPurpose
+	// ErrServerBusy: the server's connection limit is reached (fatal).
+	ErrServerBusy = wire.ErrServerBusy
+	// ErrShuttingDown: the server is draining connections (fatal).
+	ErrShuttingDown = wire.ErrShuttingDown
+	// ErrProtocol: a framing violation ended the session (fatal).
+	ErrProtocol = wire.ErrProtocol
+	// ErrFrameTooLarge: a frame exceeded the size limit — reported by
+	// the server (fatal) or hit locally while reading a response.
+	ErrFrameTooLarge = wire.ErrFrameTooLarge
+	// ErrUnknownStmt: the executed statement id was closed or evicted
+	// from the server's per-session registry; re-prepare and retry.
+	ErrUnknownStmt = wire.ErrUnknownStmt
+)
+
 // Rows is a materialized query result.
 type Rows struct {
 	Columns []string
@@ -120,6 +144,14 @@ func Dial(ctx context.Context, addr string, opts ...Option) (*Conn, error) {
 	return c, nil
 }
 
+// Closed reports whether the session is unusable — explicitly closed,
+// or poisoned by a fatal transport or protocol failure.
+func (c *Conn) Closed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
 // Close ends the session. The server rolls back any open transaction.
 func (c *Conn) Close() error {
 	c.mu.Lock()
@@ -131,15 +163,29 @@ func (c *Conn) Close() error {
 	return c.nc.Close()
 }
 
-// Exec runs one SQL statement and returns its result.
-func (c *Conn) Exec(ctx context.Context, sql string) (*Result, error) {
-	return c.request(ctx, wire.OpExec, []byte(sql))
+// Exec runs one SQL statement and returns its result. Args bind to `?`
+// placeholders server-side in a single round trip (parse, bind,
+// execute); values never pass through SQL text, so string arguments
+// need no quoting and cannot inject. For statements executed
+// repeatedly, Prepare amortizes the parse as well.
+func (c *Conn) Exec(ctx context.Context, sql string, args ...value.Value) (*Result, error) {
+	if len(args) == 0 {
+		return c.request(ctx, wire.OpExec, []byte(sql))
+	}
+	return c.request(ctx, wire.OpExecArgs, wire.EncodeExecArgs(sql, args))
 }
 
 // Query runs one SQL statement and returns its rows (empty, never nil,
-// for statements that produce none).
-func (c *Conn) Query(ctx context.Context, sql string) (*Rows, error) {
-	res, err := c.request(ctx, wire.OpQuery, []byte(sql))
+// for statements that produce none). Args bind to `?` placeholders as
+// in Exec.
+func (c *Conn) Query(ctx context.Context, sql string, args ...value.Value) (*Rows, error) {
+	var res *Result
+	var err error
+	if len(args) == 0 {
+		res, err = c.request(ctx, wire.OpQuery, []byte(sql))
+	} else {
+		res, err = c.request(ctx, wire.OpExecArgs, wire.EncodeExecArgs(sql, args))
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -147,6 +193,66 @@ func (c *Conn) Query(ctx context.Context, sql string) (*Rows, error) {
 		return &Rows{}, nil
 	}
 	return res.Rows, nil
+}
+
+// Prepare parses sql into a server-side prepared statement and returns
+// its handle. The statement is parsed once on the server; each Exec
+// binds arguments to its `?` placeholders without re-sending or
+// re-parsing the SQL. Statements are per-session: the server caps how
+// many stay registered (least-recently-used eviction), and executing an
+// evicted handle fails with ErrUnknownStmt — re-prepare and retry.
+func (c *Conn) Prepare(ctx context.Context, sql string) (*Stmt, error) {
+	rop, rp, err := c.roundTripLocked(ctx, wire.OpPrepare, []byte(sql))
+	if err != nil {
+		return nil, err
+	}
+	if rop != wire.OpStmtReady {
+		return nil, fmt.Errorf("client: unexpected prepare reply opcode %#x", rop)
+	}
+	ready, err := wire.DecodeStmtReady(rp)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{c: c, id: ready.ID, numParams: ready.NumParams}, nil
+}
+
+// Stmt is a handle on a server-side prepared statement, bound to the
+// Conn that prepared it. Like the Conn, it serializes its requests
+// internally.
+type Stmt struct {
+	c         *Conn
+	id        uint64
+	numParams int
+}
+
+// NumParams returns the number of `?` placeholders in the statement.
+func (s *Stmt) NumParams() int { return s.numParams }
+
+// Exec executes the prepared statement with args bound to its
+// placeholders. The arity must match NumParams exactly.
+func (s *Stmt) Exec(ctx context.Context, args ...value.Value) (*Result, error) {
+	return s.c.request(ctx, wire.OpExecPrepared, wire.EncodeExecPrepared(s.id, args))
+}
+
+// Query is Exec for reads: it returns the result rows (empty, never
+// nil, for statements that produce none).
+func (s *Stmt) Query(ctx context.Context, args ...value.Value) (*Rows, error) {
+	res, err := s.Exec(ctx, args...)
+	if err != nil {
+		return nil, err
+	}
+	if res.Rows == nil {
+		return &Rows{}, nil
+	}
+	return res.Rows, nil
+}
+
+// Close discards the server-side statement. Closing an already-evicted
+// or re-closed statement is a no-op; closing over a dead connection
+// returns the transport error.
+func (s *Stmt) Close(ctx context.Context) error {
+	_, err := s.c.request(ctx, wire.OpCloseStmt, wire.EncodeCloseStmt(s.id))
+	return err
 }
 
 // SetPurpose switches the session purpose by name.
@@ -167,7 +273,9 @@ func (c *Conn) Commit(ctx context.Context) error {
 	return err
 }
 
-// Rollback aborts the open transaction.
+// Rollback aborts the open transaction. It is idempotent: rolling back
+// when no transaction is open — in particular after a statement failure
+// already aborted it server-side — succeeds.
 func (c *Conn) Rollback(ctx context.Context) error {
 	_, err := c.request(ctx, wire.OpRollback, nil)
 	return err

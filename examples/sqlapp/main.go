@@ -1,0 +1,122 @@
+// Command sqlapp shows InstantDB through the standard library: it
+// starts an in-process server on a loopback socket, then talks to it
+// exclusively with database/sql via the instantdb/sqldriver driver —
+// placeholder arguments, prepared statements, purpose-scoped pools and
+// transactions, exactly as any stock Go application would.
+package main
+
+import (
+	"database/sql"
+	"fmt"
+	"log"
+	"net"
+
+	"instantdb"
+	"instantdb/internal/server"
+	_ "instantdb/sqldriver"
+)
+
+func main() {
+	addr := startServer()
+
+	// One pool at full accuracy for collection...
+	db, err := sql.Open("instantdb", addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// ...inserting with `?` placeholders: values never pass through SQL
+	// text, so the quote in "o'hara" needs no escaping.
+	ins, err := db.Prepare(`INSERT INTO visits (id, who, place) VALUES (?, ?, ?)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	visits := []struct {
+		who, place string
+	}{
+		{"o'hara", "Dam 1"},
+		{"anciaux", "10 rue de Rivoli"},
+		{"bouganim", "Museumplein 6"},
+	}
+	for i, v := range visits {
+		if _, err := ins.Exec(i+1, v.who, v.place); err != nil {
+			log.Fatal(err)
+		}
+	}
+	ins.Close()
+
+	// Transactions map to the session transaction; this one changes its
+	// mind.
+	tx, err := db.Begin()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := tx.Exec(`DELETE FROM visits WHERE who = ?`, "o'hara"); err != nil {
+		log.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		log.Fatal(err)
+	}
+
+	// A second pool dialed in under the "stats" purpose: every
+	// connection sees country-level accuracy only.
+	stats, err := sql.Open("instantdb", addr+"?purpose=stats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stats.Close()
+
+	rows, err := stats.Query(`SELECT who, place FROM visits ORDER BY who`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rows.Close()
+	fmt.Println("visits at the stats purpose's accuracy:")
+	for rows.Next() {
+		var who, place string
+		if err := rows.Scan(&who, &place); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-10s %s\n", who, place)
+	}
+	if err := rows.Err(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// startServer opens an ephemeral database, installs the paper's running
+// example, and serves it on a loopback listener.
+func startServer() string {
+	db, err := instantdb.Open(instantdb.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := db.ExecScript(`
+CREATE DOMAIN location TREE LEVELS (address, city, region, country)
+  PATH ('Dam 1',            'Amsterdam', 'Noord-Holland', 'Netherlands')
+  PATH ('Museumplein 6',    'Amsterdam', 'Noord-Holland', 'Netherlands')
+  PATH ('10 rue de Rivoli', 'Paris',     'Ile-de-France', 'France');
+CREATE POLICY locpol ON location (
+  HOLD address FOR '15m',
+  HOLD city    FOR '1h',
+  HOLD region  FOR '1d',
+  HOLD country FOR '1mo'
+) THEN DELETE;
+CREATE TABLE visits (
+  id INT PRIMARY KEY,
+  who TEXT NOT NULL,
+  place TEXT DEGRADABLE DOMAIN location POLICY locpol
+);
+DECLARE PURPOSE stats SET ACCURACY LEVEL country FOR visits.place;
+`); err != nil {
+		log.Fatal(err)
+	}
+	srv := server.New(db, server.Options{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve(ln)
+	return ln.Addr().String()
+}

@@ -24,10 +24,23 @@
 //	_ = conn.SetPurpose("stats")
 //	res, err := conn.Exec(`SELECT place FROM visits`)
 //
+// Statements bind typed arguments to `?` placeholders — one-shot via
+// variadic Exec, or parsed once and re-executed via Prepare, the fast
+// path for repetitive workloads (values never pass through SQL text, so
+// no quoting and no injection):
+//
+//	_, err = conn.Exec(`INSERT INTO visits (id, place) VALUES (?, ?)`,
+//	    instantdb.Int(2), instantdb.Text("Coolsingel 40"))
+//	stmt, err := conn.Prepare(`SELECT place FROM visits WHERE id = ?`)
+//	...
+//	rows, err := stmt.Query(instantdb.Int(2))
+//
 // The database also runs as a network service: cmd/instantdb-server
 // serves it over TCP and the client package (instantdb/client) is the
 // matching pure-Go driver, giving every remote connection its own
-// purpose-scoped session.
+// purpose-scoped session with the same Exec/Prepare API. The sqldriver
+// package wraps that client as a database/sql driver, so standard Go
+// applications can `sql.Open("instantdb", "host:port?purpose=stats")`.
 //
 // See DESIGN.md for the architecture and EXPERIMENTS.md for the
 // reproduction of the paper's figures and claims.
@@ -52,6 +65,8 @@ type (
 	Config = engine.Config
 	// Conn is a session carrying a purpose and optional transaction.
 	Conn = engine.Conn
+	// Stmt is a prepared statement bound to a Conn (Conn.Prepare).
+	Stmt = engine.Stmt
 	// Result reports one statement's outcome.
 	Result = engine.Result
 	// Rows is a materialized query result.

@@ -476,8 +476,11 @@ func bucketSpan(dom gentree.Domain, stored value.Value, level int) (lo, hi value
 	}
 }
 
-// runSelect executes a SELECT under the session (or FOR PURPOSE) purpose.
-func (c *Conn) runSelect(s *query.Select) (*Result, error) {
+// runSelectRef executes a SELECT under the session (or FOR PURPOSE)
+// purpose, with an optionally precomputed referenced-column set (a
+// prepared statement's cached plan input; nil recomputes). Callers go
+// through Conn.execSelect, which owns the transaction-abort handling.
+func (c *Conn) runSelectRef(s *query.Select, referenced map[string]bool) (*Result, error) {
 	tbl, err := c.db.cat.Table(s.Table)
 	if err != nil {
 		return nil, err
@@ -489,7 +492,9 @@ func (c *Conn) runSelect(s *query.Select) (*Result, error) {
 			return nil, err
 		}
 	}
-	referenced := referencedColumns(tbl, s)
+	if referenced == nil {
+		referenced = referencedColumns(tbl, s)
+	}
 	for name := range referenced {
 		if _, err := tbl.ColumnIndex(name); err != nil {
 			return nil, err

@@ -26,6 +26,12 @@ var (
 	// ErrNoTransaction is returned by COMMIT/ROLLBACK outside a
 	// transaction.
 	ErrNoTransaction = errors.New("engine: no open transaction")
+	// ErrTxAborted is returned by statements issued after a failure
+	// aborted the open transaction, until ROLLBACK acknowledges it.
+	// Without this state, a statement issued after the abort would
+	// silently autocommit — durable writes inside a transaction the
+	// application believes it rolled back.
+	ErrTxAborted = errors.New("engine: transaction aborted by a prior failure; ROLLBACK to continue")
 )
 
 // Rows is a fully materialized query result.
@@ -80,6 +86,9 @@ type Conn struct {
 	purpose *catalog.Purpose
 	coarse  bool
 	tx      *openTxn
+	// aborted marks an explicit transaction torn down by a statement
+	// failure; the session refuses further statements until ROLLBACK.
+	aborted bool
 }
 
 // NewConn opens a session with the built-in full-accuracy purpose.
@@ -88,9 +97,10 @@ func (db *DB) NewConn() *Conn {
 }
 
 // Exec parses and executes one statement on a fresh session (autocommit,
-// full purpose). Convenience for tools and tests.
-func (db *DB) Exec(src string) (*Result, error) {
-	return db.NewConn().Exec(src)
+// full purpose), binding args to any `?` placeholders. Convenience for
+// tools and tests.
+func (db *DB) Exec(src string, args ...value.Value) (*Result, error) {
+	return db.NewConn().Exec(src, args...)
 }
 
 // ExecScript executes a semicolon-separated statement sequence on a
@@ -110,8 +120,8 @@ func (db *DB) ExecScript(src string) error {
 }
 
 // MustExec is Exec that panics on error (examples and fixtures).
-func (db *DB) MustExec(src string) *Result {
-	res, err := db.Exec(src)
+func (db *DB) MustExec(src string, args ...value.Value) *Result {
+	res, err := db.Exec(src, args...)
 	if err != nil {
 		panic(err)
 	}
@@ -137,21 +147,55 @@ func (c *Conn) Purpose() string { return c.purpose.Name }
 // actual level (best-effort projection).
 func (c *Conn) SetCoarse(on bool) { c.coarse = on }
 
-// Exec parses and executes one statement.
-func (c *Conn) Exec(src string) (*Result, error) {
-	st, err := query.Parse(src)
+// Exec parses and executes one statement, binding args to any `?`
+// placeholders (one-shot prepare-and-execute). A zero-arg call on a
+// placeholder-free statement is the classic text path; a statement that
+// does contain placeholders demands exactly matching arguments.
+func (c *Conn) Exec(src string, args ...value.Value) (*Result, error) {
+	st, nparams, err := query.ParseWithParams(src)
+	if err != nil {
+		return nil, err
+	}
+	st, err = query.BindKnown(st, args, nparams)
 	if err != nil {
 		return nil, err
 	}
 	return c.ExecParsed(st, src)
 }
 
+// Query is Exec for reads: it returns the result rows (empty, never
+// nil, for statements that produce none).
+func (c *Conn) Query(src string, args ...value.Value) (*Rows, error) {
+	res, err := c.Exec(src, args...)
+	if err != nil {
+		return nil, err
+	}
+	if res.Rows == nil {
+		return &Rows{}, nil
+	}
+	return res.Rows, nil
+}
+
 // ExecParsed executes an already parsed statement. src is used verbatim
 // for DDL persistence (may be empty to regenerate canonical DDL).
 func (c *Conn) ExecParsed(st query.Statement, src string) (*Result, error) {
+	if c.aborted {
+		switch st.(type) {
+		case *query.Rollback:
+			c.aborted = false
+			return &Result{}, nil
+		case *query.Commit:
+			// Nothing to commit; the error tells the application its
+			// transaction did not take, and the session is usable again.
+			c.aborted = false
+			return nil, ErrTxAborted
+		default:
+			return nil, ErrTxAborted
+		}
+	}
 	switch s := st.(type) {
 	case *query.Select:
-		return c.runSelect(s)
+		return c.execSelect(s, nil)
 	case *query.Insert:
 		return c.autocommit(func() (*Result, error) { return c.runInsert(s) })
 	case *query.Update:
@@ -191,6 +235,20 @@ func (c *Conn) ExecParsed(st query.Statement, src string) (*Result, error) {
 	}
 }
 
+// execSelect runs a SELECT, tearing down the explicit transaction on
+// failure exactly like a failed write (see autocommit): a failed read
+// may hold partial S locks, and the aborted invariant — no statement
+// runs after an in-transaction failure until ROLLBACK — must not have
+// a read-path hole.
+func (c *Conn) execSelect(s *query.Select, referenced map[string]bool) (*Result, error) {
+	res, err := c.runSelectRef(s, referenced)
+	if err != nil && c.tx != nil {
+		c.rollbackTx()
+		c.aborted = true
+	}
+	return res, err
+}
+
 // begin opens an explicit transaction.
 func (c *Conn) begin() {
 	c.tx = &openTxn{id: c.db.ids.Next(), overlays: make(map[uint32]*tableOverlay)}
@@ -203,8 +261,11 @@ func (c *Conn) autocommit(fn func() (*Result, error)) (*Result, error) {
 		res, err := fn()
 		if err != nil {
 			// Statement failure aborts the whole transaction: strict
-			// and predictable under 2PL lock timeouts.
+			// and predictable under 2PL lock timeouts. The session then
+			// refuses statements until ROLLBACK, so nothing can slip
+			// into autocommit behind the application's back.
 			c.rollbackTx()
+			c.aborted = true
 			return nil, err
 		}
 		return res, nil
@@ -295,11 +356,16 @@ func (c *Conn) runInsert(s *query.Insert) (*Result, error) {
 			order = append(order, i)
 		}
 	} else {
+		seen := make(map[int]bool, len(s.Columns))
 		for _, name := range s.Columns {
 			ci, err := tbl.ColumnIndex(name)
 			if err != nil {
 				return nil, err
 			}
+			if seen[ci] {
+				return nil, fmt.Errorf("engine: column %s.%s assigned twice in INSERT column list", tbl.Name, tbl.Columns[ci].Name)
+			}
+			seen[ci] = true
 			order = append(order, ci)
 		}
 	}
@@ -313,7 +379,6 @@ func (c *Conn) runInsert(s *query.Insert) (*Result, error) {
 			return nil, fmt.Errorf("engine: insert has %d values for %d columns", len(exprRow), len(order))
 		}
 		row := make([]value.Value, len(tbl.Columns))
-		assigned := make([]bool, len(tbl.Columns))
 		for i, e := range exprRow {
 			v, err := query.EvalValue(e, func(*query.ColumnRef) (value.Value, error) {
 				return value.Null(), errors.New("engine: column reference in VALUES")
@@ -322,7 +387,6 @@ func (c *Conn) runInsert(s *query.Insert) (*Result, error) {
 				return nil, err
 			}
 			row[order[i]] = v
-			assigned[order[i]] = true
 		}
 		// Validate and resolve.
 		states := make([]uint8, len(tbl.DegradableColumns()))
@@ -362,7 +426,6 @@ func (c *Conn) runInsert(s *query.Insert) (*Result, error) {
 			}
 			stable[ci] = v
 		}
-		_ = assigned
 		tid := ts.ReserveID()
 		// Refuse oversized rows here, before their redo record can reach
 		// the WAL: a durably appended record must never fail to apply or

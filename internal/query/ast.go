@@ -23,6 +23,12 @@ type ColumnRef struct {
 // Literal is a constant value.
 type Literal struct{ Val value.Value }
 
+// Placeholder is a `?` parameter slot. Index is the 0-based position in
+// the statement's argument list, assigned left to right by the parser.
+// Bind replaces placeholders with literals before execution; evaluating
+// an unbound placeholder is an error.
+type Placeholder struct{ Index int }
+
 // Compare is a binary comparison: = != < <= > >= LIKE.
 type Compare struct {
 	Op    string // "=", "!=", "<", "<=", ">", ">=", "LIKE"
@@ -58,8 +64,9 @@ type IsNull struct {
 	Negate bool
 }
 
-func (*ColumnRef) expr() {}
-func (*Literal) expr()   {}
+func (*ColumnRef) expr()   {}
+func (*Literal) expr()     {}
+func (*Placeholder) expr() {}
 func (*Compare) expr()   {}
 func (*Logical) expr()   {}
 func (*Not) expr()       {}

@@ -1,0 +1,202 @@
+package query
+
+import (
+	"fmt"
+
+	"instantdb/internal/value"
+)
+
+// This file implements parameter binding for prepared statements: a
+// parsed statement containing `?` placeholders is combined with a typed
+// argument list into an executable statement. Binding never mutates the
+// input AST — prepared statements are reused across executions — and
+// shares every placeholder-free subtree with the original, so repeated
+// binds allocate only along the paths that actually carry parameters.
+
+// NumPlaceholders returns the number of `?` parameters in a statement.
+// Placeholders can appear wherever the grammar accepts an operand:
+// WHERE comparisons, IN lists, BETWEEN bounds, INSERT VALUES rows and
+// UPDATE SET values. DDL and session-control statements take none.
+func NumPlaceholders(st Statement) int {
+	switch s := st.(type) {
+	case *Select:
+		return countExpr(s.Where)
+	case *Insert:
+		n := 0
+		for _, row := range s.Rows {
+			for _, e := range row {
+				n += countExpr(e)
+			}
+		}
+		return n
+	case *Update:
+		n := countExpr(s.Where)
+		for _, set := range s.Sets {
+			n += countExpr(set.Val)
+		}
+		return n
+	case *Delete:
+		return countExpr(s.Where)
+	default:
+		return 0
+	}
+}
+
+func countExpr(e Expr) int {
+	switch ex := e.(type) {
+	case nil:
+		return 0
+	case *Placeholder:
+		return 1
+	case *Compare:
+		return countExpr(ex.Left) + countExpr(ex.Right)
+	case *Logical:
+		return countExpr(ex.Left) + countExpr(ex.Right)
+	case *Not:
+		return countExpr(ex.Inner)
+	case *InList:
+		n := countExpr(ex.Left)
+		for _, v := range ex.Vals {
+			n += countExpr(v)
+		}
+		return n
+	case *Between:
+		return countExpr(ex.Left) + countExpr(ex.Lo) + countExpr(ex.Hi)
+	case *IsNull:
+		return countExpr(ex.Left)
+	default:
+		return 0
+	}
+}
+
+// Bind substitutes args for the statement's placeholders, in placeholder
+// order, and returns the executable statement. The arity must match
+// exactly; argument kinds are validated as storable scalars here and
+// against column types by the engine, exactly as literals are. A
+// statement without placeholders binds to itself (zero-copy), so the
+// text path and the prepared path execute identical ASTs.
+func Bind(st Statement, args []value.Value) (Statement, error) {
+	return BindKnown(st, args, NumPlaceholders(st))
+}
+
+// BindKnown is Bind for callers that already hold the statement's
+// placeholder count (a prepared statement's cached NumParams), skipping
+// the counting walk on the re-execution hot path.
+func BindKnown(st Statement, args []value.Value, n int) (Statement, error) {
+	if n != len(args) {
+		return nil, fmt.Errorf("query: statement has %d placeholders, got %d arguments", n, len(args))
+	}
+	if n == 0 {
+		return st, nil
+	}
+	for i, a := range args {
+		if a.Kind() > value.KindTime {
+			return nil, fmt.Errorf("query: argument %d has unknown kind %d", i, a.Kind())
+		}
+	}
+	switch s := st.(type) {
+	case *Select:
+		cp := *s
+		cp.Where, _ = rewriteExpr(s.Where, args)
+		return &cp, nil
+	case *Insert:
+		cp := *s
+		cp.Rows = make([][]Expr, len(s.Rows))
+		for i, row := range s.Rows {
+			nr := make([]Expr, len(row))
+			for j, e := range row {
+				nr[j], _ = rewriteExpr(e, args)
+			}
+			cp.Rows[i] = nr
+		}
+		return &cp, nil
+	case *Update:
+		cp := *s
+		cp.Sets = make([]struct {
+			Column string
+			Val    Expr
+		}, len(s.Sets))
+		for i, set := range s.Sets {
+			set.Val, _ = rewriteExpr(set.Val, args)
+			cp.Sets[i] = set
+		}
+		cp.Where, _ = rewriteExpr(s.Where, args)
+		return &cp, nil
+	case *Delete:
+		cp := *s
+		cp.Where, _ = rewriteExpr(s.Where, args)
+		return &cp, nil
+	default:
+		// Unreachable: NumPlaceholders is 0 for every other statement,
+		// so a non-zero arity already failed above.
+		return nil, fmt.Errorf("query: statement takes no parameters")
+	}
+}
+
+// rewriteExpr replaces placeholders with argument literals, returning
+// the original node unchanged (changed=false) when the subtree holds no
+// placeholder.
+func rewriteExpr(e Expr, args []value.Value) (Expr, bool) {
+	switch ex := e.(type) {
+	case nil:
+		return nil, false
+	case *Placeholder:
+		return &Literal{Val: args[ex.Index]}, true
+	case *Compare:
+		l, cl := rewriteExpr(ex.Left, args)
+		r, cr := rewriteExpr(ex.Right, args)
+		if !cl && !cr {
+			return ex, false
+		}
+		return &Compare{Op: ex.Op, Left: l, Right: r}, true
+	case *Logical:
+		l, cl := rewriteExpr(ex.Left, args)
+		r, cr := rewriteExpr(ex.Right, args)
+		if !cl && !cr {
+			return ex, false
+		}
+		return &Logical{Op: ex.Op, Left: l, Right: r}, true
+	case *Not:
+		in, c := rewriteExpr(ex.Inner, args)
+		if !c {
+			return ex, false
+		}
+		return &Not{Inner: in}, true
+	case *InList:
+		l, changedLeft := rewriteExpr(ex.Left, args)
+		var vals []Expr // lazily copied from ex.Vals on first change
+		for i, v := range ex.Vals {
+			nv, c := rewriteExpr(v, args)
+			if !c {
+				continue
+			}
+			if vals == nil {
+				vals = append([]Expr(nil), ex.Vals...)
+			}
+			vals[i] = nv
+		}
+		if !changedLeft && vals == nil {
+			return ex, false
+		}
+		if vals == nil {
+			vals = ex.Vals
+		}
+		return &InList{Left: l, Vals: vals}, true
+	case *Between:
+		l, cl := rewriteExpr(ex.Left, args)
+		lo, co := rewriteExpr(ex.Lo, args)
+		hi, ch := rewriteExpr(ex.Hi, args)
+		if !cl && !co && !ch {
+			return ex, false
+		}
+		return &Between{Left: l, Lo: lo, Hi: hi}, true
+	case *IsNull:
+		l, c := rewriteExpr(ex.Left, args)
+		if !c {
+			return ex, false
+		}
+		return &IsNull{Left: l, Negate: ex.Negate}, true
+	default:
+		return e, false
+	}
+}

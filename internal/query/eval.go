@@ -147,6 +147,8 @@ func EvalValue(e Expr, col ColGetter) (value.Value, error) {
 		return ex.Val, nil
 	case *ColumnRef:
 		return col(ex)
+	case *Placeholder:
+		return value.Null(), fmt.Errorf("query: unbound placeholder ?%d (execute with arguments)", ex.Index+1)
 	default:
 		return value.Null(), fmt.Errorf("query: expected value expression, got %T", e)
 	}

@@ -25,7 +25,7 @@ const (
 	tokInt
 	tokFloat
 	tokString
-	tokSymbol // ( ) , . ; * = != < <= > >=
+	tokSymbol // ( ) , . ; * = != < <= > >= ?
 )
 
 type token struct {
@@ -196,7 +196,7 @@ func (l *lexer) lexSymbol(start int) error {
 	}
 	c := l.src[l.pos]
 	switch c {
-	case '(', ')', ',', '.', ';', '*', '=', '<', '>':
+	case '(', ')', ',', '.', ';', '*', '=', '<', '>', '?':
 		l.toks = append(l.toks, token{kind: tokSymbol, text: string(c), pos: start})
 		l.pos++
 		return nil

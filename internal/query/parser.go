@@ -11,23 +11,35 @@ import (
 
 // Parse parses one SQL statement (a trailing semicolon is allowed).
 func Parse(src string) (Statement, error) {
+	st, _, err := ParseWithParams(src)
+	return st, err
+}
+
+// ParseWithParams is Parse, additionally returning the number of `?`
+// placeholders the parser assigned — callers that bind immediately
+// (prepared statements, one-shot arg execution) skip the AST re-walk
+// NumPlaceholders would cost.
+func ParseWithParams(src string) (Statement, int, error) {
 	toks, err := lex(src)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	p := &parser{toks: toks, src: src}
 	st, err := p.statement()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	p.accept(tokSymbol, ";")
 	if !p.at(tokEOF, "") {
-		return nil, p.errf("trailing input after statement")
+		return nil, 0, p.errf("trailing input after statement")
 	}
-	return st, nil
+	return st, p.params, nil
 }
 
 // ParseScript parses a semicolon-separated statement sequence.
+// Placeholders are rejected: no script path can supply arguments, and
+// an unbound placeholder would otherwise fail only when a row reaches
+// the predicate — passing or failing with data volume.
 func ParseScript(src string) ([]Statement, error) {
 	toks, err := lex(src)
 	if err != nil {
@@ -41,9 +53,13 @@ func ParseScript(src string) ([]Statement, error) {
 		if p.at(tokEOF, "") {
 			return out, nil
 		}
+		p.params = 0
 		st, err := p.statement()
 		if err != nil {
 			return nil, err
+		}
+		if p.params > 0 {
+			return nil, fmt.Errorf("query: statement %d uses ? placeholders, which scripts cannot bind", len(out)+1)
 		}
 		out = append(out, st)
 		if !p.accept(tokSymbol, ";") && !p.at(tokEOF, "") {
@@ -56,6 +72,9 @@ type parser struct {
 	toks []token
 	i    int
 	src  string
+	// params counts `?` placeholders seen so far, assigning each its
+	// 0-based argument index in parse order.
+	params int
 }
 
 func (p *parser) cur() token  { return p.toks[p.i] }
@@ -440,9 +459,15 @@ func (p *parser) comparison() (Expr, error) {
 	return nil, p.errf("expected comparison operator")
 }
 
-// operand parses a column reference or literal.
+// operand parses a column reference, literal or `?` placeholder.
 func (p *parser) operand() (Expr, error) {
 	t := p.cur()
+	if t.kind == tokSymbol && t.text == "?" {
+		p.next()
+		ph := &Placeholder{Index: p.params}
+		p.params++
+		return ph, nil
+	}
 	switch t.kind {
 	case tokInt:
 		p.next()

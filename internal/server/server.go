@@ -10,6 +10,7 @@ package server
 
 import (
 	"bufio"
+	"container/list"
 	"errors"
 	"fmt"
 	"io"
@@ -20,6 +21,10 @@ import (
 	"instantdb/internal/wire"
 )
 
+// DefaultMaxStmts is the per-session prepared-statement cap when
+// Options.MaxStmts is zero.
+const DefaultMaxStmts = 64
+
 // Options tunes a Server.
 type Options struct {
 	// MaxConns caps concurrently served sessions (0 = unlimited).
@@ -28,6 +33,12 @@ type Options struct {
 	MaxConns int
 	// MaxFrame bounds request payloads (default wire.MaxFrameDefault).
 	MaxFrame int
+	// MaxStmts caps prepared statements per session (default
+	// DefaultMaxStmts). Preparing past the cap evicts the least
+	// recently used statement, so a hostile client cannot grow server
+	// memory by preparing unboundedly; an evicted id answers
+	// CodeUnknownStmt on its next execution.
+	MaxStmts int
 	// Logf, when non-nil, receives connection-level diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -49,6 +60,9 @@ type Server struct {
 func New(db *engine.DB, opts Options) *Server {
 	if opts.MaxFrame <= 0 {
 		opts.MaxFrame = wire.MaxFrameDefault
+	}
+	if opts.MaxStmts <= 0 {
+		opts.MaxStmts = DefaultMaxStmts
 	}
 	return &Server{db: db, opts: opts, conns: make(map[net.Conn]struct{})}
 }
@@ -166,22 +180,73 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
+// session is one connection's server-side state: the engine session
+// plus the prepared-statement registry. Statements are registered under
+// monotonically increasing ids and evicted least-recently-used once the
+// cap is reached, bounding per-session memory against hostile clients.
+type session struct {
+	conn   *engine.Conn
+	stmts  map[uint64]*list.Element // id → element holding *stmtEntry
+	lru    *list.List               // front = least recently used
+	nextID uint64
+	max    int
+}
+
+type stmtEntry struct {
+	id   uint64
+	stmt *engine.Stmt
+}
+
+// register adds a freshly prepared statement, evicting the LRU entry
+// over the cap, and returns its id.
+func (sess *session) register(st *engine.Stmt) uint64 {
+	sess.nextID++
+	id := sess.nextID
+	sess.stmts[id] = sess.lru.PushBack(&stmtEntry{id: id, stmt: st})
+	if len(sess.stmts) > sess.max {
+		oldest := sess.lru.Front()
+		sess.lru.Remove(oldest)
+		delete(sess.stmts, oldest.Value.(*stmtEntry).id)
+	}
+	return id
+}
+
+// lookup resolves a statement id, marking it most recently used.
+func (sess *session) lookup(id uint64) (*engine.Stmt, bool) {
+	el, ok := sess.stmts[id]
+	if !ok {
+		return nil, false
+	}
+	sess.lru.MoveToBack(el)
+	return el.Value.(*stmtEntry).stmt, true
+}
+
+// closeStmt discards a statement id; unknown ids (already closed or
+// evicted) are a no-op.
+func (sess *session) closeStmt(id uint64) {
+	if el, ok := sess.stmts[id]; ok {
+		sess.lru.Remove(el)
+		delete(sess.stmts, id)
+	}
+}
+
 // handle runs one session: handshake, then the request loop.
 func (s *Server) handle(nc net.Conn) {
 	defer s.untrack(nc)
 	defer nc.Close()
 	br := bufio.NewReader(nc)
 
-	sess, err := s.handshake(nc, br)
+	conn, err := s.handshake(nc, br)
 	if err != nil {
 		if !errors.Is(err, io.EOF) {
 			s.logf("handshake %s: %v", nc.RemoteAddr(), err)
 		}
 		return
 	}
+	sess := &session{conn: conn, stmts: make(map[uint64]*list.Element), lru: list.New(), max: s.opts.MaxStmts}
 	// A dropped connection must not leak its transaction's locks.
 	defer func() {
-		if _, err := sess.Exec("ROLLBACK"); err != nil && !errors.Is(err, engine.ErrNoTransaction) {
+		if _, err := sess.conn.Exec("ROLLBACK"); err != nil && !errors.Is(err, engine.ErrNoTransaction) {
 			s.logf("rollback %s: %v", nc.RemoteAddr(), err)
 		}
 	}()
@@ -246,14 +311,14 @@ func (s *Server) readRequest(nc net.Conn, br *bufio.Reader) (byte, []byte, error
 
 // serveRequest dispatches one request frame. It returns false when the
 // session must end (protocol violation or a dead peer).
-func (s *Server) serveRequest(nc net.Conn, sess *engine.Conn, op byte, payload []byte) bool {
+func (s *Server) serveRequest(nc net.Conn, sess *session, op byte, payload []byte) bool {
 	switch op {
 	case wire.OpPing:
 		return wire.WriteFrame(nc, wire.OpPong, nil) == nil
 	case wire.OpExec, wire.OpQuery:
 		return s.execSQL(nc, sess, string(payload))
 	case wire.OpSetPurpose:
-		if err := sess.SetPurpose(string(payload)); err != nil {
+		if err := sess.conn.SetPurpose(string(payload)); err != nil {
 			return s.sendErr(nc, wire.CodeUnknownPurpose, err)
 		}
 		return s.sendResult(nc, &engine.Result{})
@@ -262,7 +327,56 @@ func (s *Server) serveRequest(nc net.Conn, sess *engine.Conn, op byte, payload [
 	case wire.OpCommit:
 		return s.execSQL(nc, sess, "COMMIT")
 	case wire.OpRollback:
-		return s.execSQL(nc, sess, "ROLLBACK")
+		// Idempotent: a statement failure inside the transaction already
+		// aborted it engine-side, and the client cannot distinguish that
+		// state — its Rollback must not report a spurious error.
+		if _, err := sess.conn.Exec("ROLLBACK"); err != nil && !errors.Is(err, engine.ErrNoTransaction) {
+			return s.sendErr(nc, wire.CodeSQL, err)
+		}
+		return s.sendResult(nc, &engine.Result{})
+	case wire.OpPrepare:
+		st, err := sess.conn.Prepare(string(payload))
+		if err != nil {
+			return s.sendErr(nc, wire.CodeSQL, err)
+		}
+		id := sess.register(st)
+		ready := wire.EncodeStmtReady(wire.StmtReady{ID: id, NumParams: st.NumParams()})
+		return wire.WriteFrame(nc, wire.OpStmtReady, ready) == nil
+	case wire.OpExecPrepared:
+		id, args, err := wire.DecodeExecPrepared(payload)
+		if err != nil {
+			s.fail(nc, wire.CodeProtocol, err.Error())
+			return false
+		}
+		st, ok := sess.lookup(id)
+		if !ok {
+			return s.sendErr(nc, wire.CodeUnknownStmt,
+				fmt.Errorf("server: unknown statement id %d (closed or evicted); re-prepare", id))
+		}
+		res, err := st.Exec(args...)
+		if err != nil {
+			return s.sendErr(nc, wire.CodeSQL, err)
+		}
+		return s.sendResult(nc, res)
+	case wire.OpCloseStmt:
+		id, err := wire.DecodeCloseStmt(payload)
+		if err != nil {
+			s.fail(nc, wire.CodeProtocol, err.Error())
+			return false
+		}
+		sess.closeStmt(id)
+		return s.sendResult(nc, &engine.Result{})
+	case wire.OpExecArgs:
+		sql, args, err := wire.DecodeExecArgs(payload)
+		if err != nil {
+			s.fail(nc, wire.CodeProtocol, err.Error())
+			return false
+		}
+		res, err := sess.conn.Exec(sql, args...)
+		if err != nil {
+			return s.sendErr(nc, wire.CodeSQL, err)
+		}
+		return s.sendResult(nc, res)
 	default:
 		s.fail(nc, wire.CodeProtocol, fmt.Sprintf("server: unknown opcode %#x", op))
 		return false
@@ -271,8 +385,8 @@ func (s *Server) serveRequest(nc net.Conn, sess *engine.Conn, op byte, payload [
 
 // execSQL runs one statement on the session and answers with its result
 // or a non-fatal SQL error.
-func (s *Server) execSQL(nc net.Conn, sess *engine.Conn, sql string) bool {
-	res, err := sess.Exec(sql)
+func (s *Server) execSQL(nc net.Conn, sess *session, sql string) bool {
+	res, err := sess.conn.Exec(sql)
 	if err != nil {
 		return s.sendErr(nc, wire.CodeSQL, err)
 	}

@@ -1,0 +1,150 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+	"time"
+
+	"instantdb/internal/value"
+)
+
+func TestStmtReadyRoundTrip(t *testing.T) {
+	in := StmtReady{ID: 300, NumParams: 4}
+	out, err := DecodeStmtReady(EncodeStmtReady(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip = %+v, want %+v", out, in)
+	}
+	if _, err := DecodeStmtReady(nil); err == nil {
+		t.Fatal("empty stmt-ready should fail")
+	}
+	if _, err := DecodeStmtReady(EncodeCloseStmt(1)); err == nil {
+		t.Fatal("truncated stmt-ready should fail")
+	}
+	if _, err := DecodeStmtReady(append(EncodeStmtReady(in), 0x01)); err == nil {
+		t.Fatal("stmt-ready with trailing bytes should fail")
+	}
+	// A hostile param count must not wrap negative and disable
+	// database/sql arity checking.
+	huge := binary.AppendUvarint(binary.AppendUvarint(nil, 1), 1<<63)
+	if _, err := DecodeStmtReady(huge); err == nil {
+		t.Fatal("implausible param count should fail")
+	}
+}
+
+func TestExecPreparedRoundTrip(t *testing.T) {
+	args := []value.Value{
+		value.Int(-5), value.Float(2.5), value.Text("O'hara"), value.Bool(true),
+		value.Time(time.Date(2008, 4, 7, 12, 0, 0, 0, time.UTC)), value.Null(),
+	}
+	id, got, err := DecodeExecPrepared(EncodeExecPrepared(77, args))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 77 || len(got) != len(args) {
+		t.Fatalf("round trip id=%d args=%d", id, len(got))
+	}
+	for i := range args {
+		if c, err := value.Compare(got[i], args[i]); got[i].Kind() != args[i].Kind() || (err == nil && c != 0) {
+			t.Fatalf("arg %d = %v, want %v", i, got[i], args[i])
+		}
+	}
+	// No args encodes an empty row, not a missing one.
+	if _, got, err := DecodeExecPrepared(EncodeExecPrepared(1, nil)); err != nil || len(got) != 0 {
+		t.Fatalf("empty args round trip: %v %v", got, err)
+	}
+	if _, _, err := DecodeExecPrepared(nil); err == nil {
+		t.Fatal("empty exec-prepared should fail")
+	}
+	if _, _, err := DecodeExecPrepared(EncodeCloseStmt(9)); err == nil {
+		t.Fatal("exec-prepared without arg row should fail")
+	}
+	if _, _, err := DecodeExecPrepared(append(EncodeExecPrepared(1, nil), 0xFF)); err == nil {
+		t.Fatal("exec-prepared with trailing bytes should fail")
+	}
+}
+
+func TestCloseStmtRoundTrip(t *testing.T) {
+	id, err := DecodeCloseStmt(EncodeCloseStmt(123456))
+	if err != nil || id != 123456 {
+		t.Fatalf("round trip = %d, %v", id, err)
+	}
+	if _, err := DecodeCloseStmt(nil); err == nil {
+		t.Fatal("empty close-stmt should fail")
+	}
+	if _, err := DecodeCloseStmt(append(EncodeCloseStmt(1), 0x02)); err == nil {
+		t.Fatal("close-stmt with trailing bytes should fail")
+	}
+}
+
+func TestExecArgsRoundTrip(t *testing.T) {
+	sql := "SELECT id FROM person WHERE name = ? AND salary > ?"
+	args := []value.Value{value.Text("alice"), value.Int(2000)}
+	gotSQL, gotArgs, err := DecodeExecArgs(EncodeExecArgs(sql, args))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSQL != sql || len(gotArgs) != 2 || gotArgs[0].Text() != "alice" || gotArgs[1].Int() != 2000 {
+		t.Fatalf("round trip = %q %v", gotSQL, gotArgs)
+	}
+	if _, _, err := DecodeExecArgs(nil); err == nil {
+		t.Fatal("empty exec-args should fail")
+	}
+	if _, _, err := DecodeExecArgs(appendString(nil, "SELECT 1")); err == nil {
+		t.Fatal("exec-args without arg row should fail")
+	}
+	if _, _, err := DecodeExecArgs(append(EncodeExecArgs("SELECT 1", nil), 0x00)); err == nil {
+		t.Fatal("exec-args with trailing bytes should fail")
+	}
+}
+
+// TestDecodeResultRowWidth pins that a row narrower than the declared
+// column count is a decode error, not a consumer index panic.
+func TestDecodeResultRowWidth(t *testing.T) {
+	r := &Result{Rows: &Rows{
+		Columns: []string{"a", "b"},
+		Data:    [][]value.Value{{value.Int(1)}}, // 1 field, 2 columns
+	}}
+	if _, err := DecodeResult(EncodeResult(r)); err == nil {
+		t.Fatal("short row should fail to decode")
+	}
+}
+
+func TestErrorSentinelMapping(t *testing.T) {
+	cases := []struct {
+		code     uint16
+		sentinel error
+	}{
+		{CodeUnknownPurpose, ErrUnknownPurpose},
+		{CodeServerBusy, ErrServerBusy},
+		{CodeShutdown, ErrShuttingDown},
+		{CodeProtocol, ErrProtocol},
+		{CodeFrameTooLarge, ErrFrameTooLarge},
+		{CodeUnknownStmt, ErrUnknownStmt},
+	}
+	for _, c := range cases {
+		werr, err := DecodeError(EncodeError(c.code, "boom"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !errors.Is(werr, c.sentinel) {
+			t.Errorf("code %d does not match %v", c.code, c.sentinel)
+		}
+		for _, other := range cases {
+			if other.code != c.code && errors.Is(werr, other.sentinel) {
+				t.Errorf("code %d wrongly matches %v", c.code, other.sentinel)
+			}
+		}
+		if errors.Is(werr, errors.New("unrelated")) {
+			t.Errorf("code %d matches arbitrary error", c.code)
+		}
+	}
+	// CodeSQL matches no sentinel.
+	werr, _ := DecodeError(EncodeError(CodeSQL, "syntax"))
+	if errors.Is(werr, ErrUnknownPurpose) || errors.Is(werr, ErrServerBusy) {
+		t.Error("CodeSQL should match no sentinel")
+	}
+}

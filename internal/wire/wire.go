@@ -52,6 +52,22 @@ const (
 	OpRollback byte = 0x07
 	// OpPing is a liveness probe; the server answers OpPong.
 	OpPing byte = 0x08
+	// OpPrepare parses the payload (SQL text) into a server-side
+	// prepared statement; the server answers OpStmtReady with the
+	// statement id and parameter count.
+	OpPrepare byte = 0x09
+	// OpExecPrepared executes a prepared statement with a bound argument
+	// list (EncodeExecPrepared payload). The response is OpResult, or a
+	// CodeUnknownStmt error if the id was closed or evicted.
+	OpExecPrepared byte = 0x0A
+	// OpCloseStmt discards a prepared statement (EncodeCloseStmt
+	// payload). Closing an unknown id is a no-op; the response is an
+	// empty OpResult either way.
+	OpCloseStmt byte = 0x0B
+	// OpExecArgs executes one SQL statement with a bound argument list
+	// in a single round trip (EncodeExecArgs payload) — prepare, bind,
+	// execute, discard. The response is OpResult.
+	OpExecArgs byte = 0x0C
 )
 
 // Response opcodes (server → client).
@@ -63,6 +79,8 @@ const (
 	OpError byte = 0x81
 	// OpResult carries a statement outcome (EncodeResult payload).
 	OpResult byte = 0x82
+	// OpStmtReady acknowledges OpPrepare (EncodeStmtReady payload).
+	OpStmtReady byte = 0x83
 	// OpPong answers OpPing.
 	OpPong byte = 0x88
 )
@@ -87,11 +105,35 @@ const (
 	CodeServerBusy uint16 = 5
 	// CodeShutdown reports that the server is draining connections.
 	CodeShutdown uint16 = 6
+	// CodeUnknownStmt rejects OpExecPrepared naming a statement id that
+	// was never prepared, was closed, or was evicted from the session's
+	// statement registry. Non-fatal: re-prepare and retry.
+	CodeUnknownStmt uint16 = 7
 )
 
 // ErrFrameTooLarge is returned by ReadFrame when the length prefix
-// exceeds the caller's limit.
+// exceeds the caller's limit, and matched (via errors.Is) by
+// server-reported CodeFrameTooLarge errors.
 var ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+
+// Sentinel errors matched by server-reported *Error values via
+// errors.Is, one per error code, so callers branch on the condition
+// instead of string-matching messages. The client package re-exports
+// them.
+var (
+	// ErrUnknownPurpose matches CodeUnknownPurpose (handshake or SET
+	// PURPOSE naming an undeclared purpose).
+	ErrUnknownPurpose = errors.New("wire: unknown purpose")
+	// ErrServerBusy matches CodeServerBusy (connection limit reached).
+	ErrServerBusy = errors.New("wire: server busy")
+	// ErrShuttingDown matches CodeShutdown (server draining).
+	ErrShuttingDown = errors.New("wire: server shutting down")
+	// ErrProtocol matches CodeProtocol (framing violation).
+	ErrProtocol = errors.New("wire: protocol violation")
+	// ErrUnknownStmt matches CodeUnknownStmt (prepared statement id
+	// closed or evicted).
+	ErrUnknownStmt = errors.New("wire: unknown prepared statement")
+)
 
 // WriteFrame writes one frame as a single Write call, so concurrent
 // writers on distinct frames never interleave bytes.
@@ -192,6 +234,26 @@ func (e *Error) Error() string { return e.Msg }
 func (e *Error) Fatal() bool {
 	return e.Code == CodeProtocol || e.Code == CodeFrameTooLarge ||
 		e.Code == CodeServerBusy || e.Code == CodeShutdown
+}
+
+// Is maps the error code onto the package's sentinel errors, so
+// errors.Is(err, ErrServerBusy) works on any server-reported failure.
+func (e *Error) Is(target error) bool {
+	switch target {
+	case ErrUnknownPurpose:
+		return e.Code == CodeUnknownPurpose
+	case ErrServerBusy:
+		return e.Code == CodeServerBusy
+	case ErrShuttingDown:
+		return e.Code == CodeShutdown
+	case ErrProtocol:
+		return e.Code == CodeProtocol
+	case ErrFrameTooLarge:
+		return e.Code == CodeFrameTooLarge
+	case ErrUnknownStmt:
+		return e.Code == CodeUnknownStmt
+	}
+	return false
 }
 
 // EncodeError serializes an OpError payload.
@@ -302,11 +364,117 @@ func DecodeResult(p []byte) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("wire: result row %d: %w", i, err)
 		}
+		// Consumers index rows by column position; a width mismatch must
+		// be a protocol error here, not an index panic there.
+		if uint64(len(row)) != ncols {
+			return nil, fmt.Errorf("wire: result row %d has %d fields, want %d", i, len(row), ncols)
+		}
 		rows.Data = append(rows.Data, row)
 		p = p[used:]
 	}
 	r.Rows = rows
 	return r, nil
+}
+
+// StmtReady acknowledges a Prepare: the server-assigned statement id
+// and the statement's `?` parameter count.
+type StmtReady struct {
+	ID        uint64
+	NumParams int
+}
+
+// EncodeStmtReady serializes an OpStmtReady payload.
+func EncodeStmtReady(r StmtReady) []byte {
+	b := binary.AppendUvarint(nil, r.ID)
+	return binary.AppendUvarint(b, uint64(r.NumParams))
+}
+
+// DecodeStmtReady parses an OpStmtReady payload.
+func DecodeStmtReady(p []byte) (StmtReady, error) {
+	id, n := binary.Uvarint(p)
+	if n <= 0 {
+		return StmtReady{}, fmt.Errorf("wire: stmt-ready id")
+	}
+	params, n2 := binary.Uvarint(p[n:])
+	if n2 <= 0 {
+		return StmtReady{}, fmt.Errorf("wire: stmt-ready param count")
+	}
+	if n+n2 != len(p) {
+		return StmtReady{}, fmt.Errorf("wire: stmt-ready has %d trailing bytes", len(p)-n-n2)
+	}
+	// Every placeholder occupies at least one byte of statement text, so
+	// a count past the frame limit is corrupt; unchecked it could go
+	// negative through int conversion and disable database/sql's
+	// client-side arity checking (NumInput() < 0 means "don't check").
+	if params > MaxFrameDefault {
+		return StmtReady{}, fmt.Errorf("wire: stmt-ready claims %d parameters", params)
+	}
+	return StmtReady{ID: id, NumParams: int(params)}, nil
+}
+
+// EncodeExecPrepared serializes an OpExecPrepared payload: the statement
+// id, then the argument list in the internal/value row codec — the same
+// typed encoding result rows already cross the wire in.
+func EncodeExecPrepared(id uint64, args []value.Value) []byte {
+	b := binary.AppendUvarint(nil, id)
+	return value.EncodeRow(b, args)
+}
+
+// DecodeExecPrepared parses an OpExecPrepared payload.
+func DecodeExecPrepared(p []byte) (id uint64, args []value.Value, err error) {
+	id, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("wire: exec-prepared stmt id")
+	}
+	args, used, err := value.DecodeRow(p[n:])
+	if err != nil {
+		return 0, nil, fmt.Errorf("wire: exec-prepared args: %w", err)
+	}
+	if n+used != len(p) {
+		return 0, nil, fmt.Errorf("wire: exec-prepared has %d trailing bytes", len(p)-n-used)
+	}
+	return id, args, nil
+}
+
+// EncodeCloseStmt serializes an OpCloseStmt payload.
+func EncodeCloseStmt(id uint64) []byte {
+	return binary.AppendUvarint(nil, id)
+}
+
+// DecodeCloseStmt parses an OpCloseStmt payload.
+func DecodeCloseStmt(p []byte) (uint64, error) {
+	id, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, fmt.Errorf("wire: close-stmt id")
+	}
+	if n != len(p) {
+		return 0, fmt.Errorf("wire: close-stmt has %d trailing bytes", len(p)-n)
+	}
+	return id, nil
+}
+
+// EncodeExecArgs serializes an OpExecArgs payload: the SQL text
+// (uvarint-length-prefixed), then the argument list in the
+// internal/value row codec.
+func EncodeExecArgs(sql string, args []value.Value) []byte {
+	b := appendString(nil, sql)
+	return value.EncodeRow(b, args)
+}
+
+// DecodeExecArgs parses an OpExecArgs payload.
+func DecodeExecArgs(p []byte) (sql string, args []value.Value, err error) {
+	sql, used, err := readString(p)
+	if err != nil {
+		return "", nil, fmt.Errorf("wire: exec-args sql: %w", err)
+	}
+	args, argBytes, err := value.DecodeRow(p[used:])
+	if err != nil {
+		return "", nil, fmt.Errorf("wire: exec-args args: %w", err)
+	}
+	if used+argBytes != len(p) {
+		return "", nil, fmt.Errorf("wire: exec-args has %d trailing bytes", len(p)-used-argBytes)
+	}
+	return sql, args, nil
 }
 
 // appendString appends a uvarint-length-prefixed string.
