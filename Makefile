@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fuzz bench serve clean
+.PHONY: build test race vet fmt-check doc-check md-check fuzz bench serve clean
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,19 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# fmt-check fails (listing the files) when anything is not gofmt-clean.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# doc-check fails on undocumented exported identifiers in the public
+# API surface: the root instantdb package, client, and sqldriver.
+doc-check:
+	$(GO) run ./internal/tools/doccheck . client sqldriver
+
+# md-check validates markdown cross-links and heading anchors.
+md-check:
+	$(GO) run ./internal/tools/mdcheck README.md DESIGN.md ROADMAP.md
 
 fuzz:
 	$(GO) test ./internal/query -run '^$$' -fuzz FuzzParse -fuzztime 30s

@@ -396,6 +396,114 @@ func BenchmarkSelectPreparedNet(b *testing.B) {
 	}
 }
 
+// --- scan-during-degradation benchmarks ---
+//
+// The pair below measures reader/degrader interference on a table under
+// continuous degradation churn (wall clock, millisecond retentions, a
+// background inserter and a 1ms degradation loop). The Locked variant
+// scans through an explicit read-write transaction — the strict-2PL
+// read path, where every matched row takes an S lock the degrader must
+// skip — and the Snapshot variant runs the same scans as plain
+// autocommit SELECTs over the lock-free snapshot path. Besides ns/op,
+// each run reports the degrader's lock skips per scan and its maximum
+// transition lag: the interference the snapshot path removes.
+
+func benchScanDegradeDB(b *testing.B) *instantdb.DB {
+	b.Helper()
+	db, err := instantdb.Open(instantdb.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	loc := instantdb.Figure1Locations()
+	if err := db.RegisterDomain(loc); err != nil {
+		b.Fatal(err)
+	}
+	pol := instantdb.NewPolicy("fastloc", loc).
+		Hold(0, 4*time.Millisecond).
+		Hold(1, 4*time.Millisecond).
+		Hold(2, 4*time.Millisecond).
+		Hold(3, 20*time.Millisecond).
+		ThenDelete().
+		MustBuild()
+	if err := db.RegisterPolicy(pol); err != nil {
+		b.Fatal(err)
+	}
+	db.MustExec(`CREATE TABLE person (id INT PRIMARY KEY, name TEXT, location TEXT DEGRADABLE DOMAIN location POLICY fastloc)`)
+	db.MustExec(`DECLARE PURPOSE stat SET ACCURACY LEVEL country FOR person.location`)
+	return db
+}
+
+func benchScanDuringDegradation(b *testing.B, locked bool) {
+	db := benchScanDegradeDB(b)
+	addrs := []string{"Dam 1", "Museumplein 6", "Coolsingel 40", "10 rue de Rivoli", "5 place Bellecour"}
+	ins := db.NewConn()
+	insert := func(id int) {
+		ins.Exec("INSERT INTO person (id, name, location) VALUES (?, 'w', ?)", //nolint:errcheck
+			instantdb.Int(int64(id)), instantdb.Text(addrs[id%len(addrs)]))
+	}
+	for i := 0; i < 500; i++ {
+		insert(i)
+	}
+	// Continuous churn: fresh inserts feed the degrader while it ticks.
+	// The rate is throttled — an unthrottled inserter can outrun the
+	// degrader's drain-until-empty tick and grow its queues without
+	// bound, which would measure queue pressure rather than
+	// reader/degrader interference.
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		id := 500
+		tick := time.NewTicker(500 * time.Microsecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+			}
+			insert(id)
+			id++
+		}
+	}()
+	db.Degrader().Run(time.Millisecond)
+	defer func() {
+		close(stop)
+		<-done
+		db.Degrader().Stop()
+	}()
+
+	conn := db.NewConn()
+	if err := conn.SetPurpose("stat"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if locked {
+			if _, err := conn.Exec("BEGIN"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := conn.Query("SELECT location FROM person"); err != nil {
+			b.Fatal(err)
+		}
+		if locked {
+			if _, err := conn.Exec("COMMIT"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	st := db.Degrader().Stats()
+	b.ReportMetric(float64(st.LockSkips)/float64(b.N), "lockskips/op")
+	b.ReportMetric(float64(st.MaxLag)/float64(time.Millisecond), "maxlag-ms")
+}
+
+func BenchmarkScanDuringDegradationLocked(b *testing.B)   { benchScanDuringDegradation(b, true) }
+func BenchmarkScanDuringDegradationSnapshot(b *testing.B) { benchScanDuringDegradation(b, false) }
+
 // BenchmarkAggregateQuery measures the OLAP sweep (GROUP BY location at
 // country accuracy) on a GT-indexed table.
 func BenchmarkAggregateQuery(b *testing.B) {

@@ -261,9 +261,21 @@ func (c *Conn) SetPurpose(ctx context.Context, name string) error {
 	return err
 }
 
-// Begin opens an explicit transaction on the session.
+// Begin opens an explicit read-write transaction on the session.
 func (c *Conn) Begin(ctx context.Context) error {
 	_, err := c.request(ctx, wire.OpBegin, nil)
+	return err
+}
+
+// BeginReadOnly opens a read-only transaction on the session: every
+// statement until Commit/Rollback reads one consistent snapshot, takes
+// no locks server-side (in particular, it never delays the degradation
+// engine), and write statements fail with the transaction aborted.
+// Note the one intentional deviation from classic snapshot isolation:
+// LCP transitions crossing their deadline mid-transaction ARE visible —
+// expired accuracy states are never readable, whatever snapshot is open.
+func (c *Conn) BeginReadOnly(ctx context.Context) error {
+	_, err := c.request(ctx, wire.OpBeginRO, nil)
 	return err
 }
 

@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	degradectl -dir path <command> [args]
+//	degradectl -dir path [-log shred|plain|vacuum] <command> [args]
+//
+// -log must name the strategy the database was created with (default
+// shred): opening a plain- or vacuum-logged directory with the shred
+// codec — or vice versa — fails during WAL replay.
 //
 // Commands:
 //
@@ -29,12 +33,19 @@ import (
 
 func main() {
 	dir := flag.String("dir", "", "database directory (required)")
+	logMode := flag.String("log", "shred", "log mode the database was created with: shred, plain, vacuum")
 	flag.Parse()
 	if *dir == "" || flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: degradectl -dir path <status|tick|fire|audit|vacuum|checkpoint> [args]")
+		fmt.Fprintln(os.Stderr, "usage: degradectl -dir path [-log shred|plain|vacuum] <status|tick|fire|audit|vacuum|checkpoint> [args]")
 		os.Exit(2)
 	}
-	db, err := instantdb.Open(instantdb.Config{Dir: *dir})
+	cfg := instantdb.Config{Dir: *dir}
+	var err error
+	if cfg.LogMode, err = instantdb.ParseLogMode(*logMode); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	db, err := instantdb.Open(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

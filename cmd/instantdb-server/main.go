@@ -8,7 +8,14 @@
 // Usage:
 //
 //	instantdb-server [-dir path] [-log shred|plain|vacuum] [-tick 1s]
-//	                 [-listen :7654] [-max-conns 0] [-v]
+//	                 [-listen :7654] [-max-conns 0] [-max-frame 4194304]
+//	                 [-max-stmts 64] [-v]
+//
+// -dir empty (the default) serves an in-memory database; -log picks the
+// log-degradation strategy for durable ones (default shred). -max-conns
+// caps concurrent sessions (0 = unlimited), -max-frame bounds request
+// and response payloads in bytes, and -max-stmts caps prepared
+// statements per session (LRU eviction past the cap).
 //
 // SIGINT/SIGTERM shut down gracefully: stop accepting, close live
 // sessions (rolling back their open transactions), then close the
@@ -26,6 +33,7 @@ import (
 
 	"instantdb"
 	"instantdb/internal/server"
+	"instantdb/internal/wire"
 )
 
 func main() {
@@ -34,6 +42,8 @@ func main() {
 	tick := flag.Duration("tick", time.Second, "background degradation tick interval (0 = manual)")
 	listen := flag.String("listen", ":7654", "TCP listen address")
 	maxConns := flag.Int("max-conns", 0, "max concurrent client sessions (0 = unlimited)")
+	maxFrame := flag.Int("max-frame", wire.MaxFrameDefault, "max request/response payload bytes")
+	maxStmts := flag.Int("max-stmts", server.DefaultMaxStmts, "max prepared statements per session (LRU eviction past the cap)")
 	verbose := flag.Bool("v", false, "log per-connection diagnostics")
 	flag.Parse()
 
@@ -48,7 +58,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	opts := server.Options{MaxConns: *maxConns}
+	opts := server.Options{MaxConns: *maxConns, MaxFrame: *maxFrame, MaxStmts: *maxStmts}
 	if *verbose {
 		opts.Logf = log.Printf
 	}

@@ -35,6 +35,14 @@
 //	...
 //	rows, err := stmt.Query(instantdb.Int(2))
 //
+// Explicit BEGIN ... COMMIT transactions isolate under strict two-phase
+// locking. Autocommit SELECTs and BEGIN READ ONLY transactions instead
+// read versioned snapshots with no locks at all, so table scans and the
+// background degradation engine never delay each other; degradation
+// deadlines crossing mid-snapshot remain visible, because expired
+// accuracy states are never readable (DESIGN.md, "Concurrency &
+// snapshots").
+//
 // The database also runs as a network service: cmd/instantdb-server
 // serves it over TCP and the client package (instantdb/client) is the
 // matching pure-Go driver, giving every remote connection its own

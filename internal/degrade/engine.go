@@ -10,7 +10,14 @@
 //
 // Readers holding row locks never block a whole batch: locked tuples are
 // skipped and retried on the next tick, trading bounded lag for reader
-// latency (experiment B-TXN).
+// latency (experiment B-TXN). Only reads inside explicit read-write
+// transactions hold such locks — autocommit SELECTs and read-only
+// transactions go through the engine's snapshot path and never delay a
+// transition. The snapshot path is also where this engine pins version
+// garbage collection to LCP deadlines: a transition's storage apply
+// (TableStore.DegradeAttr) scrubs the expired accuracy state from every
+// retained tuple version at the tick, regardless of open snapshots, so
+// MVCC never extends the life of expired data.
 package degrade
 
 import (

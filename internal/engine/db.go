@@ -18,11 +18,16 @@
 // state (catalog, storage, WAL, lock manager and index structures carry
 // internal mutexes; commits, DDL and checkpoints serialize on db.mu;
 // the index registry is published copy-on-write under db.idxMu so query
-// planning never blocks on DDL). A Conn, by contrast, is a single
-// session — one purpose, at most one open transaction — and is NOT safe
-// for concurrent use; open one Conn per goroutine. The network server
-// (internal/server) maps every remote connection to its own Conn on
-// exactly this contract.
+// planning never blocks on DDL). Writes and reads inside explicit
+// read-write transactions isolate under strict 2PL; autocommit SELECTs
+// and BEGIN READ ONLY transactions read versioned snapshots with no
+// locks, so scans and the degradation engine never wait on each other
+// (DESIGN.md, "Concurrency & snapshots" — including the deliberate
+// deviation from classic snapshot isolation at LCP deadlines). A Conn,
+// by contrast, is a single session — one purpose, at most one open
+// transaction — and is NOT safe for concurrent use; open one Conn per
+// goroutine. The network server (internal/server) maps every remote
+// connection to its own Conn on exactly this contract.
 package engine
 
 import (
@@ -112,15 +117,16 @@ type Config struct {
 
 // DB is an open InstantDB database.
 type DB struct {
-	cfg   Config
-	cat   *catalog.Catalog
-	mgr   *storage.Manager
-	log   *wal.Log
-	keys  *wal.KeyStore
-	locks *txn.LockManager
-	ids   *txn.IDSource
-	deg   *degrade.Engine
-	clock vclock.Clock
+	cfg    Config
+	cat    *catalog.Catalog
+	mgr    *storage.Manager
+	log    *wal.Log
+	keys   *wal.KeyStore
+	locks  *txn.LockManager
+	ids    *txn.IDSource
+	epochs *txn.EpochSource
+	deg    *degrade.Engine
+	clock  vclock.Clock
 
 	mu        sync.Mutex   // serializes commits, DDL and checkpoints
 	idxMu     sync.RWMutex // guards indexes/byTable for lock-free readers
@@ -130,6 +136,7 @@ type DB struct {
 	ddlFile   *os.File
 	lastVac   time.Time
 	closed    bool
+	failed    bool // a durably logged batch did not apply; commits fenced
 	replaying bool
 }
 
@@ -149,6 +156,7 @@ func Open(cfg Config) (*DB, error) {
 		cat:     catalog.New(),
 		locks:   txn.NewLockManager(cfg.LockTimeout),
 		ids:     &txn.IDSource{},
+		epochs:  txn.NewEpochSource(),
 		clock:   cfg.Clock,
 		indexes: make(map[string]*indexInst),
 		byTable: make(map[uint32][]*indexInst),
@@ -293,6 +301,25 @@ func (db *DB) commitLocked(recs []*wal.Record) error {
 	if db.closed {
 		return errors.New("engine: database closed")
 	}
+	if db.failed {
+		return errors.New("engine: database failed: a committed batch did not fully apply; reopen to replay the WAL (ephemeral databases cannot recover)")
+	}
+	// Stamp this batch's writes with a freshly allocated snapshot
+	// epoch; it is published (made visible to new snapshots) only after
+	// every record has applied, so readers observe commit batches
+	// atomically — except deletes, which take effect at apply: a
+	// deleted tuple's version chain is scrubbed immediately (deletion
+	// is enforcement-grade, never deferred for readers), so a racing
+	// snapshot can see a batch's delete before its other writes
+	// (DESIGN.md, Visibility rules). A mid-batch apply failure leaves
+	// its epoch allocated
+	// but unpublished and fences all further commits (db.failed): the
+	// torn writes stay invisible to snapshots — no later batch can
+	// publish past them. For durable databases, reopening replays the
+	// WAL, which completes the batch and heals the tear; an ephemeral
+	// database has no log to replay and stays fenced for its lifetime.
+	epoch := db.epochs.Next()
+	db.mgr.SetStampEpoch(epoch, db.epochs.OldestActive())
 	if db.log != nil {
 		if err := db.log.Append(recs); err != nil {
 			return err
@@ -301,10 +328,12 @@ func (db *DB) commitLocked(recs []*wal.Record) error {
 	for _, r := range recs {
 		if err := db.applyRecord(r, true); err != nil {
 			// Apply failures after a durable append are unrecoverable
-			// inconsistencies; surface loudly.
+			// in-process: fence commits and surface loudly.
+			db.failed = true
 			return fmt.Errorf("engine: apply after append: %w", err)
 		}
 	}
+	db.epochs.Publish(epoch)
 	db.commits++
 	if db.cfg.CheckpointEvery > 0 && db.commits%db.cfg.CheckpointEvery == 0 {
 		return db.checkpointLocked()

@@ -412,8 +412,11 @@ func TestEngineMatchesLCPModel(t *testing.T) {
 	}
 }
 
-// TestLockTimeoutSurfacesAsError verifies a reader blocked by a writer
-// transaction times out cleanly instead of deadlocking.
+// TestLockTimeoutSurfacesAsError verifies the split read contract: a
+// reader inside an explicit read-write transaction blocks on a writer's
+// X lock and times out cleanly (strict 2PL), while an autocommit reader
+// takes the lock-free snapshot path — it never blocks and observes the
+// last committed image.
 func TestLockTimeoutSurfacesAsError(t *testing.T) {
 	clock := vclock.NewSimulated(vclock.Epoch)
 	db, err := Open(Config{Clock: clock, LockTimeout: 30 * time.Millisecond})
@@ -431,16 +434,27 @@ func TestLockTimeoutSurfacesAsError(t *testing.T) {
 	if _, err := writer.Exec(`UPDATE person SET name = 'held' WHERE id = 1`); err != nil {
 		t.Fatal(err)
 	}
-	// A reader needing row 1 must time out (the writer holds X).
+	// A 2PL reader needing row 1 must time out (the writer holds X).
+	locked := db.NewConn()
+	if _, err := locked.Exec(`BEGIN`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := locked.Exec(`SELECT name FROM person WHERE id = 1`); err == nil {
+		t.Fatal("2PL reader should time out on the X-locked row")
+	}
+	if _, err := locked.Exec(`ROLLBACK`); err != nil {
+		t.Fatal(err)
+	}
+	// An autocommit reader reads the committed snapshot without waiting.
 	reader := db.NewConn()
-	_, err = reader.Exec(`SELECT name FROM person WHERE id = 1`)
-	if err == nil {
-		t.Fatal("reader should time out on the X-locked row")
+	res, err := reader.Exec(`SELECT name FROM person WHERE id = 1`)
+	if err != nil || res.Rows.Len() != 1 || res.Rows.Data[0][0].Text() != "anciaux" {
+		t.Fatalf("snapshot reader during write: %v err=%v (want uncommitted update invisible)", res.Rows, err)
 	}
 	if _, err := writer.Exec(`COMMIT`); err != nil {
 		t.Fatal(err)
 	}
-	res, err := reader.Exec(`SELECT name FROM person WHERE id = 1`)
+	res, err = reader.Exec(`SELECT name FROM person WHERE id = 1`)
 	if err != nil || res.Rows.Data[0][0].Text() != "held" {
 		t.Fatalf("after commit: %v err=%v", res.Rows, err)
 	}

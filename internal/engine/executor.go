@@ -163,7 +163,7 @@ func (c *Conn) qualify(tbl *catalog.Table, where query.Expr, levels []int,
 		return nil, nil, err
 	}
 
-	candidates, indexed, err := c.planCandidates(tbl, where, levels)
+	candidates, indexed, err := c.planCandidates(tbl, ts, where, levels, false, 0)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -231,17 +231,7 @@ func (c *Conn) qualify(tbl *catalog.Table, where query.Expr, levels []int,
 	}
 
 	evalOne := func(t *storage.Tuple) ([]value.Value, bool, error) {
-		view, ok, err := c.renderTuple(tbl, levels, t)
-		if err != nil || !ok {
-			return nil, false, err
-		}
-		if where != nil {
-			match, err := query.EvalPredicate(where, columnGetter(tbl, view))
-			if err != nil || !match {
-				return nil, false, err
-			}
-		}
-		return view, true, nil
+		return c.evalTuple(tbl, levels, where, t)
 	}
 
 	var matched []storage.Tuple
@@ -284,6 +274,86 @@ func (c *Conn) qualify(tbl *catalog.Table, where query.Expr, levels []int,
 	return matched, views, nil
 }
 
+// evalTuple is the shared σP,k evaluation of one tuple: fk rendering
+// under the demanded levels, then the predicate on the rendered view.
+func (c *Conn) evalTuple(tbl *catalog.Table, levels []int, where query.Expr, t *storage.Tuple) ([]value.Value, bool, error) {
+	view, ok, err := c.renderTuple(tbl, levels, t)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	if where != nil {
+		match, err := query.EvalPredicate(where, columnGetter(tbl, view))
+		if err != nil || !match {
+			return nil, false, err
+		}
+	}
+	return view, true, nil
+}
+
+// qualifySnapshot is the lock-free σP,k pipeline of the snapshot read
+// path: candidate generation against snapshot-visible tuple images,
+// rendering, predicate check — no table or row locks, no overlay (the
+// callers are autocommit SELECTs and read-only transactions, which have
+// no write set). Degradable columns always render from their *current*
+// accuracy state: a snapshot straddling an LCP deadline observes the
+// degraded value, because expired states are scrubbed at their
+// transition tick regardless of open snapshots (the documented
+// deviation from classic snapshot isolation — see DESIGN.md).
+func (c *Conn) qualifySnapshot(tbl *catalog.Table, where query.Expr, levels []int, snap uint64) ([][]value.Value, error) {
+	ts := c.db.mgr.Table(tbl)
+	candidates, indexed, err := c.planCandidates(tbl, ts, where, levels, true, snap)
+	if err != nil {
+		return nil, err
+	}
+	var views [][]value.Value
+	if indexed {
+		seen := make(map[storage.TupleID]bool, len(candidates))
+		for _, tid := range candidates {
+			if seen[tid] {
+				continue
+			}
+			seen[tid] = true
+			t, err := ts.SnapshotGet(tid, snap)
+			if errors.Is(err, storage.ErrNoTuple) {
+				continue // deleted, or not yet visible at this snapshot
+			}
+			if err != nil {
+				return nil, err // page I/O or record corruption: surface, don't drop rows
+			}
+			view, ok, err := c.evalTuple(tbl, levels, where, &t)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				views = append(views, view)
+			}
+		}
+		return views, nil
+	}
+	// Full scan: evaluate inside the callback — SnapshotScan invokes it
+	// without holding the table lock, so only matching views are kept
+	// instead of buffering every visible tuple first.
+	var evalErr error
+	err = ts.SnapshotScan(snap, func(t storage.Tuple) bool {
+		view, ok, err := c.evalTuple(tbl, levels, where, &t)
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		if ok {
+			views = append(views, view)
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	return views, nil
+}
+
 func intentionFor(m txn.LockMode) txn.LockMode {
 	if m == txn.LockX {
 		return txn.LockIX
@@ -303,10 +373,22 @@ func columnGetter(tbl *catalog.Table, view []value.Value) query.ColGetter {
 
 // planCandidates inspects the WHERE conjuncts for one index-servable
 // predicate and returns candidate tuple ids. indexed=false means no
-// index applies (full scan).
-func (c *Conn) planCandidates(tbl *catalog.Table, where query.Expr, levels []int) ([]storage.TupleID, bool, error) {
+// index applies (full scan). snapRead marks the snapshot read path at
+// epoch snap: secondary indexes reflect only current tuple images, so
+// while any tuple image superseded *after* the snapshot is retained, a
+// stable-column index could miss a row whose matching value was
+// overwritten post-snapshot — those reads fall back to a (still
+// lock-free) scan. The history gate is checked again after the probe:
+// storage records the supersede before the index is touched, so an
+// update racing the probe always trips the second check. Degradable-
+// column indexes stay usable either way — the snapshot path
+// deliberately reads degradable columns at their current accuracy.
+func (c *Conn) planCandidates(tbl *catalog.Table, ts *storage.TableStore, where query.Expr, levels []int, snapRead bool, snap uint64) ([]storage.TupleID, bool, error) {
 	if where == nil {
 		return nil, false, nil
+	}
+	stableServable := func(inst *indexInst) bool {
+		return !snapRead || inst.deg != -1 || !ts.HasVisibleHistory(snap)
 	}
 	for _, conj := range query.Conjuncts(where) {
 		sarg, ok := query.AsSargable(conj)
@@ -321,11 +403,17 @@ func (c *Conn) planCandidates(tbl *catalog.Table, where query.Expr, levels []int
 			if inst.col != ci {
 				continue
 			}
+			if !stableServable(inst) {
+				continue
+			}
 			tids, served, err := c.serveFromIndex(inst, sarg, levels)
 			if err != nil {
 				return nil, false, err
 			}
 			if served {
+				if !stableServable(inst) {
+					continue // supersede raced the probe; fall back
+				}
 				return tids, true, nil
 			}
 		}
@@ -505,15 +593,23 @@ func (c *Conn) runSelectRef(s *query.Select, referenced map[string]bool) (*Resul
 		return nil, err
 	}
 
-	// Reads inside an explicit transaction keep their locks (strict
-	// 2PL); autocommit reads release at statement end.
-	implicit := c.tx == nil
-	if implicit {
-		c.begin()
-		defer c.rollbackTx() // read-only: nothing to apply, releases locks
+	// Three read paths. Autocommit SELECTs and read-only transactions
+	// execute against a versioned snapshot with no locks at all, so they
+	// never wait on the degradation engine and it never waits on them.
+	// Reads inside an explicit read-write transaction keep strict 2PL: S
+	// row locks held to commit, pinning the matched rows against the
+	// degrader for the rest of the transaction.
+	var views [][]value.Value
+	switch {
+	case c.tx != nil && c.tx.readOnly:
+		views, err = c.qualifySnapshot(tbl, s.Where, levels, c.tx.snap)
+	case c.tx != nil:
+		_, views, err = c.qualify(tbl, s.Where, levels, nil, txn.LockS)
+	default:
+		snap := c.db.epochs.Snapshot()
+		views, err = c.qualifySnapshot(tbl, s.Where, levels, snap)
+		c.db.epochs.Release(snap)
 	}
-
-	_, views, err := c.qualify(tbl, s.Where, levels, nil, txn.LockS)
 	if err != nil {
 		return nil, err
 	}

@@ -287,19 +287,28 @@ func (db *DB) applyRecord(r *wal.Record, live bool) error {
 		}
 		return ts.Delete(r.Tuple)
 	case wal.RecUpdateStable:
+		// Storage first, indexes second: UpdateStable records the
+		// superseded image (and the table's supersede epoch) before any
+		// index entry moves, so a snapshot reader whose index probe
+		// races this update always sees the history marker on its
+		// post-probe re-check (planCandidates) and falls back to a scan
+		// instead of silently missing the row.
+		var old storage.Tuple
+		haveOld := false
 		if live {
 			if t, err := ts.Get(r.Tuple); err == nil {
-				for _, inst := range db.byTable[tbl.ID] {
-					if inst.col == int(r.Col) {
-						inst.remove(&t)
-					}
-				}
+				old, haveOld = t, true
 			}
 		}
 		if err := ts.UpdateStable(r.Tuple, int(r.Col), r.Val); err != nil {
 			return err
 		}
-		if live {
+		if live && haveOld {
+			for _, inst := range db.byTable[tbl.ID] {
+				if inst.col == int(r.Col) {
+					inst.remove(&old)
+				}
+			}
 			if t, err := ts.Get(r.Tuple); err == nil {
 				for _, inst := range db.byTable[tbl.ID] {
 					if inst.col == int(r.Col) {

@@ -32,6 +32,10 @@ var (
 	// silently autocommit — durable writes inside a transaction the
 	// application believes it rolled back.
 	ErrTxAborted = errors.New("engine: transaction aborted by a prior failure; ROLLBACK to continue")
+	// ErrReadOnlyTxn marks a write statement inside a BEGIN READ ONLY
+	// transaction. Like any in-transaction statement failure, it aborts
+	// the transaction; ROLLBACK releases the snapshot.
+	ErrReadOnlyTxn = errors.New("engine: write statement in a read-only transaction")
 )
 
 // Rows is a fully materialized query result.
@@ -60,12 +64,19 @@ type tableOverlay struct {
 	deleted map[storage.TupleID]bool
 }
 
-// openTxn is an in-progress transaction: a redo record list (applied at
-// commit) plus the read-your-writes overlay.
+// openTxn is an in-progress transaction. A read-write transaction
+// carries a redo record list (applied at commit) plus the
+// read-your-writes overlay, under strict 2PL. A read-only transaction
+// carries only a pinned snapshot epoch: its reads acquire no locks,
+// never block the degradation engine, and release nothing but the
+// snapshot at COMMIT/ROLLBACK.
 type openTxn struct {
 	id       txn.ID
 	recs     []*wal.Record
 	overlays map[uint32]*tableOverlay
+
+	readOnly bool
+	snap     uint64 // pinned snapshot epoch (read-only transactions)
 }
 
 func (tx *openTxn) overlay(tableID uint32) *tableOverlay {
@@ -206,7 +217,11 @@ func (c *Conn) ExecParsed(st query.Statement, src string) (*Result, error) {
 		if c.tx != nil {
 			return nil, errors.New("engine: transaction already open")
 		}
-		c.begin()
+		if s.ReadOnly {
+			c.beginRO()
+		} else {
+			c.begin()
+		}
 		return &Result{}, nil
 	case *query.Commit:
 		if c.tx == nil {
@@ -249,15 +264,29 @@ func (c *Conn) execSelect(s *query.Select, referenced map[string]bool) (*Result,
 	return res, err
 }
 
-// begin opens an explicit transaction.
+// begin opens an explicit read-write transaction.
 func (c *Conn) begin() {
 	c.tx = &openTxn{id: c.db.ids.Next(), overlays: make(map[uint32]*tableOverlay)}
+}
+
+// beginRO opens a read-only transaction pinned to the current snapshot
+// epoch. No transaction id and no locks: the degradation engine never
+// waits on this session, and this session never waits on it.
+func (c *Conn) beginRO() {
+	c.tx = &openTxn{readOnly: true, snap: c.db.epochs.Snapshot()}
 }
 
 // autocommit runs fn inside the open transaction, or wraps it in an
 // implicit one.
 func (c *Conn) autocommit(fn func() (*Result, error)) (*Result, error) {
 	if c.tx != nil {
+		if c.tx.readOnly {
+			// Same teardown as any in-transaction statement failure: the
+			// session refuses statements until ROLLBACK.
+			c.rollbackTx()
+			c.aborted = true
+			return nil, ErrReadOnlyTxn
+		}
 		res, err := fn()
 		if err != nil {
 			// Statement failure aborts the whole transaction: strict
@@ -283,10 +312,14 @@ func (c *Conn) autocommit(fn func() (*Result, error)) (*Result, error) {
 }
 
 // commitTx makes the transaction durable and visible, then releases its
-// locks.
+// locks. Committing a read-only transaction just releases its snapshot.
 func (c *Conn) commitTx() error {
 	tx := c.tx
 	c.tx = nil
+	if tx.readOnly {
+		c.db.epochs.Release(tx.snap)
+		return nil
+	}
 	defer c.db.locks.ReleaseAll(tx.id)
 	if len(tx.recs) == 0 {
 		return nil
@@ -300,11 +333,16 @@ func (c *Conn) commitTx() error {
 	return c.db.commitLocked(tx.recs)
 }
 
-// rollbackTx discards the write set and releases locks.
+// rollbackTx discards the write set and releases locks (or, for a
+// read-only transaction, its pinned snapshot).
 func (c *Conn) rollbackTx() {
 	tx := c.tx
 	c.tx = nil
-	if tx != nil {
+	switch {
+	case tx == nil:
+	case tx.readOnly:
+		c.db.epochs.Release(tx.snap)
+	default:
 		c.db.locks.ReleaseAll(tx.id)
 	}
 }

@@ -279,7 +279,11 @@ type TxnResult struct {
 // RunBTxn measures reader/degrader interference (§III: "potential
 // conflicts between degradation steps and reader transactions"): wall
 // clock, millisecond retentions, a continuous insert+degrade stream, and
-// concurrent point readers, swept over the degrader batch size.
+// concurrent point readers, swept over the degrader batch size. The
+// readers are autocommit SELECTs and therefore ride the lock-free
+// snapshot path (lock-skips ≈ 0 since its introduction); the root
+// ScanDuringDegradation benchmark pair contrasts this against the
+// strict-2PL read path, which still locks.
 func RunBTxn(w io.Writer, readers int, runFor time.Duration) ([]TxnResult, error) {
 	fmt.Fprintln(w, "== B-TXN: reader latency vs degradation batch size ==")
 	var out []TxnResult

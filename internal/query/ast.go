@@ -67,12 +67,12 @@ type IsNull struct {
 func (*ColumnRef) expr()   {}
 func (*Literal) expr()     {}
 func (*Placeholder) expr() {}
-func (*Compare) expr()   {}
-func (*Logical) expr()   {}
-func (*Not) expr()       {}
-func (*InList) expr()    {}
-func (*Between) expr()   {}
-func (*IsNull) expr()    {}
+func (*Compare) expr()     {}
+func (*Logical) expr()     {}
+func (*Not) expr()         {}
+func (*InList) expr()      {}
+func (*Between) expr()     {}
+func (*IsNull) expr()      {}
 
 // --- SELECT ---
 
@@ -228,8 +228,10 @@ type DeclarePurpose struct {
 // SetPurpose switches the session purpose.
 type SetPurpose struct{ Name string }
 
-// Begin / Commit / Rollback control explicit transactions.
-type Begin struct{}
+// Begin / Commit / Rollback control explicit transactions. ReadOnly
+// marks a BEGIN READ ONLY transaction: statements execute against one
+// pinned snapshot epoch, acquire no locks, and writes are refused.
+type Begin struct{ ReadOnly bool }
 
 // Commit commits the open transaction.
 type Commit struct{}

@@ -48,7 +48,7 @@ func init() {
 		"POLICY", "HOLD", "FOR", "THEN", "REMAIN", "UNTIL", "EVENT", "IF",
 		"DEGRADABLE", "LAYOUT", "MOVE", "INPLACE",
 		"DECLARE", "PURPOSE", "ACCURACY", "LEVEL",
-		"BEGIN", "COMMIT", "ROLLBACK", "FIRE", "TIMESTAMP",
+		"BEGIN", "COMMIT", "ROLLBACK", "READ", "ONLY", "FIRE", "TIMESTAMP",
 		"BTREE", "BITMAP", "GT", "ALLOW", "UNLISTED",
 	} {
 		keywords[k] = true

@@ -151,6 +151,12 @@ func (p *parser) statement() (Statement, error) {
 		return &SetPurpose{Name: name}, nil
 	case "BEGIN":
 		p.next()
+		if p.accept(tokKeyword, "READ") {
+			if _, err := p.expect(tokKeyword, "ONLY"); err != nil {
+				return nil, err
+			}
+			return &Begin{ReadOnly: true}, nil
+		}
 		return &Begin{}, nil
 	case "COMMIT":
 		p.next()

@@ -206,7 +206,15 @@ func TestParseSessionStatements(t *testing.T) {
 	if st := mustParse(t, "SET PURPOSE stat").(*SetPurpose); st.Name != "stat" {
 		t.Fatal("set purpose")
 	}
-	mustParse(t, "BEGIN")
+	if st := mustParse(t, "BEGIN").(*Begin); st.ReadOnly {
+		t.Fatal("plain BEGIN parsed read-only")
+	}
+	if st := mustParse(t, "BEGIN READ ONLY").(*Begin); !st.ReadOnly {
+		t.Fatal("BEGIN READ ONLY lost the read-only flag")
+	}
+	if _, err := Parse("BEGIN READ"); err == nil {
+		t.Fatal("BEGIN READ without ONLY must not parse")
+	}
 	mustParse(t, "COMMIT")
 	mustParse(t, "ROLLBACK")
 	if st := mustParse(t, "FIRE EVENT 'consent-withdrawn'").(*FireEvent); st.Name != "consent-withdrawn" {

@@ -324,6 +324,8 @@ func (s *Server) serveRequest(nc net.Conn, sess *session, op byte, payload []byt
 		return s.sendResult(nc, &engine.Result{})
 	case wire.OpBegin:
 		return s.execSQL(nc, sess, "BEGIN")
+	case wire.OpBeginRO:
+		return s.execSQL(nc, sess, "BEGIN READ ONLY")
 	case wire.OpCommit:
 		return s.execSQL(nc, sess, "COMMIT")
 	case wire.OpRollback:

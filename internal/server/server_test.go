@@ -318,6 +318,68 @@ func TestTransactions(t *testing.T) {
 	}
 }
 
+// TestReadOnlyTransaction drives BEGIN READ ONLY end-to-end over the
+// wire: snapshot reads across concurrent commits, deadline-crossing
+// degradation visible mid-transaction, and writes refused.
+func TestReadOnlyTransaction(t *testing.T) {
+	db, clock, addr := startServer(t, Options{})
+	ctx := ctxT(t)
+
+	seed := dial(t, addr)
+	if _, err := seed.Exec(ctx, `INSERT INTO visits (id, who, place) VALUES (1, 'alice', 'Dam 1')`); err != nil {
+		t.Fatal(err)
+	}
+
+	ro := dial(t, addr, client.WithPurpose("stats"))
+	if err := ro.BeginReadOnly(ctx); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := ro.Query(ctx, `SELECT who FROM visits`)
+	if err != nil || rows.Len() != 1 {
+		t.Fatalf("snapshot read: %d rows err=%v", rows.Len(), err)
+	}
+
+	// A commit on another session stays invisible to the pinned snapshot.
+	if _, err := seed.Exec(ctx, `INSERT INTO visits (id, who, place) VALUES (2, 'bob', 'Coolsingel 40')`); err != nil {
+		t.Fatal(err)
+	}
+	rows, err = ro.Query(ctx, `SELECT who FROM visits`)
+	if err != nil || rows.Len() != 1 {
+		t.Fatalf("snapshot read after concurrent insert: %d rows err=%v", rows.Len(), err)
+	}
+
+	// Writes are refused and abort the transaction; Rollback recovers.
+	if _, err := ro.Exec(ctx, `INSERT INTO visits (id, who, place) VALUES (3, 'x', 'Dam 1')`); err == nil {
+		t.Fatal("write inside read-only transaction must fail")
+	}
+	if err := ro.Rollback(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// A degradation deadline crossing during a read-only transaction is
+	// visible (the documented deviation): the tick is never delayed.
+	if err := ro.BeginReadOnly(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ro.Query(ctx, `SELECT place FROM visits`); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(16 * time.Minute)
+	if _, err := db.DegradeNow(); err != nil {
+		t.Fatal(err)
+	}
+	if st := db.Degrader().Stats(); st.LockSkips != 0 {
+		t.Fatalf("degrader skipped %d locks with only a read-only transaction open", st.LockSkips)
+	}
+	rows, err = ro.Query(ctx, `SELECT place FROM visits WHERE id = 1`)
+	if err != nil || rows.Len() != 1 || rows.Data[0][0].Text() != "Netherlands" {
+		t.Fatalf("straddling read = %v err=%v, want degraded rendering", rows.Data, err)
+	}
+	if err := ro.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestDisconnectReleasesLocks drops a client mid-transaction and checks
 // the server rolled it back (its row locks are released, its writes are
 // gone).

@@ -3,18 +3,30 @@ package storage
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"instantdb/internal/catalog"
 )
 
 // Manager owns one Store and hands out TableStores over it. It maintains
 // the free-page list (scrubbed pages ready for reuse) and rebuilds all
-// in-memory directories from raw pages at recovery.
+// in-memory directories from raw pages at recovery. It also carries the
+// snapshot-epoch stamps of the MVCC-lite read path: the engine sets the
+// stamping epoch before applying a commit batch, and every tuple written
+// during the apply is born at that epoch (see table.go; epoch 0 — the
+// default for callers that never wire epochs — disables versioning and
+// makes every tuple visible to every snapshot).
 type Manager struct {
 	mu     sync.Mutex
 	store  Store
 	free   []PageID
 	tables map[uint32]*TableStore
+
+	// stamp is the epoch in-flight mutations are born at; lowWater is
+	// the oldest snapshot epoch still open, below which superseded row
+	// versions are unreachable and pruned.
+	stamp    atomic.Uint64
+	lowWater atomic.Uint64
 }
 
 // NewManager wraps a raw page store.
@@ -25,6 +37,17 @@ func NewManager(store Store) *Manager {
 // Store returns the underlying raw page store (the forensic scanner and
 // checkpointing use it directly).
 func (m *Manager) Store() Store { return m.store }
+
+// SetStampEpoch sets the epoch subsequently applied mutations are born
+// at, and the low-water mark of open snapshots for version pruning. The
+// engine calls it under its commit mutex before applying each batch.
+func (m *Manager) SetStampEpoch(stamp, lowWater uint64) {
+	m.stamp.Store(stamp)
+	m.lowWater.Store(lowWater)
+}
+
+// StampEpoch returns the current mutation-stamping epoch.
+func (m *Manager) StampEpoch() uint64 { return m.stamp.Load() }
 
 // Table returns the TableStore for a catalog table, creating it on first
 // use.
@@ -58,6 +81,9 @@ func (m *Manager) DropTable(tableID uint32) error {
 	ts.dir = make(map[TupleID]RID)
 	ts.segs = make(map[uint64]*segment)
 	ts.pageSeg = make(map[PageID]uint64)
+	ts.born = make(map[TupleID]uint64)
+	ts.hist = make(map[TupleID][]tupleVersion)
+	ts.lastSupersede = 0
 	return nil
 }
 

@@ -7,6 +7,14 @@
 // before the space is reused or abandoned, so a forensic scan of the raw
 // store never recovers an expired accuracy state (paper §III, citing
 // Stahlberg et al. on unintended retention).
+//
+// For the engine's lock-free snapshot reads, each TableStore also keeps
+// a bounded in-memory version chain per tuple (SnapshotGet,
+// SnapshotScan): stable-column updates retain the superseded image for
+// open snapshots, while degradation transitions scrub the expired
+// accuracy state out of every retained version at their LCP deadline
+// and deletions drop the whole chain — version lifetime is bounded by
+// deadlines and the MaxTupleVersions cap, never extended by readers.
 package storage
 
 import (

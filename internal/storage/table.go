@@ -32,9 +32,27 @@ type segment struct {
 
 func newSegment() *segment { return &segment{pages: make(map[PageID]struct{})} }
 
+// MaxTupleVersions bounds the per-row version chain of the snapshot
+// read path. When an update would push the chain past the cap, the
+// oldest version is dropped and its birth epoch merged into its
+// successor, so every snapshot still resolves to *a* version — at worst
+// one slightly newer than the snapshot (bounded staleness) — and chain
+// memory stays O(1) per hot row.
+const MaxTupleVersions = 4
+
+// tupleVersion is one superseded row image, visible to snapshots in
+// [born, died). Chains are contiguous: each version's died equals the
+// next version's born, and the last version's died equals the current
+// tuple's birth epoch.
+type tupleVersion struct {
+	born, died uint64
+	t          Tuple
+}
+
 // TableStore stores the tuples of one table. All methods are safe for
-// concurrent use; logical isolation (two-phase locking) lives in the
-// transaction layer above.
+// concurrent use; logical isolation (two-phase locking for writers,
+// snapshot epochs for the lock-free read path) lives in the transaction
+// layer above.
 type TableStore struct {
 	mu      sync.RWMutex
 	mgr     *Manager
@@ -43,6 +61,32 @@ type TableStore struct {
 	segs    map[uint64]*segment
 	pageSeg map[PageID]uint64
 	nextID  TupleID
+
+	// born is the epoch each live tuple's current image became visible
+	// at (absent = epoch 0: visible to every snapshot). hist holds
+	// superseded images for snapshot readers — written by stable-column
+	// updates only. Degradation transitions never create versions: they
+	// overwrite the degradable column in place *and* in every retained
+	// version, and deletions drop the whole chain, so no accuracy state
+	// outlives its LCP deadline in a version chain (the intentional
+	// deviation from classic snapshot isolation).
+	born map[TupleID]uint64
+	hist map[TupleID][]tupleVersion
+	// lastSupersede is the highest epoch at which any stable-column
+	// update superseded a tuple image (monotone: epochs only grow). A
+	// snapshot at or past it provably sees every current image, so
+	// stable-column indexes serve it exactly; older snapshots may need
+	// chain images (HasVisibleHistory).
+	lastSupersede uint64
+
+	// scans counts active SnapshotScans; while it is non-zero,
+	// relocated records every tuple that moved between pages (segment
+	// moves during degradation, oversized in-place rewrites), so a scan
+	// can re-examine exactly the tuples its page-list snapshot may have
+	// missed — bounded by mid-scan churn, never by table size. The list
+	// is truncated when the last scan finishes.
+	scans     int
+	relocated []TupleID
 }
 
 func newTableStore(mgr *Manager, tbl *catalog.Table) *TableStore {
@@ -52,6 +96,8 @@ func newTableStore(mgr *Manager, tbl *catalog.Table) *TableStore {
 		dir:     make(map[TupleID]RID),
 		segs:    make(map[uint64]*segment),
 		pageSeg: make(map[PageID]uint64),
+		born:    make(map[TupleID]uint64),
+		hist:    make(map[TupleID][]tupleVersion),
 	}
 }
 
@@ -139,6 +185,9 @@ func (ts *TableStore) insertLocked(id TupleID, row []value.Value, states []uint8
 		return err
 	}
 	ts.dir[id] = rid
+	if e := ts.mgr.stamp.Load(); e > 0 {
+		ts.born[id] = e
+	}
 	return nil
 }
 
@@ -215,8 +264,11 @@ func (ts *TableStore) readLocked(rid RID) (Tuple, error) {
 	return decodeRecord(rec)
 }
 
-// Delete removes a tuple, scrubbing its payload. Unknown ids are a no-op
-// (idempotent redo).
+// Delete removes a tuple, scrubbing its payload — including every
+// retained snapshot version: deletion is enforcement-grade in this
+// system (tuple-LCP removals ride the same path), so no image of a
+// deleted tuple survives for readers, whatever snapshots are open.
+// Unknown ids are a no-op (idempotent redo).
 func (ts *TableStore) Delete(id TupleID) error {
 	ts.mu.Lock()
 	defer ts.mu.Unlock()
@@ -228,6 +280,8 @@ func (ts *TableStore) Delete(id TupleID) error {
 		return err
 	}
 	delete(ts.dir, id)
+	delete(ts.born, id)
+	delete(ts.hist, id)
 	return nil
 }
 
@@ -269,8 +323,13 @@ func (ts *TableStore) recyclePageLocked(pid PageID) error {
 // column at position degPos (in DegradableColumns order) moves to state
 // newState with stored form newStored. The previous stored form is
 // physically scrubbed: overwritten in place when the layout allows it,
-// otherwise deleted-and-rewritten in the target state segment. Unknown
-// ids are a no-op (idempotent redo).
+// otherwise deleted-and-rewritten in the target state segment. The
+// transition also overwrites the column in every retained snapshot
+// version of the tuple — version garbage collection of expired accuracy
+// states is pinned to the LCP deadline that drives this call, never to
+// reader lifetimes, so a snapshot reader straddling the deadline
+// observes the degraded value (the documented deviation from classic
+// snapshot isolation). Unknown ids are a no-op (idempotent redo).
 func (ts *TableStore) DegradeAttr(id TupleID, degPos int, newStored value.Value, newState uint8) error {
 	ts.mu.Lock()
 	defer ts.mu.Unlock()
@@ -288,12 +347,20 @@ func (ts *TableStore) DegradeAttr(id TupleID, degPos int, newStored value.Value,
 	col := ts.tbl.DegradableColumns()[degPos]
 	t.States[degPos] = newState
 	t.Row[col] = newStored
+	for i := range ts.hist[id] {
+		v := &ts.hist[id][i]
+		if degPos < len(v.t.States) {
+			v.t.States[degPos] = newState
+			v.t.Row[col] = newStored
+		}
+	}
 	return ts.rewriteLocked(id, rid, t)
 }
 
-// UpdateStable overwrites a stable column. Degradable columns are
-// immutable after insert (paper §II); callers enforce that rule — this
-// method checks it defensively.
+// UpdateStable overwrites a stable column, retaining the superseded row
+// image in the tuple's version chain for open snapshots. Degradable
+// columns are immutable after insert (paper §II); callers enforce that
+// rule — this method checks it defensively.
 func (ts *TableStore) UpdateStable(id TupleID, col int, v value.Value) error {
 	ts.mu.Lock()
 	defer ts.mu.Unlock()
@@ -308,8 +375,50 @@ func (ts *TableStore) UpdateStable(id TupleID, col int, v value.Value) error {
 	if err != nil {
 		return err
 	}
+	old := cloneTuple(t)
 	t.Row[col] = v
-	return ts.rewriteLocked(id, rid, t)
+	if err := ts.rewriteLocked(id, rid, t); err != nil {
+		return err
+	}
+	ts.pushVersionLocked(id, old)
+	return nil
+}
+
+// cloneTuple deep-copies a tuple's slices so version-chain images and
+// snapshot results never alias live storage state.
+func cloneTuple(t Tuple) Tuple {
+	t.States = append([]uint8(nil), t.States...)
+	t.Row = append([]value.Value(nil), t.Row...)
+	return t
+}
+
+// pushVersionLocked records the pre-update image of a tuple for
+// snapshot readers, pruning versions no open snapshot can reach and
+// truncating to MaxTupleVersions with birth-epoch merging. A stamp
+// epoch of 0 (no epoch wiring) or a same-epoch rewrite (an intermediate
+// image no snapshot can ever observe) keeps no version.
+func (ts *TableStore) pushVersionLocked(id TupleID, old Tuple) {
+	e := ts.mgr.stamp.Load()
+	if e == 0 || ts.born[id] == e {
+		return
+	}
+	chain := append(ts.hist[id], tupleVersion{born: ts.born[id], died: e, t: old})
+	ts.lastSupersede = e
+	low := ts.mgr.lowWater.Load()
+	for len(chain) > 0 && chain[0].died <= low {
+		chain = chain[1:]
+	}
+	if len(chain) > MaxTupleVersions {
+		drop := len(chain) - MaxTupleVersions
+		chain[drop].born = chain[0].born
+		chain = chain[drop:]
+	}
+	if len(chain) == 0 {
+		delete(ts.hist, id)
+	} else {
+		ts.hist[id] = chain
+	}
+	ts.born[id] = e
 }
 
 // rewriteLocked re-encodes a tuple after modification, preferring
@@ -346,6 +455,9 @@ func (ts *TableStore) rewriteLocked(id TupleID, rid RID, t Tuple) error {
 		return err
 	}
 	ts.dir[id] = newRID
+	if ts.scans > 0 {
+		ts.relocated = append(ts.relocated, id)
+	}
 	return nil
 }
 
@@ -364,6 +476,192 @@ func (ts *TableStore) Scan(fn func(Tuple) bool) error {
 		}
 	}
 	return nil
+}
+
+// SnapshotGet materializes the version of a tuple visible to snapshot
+// epoch snap: the current image if it was born at or before snap,
+// otherwise the retained version covering snap. ErrNoTuple means the
+// tuple does not exist at that snapshot — deleted (version chains are
+// scrubbed on delete), or inserted after the snapshot was taken.
+func (ts *TableStore) SnapshotGet(id TupleID, snap uint64) (Tuple, error) {
+	ts.mu.RLock()
+	defer ts.mu.RUnlock()
+	rid, ok := ts.dir[id]
+	if !ok {
+		return Tuple{}, fmt.Errorf("%w: %s #%d", ErrNoTuple, ts.tbl.Name, id)
+	}
+	t, err := ts.readLocked(rid)
+	if err != nil {
+		return Tuple{}, err
+	}
+	if v, ok := ts.visibleLocked(t, snap); ok {
+		return v, nil
+	}
+	return Tuple{}, fmt.Errorf("%w: %s #%d at snapshot %d", ErrNoTuple, ts.tbl.Name, id, snap)
+}
+
+// visibleLocked resolves the image of a live tuple visible to snapshot
+// snap: the current image when born at or before snap, else the version
+// covering snap. ok=false means the tuple was inserted after the
+// snapshot. Returned tuples never alias chain or page state.
+func (ts *TableStore) visibleLocked(cur Tuple, snap uint64) (Tuple, bool) {
+	if ts.born[cur.ID] <= snap {
+		return cur, true
+	}
+	chain := ts.hist[cur.ID]
+	for i := len(chain) - 1; i >= 0; i-- {
+		v := &chain[i]
+		if v.born <= snap && snap < v.died {
+			return cloneTuple(v.t), true
+		}
+	}
+	return Tuple{}, false
+}
+
+// SnapshotScan calls fn with the image of every tuple visible to
+// snapshot epoch snap. Unlike Scan, it never holds the table lock
+// across fn or across pages: the page list is snapshotted up front,
+// each page is decoded under a short read lock, and tuples that moved
+// to pages allocated mid-scan are picked up from the directory in a
+// final sweep — so a slow consumer never delays writers, in particular
+// the degradation engine's transition batches. Tuples inserted after
+// the snapshot are invisible; tuples deleted mid-scan may or may not
+// appear (their chains are scrubbed); degradable columns always carry
+// their *current* accuracy state, whatever the snapshot (the documented
+// deviation from classic snapshot isolation).
+func (ts *TableStore) SnapshotScan(snap uint64, fn func(Tuple) bool) error {
+	ts.mu.Lock()
+	pids := make([]PageID, 0, len(ts.pageSeg))
+	for pid := range ts.pageSeg {
+		pids = append(pids, pid)
+	}
+	ts.scans++
+	ts.mu.Unlock()
+	defer func() {
+		ts.mu.Lock()
+		ts.scans--
+		if ts.scans == 0 {
+			ts.relocated = ts.relocated[:0]
+		}
+		ts.mu.Unlock()
+	}()
+
+	seen := make(map[TupleID]bool)
+	var batch []Tuple
+	for _, pid := range pids {
+		batch = batch[:0]
+		ts.mu.RLock()
+		if _, live := ts.pageSeg[pid]; !live {
+			ts.mu.RUnlock()
+			continue // page recycled mid-scan; its tuples moved or died
+		}
+		err := ts.collectPageLocked(pid, snap, seen, &batch)
+		ts.mu.RUnlock()
+		if err != nil {
+			return err
+		}
+		for i := range batch {
+			if !fn(batch[i]) {
+				return nil
+			}
+		}
+	}
+	// Tuples that moved between pages mid-scan may have dodged the page
+	// loop (their new page postdates the page-list snapshot, or was
+	// visited before they arrived). The relocation list records exactly
+	// those ids — O(mid-scan churn), never O(table) — and they are
+	// resolved in bounded chunks, so this sweep, like the page loop
+	// above, never holds the table lock long enough to delay a
+	// degradation transition batch.
+	ts.mu.RLock()
+	var missing []TupleID
+	for _, id := range ts.relocated {
+		if !seen[id] {
+			missing = append(missing, id)
+		}
+	}
+	ts.mu.RUnlock()
+	const sweepChunk = 64
+	for start := 0; start < len(missing); start += sweepChunk {
+		end := start + sweepChunk
+		if end > len(missing) {
+			end = len(missing)
+		}
+		batch = batch[:0]
+		ts.mu.RLock()
+		for _, id := range missing[start:end] {
+			if seen[id] {
+				continue // a tuple that moved more than once
+			}
+			seen[id] = true
+			rid, ok := ts.dir[id]
+			if !ok {
+				continue // deleted since the id was collected
+			}
+			t, err := ts.readLocked(rid)
+			if err != nil {
+				ts.mu.RUnlock()
+				return err
+			}
+			if v, ok := ts.visibleLocked(t, snap); ok {
+				batch = append(batch, v)
+			}
+		}
+		ts.mu.RUnlock()
+		for i := range batch {
+			if !fn(batch[i]) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// collectPageLocked decodes one page's live tuples, resolving each to
+// its snapshot-visible image. Caller holds ts.mu (read).
+func (ts *TableStore) collectPageLocked(pid PageID, snap uint64, seen map[TupleID]bool, out *[]Tuple) error {
+	bufp := pagePool.Get().(*[]byte)
+	defer pagePool.Put(bufp)
+	buf := *bufp
+	if err := ts.mgr.store.ReadPage(pid, buf); err != nil {
+		return err
+	}
+	n := pageNumSlots(buf)
+	for s := uint16(0); s < n; s++ {
+		rec, ok := pageRead(buf, s)
+		if !ok {
+			continue
+		}
+		t, err := decodeRecord(rec)
+		if err != nil {
+			return fmt.Errorf("storage: %s page %d slot %d: %w", ts.tbl.Name, pid, s, err)
+		}
+		if seen[t.ID] {
+			continue // already emitted from a page it moved off of
+		}
+		seen[t.ID] = true
+		if v, ok := ts.visibleLocked(t, snap); ok {
+			*out = append(*out, v)
+		}
+	}
+	return nil
+}
+
+// HasVisibleHistory reports whether some tuple's image at snapshot
+// epoch snap may differ from its current image — true while the latest
+// stable-column supersede postdates the snapshot. The planner uses it
+// to decide whether secondary indexes on stable columns (which reflect
+// only current images) can serve a snapshot read exactly; a snapshot
+// taken at or after the last supersede can never observe a chain
+// image, so indexes serve it even while old chains linger. Callers on
+// the snapshot read path must re-check *after* probing an index: the
+// supersede marker is set before the index is touched (applyRecord
+// updates storage first), so a probe that raced a concurrent update is
+// always caught by the second check.
+func (ts *TableStore) HasVisibleHistory(snap uint64) bool {
+	ts.mu.RLock()
+	defer ts.mu.RUnlock()
+	return ts.lastSupersede > snap
 }
 
 // ScanState calls fn with every live tuple in the given tuple state. On
@@ -444,6 +742,8 @@ type Stats struct {
 	Tuples   int
 	Pages    int
 	Segments map[uint64]int // state key -> page count
+	// Versions counts retained snapshot versions across all tuples.
+	Versions int
 }
 
 // Stats returns current occupancy.
@@ -451,6 +751,9 @@ func (ts *TableStore) Stats() Stats {
 	ts.mu.RLock()
 	defer ts.mu.RUnlock()
 	s := Stats{Tuples: len(ts.dir), Pages: len(ts.pageSeg), Segments: make(map[uint64]int)}
+	for _, chain := range ts.hist {
+		s.Versions += len(chain)
+	}
 	for key, seg := range ts.segs {
 		if len(seg.pages) > 0 {
 			s.Segments[key] = len(seg.pages)

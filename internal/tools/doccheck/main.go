@@ -1,0 +1,146 @@
+// Command doccheck fails when a package exports an undocumented
+// identifier: package-level types, functions, methods on exported
+// types, and const/var specs (a doc comment on the enclosing group
+// counts for all its specs). It also requires a package comment. The
+// Makefile's doc-check target runs it over the public API surface —
+// the root instantdb package, client, and sqldriver — so the godoc of
+// everything an application imports stays complete.
+//
+// Usage:
+//
+//	doccheck [-dir root] pkgdir...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	root := flag.String("dir", ".", "module root the package directories are relative to")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck [-dir root] pkgdir...")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, dir := range flag.Args() {
+		n, err := checkDir(filepath.Join(*root, dir))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %s: %v\n", dir, err)
+			os.Exit(2)
+		}
+		bad += n
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d undocumented exported identifier(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+func checkDir(dir string) (int, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return 0, err
+	}
+	bad := 0
+	for _, pkg := range pkgs {
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil && len(strings.TrimSpace(f.Doc.Text())) > 0 {
+				hasPkgDoc = true
+			}
+		}
+		if !hasPkgDoc {
+			fmt.Printf("%s: package %s has no package comment\n", dir, pkg.Name)
+			bad++
+		}
+		for _, f := range pkg.Files {
+			bad += checkFile(fset, f)
+		}
+	}
+	return bad, nil
+}
+
+func checkFile(fset *token.FileSet, f *ast.File) int {
+	bad := 0
+	report := func(pos token.Pos, what string) {
+		p := fset.Position(pos)
+		fmt.Printf("%s:%d: %s is exported but undocumented\n", p.Filename, p.Line, what)
+		bad++
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || hasDoc(d.Doc) {
+				continue
+			}
+			if recv := recvType(d); recv != "" {
+				if !ast.IsExported(recv) {
+					continue // method on an unexported type
+				}
+				report(d.Pos(), fmt.Sprintf("method %s.%s", recv, d.Name.Name))
+			} else {
+				report(d.Pos(), "func "+d.Name.Name)
+			}
+		case *ast.GenDecl:
+			groupDoc := hasDoc(d.Doc)
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && !groupDoc && !hasDoc(s.Doc) {
+						report(s.Pos(), "type "+s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					documented := groupDoc || hasDoc(s.Doc) || s.Comment != nil
+					for _, id := range s.Names {
+						if id.IsExported() && !documented {
+							report(s.Pos(), kindWord(d.Tok)+" "+id.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return bad
+}
+
+func hasDoc(g *ast.CommentGroup) bool {
+	return g != nil && len(strings.TrimSpace(g.Text())) > 0
+}
+
+func kindWord(tok token.Token) string {
+	if tok == token.CONST {
+		return "const"
+	}
+	return "var"
+}
+
+// recvType returns the receiver's base type name, or "" for functions.
+func recvType(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return ""
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	switch x := t.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.IndexExpr: // generic receiver
+		if id, ok := x.X.(*ast.Ident); ok {
+			return id.Name
+		}
+	}
+	return ""
+}

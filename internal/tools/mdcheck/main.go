@@ -1,0 +1,149 @@
+// Command mdcheck validates the repository's markdown cross-links: for
+// every [text](target) in the given files it checks that a relative
+// target exists on disk, and that a #fragment (same-file or on another
+// markdown file) matches a heading anchor using GitHub's slug rules.
+// External http(s) links are not fetched. The Makefile's md-check
+// target runs it over README.md, DESIGN.md and ROADMAP.md.
+//
+// Usage:
+//
+//	mdcheck file.md...
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+var (
+	// linkRe matches inline links; images ![...](...) are skipped by the
+	// leading-character check below.
+	linkRe    = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+	headingRe = regexp.MustCompile("^#{1,6}\\s+(.*)$")
+	fenceRe   = regexp.MustCompile("^(```|~~~)")
+	slugDrop  = regexp.MustCompile(`[^\p{L}\p{N} _-]`)
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: mdcheck file.md...")
+		os.Exit(2)
+	}
+	anchors := make(map[string]map[string]bool) // file -> anchor set
+	bad := 0
+	for _, f := range os.Args[1:] {
+		a, err := collectAnchors(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mdcheck: %v\n", err)
+			os.Exit(2)
+		}
+		anchors[filepath.Clean(f)] = a
+	}
+	for _, f := range os.Args[1:] {
+		bad += checkFile(f, anchors)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "mdcheck: %d broken link(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+// slugify reproduces GitHub's heading-anchor algorithm closely enough
+// for ASCII docs: lowercase, strip punctuation, spaces to hyphens.
+func slugify(h string) string {
+	// Drop inline code ticks and trailing anchors like [text](url).
+	h = strings.ReplaceAll(h, "`", "")
+	h = linkRe.ReplaceAllStringFunc(h, func(m string) string {
+		return m[1:strings.Index(m, "]")]
+	})
+	h = strings.ToLower(strings.TrimSpace(h))
+	h = slugDrop.ReplaceAllString(h, "")
+	return strings.ReplaceAll(h, " ", "-")
+}
+
+func collectAnchors(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]bool)
+	inFence := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if fenceRe.MatchString(line) {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		if m := headingRe.FindStringSubmatch(line); m != nil {
+			slug := slugify(m[1])
+			for base, n := slug, 1; out[slug]; n++ {
+				slug = fmt.Sprintf("%s-%d", base, n)
+			}
+			out[slug] = true
+		}
+	}
+	return out, nil
+}
+
+func checkFile(path string, anchors map[string]map[string]bool) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mdcheck: %v\n", err)
+		return 1
+	}
+	bad := 0
+	dir := filepath.Dir(path)
+	inFence := false
+	for ln, line := range strings.Split(string(data), "\n") {
+		if fenceRe.MatchString(line) {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			switch {
+			case strings.HasPrefix(target, "http://"), strings.HasPrefix(target, "https://"),
+				strings.HasPrefix(target, "mailto:"):
+				continue
+			case strings.HasPrefix(target, "#"):
+				if !anchors[filepath.Clean(path)][target[1:]] {
+					fmt.Printf("%s:%d: broken anchor %s\n", path, ln+1, target)
+					bad++
+				}
+			default:
+				file, frag, _ := strings.Cut(target, "#")
+				rel := filepath.Clean(filepath.Join(dir, file))
+				if _, err := os.Stat(rel); err != nil {
+					fmt.Printf("%s:%d: broken link %s (no such file)\n", path, ln+1, target)
+					bad++
+					continue
+				}
+				if frag == "" {
+					continue
+				}
+				set, ok := anchors[rel]
+				if !ok {
+					// Fragment into a file outside the checked set:
+					// collect its anchors on demand.
+					if set, err = collectAnchors(rel); err != nil {
+						continue
+					}
+					anchors[rel] = set
+				}
+				if !set[frag] {
+					fmt.Printf("%s:%d: broken anchor %s\n", path, ln+1, target)
+					bad++
+				}
+			}
+		}
+	}
+	return bad
+}

@@ -1,0 +1,90 @@
+package txn
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// EpochSource hands out snapshot epochs — the visibility timeline of the
+// engine's MVCC-lite read path. Every commit batch (user transaction or
+// system degradation transaction) is applied under one fresh epoch and
+// then published; a snapshot reader pins the last published epoch and
+// observes exactly the commits at or before it. Epochs advance only
+// under the engine's commit mutex, so Next/Publish need no internal
+// ordering beyond the atomic; Snapshot/Release may race freely with
+// them and with each other.
+//
+// The source also tracks the set of open snapshots so storage can prune
+// superseded row versions nobody can read anymore (OldestActive is the
+// low-water mark). This reader bookkeeping governs only versions of
+// *stable* columns: versions carrying an expired accuracy state are
+// scrubbed by the degradation engine at their LCP deadline regardless of
+// open snapshots (see internal/storage, TableStore.DegradeAttr).
+type EpochSource struct {
+	// alloc hands out epochs (monotone); current is the published
+	// horizon. current <= alloc always; they differ while a commit
+	// batch is being applied — or permanently for an epoch whose batch
+	// failed mid-apply and was never published, which must stay burned
+	// so no later batch shares a number with torn writes.
+	alloc   atomic.Uint64
+	current atomic.Uint64
+
+	mu     sync.Mutex
+	active map[uint64]int // open snapshot epoch -> reader count
+}
+
+// NewEpochSource returns a source at epoch 0 (everything visible).
+func NewEpochSource() *EpochSource {
+	return &EpochSource{active: make(map[uint64]int)}
+}
+
+// Current returns the last published epoch.
+func (s *EpochSource) Current() uint64 { return s.current.Load() }
+
+// Next allocates the epoch the in-flight commit batch stamps its
+// writes with. Allocation is monotone and never reused: a batch that
+// fails mid-apply leaves its epoch unpublished forever, so no later
+// batch can share a number with its torn writes. The caller must hold
+// the commit mutex (commits are serialized) and Publish the epoch once
+// the batch is fully applied; until then no snapshot can observe it.
+func (s *EpochSource) Next() uint64 { return s.alloc.Add(1) }
+
+// Publish makes epoch e the current snapshot horizon. Writes stamped
+// with e become atomically visible to snapshots taken from now on.
+func (s *EpochSource) Publish(e uint64) { s.current.Store(e) }
+
+// Snapshot pins the current epoch for a reader and returns it. Every
+// Snapshot must be paired with exactly one Release.
+func (s *EpochSource) Snapshot() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.current.Load()
+	s.active[e]++
+	return e
+}
+
+// Release unpins a snapshot taken with Snapshot.
+func (s *EpochSource) Release(e uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := s.active[e]; n > 1 {
+		s.active[e] = n - 1
+	} else {
+		delete(s.active, e)
+	}
+}
+
+// OldestActive returns the oldest pinned snapshot epoch, or the current
+// epoch when no snapshot is open — the low-water mark below which
+// superseded row versions are unreachable and may be pruned.
+func (s *EpochSource) OldestActive() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	oldest := s.current.Load()
+	for e := range s.active {
+		if e < oldest {
+			oldest = e
+		}
+	}
+	return oldest
+}

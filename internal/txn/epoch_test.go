@@ -1,0 +1,105 @@
+package txn
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestEpochSourceBasics(t *testing.T) {
+	s := NewEpochSource()
+	if s.Current() != 0 {
+		t.Fatalf("fresh source at epoch %d, want 0", s.Current())
+	}
+	e := s.Next()
+	if e != 1 {
+		t.Fatalf("Next = %d, want 1", e)
+	}
+	if s.Current() != 0 {
+		t.Fatal("Next must not publish")
+	}
+	s.Publish(e)
+	if s.Current() != 1 {
+		t.Fatalf("Current = %d after publish, want 1", s.Current())
+	}
+}
+
+func TestEpochSourceSnapshotTracking(t *testing.T) {
+	s := NewEpochSource()
+	s.Publish(5)
+	if got := s.OldestActive(); got != 5 {
+		t.Fatalf("OldestActive with no snapshots = %d, want current 5", got)
+	}
+	a := s.Snapshot() // 5
+	s.Publish(7)
+	b := s.Snapshot() // 7
+	if a != 5 || b != 7 {
+		t.Fatalf("snapshots = %d, %d; want 5, 7", a, b)
+	}
+	if got := s.OldestActive(); got != 5 {
+		t.Fatalf("OldestActive = %d, want 5", got)
+	}
+	s.Release(a)
+	if got := s.OldestActive(); got != 7 {
+		t.Fatalf("OldestActive after release = %d, want 7", got)
+	}
+	s.Release(b)
+	if got := s.OldestActive(); got != 7 {
+		t.Fatalf("OldestActive with all released = %d, want current 7", got)
+	}
+}
+
+func TestEpochSourceRefcount(t *testing.T) {
+	s := NewEpochSource()
+	s.Publish(3)
+	a := s.Snapshot()
+	b := s.Snapshot()
+	if a != b {
+		t.Fatalf("same-epoch snapshots differ: %d vs %d", a, b)
+	}
+	s.Publish(9)
+	s.Release(a)
+	if got := s.OldestActive(); got != 3 {
+		t.Fatalf("OldestActive = %d with one pin left, want 3", got)
+	}
+	s.Release(b)
+	if got := s.OldestActive(); got != 9 {
+		t.Fatalf("OldestActive = %d after all pins, want 9", got)
+	}
+}
+
+func TestEpochSourceConcurrent(t *testing.T) {
+	s := NewEpochSource()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // committer
+		defer wg.Done()
+		for i := 0; i < 1000; i++ {
+			s.Publish(s.Next())
+		}
+		close(stop)
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() { // snapshot readers
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				e := s.Snapshot()
+				if cur := s.Current(); e > cur {
+					t.Errorf("snapshot %d ahead of current %d", e, cur)
+				}
+				s.OldestActive()
+				s.Release(e)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Current(); got != 1000 {
+		t.Fatalf("final epoch %d, want 1000", got)
+	}
+}

@@ -5,12 +5,15 @@
 //
 // Locking is strict two-phase: locks accumulate during a transaction and
 // release together at commit or abort. Granularity is hierarchical —
-// intention locks (IS/IX) at table level, S/X at row level — so a scan
-// holding a table S lock blocks the degrader wholesale, while row-locked
-// readers only delay degradation of the tuples they touch (the trade-off
-// measured by experiment B-TXN). Deadlocks resolve by bounded waiting:
-// a request that cannot be granted within the configured timeout fails
-// with ErrLockTimeout and the caller aborts.
+// intention locks (IS/IX) at table level, S/X at row level — so
+// row-locked readers only delay degradation of the tuples they touch
+// (the trade-off measured by experiment B-TXN). Only writes and reads
+// inside explicit read-write transactions lock at all: autocommit
+// SELECTs and read-only transactions read versioned snapshots governed
+// by the EpochSource in this package, with no locks in either
+// direction. Deadlocks resolve by bounded waiting: a request that
+// cannot be granted within the configured timeout fails with
+// ErrLockTimeout and the caller aborts.
 package txn
 
 import (

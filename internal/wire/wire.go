@@ -68,6 +68,12 @@ const (
 	// in a single round trip (EncodeExecArgs payload) — prepare, bind,
 	// execute, discard. The response is OpResult.
 	OpExecArgs byte = 0x0C
+	// OpBeginRO opens a read-only session transaction: statements
+	// execute against one pinned snapshot epoch, acquire no locks, and
+	// write statements fail. A distinct opcode (rather than a flag on
+	// OpBegin) so a server without snapshot support fails the request
+	// loudly instead of silently granting a read-write transaction.
+	OpBeginRO byte = 0x0D
 )
 
 // Response opcodes (server → client).

@@ -28,7 +28,14 @@
 // prepared statements and amortize parsing across executions; one-shot
 // db.Exec/db.Query with arguments use the protocol's single-round-trip
 // bind-and-execute. Transactions (db.Begin) map to the session
-// transaction of the underlying connection.
+// transaction of the underlying connection. A read-only transaction
+// (db.BeginTx with sql.TxOptions{ReadOnly: true}) maps to the engine's
+// snapshot path: every statement reads one consistent snapshot, takes
+// no server-side locks — so long scans never delay the degradation
+// engine — and write statements fail. One deliberate deviation from
+// classic snapshot isolation, inherited from the engine: degradation
+// transitions crossing their deadline mid-transaction are visible,
+// because expired accuracy states are never readable.
 package sqldriver
 
 import (
@@ -202,7 +209,14 @@ func (c *conn) BeginTx(ctx context.Context, opts driver.TxOptions) (driver.Tx, e
 		return nil, fmt.Errorf("sqldriver: isolation level %d not supported", opts.Isolation)
 	}
 	if opts.ReadOnly {
-		return nil, errors.New("sqldriver: read-only transactions not supported")
+		// BEGIN READ ONLY: statements read one pinned snapshot, take no
+		// locks server-side, and writes fail. LCP transitions crossing
+		// their deadline mid-transaction remain visible (the engine's
+		// documented deviation from classic snapshot isolation).
+		if err := c.c.BeginReadOnly(ctx); err != nil {
+			return nil, mapErr(err)
+		}
+		return &tx{c: c, ctx: ctx}, nil
 	}
 	if err := c.c.Begin(ctx); err != nil {
 		return nil, mapErr(err)

@@ -1,6 +1,7 @@
 package sqldriver
 
 import (
+	"context"
 	"database/sql"
 	"errors"
 	"net"
@@ -125,7 +126,6 @@ func TestRoundTrip(t *testing.T) {
 		t.Fatalf("missing timestamp scanned as %v, want NULL", nullAt)
 	}
 
-
 	// Multi-row iteration.
 	rows, err := db.Query("SELECT id, who FROM visits ORDER BY id")
 	if err != nil {
@@ -223,6 +223,43 @@ func TestTransactions(t *testing.T) {
 	}
 	if n != 1 {
 		t.Fatalf("aborted transaction leaked writes: %d rows, want 1", n)
+	}
+}
+
+// TestReadOnlyTransaction maps sql.TxOptions{ReadOnly: true} onto the
+// engine's snapshot path: consistent reads, writes refused.
+func TestReadOnlyTransaction(t *testing.T) {
+	addr := startServer(t)
+	db := open(t, addr)
+	if _, err := db.Exec(`INSERT INTO visits (id, who, place) VALUES (?, ?, ?)`, 1, "alice", "Dam 1"); err != nil {
+		t.Fatal(err)
+	}
+
+	tx, err := db.BeginTx(context.Background(), &sql.TxOptions{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var who string
+	if err := tx.QueryRow(`SELECT who FROM visits WHERE id = ?`, 1).Scan(&who); err != nil || who != "alice" {
+		t.Fatalf("read-only tx read: who=%q err=%v", who, err)
+	}
+	// A write on the pool stays invisible to the pinned snapshot...
+	if _, err := db.Exec(`INSERT INTO visits (id, who, place) VALUES (?, ?, ?)`, 2, "bob", "Dam 1"); err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	if err := tx.QueryRow(`SELECT COUNT(*) AS n FROM visits`).Scan(&n); err != nil || n != 1 {
+		t.Fatalf("snapshot count = %d err=%v, want 1", n, err)
+	}
+	// ...and writes inside the transaction fail.
+	if _, err := tx.Exec(`INSERT INTO visits (id, who, place) VALUES (?, ?, ?)`, 3, "x", "Dam 1"); err == nil {
+		t.Fatal("write inside read-only transaction must fail")
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.QueryRow(`SELECT COUNT(*) AS n FROM visits`).Scan(&n); err != nil || n != 2 {
+		t.Fatalf("post-tx count = %d err=%v, want 2", n, err)
 	}
 }
 
