@@ -16,6 +16,7 @@ import (
 	"instantdb"
 	"instantdb/client"
 	"instantdb/internal/experiments"
+	"instantdb/internal/repl"
 	"instantdb/internal/server"
 )
 
@@ -526,4 +527,129 @@ func BenchmarkAggregateQuery(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- replication benchmarks ---
+//
+// BenchmarkReplicationLag measures the full commit-on-leader to
+// visible-on-follower path: a durable leader commit, WAL tail, wire
+// frame, follower re-log and epoch publish, snapshot read. The scan
+// variant measures follower snapshot-scan throughput while the stream
+// keeps applying leader batches underneath it.
+
+// benchReplPair starts a durable leader served over loopback TCP and a
+// follower replicating from it, waiting until the follower caught up
+// with the schema.
+func benchReplPair(b *testing.B) (*instantdb.DB, *instantdb.DB) {
+	b.Helper()
+	leader, err := instantdb.Open(instantdb.Config{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { leader.Close() })
+	leader.MustExec("CREATE TABLE kv (id INT PRIMARY KEY, who TEXT NOT NULL, score INT)")
+	srv := server.New(leader, server.Options{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	b.Cleanup(func() {
+		srv.Close()
+		<-done
+	})
+
+	follower, err := instantdb.Open(instantdb.Config{Dir: b.TempDir(), Replica: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { follower.Close() })
+	f := &repl.Follower{Addr: ln.Addr().String(), DB: follower, BackoffMin: 5 * time.Millisecond}
+	f.Start()
+	b.Cleanup(f.Stop)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := follower.NewConn().Query("SELECT id FROM kv"); err == nil {
+			return leader, follower
+		}
+		if time.Now().After(deadline) {
+			b.Fatal("follower never received the schema")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func BenchmarkReplicationLag(b *testing.B) {
+	leader, follower := benchReplPair(b)
+	conn := leader.NewConn()
+	st, err := conn.Prepare("INSERT INTO kv (id, who, score) VALUES (?, ?, ?)")
+	if err != nil {
+		b.Fatal(err)
+	}
+	probe, err := follower.NewConn().Prepare("SELECT id FROM kv WHERE id = ?")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := instantdb.Int(int64(i))
+		if _, err := st.Exec(id, instantdb.Text("w"), instantdb.Int(1)); err != nil {
+			b.Fatal(err)
+		}
+		for {
+			rows, err := probe.Query(id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rows.Len() == 1 {
+				break
+			}
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+}
+
+func BenchmarkReplicaScanWhileStreaming(b *testing.B) {
+	leader, follower := benchReplPair(b)
+	conn := leader.NewConn()
+	st, err := conn.Prepare("INSERT INTO kv (id, who, score) VALUES (?, ?, ?)")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if _, err := st.Exec(instantdb.Int(int64(i)), instantdb.Text("w"), instantdb.Int(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Continuous leader churn streaming into the follower underneath
+	// the measured scans.
+	stop := make(chan struct{})
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		for i := 1000; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := st.Exec(instantdb.Int(int64(i)), instantdb.Text("w"), instantdb.Int(1)); err != nil {
+				return
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+	scan := follower.NewConn()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := scan.Query("SELECT who FROM kv"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	<-writerDone
 }

@@ -56,6 +56,15 @@ var (
 	// ErrUnknownStmt: the executed statement id was closed or evicted
 	// from the server's per-session registry; re-prepare and retry.
 	ErrUnknownStmt = wire.ErrUnknownStmt
+	// ErrReadOnlyReplica: the statement would write, but the server is
+	// a read replica (started with -replica-of). Non-fatal — the
+	// session stays usable for reads; send writes to the leader.
+	ErrReadOnlyReplica = wire.ErrReadOnlyReplica
+	// ErrReplUnavailable: a replication handshake was refused — the
+	// server cannot act as a leader (ephemeral or vacuum-mode database)
+	// or the requested log position was checkpointed away, so the
+	// replica must be reseeded. Fatal.
+	ErrReplUnavailable = wire.ErrReplUnavailable
 )
 
 // Rows is a materialized query result.

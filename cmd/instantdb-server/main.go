@@ -9,13 +9,23 @@
 //
 //	instantdb-server [-dir path] [-log shred|plain|vacuum] [-tick 1s]
 //	                 [-listen :7654] [-max-conns 0] [-max-frame 4194304]
-//	                 [-max-stmts 64] [-v]
+//	                 [-max-stmts 64] [-replica-of host:port]
+//	                 [-wal-segment-bytes N] [-wal-nosync] [-v]
 //
 // -dir empty (the default) serves an in-memory database; -log picks the
 // log-degradation strategy for durable ones (default shred). -max-conns
 // caps concurrent sessions (0 = unlimited), -max-frame bounds request
 // and response payloads in bytes, and -max-stmts caps prepared
 // statements per session (LRU eviction past the cap).
+// -wal-segment-bytes tunes the WAL rotation threshold and -wal-nosync
+// disables the per-commit fsync (see its usage text for the durability
+// caveat).
+//
+// -replica-of starts the server as a read replica of another
+// instantdb-server: it streams the leader's WAL, applies batches
+// locally, serves snapshot reads, and refuses writes with a dedicated
+// error code. Its degradation engine runs on its OWN clock, so LCP
+// deadlines are enforced even while the leader is unreachable.
 //
 // SIGINT/SIGTERM shut down gracefully: stop accepting, close live
 // sessions (rolling back their open transactions), then close the
@@ -32,6 +42,7 @@ import (
 	"time"
 
 	"instantdb"
+	"instantdb/internal/repl"
 	"instantdb/internal/server"
 	"instantdb/internal/wire"
 )
@@ -44,10 +55,17 @@ func main() {
 	maxConns := flag.Int("max-conns", 0, "max concurrent client sessions (0 = unlimited)")
 	maxFrame := flag.Int("max-frame", wire.MaxFrameDefault, "max request/response payload bytes")
 	maxStmts := flag.Int("max-stmts", server.DefaultMaxStmts, "max prepared statements per session (LRU eviction past the cap)")
+	replicaOf := flag.String("replica-of", "", "run as a read replica of the leader at host:port (writes are refused; degradation still runs locally)")
+	walSegBytes := flag.Int64("wal-segment-bytes", 0, "WAL segment rotation threshold in bytes (0 = default 1 MiB)")
+	walNoSync := flag.Bool("wal-nosync", false, "disable the per-commit WAL fsync — faster commits, but an OS crash or power loss can silently lose the most recent commits AND the degradation transitions recorded in them, so recovered data may briefly outlive its LCP deadline until the next tick re-degrades it")
 	verbose := flag.Bool("v", false, "log per-connection diagnostics")
 	flag.Parse()
 
-	cfg := instantdb.Config{Dir: *dir, AutoDegrade: *tick}
+	cfg := instantdb.Config{Dir: *dir, AutoDegrade: *tick, SegmentBytes: *walSegBytes, Replica: *replicaOf != ""}
+	if *walNoSync {
+		sync := false
+		cfg.WALSync = &sync
+	}
 	var err error
 	if cfg.LogMode, err = instantdb.ParseLogMode(*logMode); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -64,6 +82,12 @@ func main() {
 	}
 	srv := server.New(db, opts)
 
+	var follower *repl.Follower
+	if *replicaOf != "" {
+		follower = &repl.Follower{Addr: *replicaOf, DB: db, MaxFrame: *maxFrame, Logf: log.Printf}
+		follower.Start()
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	done := make(chan error, 1)
@@ -79,8 +103,12 @@ func main() {
 			time.Sleep(10 * time.Millisecond)
 		}
 	}
-	log.Printf("instantdb-server: serving %s on %s (log=%s tick=%v max-conns=%d)",
-		dbName(*dir), srv.Addr(), *logMode, *tick, *maxConns)
+	role := ""
+	if *replicaOf != "" {
+		role = fmt.Sprintf(" as replica of %s", *replicaOf)
+	}
+	log.Printf("instantdb-server: serving %s on %s%s (log=%s tick=%v max-conns=%d)",
+		dbName(*dir), srv.Addr(), role, *logMode, *tick, *maxConns)
 
 	select {
 	case s := <-sig:
@@ -97,6 +125,9 @@ func main() {
 		if err := srv.Close(); err != nil {
 			log.Printf("instantdb-server: close: %v", err)
 		}
+	}
+	if follower != nil {
+		follower.Stop()
 	}
 	if err := db.Close(); err != nil {
 		log.Printf("instantdb-server: db close: %v", err)

@@ -246,6 +246,34 @@ func (e *Engine) OnInsert(tbl *catalog.Table, tid storage.TupleID, insertedAt ti
 	}
 }
 
+// OnExternalTransition registers the follow-up transition of a tuple
+// whose attribute was just advanced to newState by an externally
+// committed degrade record — a replicated leader batch applying on a
+// follower. The follower's own tick then fires the NEXT transition at
+// its deadline even if the leader never ships it (partition), which is
+// the autonomous-clock rule. Terminal states need no follow-up. A task
+// already enqueued for the same transition is harmless: the batch
+// executor re-checks the tuple's current state under its row lock and
+// skips stale tasks, so duplicates are no-ops.
+func (e *Engine) OnExternalTransition(tbl *catalog.Table, tid storage.TupleID, attr int, newState uint8, insertNano int64) {
+	if newState == storage.StateErased {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	q := e.queueFor(tbl, attr, newState)
+	if q == nil {
+		return
+	}
+	// Keep the FIFO in deadline (= insert) order: catch-up after a
+	// partition can deliver transitions for tuples older than the queue
+	// tail, and an out-of-order tail would delay them behind newer heads.
+	i := sort.Search(len(q.fifo), func(i int) bool { return q.fifo[i].insertNano > insertNano })
+	q.fifo = append(q.fifo, task{})
+	copy(q.fifo[i+1:], q.fifo[i:])
+	q.fifo[i] = task{tid: tid, insertNano: insertNano}
+}
+
 // Reseed rebuilds all queues from the current storage state — the
 // recovery path. Existing queue content is discarded.
 func (e *Engine) Reseed() error {

@@ -113,6 +113,15 @@ type Config struct {
 	// AutoDegrade starts a background degradation loop with this tick
 	// interval (0 = call Tick/DegradeNow manually — simulations).
 	AutoDegrade time.Duration
+	// Replica opens the database in read-replica (follower) mode: user
+	// write statements, read-write BEGIN and DDL fail with
+	// ErrReadOnlyReplica, and mutations arrive only through
+	// ApplyReplicated / ApplyReplicatedDDL (fed by a repl.Follower
+	// tailing a leader's WAL). The degradation engine keeps running
+	// against THIS process's clock: LCP transitions, scrubs and
+	// tuple-LCP deletions fire at their deadlines even while the leader
+	// is unreachable — expiry is enforced where the copy lives.
+	Replica bool
 }
 
 // DB is an open InstantDB database.
@@ -138,6 +147,19 @@ type DB struct {
 	closed    bool
 	failed    bool // a durably logged batch did not apply; commits fenced
 	replaying bool
+	// ddlApplied counts catalog.sql statements applied, in order — the
+	// replication schema stream resumes at this index.
+	ddlApplied int
+	// replPos is the leader log position the next replicated batch
+	// starts at (follower mode; recovered from RecReplMark records and
+	// the repl.pos checkpoint file).
+	replPos wal.Pos
+	// applyingRepl is set (under mu) while a replicated leader batch
+	// applies, so applyRecord can tell external degrade transitions —
+	// which must schedule the replica's own follow-up — from the
+	// replica's locally fired ones, whose follow-ups the degrade engine
+	// already enqueues itself.
+	applyingRepl bool
 }
 
 // Open opens (or creates) a database.
@@ -255,6 +277,15 @@ func (db *DB) recover() error {
 	if err := db.mgr.Rebuild(db.cat); err != nil {
 		return err
 	}
+	// 2b. Replication floor: a checkpoint scrubs the WAL (and its
+	// RecReplMark records), persisting the position to repl.pos first.
+	// Marks replayed from the log in step 3 only ever move it forward.
+	if data, err := os.ReadFile(filepath.Join(db.cfg.Dir, "repl.pos")); err == nil {
+		var p wal.Pos
+		if _, err := fmt.Sscanf(string(data), "%d:%d", &p.Seg, &p.Off); err == nil {
+			db.replPos = p
+		}
+	}
 	// 3. Redo the log (idempotent; complete batches only).
 	if db.log != nil {
 		err := db.log.Replay(func(r *wal.Record) error {
@@ -289,6 +320,102 @@ func (db *DB) Log() *wal.Log { return db.log }
 
 // KeyStore exposes the epoch-key store (nil unless LogShred).
 func (db *DB) KeyStore() *wal.KeyStore { return db.keys }
+
+// Epoch returns the last published snapshot epoch (replication
+// handshake diagnostics).
+func (db *DB) Epoch() uint64 { return db.epochs.Current() }
+
+// IsReplica reports whether the database runs in read-replica mode.
+func (db *DB) IsReplica() bool { return db.cfg.Replica }
+
+// ReplPos returns the leader log position the next replicated batch
+// starts at — durable with the batches themselves (RecReplMark records
+// ride in each applied commit batch) so a reopened follower resumes
+// exactly where it stopped.
+func (db *DB) ReplPos() wal.Pos {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.replPos
+}
+
+// ReplSource validates that this database can serve as a replication
+// leader and returns its WAL plus the catalog DDL script shipped to
+// connecting followers. Ephemeral databases have no log to ship, and
+// vacuum mode rewrites sealed segments in place, which would silently
+// invalidate follower byte positions — both are refused.
+func (db *DB) ReplSource() (*wal.Log, string, error) {
+	if db.log == nil {
+		return nil, "", errors.New("engine: replication requires a durable database (no WAL)")
+	}
+	if db.cfg.LogMode == LogVacuum {
+		return nil, "", errors.New("engine: replication is unsupported in vacuum log mode (segment rewrites invalidate follower positions); use shred or plain")
+	}
+	data, err := os.ReadFile(filepath.Join(db.cfg.Dir, "catalog.sql"))
+	if err != nil && !os.IsNotExist(err) {
+		return nil, "", err
+	}
+	return db.log, string(data), nil
+}
+
+// ApplyReplicatedDDL brings a replica's catalog up to date with the
+// leader's DDL script. catalog.sql is append-only and both sides apply
+// it in order, so the replica executes exactly the statements past its
+// own applied count; a replica whose catalog is longer than the
+// leader's script was pointed at the wrong leader and is refused.
+func (db *DB) ApplyReplicatedDDL(script string) error {
+	if !db.cfg.Replica {
+		return errors.New("engine: ApplyReplicatedDDL on a non-replica database")
+	}
+	stmts, err := query.ParseScript(script)
+	if err != nil {
+		return fmt.Errorf("engine: leader DDL script: %w", err)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.ddlApplied > len(stmts) {
+		return fmt.Errorf("engine: replica has %d DDL statements but the leader script has %d — this replica was not seeded from that leader",
+			db.ddlApplied, len(stmts))
+	}
+	for _, st := range stmts[db.ddlApplied:] {
+		if err := db.execDDL(st, ""); err != nil {
+			return fmt.Errorf("engine: replicated DDL: %w", err)
+		}
+	}
+	return nil
+}
+
+// ApplyReplicated applies one replicated leader commit batch on a
+// replica, through the same durable-append-then-apply path local
+// commits take: the batch lands in the follower's own WAL (sealed under
+// the follower's own epoch keys), applies to storage and indexes,
+// seeds the degradation queues, and publishes a snapshot epoch — so
+// lock-free snapshot reads observe leader batches atomically. next is
+// the position after the batch in the LEADER's log; a RecReplMark
+// carrying it joins the batch, making the resume position durable
+// exactly when the batch is. Records referencing tables this replica
+// does not know yet are refused before anything is logged (the follower
+// reconnects, catches up on DDL, and retries).
+func (db *DB) ApplyReplicated(recs []*wal.Record, next wal.Pos) error {
+	if !db.cfg.Replica {
+		return errors.New("engine: ApplyReplicated on a non-replica database")
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	batch := make([]*wal.Record, 0, len(recs)+1)
+	for _, r := range recs {
+		if r.Type == wal.RecReplMark {
+			continue // upstream marks address the wrong log; ours follows
+		}
+		if _, err := db.cat.TableByID(r.Table); err != nil {
+			return fmt.Errorf("engine: replicated batch references unknown table %d (DDL behind?): %w", r.Table, err)
+		}
+		batch = append(batch, r)
+	}
+	batch = append(batch, &wal.Record{Type: wal.RecReplMark, ReplSeg: next.Seg, ReplOff: next.Off})
+	db.applyingRepl = true
+	defer func() { db.applyingRepl = false }()
+	return db.commitLocked(batch)
+}
 
 // commitSystem is the degrade.Committer: durable append then apply.
 func (db *DB) commitSystem(recs []*wal.Record) error {
@@ -352,10 +479,51 @@ func (db *DB) checkpointLocked() error {
 	if err := db.mgr.Sync(); err != nil {
 		return err
 	}
+	// The log reset destroys the RecReplMark records that carry a
+	// replica's resume position; persist it to a sidecar file first so
+	// reopening resumes tailing instead of starting over.
+	if db.cfg.Replica && db.cfg.Dir != "" && !db.replPos.IsZero() {
+		if err := writeFileSynced(filepath.Join(db.cfg.Dir, "repl.pos"),
+			[]byte(db.replPos.String())); err != nil {
+			return err
+		}
+	}
 	if db.log != nil {
 		return db.log.Reset()
 	}
 	return nil
+}
+
+// writeFileSynced atomically replaces path with data, fsyncing the file
+// and its directory — the caller is about to destroy the only other
+// durable copy of this information (the WAL reset scrubs the marks), so
+// the sidecar must actually be on disk first.
+func writeFileSynced(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	dir, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	defer dir.Close()
+	return dir.Sync()
 }
 
 // DegradeNow runs one degradation tick synchronously and returns the
@@ -402,6 +570,9 @@ func (db *DB) Close() error {
 // RegisterDomain registers a programmatically built generalization
 // domain, persisting its generated DDL so it survives reopen.
 func (db *DB) RegisterDomain(d gentree.Domain) error {
+	if db.cfg.Replica {
+		return ErrReadOnlyReplica
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if err := db.cat.AddDomain(d); err != nil {
@@ -413,6 +584,9 @@ func (db *DB) RegisterDomain(d gentree.Domain) error {
 // RegisterPolicy registers a programmatically built policy, persisting
 // its generated DDL.
 func (db *DB) RegisterPolicy(p *lcp.Policy) error {
+	if db.cfg.Replica {
+		return ErrReadOnlyReplica
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if err := db.cat.AddPolicy(p); err != nil {
@@ -421,15 +595,23 @@ func (db *DB) RegisterPolicy(p *lcp.Policy) error {
 	return db.persistDDL(PolicyDDL(p))
 }
 
-// persistDDL appends one DDL statement to catalog.sql.
+// persistDDL appends one DDL statement to catalog.sql. It also counts
+// applied DDL statements (including replayed and ephemeral ones): the
+// count is the replica's cursor into the leader's append-only DDL
+// script.
 func (db *DB) persistDDL(stmt string) error {
 	if db.ddlFile == nil || db.replaying {
+		db.ddlApplied++
 		return nil
 	}
 	if _, err := db.ddlFile.WriteString(stmt + ";\n"); err != nil {
 		return err
 	}
-	return db.ddlFile.Sync()
+	if err := db.ddlFile.Sync(); err != nil {
+		return err
+	}
+	db.ddlApplied++
+	return nil
 }
 
 // visibleLevel returns the stored level of a tuple's degradable column:

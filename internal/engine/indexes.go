@@ -245,6 +245,12 @@ func (inst *indexInst) degrade(before *storage.Tuple, degPos int, newStored valu
 // and degradation queues (live mode only; recovery rebuilds both
 // afterwards in bulk).
 func (db *DB) applyRecord(r *wal.Record, live bool) error {
+	if r.Type == wal.RecReplMark {
+		// Follower resume bookkeeping; no storage effect. Handled before
+		// the table lookup — marks carry no table.
+		db.replPos = wal.Pos{Seg: r.ReplSeg, Off: r.ReplOff}
+		return nil
+	}
 	tbl, err := db.cat.TableByID(r.Table)
 	if err != nil {
 		// Records of dropped tables are ignorable during replay.
@@ -320,12 +326,34 @@ func (db *DB) applyRecord(r *wal.Record, live bool) error {
 	case wal.RecDegrade:
 		if live {
 			if t, err := ts.Get(r.Tuple); err == nil {
+				// Monotone gate, mirroring storage.DegradeAttr: a
+				// transition the attribute already made (a leader batch
+				// landing after the replica's own clock fired it) must
+				// not touch the indexes either — moving an entry back to
+				// a more accurate key would resurrect expired accuracy
+				// in index structure.
+				if int(r.DegPos) < len(t.States) && !storage.StateAdvances(t.States[r.DegPos], r.NewState) {
+					return nil
+				}
 				for _, inst := range db.byTable[tbl.ID] {
 					inst.degrade(&t, int(r.DegPos), r.NewStored, r.NewState)
 				}
 			}
 		}
-		return ts.DegradeAttr(r.Tuple, int(r.DegPos), r.NewStored, r.NewState)
+		if err := ts.DegradeAttr(r.Tuple, int(r.DegPos), r.NewStored, r.NewState); err != nil {
+			return err
+		}
+		if live && db.applyingRepl {
+			// Autonomous-clock rule: an externally committed transition
+			// must schedule this replica's own follow-up transition, so
+			// the next deadline fires on the replica's clock even if the
+			// leader is partitioned away when it comes due. Locally
+			// fired transitions don't pass here (applyingRepl is set
+			// only while a replicated batch applies): the degrade
+			// engine enqueues their follow-ups itself.
+			db.deg.OnExternalTransition(tbl, r.Tuple, int(r.DegPos), r.NewState, r.InsertNano)
+		}
+		return nil
 	default:
 		return fmt.Errorf("engine: unknown record type %d", r.Type)
 	}

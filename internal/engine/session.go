@@ -36,6 +36,13 @@ var (
 	// transaction. Like any in-transaction statement failure, it aborts
 	// the transaction; ROLLBACK releases the snapshot.
 	ErrReadOnlyTxn = errors.New("engine: write statement in a read-only transaction")
+	// ErrReadOnlyReplica marks a write statement, read-write BEGIN or
+	// DDL on a database opened in replica mode (Config.Replica). All
+	// mutations on a replica arrive from its leader's replicated WAL —
+	// or from its own degradation engine, which keeps enforcing LCP
+	// deadlines locally and is exempt from this fence. Direct writes to
+	// the leader.
+	ErrReadOnlyReplica = errors.New("engine: read-only replica: writes are accepted only on the leader")
 )
 
 // Rows is a fully materialized query result.
@@ -217,6 +224,11 @@ func (c *Conn) ExecParsed(st query.Statement, src string) (*Result, error) {
 		if c.tx != nil {
 			return nil, errors.New("engine: transaction already open")
 		}
+		if !s.ReadOnly && c.db.cfg.Replica {
+			// Refused at BEGIN, not at COMMIT: a replica can never grant
+			// the write locks a read-write transaction exists to take.
+			return nil, ErrReadOnlyReplica
+		}
 		if s.ReadOnly {
 			c.beginRO()
 		} else {
@@ -243,6 +255,12 @@ func (c *Conn) ExecParsed(st query.Statement, src string) (*Result, error) {
 		// DDL: forbidden inside an open transaction.
 		if c.tx != nil {
 			return nil, errors.New("engine: DDL inside a transaction is not supported")
+		}
+		if c.db.cfg.Replica {
+			// Replica catalogs advance only through the leader's DDL
+			// stream (ApplyReplicatedDDL); local DDL would desynchronize
+			// the statement cursor both sides share.
+			return nil, ErrReadOnlyReplica
 		}
 		c.db.mu.Lock()
 		defer c.db.mu.Unlock()
@@ -298,6 +316,9 @@ func (c *Conn) autocommit(fn func() (*Result, error)) (*Result, error) {
 			return nil, err
 		}
 		return res, nil
+	}
+	if c.db.cfg.Replica {
+		return nil, ErrReadOnlyReplica
 	}
 	c.begin()
 	res, err := fn()

@@ -1,0 +1,290 @@
+package repl
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"instantdb/internal/wal"
+	"instantdb/internal/wire"
+)
+
+// Applier is the replica-side apply surface the Follower drives.
+// engine.DB implements it in replica mode.
+type Applier interface {
+	// ReplPos returns the durable resume position in the leader's log.
+	ReplPos() wal.Pos
+	// Epoch returns the replica's last published snapshot epoch
+	// (handshake diagnostics).
+	Epoch() uint64
+	// ApplyReplicatedDDL catches the replica's catalog up with the
+	// leader's append-only DDL script.
+	ApplyReplicatedDDL(script string) error
+	// ApplyReplicated durably applies one leader batch and records next
+	// as the new resume position, atomically.
+	ApplyReplicated(recs []*wal.Record, next wal.Pos) error
+}
+
+// Follower maintains a replication stream from a leader: dial,
+// handshake at the replica's durable resume position, apply loop, and
+// reconnect with exponential backoff after transport failures. Fatal
+// protocol answers (CodeReplUnavailable: the position was checkpointed
+// away, or the leader cannot replicate at all) stop the follower — the
+// replica needs operator attention, retrying cannot help.
+type Follower struct {
+	// Addr is the leader's listen address (host:port).
+	Addr string
+	// DB is the replica database the stream applies to.
+	DB Applier
+	// MaxFrame bounds frames accepted from the leader (default
+	// wire.MaxFrameDefault). A leader commit batch crosses as one
+	// frame, so this must be at least the leader's largest commit; an
+	// oversized frame is a FATAL follower error (deterministic — the
+	// same batch would arrive on every retry), fixed by restarting the
+	// follower with a larger limit.
+	MaxFrame int
+	// ReadTimeout bounds how long the stream may stay silent before the
+	// leader is presumed dead and the follower reconnects (default
+	// 30s). The leader heartbeats every second by default, so any
+	// value comfortably above the leader's heartbeat interval works;
+	// without it, a leader that vanishes without closing TCP (power
+	// loss, packet-dropping partition) would block the stream forever.
+	ReadTimeout time.Duration
+	// BackoffMin/BackoffMax bound the reconnect backoff (defaults
+	// 100ms / 5s).
+	BackoffMin, BackoffMax time.Duration
+	// DialTimeout bounds each connection attempt (default 5s).
+	DialTimeout time.Duration
+	// Logf receives connection-level diagnostics when non-nil.
+	Logf func(format string, args ...any)
+
+	mu      sync.Mutex
+	nc      net.Conn
+	stopped bool
+	stopCh  chan struct{}
+	done    chan struct{}
+	fatal   error
+
+	connected atomic.Bool
+	applied   atomic.Uint64 // batches applied since Start
+}
+
+func (f *Follower) logf(format string, args ...any) {
+	if f.Logf != nil {
+		f.Logf(format, args...)
+	}
+}
+
+// Start launches the streaming loop in a background goroutine. Use Stop
+// to end it.
+func (f *Follower) Start() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.done != nil || f.stopped {
+		return
+	}
+	f.stopCh = make(chan struct{})
+	f.done = make(chan struct{})
+	go f.run(f.done)
+}
+
+// Stop ends the streaming loop and waits for it to exit. Idempotent.
+func (f *Follower) Stop() {
+	f.mu.Lock()
+	if f.stopped {
+		done := f.done
+		f.mu.Unlock()
+		if done != nil {
+			<-done
+		}
+		return
+	}
+	f.stopped = true
+	if f.stopCh != nil {
+		close(f.stopCh)
+	}
+	if f.nc != nil {
+		f.nc.Close()
+	}
+	done := f.done
+	f.mu.Unlock()
+	if done != nil {
+		<-done
+	}
+}
+
+// Connected reports whether a replication stream is currently live.
+func (f *Follower) Connected() bool { return f.connected.Load() }
+
+// Applied returns the number of batches applied since Start.
+func (f *Follower) Applied() uint64 { return f.applied.Load() }
+
+// Err returns the fatal error that stopped the follower, if any.
+func (f *Follower) Err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fatal
+}
+
+func (f *Follower) run(done chan struct{}) {
+	defer close(done)
+	minB, maxB := f.BackoffMin, f.BackoffMax
+	if minB <= 0 {
+		minB = 100 * time.Millisecond
+	}
+	if maxB <= 0 {
+		maxB = 5 * time.Second
+	}
+	backoff := minB
+	for {
+		if f.isStopped() {
+			return
+		}
+		err := f.stream()
+		if f.connected.Swap(false) {
+			backoff = minB // the last attempt reached streaming; reset
+		}
+		if f.isStopped() {
+			return
+		}
+		var werr *wire.Error
+		if errors.As(err, &werr) && werr.Fatal() {
+			f.mu.Lock()
+			f.fatal = err
+			f.mu.Unlock()
+			f.logf("repl: fatal: %v — follower stopped (reseed the replica from a leader copy)", err)
+			return
+		}
+		if errors.Is(err, wire.ErrFrameTooLarge) {
+			// Deterministic: the same oversized batch or schema frame
+			// would arrive on every reconnect. Retrying cannot help;
+			// restart the follower with a larger MaxFrame.
+			f.mu.Lock()
+			f.fatal = err
+			f.mu.Unlock()
+			f.logf("repl: fatal: %v — follower stopped (raise the frame limit: the leader ships each commit batch as one frame)", err)
+			return
+		}
+		if err != nil {
+			f.logf("repl: stream ended: %v — reconnecting in %v", err, backoff)
+		}
+		f.mu.Lock()
+		stopCh := f.stopCh
+		f.mu.Unlock()
+		select {
+		case <-stopCh:
+			return
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > maxB {
+			backoff = maxB
+		}
+	}
+}
+
+func (f *Follower) isStopped() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stopped
+}
+
+// stream runs one connection: dial, handshake, apply until failure.
+func (f *Follower) stream() error {
+	dt := f.DialTimeout
+	if dt <= 0 {
+		dt = 5 * time.Second
+	}
+	nc, err := net.DialTimeout("tcp", f.Addr, dt)
+	if err != nil {
+		return err
+	}
+	f.mu.Lock()
+	if f.stopped {
+		f.mu.Unlock()
+		nc.Close()
+		return nil
+	}
+	f.nc = nc
+	f.mu.Unlock()
+	defer func() {
+		f.mu.Lock()
+		f.nc = nil
+		f.mu.Unlock()
+		nc.Close()
+	}()
+
+	pos := f.DB.ReplPos()
+	hello := wire.EncodeReplHello(wire.ReplHello{
+		Version:   wire.Version,
+		Seg:       uint64(pos.Seg),
+		Off:       uint64(pos.Off),
+		LastEpoch: f.DB.Epoch(),
+	})
+	if err := wire.WriteFrame(nc, wire.OpReplHello, hello); err != nil {
+		return err
+	}
+
+	maxFrame := f.MaxFrame
+	if maxFrame <= 0 {
+		maxFrame = wire.MaxFrameDefault
+	}
+	readTimeout := f.ReadTimeout
+	if readTimeout <= 0 {
+		readTimeout = 30 * time.Second
+	}
+	br := bufio.NewReader(nc)
+	first := true
+	for {
+		// The leader heartbeats on an idle stream; prolonged silence
+		// means it died without closing the socket. Time out and
+		// reconnect rather than blocking forever.
+		if err := nc.SetReadDeadline(time.Now().Add(readTimeout)); err != nil {
+			return err
+		}
+		op, payload, err := wire.ReadFrame(br, maxFrame)
+		if err != nil {
+			return err
+		}
+		switch op {
+		case wire.OpReplSchema:
+			if err := f.DB.ApplyReplicatedDDL(string(payload)); err != nil {
+				return err
+			}
+			if first {
+				f.connected.Store(true)
+				f.logf("repl: streaming from %s at %v", f.Addr, pos)
+				first = false
+			}
+		case wire.OpReplBatch:
+			b, err := wire.DecodeReplBatch(payload)
+			if err != nil {
+				return err
+			}
+			recs, err := wal.DecodeRecords(b.Records, wal.PlainCodec{})
+			if err != nil {
+				return err
+			}
+			next := wal.Pos{Seg: int(b.NextSeg), Off: int64(b.NextOff)}
+			if err := f.DB.ApplyReplicated(recs, next); err != nil {
+				return err
+			}
+			f.applied.Add(1)
+		case wire.OpReplHeartbeat:
+			if _, err := wire.DecodeReplHeartbeat(payload); err != nil {
+				return err
+			}
+		case wire.OpError:
+			werr, err := wire.DecodeError(payload)
+			if err != nil {
+				return err
+			}
+			return werr
+		default:
+			return fmt.Errorf("repl: unexpected opcode %#x on replication stream", op)
+		}
+	}
+}

@@ -1,0 +1,350 @@
+package repl_test
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"instantdb/internal/engine"
+	"instantdb/internal/forensic"
+	"instantdb/internal/storage"
+	"instantdb/internal/value"
+	"instantdb/internal/vclock"
+	"instantdb/internal/wal"
+)
+
+// feedAll drains the leader's WAL into the follower (the deterministic,
+// network-free stand-in for a live stream) and returns the position the
+// follower would resume from.
+func feedAll(t *testing.T, leader, follower *engine.DB, pos wal.Pos) wal.Pos {
+	t.Helper()
+	log := leader.Log()
+	for {
+		recs, next, err := log.ReadBatch(pos)
+		if err != nil {
+			t.Fatalf("ReadBatch(%v): %v", pos, err)
+		}
+		if recs == nil {
+			return pos
+		}
+		if err := follower.ApplyReplicated(recs, next); err != nil {
+			t.Fatalf("ApplyReplicated: %v", err)
+		}
+		pos = next
+	}
+}
+
+// queryPlaces returns place values visible under purpose for tuple id.
+func queryPlaces(t *testing.T, db *engine.DB, purpose string, id int) []string {
+	t.Helper()
+	conn := db.NewConn()
+	if err := conn.SetPurpose(purpose); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := conn.Query("SELECT place FROM visits WHERE id = ?", value.Int(int64(id)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, 0, rows.Len())
+	for _, r := range rows.Data {
+		out = append(out, r[0].Text())
+	}
+	return out
+}
+
+// scanFollower runs the forensic adversary over every persistent
+// artifact of the follower: raw store pages, WAL segments, key file.
+func scanFollower(t *testing.T, db *engine.DB, dir string, needles []forensic.Needle) forensic.Report {
+	t.Helper()
+	rep, err := forensic.ScanStore(db.StorageManager().Store(), needles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirRep, err := forensic.ScanDir(filepath.Join(dir, "wal"), needles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Merge(dirRep)
+	keyRep, err := forensic.ScanFile(filepath.Join(dir, "keys.db"), needles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Merge(keyRep)
+	return rep
+}
+
+// replayDegLost replays the follower's own WAL and reports whether the
+// insert record of tuple tid has its first degradable payload marked
+// irrecoverable (epoch key shredded).
+func replayDegLost(t *testing.T, db *engine.DB, tid storage.TupleID) bool {
+	t.Helper()
+	lost := false
+	if err := db.Log().Replay(func(r *wal.Record) error {
+		if r.Type == wal.RecInsert && r.Tuple == tid {
+			lost = len(r.DegLost) > 0 && r.DegLost[0]
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return lost
+}
+
+// TestDisconnectedReplicaEnforcesDeadlines is the degradation-critical
+// guarantee: a follower partitioned from its leader still executes LCP
+// transitions at the deadline, on its OWN clock — and after the
+// deadline, the expired accuracy state is unrecoverable from every one
+// of the follower's persistent artifacts (storage pages, its WAL, the
+// key file), with zero lock skips (nothing on the replica can delay
+// enforcement). Fully deterministic: both databases run on simulated
+// clocks and batches are fed directly from the leader's log.
+func TestDisconnectedReplicaEnforcesDeadlines(t *testing.T) {
+	t0 := vclock.Epoch
+
+	leaderClock := vclock.NewSimulated(t0)
+	leaderDir := t.TempDir()
+	leader, err := engine.Open(engine.Config{Dir: leaderDir, Clock: leaderClock, ShredBucket: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	if err := leader.ExecScript(testSchema); err != nil {
+		t.Fatal(err)
+	}
+	// Wave A at t0, wave B twenty minutes later (its later transition
+	// is what lets the follower's scrubber retire wave A's epoch key).
+	resA, err := leader.Exec(`INSERT INTO visits (id, who, place) VALUES (1, 'alice', 'Dam 1')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tidA := resA.LastInsertID
+	leaderClock.Advance(20 * time.Minute)
+	if _, err := leader.Exec(`INSERT INTO visits (id, who, place) VALUES (2, 'bob', 'Coolsingel 40')`); err != nil {
+		t.Fatal(err)
+	}
+
+	folClock := vclock.NewSimulated(t0)
+	folDir := t.TempDir()
+	follower, err := engine.Open(engine.Config{Dir: folDir, Replica: true, Clock: folClock, ShredBucket: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+	_, schema, err := leader.ReplSource()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := follower.ApplyReplicatedDDL(schema); err != nil {
+		t.Fatal(err)
+	}
+	feedAll(t, leader, follower, wal.Pos{})
+	// ---- the partition starts here: nothing more is ever fed. ----
+
+	// Pre-deadline sanity: the precise value is served, and its stored
+	// form is present in the follower's raw store (validates the
+	// needle before we assert its absence).
+	if got := queryPlaces(t, follower, "precise", 1); len(got) != 1 || got[0] != "Dam 1" {
+		t.Fatalf("pre-deadline precise read: %v", got)
+	}
+	tbl, err := follower.Catalog().Table("visits")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tupA, err := follower.StorageManager().Table(tbl).Get(tidA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	needles := []forensic.Needle{forensic.NeedleForStored("waveA-address", tupA.Row[2])}
+	if rep, err := forensic.ScanStore(follower.StorageManager().Store(), needles); err != nil || rep.Clean() {
+		t.Fatalf("needle must be present before the deadline (err=%v clean=%v)", err, rep.Clean())
+	}
+
+	// Cross wave A's address deadline on the FOLLOWER's clock. The
+	// leader is partitioned away and will never ship this transition.
+	folClock.Advance(15*time.Minute + time.Second)
+	n, err := follower.DegradeNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 1 {
+		t.Fatalf("disconnected follower executed %d transitions, want >= 1", n)
+	}
+	stats := follower.Degrader().Stats()
+	if stats.LockSkips != 0 {
+		t.Fatalf("LockSkips = %d, want 0 (nothing on a replica may delay enforcement)", stats.LockSkips)
+	}
+
+	// The expired accuracy state is gone from every artifact.
+	if rep := scanFollower(t, follower, folDir, needles); !rep.Clean() {
+		t.Fatalf("forensic scan after deadline found leaks: %v", rep.Findings)
+	}
+	// Exposure through the query surface: the address-accuracy purpose
+	// can no longer observe the tuple at all (core semantics), while
+	// the city purpose sees exactly the degraded form.
+	if got := queryPlaces(t, follower, "precise", 1); len(got) != 0 {
+		t.Fatalf("post-deadline precise read must expose nothing, got %v", got)
+	}
+	if got := queryPlaces(t, follower, "cities", 1); len(got) != 1 || got[0] != "Amsterdam" {
+		t.Fatalf("post-deadline city read: %v", got)
+	}
+
+	// Wave A's insert payload in the follower's OWN WAL is ciphertext
+	// under a follower epoch key; once wave B's transition passes the
+	// same state, the scrubber retires that key and the payload becomes
+	// permanently undecipherable — replication never extended the life
+	// of log material.
+	if replayDegLost(t, follower, storage.TupleID(tidA)) {
+		t.Fatal("wave A payload already lost before its key's scrub window")
+	}
+	folClock.Advance(20*time.Minute + time.Second) // t0+35m+2s: wave B deadline
+	if _, err := follower.DegradeNow(); err != nil {
+		t.Fatal(err)
+	}
+	if !replayDegLost(t, follower, storage.TupleID(tidA)) {
+		t.Fatal("wave A payload still decipherable after its epoch key's scrub deadline")
+	}
+
+	if stats := follower.Degrader().Stats(); stats.LockSkips != 0 {
+		t.Fatalf("LockSkips = %d after second tick, want 0", stats.LockSkips)
+	}
+}
+
+// TestLeaderFirstSchedulesFollowup covers the other half of the
+// autonomous-clock rule: when the LEADER's transition arrives first
+// (the follower's clock lags), the externally applied batch must still
+// schedule the follower's own NEXT transition — a later partition must
+// not orphan the rest of the tuple's degradation ladder.
+func TestLeaderFirstSchedulesFollowup(t *testing.T) {
+	t0 := vclock.Epoch
+	leaderClock := vclock.NewSimulated(t0)
+	leader, err := engine.Open(engine.Config{Dir: t.TempDir(), Clock: leaderClock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	if err := leader.ExecScript(testSchema); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := leader.Exec(`INSERT INTO visits (id, who, place) VALUES (1, 'alice', 'Dam 1')`); err != nil {
+		t.Fatal(err)
+	}
+	// The leader crosses the address deadline and degrades 0 -> 1.
+	leaderClock.Advance(16 * time.Minute)
+	if n, err := leader.DegradeNow(); err != nil || n < 1 {
+		t.Fatalf("leader transition: n=%d err=%v", n, err)
+	}
+
+	// A follower whose clock lags applies insert AND leader transition.
+	folClock := vclock.NewSimulated(t0)
+	follower, err := engine.Open(engine.Config{Dir: t.TempDir(), Replica: true, Clock: folClock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+	_, schema, err := leader.ReplSource()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := follower.ApplyReplicatedDDL(schema); err != nil {
+		t.Fatal(err)
+	}
+	feedAll(t, leader, follower, wal.Pos{})
+	if got := queryPlaces(t, follower, "cities", 1); len(got) != 1 || got[0] != "Amsterdam" {
+		t.Fatalf("follower after leader-first transition: %v", got)
+	}
+
+	// Partition. The follower alone must fire city -> region at its
+	// cumulative deadline (15m + 1h from insert) on its own clock.
+	folClock.Advance(76 * time.Minute)
+	if n, err := follower.DegradeNow(); err != nil || n < 1 {
+		t.Fatalf("autonomous follow-up transition: n=%d err=%v", n, err)
+	}
+	if got := queryPlaces(t, follower, "cities", 1); len(got) != 0 {
+		t.Fatalf("city purpose still sees tuple 1 after the region deadline: %v", got)
+	}
+}
+
+// TestMonotoneReconciliation: the follower's clock fires a transition
+// first; the leader's copy of the same transition arrives later (the
+// partition heals) and must be a no-op — degraded accuracy is never
+// resurrected, and the stream keeps applying cleanly past it.
+func TestMonotoneReconciliation(t *testing.T) {
+	t0 := vclock.Epoch
+	leaderClock := vclock.NewSimulated(t0)
+	leader, err := engine.Open(engine.Config{Dir: t.TempDir(), Clock: leaderClock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	if err := leader.ExecScript(testSchema); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := leader.Exec(`INSERT INTO visits (id, who, place) VALUES (1, 'alice', 'Dam 1')`); err != nil {
+		t.Fatal(err)
+	}
+
+	folClock := vclock.NewSimulated(t0)
+	follower, err := engine.Open(engine.Config{Dir: t.TempDir(), Replica: true, Clock: folClock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+	_, schema, err := leader.ReplSource()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := follower.ApplyReplicatedDDL(schema); err != nil {
+		t.Fatal(err)
+	}
+	pos := feedAll(t, leader, follower, wal.Pos{})
+
+	// Partition. The follower's clock crosses the deadline first.
+	folClock.Advance(16 * time.Minute)
+	if n, err := follower.DegradeNow(); err != nil || n < 1 {
+		t.Fatalf("follower transition: n=%d err=%v", n, err)
+	}
+	if got := queryPlaces(t, follower, "cities", 1); len(got) != 1 || got[0] != "Amsterdam" {
+		t.Fatalf("follower degraded read: %v", got)
+	}
+
+	// The leader fires the same transition during the partition...
+	leaderClock.Advance(16 * time.Minute)
+	if n, err := leader.DegradeNow(); err != nil || n < 1 {
+		t.Fatalf("leader transition: n=%d err=%v", n, err)
+	}
+	// ...and the partition heals: the late duplicate applies as a no-op.
+	pos = feedAll(t, leader, follower, pos)
+	if got := queryPlaces(t, follower, "cities", 1); len(got) != 1 || got[0] != "Amsterdam" {
+		t.Fatalf("post-heal read regressed: %v", got)
+	}
+
+	// The stream stays live past the duplicate: a fresh leader write
+	// still replicates.
+	if _, err := leader.Exec(`INSERT INTO visits (id, who, place) VALUES (2, 'bob', 'Coolsingel 40')`); err != nil {
+		t.Fatal(err)
+	}
+	feedAll(t, leader, follower, pos)
+	rows, err := follower.NewConn().Query("SELECT id FROM visits")
+	if err != nil || rows.Len() != 2 {
+		t.Fatalf("post-heal replication: rows=%v err=%v", rows, err)
+	}
+
+	// And the follower's next transition (city -> region at 1h) still
+	// fires autonomously — the externally applied leader batch did not
+	// orphan the follow-up schedule.
+	folClock.Advance(60 * time.Minute) // t0 + 76m > city deadline (15m + 1h)
+	if _, err := follower.DegradeNow(); err != nil {
+		t.Fatal(err)
+	}
+	conn := follower.NewConn()
+	if err := conn.SetPurpose("cities"); err != nil {
+		t.Fatal(err)
+	}
+	rows, err = conn.Query("SELECT place FROM visits WHERE id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 0 {
+		t.Fatalf("city purpose still sees tuple 1 after the region deadline: %v", rows.Data)
+	}
+}

@@ -1,0 +1,349 @@
+package repl_test
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"instantdb/client"
+	"instantdb/internal/engine"
+	"instantdb/internal/repl"
+	"instantdb/internal/server"
+)
+
+const testSchema = `
+CREATE DOMAIN location TREE LEVELS (address, city, region, country)
+  PATH ('Dam 1', 'Amsterdam', 'Noord-Holland', 'Netherlands')
+  PATH ('Coolsingel 40', 'Rotterdam', 'Zuid-Holland', 'Netherlands');
+CREATE POLICY locpol ON location (
+  HOLD address FOR '15m',
+  HOLD city FOR '1h',
+  HOLD region FOR '1d',
+  HOLD country FOR '1mo'
+) THEN DELETE;
+CREATE TABLE visits (
+  id INT PRIMARY KEY,
+  who TEXT NOT NULL,
+  place TEXT DEGRADABLE DOMAIN location POLICY locpol
+);
+DECLARE PURPOSE precise SET ACCURACY LEVEL address FOR visits.place;
+DECLARE PURPOSE cities SET ACCURACY LEVEL city FOR visits.place;
+`
+
+// serveDB serves db on a fresh loopback listener (or on addr when
+// non-empty, for restart-on-the-same-port tests) and returns the
+// address plus a closer.
+func serveDB(t *testing.T, db *engine.DB, addr string) (string, func()) {
+	t.Helper()
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	srv := server.New(db, server.Options{ReplHeartbeat: 50 * time.Millisecond})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln) //nolint:errcheck // closed via srv.Close
+	return ln.Addr().String(), func() { srv.Close() }
+}
+
+// waitFor polls cond until true or the deadline fails the test.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// countRows returns the follower-visible row count, or -1 while the
+// replicated schema has not arrived yet.
+func countRows(t *testing.T, db *engine.DB) int {
+	t.Helper()
+	rows, err := db.NewConn().Query("SELECT id FROM visits")
+	if err != nil {
+		return -1
+	}
+	return rows.Len()
+}
+
+// TestReplicationE2E is the subsystem's contract end to end over real
+// TCP: a write committed on the leader becomes readable on a follower
+// via snapshot SELECT; the follower refuses writes with the dedicated
+// sentinel (engine-level and over the wire); replication survives a
+// leader restart and a follower restart, resuming from the last durable
+// WAL position without losing or duplicating batches.
+func TestReplicationE2E(t *testing.T) {
+	leaderDir := t.TempDir()
+	leader, err := engine.Open(engine.Config{Dir: leaderDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := leader.ExecScript(testSchema); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := leader.Exec(`INSERT INTO visits (id, who, place) VALUES (1, 'alice', 'Dam 1')`); err != nil {
+		t.Fatal(err)
+	}
+	leaderAddr, closeLeader := serveDB(t, leader, "")
+
+	followerDir := t.TempDir()
+	follower, err := engine.Open(engine.Config{Dir: followerDir, Replica: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &repl.Follower{Addr: leaderAddr, DB: follower, BackoffMin: 10 * time.Millisecond, Logf: t.Logf}
+	f.Start()
+	defer f.Stop()
+
+	// Bootstrap: schema + the pre-connection insert arrive.
+	waitFor(t, "bootstrap batch", func() bool { return countRows(t, follower) == 1 })
+
+	// A fresh leader commit becomes visible, including through an
+	// explicit read-only snapshot transaction.
+	if _, err := leader.Exec(`INSERT INTO visits (id, who, place) VALUES (2, 'bob', 'Coolsingel 40')`); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "streamed batch", func() bool { return countRows(t, follower) == 2 })
+	roConn := follower.NewConn()
+	if _, err := roConn.Exec("BEGIN READ ONLY"); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := roConn.Query("SELECT who FROM visits WHERE id = 2")
+	if err != nil || rows.Len() != 1 {
+		t.Fatalf("snapshot read on follower: rows=%v err=%v", rows, err)
+	}
+	if _, err := roConn.Exec("COMMIT"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Follower refuses writes: engine-level...
+	if _, err := follower.Exec(`INSERT INTO visits (id, who, place) VALUES (9, 'eve', 'Dam 1')`); !errors.Is(err, engine.ErrReadOnlyReplica) {
+		t.Fatalf("follower insert: err=%v, want ErrReadOnlyReplica", err)
+	}
+	if _, err := follower.Exec("BEGIN"); !errors.Is(err, engine.ErrReadOnlyReplica) {
+		t.Fatalf("follower BEGIN: err=%v, want ErrReadOnlyReplica", err)
+	}
+	if _, err := follower.Exec("CREATE INDEX who_idx ON visits (who) USING BTREE"); !errors.Is(err, engine.ErrReadOnlyReplica) {
+		t.Fatalf("follower DDL: err=%v, want ErrReadOnlyReplica", err)
+	}
+	// ...and over the wire, non-fatally, with the client sentinel.
+	followerAddr, closeFollowerSrv := serveDB(t, follower, "")
+	defer closeFollowerSrv()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	cc, err := client.Dial(ctx, followerAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+	if _, err := cc.Exec(ctx, `INSERT INTO visits (id, who, place) VALUES (9, 'eve', 'Dam 1')`); !errors.Is(err, client.ErrReadOnlyReplica) {
+		t.Fatalf("remote insert on replica: err=%v, want client.ErrReadOnlyReplica", err)
+	}
+	if rows, err := cc.Query(ctx, "SELECT who FROM visits WHERE id = 1"); err != nil || rows.Len() != 1 {
+		t.Fatalf("session must stay usable after replica rejection: rows=%v err=%v", rows, err)
+	}
+
+	// Leader restart: close the server and database, reopen the same
+	// directory on the same address. The follower reconnects and resumes.
+	closeLeader()
+	if err := leader.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "follower to notice the partition", func() bool { return !f.Connected() })
+	leader, err = engine.Open(engine.Config{Dir: leaderDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	if _, err := leader.Exec(`INSERT INTO visits (id, who, place) VALUES (3, 'carol', 'Dam 1')`); err != nil {
+		t.Fatal(err)
+	}
+	var closeLeader2 func()
+	waitFor(t, "leader address rebind", func() bool {
+		addr, closer := func() (string, func()) {
+			srv := server.New(leader, server.Options{ReplHeartbeat: 50 * time.Millisecond})
+			ln, err := net.Listen("tcp", leaderAddr)
+			if err != nil {
+				return "", nil
+			}
+			go srv.Serve(ln) //nolint:errcheck
+			return ln.Addr().String(), func() { srv.Close() }
+		}()
+		if closer == nil {
+			return false
+		}
+		_ = addr
+		closeLeader2 = closer
+		return true
+	})
+	defer closeLeader2()
+	waitFor(t, "resume after leader restart", func() bool { return countRows(t, follower) == 3 })
+
+	// Follower restart: stop the stream, reopen the directory, and
+	// resume from the durable position. No batch is lost or re-applied.
+	f.Stop()
+	posBefore := follower.ReplPos()
+	if err := follower.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := leader.Exec(`INSERT INTO visits (id, who, place) VALUES (4, 'dave', 'Coolsingel 40')`); err != nil {
+		t.Fatal(err)
+	}
+	follower, err = engine.Open(engine.Config{Dir: followerDir, Replica: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+	if got := follower.ReplPos(); got != posBefore {
+		t.Fatalf("reopened follower resume position %v, want %v", got, posBefore)
+	}
+	if countRows(t, follower) != 3 {
+		t.Fatalf("reopened follower has %d rows, want 3", countRows(t, follower))
+	}
+	f2 := &repl.Follower{Addr: leaderAddr, DB: follower, BackoffMin: 10 * time.Millisecond, Logf: t.Logf}
+	f2.Start()
+	defer f2.Stop()
+	waitFor(t, "resume after follower restart", func() bool { return countRows(t, follower) == 4 })
+
+	// Exactly-once: ids 1..4, each exactly once.
+	rows, err = follower.NewConn().Query("SELECT id FROM visits")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int64]int{}
+	for _, r := range rows.Data {
+		seen[r[0].Int()]++
+	}
+	for id := int64(1); id <= 4; id++ {
+		if seen[id] != 1 {
+			t.Fatalf("id %d applied %d times (rows %v)", id, seen[id], seen)
+		}
+	}
+	if f2.Err() != nil {
+		t.Fatalf("follower fatal error: %v", f2.Err())
+	}
+}
+
+// TestReplicationUnavailable covers the fatal handshake paths: an
+// ephemeral leader has no WAL to ship, and a position that was
+// checkpointed away cannot be resumed — both must stop the follower
+// with a fatal error rather than retry forever.
+func TestReplicationUnavailable(t *testing.T) {
+	leader, err := engine.Open(engine.Config{}) // ephemeral: no WAL
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	addr, closeSrv := serveDB(t, leader, "")
+	defer closeSrv()
+
+	follower, err := engine.Open(engine.Config{Dir: t.TempDir(), Replica: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+	f := &repl.Follower{Addr: addr, DB: follower, BackoffMin: 10 * time.Millisecond, Logf: t.Logf}
+	f.Start()
+	defer f.Stop()
+	waitFor(t, "fatal handshake error", func() bool { return f.Err() != nil })
+	if f.Connected() {
+		t.Fatal("follower must not report connected after a fatal error")
+	}
+}
+
+// TestReplicaFollowsCheckpointedLeader: a leader that checkpoints AFTER
+// a follower caught up keeps working only for positions still in the
+// log; the follower that was already past the reset point gets a fatal
+// pos-gone answer (documented: checkpointing a leader invalidates
+// followers). This test pins the fail-loud behavior.
+func TestReplicaFollowsCheckpointedLeader(t *testing.T) {
+	leaderDir := t.TempDir()
+	leader, err := engine.Open(engine.Config{Dir: leaderDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	if err := leader.ExecScript(testSchema); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := leader.Exec(`INSERT INTO visits (id, who, place) VALUES (1, 'alice', 'Dam 1')`); err != nil {
+		t.Fatal(err)
+	}
+	if err := leader.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	addr, closeSrv := serveDB(t, leader, "")
+	defer closeSrv()
+
+	follower, err := engine.Open(engine.Config{Dir: t.TempDir(), Replica: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+	f := &repl.Follower{Addr: addr, DB: follower, BackoffMin: 10 * time.Millisecond, Logf: t.Logf}
+	f.Start()
+	defer f.Stop()
+	waitFor(t, "pos-gone fatal", func() bool { return f.Err() != nil })
+	if !errors.Is(f.Err(), client.ErrReplUnavailable) {
+		t.Fatalf("follower error %v, want ErrReplUnavailable", f.Err())
+	}
+}
+
+// TestChainedReplicaMarkStripping: a replica's own WAL carries
+// RecReplMark records; relaying it to a downstream replica must strip
+// them so the downstream's resume positions address the middle tier's
+// log, not the top leader's.
+func TestChainedReplication(t *testing.T) {
+	top, err := engine.Open(engine.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer top.Close()
+	if err := top.ExecScript(testSchema); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := top.Exec(`INSERT INTO visits (id, who, place) VALUES (1, 'alice', 'Dam 1')`); err != nil {
+		t.Fatal(err)
+	}
+	topAddr, closeTop := serveDB(t, top, "")
+	defer closeTop()
+
+	mid, err := engine.Open(engine.Config{Dir: t.TempDir(), Replica: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mid.Close()
+	fMid := &repl.Follower{Addr: topAddr, DB: mid, BackoffMin: 10 * time.Millisecond}
+	fMid.Start()
+	defer fMid.Stop()
+	waitFor(t, "mid catches up", func() bool { return countRows(t, mid) == 1 })
+	midAddr, closeMid := serveDB(t, mid, "")
+	defer closeMid()
+
+	leaf, err := engine.Open(engine.Config{Dir: t.TempDir(), Replica: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leaf.Close()
+	fLeaf := &repl.Follower{Addr: midAddr, DB: leaf, BackoffMin: 10 * time.Millisecond}
+	fLeaf.Start()
+	defer fLeaf.Stop()
+	waitFor(t, "leaf catches up", func() bool { return countRows(t, leaf) == 1 })
+
+	if _, err := top.Exec(`INSERT INTO visits (id, who, place) VALUES (2, 'bob', 'Coolsingel 40')`); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "leaf sees relayed batch", func() bool { return countRows(t, leaf) == 2 })
+	// The leaf's resume position addresses the MID log: it must match
+	// mid's own WAL end, not top's.
+	waitFor(t, "leaf position tracks mid log", func() bool {
+		return leaf.ReplPos() == mid.Log().EndPos()
+	})
+}

@@ -16,8 +16,11 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"instantdb/internal/engine"
+	"instantdb/internal/repl"
+	"instantdb/internal/wal"
 	"instantdb/internal/wire"
 )
 
@@ -39,6 +42,9 @@ type Options struct {
 	// memory by preparing unboundedly; an evicted id answers
 	// CodeUnknownStmt on its next execution.
 	MaxStmts int
+	// ReplHeartbeat is the replication stream keepalive interval
+	// (default repl.DefaultHeartbeat). Tests shorten it.
+	ReplHeartbeat time.Duration
 	// Logf, when non-nil, receives connection-level diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -243,6 +249,11 @@ func (s *Server) handle(nc net.Conn) {
 		}
 		return
 	}
+	if conn == nil {
+		// The handshake was a replication hello; the stream ran to
+		// completion inside handshake and the connection is done.
+		return
+	}
 	sess := &session{conn: conn, stmts: make(map[uint64]*list.Element), lru: list.New(), max: s.opts.MaxStmts}
 	// A dropped connection must not leak its transaction's locks.
 	defer func() {
@@ -262,11 +273,16 @@ func (s *Server) handle(nc net.Conn) {
 	}
 }
 
-// handshake validates the Hello frame and builds the session Conn.
+// handshake validates the Hello frame and builds the session Conn. A
+// replication hello instead runs the streaming sender to completion on
+// this goroutine and returns (nil, nil).
 func (s *Server) handshake(nc net.Conn, br *bufio.Reader) (*engine.Conn, error) {
 	op, payload, err := s.readRequest(nc, br)
 	if err != nil {
 		return nil, err
+	}
+	if op == wire.OpReplHello {
+		return nil, s.serveReplication(nc, payload)
 	}
 	if op != wire.OpHello {
 		s.fail(nc, wire.CodeProtocol, fmt.Sprintf("server: expected hello, got opcode %#x", op))
@@ -294,6 +310,35 @@ func (s *Server) handshake(nc net.Conn, br *bufio.Reader) (*engine.Conn, error) 
 		return nil, err
 	}
 	return sess, nil
+}
+
+// serveReplication handles an OpReplHello: validate, then run the WAL
+// streaming sender on this connection until the follower disconnects.
+// It always returns nil after logging the stream outcome — a finished
+// stream is a normal session end, not a handshake failure.
+func (s *Server) serveReplication(nc net.Conn, payload []byte) error {
+	h, err := wire.DecodeReplHello(payload)
+	if err != nil {
+		s.fail(nc, wire.CodeProtocol, err.Error())
+		return nil
+	}
+	if h.Version != wire.Version {
+		s.fail(nc, wire.CodeProtocol,
+			fmt.Sprintf("server: protocol version %d unsupported (want %d)", h.Version, wire.Version))
+		return nil
+	}
+	log, schema, err := s.db.ReplSource()
+	if err != nil {
+		s.fail(nc, wire.CodeReplUnavailable, err.Error())
+		return nil
+	}
+	start := wal.Pos{Seg: int(h.Seg), Off: int64(h.Off)}
+	s.logf("repl %s: streaming from %v (follower epoch %d)", nc.RemoteAddr(), start, h.LastEpoch)
+	sender := &repl.Sender{Log: log, Schema: schema, Heartbeat: s.opts.ReplHeartbeat, Logf: s.opts.Logf}
+	if err := sender.Serve(nc, start); err != nil && !errors.Is(err, io.EOF) {
+		s.logf("repl %s: stream ended: %v", nc.RemoteAddr(), err)
+	}
+	return nil
 }
 
 // readRequest reads one frame, reporting size violations to the peer
@@ -357,7 +402,7 @@ func (s *Server) serveRequest(nc net.Conn, sess *session, op byte, payload []byt
 		}
 		res, err := st.Exec(args...)
 		if err != nil {
-			return s.sendErr(nc, wire.CodeSQL, err)
+			return s.sendErr(nc, sqlCode(err), err)
 		}
 		return s.sendResult(nc, res)
 	case wire.OpCloseStmt:
@@ -376,7 +421,7 @@ func (s *Server) serveRequest(nc net.Conn, sess *session, op byte, payload []byt
 		}
 		res, err := sess.conn.Exec(sql, args...)
 		if err != nil {
-			return s.sendErr(nc, wire.CodeSQL, err)
+			return s.sendErr(nc, sqlCode(err), err)
 		}
 		return s.sendResult(nc, res)
 	default:
@@ -390,9 +435,19 @@ func (s *Server) serveRequest(nc net.Conn, sess *session, op byte, payload []byt
 func (s *Server) execSQL(nc net.Conn, sess *session, sql string) bool {
 	res, err := sess.conn.Exec(sql)
 	if err != nil {
-		return s.sendErr(nc, wire.CodeSQL, err)
+		return s.sendErr(nc, sqlCode(err), err)
 	}
 	return s.sendResult(nc, res)
+}
+
+// sqlCode picks the wire error code for a statement failure. Replica
+// write rejections get their own non-fatal code so clients can branch
+// (redirect the write to the leader) without string matching.
+func sqlCode(err error) uint16 {
+	if errors.Is(err, engine.ErrReadOnlyReplica) {
+		return wire.CodeReadOnlyReplica
+	}
+	return wire.CodeSQL
 }
 
 func (s *Server) sendResult(nc net.Conn, res *engine.Result) bool {

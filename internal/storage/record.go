@@ -23,6 +23,22 @@ type RID struct {
 // stored value is NULL and the original is physically gone.
 const StateErased = 0xFF
 
+// StateAdvances reports whether moving a degradable attribute from cur
+// to next goes strictly down the generalization ladder (states increase
+// toward coarser accuracy; StateErased is terminal). Transitions that do
+// not advance — re-applying the transition the attribute already made,
+// or an older transition arriving after a newer one (replication
+// reconciliation) — must be no-ops: accuracy is never resurrected.
+func StateAdvances(cur, next uint8) bool {
+	if cur == StateErased {
+		return false
+	}
+	if next == StateErased {
+		return true
+	}
+	return next > cur
+}
+
 // Tuple is a materialized record: the stored (not rendered) forms of all
 // columns plus degradation metadata.
 type Tuple struct {

@@ -344,6 +344,14 @@ func (ts *TableStore) DegradeAttr(id TupleID, degPos int, newStored value.Value,
 	if degPos < 0 || degPos >= len(t.States) {
 		return fmt.Errorf("storage: %s: degradable position %d out of %d", ts.tbl.Name, degPos, len(t.States))
 	}
+	// Transitions are monotone down the generalization tree: a
+	// transition the attribute has already made (or passed) is a no-op.
+	// This is what makes a leader's degrade batch and a replica's
+	// locally fired transition reconcile idempotently — whichever clock
+	// fires first wins, and the late copy can never resurrect accuracy.
+	if !StateAdvances(t.States[degPos], newState) {
+		return nil
+	}
 	col := ts.tbl.DegradableColumns()[degPos]
 	t.States[degPos] = newState
 	t.Row[col] = newStored

@@ -54,7 +54,43 @@ type Log struct {
 	active     *os.File
 	activeID   int
 	activeSize int64
+	// notify is closed and replaced on every append/reset, broadcasting
+	// "new batches may exist" to tailers (AppendNotify).
+	notify chan struct{}
 }
+
+// Pos addresses a batch boundary in the log: a segment id and a byte
+// offset within that segment. The zero Pos means "from the beginning of
+// the oldest retained segment". Positions returned by ReadBatch always
+// sit on batch boundaries; replication followers persist them to resume
+// tailing exactly where they stopped.
+type Pos struct {
+	// Seg is the segment id (wal-XXXXXXXX.log).
+	Seg int
+	// Off is the byte offset of the next batch within the segment.
+	Off int64
+}
+
+// IsZero reports whether p is the "from the start" position.
+func (p Pos) IsZero() bool { return p.Seg == 0 && p.Off == 0 }
+
+// Before reports whether p addresses log material strictly before q.
+func (p Pos) Before(q Pos) bool {
+	if p.Seg != q.Seg {
+		return p.Seg < q.Seg
+	}
+	return p.Off < q.Off
+}
+
+// String renders a position as seg:off.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Seg, p.Off) }
+
+// ErrPosGone reports a tail position whose log material no longer
+// exists — the segment was discarded by a checkpoint Reset (or rewritten
+// by Vacuum, which replication does not support). The follower cannot
+// catch up from the log alone and must be reseeded from a fresh copy of
+// the leader directory.
+var ErrPosGone = errors.New("wal: position no longer exists in the log")
 
 // Open opens (or creates) a log directory. An interrupted vacuum is
 // completed, and a torn tail in the newest segment is truncated away.
@@ -93,6 +129,7 @@ func Open(dir string, opts Options) (*Log, error) {
 		return nil, err
 	}
 	l.active, l.activeSize = f, st.Size()
+	l.notify = make(chan struct{})
 	return l, nil
 }
 
@@ -178,10 +215,28 @@ func (l *Log) Append(recs []*Record) error {
 			return err
 		}
 	}
+	l.notifyLocked()
 	if l.activeSize >= l.opts.SegmentBytes {
 		return l.rotateLocked()
 	}
 	return nil
+}
+
+// notifyLocked wakes every AppendNotify waiter (close-and-replace
+// broadcast). Caller holds l.mu.
+func (l *Log) notifyLocked() {
+	close(l.notify)
+	l.notify = make(chan struct{})
+}
+
+// AppendNotify returns a channel closed the next time a batch is
+// appended (or the log is reset). Tailers grab the channel BEFORE a
+// ReadBatch that comes back empty, then wait on it, so an append racing
+// the read is never missed.
+func (l *Log) AppendNotify() <-chan struct{} {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.notify
 }
 
 // Rotate seals the active segment and starts a new one (vacuum operates
@@ -316,6 +371,9 @@ func (l *Log) Reset() error {
 		return err
 	}
 	l.active, l.activeSize = f, 0
+	// Wake tailers so they observe ErrPosGone promptly instead of
+	// blocking on a notify that would never fire for scrubbed segments.
+	l.notifyLocked()
 	return nil
 }
 
@@ -475,6 +533,108 @@ func (l *Log) SizeBytes() int64 {
 		}
 	}
 	return total
+}
+
+// EndPos returns the position one past the last appended batch — the
+// point a fully caught-up tailer stands at. Heartbeats carry it so
+// followers can measure their lag.
+func (l *Log) EndPos() Pos {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Pos{Seg: l.activeID, Off: l.activeSize}
+}
+
+// ReadBatch reads the next complete commit batch at or after from,
+// decoding its records with the log's codec (payloads whose epoch key
+// was shredded come back with their Lost flags set, exactly as Replay
+// would deliver them). It returns the records and the position of the
+// following batch. A caught-up tailer gets (nil, from, nil): no batch is
+// available yet — wait on AppendNotify and retry. A position whose
+// segment was discarded by a checkpoint returns ErrPosGone.
+//
+// Reading the active segment races Append harmlessly: a torn or
+// partially visible tail fails its CRC and reads as "no batch yet".
+func (l *Log) ReadBatch(from Pos) ([]*Record, Pos, error) {
+	l.mu.Lock()
+	ids, err := l.segmentIDs()
+	activeID := l.activeID
+	codec := l.opts.Codec
+	l.mu.Unlock()
+	if err != nil {
+		return nil, from, err
+	}
+	if len(ids) == 0 {
+		return nil, from, nil
+	}
+	if from.Seg == 0 {
+		// A fresh tailer needs the full history. Segment ids start at 1
+		// and rotation retains every sealed segment, so a missing segment
+		// 1 means a checkpoint Reset scrubbed history this tailer never
+		// saw — it must bootstrap from a storage copy, not the log.
+		if ids[0] != 1 {
+			return nil, from, fmt.Errorf("%w: history before segment %d was checkpointed away", ErrPosGone, ids[0])
+		}
+		from = Pos{Seg: ids[0]}
+	}
+	for {
+		idx := -1
+		for i, id := range ids {
+			if id == from.Seg {
+				idx = i
+				break
+			}
+		}
+		if idx == -1 {
+			return nil, from, fmt.Errorf("%w: segment %d", ErrPosGone, from.Seg)
+		}
+		data, err := os.ReadFile(l.segPath(from.Seg))
+		if err != nil {
+			return nil, from, fmt.Errorf("wal: read segment %d: %w", from.Seg, err)
+		}
+		if from.Off > int64(len(data)) {
+			// Beyond the segment's end: its bytes were rewritten shorter
+			// underneath us (vacuum) or the caller's position is bogus.
+			return nil, from, fmt.Errorf("%w: segment %d offset %d past end %d",
+				ErrPosGone, from.Seg, from.Off, len(data))
+		}
+		recs, size, ok, err := parseBatch(data[from.Off:], codec)
+		if err != nil {
+			return nil, from, fmt.Errorf("wal: segment %d offset %d: %w", from.Seg, from.Off, err)
+		}
+		if ok {
+			return recs, Pos{Seg: from.Seg, Off: from.Off + int64(size)}, nil
+		}
+		if from.Seg == activeID {
+			return nil, from, nil // caught up; wait on AppendNotify
+		}
+		// Sealed segment exhausted (its tail, if torn, was truncated at
+		// open); continue at the next retained segment.
+		if idx+1 >= len(ids) {
+			return nil, from, nil
+		}
+		from = Pos{Seg: ids[idx+1]}
+	}
+}
+
+// parseBatch decodes one complete batch at the start of data. ok is
+// false when no complete, CRC-valid batch is present (torn tail or end
+// of segment).
+func parseBatch(data []byte, codec Codec) (recs []*Record, size int, ok bool, err error) {
+	if len(data) < batchHeaderSize || binary.LittleEndian.Uint32(data) != batchMagic {
+		return nil, 0, false, nil
+	}
+	n := int(binary.LittleEndian.Uint32(data[4:]))
+	if batchHeaderSize+n > len(data) {
+		return nil, 0, false, nil
+	}
+	payload := data[batchHeaderSize : batchHeaderSize+n]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[8:]) {
+		return nil, 0, false, nil
+	}
+	if recs, err = DecodeRecords(payload, codec); err != nil {
+		return nil, 0, false, err
+	}
+	return recs, batchHeaderSize + n, true, nil
 }
 
 // Close syncs and closes the active segment.

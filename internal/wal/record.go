@@ -35,6 +35,15 @@ const (
 	RecDelete
 	RecUpdateStable
 	RecDegrade
+	// RecReplMark records, on a replica, the leader log position one
+	// past the replicated batch it closes. It rides in the same commit
+	// batch as the replicated records, so the follower's resume position
+	// is durable exactly when the batch is — crash recovery replays the
+	// mark and resumes tailing without re-applying or skipping batches.
+	// Leader logs never contain marks, and a replica relaying to a
+	// downstream replica strips them from the stream (they address the
+	// wrong leader's log).
+	RecReplMark
 )
 
 // Record is one logical redo operation. Degradable payloads (DegVals for
@@ -71,6 +80,11 @@ type Record struct {
 	NewState  uint8
 	NewStored value.Value
 	NewLost   bool
+
+	// ReplSeg and ReplOff (repl-mark) are the leader log position one
+	// past the replicated batch this mark closes.
+	ReplSeg int
+	ReplOff int64
 }
 
 func appendUvarint(dst []byte, v uint64) []byte {
@@ -142,6 +156,9 @@ func encodeRecord(dst []byte, r *Record, codec Codec) ([]byte, error) {
 			return nil, err
 		}
 		dst = appendBytes(dst, sealed)
+	case RecReplMark:
+		dst = appendUvarint(dst, uint64(r.ReplSeg))
+		dst = appendUvarint(dst, uint64(r.ReplOff))
 	default:
 		return nil, fmt.Errorf("wal: unknown record type %d", r.Type)
 	}
@@ -248,8 +265,49 @@ func decodeRecord(src []byte, codec Codec) (Record, []byte, error) {
 		} else if r.NewStored, _, err = value.Decode(plain); err != nil {
 			return r, nil, fmt.Errorf("wal: degrade payload: %w", err)
 		}
+	case RecReplMark:
+		var u uint64
+		if u, rest, err = readUvarint(rest); err != nil {
+			return r, nil, err
+		}
+		r.ReplSeg = int(u)
+		if u, rest, err = readUvarint(rest); err != nil {
+			return r, nil, err
+		}
+		r.ReplOff = int64(u)
 	default:
 		return r, nil, fmt.Errorf("wal: unknown record type %d", r.Type)
 	}
 	return r, rest, nil
+}
+
+// EncodeRecords serializes records back to back with codec — the form
+// replication batches cross the wire in (with PlainCodec: the leader
+// unseals payloads while tailing, and the follower re-seals them under
+// its own epoch keys when it logs the batch locally).
+func EncodeRecords(dst []byte, recs []*Record, codec Codec) ([]byte, error) {
+	var err error
+	for _, r := range recs {
+		if dst, err = encodeRecord(dst, r, codec); err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+// DecodeRecords parses a back-to-back record sequence produced by
+// EncodeRecords, consuming the whole input.
+func DecodeRecords(p []byte, codec Codec) ([]*Record, error) {
+	var recs []*Record
+	for len(p) > 0 {
+		var r Record
+		var err error
+		r, p, err = decodeRecord(p, codec)
+		if err != nil {
+			return nil, err
+		}
+		rc := r
+		recs = append(recs, &rc)
+	}
+	return recs, nil
 }

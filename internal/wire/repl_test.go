@@ -1,0 +1,75 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestReplHelloRoundtrip(t *testing.T) {
+	h := ReplHello{Version: Version, Seg: 3, Off: 98765, LastEpoch: 42}
+	got, err := DecodeReplHello(EncodeReplHello(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("got %+v, want %+v", got, h)
+	}
+	if _, err := DecodeReplHello([]byte{1, 2, 3}); err == nil {
+		t.Error("short repl-hello should fail")
+	}
+	bad := EncodeReplHello(h)
+	bad[0] ^= 0xFF
+	if _, err := DecodeReplHello(bad); err == nil {
+		t.Error("bad magic should fail")
+	}
+	trailing := append(EncodeReplHello(h), 0x00)
+	if _, err := DecodeReplHello(trailing); err == nil {
+		t.Error("trailing bytes should fail")
+	}
+}
+
+func TestReplBatchRoundtrip(t *testing.T) {
+	b := ReplBatch{NextSeg: 2, NextOff: 4096, Records: []byte("record-bytes")}
+	got, err := DecodeReplBatch(EncodeReplBatch(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NextSeg != b.NextSeg || got.NextOff != b.NextOff || string(got.Records) != string(b.Records) {
+		t.Fatalf("got %+v, want %+v", got, b)
+	}
+	if _, err := DecodeReplBatch(nil); err == nil {
+		t.Error("empty repl-batch should fail")
+	}
+}
+
+func TestReplHeartbeatRoundtrip(t *testing.T) {
+	h := ReplHeartbeat{EndSeg: 9, EndOff: 1 << 30}
+	got, err := DecodeReplHeartbeat(EncodeReplHeartbeat(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("got %+v, want %+v", got, h)
+	}
+	trailing := append(EncodeReplHeartbeat(h), 0xAA)
+	if _, err := DecodeReplHeartbeat(trailing); err == nil {
+		t.Error("trailing bytes should fail")
+	}
+}
+
+func TestReplicaErrorCodes(t *testing.T) {
+	ro := &Error{Code: CodeReadOnlyReplica, Msg: "replica"}
+	if !errors.Is(ro, ErrReadOnlyReplica) {
+		t.Error("CodeReadOnlyReplica must match ErrReadOnlyReplica")
+	}
+	if ro.Fatal() {
+		t.Error("read-only replica rejection must be non-fatal")
+	}
+	ru := &Error{Code: CodeReplUnavailable, Msg: "gone"}
+	if !errors.Is(ru, ErrReplUnavailable) {
+		t.Error("CodeReplUnavailable must match ErrReplUnavailable")
+	}
+	if !ru.Fatal() {
+		t.Error("repl-unavailable must be fatal")
+	}
+}

@@ -74,6 +74,12 @@ const (
 	// OpBegin) so a server without snapshot support fails the request
 	// loudly instead of silently granting a read-write transaction.
 	OpBeginRO byte = 0x0D
+	// OpReplHello converts the connection into a replication stream
+	// (EncodeReplHello payload: start position + last applied epoch).
+	// It replaces OpHello as the first frame; the server answers with an
+	// OpReplSchema frame and then streams OpReplBatch/OpReplHeartbeat
+	// frames until either side closes. The follower sends nothing more.
+	OpReplHello byte = 0x10
 )
 
 // Response opcodes (server → client).
@@ -89,6 +95,19 @@ const (
 	OpStmtReady byte = 0x83
 	// OpPong answers OpPing.
 	OpPong byte = 0x88
+	// OpReplBatch carries one replicated commit batch (EncodeReplBatch
+	// payload: the position after the batch in the leader's log, then
+	// the records in the wal plain-record codec).
+	OpReplBatch byte = 0x90
+	// OpReplHeartbeat keeps an idle replication stream alive and carries
+	// the leader's current log end position (EncodeReplHeartbeat), so a
+	// follower can measure its lag and detect a dead leader.
+	OpReplHeartbeat byte = 0x91
+	// OpReplSchema opens a replication stream: the payload is the
+	// leader's full catalog DDL script. The follower executes the
+	// statements it has not applied yet (the script is append-only and
+	// both sides apply it in order), then applies batches.
+	OpReplSchema byte = 0x92
 )
 
 // Error codes carried by OpError frames.
@@ -115,6 +134,16 @@ const (
 	// was never prepared, was closed, or was evicted from the session's
 	// statement registry. Non-fatal: re-prepare and retry.
 	CodeUnknownStmt uint16 = 7
+	// CodeReadOnlyReplica rejects a write statement (or a read-write
+	// BEGIN, or DDL) on a server running as a read replica. Non-fatal:
+	// the session stays usable for reads; direct writes to the leader.
+	CodeReadOnlyReplica uint16 = 8
+	// CodeReplUnavailable rejects a replication handshake the server
+	// cannot serve: replication is unsupported on this database
+	// (ephemeral, or vacuum log mode), or the requested log position no
+	// longer exists (checkpointed away) so the follower must be reseeded
+	// from a storage copy. Fatal.
+	CodeReplUnavailable uint16 = 9
 )
 
 // ErrFrameTooLarge is returned by ReadFrame when the length prefix
@@ -139,6 +168,12 @@ var (
 	// ErrUnknownStmt matches CodeUnknownStmt (prepared statement id
 	// closed or evicted).
 	ErrUnknownStmt = errors.New("wire: unknown prepared statement")
+	// ErrReadOnlyReplica matches CodeReadOnlyReplica (write refused on a
+	// read replica).
+	ErrReadOnlyReplica = errors.New("wire: server is a read-only replica")
+	// ErrReplUnavailable matches CodeReplUnavailable (replication
+	// unsupported here, or the requested position was checkpointed away).
+	ErrReplUnavailable = errors.New("wire: replication unavailable")
 )
 
 // WriteFrame writes one frame as a single Write call, so concurrent
@@ -239,7 +274,8 @@ func (e *Error) Error() string { return e.Msg }
 // error.
 func (e *Error) Fatal() bool {
 	return e.Code == CodeProtocol || e.Code == CodeFrameTooLarge ||
-		e.Code == CodeServerBusy || e.Code == CodeShutdown
+		e.Code == CodeServerBusy || e.Code == CodeShutdown ||
+		e.Code == CodeReplUnavailable
 }
 
 // Is maps the error code onto the package's sentinel errors, so
@@ -258,6 +294,10 @@ func (e *Error) Is(target error) bool {
 		return e.Code == CodeFrameTooLarge
 	case ErrUnknownStmt:
 		return e.Code == CodeUnknownStmt
+	case ErrReadOnlyReplica:
+		return e.Code == CodeReadOnlyReplica
+	case ErrReplUnavailable:
+		return e.Code == CodeReplUnavailable
 	}
 	return false
 }
@@ -481,6 +521,122 @@ func DecodeExecArgs(p []byte) (sql string, args []value.Value, err error) {
 		return "", nil, fmt.Errorf("wire: exec-args has %d trailing bytes", len(p)-used-argBytes)
 	}
 	return sql, args, nil
+}
+
+// ReplHello is the replication handshake payload: the leader log
+// position the follower wants to resume from (0:0 for a fresh replica
+// that needs full history) and, for diagnostics, the follower's last
+// published commit epoch.
+type ReplHello struct {
+	Version uint16
+	// Seg and Off are the wal.Pos the stream starts at.
+	Seg uint64
+	Off uint64
+	// LastEpoch is the follower's last published snapshot epoch
+	// (diagnostic: the leader logs it, nothing more).
+	LastEpoch uint64
+}
+
+// EncodeReplHello serializes a replication handshake payload.
+func EncodeReplHello(h ReplHello) []byte {
+	var b []byte
+	b = binary.BigEndian.AppendUint32(b, Magic)
+	b = binary.BigEndian.AppendUint16(b, h.Version)
+	b = binary.AppendUvarint(b, h.Seg)
+	b = binary.AppendUvarint(b, h.Off)
+	return binary.AppendUvarint(b, h.LastEpoch)
+}
+
+// DecodeReplHello parses a replication handshake payload, validating
+// the magic.
+func DecodeReplHello(p []byte) (ReplHello, error) {
+	if len(p) < 6 {
+		return ReplHello{}, fmt.Errorf("wire: short repl-hello (%d bytes)", len(p))
+	}
+	if m := binary.BigEndian.Uint32(p); m != Magic {
+		return ReplHello{}, fmt.Errorf("wire: bad magic 0x%08x", m)
+	}
+	h := ReplHello{Version: binary.BigEndian.Uint16(p[4:])}
+	p = p[6:]
+	var n int
+	if h.Seg, n = binary.Uvarint(p); n <= 0 {
+		return ReplHello{}, fmt.Errorf("wire: repl-hello segment")
+	}
+	p = p[n:]
+	if h.Off, n = binary.Uvarint(p); n <= 0 {
+		return ReplHello{}, fmt.Errorf("wire: repl-hello offset")
+	}
+	p = p[n:]
+	if h.LastEpoch, n = binary.Uvarint(p); n <= 0 {
+		return ReplHello{}, fmt.Errorf("wire: repl-hello epoch")
+	}
+	if n != len(p) {
+		return ReplHello{}, fmt.Errorf("wire: repl-hello has %d trailing bytes", len(p)-n)
+	}
+	return h, nil
+}
+
+// ReplBatch is one replicated commit batch: the position of the NEXT
+// batch in the leader's log (the follower's resume point once this one
+// is durable) and the batch records, encoded with the wal plain-record
+// codec (wal.EncodeRecords / wal.DecodeRecords).
+type ReplBatch struct {
+	NextSeg uint64
+	NextOff uint64
+	Records []byte
+}
+
+// EncodeReplBatch serializes an OpReplBatch payload.
+func EncodeReplBatch(b ReplBatch) []byte {
+	out := binary.AppendUvarint(nil, b.NextSeg)
+	out = binary.AppendUvarint(out, b.NextOff)
+	return append(out, b.Records...)
+}
+
+// DecodeReplBatch parses an OpReplBatch payload. The record bytes are
+// returned verbatim; the caller decodes them with wal.DecodeRecords.
+func DecodeReplBatch(p []byte) (ReplBatch, error) {
+	var b ReplBatch
+	var n int
+	if b.NextSeg, n = binary.Uvarint(p); n <= 0 {
+		return b, fmt.Errorf("wire: repl-batch segment")
+	}
+	p = p[n:]
+	if b.NextOff, n = binary.Uvarint(p); n <= 0 {
+		return b, fmt.Errorf("wire: repl-batch offset")
+	}
+	b.Records = p[n:]
+	return b, nil
+}
+
+// ReplHeartbeat reports the leader's current log end position on an
+// idle stream.
+type ReplHeartbeat struct {
+	EndSeg uint64
+	EndOff uint64
+}
+
+// EncodeReplHeartbeat serializes an OpReplHeartbeat payload.
+func EncodeReplHeartbeat(h ReplHeartbeat) []byte {
+	out := binary.AppendUvarint(nil, h.EndSeg)
+	return binary.AppendUvarint(out, h.EndOff)
+}
+
+// DecodeReplHeartbeat parses an OpReplHeartbeat payload.
+func DecodeReplHeartbeat(p []byte) (ReplHeartbeat, error) {
+	var h ReplHeartbeat
+	var n int
+	if h.EndSeg, n = binary.Uvarint(p); n <= 0 {
+		return h, fmt.Errorf("wire: repl-heartbeat segment")
+	}
+	p = p[n:]
+	if h.EndOff, n = binary.Uvarint(p); n <= 0 {
+		return h, fmt.Errorf("wire: repl-heartbeat offset")
+	}
+	if n != len(p) {
+		return h, fmt.Errorf("wire: repl-heartbeat has %d trailing bytes", len(p)-n)
+	}
+	return h, nil
 }
 
 // appendString appends a uvarint-length-prefixed string.
