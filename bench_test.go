@@ -6,15 +6,19 @@
 package instantdb_test
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"io"
 	"net"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
 	"instantdb"
 	"instantdb/client"
+	"instantdb/internal/backup"
 	"instantdb/internal/experiments"
 	"instantdb/internal/repl"
 	"instantdb/internal/server"
@@ -652,4 +656,76 @@ func BenchmarkReplicaScanWhileStreaming(b *testing.B) {
 	b.StopTimer()
 	close(stop)
 	<-writerDone
+}
+
+// --- backup & restore (DESIGN.md, "Backup & archives") ---
+
+// benchBackupDB builds a durable database with n rows of mixed stable
+// and degradable data for the backup benchmarks.
+func benchBackupDB(b *testing.B, n int) *instantdb.DB {
+	b.Helper()
+	nosync := false
+	db, err := instantdb.Open(instantdb.Config{Dir: b.TempDir(), WALSync: &nosync})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	db.MustExec(`CREATE DOMAIN places TREE LEVELS (address, city, country)
+	    PATH ('Dam 1', 'Amsterdam', 'Netherlands')`)
+	db.MustExec(`CREATE POLICY ppol ON places (HOLD address FOR '1h', HOLD city FOR '1d',
+	    HOLD country FOR '1mo') THEN DELETE`)
+	db.MustExec(`CREATE TABLE kv (id INT PRIMARY KEY, who TEXT NOT NULL,
+	    place TEXT DEGRADABLE DOMAIN places POLICY ppol)`)
+	conn := db.NewConn()
+	st, err := conn.Prepare("INSERT INTO kv (id, who, place) VALUES (?, ?, ?)")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := st.Exec(instantdb.Int(int64(i)), instantdb.Text("some-stable-payload-for-width"),
+			instantdb.Text("Dam 1")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return db
+}
+
+// BenchmarkBackupThroughput measures full-archive production over the
+// lock-free snapshot path (bytes/sec via b.SetBytes).
+func BenchmarkBackupThroughput(b *testing.B) {
+	db := benchBackupDB(b, 5000)
+	var size int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum, err := backup.Full(db, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		size = sum.Bytes
+	}
+	b.SetBytes(size)
+}
+
+// BenchmarkRestoreThroughput measures rebuilding a database directory
+// from a full archive (bytes of archive consumed per second).
+func BenchmarkRestoreThroughput(b *testing.B) {
+	db := benchBackupDB(b, 5000)
+	var buf bytes.Buffer
+	if _, err := backup.Full(db, &buf); err != nil {
+		b.Fatal(err)
+	}
+	parent := b.TempDir()
+	b.SetBytes(int64(buf.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		target := filepath.Join(parent, fmt.Sprintf("r%d", i))
+		if _, err := backup.Restore(backup.RestoreOptions{Dir: target}, bytes.NewReader(buf.Bytes())); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		os.RemoveAll(target)
+		b.StartTimer()
+	}
 }

@@ -19,6 +19,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -300,6 +301,88 @@ func (c *Conn) Commit(ctx context.Context) error {
 func (c *Conn) Rollback(ctx context.Context) error {
 	_, err := c.request(ctx, wire.OpRollback, nil)
 	return err
+}
+
+// BackupInfo summarizes a completed backup stream.
+type BackupInfo struct {
+	// EndSeg and EndOff are the server log position one past the
+	// archived material — pass them to BackupIncremental to continue
+	// the chain.
+	EndSeg, EndOff uint64
+	// Tuples and Batches count archived snapshot tuples and raw WAL
+	// batches.
+	Tuples, Batches uint64
+}
+
+// Backup streams a full backup archive of the server's database into w.
+// The archive is epoch-pinned and produced over the server's lock-free
+// snapshot path, so taking it never delays the degradation engine or
+// other sessions; degradable payloads cross (and land in w) as
+// ciphertext under the server's epoch keys, so archives degrade
+// retroactively when the server shreds a key at its LCP deadline. On
+// error, any bytes already written to w are an incomplete archive and
+// must be discarded.
+func (c *Conn) Backup(ctx context.Context, w io.Writer) (*BackupInfo, error) {
+	return c.backup(ctx, wire.BackupReq{}, w)
+}
+
+// BackupIncremental streams an incremental backup into w, resuming at
+// the (EndSeg, EndOff) position reported by the previous archive in the
+// chain. A position the server has checkpointed away fails — take a
+// fresh full backup.
+func (c *Conn) BackupIncremental(ctx context.Context, fromSeg, fromOff uint64, w io.Writer) (*BackupInfo, error) {
+	return c.backup(ctx, wire.BackupReq{Incremental: true, FromSeg: fromSeg, FromOff: fromOff}, w)
+}
+
+func (c *Conn) backup(ctx context.Context, req wire.BackupReq, w io.Writer) (*BackupInfo, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	stop := c.watchCtx(ctx)
+	defer stop()
+	if err := wire.WriteFrame(c.nc, wire.OpBackup, wire.EncodeBackupReq(req)); err != nil {
+		c.poison()
+		return nil, c.ctxErr(ctx, err)
+	}
+	for {
+		op, payload, err := wire.ReadFrame(c.br, c.cfg.maxFrame)
+		if err != nil {
+			c.poison()
+			return nil, c.ctxErr(ctx, err)
+		}
+		switch op {
+		case wire.OpBackupChunk:
+			if _, err := w.Write(payload); err != nil {
+				// The stream is mid-flight; abandoning it desyncs the
+				// session, so the connection must go with it.
+				c.poison()
+				return nil, err
+			}
+		case wire.OpBackupDone:
+			done, err := wire.DecodeBackupDone(payload)
+			if err != nil {
+				c.poison()
+				return nil, err
+			}
+			return &BackupInfo{EndSeg: done.EndSeg, EndOff: done.EndOff,
+				Tuples: done.Tuples, Batches: done.Batches}, nil
+		case wire.OpError:
+			werr, derr := wire.DecodeError(payload)
+			if derr != nil {
+				c.poison()
+				return nil, derr
+			}
+			if werr.Fatal() {
+				c.poison()
+			}
+			return nil, werr
+		default:
+			c.poison()
+			return nil, fmt.Errorf("client: unexpected backup reply opcode %#x", op)
+		}
+	}
 }
 
 // Ping checks server liveness over the session.

@@ -1,7 +1,7 @@
 // Command degradectl inspects and operates the degradation machinery of
 // a database directory: show policies and pending deadlines, force a
 // degradation tick, fire events, run a forensic audit, vacuum the log,
-// or checkpoint.
+// checkpoint, and take or restore degradation-preserving backups.
 //
 // Usage:
 //
@@ -13,35 +13,107 @@
 //
 // Commands:
 //
-//	status            catalog summary: tables, policies, purposes, queues
-//	tick              run one degradation tick now
-//	fire <event>      raise an application event
-//	audit <needle>... forensic scan of store+log for the given text needles
-//	vacuum            rotate and vacuum the log
-//	checkpoint        sync pages and truncate the log
+//	status                 catalog summary: tables, policies, purposes, queues
+//	tick                   run one degradation tick now
+//	fire <event>           raise an application event
+//	audit [-file f]... <needle>...
+//	                       forensic scan of store+log+keys (plus extra
+//	                       files, e.g. backup archives) for text needles
+//	vacuum                 rotate and vacuum the log
+//	checkpoint             sync pages, truncate the log, compact the keys
+//	backup [-base prev] [-connect host:port] <out>
+//	                       stream a backup archive: full, or incremental
+//	                       resuming where -base ended; -connect streams
+//	                       from a running server instead of opening -dir
+//	restore -into dir [-keys keys.db] [-no-catchup] <base> [incr...]
+//	                       rebuild a database directory from an archive
+//	                       chain, then run degrade catch-up on it
+//
+// Backups taken from a shred-mode database hold degradable payloads as
+// ciphertext under the live epoch keys; restore needs the key file
+// (-keys, normally the live directory's keys.db) to recover payloads
+// whose keys are still alive — everything whose key was shredded is
+// restored as permanently Lost, which is the point. Local backup opens
+// the directory directly, so only run it against a quiesced database;
+// use -connect to back up a live server.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
 	"instantdb"
+	"instantdb/client"
+	"instantdb/internal/backup"
 	"instantdb/internal/forensic"
+	"instantdb/internal/wal"
 )
 
+const usageText = "usage: degradectl -dir path [-log shred|plain|vacuum] " +
+	"<status|tick|fire|audit|vacuum|checkpoint|backup|restore> [args]"
+
 func main() {
-	dir := flag.String("dir", "", "database directory (required)")
+	dir := flag.String("dir", "", "database directory (required for all commands except restore, and backup -connect)")
 	logMode := flag.String("log", "shred", "log mode the database was created with: shred, plain, vacuum")
 	flag.Parse()
-	if *dir == "" || flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: degradectl -dir path [-log shred|plain|vacuum] <status|tick|fire|audit|vacuum|checkpoint> [args]")
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, usageText)
 		os.Exit(2)
 	}
-	cfg := instantdb.Config{Dir: *dir}
+	cmd, rest := flag.Arg(0), flag.Args()[1:]
+	switch cmd {
+	case "restore":
+		runRestore(*logMode, rest)
+		return
+	case "backup":
+		runBackup(*dir, *logMode, rest)
+		return
+	}
+
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, usageText)
+		os.Exit(2)
+	}
+	db := openDB(*dir, *logMode)
+	defer db.Close()
+
+	switch cmd {
+	case "status":
+		status(db)
+	case "tick":
+		n, err := db.DegradeNow()
+		fail(err)
+		fmt.Printf("%d transition(s) enforced\n", n)
+	case "fire":
+		if len(rest) < 1 {
+			fail(fmt.Errorf("fire needs an event name"))
+		}
+		db.FireEvent(rest[0])
+		n, err := db.DegradeNow()
+		fail(err)
+		fmt.Printf("event %q fired: %d transition(s)\n", rest[0], n)
+	case "audit":
+		runAudit(db, *dir, rest)
+	case "vacuum":
+		fail(db.VacuumLog())
+		fmt.Println("log vacuumed")
+	case "checkpoint":
+		fail(db.Checkpoint())
+		fmt.Println("checkpointed: pages synced, log truncated and scrubbed, keys compacted")
+	default:
+		fail(fmt.Errorf("unknown command %q", cmd))
+	}
+}
+
+// openDB opens the database directory with the named log mode.
+func openDB(dir, logMode string) *instantdb.DB {
+	cfg := instantdb.Config{Dir: dir}
 	var err error
-	if cfg.LogMode, err = instantdb.ParseLogMode(*logMode); err != nil {
+	if cfg.LogMode, err = instantdb.ParseLogMode(logMode); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
@@ -50,52 +122,174 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	defer db.Close()
+	return db
+}
 
-	switch flag.Arg(0) {
-	case "status":
-		status(db)
-	case "tick":
-		n, err := db.DegradeNow()
-		fail(err)
-		fmt.Printf("%d transition(s) enforced\n", n)
-	case "fire":
-		if flag.NArg() < 2 {
-			fail(fmt.Errorf("fire needs an event name"))
-		}
-		db.FireEvent(flag.Arg(1))
-		n, err := db.DegradeNow()
-		fail(err)
-		fmt.Printf("event %q fired: %d transition(s)\n", flag.Arg(1), n)
-	case "audit":
-		if flag.NArg() < 2 {
-			fail(fmt.Errorf("audit needs at least one needle"))
-		}
-		var needles []forensic.Needle
-		for _, arg := range flag.Args()[1:] {
-			needles = append(needles, forensic.NeedleForText(arg, arg))
-		}
-		rep, err := forensic.ScanStore(db.StorageManager().Store(), needles)
-		fail(err)
-		walRep, err := forensic.ScanDir(filepath.Join(*dir, "wal"), needles)
-		fail(err)
-		rep.Merge(walRep)
-		fmt.Printf("scanned %d bytes, %d finding(s)\n", rep.BytesScanned, len(rep.Findings))
-		for _, f := range rep.Findings {
-			fmt.Println(" ", f)
-		}
-		if !rep.Clean() {
-			os.Exit(1)
-		}
-	case "vacuum":
-		fail(db.VacuumLog())
-		fmt.Println("log vacuumed")
-	case "checkpoint":
-		fail(db.Checkpoint())
-		fmt.Println("checkpointed: pages synced, log truncated and scrubbed")
-	default:
-		fail(fmt.Errorf("unknown command %q", flag.Arg(0)))
+// stringList collects repeated -file flags.
+type stringList []string
+
+func (s *stringList) String() string { return fmt.Sprint(*s) }
+
+// Set implements flag.Value.
+func (s *stringList) Set(v string) error { *s = append(*s, v); return nil }
+
+// runAudit scans the database's persistent artifacts — raw store pages,
+// WAL segments, the epoch-key file — plus any extra files (backup
+// archives) for the given text needles. catalog.sql is deliberately out
+// of scope: schema literals (domain trees) legitimately contain level
+// labels and are not data leaks.
+func runAudit(db *instantdb.DB, dir string, args []string) {
+	fs := flag.NewFlagSet("audit", flag.ExitOnError)
+	var files stringList
+	fs.Var(&files, "file", "extra file to scan (repeatable), e.g. a backup archive")
+	fail(fs.Parse(args))
+	if fs.NArg() < 1 {
+		fail(fmt.Errorf("audit needs at least one needle"))
 	}
+	var needles []forensic.Needle
+	for _, arg := range fs.Args() {
+		needles = append(needles, forensic.NeedleForText(arg, arg))
+	}
+	rep, err := forensic.ScanStore(db.StorageManager().Store(), needles)
+	fail(err)
+	walRep, err := forensic.ScanDir(filepath.Join(dir, "wal"), needles)
+	fail(err)
+	rep.Merge(walRep)
+	keyRep, err := forensic.ScanFile(filepath.Join(dir, "keys.db"), needles)
+	fail(err)
+	rep.Merge(keyRep)
+	for _, f := range files {
+		fileRep, err := forensic.ScanFile(f, needles)
+		fail(err)
+		rep.Merge(fileRep)
+	}
+	fmt.Printf("scanned %d bytes, %d finding(s)\n", rep.BytesScanned, len(rep.Findings))
+	for _, f := range rep.Findings {
+		fmt.Println(" ", f)
+	}
+	if !rep.Clean() {
+		os.Exit(1)
+	}
+}
+
+// runBackup streams a backup archive to a file: full, or incremental
+// resuming at the end position of the -base archive. With -connect the
+// archive streams from a running server; otherwise the -dir directory
+// is opened locally (quiesce the database first).
+func runBackup(dir, logMode string, args []string) {
+	fs := flag.NewFlagSet("backup", flag.ExitOnError)
+	base := fs.String("base", "", "previous archive in the chain; produce an incremental resuming at its end position")
+	connect := fs.String("connect", "", "stream from a running instantdb-server at host:port instead of opening -dir")
+	fail(fs.Parse(args))
+	if fs.NArg() != 1 {
+		fail(fmt.Errorf("backup needs exactly one output path"))
+	}
+	outPath := fs.Arg(0)
+
+	var from wal.Pos
+	if *base != "" {
+		bf, err := os.Open(*base)
+		fail(err)
+		hdr, err := backup.ReadHeader(bf)
+		bf.Close()
+		fail(err)
+		from = hdr.End
+	}
+
+	out, err := os.OpenFile(outPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
+	fail(err)
+
+	var sum *backup.Summary
+	if *connect != "" {
+		conn, err := client.Dial(context.Background(), *connect)
+		fail(err)
+		defer conn.Close()
+		var info *client.BackupInfo
+		if *base == "" {
+			info, err = conn.Backup(context.Background(), out)
+		} else {
+			info, err = conn.BackupIncremental(context.Background(), uint64(from.Seg), uint64(from.Off), out)
+		}
+		fail(err)
+		sum = &backup.Summary{
+			Incremental: *base != "",
+			From:        from,
+			End:         wal.Pos{Seg: int(info.EndSeg), Off: int64(info.EndOff)},
+			Tuples:      int(info.Tuples),
+			Batches:     int(info.Batches),
+		}
+		// The wire summary has no epoch; read it back from the archive
+		// header, which also validates the file landed intact — a
+		// failure here means the archive on disk is unusable.
+		rf, err := os.Open(outPath)
+		fail(err)
+		hdr, err := backup.ReadHeader(rf)
+		rf.Close()
+		fail(err)
+		sum.Epoch = hdr.Epoch
+	} else {
+		if dir == "" {
+			fail(fmt.Errorf("backup needs -dir (or -connect)"))
+		}
+		db := openDB(dir, logMode)
+		defer db.Close()
+		if *base == "" {
+			sum, err = backup.Full(db, out)
+		} else {
+			sum, err = backup.Incremental(db, from, out)
+		}
+		fail(err)
+	}
+	fail(out.Sync())
+	fail(out.Close())
+	if sum.Incremental {
+		fmt.Printf("incremental backup: %d batch(es), %v -> %v\n", sum.Batches, sum.From, sum.End)
+	} else {
+		fmt.Printf("full backup: %d tuple(s) at epoch %d, next incremental from %v\n", sum.Tuples, sum.Epoch, sum.End)
+	}
+}
+
+// runRestore rebuilds a database directory from an archive chain and
+// (unless -no-catchup) opens it once — in the global -log mode, which
+// must match the SOURCE database's mode — to fire every LCP transition
+// whose deadline passed while the data sat archived.
+func runRestore(logMode string, args []string) {
+	fs := flag.NewFlagSet("restore", flag.ExitOnError)
+	into := fs.String("into", "", "target database directory (must not exist)")
+	keys := fs.String("keys", "", "epoch-key file (the live database's keys.db); omitted, every sealed payload restores as Lost")
+	noCatchup := fs.Bool("no-catchup", false, "skip the degrade catch-up pass after restoring")
+	fail(fs.Parse(args))
+	if *into == "" || fs.NArg() < 1 {
+		fail(fmt.Errorf("restore needs -into and at least one archive (base first)"))
+	}
+	archives := make([]io.Reader, 0, fs.NArg())
+	files := make([]*os.File, 0, fs.NArg())
+	defer func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}()
+	for _, p := range fs.Args() {
+		f, err := os.Open(p)
+		fail(err)
+		files = append(files, f)
+		archives = append(archives, f)
+	}
+	sum, err := backup.Restore(backup.RestoreOptions{Dir: *into, KeysPath: *keys}, archives...)
+	fail(err)
+	fmt.Printf("restored %d tuple(s), %d batch(es); %d payload(s) lost, %d attribute(s) erased (up to %v)\n",
+		sum.Tuples, sum.Batches, sum.Lost, sum.Erased, sum.End)
+	if *noCatchup {
+		return
+	}
+	db := openDB(*into, logMode)
+	n, err := db.DegradeNow()
+	if err != nil {
+		db.Close()
+		fail(err)
+	}
+	fail(db.Close())
+	fmt.Printf("degrade catch-up: %d transition(s) enforced\n", n)
 }
 
 func status(db *instantdb.DB) {
@@ -131,7 +325,7 @@ func status(db *instantdb.DB) {
 		fmt.Printf("next deadline: %v\n", next)
 	}
 	if ks := db.KeyStore(); ks != nil {
-		fmt.Printf("epoch keys live: %d\n", ks.LiveKeys())
+		fmt.Printf("epoch keys live: %d (key file %d bytes)\n", ks.LiveKeys(), ks.SizeBytes())
 	}
 	if l := db.Log(); l != nil {
 		fmt.Printf("wal: %d segment(s), %d bytes\n", l.SegmentCount(), l.SizeBytes())

@@ -1,0 +1,176 @@
+package backup_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"instantdb/client"
+	"instantdb/internal/backup"
+	"instantdb/internal/engine"
+	"instantdb/internal/forensic"
+	"instantdb/internal/server"
+	"instantdb/internal/storage"
+	"instantdb/internal/value"
+	"instantdb/internal/vclock"
+)
+
+const e2eSchema = `
+CREATE DOMAIN location TREE LEVELS (address, city, region, country)
+  PATH ('Dam 1', 'Amsterdam', 'Noord-Holland', 'Netherlands')
+  PATH ('Coolsingel 40', 'Rotterdam', 'Zuid-Holland', 'Netherlands');
+CREATE POLICY locpol ON location (
+  HOLD address FOR '15m',
+  HOLD city FOR '1h',
+  HOLD region FOR '1d',
+  HOLD country FOR '1mo'
+) THEN DELETE;
+CREATE TABLE visits (
+  id INT PRIMARY KEY,
+  who TEXT NOT NULL,
+  place TEXT DEGRADABLE DOMAIN location POLICY locpol
+);
+DECLARE PURPOSE precise SET ACCURACY LEVEL address FOR visits.place;
+`
+
+// TestBackupOverTCP is the subsystem's end-to-end smoke: stream a full
+// backup and a chained incremental from a live server with
+// client.Backup, shred the epoch key on the server at the LCP deadline,
+// restore the chain into a fresh directory, and prove by forensic scan
+// that neither the restored directory nor the raw archive bytes carry
+// the expired accuracy state.
+func TestBackupOverTCP(t *testing.T) {
+	clock := vclock.NewSimulated(vclock.Epoch)
+	liveDir := filepath.Join(t.TempDir(), "live")
+	db, err := engine.Open(engine.Config{Dir: liveDir, Clock: clock, ShredBucket: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.ExecScript(e2eSchema); err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(db, server.Options{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln) //nolint:errcheck // closed via srv.Close
+	defer srv.Close()
+
+	ctx := context.Background()
+	conn, err := client.Dial(ctx, ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Exec(ctx, "INSERT INTO visits (id, who, place) VALUES (?, ?, ?)",
+		value.Int(1), value.Text("alice"), value.Text("Dam 1")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Full backup over the wire, then post-base writes, then a chained
+	// incremental using the reported end position.
+	var base bytes.Buffer
+	info, err := conn.Backup(ctx, &base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Tuples != 1 {
+		t.Fatalf("remote full backup archived %d tuples, want 1", info.Tuples)
+	}
+	if _, err := conn.Exec(ctx, "INSERT INTO visits (id, who, place) VALUES (?, ?, ?)",
+		value.Int(2), value.Text("bob"), value.Text("Coolsingel 40")); err != nil {
+		t.Fatal(err)
+	}
+	var incr bytes.Buffer
+	iinfo, err := conn.BackupIncremental(ctx, info.EndSeg, info.EndOff, &incr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iinfo.Batches < 1 {
+		t.Fatalf("remote incremental carried %d batches, want >= 1", iinfo.Batches)
+	}
+	// The session survives the streams: an ordinary request still works.
+	if err := conn.Ping(ctx); err != nil {
+		t.Fatalf("session unusable after backup streams: %v", err)
+	}
+
+	// Collect forensic needles for both stored address forms, then cross
+	// the deadline: the server degrades and shreds the epoch key.
+	tbl, err := db.Catalog().Table("visits")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var needles []forensic.Needle
+	for id := storage.TupleID(1); id <= 2; id++ {
+		tup, err := db.StorageManager().Table(tbl).Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		needles = append(needles, forensic.NeedleForStored(fmt.Sprintf("address-%d", id), tup.Row[2]))
+	}
+	clock.Advance(16 * time.Minute)
+	if n, err := db.DegradeNow(); err != nil || n < 2 {
+		t.Fatalf("server-side transition: n=%d err=%v", n, err)
+	}
+
+	// Restore the chain; both archived address payloads are now
+	// permanently Lost (their key is gone), everything else survives.
+	target := filepath.Join(t.TempDir(), "restored")
+	sum, err := backup.Restore(backup.RestoreOptions{Dir: target, KeysPath: filepath.Join(liveDir, "keys.db")},
+		bytes.NewReader(base.Bytes()), bytes.NewReader(incr.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Lost < 2 || sum.Erased < 2 {
+		t.Fatalf("restore summary %+v, want both address payloads lost and erased", sum)
+	}
+	restored, err := engine.Open(engine.Config{Dir: target, Clock: vclock.NewSimulated(clock.Now()), ShredBucket: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rconn := restored.NewConn()
+	if err := rconn.SetPurpose("precise"); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := rconn.Query("SELECT place FROM visits")
+	if err != nil || rows.Len() != 0 {
+		t.Fatalf("expired accuracy state served after restore: %v err=%v", rows, err)
+	}
+	rows, err = restored.NewConn().Query("SELECT who FROM visits")
+	if err != nil || rows.Len() != 2 {
+		t.Fatalf("stable columns after restore: %v err=%v", rows, err)
+	}
+	restored.Close()
+
+	for _, probe := range []struct {
+		name string
+		scan func() (forensic.Report, error)
+	}{
+		{"restored wal", func() (forensic.Report, error) {
+			return forensic.ScanDir(filepath.Join(target, "wal"), needles)
+		}},
+		{"restored pages", func() (forensic.Report, error) {
+			return forensic.ScanFile(filepath.Join(target, "pages.db"), needles)
+		}},
+		{"base archive", func() (forensic.Report, error) {
+			return forensic.ScanReader("archive", "base", bytes.NewReader(base.Bytes()), needles)
+		}},
+		{"incremental archive", func() (forensic.Report, error) {
+			return forensic.ScanReader("archive", "incr", bytes.NewReader(incr.Bytes()), needles)
+		}},
+	} {
+		rep, err := probe.scan()
+		if err != nil {
+			t.Fatalf("%s: %v", probe.name, err)
+		}
+		if !rep.Clean() {
+			t.Fatalf("forensic scan of %s found leaks: %v", probe.name, rep.Findings)
+		}
+	}
+}

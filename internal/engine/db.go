@@ -131,6 +131,7 @@ type DB struct {
 	mgr    *storage.Manager
 	log    *wal.Log
 	keys   *wal.KeyStore
+	codec  wal.Codec
 	locks  *txn.LockManager
 	ids    *txn.IDSource
 	epochs *txn.EpochSource
@@ -224,6 +225,7 @@ func Open(cfg Config) (*DB, error) {
 			return nil, err
 		}
 		db.log = l
+		db.codec = codec
 	}
 
 	// Degradation engine with the matching scrubber.
@@ -325,6 +327,51 @@ func (db *DB) KeyStore() *wal.KeyStore { return db.keys }
 // handshake diagnostics).
 func (db *DB) Epoch() uint64 { return db.epochs.Current() }
 
+// WALCodec returns the codec sealing degradable payloads in the WAL.
+// Backup writers seal archived payloads with it, so archive ciphertext
+// lives under the same epoch keys as the log — shredding a key degrades
+// every archive ever taken. PlainCodec for plain/vacuum databases (no
+// retroactive guarantee) and for ephemeral ones.
+func (db *DB) WALCodec() wal.Codec {
+	if db.codec == nil {
+		return wal.PlainCodec{}
+	}
+	return db.codec
+}
+
+// BackupPin pins a consistent backup point: a snapshot epoch (held open
+// until release is called) paired with the WAL position every batch
+// published at or before that epoch lies strictly before. The pair is
+// taken under the commit mutex, so a full backup scanning the epoch plus
+// an incremental tailing the log from the position covers every commit
+// exactly once. Ephemeral databases have nothing durable to archive and
+// are refused.
+func (db *DB) BackupPin() (epoch uint64, pos wal.Pos, release func(), err error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return 0, wal.Pos{}, nil, errors.New("engine: database closed")
+	}
+	if db.cfg.Dir == "" || db.log == nil {
+		return 0, wal.Pos{}, nil, errors.New("engine: backup requires a durable database (no WAL)")
+	}
+	epoch = db.epochs.Snapshot()
+	return epoch, db.log.EndPos(), func() { db.epochs.Release(epoch) }, nil
+}
+
+// CatalogScript returns the persisted DDL script (catalog.sql) under the
+// commit mutex, so a concurrently executing DDL statement is either
+// fully included or fully absent.
+func (db *DB) CatalogScript() (string, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	data, err := os.ReadFile(filepath.Join(db.cfg.Dir, "catalog.sql"))
+	if err != nil && !os.IsNotExist(err) {
+		return "", err
+	}
+	return string(data), nil
+}
+
 // IsReplica reports whether the database runs in read-replica mode.
 func (db *DB) IsReplica() bool { return db.cfg.Replica }
 
@@ -338,17 +385,18 @@ func (db *DB) ReplPos() wal.Pos {
 	return db.replPos
 }
 
-// ReplSource validates that this database can serve as a replication
-// leader and returns its WAL plus the catalog DDL script shipped to
-// connecting followers. Ephemeral databases have no log to ship, and
-// vacuum mode rewrites sealed segments in place, which would silently
-// invalidate follower byte positions — both are refused.
+// ReplSource validates that this database's WAL can be tailed by byte
+// position — by a replication sender or an incremental backup — and
+// returns the log plus the catalog DDL script. Ephemeral databases have
+// no log to tail, and vacuum mode rewrites sealed segments in place,
+// which would silently invalidate tailer byte positions — both are
+// refused.
 func (db *DB) ReplSource() (*wal.Log, string, error) {
 	if db.log == nil {
-		return nil, "", errors.New("engine: replication requires a durable database (no WAL)")
+		return nil, "", errors.New("engine: log tailing requires a durable database (no WAL)")
 	}
 	if db.cfg.LogMode == LogVacuum {
-		return nil, "", errors.New("engine: replication is unsupported in vacuum log mode (segment rewrites invalidate follower positions); use shred or plain")
+		return nil, "", errors.New("engine: log tailing is unsupported in vacuum log mode (segment rewrites invalidate tail positions); use shred or plain")
 	}
 	data, err := os.ReadFile(filepath.Join(db.cfg.Dir, "catalog.sql"))
 	if err != nil && !os.IsNotExist(err) {
@@ -489,7 +537,15 @@ func (db *DB) checkpointLocked() error {
 		}
 	}
 	if db.log != nil {
-		return db.log.Reset()
+		if err := db.log.Reset(); err != nil {
+			return err
+		}
+	}
+	// Shredded key entries are dead weight once their zero-overwrite is
+	// durable; fold them into the compaction frontier so the key file
+	// tracks the live key population.
+	if db.keys != nil {
+		return db.keys.Compact()
 	}
 	return nil
 }

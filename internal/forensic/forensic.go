@@ -11,6 +11,7 @@ package forensic
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -89,25 +90,76 @@ func ScanStore(s storage.Store, needles []Needle) (Report, error) {
 	return rep, err
 }
 
-// ScanFile searches one file.
+// ScanFile searches one file; missing files scan clean. The file is
+// streamed through ScanReader, so arbitrarily large artifacts — backup
+// archives in particular — scan in constant memory.
 func ScanFile(path string, needles []Needle) (Report, error) {
-	var rep Report
-	data, err := os.ReadFile(path)
+	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return rep, nil
+			return Report{}, nil
 		}
+		return Report{}, err
+	}
+	defer f.Close()
+	return ScanReader(path, filepath.Base(path), f, needles)
+}
+
+// scanChunk is ScanReader's read granularity.
+const scanChunk = 256 << 10
+
+// ScanReader streams r in chunks, searching for every needle. A tail of
+// maxNeedleLen-1 bytes is carried between chunks, so matches spanning a
+// chunk boundary are found; reported offsets are absolute within the
+// stream, and only the first occurrence of each needle is recorded.
+// This is the scan primitive for artifacts that are not files on disk —
+// a backup archive still in flight, a network stream, a pipe.
+func ScanReader(artifact, unit string, r io.Reader, needles []Needle) (Report, error) {
+	var rep Report
+	maxLen := 0
+	for _, n := range needles {
+		if len(n.Bytes) > maxLen {
+			maxLen = len(n.Bytes)
+		}
+	}
+	if maxLen == 0 {
+		n, err := io.Copy(io.Discard, r)
+		rep.BytesScanned = n
 		return rep, err
 	}
-	rep.BytesScanned = int64(len(data))
-	for _, n := range needles {
-		if off := bytes.Index(data, n.Bytes); off >= 0 {
-			rep.Findings = append(rep.Findings, Finding{
-				Artifact: path, Unit: filepath.Base(path), Offset: off, Label: n.Label,
-			})
+	found := make([]bool, len(needles))
+	buf := make([]byte, 0, scanChunk+maxLen)
+	var base int64 // stream offset of buf[0]
+	for {
+		n, err := io.ReadAtLeast(r, buf[len(buf):cap(buf)], 1)
+		if n > 0 {
+			rep.BytesScanned += int64(n)
+			buf = buf[:len(buf)+n]
+			for i, nd := range needles {
+				if found[i] {
+					continue
+				}
+				if off := bytes.Index(buf, nd.Bytes); off >= 0 {
+					found[i] = true
+					rep.Findings = append(rep.Findings, Finding{
+						Artifact: artifact, Unit: unit, Offset: int(base) + off, Label: nd.Label,
+					})
+				}
+			}
+			// Keep the overlap tail; everything before it is fully scanned.
+			if keep := maxLen - 1; len(buf) > keep {
+				base += int64(len(buf) - keep)
+				copy(buf, buf[len(buf)-keep:])
+				buf = buf[:keep]
+			}
+		}
+		if err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return rep, nil
+			}
+			return rep, err
 		}
 	}
-	return rep, nil
 }
 
 // ScanDir searches every regular file under dir (the WAL directory, the

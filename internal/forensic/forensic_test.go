@@ -1,6 +1,7 @@
 package forensic
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"testing"
@@ -100,5 +101,40 @@ func TestFindingString(t *testing.T) {
 	f := Finding{Artifact: "store", Unit: "page 3", Offset: 9, Label: "x"}
 	if f.String() == "" {
 		t.Fatal("empty finding string")
+	}
+}
+
+// TestScanReaderSpansChunks: a needle straddling the streaming chunk
+// boundary is still found, at its absolute stream offset, and each
+// needle is reported once.
+func TestScanReaderSpansChunks(t *testing.T) {
+	needle := []byte("SPLIT-NEEDLE")
+	// Place the needle across the scanChunk boundary: half before, half
+	// after, plus a second full occurrence later in the stream.
+	data := make([]byte, scanChunk+4096)
+	start := scanChunk - len(needle)/2
+	copy(data[start:], needle)
+	copy(data[scanChunk+1000:], needle)
+	needles := []Needle{{Label: "split", Bytes: needle}}
+
+	rep, err := ScanReader("stream", "unit", bytes.NewReader(data), needles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BytesScanned != int64(len(data)) {
+		t.Fatalf("scanned %d bytes, want %d", rep.BytesScanned, len(data))
+	}
+	if len(rep.Findings) != 1 {
+		t.Fatalf("findings = %v, want exactly one", rep.Findings)
+	}
+	if rep.Findings[0].Offset != start {
+		t.Fatalf("offset %d, want %d (absolute stream offset of the first hit)", rep.Findings[0].Offset, start)
+	}
+
+	// Clean stream: no findings, full byte count.
+	rep, err = ScanReader("stream", "unit", bytes.NewReader(make([]byte, 3*scanChunk)),
+		[]Needle{{Label: "x", Bytes: []byte("absent-needle")}})
+	if err != nil || !rep.Clean() || rep.BytesScanned != int64(3*scanChunk) {
+		t.Fatalf("clean stream scan: %+v err=%v", rep, err)
 	}
 }

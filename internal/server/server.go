@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"instantdb/internal/backup"
 	"instantdb/internal/engine"
 	"instantdb/internal/repl"
 	"instantdb/internal/wal"
@@ -424,10 +425,112 @@ func (s *Server) serveRequest(nc net.Conn, sess *session, op byte, payload []byt
 			return s.sendErr(nc, sqlCode(err), err)
 		}
 		return s.sendResult(nc, res)
+	case wire.OpBackup:
+		req, err := wire.DecodeBackupReq(payload)
+		if err != nil {
+			s.fail(nc, wire.CodeProtocol, err.Error())
+			return false
+		}
+		return s.serveBackup(nc, req)
 	default:
 		s.fail(nc, wire.CodeProtocol, fmt.Sprintf("server: unknown opcode %#x", op))
 		return false
 	}
+}
+
+// serveBackup streams one backup archive to the client as OpBackupChunk
+// frames followed by OpBackupDone. The archive is produced on this
+// session's goroutine over the engine's lock-free snapshot path, so a
+// slow client throttles only its own stream, never the degradation
+// engine or other sessions. A failure mid-stream is reported as a
+// non-fatal OpError — frames are typed, so the session stays in sync
+// and usable; the client discards the incomplete archive.
+func (s *Server) serveBackup(nc net.Conn, req wire.BackupReq) bool {
+	cw := &chunkWriter{nc: nc, max: s.backupChunkSize()}
+	var sum *backup.Summary
+	var err error
+	if req.Incremental {
+		from := wal.Pos{Seg: int(req.FromSeg), Off: int64(req.FromOff)}
+		sum, err = backup.Incremental(s.db, from, cw)
+	} else {
+		sum, err = backup.Full(s.db, cw)
+	}
+	if err == nil {
+		err = cw.flush()
+	}
+	if err != nil {
+		if cw.err != nil {
+			return false // the connection itself is dead
+		}
+		s.logf("backup %s: %v", nc.RemoteAddr(), err)
+		return s.sendErr(nc, wire.CodeSQL, err)
+	}
+	done := wire.EncodeBackupDone(wire.BackupDone{
+		EndSeg: uint64(sum.End.Seg), EndOff: uint64(sum.End.Off),
+		Tuples: uint64(sum.Tuples), Batches: uint64(sum.Batches),
+	})
+	return wire.WriteFrame(nc, wire.OpBackupDone, done) == nil
+}
+
+// backupChunkSize bounds OpBackupChunk payloads: comfortably under the
+// frame limit, capped so the stream pipelines instead of building one
+// giant frame.
+func (s *Server) backupChunkSize() int {
+	n := s.opts.MaxFrame / 2
+	if n > 256<<10 {
+		n = 256 << 10
+	}
+	if n < 4<<10 {
+		n = 4 << 10
+	}
+	return n
+}
+
+// chunkWriter adapts a frame stream to io.Writer for the backup writer,
+// buffering up to max bytes per OpBackupChunk frame.
+type chunkWriter struct {
+	nc  net.Conn
+	buf []byte
+	max int
+	err error
+}
+
+// Write implements io.Writer.
+func (cw *chunkWriter) Write(p []byte) (int, error) {
+	if cw.err != nil {
+		return 0, cw.err
+	}
+	n := len(p)
+	for len(p) > 0 {
+		room := cw.max - len(cw.buf)
+		if room == 0 {
+			if err := cw.flush(); err != nil {
+				return n - len(p), err
+			}
+			room = cw.max
+		}
+		if room > len(p) {
+			room = len(p)
+		}
+		cw.buf = append(cw.buf, p[:room]...)
+		p = p[room:]
+	}
+	return n, nil
+}
+
+func (cw *chunkWriter) flush() error {
+	if cw.err != nil {
+		return cw.err
+	}
+	if len(cw.buf) == 0 {
+		return nil
+	}
+	if err := wire.WriteFrame(cw.nc, wire.OpBackupChunk, cw.buf); err != nil {
+		cw.err = err
+		return err
+	}
+	cw.buf = cw.buf[:0]
+	return nil
 }
 
 // execSQL runs one statement on the session and answers with its result

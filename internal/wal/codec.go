@@ -28,7 +28,25 @@ type Codec interface {
 const (
 	frmPlain = 0x00
 	frmEnc   = 0x01
+	// frmLost marks a payload recorded as irrecoverable at seal time:
+	// its epoch key was already shredded (or the value's accuracy state
+	// is erased), so the archive or log copy carries no material at all.
+	// Both codecs open it as (nil, ok=false), exactly like a sealed
+	// payload whose key has since been destroyed.
+	frmLost = 0x02
 )
+
+// ErrKeyShredded reports an attempt to seal a payload under an epoch key
+// that was already destroyed. Live commits treat it as fatal (nothing
+// may be sealed under a retired accuracy window); backup writers degrade
+// the payload to LostSeal instead — the value expired mid-backup, so
+// losing it is the guarantee, not a failure.
+var ErrKeyShredded = errors.New("wal: epoch key already shredded")
+
+// LostSeal returns the sealed form of an irrecoverable payload. Codec
+// Open returns ok=false for it, so replay and restore deliver the value
+// as Lost.
+func LostSeal() []byte { return []byte{frmLost} }
 
 // PlainCodec stores payloads verbatim — the baseline whose log leaks
 // every accuracy state until vacuumed.
@@ -41,6 +59,9 @@ func (PlainCodec) Seal(_ uint32, _, _ uint8, _ int64, _ storage.TupleID, plain [
 
 // Open implements Codec.
 func (PlainCodec) Open(_ uint32, _, _ uint8, _ int64, _ storage.TupleID, sealed []byte) ([]byte, bool, error) {
+	if len(sealed) >= 1 && sealed[0] == frmLost {
+		return nil, false, nil
+	}
 	if len(sealed) < 1 || sealed[0] != frmPlain {
 		return nil, false, errors.New("wal: bad plain payload framing")
 	}
@@ -62,31 +83,54 @@ type keyID struct {
 // in-place zero-overwrite when shredding.
 const keyEntrySize = 64
 
+// entFrontier flags an entry (byte 6) as a shred-frontier marker instead
+// of a key: its bucket field records the highest bucket of (table, col,
+// state) whose key has been destroyed. Compaction writes frontier
+// markers so shredded entries can be dropped from the file without
+// forgetting that their buckets are retired — a later attempt to seal
+// (or recreate a key) at or below the frontier is refused exactly as if
+// the zeroed entry were still present.
+const entFrontier = 1
+
 type keyEntry struct {
 	off      int64
 	key      [32]byte
 	shredded bool
 }
 
+// frontierKey scopes a shred frontier to one (table, column, LCP state).
+type frontierKey struct {
+	table uint32
+	col   uint8
+	state uint8
+}
+
 // KeyStore persists epoch keys in a dedicated file. Shredding overwrites
 // the 32 key bytes in place and syncs; the ciphertext in the log is then
 // permanently undecipherable (AES-CTR with a destroyed key), achieving
-// log degradation without rewriting log segments.
+// log degradation without rewriting log segments. Shredded entries do
+// not accumulate forever: Compact (run on open and at checkpoints)
+// rewrites the file with live keys only, folding destroyed entries into
+// per-(table, col, state) frontier markers that keep their buckets
+// permanently refusable.
 type KeyStore struct {
-	mu      sync.Mutex
-	f       *os.File
-	entries map[keyID]*keyEntry
-	size    int64
+	mu       sync.Mutex
+	f        *os.File
+	path     string
+	entries  map[keyID]*keyEntry
+	frontier map[frontierKey]int64
+	shredded int
+	size     int64
 }
 
 // OpenKeyStore opens (or creates) the key file at path and loads live
-// keys.
+// keys. Entries shredded before the last close are compacted away.
 func OpenKeyStore(path string) (*KeyStore, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o600)
 	if err != nil {
 		return nil, fmt.Errorf("wal: open keystore %s: %w", path, err)
 	}
-	ks := &KeyStore{f: f, entries: make(map[keyID]*keyEntry)}
+	ks := &KeyStore{f: f, path: path, entries: make(map[keyID]*keyEntry), frontier: make(map[frontierKey]int64)}
 	st, err := f.Stat()
 	if err != nil {
 		f.Close()
@@ -104,6 +148,13 @@ func OpenKeyStore(path string) (*KeyStore, error) {
 			state:  buf[5],
 			bucket: int64(binary.LittleEndian.Uint64(buf[8:])),
 		}
+		if buf[6] == entFrontier {
+			fk := frontierKey{id.table, id.col, id.state}
+			if id.bucket > ks.frontier[fk] {
+				ks.frontier[fk] = id.bucket
+			}
+			continue
+		}
 		e := &keyEntry{off: off}
 		copy(e.key[:], buf[16:48])
 		allZero := true
@@ -114,14 +165,32 @@ func OpenKeyStore(path string) (*KeyStore, error) {
 			}
 		}
 		e.shredded = allZero
+		if e.shredded {
+			ks.shredded++
+		}
 		ks.entries[id] = e
 	}
 	ks.size = st.Size() - st.Size()%keyEntrySize
+	if ks.shredded > 0 {
+		if err := ks.compactLocked(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
 	return ks, nil
 }
 
+// retiredLocked reports whether id's bucket sits at or below the shred
+// frontier of its (table, col, state) — its key, if it ever existed, was
+// destroyed and must never be recreated.
+func (ks *KeyStore) retiredLocked(id keyID) bool {
+	limit, ok := ks.frontier[frontierKey{id.table, id.col, id.state}]
+	return ok && id.bucket <= limit
+}
+
 // keyFor returns the live key for id, creating and persisting one when
-// create is set. ok is false when the key is shredded or absent.
+// create is set. ok is false when the key is shredded, retired behind
+// the compaction frontier, or absent.
 func (ks *KeyStore) keyFor(id keyID, create bool) (key [32]byte, ok bool, err error) {
 	ks.mu.Lock()
 	defer ks.mu.Unlock()
@@ -131,7 +200,7 @@ func (ks *KeyStore) keyFor(id keyID, create bool) (key [32]byte, ok bool, err er
 		}
 		return e.key, true, nil
 	}
-	if !create {
+	if ks.retiredLocked(id) || !create {
 		return key, false, nil
 	}
 	e := &keyEntry{off: ks.size}
@@ -181,6 +250,7 @@ func (ks *KeyStore) Shred(table uint32, col, state uint8, cutoff time.Time, buck
 		}
 		e.key = [32]byte{}
 		e.shredded = true
+		ks.shredded++
 		n++
 	}
 	if n > 0 {
@@ -189,6 +259,102 @@ func (ks *KeyStore) Shred(table uint32, col, state uint8, cutoff time.Time, buck
 		}
 	}
 	return n, nil
+}
+
+// Compact rewrites the key file without its shredded entries, folding
+// them into frontier markers so their buckets stay permanently refused.
+// The rewrite is crash-safe: the replacement is fully written and synced
+// under a temporary name before an atomic rename, and the zero-overwrite
+// that destroyed each key already happened at shred time — no key
+// material ever reappears. The engine runs it at every checkpoint (and
+// OpenKeyStore runs it on load), so the file's size tracks the live key
+// population instead of growing forever.
+func (ks *KeyStore) Compact() error {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	return ks.compactLocked()
+}
+
+func (ks *KeyStore) compactLocked() error {
+	if ks.shredded == 0 {
+		return nil
+	}
+	for id, e := range ks.entries {
+		if !e.shredded {
+			continue
+		}
+		fk := frontierKey{id.table, id.col, id.state}
+		if id.bucket > ks.frontier[fk] {
+			ks.frontier[fk] = id.bucket
+		}
+	}
+	buf := make([]byte, 0, (len(ks.frontier)+len(ks.entries))*keyEntrySize)
+	ent := make([]byte, keyEntrySize)
+	for fk, bucket := range ks.frontier {
+		for i := range ent {
+			ent[i] = 0
+		}
+		binary.LittleEndian.PutUint32(ent[0:], fk.table)
+		ent[4], ent[5], ent[6] = fk.col, fk.state, entFrontier
+		binary.LittleEndian.PutUint64(ent[8:], uint64(bucket))
+		buf = append(buf, ent...)
+	}
+	live := make(map[keyID]*keyEntry, len(ks.entries))
+	off := int64(len(buf))
+	for id, e := range ks.entries {
+		if e.shredded {
+			continue
+		}
+		for i := range ent {
+			ent[i] = 0
+		}
+		binary.LittleEndian.PutUint32(ent[0:], id.table)
+		ent[4], ent[5] = id.col, id.state
+		binary.LittleEndian.PutUint64(ent[8:], uint64(id.bucket))
+		copy(ent[16:48], e.key[:])
+		buf = append(buf, ent...)
+		live[id] = &keyEntry{off: off, key: e.key}
+		off += keyEntrySize
+	}
+	tmpPath := ks.path + ".compact"
+	tmp, err := os.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
+		return fmt.Errorf("wal: keystore compact: %w", err)
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("wal: keystore compact: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	// Open the replacement BEFORE renaming it into place: if anything
+	// here fails, the store keeps serving (and shredding into) the
+	// original file — a half-switched state where Shred's zero
+	// overwrites land on an unlinked inode must be impossible.
+	f, err := os.OpenFile(tmpPath, os.O_RDWR, 0o600)
+	if err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("wal: keystore compact reopen: %w", err)
+	}
+	if err := os.Rename(tmpPath, ks.path); err != nil {
+		f.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	ks.f.Close()
+	ks.f = f
+	ks.entries = live
+	ks.shredded = 0
+	ks.size = int64(len(buf))
+	return nil
 }
 
 // LiveKeys returns the number of unshredded keys (tooling/experiments).
@@ -202,6 +368,14 @@ func (ks *KeyStore) LiveKeys() int {
 		}
 	}
 	return n
+}
+
+// SizeBytes returns the key file's current size (compaction tooling and
+// tests).
+func (ks *KeyStore) SizeBytes() int64 {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	return ks.size
 }
 
 // Close closes the key file.
@@ -254,7 +428,7 @@ func (c *ShredCodec) Seal(table uint32, col, state uint8, insertNano int64, tupl
 		return nil, err
 	}
 	if !ok {
-		return nil, fmt.Errorf("wal: sealing under an already-shredded key (table %d col %d state %d)", table, col, state)
+		return nil, fmt.Errorf("%w (table %d col %d state %d)", ErrKeyShredded, table, col, state)
 	}
 	block, err := aes.NewCipher(key[:])
 	if err != nil {
@@ -275,6 +449,9 @@ func (c *ShredCodec) Open(table uint32, col, state uint8, _ int64, tuple storage
 	}
 	if sealed[0] == frmPlain {
 		return sealed[1:], true, nil
+	}
+	if sealed[0] == frmLost {
+		return nil, false, nil
 	}
 	if sealed[0] != frmEnc || len(sealed) < 9 {
 		return nil, false, errors.New("wal: bad sealed payload framing")

@@ -195,6 +195,17 @@ func (l *Log) Append(recs []*Record) error {
 			return err
 		}
 	}
+	return l.AppendRaw(payload)
+}
+
+// AppendRaw durably appends one commit batch whose record bytes are
+// already encoded (an EncodeRecords sequence, or a batch payload read
+// verbatim with ReadBatchRaw). Restore uses it to rebuild a log from
+// archived batches without ever opening their sealed payloads.
+func (l *Log) AppendRaw(payload []byte) error {
+	if len(payload) == 0 {
+		return nil
+	}
 	buf := make([]byte, batchHeaderSize+len(payload))
 	binary.LittleEndian.PutUint32(buf[0:], batchMagic)
 	binary.LittleEndian.PutUint32(buf[4:], uint32(len(payload)))
@@ -555,16 +566,32 @@ func (l *Log) EndPos() Pos {
 // Reading the active segment races Append harmlessly: a torn or
 // partially visible tail fails its CRC and reads as "no batch yet".
 func (l *Log) ReadBatch(from Pos) ([]*Record, Pos, error) {
+	recs, _, next, err := l.readBatch(from, true)
+	return recs, next, err
+}
+
+// ReadBatchRaw is ReadBatch without the codec pass: it returns the next
+// complete batch's record bytes verbatim, sealed payloads and all. The
+// bytes are exactly what AppendRaw accepts; incremental backups copy log
+// material with it so archived ciphertext stays under its original epoch
+// keys. Like ReadBatch it returns (nil, from, nil) when caught up and
+// ErrPosGone for discarded positions.
+func (l *Log) ReadBatchRaw(from Pos) ([]byte, Pos, error) {
+	_, raw, next, err := l.readBatch(from, false)
+	return raw, next, err
+}
+
+func (l *Log) readBatch(from Pos, decode bool) ([]*Record, []byte, Pos, error) {
 	l.mu.Lock()
 	ids, err := l.segmentIDs()
 	activeID := l.activeID
 	codec := l.opts.Codec
 	l.mu.Unlock()
 	if err != nil {
-		return nil, from, err
+		return nil, nil, from, err
 	}
 	if len(ids) == 0 {
-		return nil, from, nil
+		return nil, nil, from, nil
 	}
 	if from.Seg == 0 {
 		// A fresh tailer needs the full history. Segment ids start at 1
@@ -572,7 +599,7 @@ func (l *Log) ReadBatch(from Pos) ([]*Record, Pos, error) {
 		// 1 means a checkpoint Reset scrubbed history this tailer never
 		// saw — it must bootstrap from a storage copy, not the log.
 		if ids[0] != 1 {
-			return nil, from, fmt.Errorf("%w: history before segment %d was checkpointed away", ErrPosGone, ids[0])
+			return nil, nil, from, fmt.Errorf("%w: history before segment %d was checkpointed away", ErrPosGone, ids[0])
 		}
 		from = Pos{Seg: ids[0]}
 	}
@@ -585,35 +612,150 @@ func (l *Log) ReadBatch(from Pos) ([]*Record, Pos, error) {
 			}
 		}
 		if idx == -1 {
-			return nil, from, fmt.Errorf("%w: segment %d", ErrPosGone, from.Seg)
+			return nil, nil, from, fmt.Errorf("%w: segment %d", ErrPosGone, from.Seg)
 		}
 		data, err := os.ReadFile(l.segPath(from.Seg))
 		if err != nil {
-			return nil, from, fmt.Errorf("wal: read segment %d: %w", from.Seg, err)
+			return nil, nil, from, fmt.Errorf("wal: read segment %d: %w", from.Seg, err)
 		}
 		if from.Off > int64(len(data)) {
 			// Beyond the segment's end: its bytes were rewritten shorter
 			// underneath us (vacuum) or the caller's position is bogus.
-			return nil, from, fmt.Errorf("%w: segment %d offset %d past end %d",
+			return nil, nil, from, fmt.Errorf("%w: segment %d offset %d past end %d",
 				ErrPosGone, from.Seg, from.Off, len(data))
 		}
-		recs, size, ok, err := parseBatch(data[from.Off:], codec)
+		var recs []*Record
+		var raw []byte
+		var size int
+		var ok bool
+		if decode {
+			recs, size, ok, err = parseBatch(data[from.Off:], codec)
+		} else {
+			raw, size, ok = parseBatchRaw(data[from.Off:])
+		}
 		if err != nil {
-			return nil, from, fmt.Errorf("wal: segment %d offset %d: %w", from.Seg, from.Off, err)
+			return nil, nil, from, fmt.Errorf("wal: segment %d offset %d: %w", from.Seg, from.Off, err)
 		}
 		if ok {
-			return recs, Pos{Seg: from.Seg, Off: from.Off + int64(size)}, nil
+			return recs, raw, Pos{Seg: from.Seg, Off: from.Off + int64(size)}, nil
 		}
 		if from.Seg == activeID {
-			return nil, from, nil // caught up; wait on AppendNotify
+			return nil, nil, from, nil // caught up; wait on AppendNotify
 		}
-		// Sealed segment exhausted (its tail, if torn, was truncated at
-		// open); continue at the next retained segment.
+		// A sealed segment's valid content ends exactly at its file size
+		// (torn tails were truncated at open), so a parse failure
+		// anywhere earlier means the position is not a batch boundary of
+		// this log — refuse it rather than silently skipping to the next
+		// segment over a gap of committed batches.
+		if from.Off != int64(len(data)) {
+			return nil, nil, from, fmt.Errorf("%w: segment %d offset %d is not a batch boundary",
+				ErrPosGone, from.Seg, from.Off)
+		}
 		if idx+1 >= len(ids) {
-			return nil, from, nil
+			return nil, nil, from, nil
 		}
 		from = Pos{Seg: ids[idx+1]}
 	}
+}
+
+// TailRaw streams the raw record bytes of every complete batch in
+// [from, to) to fn, together with the position following each batch.
+// Unlike repeated ReadBatchRaw calls, each segment file is read from
+// disk exactly once, so bulk consumers (incremental backups) pay
+// O(bytes), not O(bytes × batches). to must be a position captured
+// from EndPos: every batch strictly before it is fully written, so a
+// parse failure anywhere except the exact end of a sealed segment
+// means the range is not addressable — a from position off a batch
+// boundary, a scrubbed segment, or a vacuum rewrite — and is reported
+// as ErrPosGone rather than silently skipped.
+func (l *Log) TailRaw(from, to Pos, fn func(payload []byte, next Pos) error) error {
+	if !from.Before(to) {
+		return nil
+	}
+	l.mu.Lock()
+	ids, err := l.segmentIDs()
+	l.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if from.Seg == 0 {
+		if len(ids) == 0 {
+			return nil
+		}
+		if ids[0] != 1 {
+			return fmt.Errorf("%w: history before segment %d was checkpointed away", ErrPosGone, ids[0])
+		}
+		from = Pos{Seg: ids[0]}
+		if !from.Before(to) {
+			return nil
+		}
+	}
+	idx := -1
+	for i, id := range ids {
+		if id == from.Seg {
+			idx = i
+			break
+		}
+	}
+	if idx == -1 {
+		return fmt.Errorf("%w: segment %d", ErrPosGone, from.Seg)
+	}
+	pos := from
+	for ; idx < len(ids); idx++ {
+		seg := ids[idx]
+		if seg > to.Seg || !pos.Before(to) {
+			break
+		}
+		if seg != pos.Seg {
+			if seg != pos.Seg+1 {
+				return fmt.Errorf("%w: segment %d missing", ErrPosGone, pos.Seg+1)
+			}
+			pos = Pos{Seg: seg}
+		}
+		data, err := os.ReadFile(l.segPath(seg))
+		if err != nil {
+			return fmt.Errorf("wal: read segment %d: %w", seg, err)
+		}
+		if pos.Off > int64(len(data)) {
+			return fmt.Errorf("%w: segment %d offset %d past end %d", ErrPosGone, seg, pos.Off, len(data))
+		}
+		for pos.Before(to) {
+			payload, size, ok := parseBatchRaw(data[pos.Off:])
+			if !ok {
+				if pos.Off == int64(len(data)) && seg != to.Seg {
+					break // sealed segment exhausted exactly at its end
+				}
+				return fmt.Errorf("%w: segment %d offset %d is not a batch boundary", ErrPosGone, seg, pos.Off)
+			}
+			next := Pos{Seg: seg, Off: pos.Off + int64(size)}
+			if err := fn(payload, next); err != nil {
+				return err
+			}
+			pos = next
+		}
+	}
+	if pos.Before(to) {
+		return fmt.Errorf("%w: log ends at %v before requested end %v", ErrPosGone, pos, to)
+	}
+	return nil
+}
+
+// parseBatchRaw validates one complete batch at the start of data and
+// returns its record bytes without decoding them. ok is false when no
+// complete, CRC-valid batch is present.
+func parseBatchRaw(data []byte) (payload []byte, size int, ok bool) {
+	if len(data) < batchHeaderSize || binary.LittleEndian.Uint32(data) != batchMagic {
+		return nil, 0, false
+	}
+	n := int(binary.LittleEndian.Uint32(data[4:]))
+	if batchHeaderSize+n > len(data) {
+		return nil, 0, false
+	}
+	payload = data[batchHeaderSize : batchHeaderSize+n]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[8:]) {
+		return nil, 0, false
+	}
+	return payload, batchHeaderSize + n, true
 }
 
 // parseBatch decodes one complete batch at the start of data. ok is

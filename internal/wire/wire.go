@@ -74,6 +74,13 @@ const (
 	// OpBegin) so a server without snapshot support fails the request
 	// loudly instead of silently granting a read-write transaction.
 	OpBeginRO byte = 0x0D
+	// OpBackup requests a streamed backup archive (EncodeBackupReq
+	// payload: full, or incremental from a log position). The server
+	// answers a sequence of OpBackupChunk frames carrying the raw
+	// archive bytes, terminated by OpBackupDone — or by a non-fatal
+	// OpError, after which the session continues but any bytes already
+	// received must be discarded as an incomplete archive.
+	OpBackup byte = 0x0E
 	// OpReplHello converts the connection into a replication stream
 	// (EncodeReplHello payload: start position + last applied epoch).
 	// It replaces OpHello as the first frame; the server answers with an
@@ -108,6 +115,12 @@ const (
 	// statements it has not applied yet (the script is append-only and
 	// both sides apply it in order), then applies batches.
 	OpReplSchema byte = 0x92
+	// OpBackupChunk carries one chunk of raw backup-archive bytes; the
+	// concatenation of all chunks is the archive stream.
+	OpBackupChunk byte = 0x93
+	// OpBackupDone terminates a backup stream (EncodeBackupDone
+	// payload: the source log end position and tuple/batch counts).
+	OpBackupDone byte = 0x94
 )
 
 // Error codes carried by OpError frames.
@@ -637,6 +650,85 @@ func DecodeReplHeartbeat(p []byte) (ReplHeartbeat, error) {
 		return h, fmt.Errorf("wire: repl-heartbeat has %d trailing bytes", len(p)-n)
 	}
 	return h, nil
+}
+
+// BackupReq asks the server to stream a backup archive.
+type BackupReq struct {
+	// Incremental selects an incremental backup resuming at FromSeg/
+	// FromOff (the End position recorded by the previous archive in the
+	// chain); false streams a full epoch-pinned backup.
+	Incremental bool
+	// FromSeg and FromOff are the wal.Pos an incremental resumes at.
+	FromSeg, FromOff uint64
+}
+
+// EncodeBackupReq serializes an OpBackup payload.
+func EncodeBackupReq(r BackupReq) []byte {
+	kind := byte(0)
+	if r.Incremental {
+		kind = 1
+	}
+	b := []byte{kind}
+	b = binary.AppendUvarint(b, r.FromSeg)
+	return binary.AppendUvarint(b, r.FromOff)
+}
+
+// DecodeBackupReq parses an OpBackup payload.
+func DecodeBackupReq(p []byte) (BackupReq, error) {
+	if len(p) < 1 {
+		return BackupReq{}, fmt.Errorf("wire: short backup request")
+	}
+	r := BackupReq{Incremental: p[0] == 1}
+	p = p[1:]
+	var n int
+	if r.FromSeg, n = binary.Uvarint(p); n <= 0 {
+		return BackupReq{}, fmt.Errorf("wire: backup-req from segment")
+	}
+	p = p[n:]
+	if r.FromOff, n = binary.Uvarint(p); n <= 0 {
+		return BackupReq{}, fmt.Errorf("wire: backup-req from offset")
+	}
+	if n != len(p) {
+		return BackupReq{}, fmt.Errorf("wire: backup-req has %d trailing bytes", len(p)-n)
+	}
+	return r, nil
+}
+
+// BackupDone summarizes a completed backup stream: the source log
+// position one past the archived material (the next incremental's
+// resume point) and the tuple/batch counts.
+type BackupDone struct {
+	// EndSeg and EndOff are the wal.Pos the archive covers up to.
+	EndSeg, EndOff uint64
+	// Tuples and Batches count archived snapshot tuples and raw WAL
+	// batches.
+	Tuples, Batches uint64
+}
+
+// EncodeBackupDone serializes an OpBackupDone payload.
+func EncodeBackupDone(d BackupDone) []byte {
+	b := binary.AppendUvarint(nil, d.EndSeg)
+	b = binary.AppendUvarint(b, d.EndOff)
+	b = binary.AppendUvarint(b, d.Tuples)
+	return binary.AppendUvarint(b, d.Batches)
+}
+
+// DecodeBackupDone parses an OpBackupDone payload.
+func DecodeBackupDone(p []byte) (BackupDone, error) {
+	var d BackupDone
+	vals := []*uint64{&d.EndSeg, &d.EndOff, &d.Tuples, &d.Batches}
+	for i, v := range vals {
+		u, n := binary.Uvarint(p)
+		if n <= 0 {
+			return d, fmt.Errorf("wire: backup-done field %d", i)
+		}
+		*v = u
+		p = p[n:]
+	}
+	if len(p) != 0 {
+		return d, fmt.Errorf("wire: backup-done has %d trailing bytes", len(p))
+	}
+	return d, nil
 }
 
 // appendString appends a uvarint-length-prefixed string.
