@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check doc-check md-check fuzz bench serve clean
+.PHONY: build test race vet fmt-check doc-check md-check fuzz bench bench-json metrics-smoke serve clean
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,18 @@ fuzz:
 
 bench:
 	$(GO) test ./... -run '^$$' -bench . -benchmem
+
+# bench-json regenerates the committed metrics-overhead reference
+# (BENCH_PR6.json): ns/op, allocs, and the instrumentation delta on the
+# insert/select hot paths (budget <2% per path).
+bench-json:
+	$(GO) run ./cmd/benchrunner -exp METRICS -n 5000 -rounds 12 -benchjson BENCH_PR6.json
+
+# metrics-smoke boots a database with a live degradation workload,
+# scrapes /metrics and /healthz over HTTP and the Stats opcode over
+# TCP, and lints the Prometheus exposition.
+metrics-smoke:
+	$(GO) run ./internal/tools/metricssmoke
 
 serve:
 	$(GO) run ./cmd/instantdb-server -dir demo.db -listen :7654

@@ -397,6 +397,30 @@ func (c *Conn) Ping(ctx context.Context) error {
 	return nil
 }
 
+// Stats fetches a point-in-time snapshot of the server's metrics as a
+// flat key→value map. Keys are the exposition sample names — histograms
+// appear as their `_count` and `_sum` series, vectors as one key per
+// label value (e.g. `instantdb_queries_total{purpose="billing"}`). The
+// map is empty when the server's database was opened without metrics.
+func (c *Conn) Stats(ctx context.Context) (map[string]float64, error) {
+	op, payload, err := c.roundTripLocked(ctx, wire.OpStats, nil)
+	if err != nil {
+		return nil, err
+	}
+	if op != wire.OpStatsReply {
+		return nil, fmt.Errorf("client: unexpected stats reply opcode %#x", op)
+	}
+	stats, err := wire.DecodeStats(payload)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(stats))
+	for _, s := range stats {
+		out[s.Key] = s.Value
+	}
+	return out, nil
+}
+
 // request performs one request round trip and decodes the result frame.
 func (c *Conn) request(ctx context.Context, op byte, payload []byte) (*Result, error) {
 	rop, rp, err := c.roundTripLocked(ctx, op, payload)

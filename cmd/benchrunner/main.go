@@ -5,7 +5,14 @@
 //
 // Usage:
 //
-//	benchrunner [-exp all|F1|F2|F3|E1|E2|E3|BSTORE|BLOG|BIDX|BTXN|BREC] [-n tuples] [-quick]
+//	benchrunner [-exp all|F1|F2|F3|E1|E2|E3|BSTORE|BLOG|BIDX|BTXN|BREC|METRICS]
+//	            [-n tuples] [-quick] [-benchjson out.json]
+//
+// The METRICS experiment measures the observability layer's overhead on
+// the insert/select hot paths (database opened with metrics vs without)
+// and, with -benchjson, records the ns/op, allocations, and relative
+// delta to a JSON file (the committed reference is BENCH_PR6.json; the
+// PR 6 budget is <2% per path).
 package main
 
 import (
@@ -19,7 +26,9 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (all, F1, F2, F3, E1, E2, E3, BSTORE, BLOG, BIDX, BTXN, BREC)")
+	exp := flag.String("exp", "all", "experiment id (all, F1, F2, F3, E1, E2, E3, BSTORE, BLOG, BIDX, BTXN, BREC, METRICS)")
+	benchJSON := flag.String("benchjson", "", "write the METRICS overhead result to this JSON file")
+	rounds := flag.Int("rounds", 3, "alternating measurement rounds per side for METRICS")
 	n := flag.Int("n", 2000, "workload size (tuples)")
 	queries := flag.Int("q", 200, "query count for B-IDX")
 	readers := flag.Int("readers", 4, "reader goroutines for B-TXN")
@@ -58,4 +67,17 @@ func main() {
 	run("BIDX", func() error { _, err := experiments.RunBIdx(w, *n, *queries); return err })
 	run("BTXN", func() error { _, err := experiments.RunBTxn(w, *readers, *runFor); return err })
 	run("BREC", func() error { _, err := experiments.RunBRec(w, *n); return err })
+	run("METRICS", func() error {
+		res, err := experiments.RunMetricsOverhead(w, *n, *rounds)
+		if err != nil {
+			return err
+		}
+		if *benchJSON != "" {
+			if err := res.WriteJSON(*benchJSON); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "wrote %s\n", *benchJSON)
+		}
+		return nil
+	})
 }

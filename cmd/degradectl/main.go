@@ -14,6 +14,11 @@
 // Commands:
 //
 //	status                 catalog summary: tables, policies, purposes, queues
+//	stats [-connect host:port] [-watch 1s] [-all]
+//	                       live server metrics over the wire Stats opcode:
+//	                       the degradation-critical subset (lag, queue
+//	                       depth, shredded keys, sessions, replication
+//	                       lag), -all for every key, -watch to re-poll
 //	tick                   run one degradation tick now
 //	fire <event>           raise an application event
 //	audit [-file f]... <needle>...
@@ -45,6 +50,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
+	"time"
 
 	"instantdb"
 	"instantdb/client"
@@ -54,7 +61,7 @@ import (
 )
 
 const usageText = "usage: degradectl -dir path [-log shred|plain|vacuum] " +
-	"<status|tick|fire|audit|vacuum|checkpoint|backup|restore> [args]"
+	"<status|stats|tick|fire|audit|vacuum|checkpoint|backup|restore> [args]"
 
 func main() {
 	dir := flag.String("dir", "", "database directory (required for all commands except restore, and backup -connect)")
@@ -71,6 +78,9 @@ func main() {
 		return
 	case "backup":
 		runBackup(*dir, *logMode, rest)
+		return
+	case "stats":
+		runStats(rest)
 		return
 	}
 
@@ -246,6 +256,79 @@ func runBackup(dir, logMode string, args []string) {
 		fmt.Printf("incremental backup: %d batch(es), %v -> %v\n", sum.Batches, sum.From, sum.End)
 	} else {
 		fmt.Printf("full backup: %d tuple(s) at epoch %d, next incremental from %v\n", sum.Tuples, sum.Epoch, sum.End)
+	}
+}
+
+// statsHeadlines is the degradation-critical subset stats prints by
+// default, in display order: is data expiring on time (lag, queue),
+// what has been enforced (transitions, erasures, shredded keys), and
+// is the serving/replication path healthy.
+var statsHeadlines = []string{
+	"instantdb_degrade_lag_seconds",
+	"instantdb_degrade_max_lag_seconds",
+	"instantdb_degrade_queue_depth",
+	"instantdb_degrade_transitions_total",
+	"instantdb_degrade_erasures_total",
+	"instantdb_degrade_deletions_total",
+	"instantdb_wal_keys_shredded_total",
+	"instantdb_keystore_live_keys",
+	"instantdb_server_active_conns",
+	"instantdb_repl_connected",
+	"instantdb_repl_lag_bytes",
+	"instantdb_repl_last_contact_seconds",
+}
+
+// runStats polls a running server's metrics snapshot over the wire
+// Stats opcode and prints it: the degradation-critical subset by
+// default, every key with -all, repeatedly with -watch.
+func runStats(args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	connect := fs.String("connect", "localhost:7654", "server address (host:port)")
+	watch := fs.Duration("watch", 0, "re-poll and re-print at this interval (0 = print once)")
+	all := fs.Bool("all", false, "print every metric key, not just the degradation-critical subset")
+	fail(fs.Parse(args))
+	if fs.NArg() != 0 {
+		fail(fmt.Errorf("stats takes no positional arguments"))
+	}
+	conn, err := client.Dial(context.Background(), *connect)
+	fail(err)
+	defer conn.Close()
+	for {
+		m, err := conn.Stats(context.Background())
+		fail(err)
+		printStats(m, *all, *watch > 0)
+		if *watch <= 0 {
+			return
+		}
+		time.Sleep(*watch)
+	}
+}
+
+// printStats renders one metrics snapshot. Watch mode stamps each
+// block so scrollback reads as a time series.
+func printStats(m map[string]float64, all, stamped bool) {
+	if stamped {
+		fmt.Printf("-- %s\n", time.Now().Format(time.RFC3339))
+	}
+	if len(m) == 0 {
+		fmt.Println("(server has metrics disabled)")
+		return
+	}
+	if all {
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("%-56s %g\n", k, m[k])
+		}
+		return
+	}
+	for _, k := range statsHeadlines {
+		if v, ok := m[k]; ok {
+			fmt.Printf("%-44s %g\n", k, v)
+		}
 	}
 }
 

@@ -10,6 +10,7 @@
 //	instantdb-server [-dir path] [-log shred|plain|vacuum] [-tick 1s]
 //	                 [-listen :7654] [-max-conns 0] [-max-frame 4194304]
 //	                 [-max-stmts 64] [-replica-of host:port]
+//	                 [-metrics-listen :7655] [-report-interval 0]
 //	                 [-wal-segment-bytes N] [-wal-nosync] [-v]
 //
 // -dir empty (the default) serves an in-memory database; -log picks the
@@ -20,6 +21,11 @@
 // -wal-segment-bytes tunes the WAL rotation threshold and -wal-nosync
 // disables the per-commit fsync (see its usage text for the durability
 // caveat).
+//
+// -metrics-listen serves GET /metrics (Prometheus text exposition) and
+// GET /healthz on a separate HTTP listener; -report-interval logs a
+// periodic one-line self-report (degradation lag, sessions, replication
+// lag) without requiring a scraper. Both default to off.
 //
 // -replica-of starts the server as a read replica of another
 // instantdb-server: it streams the leader's WAL, applies batches
@@ -33,9 +39,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -57,6 +65,8 @@ func main() {
 	maxStmts := flag.Int("max-stmts", server.DefaultMaxStmts, "max prepared statements per session (LRU eviction past the cap)")
 	replicaOf := flag.String("replica-of", "", "run as a read replica of the leader at host:port (writes are refused; degradation still runs locally)")
 	walSegBytes := flag.Int64("wal-segment-bytes", 0, "WAL segment rotation threshold in bytes (0 = default 1 MiB)")
+	metricsListen := flag.String("metrics-listen", "", "HTTP listen address for GET /metrics (Prometheus text) and /healthz (empty = disabled); served on its own listener so scrapers never consume a session slot")
+	reportInterval := flag.Duration("report-interval", 0, "log a one-line self-report (degradation lag, queue depth, sessions, replication lag) at this interval (0 = disabled)")
 	walNoSync := flag.Bool("wal-nosync", false, "disable the per-commit WAL fsync — faster commits, but an OS crash or power loss can silently lose the most recent commits AND the degradation transitions recorded in them, so recovered data may briefly outlive its LCP deadline until the next tick re-degrades it")
 	verbose := flag.Bool("v", false, "log per-connection diagnostics")
 	flag.Parse()
@@ -85,7 +95,24 @@ func main() {
 	var follower *repl.Follower
 	if *replicaOf != "" {
 		follower = &repl.Follower{Addr: *replicaOf, DB: db, MaxFrame: *maxFrame, Logf: log.Printf}
+		follower.Instrument(db.Metrics())
 		follower.Start()
+	}
+
+	var metricsSrv *http.Server
+	if *metricsListen != "" {
+		metricsSrv = &http.Server{Addr: *metricsListen, Handler: server.MetricsHandler(db)}
+		go func() {
+			if err := metricsSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("instantdb-server: metrics listener: %v", err)
+			}
+		}()
+		log.Printf("instantdb-server: metrics on http://%s/metrics", *metricsListen)
+	}
+
+	stopReport := make(chan struct{})
+	if *reportInterval > 0 {
+		go selfReport(db, follower, *reportInterval, stopReport)
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -126,6 +153,14 @@ func main() {
 			log.Printf("instantdb-server: close: %v", err)
 		}
 	}
+	close(stopReport)
+	if metricsSrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		if err := metricsSrv.Shutdown(ctx); err != nil {
+			log.Printf("instantdb-server: metrics shutdown: %v", err)
+		}
+		cancel()
+	}
 	if follower != nil {
 		follower.Stop()
 	}
@@ -134,6 +169,41 @@ func main() {
 		os.Exit(1)
 	}
 	log.Printf("instantdb-server: database closed cleanly")
+}
+
+// selfReport logs a periodic one-line health summary built from the
+// same sources the /metrics exposition reads: the degradation engine's
+// lag and queue depth (the headline SLO), live session count, and —
+// when running as a replica — replication lag. One line per interval,
+// grep-friendly, no scraper required.
+func selfReport(db *instantdb.DB, follower *repl.Follower, every time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			lag := db.Degrader().Lag(db.Clock().Now())
+			st := db.Degrader().Stats()
+			line := fmt.Sprintf("self-report: degrade_lag=%.3fs pending=%d transitions=%d conns=%.0f",
+				lag.Seconds(), st.Pending, st.Transitions, statValue(db, "instantdb_server_active_conns"))
+			if follower != nil {
+				line += fmt.Sprintf(" repl_connected=%v repl_lag_bytes=%d", follower.Connected(), follower.LagBytes())
+			}
+			log.Printf("instantdb-server: %s", line)
+		}
+	}
+}
+
+// statValue reads one sample from the registry snapshot (0 if absent).
+func statValue(db *instantdb.DB, key string) float64 {
+	for _, s := range db.Metrics().Snapshot() {
+		if s.Key == key {
+			return s.Value
+		}
+	}
+	return 0
 }
 
 func dbName(dir string) string {

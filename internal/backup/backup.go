@@ -8,6 +8,7 @@ import (
 
 	"instantdb/internal/catalog"
 	"instantdb/internal/engine"
+	"instantdb/internal/metrics"
 	"instantdb/internal/storage"
 	"instantdb/internal/value"
 	"instantdb/internal/wal"
@@ -28,18 +29,35 @@ const chunkBytes = 128 << 10
 //     reading the tuple and the seal — the value crossed its LCP
 //     deadline mid-backup, and recording it as irrecoverable is the
 //     guarantee, not a failure.
-type sealFallbackCodec struct{ wal.Codec }
+type sealFallbackCodec struct {
+	wal.Codec
+	lost *metrics.Counter
+}
 
 // Seal implements wal.Codec.
 func (c sealFallbackCodec) Seal(table uint32, col, state uint8, insertNano int64, tuple storage.TupleID, plain []byte) ([]byte, error) {
 	if state == storage.StateErased {
+		c.lost.Inc()
 		return wal.LostSeal(), nil
 	}
 	out, err := c.Codec.Seal(table, col, state, insertNano, tuple, plain)
 	if errors.Is(err, wal.ErrKeyShredded) {
+		c.lost.Inc()
 		return wal.LostSeal(), nil
 	}
 	return out, err
+}
+
+// instrument registers (idempotently, by name) the backup counters on
+// the database's registry. Both return nil on a NoMetrics database, and
+// every caller goes through the nil-safe instrument methods.
+func instrument(db *engine.DB) (bytesArchived, lostSeals *metrics.Counter) {
+	reg := db.Metrics()
+	bytesArchived = reg.Counter("instantdb_backup_bytes_total",
+		"Archive bytes written by completed backups (full and incremental).")
+	lostSeals = reg.Counter("instantdb_backup_lost_seals_total",
+		"Degradable payloads sealed as Lost during backup: already erased, or their epoch key was shredded mid-scan.")
+	return bytesArchived, lostSeals
 }
 
 // Full streams a full backup of db into w: the catalog DDL script plus
@@ -51,6 +69,7 @@ func (c sealFallbackCodec) Seal(table uint32, col, state uint8, insertNano int64
 // summary's End is the WAL position the next incremental backup resumes
 // from.
 func Full(db *engine.DB, w io.Writer) (*Summary, error) {
+	bytesArchived, lostSeals := instrument(db)
 	epoch, pos, release, err := db.BackupPin()
 	if err != nil {
 		return nil, err
@@ -77,7 +96,7 @@ func Full(db *engine.DB, w io.Writer) (*Summary, error) {
 		return nil, err
 	}
 
-	codec := sealFallbackCodec{db.WALCodec()}
+	codec := sealFallbackCodec{db.WALCodec(), lostSeals}
 	tables := db.Catalog().Tables()
 	sort.Slice(tables, func(i, j int) bool { return tables[i].ID < tables[j].ID })
 	tuples := 0
@@ -91,6 +110,7 @@ func Full(db *engine.DB, w io.Writer) (*Summary, error) {
 	if err := aw.end(tuples, 0); err != nil {
 		return nil, err
 	}
+	bytesArchived.Add(uint64(aw.n))
 	return &Summary{End: pos, Epoch: epoch, Tuples: tuples, Bytes: aw.n}, nil
 }
 
@@ -161,6 +181,7 @@ func snapshotRecord(tbl *catalog.Table, degCols []int, t storage.Tuple) *wal.Rec
 // wal.ErrPosGone, meaning the chain is broken and a fresh full backup
 // is required.
 func Incremental(db *engine.DB, from wal.Pos, w io.Writer) (*Summary, error) {
+	bytesArchived, _ := instrument(db)
 	log, script, err := db.ReplSource()
 	if err != nil {
 		return nil, err
@@ -203,5 +224,6 @@ func Incremental(db *engine.DB, from wal.Pos, w io.Writer) (*Summary, error) {
 	if err := aw.end(0, batches); err != nil {
 		return nil, err
 	}
+	bytesArchived.Add(uint64(aw.n))
 	return &Summary{Incremental: true, From: from, End: end, Batches: batches, Bytes: aw.n}, nil
 }

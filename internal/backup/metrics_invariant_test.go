@@ -1,0 +1,118 @@
+package backup
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"instantdb/internal/engine"
+	"instantdb/internal/value"
+	"instantdb/internal/vclock"
+)
+
+// gaugeValue reads one sample from the database's metrics snapshot.
+func gaugeValue(t *testing.T, db *engine.DB, key string) float64 {
+	t.Helper()
+	for _, s := range db.Metrics().Snapshot() {
+		if s.Key == key {
+			return s.Value
+		}
+	}
+	t.Fatalf("metric %s not in snapshot", key)
+	return 0
+}
+
+// TestDegradeLagBoundedUnderLoad is PR 6's headline invariant: with a
+// wedged read-only snapshot reader holding a pinned epoch AND a full
+// backup parked mid-stream on a blocked consumer, a whole degradation
+// wave still executes without lock skips — and the
+// instantdb_degrade_lag_seconds gauge, which reported the exact overdue
+// distance before the tick, returns to zero after it. Observability
+// confirms the engine's core promise instead of merely decorating it.
+func TestDegradeLagBoundedUnderLoad(t *testing.T) {
+	clock := vclock.NewSimulated(vclock.Epoch)
+	liveDir := filepath.Join(t.TempDir(), "live")
+	nosync := false
+	db, err := engine.Open(engine.Config{Dir: liveDir, Clock: clock, ShredBucket: time.Minute, WALSync: &nosync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.ExecScript(testSchema); err != nil {
+		t.Fatal(err)
+	}
+	conn := db.NewConn()
+	stmt, err := conn.Prepare("INSERT INTO visits (id, who, place) VALUES (?, ?, ?)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pad := strings.Repeat("x", 150)
+	const rows = 1200
+	for i := 1; i <= rows; i++ {
+		if _, err := stmt.Exec(value.Int(int64(i)), value.Text(pad), value.Text("Dam 1")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Wedged reader: a read-only transaction pins a snapshot epoch and
+	// never ends until the test is done.
+	reader := db.NewConn()
+	if _, err := reader.Exec("BEGIN READ ONLY"); err != nil {
+		t.Fatal(err)
+	}
+	if rs, err := reader.Query("SELECT id FROM visits"); err != nil || rs.Len() != rows {
+		t.Fatalf("wedged reader scan: %d rows, err=%v", rs.Len(), err)
+	}
+	defer reader.Exec("ROLLBACK") //nolint:errcheck
+
+	if got := gaugeValue(t, db, "instantdb_degrade_lag_seconds"); got != 0 {
+		t.Fatalf("lag before any deadline = %v, want 0", got)
+	}
+
+	// Every address deadline is now 60 seconds overdue.
+	clock.Advance(16 * time.Minute)
+	if got := gaugeValue(t, db, "instantdb_degrade_lag_seconds"); got != 60 {
+		t.Fatalf("lag one minute past the wave's deadline = %v, want 60", got)
+	}
+
+	// Streaming backup parked on a wedged consumer, snapshot pinned.
+	g := &gateWriter{trip: 64 << 10, blocked: make(chan struct{}), release: make(chan struct{})}
+	done := make(chan error, 1)
+	go func() {
+		_, err := Full(db, g)
+		done <- err
+	}()
+	<-g.blocked
+
+	n, err := db.DegradeNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < rows {
+		t.Fatalf("degrader executed %d transitions under load, want >= %d", n, rows)
+	}
+
+	// The headline invariant: the wave is enforced and the lag gauge is
+	// back to zero while both adversaries still hold their pins.
+	if got := gaugeValue(t, db, "instantdb_degrade_lag_seconds"); got != 0 {
+		t.Fatalf("lag after the tick = %v, want 0 (a wedged reader and a parked backup must not delay degradation)", got)
+	}
+	if got := gaugeValue(t, db, "instantdb_degrade_lock_skips_total"); got != 0 {
+		t.Fatalf("lock skips = %v, want 0", got)
+	}
+	if got := gaugeValue(t, db, "instantdb_degrade_transitions_total"); got < rows {
+		t.Fatalf("transitions gauge = %v, want >= %d", got, rows)
+	}
+	if got := gaugeValue(t, db, "instantdb_degrade_max_lag_seconds"); got < 60 {
+		t.Fatalf("max lag = %v, want >= 60 (the wave WAS a minute late when it ran)", got)
+	}
+
+	close(g.release)
+	if err := <-done; err != nil {
+		t.Fatalf("backup under concurrent degradation failed: %v", err)
+	}
+	if got := gaugeValue(t, db, "instantdb_backup_bytes_total"); got <= 0 {
+		t.Fatalf("backup bytes counter = %v, want > 0 after a completed backup", got)
+	}
+}

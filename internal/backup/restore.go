@@ -304,7 +304,7 @@ func appendLostFixups(log *wal.Log, codec wal.Codec, attrs map[attrKey]attrTrack
 		}
 		return a.attr < b.attr
 	})
-	fixCodec := sealFallbackCodec{codec}
+	fixCodec := sealFallbackCodec{Codec: codec}
 	var chunk []byte
 	for _, k := range keys {
 		rec := &wal.Record{

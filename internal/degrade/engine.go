@@ -24,10 +24,12 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"instantdb/internal/catalog"
 	"instantdb/internal/lcp"
+	"instantdb/internal/metrics"
 	"instantdb/internal/storage"
 	"instantdb/internal/txn"
 	"instantdb/internal/value"
@@ -124,9 +126,12 @@ type transQueue struct {
 	eventFired bool
 }
 
-// Stats aggregates engine activity (experiment instrumentation).
+// Stats aggregates engine activity. It is a point-in-time snapshot of
+// the same atomics the metrics registry reads at collect time —
+// production scrapes and tests observe identical numbers.
 type Stats struct {
 	Transitions   uint64
+	Erasures      uint64
 	Deletions     uint64
 	Batches       uint64
 	LockSkips     uint64
@@ -137,6 +142,20 @@ type Stats struct {
 	SumLag time.Duration
 	// Pending counts tuples currently enqueued.
 	Pending int
+}
+
+// counters is the engine's activity bookkeeping: plain atomics so both
+// Stats() and collect-time metric callbacks read them without touching
+// the queue mutex.
+type counters struct {
+	transitions   atomic.Uint64
+	erasures      atomic.Uint64
+	deletions     atomic.Uint64
+	batches       atomic.Uint64
+	lockSkips     atomic.Uint64
+	predicateHold atomic.Uint64
+	maxLagNano    atomic.Int64
+	sumLagNano    atomic.Int64
 }
 
 // Engine schedules and executes LCP transitions.
@@ -153,7 +172,7 @@ type Engine struct {
 
 	queues map[queueKey]*transQueue
 	preds  map[string]Predicate
-	stats  Stats
+	ctr    counters
 
 	stop chan struct{}
 	done chan struct{}
@@ -341,13 +360,136 @@ func (e *Engine) DropTable(tableID uint32) {
 
 // Stats returns a snapshot of engine counters.
 func (e *Engine) Stats() Stats {
+	s := Stats{
+		Transitions:   e.ctr.transitions.Load(),
+		Erasures:      e.ctr.erasures.Load(),
+		Deletions:     e.ctr.deletions.Load(),
+		Batches:       e.ctr.batches.Load(),
+		LockSkips:     e.ctr.lockSkips.Load(),
+		PredicateHold: e.ctr.predicateHold.Load(),
+		MaxLag:        time.Duration(e.ctr.maxLagNano.Load()),
+		SumLag:        time.Duration(e.ctr.sumLagNano.Load()),
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	s := e.stats
 	for _, q := range e.queues {
 		s.Pending += len(q.fifo) + len(q.retries)
 	}
 	return s
+}
+
+// Lag returns the current degradation lag at instant now: how far past
+// its deadline the oldest still-pending transition is (zero when every
+// queued tuple's deadline lies in the future, or nothing is queued).
+// This is the system's headline SLO — the paper's guarantee is exactly
+// "lag stays ~0" — and it intentionally uses raw deadlines, ignoring
+// retry gates: a tuple waiting out a lock-busy recheck is still late.
+func (e *Engine) Lag(now time.Time) time.Duration {
+	nowNano := now.UTC().UnixNano()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var worst int64
+	for _, q := range e.queues {
+		if l := q.lagNano(nowNano); l > worst {
+			worst = l
+		}
+	}
+	return time.Duration(worst)
+}
+
+// lagNano returns the queue's lag at nowNano (0 if nothing overdue).
+// The FIFO is deadline-ordered so its head is the oldest; retries lost
+// their order and are scanned. Caller holds e.mu.
+func (q *transQueue) lagNano(nowNano int64) int64 {
+	var worst int64
+	if len(q.fifo) > 0 {
+		if l := nowNano - (q.fifo[0].insertNano + q.ageNano); l > worst {
+			worst = l
+		}
+	}
+	for _, t := range q.retries {
+		if l := nowNano - (t.insertNano + q.ageNano); l > worst {
+			worst = l
+		}
+	}
+	return worst
+}
+
+// Instrument registers the engine's observability surface on reg: the
+// headline instantdb_degrade_lag_seconds gauge, queue depths, per-table
+// breakdowns, and the activity counters Stats() reports. Everything is
+// collect-time — scrapes read the atomics and queue state the engine
+// already maintains, so instrumentation adds zero hot-path work.
+func (e *Engine) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("instantdb_degrade_lag_seconds",
+		"Degradation lag: seconds past deadline of the oldest pending transition (0 = guarantee holding).",
+		func() float64 { return e.Lag(e.clock.Now()).Seconds() })
+	reg.GaugeFunc("instantdb_degrade_queue_depth",
+		"Tuples currently awaiting a degradation transition across all queues.",
+		func() float64 {
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			n := 0
+			for _, q := range e.queues {
+				n += len(q.fifo) + len(q.retries)
+			}
+			return float64(n)
+		})
+	reg.GaugeFuncVec("instantdb_degrade_table_lag_seconds",
+		"Degradation lag per table (seconds past the oldest overdue deadline).", "table",
+		func(emit func(string, float64)) {
+			nowNano := e.clock.Now().UTC().UnixNano()
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			worst := make(map[string]int64)
+			for _, q := range e.queues {
+				if l := q.lagNano(nowNano); l > worst[q.tbl.Name] {
+					worst[q.tbl.Name] = l
+				} else if _, ok := worst[q.tbl.Name]; !ok {
+					worst[q.tbl.Name] = 0
+				}
+			}
+			for name, l := range worst {
+				emit(name, time.Duration(l).Seconds())
+			}
+		})
+	reg.GaugeFuncVec("instantdb_degrade_table_queue_depth",
+		"Tuples awaiting a degradation transition, per table.", "table",
+		func(emit func(string, float64)) {
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			depth := make(map[string]int)
+			for _, q := range e.queues {
+				depth[q.tbl.Name] += len(q.fifo) + len(q.retries)
+			}
+			for name, n := range depth {
+				emit(name, float64(n))
+			}
+		})
+	reg.CounterFunc("instantdb_degrade_transitions_total",
+		"Attribute degradation transitions committed.",
+		func() float64 { return float64(e.ctr.transitions.Load()) })
+	reg.CounterFunc("instantdb_degrade_erasures_total",
+		"Transitions that erased an attribute (terminal state).",
+		func() float64 { return float64(e.ctr.erasures.Load()) })
+	reg.CounterFunc("instantdb_degrade_deletions_total",
+		"Whole-tuple deletions committed at their LCP delete deadline.",
+		func() float64 { return float64(e.ctr.deletions.Load()) })
+	reg.CounterFunc("instantdb_degrade_batches_total",
+		"Degradation system-transaction batches committed.",
+		func() float64 { return float64(e.ctr.batches.Load()) })
+	reg.CounterFunc("instantdb_degrade_lock_skips_total",
+		"Due tuples skipped because a reader held their row lock (retried next tick).",
+		func() float64 { return float64(e.ctr.lockSkips.Load()) })
+	reg.CounterFunc("instantdb_degrade_predicate_holds_total",
+		"Due tuples held back by a false predicate gate (retried next tick).",
+		func() float64 { return float64(e.ctr.predicateHold.Load()) })
+	reg.GaugeFunc("instantdb_degrade_max_lag_seconds",
+		"Worst (execution time - deadline) ever observed for a committed transition.",
+		func() float64 { return time.Duration(e.ctr.maxLagNano.Load()).Seconds() })
 }
 
 // Tick executes every transition due at the clock's current instant and
@@ -525,28 +667,31 @@ func (e *Engine) runQueue(key queueKey, now time.Time) (int, error) {
 		n = len(recs)
 	}
 
-	e.mu.Lock()
 	if len(recs) > 0 {
-		e.stats.Batches++
+		e.ctr.batches.Add(1)
 		for _, r := range recs {
-			var lag time.Duration
 			if q.isDelete || r.Type == wal.RecDelete {
-				e.stats.Deletions++
-				lag = time.Duration(nowNano - (r.InsertNano + q.ageNano))
+				e.ctr.deletions.Add(1)
 			} else {
-				e.stats.Transitions++
-				lag = time.Duration(nowNano - (r.InsertNano + q.ageNano))
+				e.ctr.transitions.Add(1)
+				if r.NewState == storage.StateErased {
+					e.ctr.erasures.Add(1)
+				}
 			}
-			if lag > 0 {
-				e.stats.SumLag += lag
-				if lag > e.stats.MaxLag {
-					e.stats.MaxLag = lag
+			if lag := nowNano - (r.InsertNano + q.ageNano); lag > 0 {
+				e.ctr.sumLagNano.Add(lag)
+				for {
+					cur := e.ctr.maxLagNano.Load()
+					if lag <= cur || e.ctr.maxLagNano.CompareAndSwap(cur, lag) {
+						break
+					}
 				}
 			}
 		}
 	}
-	e.stats.LockSkips += uint64(len(skipped))
-	e.stats.PredicateHold += uint64(len(held))
+	e.ctr.lockSkips.Add(uint64(len(skipped)))
+	e.ctr.predicateHold.Add(uint64(len(held)))
+	e.mu.Lock()
 	retryAt := nowNano + int64(e.opts.RecheckInterval)
 	for _, t := range skipped {
 		t.notBefore = retryAt

@@ -42,6 +42,7 @@ import (
 	"instantdb/internal/degrade"
 	"instantdb/internal/gentree"
 	"instantdb/internal/lcp"
+	"instantdb/internal/metrics"
 	"instantdb/internal/query"
 	"instantdb/internal/storage"
 	"instantdb/internal/txn"
@@ -113,6 +114,10 @@ type Config struct {
 	// AutoDegrade starts a background degradation loop with this tick
 	// interval (0 = call Tick/DegradeNow manually — simulations).
 	AutoDegrade time.Duration
+	// NoMetrics disables the metrics registry: Metrics() returns nil and
+	// every instrument is a nil no-op. Benchmarks use it to measure the
+	// instrumentation overhead; production leaves it off.
+	NoMetrics bool
 	// Replica opens the database in read-replica (follower) mode: user
 	// write statements, read-write BEGIN and DDL fail with
 	// ErrReadOnlyReplica, and mutations arrive only through
@@ -137,6 +142,8 @@ type DB struct {
 	epochs *txn.EpochSource
 	deg    *degrade.Engine
 	clock  vclock.Clock
+	reg    *metrics.Registry
+	met    dbMetrics
 
 	mu        sync.Mutex   // serializes commits, DDL and checkpoints
 	idxMu     sync.RWMutex // guards indexes/byTable for lock-free readers
@@ -184,6 +191,9 @@ func Open(cfg Config) (*DB, error) {
 		indexes: make(map[string]*indexInst),
 		byTable: make(map[uint32][]*indexInst),
 	}
+	if !cfg.NoMetrics {
+		db.reg = metrics.NewRegistry()
+	}
 
 	ephemeral := cfg.Dir == ""
 	if ephemeral {
@@ -220,6 +230,7 @@ func Open(cfg Config) (*DB, error) {
 		}
 		l, err := wal.Open(filepath.Join(cfg.Dir, "wal"), wal.Options{
 			Sync: sync, Codec: codec, SegmentBytes: cfg.SegmentBytes,
+			Metrics: db.reg,
 		})
 		if err != nil {
 			return nil, err
@@ -237,6 +248,7 @@ func Open(cfg Config) (*DB, error) {
 		scrub = &vacuumScrubber{db: db}
 	}
 	db.deg = degrade.New(db.clock, db.cat, db.mgr, db.locks, db.ids, db.commitSystem, scrub, cfg.Degrade)
+	db.initMetrics(db.reg)
 
 	if !ephemeral {
 		if err := db.recover(); err != nil {

@@ -602,10 +602,13 @@ func (c *Conn) runSelectRef(s *query.Select, referenced map[string]bool) (*Resul
 	var views [][]value.Value
 	switch {
 	case c.tx != nil && c.tx.readOnly:
+		c.db.met.snapshotReads.Inc()
 		views, err = c.qualifySnapshot(tbl, s.Where, levels, c.tx.snap)
 	case c.tx != nil:
+		c.db.met.lockedReads.Inc()
 		_, views, err = c.qualify(tbl, s.Where, levels, nil, txn.LockS)
 	default:
+		c.db.met.snapshotReads.Inc()
 		snap := c.db.epochs.Snapshot()
 		views, err = c.qualifySnapshot(tbl, s.Where, levels, snap)
 		c.db.epochs.Release(snap)

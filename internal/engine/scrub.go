@@ -22,7 +22,8 @@ func (s *shredScrubber) AfterTransition(tbl *catalog.Table, degPos int, fromStat
 	}
 	// The key bucket must be entirely before the cutoff; Shred checks
 	// bucket_end <= cutoff, so passing the cutoff directly is exact.
-	_, err := s.db.keys.Shred(tbl.ID, uint8(degPos), fromState, cutoff, s.db.cfg.ShredBucket)
+	n, err := s.db.keys.Shred(tbl.ID, uint8(degPos), fromState, cutoff, s.db.cfg.ShredBucket)
+	s.db.met.keysShredded.Add(uint64(n))
 	return err
 }
 

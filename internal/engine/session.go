@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"instantdb/internal/catalog"
+	"instantdb/internal/metrics"
 	"instantdb/internal/query"
 	"instantdb/internal/storage"
 	"instantdb/internal/txn"
@@ -107,11 +108,24 @@ type Conn struct {
 	// aborted marks an explicit transaction torn down by a statement
 	// failure; the session refuses further statements until ROLLBACK.
 	aborted bool
+	// qCount/wCount are the per-purpose statement counters, resolved once
+	// per purpose switch so the hot path never takes the vec's map lock
+	// (nil when metrics are disabled).
+	qCount *metrics.Counter
+	wCount *metrics.Counter
 }
 
 // NewConn opens a session with the built-in full-accuracy purpose.
 func (db *DB) NewConn() *Conn {
-	return &Conn{db: db, purpose: catalog.FullAccess}
+	c := &Conn{db: db, purpose: catalog.FullAccess}
+	c.bindPurposeCounters()
+	return c
+}
+
+// bindPurposeCounters caches the session's per-purpose counters.
+func (c *Conn) bindPurposeCounters() {
+	c.qCount = c.db.met.queries.With(c.purpose.Name)
+	c.wCount = c.db.met.writes.With(c.purpose.Name)
 }
 
 // Exec parses and executes one statement on a fresh session (autocommit,
@@ -153,6 +167,7 @@ func (c *Conn) SetPurpose(name string) error {
 		return err
 	}
 	c.purpose = p
+	c.bindPurposeCounters()
 	return nil
 }
 
@@ -213,12 +228,16 @@ func (c *Conn) ExecParsed(st query.Statement, src string) (*Result, error) {
 	}
 	switch s := st.(type) {
 	case *query.Select:
+		c.qCount.Inc()
 		return c.execSelect(s, nil)
 	case *query.Insert:
+		c.wCount.Inc()
 		return c.autocommit(func() (*Result, error) { return c.runInsert(s) })
 	case *query.Update:
+		c.wCount.Inc()
 		return c.autocommit(func() (*Result, error) { return c.runUpdate(s) })
 	case *query.Delete:
+		c.wCount.Inc()
 		return c.autocommit(func() (*Result, error) { return c.runDelete(s) })
 	case *query.Begin:
 		if c.tx != nil {
@@ -285,6 +304,7 @@ func (c *Conn) execSelect(s *query.Select, referenced map[string]bool) (*Result,
 // begin opens an explicit read-write transaction.
 func (c *Conn) begin() {
 	c.tx = &openTxn{id: c.db.ids.Next(), overlays: make(map[uint32]*tableOverlay)}
+	c.db.met.activeTxns.Inc()
 }
 
 // beginRO opens a read-only transaction pinned to the current snapshot
@@ -292,6 +312,7 @@ func (c *Conn) begin() {
 // waits on this session, and this session never waits on it.
 func (c *Conn) beginRO() {
 	c.tx = &openTxn{readOnly: true, snap: c.db.epochs.Snapshot()}
+	c.db.met.activeTxns.Inc()
 }
 
 // autocommit runs fn inside the open transaction, or wraps it in an
@@ -337,6 +358,7 @@ func (c *Conn) autocommit(fn func() (*Result, error)) (*Result, error) {
 func (c *Conn) commitTx() error {
 	tx := c.tx
 	c.tx = nil
+	c.db.met.activeTxns.Dec()
 	if tx.readOnly {
 		c.db.epochs.Release(tx.snap)
 		return nil
@@ -361,11 +383,13 @@ func (c *Conn) rollbackTx() {
 	c.tx = nil
 	switch {
 	case tx == nil:
+		return
 	case tx.readOnly:
 		c.db.epochs.Release(tx.snap)
 	default:
 		c.db.locks.ReleaseAll(tx.id)
 	}
+	c.db.met.activeTxns.Dec()
 }
 
 // checkUniqueLocked verifies primary-key uniqueness of the batch's

@@ -59,6 +59,9 @@ type EnvOptions struct {
 	LogMode engine.LogMode
 	// DegradeBatch overrides the degradation batch size.
 	DegradeBatch int
+	// NoMetrics opens the database without a metrics registry (the
+	// baseline side of the instrumentation-overhead benchmark).
+	NoMetrics bool
 	// Seed for the person generator.
 	Seed int64
 }
@@ -91,9 +94,10 @@ func NewEnv(opts EnvOptions) (*Env, error) {
 	opts = opts.withDefaults()
 	clock := vclock.NewSimulated(vclock.Epoch)
 	cfg := engine.Config{
-		Clock:   clock,
-		Dir:     opts.Dir,
-		LogMode: opts.LogMode,
+		Clock:     clock,
+		Dir:       opts.Dir,
+		LogMode:   opts.LogMode,
+		NoMetrics: opts.NoMetrics,
 	}
 	cfg.Degrade.BatchSize = opts.DegradeBatch
 	db, err := engine.Open(cfg)

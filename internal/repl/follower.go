@@ -71,6 +71,12 @@ type Follower struct {
 
 	connected atomic.Bool
 	applied   atomic.Uint64 // batches applied since Start
+
+	// Observability state (read by Instrument's collect callbacks).
+	reconnects  atomic.Uint64 // stream attempts after the first
+	lastContact atomic.Int64  // unix nanos of the last frame from the leader
+	leaderSeg   atomic.Int64  // leader log end position, from heartbeats
+	leaderOff   atomic.Int64  //   and batch frames
 }
 
 func (f *Follower) logf(format string, args ...any) {
@@ -140,10 +146,15 @@ func (f *Follower) run(done chan struct{}) {
 		maxB = 5 * time.Second
 	}
 	backoff := minB
+	first := true
 	for {
 		if f.isStopped() {
 			return
 		}
+		if !first {
+			f.reconnects.Add(1)
+		}
+		first = false
 		err := f.stream()
 		if f.connected.Swap(false) {
 			backoff = minB // the last attempt reached streaming; reset
@@ -249,6 +260,7 @@ func (f *Follower) stream() error {
 		if err != nil {
 			return err
 		}
+		f.lastContact.Store(time.Now().UnixNano())
 		switch op {
 		case wire.OpReplSchema:
 			if err := f.DB.ApplyReplicatedDDL(string(payload)); err != nil {
@@ -273,10 +285,15 @@ func (f *Follower) stream() error {
 				return err
 			}
 			f.applied.Add(1)
+			// A batch frame proves the leader's log reaches at least the
+			// position after it; heartbeats refine this on idle streams.
+			f.storeLeaderEnd(int64(b.NextSeg), int64(b.NextOff))
 		case wire.OpReplHeartbeat:
-			if _, err := wire.DecodeReplHeartbeat(payload); err != nil {
+			hb, err := wire.DecodeReplHeartbeat(payload)
+			if err != nil {
 				return err
 			}
+			f.storeLeaderEnd(int64(hb.EndSeg), int64(hb.EndOff))
 		case wire.OpError:
 			werr, err := wire.DecodeError(payload)
 			if err != nil {

@@ -1,0 +1,95 @@
+package repl
+
+import (
+	"time"
+
+	"instantdb/internal/metrics"
+	"instantdb/internal/wal"
+)
+
+// storeLeaderEnd records the latest known leader log end position. Seg
+// and off are stored as separate atomics; a torn read across them can
+// only mix two positions the leader actually reported, and the lag
+// gauges are advisory.
+func (f *Follower) storeLeaderEnd(seg, off int64) {
+	f.leaderSeg.Store(seg)
+	f.leaderOff.Store(off)
+}
+
+// LeaderEnd returns the latest leader log end position learned from
+// heartbeats and batch frames (zero before first contact).
+func (f *Follower) LeaderEnd() wal.Pos {
+	return wal.Pos{Seg: int(f.leaderSeg.Load()), Off: f.leaderOff.Load()}
+}
+
+// LagBytes estimates how many leader log bytes this replica has not
+// applied yet: the exact byte distance when leader and replica stand in
+// the same segment, or a lower bound (the leader's offset into its
+// newer segment) when the replica is segments behind — pair it with the
+// segment lag to interpret. Zero before first contact.
+func (f *Follower) LagBytes() int64 {
+	leader := f.LeaderEnd()
+	applied := f.DB.ReplPos()
+	if leader.Seg == 0 && leader.Off == 0 {
+		return 0
+	}
+	if leader.Seg == applied.Seg {
+		if d := leader.Off - applied.Off; d > 0 {
+			return d
+		}
+		return 0
+	}
+	if leader.Seg > applied.Seg {
+		return leader.Off
+	}
+	return 0
+}
+
+// Instrument registers the follower's observability surface on reg:
+// stream liveness, apply progress, reconnects, and the two lag views —
+// bytes/segments behind the leader's log end, and wall-clock seconds
+// since the leader was last heard from. All collect-time; the apply
+// loop only touches its own atomics.
+func (f *Follower) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("instantdb_repl_connected",
+		"1 while a replication stream to the leader is live, else 0.",
+		func() float64 {
+			if f.connected.Load() {
+				return 1
+			}
+			return 0
+		})
+	reg.CounterFunc("instantdb_repl_batches_applied_total",
+		"Leader commit batches applied by this replica since start.",
+		func() float64 { return float64(f.applied.Load()) })
+	reg.CounterFunc("instantdb_repl_reconnects_total",
+		"Replication stream reconnect attempts after the first connection.",
+		func() float64 { return float64(f.reconnects.Load()) })
+	reg.GaugeFunc("instantdb_repl_lag_bytes",
+		"Leader log bytes not yet applied (exact within a segment, else a lower bound).",
+		func() float64 { return float64(f.LagBytes()) })
+	reg.GaugeFunc("instantdb_repl_lag_segments",
+		"Whole WAL segments the replica trails the leader's log end by.",
+		func() float64 {
+			leader := f.LeaderEnd()
+			if leader.Seg == 0 {
+				return 0
+			}
+			if d := leader.Seg - f.DB.ReplPos().Seg; d > 0 {
+				return float64(d)
+			}
+			return 0
+		})
+	reg.GaugeFunc("instantdb_repl_last_contact_seconds",
+		"Wall-clock seconds since the last frame from the leader (-1 before first contact).",
+		func() float64 {
+			last := f.lastContact.Load()
+			if last == 0 {
+				return -1
+			}
+			return time.Since(time.Unix(0, last)).Seconds()
+		})
+}

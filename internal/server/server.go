@@ -20,6 +20,7 @@ import (
 
 	"instantdb/internal/backup"
 	"instantdb/internal/engine"
+	"instantdb/internal/metrics"
 	"instantdb/internal/repl"
 	"instantdb/internal/wal"
 	"instantdb/internal/wire"
@@ -54,12 +55,23 @@ type Options struct {
 type Server struct {
 	db   *engine.DB
 	opts Options
+	met  srvMetrics
 
 	mu     sync.Mutex
 	ln     net.Listener
 	conns  map[net.Conn]struct{}
 	closed bool
 	wg     sync.WaitGroup
+}
+
+// srvMetrics holds the server-layer instruments (nil no-ops when the
+// database was opened with NoMetrics).
+type srvMetrics struct {
+	conns      *metrics.Gauge
+	framesIn   *metrics.Counter
+	framesOut  *metrics.Counter
+	busy       *metrics.Counter
+	reqSeconds *metrics.HistogramVec
 }
 
 // New wraps an open database. The server does not own the DB: Close
@@ -71,7 +83,56 @@ func New(db *engine.DB, opts Options) *Server {
 	if opts.MaxStmts <= 0 {
 		opts.MaxStmts = DefaultMaxStmts
 	}
-	return &Server{db: db, opts: opts, conns: make(map[net.Conn]struct{})}
+	reg := db.Metrics()
+	met := srvMetrics{
+		conns: reg.Gauge("instantdb_server_active_conns",
+			"Client connections currently being served."),
+		framesIn: reg.Counter("instantdb_server_frames_in_total",
+			"Request frames read from clients."),
+		framesOut: reg.Counter("instantdb_server_frames_out_total",
+			"Response frames written to clients."),
+		busy: reg.Counter("instantdb_server_busy_rejects_total",
+			"Connections rejected over the -max-conns limit (CodeServerBusy)."),
+		reqSeconds: reg.HistogramVec("instantdb_server_request_seconds",
+			"Request handling latency by opcode.", "op", nil),
+	}
+	return &Server{db: db, opts: opts, met: met, conns: make(map[net.Conn]struct{})}
+}
+
+// opName renders a request opcode as a metric label.
+func opName(op byte) string {
+	switch op {
+	case wire.OpPing:
+		return "ping"
+	case wire.OpExec:
+		return "exec"
+	case wire.OpQuery:
+		return "query"
+	case wire.OpSetPurpose:
+		return "set_purpose"
+	case wire.OpBegin:
+		return "begin"
+	case wire.OpBeginRO:
+		return "begin_ro"
+	case wire.OpCommit:
+		return "commit"
+	case wire.OpRollback:
+		return "rollback"
+	case wire.OpPrepare:
+		return "prepare"
+	case wire.OpExecPrepared:
+		return "exec_prepared"
+	case wire.OpCloseStmt:
+		return "close_stmt"
+	case wire.OpExecArgs:
+		return "exec_args"
+	case wire.OpBackup:
+		return "backup"
+	case wire.OpStats:
+		return "stats"
+	default:
+		return fmt.Sprintf("0x%02x", op)
+	}
 }
 
 // ListenAndServe listens on addr and serves until Close.
@@ -158,12 +219,13 @@ func (s *Server) track(nc net.Conn) bool {
 	switch {
 	case s.closed:
 		s.mu.Unlock()
-		wire.WriteFrame(nc, wire.OpError, wire.EncodeError(wire.CodeShutdown, "server: shutting down"))
+		s.writeFrame(nc, wire.OpError, wire.EncodeError(wire.CodeShutdown, "server: shutting down"))
 		nc.Close()
 		return false
 	case s.opts.MaxConns > 0 && len(s.conns) >= s.opts.MaxConns:
 		s.mu.Unlock()
-		wire.WriteFrame(nc, wire.OpError, wire.EncodeError(wire.CodeServerBusy,
+		s.met.busy.Inc()
+		s.writeFrame(nc, wire.OpError, wire.EncodeError(wire.CodeServerBusy,
 			fmt.Sprintf("server: connection limit (%d) reached", s.opts.MaxConns)))
 		nc.Close()
 		s.logf("reject %s: connection limit", nc.RemoteAddr())
@@ -172,6 +234,7 @@ func (s *Server) track(nc net.Conn) bool {
 	s.conns[nc] = struct{}{}
 	s.wg.Add(1)
 	s.mu.Unlock()
+	s.met.conns.Inc()
 	return true
 }
 
@@ -179,6 +242,16 @@ func (s *Server) untrack(nc net.Conn) {
 	s.mu.Lock()
 	delete(s.conns, nc)
 	s.mu.Unlock()
+	s.met.conns.Dec()
+}
+
+// writeFrame writes one response frame, counting it.
+func (s *Server) writeFrame(nc net.Conn, op byte, payload []byte) error {
+	err := wire.WriteFrame(nc, op, payload)
+	if err == nil {
+		s.met.framesOut.Inc()
+	}
+	return err
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -268,7 +341,10 @@ func (s *Server) handle(nc net.Conn) {
 		if err != nil {
 			return
 		}
-		if !s.serveRequest(nc, sess, op, payload) {
+		start := time.Now()
+		ok := s.serveRequest(nc, sess, op, payload)
+		s.met.reqSeconds.With(opName(op)).Observe(time.Since(start))
+		if !ok {
 			return
 		}
 	}
@@ -307,7 +383,7 @@ func (s *Server) handshake(nc net.Conn, br *bufio.Reader) (*engine.Conn, error) 
 		}
 	}
 	sess.SetCoarse(h.Coarse)
-	if err := wire.WriteFrame(nc, wire.OpWelcome, wire.EncodeWelcome()); err != nil {
+	if err := s.writeFrame(nc, wire.OpWelcome, wire.EncodeWelcome()); err != nil {
 		return nil, err
 	}
 	return sess, nil
@@ -352,6 +428,7 @@ func (s *Server) readRequest(nc net.Conn, br *bufio.Reader) (byte, []byte, error
 		}
 		return 0, nil, err
 	}
+	s.met.framesIn.Inc()
 	return op, payload, nil
 }
 
@@ -360,7 +437,9 @@ func (s *Server) readRequest(nc net.Conn, br *bufio.Reader) (byte, []byte, error
 func (s *Server) serveRequest(nc net.Conn, sess *session, op byte, payload []byte) bool {
 	switch op {
 	case wire.OpPing:
-		return wire.WriteFrame(nc, wire.OpPong, nil) == nil
+		return s.writeFrame(nc, wire.OpPong, nil) == nil
+	case wire.OpStats:
+		return s.serveStats(nc)
 	case wire.OpExec, wire.OpQuery:
 		return s.execSQL(nc, sess, string(payload))
 	case wire.OpSetPurpose:
@@ -389,7 +468,7 @@ func (s *Server) serveRequest(nc net.Conn, sess *session, op byte, payload []byt
 		}
 		id := sess.register(st)
 		ready := wire.EncodeStmtReady(wire.StmtReady{ID: id, NumParams: st.NumParams()})
-		return wire.WriteFrame(nc, wire.OpStmtReady, ready) == nil
+		return s.writeFrame(nc, wire.OpStmtReady, ready) == nil
 	case wire.OpExecPrepared:
 		id, args, err := wire.DecodeExecPrepared(payload)
 		if err != nil {
@@ -438,6 +517,18 @@ func (s *Server) serveRequest(nc net.Conn, sess *session, op byte, payload []byt
 	}
 }
 
+// serveStats answers OpStats with the full metrics snapshot. A database
+// opened with NoMetrics answers an empty sample list — the opcode stays
+// valid so monitoring never has to branch on server configuration.
+func (s *Server) serveStats(nc net.Conn) bool {
+	samples := s.db.Metrics().Snapshot()
+	stats := make([]wire.Stat, len(samples))
+	for i, sm := range samples {
+		stats[i] = wire.Stat{Key: sm.Key, Value: sm.Value}
+	}
+	return s.writeFrame(nc, wire.OpStatsReply, wire.EncodeStats(stats)) == nil
+}
+
 // serveBackup streams one backup archive to the client as OpBackupChunk
 // frames followed by OpBackupDone. The archive is produced on this
 // session's goroutine over the engine's lock-free snapshot path, so a
@@ -446,7 +537,7 @@ func (s *Server) serveRequest(nc net.Conn, sess *session, op byte, payload []byt
 // non-fatal OpError — frames are typed, so the session stays in sync
 // and usable; the client discards the incomplete archive.
 func (s *Server) serveBackup(nc net.Conn, req wire.BackupReq) bool {
-	cw := &chunkWriter{nc: nc, max: s.backupChunkSize()}
+	cw := &chunkWriter{nc: nc, max: s.backupChunkSize(), out: s.met.framesOut}
 	var sum *backup.Summary
 	var err error
 	if req.Incremental {
@@ -469,7 +560,7 @@ func (s *Server) serveBackup(nc net.Conn, req wire.BackupReq) bool {
 		EndSeg: uint64(sum.End.Seg), EndOff: uint64(sum.End.Off),
 		Tuples: uint64(sum.Tuples), Batches: uint64(sum.Batches),
 	})
-	return wire.WriteFrame(nc, wire.OpBackupDone, done) == nil
+	return s.writeFrame(nc, wire.OpBackupDone, done) == nil
 }
 
 // backupChunkSize bounds OpBackupChunk payloads: comfortably under the
@@ -493,6 +584,7 @@ type chunkWriter struct {
 	buf []byte
 	max int
 	err error
+	out *metrics.Counter
 }
 
 // Write implements io.Writer.
@@ -529,6 +621,7 @@ func (cw *chunkWriter) flush() error {
 		cw.err = err
 		return err
 	}
+	cw.out.Inc()
 	cw.buf = cw.buf[:0]
 	return nil
 }
@@ -570,14 +663,14 @@ func (s *Server) sendResult(nc net.Conn, res *engine.Result) bool {
 			"server: result is %d bytes, over the %d-byte frame limit; narrow the query (LIMIT, fewer columns)",
 			len(payload), s.opts.MaxFrame))
 	}
-	return wire.WriteFrame(nc, wire.OpResult, payload) == nil
+	return s.writeFrame(nc, wire.OpResult, payload) == nil
 }
 
 func (s *Server) sendErr(nc net.Conn, code uint16, err error) bool {
-	return wire.WriteFrame(nc, wire.OpError, wire.EncodeError(code, err.Error())) == nil
+	return s.writeFrame(nc, wire.OpError, wire.EncodeError(code, err.Error())) == nil
 }
 
 // fail sends a fatal error frame; the caller closes the connection.
 func (s *Server) fail(nc net.Conn, code uint16, msg string) {
-	wire.WriteFrame(nc, wire.OpError, wire.EncodeError(code, msg))
+	s.writeFrame(nc, wire.OpError, wire.EncodeError(code, msg))
 }

@@ -27,7 +27,15 @@ type Manager struct {
 	// versions are unreachable and pruned.
 	stamp    atomic.Uint64
 	lowWater atomic.Uint64
+
+	// pruned counts version-chain entries dropped (low-water or
+	// MaxTupleVersions truncation); exposed as a metric by the engine.
+	pruned atomic.Uint64
 }
+
+// PrunedVersions returns the total number of superseded row versions
+// pruned from version chains since open.
+func (m *Manager) PrunedVersions() uint64 { return m.pruned.Load() }
 
 // NewManager wraps a raw page store.
 func NewManager(store Store) *Manager {

@@ -415,11 +415,13 @@ func (ts *TableStore) pushVersionLocked(id TupleID, old Tuple) {
 	low := ts.mgr.lowWater.Load()
 	for len(chain) > 0 && chain[0].died <= low {
 		chain = chain[1:]
+		ts.mgr.pruned.Add(1)
 	}
 	if len(chain) > MaxTupleVersions {
 		drop := len(chain) - MaxTupleVersions
 		chain[drop].born = chain[0].born
 		chain = chain[drop:]
+		ts.mgr.pruned.Add(uint64(drop))
 	}
 	if len(chain) == 0 {
 		delete(ts.hist, id)

@@ -10,6 +10,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
+
+	"instantdb/internal/metrics"
 )
 
 const (
@@ -30,6 +33,9 @@ type Options struct {
 	Sync bool
 	// Codec seals degradable payloads. Default PlainCodec.
 	Codec Codec
+	// Metrics receives WAL instrumentation (fsync latency, rotations,
+	// appended bytes). nil disables it at zero cost.
+	Metrics *metrics.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -57,6 +63,11 @@ type Log struct {
 	// notify is closed and replaced on every append/reset, broadcasting
 	// "new batches may exist" to tailers (AppendNotify).
 	notify chan struct{}
+
+	// Instrumentation (nil-safe no-ops when Options.Metrics is nil).
+	fsyncSeconds  *metrics.Histogram
+	rotations     *metrics.Counter
+	appendedBytes *metrics.Counter
 }
 
 // Pos addresses a batch boundary in the log: a segment id and a byte
@@ -130,6 +141,13 @@ func Open(dir string, opts Options) (*Log, error) {
 	}
 	l.active, l.activeSize = f, st.Size()
 	l.notify = make(chan struct{})
+	reg := l.opts.Metrics
+	l.fsyncSeconds = reg.Histogram("instantdb_wal_fsync_seconds",
+		"Latency of WAL fsync calls on commit batches.", nil)
+	l.rotations = reg.Counter("instantdb_wal_segment_rotations_total",
+		"WAL segment rotations (seal + new segment).")
+	l.appendedBytes = reg.Counter("instantdb_wal_appended_bytes_total",
+		"Bytes appended to the WAL, including batch framing.")
 	return l, nil
 }
 
@@ -221,10 +239,13 @@ func (l *Log) AppendRaw(payload []byte) error {
 		return fmt.Errorf("wal: append: %w", err)
 	}
 	l.activeSize += int64(len(buf))
+	l.appendedBytes.Add(uint64(len(buf)))
 	if l.opts.Sync {
+		start := time.Now()
 		if err := l.active.Sync(); err != nil {
 			return err
 		}
+		l.fsyncSeconds.Observe(time.Since(start))
 	}
 	l.notifyLocked()
 	if l.activeSize >= l.opts.SegmentBytes {
@@ -271,6 +292,7 @@ func (l *Log) rotateLocked() error {
 		return fmt.Errorf("wal: rotate: %w", err)
 	}
 	l.active, l.activeSize = f, 0
+	l.rotations.Inc()
 	return nil
 }
 

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 
 	"instantdb/internal/value"
 )
@@ -81,6 +82,12 @@ const (
 	// OpError, after which the session continues but any bytes already
 	// received must be discarded as an incomplete archive.
 	OpBackup byte = 0x0E
+	// OpStats requests a metrics snapshot (empty payload); the server
+	// answers OpStatsReply with every metric sample flattened to
+	// key→value. Shipping stats over the existing protocol keeps the
+	// wire the single trust boundary — no side-channel HTTP needed to
+	// verify degradation lag.
+	OpStats byte = 0x0F
 	// OpReplHello converts the connection into a replication stream
 	// (EncodeReplHello payload: start position + last applied epoch).
 	// It replaces OpHello as the first frame; the server answers with an
@@ -100,6 +107,9 @@ const (
 	OpResult byte = 0x82
 	// OpStmtReady acknowledges OpPrepare (EncodeStmtReady payload).
 	OpStmtReady byte = 0x83
+	// OpStatsReply answers OpStats (EncodeStats payload: a sorted list
+	// of metric samples).
+	OpStatsReply byte = 0x84
 	// OpPong answers OpPing.
 	OpPong byte = 0x88
 	// OpReplBatch carries one replicated commit batch (EncodeReplBatch
@@ -729,6 +739,54 @@ func DecodeBackupDone(p []byte) (BackupDone, error) {
 		return d, fmt.Errorf("wire: backup-done has %d trailing bytes", len(p))
 	}
 	return d, nil
+}
+
+// Stat is one metric sample in an OpStatsReply payload: Key is the
+// Prometheus series name (label pair included), Value the sample value.
+type Stat struct {
+	Key   string
+	Value float64
+}
+
+// EncodeStats serializes an OpStatsReply payload: a uvarint count, then
+// per sample the key (uvarint-length-prefixed) and the value as IEEE 754
+// bits, big-endian.
+func EncodeStats(stats []Stat) []byte {
+	b := binary.AppendUvarint(nil, uint64(len(stats)))
+	for _, s := range stats {
+		b = appendString(b, s.Key)
+		b = binary.BigEndian.AppendUint64(b, math.Float64bits(s.Value))
+	}
+	return b
+}
+
+// DecodeStats parses an OpStatsReply payload.
+func DecodeStats(p []byte) ([]Stat, error) {
+	count, n := binary.Uvarint(p)
+	if n <= 0 {
+		return nil, fmt.Errorf("wire: stats count")
+	}
+	p = p[n:]
+	if count > uint64(len(p)) { // each sample is ≥ 9 bytes; cheap bound
+		return nil, fmt.Errorf("wire: stats count %d exceeds payload", count)
+	}
+	stats := make([]Stat, 0, count)
+	for i := uint64(0); i < count; i++ {
+		key, used, err := readString(p)
+		if err != nil {
+			return nil, fmt.Errorf("wire: stats key %d: %w", i, err)
+		}
+		p = p[used:]
+		if len(p) < 8 {
+			return nil, fmt.Errorf("wire: stats value %d truncated", i)
+		}
+		stats = append(stats, Stat{Key: key, Value: math.Float64frombits(binary.BigEndian.Uint64(p))})
+		p = p[8:]
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("wire: stats payload has %d trailing bytes", len(p))
+	}
+	return stats, nil
 }
 
 // appendString appends a uvarint-length-prefixed string.
