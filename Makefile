@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check doc-check md-check fuzz bench bench-json metrics-smoke serve clean
+.PHONY: build test race vet fmt-check doc-check md-check fuzz bench bench-json bench-shard shard-smoke metrics-smoke serve clean
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,19 @@ bench:
 # insert/select hot paths (budget <2% per path).
 bench-json:
 	$(GO) run ./cmd/benchrunner -exp METRICS -n 5000 -rounds 12 -benchjson BENCH_PR6.json
+
+# bench-shard regenerates the committed sharding reference
+# (BENCH_PR7.json): insert / point-select / scan throughput through the
+# router, 1-shard vs 3-shard.
+bench-shard:
+	$(GO) run ./cmd/benchrunner -exp SHARD -benchjson BENCH_PR7.json
+
+# shard-smoke is the sharding E2E under the race detector: router
+# routing and scatter-gather, the partitioned-shard deadline guarantee
+# with its forensic sweep, and the online split with a concurrent
+# writer.
+shard-smoke:
+	$(GO) test -race -v -run 'TestPartitionedShardEnforcesDeadlines|TestOnlineShardBootstrap|TestRouterSingleKeyRouting|TestRouterScatterGather|TestRouterStaleVersionFailsLoud' ./internal/shard
 
 # metrics-smoke boots a database with a live degradation workload,
 # scrapes /metrics and /healthz over HTTP and the Stats opcode over

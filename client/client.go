@@ -66,6 +66,10 @@ var (
 	// or the requested log position was checkpointed away, so the
 	// replica must be reseeded. Fatal.
 	ErrReplUnavailable = wire.ErrReplUnavailable
+	// ErrShardStale: a ShardCheck presented a routing-table version
+	// older than the one the shard has already served under — reload the
+	// routing table before routing anything to this shard. Fatal.
+	ErrShardStale = wire.ErrShardStale
 )
 
 // Rows is a materialized query result.
@@ -335,6 +339,24 @@ func (c *Conn) BackupIncremental(ctx context.Context, fromSeg, fromOff uint64, w
 }
 
 func (c *Conn) backup(ctx context.Context, req wire.BackupReq, w io.Writer) (*BackupInfo, error) {
+	return c.chunkStream(ctx, wire.OpBackup, wire.EncodeBackupReq(req), w)
+}
+
+// ExportKeys streams the server's epoch key store into w (the raw
+// keys.db byte stream). Shard bootstrap pairs it with Backup: the
+// restored copy decodes every archived payload whose key was still live
+// at export time, while keys shredded before the export stay gone —
+// expired material restores erased on the new shard too. The stream
+// carries live key material; treat w with the same care as the server's
+// own key file.
+func (c *Conn) ExportKeys(ctx context.Context, w io.Writer) error {
+	_, err := c.chunkStream(ctx, wire.OpKeyExport, nil, w)
+	return err
+}
+
+// chunkStream requests op and drains the OpBackupChunk/OpBackupDone
+// reply stream into w.
+func (c *Conn) chunkStream(ctx context.Context, op byte, payload []byte, w io.Writer) (*BackupInfo, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -342,7 +364,7 @@ func (c *Conn) backup(ctx context.Context, req wire.BackupReq, w io.Writer) (*Ba
 	}
 	stop := c.watchCtx(ctx)
 	defer stop()
-	if err := wire.WriteFrame(c.nc, wire.OpBackup, wire.EncodeBackupReq(req)); err != nil {
+	if err := wire.WriteFrame(c.nc, op, payload); err != nil {
 		c.poison()
 		return nil, c.ctxErr(ctx, err)
 	}
@@ -419,6 +441,37 @@ func (c *Conn) Stats(ctx context.Context) (map[string]float64, error) {
 		out[s.Key] = s.Value
 	}
 	return out, nil
+}
+
+// ShardCheck pins the routing-table version this session routes under
+// and returns the version the shard had stored before the check. The
+// shard persists the highest version it has seen; presenting an older
+// one fails with ErrShardStale (fatal) — a router must reload its table,
+// never route with a stale one. Servers predating sharding reject the
+// opcode with a protocol error, which is equally loud.
+func (c *Conn) ShardCheck(ctx context.Context, version uint64) (stored uint64, err error) {
+	op, payload, err := c.roundTripLocked(ctx, wire.OpShardCheck, wire.EncodeShardCheck(version))
+	if err != nil {
+		return 0, err
+	}
+	if op != wire.OpShardCheckReply {
+		return 0, fmt.Errorf("client: unexpected shard-check reply opcode %#x", op)
+	}
+	return wire.DecodeShardCheckReply(payload)
+}
+
+// Schema fetches the server's catalog DDL script (the same append-only
+// script replication ships). The shard router parses it to learn table
+// shapes for routing; tooling can use it to inspect a remote schema.
+func (c *Conn) Schema(ctx context.Context) (string, error) {
+	op, payload, err := c.roundTripLocked(ctx, wire.OpSchema, nil)
+	if err != nil {
+		return "", err
+	}
+	if op != wire.OpSchemaReply {
+		return "", fmt.Errorf("client: unexpected schema reply opcode %#x", op)
+	}
+	return string(payload), nil
 }
 
 // request performs one request round trip and decodes the result frame.

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	benchrunner [-exp all|F1|F2|F3|E1|E2|E3|BSTORE|BLOG|BIDX|BTXN|BREC|METRICS]
+//	benchrunner [-exp all|F1|F2|F3|E1|E2|E3|BSTORE|BLOG|BIDX|BTXN|BREC|METRICS|SHARD]
 //	            [-n tuples] [-quick] [-benchjson out.json]
 //
 // The METRICS experiment measures the observability layer's overhead on
@@ -13,6 +13,13 @@
 // and, with -benchjson, records the ns/op, allocations, and relative
 // delta to a JSON file (the committed reference is BENCH_PR6.json; the
 // PR 6 budget is <2% per path).
+//
+// The SHARD experiment compares insert, point-select and full-scan
+// throughput through the router on a 1-shard vs a 3-shard deployment
+// (the 3-shard side runs two router front ends, driven round-robin).
+// With -benchjson it records the ns/op and ops/sec per phase and side
+// (the committed reference is BENCH_PR7.json). -benchjson applies to
+// whichever of METRICS/SHARD runs; use it with a single -exp.
 package main
 
 import (
@@ -26,8 +33,8 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (all, F1, F2, F3, E1, E2, E3, BSTORE, BLOG, BIDX, BTXN, BREC, METRICS)")
-	benchJSON := flag.String("benchjson", "", "write the METRICS overhead result to this JSON file")
+	exp := flag.String("exp", "all", "experiment id (all, F1, F2, F3, E1, E2, E3, BSTORE, BLOG, BIDX, BTXN, BREC, METRICS, SHARD)")
+	benchJSON := flag.String("benchjson", "", "write the METRICS or SHARD result to this JSON file")
 	rounds := flag.Int("rounds", 3, "alternating measurement rounds per side for METRICS")
 	n := flag.Int("n", 2000, "workload size (tuples)")
 	queries := flag.Int("q", 200, "query count for B-IDX")
@@ -69,6 +76,19 @@ func main() {
 	run("BREC", func() error { _, err := experiments.RunBRec(w, *n); return err })
 	run("METRICS", func() error {
 		res, err := experiments.RunMetricsOverhead(w, *n, *rounds)
+		if err != nil {
+			return err
+		}
+		if *benchJSON != "" {
+			if err := res.WriteJSON(*benchJSON); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "wrote %s\n", *benchJSON)
+		}
+		return nil
+	})
+	run("SHARD", func() error {
+		res, err := experiments.RunShard(w, *n/4, *n/40)
 		if err != nil {
 			return err
 		}

@@ -18,12 +18,18 @@
 //	                       live server metrics over the wire Stats opcode:
 //	                       the degradation-critical subset (lag, queue
 //	                       depth, shredded keys, sessions, replication
-//	                       lag), -all for every key, -watch to re-poll
+//	                       lag), -all for every key, -watch to re-poll.
+//	                       Pointing -connect at an instantdb-router prints
+//	                       the aggregated deployment view: lag-style gauges
+//	                       as the max over shards, queue depths and
+//	                       counters summed, plus per-shard up/down state
 //	tick                   run one degradation tick now
 //	fire <event>           raise an application event
 //	audit [-file f]... <needle>...
 //	                       forensic scan of store+log+keys (plus extra
-//	                       files, e.g. backup archives) for text needles
+//	                       files, e.g. backup archives) for text needles;
+//	                       -dir is repeatable here, so one invocation can
+//	                       sweep every shard directory of a deployment
 //	vacuum                 rotate and vacuum the log
 //	checkpoint             sync pages, truncate the log, compact the keys
 //	backup [-base prev] [-connect host:port] <out>
@@ -51,6 +57,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"time"
 
 	"instantdb"
@@ -64,7 +71,8 @@ const usageText = "usage: degradectl -dir path [-log shred|plain|vacuum] " +
 	"<status|stats|tick|fire|audit|vacuum|checkpoint|backup|restore> [args]"
 
 func main() {
-	dir := flag.String("dir", "", "database directory (required for all commands except restore, and backup -connect)")
+	var dirs stringList
+	flag.Var(&dirs, "dir", "database directory (required for all commands except restore, and backup -connect; repeatable for audit)")
 	logMode := flag.String("log", "shred", "log mode the database was created with: shred, plain, vacuum")
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -77,18 +85,25 @@ func main() {
 		runRestore(*logMode, rest)
 		return
 	case "backup":
-		runBackup(*dir, *logMode, rest)
+		runBackup(oneDirOrEmpty(dirs), *logMode, rest)
 		return
 	case "stats":
 		runStats(rest)
 		return
+	case "audit":
+		if len(dirs) == 0 {
+			fmt.Fprintln(os.Stderr, usageText)
+			os.Exit(2)
+		}
+		runAudit(dirs, *logMode, rest)
+		return
 	}
 
-	if *dir == "" {
+	if len(dirs) != 1 {
 		fmt.Fprintln(os.Stderr, usageText)
 		os.Exit(2)
 	}
-	db := openDB(*dir, *logMode)
+	db := openDB(dirs[0], *logMode)
 	defer db.Close()
 
 	switch cmd {
@@ -106,8 +121,6 @@ func main() {
 		n, err := db.DegradeNow()
 		fail(err)
 		fmt.Printf("event %q fired: %d transition(s)\n", rest[0], n)
-	case "audit":
-		runAudit(db, *dir, rest)
 	case "vacuum":
 		fail(db.VacuumLog())
 		fmt.Println("log vacuumed")
@@ -117,6 +130,19 @@ func main() {
 	default:
 		fail(fmt.Errorf("unknown command %q", cmd))
 	}
+}
+
+// oneDirOrEmpty returns the single -dir value, "" when none was given,
+// and fails when several were (only audit sweeps multiple directories).
+func oneDirOrEmpty(dirs stringList) string {
+	switch len(dirs) {
+	case 0:
+		return ""
+	case 1:
+		return dirs[0]
+	}
+	fail(fmt.Errorf("this command takes exactly one -dir (repeat -dir only with audit)"))
+	return ""
 }
 
 // openDB opens the database directory with the named log mode.
@@ -143,12 +169,14 @@ func (s *stringList) String() string { return fmt.Sprint(*s) }
 // Set implements flag.Value.
 func (s *stringList) Set(v string) error { *s = append(*s, v); return nil }
 
-// runAudit scans the database's persistent artifacts — raw store pages,
-// WAL segments, the epoch-key file — plus any extra files (backup
-// archives) for the given text needles. catalog.sql is deliberately out
-// of scope: schema literals (domain trees) legitimately contain level
+// runAudit scans each database directory's persistent artifacts — raw
+// store pages, WAL segments, the epoch-key file — plus any extra files
+// (backup archives) for the given text needles. -dir repeats, so one
+// invocation sweeps every shard of a deployment and the exit status
+// answers for all of them at once. catalog.sql is deliberately out of
+// scope: schema literals (domain trees) legitimately contain level
 // labels and are not data leaks.
-func runAudit(db *instantdb.DB, dir string, args []string) {
+func runAudit(dirs []string, logMode string, args []string) {
 	fs := flag.NewFlagSet("audit", flag.ExitOnError)
 	var files stringList
 	fs.Var(&files, "file", "extra file to scan (repeatable), e.g. a backup archive")
@@ -160,14 +188,27 @@ func runAudit(db *instantdb.DB, dir string, args []string) {
 	for _, arg := range fs.Args() {
 		needles = append(needles, forensic.NeedleForText(arg, arg))
 	}
-	rep, err := forensic.ScanStore(db.StorageManager().Store(), needles)
-	fail(err)
-	walRep, err := forensic.ScanDir(filepath.Join(dir, "wal"), needles)
-	fail(err)
-	rep.Merge(walRep)
-	keyRep, err := forensic.ScanFile(filepath.Join(dir, "keys.db"), needles)
-	fail(err)
-	rep.Merge(keyRep)
+	var rep forensic.Report
+	for _, dir := range dirs {
+		db := openDB(dir, logMode)
+		dirRep, err := forensic.ScanStore(db.StorageManager().Store(), needles)
+		if err == nil {
+			var walRep forensic.Report
+			if walRep, err = forensic.ScanDir(filepath.Join(dir, "wal"), needles); err == nil {
+				dirRep.Merge(walRep)
+				var keyRep forensic.Report
+				if keyRep, err = forensic.ScanFile(filepath.Join(dir, "keys.db"), needles); err == nil {
+					dirRep.Merge(keyRep)
+				}
+			}
+		}
+		db.Close()
+		fail(err)
+		if len(dirs) > 1 {
+			fmt.Printf("%s: %d bytes, %d finding(s)\n", dir, dirRep.BytesScanned, len(dirRep.Findings))
+		}
+		rep.Merge(dirRep)
+	}
 	for _, f := range files {
 		fileRep, err := forensic.ScanFile(f, needles)
 		fail(err)
@@ -276,6 +317,13 @@ var statsHeadlines = []string{
 	"instantdb_repl_connected",
 	"instantdb_repl_lag_bytes",
 	"instantdb_repl_last_contact_seconds",
+	// Router rollup (present when -connect points at instantdb-router):
+	// the deployment-wide view — worst shard lag, table version, fleet
+	// size.
+	"instantdb_router_degrade_lag_max_seconds",
+	"instantdb_router_table_version",
+	"instantdb_router_shards",
+	"instantdb_router_active_conns",
 }
 
 // runStats polls a running server's metrics snapshot over the wire
@@ -329,6 +377,18 @@ func printStats(m map[string]float64, all, stamped bool) {
 		if v, ok := m[k]; ok {
 			fmt.Printf("%-44s %g\n", k, v)
 		}
+	}
+	// Per-shard reachability from a router rollup, sorted for stable
+	// output.
+	var shardKeys []string
+	for k := range m {
+		if strings.HasPrefix(k, "instantdb_router_shard_up{") {
+			shardKeys = append(shardKeys, k)
+		}
+	}
+	sort.Strings(shardKeys)
+	for _, k := range shardKeys {
+		fmt.Printf("%-44s %g\n", k, m[k])
 	}
 }
 

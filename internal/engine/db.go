@@ -162,6 +162,9 @@ type DB struct {
 	// starts at (follower mode; recovered from RecReplMark records and
 	// the repl.pos checkpoint file).
 	replPos wal.Pos
+	// shardVer is the highest routing-table version this database has
+	// been served under (persisted to shard.ver; see CheckShardVersion).
+	shardVer uint64
 	// applyingRepl is set (under mu) while a replicated leader batch
 	// applies, so applyRecord can tell external degrade transitions —
 	// which must schedule the replica's own follow-up — from the
@@ -300,6 +303,15 @@ func (db *DB) recover() error {
 			db.replPos = p
 		}
 	}
+	// 2c. Sharding floor: the routing-table version this shard last
+	// served under survives restarts, so a router presenting an older
+	// table keeps failing loud after the shard reopens.
+	if data, err := os.ReadFile(filepath.Join(db.cfg.Dir, "shard.ver")); err == nil {
+		var v uint64
+		if _, err := fmt.Sscanf(string(data), "%d", &v); err == nil {
+			db.shardVer = v
+		}
+	}
 	// 3. Redo the log (idempotent; complete batches only).
 	if db.log != nil {
 		err := db.log.Replay(func(r *wal.Record) error {
@@ -395,6 +407,46 @@ func (db *DB) ReplPos() wal.Pos {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	return db.replPos
+}
+
+// ErrShardStale reports an OpShardCheck (or local CheckShardVersion)
+// presenting a routing-table version older than the one this database
+// has already served under: the caller's routing table must be reloaded
+// before it routes any key here.
+var ErrShardStale = errors.New("engine: presented routing-table version is older than the stored one")
+
+// ShardVersion returns the highest routing-table version this database
+// has been served under (0 if it has never been part of a sharded
+// deployment).
+func (db *DB) ShardVersion() uint64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.shardVer
+}
+
+// CheckShardVersion atomically compares-and-raises the persisted
+// routing-table version: presenting v at or above the stored version
+// records v (durably, for on-disk databases) and returns the previous
+// value; presenting an older v returns ErrShardStale so a router
+// restarted with a stale routing table fails loud instead of silently
+// misrouting keys to this shard.
+func (db *DB) CheckShardVersion(v uint64) (prev uint64, err error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	prev = db.shardVer
+	if v < prev {
+		return prev, fmt.Errorf("%w: presented %d, stored %d", ErrShardStale, v, prev)
+	}
+	if v > prev {
+		if db.cfg.Dir != "" {
+			if err := writeFileSynced(filepath.Join(db.cfg.Dir, "shard.ver"),
+				[]byte(fmt.Sprintf("%d", v))); err != nil {
+				return prev, err
+			}
+		}
+		db.shardVer = v
+	}
+	return prev, nil
 }
 
 // ReplSource validates that this database's WAL can be tailed by byte

@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"time"
+
+	"instantdb/internal/engine"
+	"instantdb/internal/server"
+	"instantdb/internal/shard"
+	"instantdb/internal/value"
+	"instantdb/internal/workload"
+)
+
+// ShardPhase is one measured phase of the sharding benchmark.
+type ShardPhase struct {
+	Ops       int     `json:"ops"`
+	NsOp      float64 `json:"ns_op"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+// ShardSide is one deployment shape: every operation flows through a
+// router front end (round-robin over Routers of them), so the 1-shard
+// side prices the router hop itself and the 3-shard side shows what
+// partitioning adds (routing decisions on keyed ops, scatter-gather and
+// merge on scans).
+type ShardSide struct {
+	Shards      int        `json:"shards"`
+	Routers     int        `json:"routers"`
+	Insert      ShardPhase `json:"insert"`
+	PointSelect ShardPhase `json:"point_select"`
+	Scan        ShardPhase `json:"scan"`
+}
+
+// ShardResult is the BENCH_PR7.json payload: single-session throughput
+// of inserts, point selects and full-table scans through the router, on
+// a 1-shard vs a 3-shard deployment of the same person workload.
+type ShardResult struct {
+	Rows  int       `json:"rows"`
+	Scans int       `json:"scans"`
+	One   ShardSide `json:"one_shard"`
+	Three ShardSide `json:"three_shard"`
+}
+
+// timePhase runs n ops and fills a phase with ns/op and ops/sec.
+func timePhase(n int, f func(i int) error) (ShardPhase, error) {
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := f(i); err != nil {
+			return ShardPhase{}, err
+		}
+	}
+	el := time.Since(start)
+	return ShardPhase{
+		Ops:       n,
+		NsOp:      float64(el.Nanoseconds()) / float64(n),
+		OpsPerSec: float64(n) / el.Seconds(),
+	}, nil
+}
+
+// shardBench stands up nShards in-process shard servers (each a full
+// engine with the person schema on its own simulated clock), nRouters
+// stateless router front ends over one uniform routing table, and
+// drives rows inserts, rows point selects and scans full scans through
+// the routers round-robin via the workload target driver.
+func shardBench(nShards, nRouters, rows, scans int) (ShardSide, error) {
+	side := ShardSide{Shards: nShards, Routers: nRouters}
+	ctx := context.Background()
+
+	var cleanup []func()
+	defer func() {
+		for i := len(cleanup) - 1; i >= 0; i-- {
+			cleanup[i]()
+		}
+	}()
+
+	// Shards: independent durable engines with identical schemas (the
+	// router learns its schema mirror from the shards' catalog script,
+	// which only durable databases persist).
+	infos := make([]shard.Info, nShards)
+	var uni *workload.LocationUniverse
+	for i := 0; i < nShards; i++ {
+		dir, err := os.MkdirTemp("", "instantdb-shardbench-*")
+		if err != nil {
+			return side, err
+		}
+		cleanup = append(cleanup, func() { os.RemoveAll(dir) }) //nolint:errcheck
+		env, err := NewEnv(EnvOptions{Dir: dir, LogMode: engine.LogShred})
+		if err != nil {
+			return side, err
+		}
+		cleanup = append(cleanup, env.Close)
+		if uni == nil {
+			uni = env.Uni
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return side, err
+		}
+		srv := server.New(env.DB, server.Options{})
+		go srv.Serve(ln)                                  //nolint:errcheck // closed via cleanup
+		cleanup = append(cleanup, func() { srv.Close() }) //nolint:errcheck
+		infos[i] = shard.Info{Name: fmt.Sprintf("s%d", i), Addr: ln.Addr().String()}
+	}
+	table := shard.Uniform(infos)
+
+	// Routers: stateless front ends sharing the same routing table.
+	addrs := make([]string, nRouters)
+	for j := 0; j < nRouters; j++ {
+		nctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		r, err := shard.New(nctx, table.Clone(), shard.Options{})
+		cancel()
+		if err != nil {
+			return side, err
+		}
+		cleanup = append(cleanup, func() { r.Close() }) //nolint:errcheck
+		rln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return side, err
+		}
+		go r.Serve(rln) //nolint:errcheck // closed via cleanup
+		addrs[j] = rln.Addr().String()
+	}
+
+	targets, err := workload.DialTargets(ctx, addrs)
+	if err != nil {
+		return side, err
+	}
+	cleanup = append(cleanup, func() { targets.Close() }) //nolint:errcheck
+
+	gen := workload.NewPersonGen(1, uni, time.Time{})
+	people := gen.Batch(rows)
+
+	side.Insert, err = timePhase(rows, func(i int) error {
+		p := people[i]
+		_, err := targets.Exec(ctx,
+			"INSERT INTO person (id, name, location, salary) VALUES (?, ?, ?, ?)",
+			value.Int(p.ID+IDOffset), value.Text(p.Name), value.Text(p.Address), value.Int(p.Salary))
+		return err
+	})
+	if err != nil {
+		return side, fmt.Errorf("insert phase: %w", err)
+	}
+
+	side.PointSelect, err = timePhase(rows, func(i int) error {
+		rs, err := targets.Query(ctx, "SELECT name FROM person WHERE id = ?",
+			value.Int(people[i].ID+IDOffset))
+		if err == nil && rs.Len() != 1 {
+			err = fmt.Errorf("point select returned %d rows", rs.Len())
+		}
+		return err
+	})
+	if err != nil {
+		return side, fmt.Errorf("point-select phase: %w", err)
+	}
+
+	side.Scan, err = timePhase(scans, func(int) error {
+		rs, err := targets.Query(ctx, "SELECT id FROM person")
+		if err == nil && rs.Len() != rows {
+			err = fmt.Errorf("scan returned %d rows, want %d", rs.Len(), rows)
+		}
+		return err
+	})
+	if err != nil {
+		return side, fmt.Errorf("scan phase: %w", err)
+	}
+	return side, nil
+}
+
+// RunShard compares single-session throughput through the router on a
+// 1-shard deployment (1 router) against a 3-shard deployment (2 router
+// front ends, exercising the workload driver's multi-endpoint
+// round-robin): rows inserts, rows point selects, scans full scans.
+func RunShard(w io.Writer, rows, scans int) (*ShardResult, error) {
+	fmt.Fprintln(w, "== SHARD: 1-shard vs 3-shard throughput through the router ==")
+	if scans < 1 {
+		scans = 1
+	}
+	res := &ShardResult{Rows: rows, Scans: scans}
+	var err error
+	if res.One, err = shardBench(1, 1, rows, scans); err != nil {
+		return nil, fmt.Errorf("1-shard side: %w", err)
+	}
+	if res.Three, err = shardBench(3, 2, rows, scans); err != nil {
+		return nil, fmt.Errorf("3-shard side: %w", err)
+	}
+	fmt.Fprintf(w, "%-12s %8s %14s %14s %14s %14s %8s\n",
+		"phase", "ops", "1-shard ns/op", "3-shard ns/op", "1-shard op/s", "3-shard op/s", "delta")
+	row := func(name string, a, b ShardPhase) {
+		fmt.Fprintf(w, "%-12s %8d %14.0f %14.0f %14.0f %14.0f %7.1f%%\n",
+			name, a.Ops, a.NsOp, b.NsOp, a.OpsPerSec, b.OpsPerSec, deltaPct(a.NsOp, b.NsOp))
+	}
+	row("insert", res.One.Insert, res.Three.Insert)
+	row("point-select", res.One.PointSelect, res.Three.PointSelect)
+	row("scan", res.One.Scan, res.Three.Scan)
+	return res, nil
+}
+
+// WriteJSON writes the result to path, pretty-printed, 0o644.
+func (r *ShardResult) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -130,6 +130,12 @@ func opName(op byte) string {
 		return "backup"
 	case wire.OpStats:
 		return "stats"
+	case wire.OpShardCheck:
+		return "shard_check"
+	case wire.OpKeyExport:
+		return "key_export"
+	case wire.OpSchema:
+		return "schema"
 	default:
 		return fmt.Sprintf("0x%02x", op)
 	}
@@ -511,6 +517,29 @@ func (s *Server) serveRequest(nc net.Conn, sess *session, op byte, payload []byt
 			return false
 		}
 		return s.serveBackup(nc, req)
+	case wire.OpShardCheck:
+		v, err := wire.DecodeShardCheck(payload)
+		if err != nil {
+			s.fail(nc, wire.CodeProtocol, err.Error())
+			return false
+		}
+		prev, err := s.db.CheckShardVersion(v)
+		if err != nil {
+			if errors.Is(err, engine.ErrShardStale) {
+				s.fail(nc, wire.CodeShardStale, err.Error())
+				return false
+			}
+			return s.sendErr(nc, wire.CodeSQL, err)
+		}
+		return s.writeFrame(nc, wire.OpShardCheckReply, wire.EncodeShardCheckReply(prev)) == nil
+	case wire.OpKeyExport:
+		return s.serveKeyExport(nc)
+	case wire.OpSchema:
+		script, err := s.db.CatalogScript()
+		if err != nil {
+			return s.sendErr(nc, wire.CodeSQL, err)
+		}
+		return s.writeFrame(nc, wire.OpSchemaReply, []byte(script)) == nil
 	default:
 		s.fail(nc, wire.CodeProtocol, fmt.Sprintf("server: unknown opcode %#x", op))
 		return false
@@ -561,6 +590,31 @@ func (s *Server) serveBackup(nc net.Conn, req wire.BackupReq) bool {
 		Tuples: uint64(sum.Tuples), Batches: uint64(sum.Batches),
 	})
 	return s.writeFrame(nc, wire.OpBackupDone, done) == nil
+}
+
+// serveKeyExport streams the epoch key store as OpBackupChunk frames
+// followed by OpBackupDone (counts zero; only the byte stream matters).
+// A shard bootstrap pairs it with OpBackup so the restored copy can
+// decode every payload whose key was still live at export time.
+func (s *Server) serveKeyExport(nc net.Conn) bool {
+	ks := s.db.KeyStore()
+	if ks == nil {
+		return s.sendErr(nc, wire.CodeSQL,
+			errors.New("server: no key store to export (ephemeral database or plain log mode)"))
+	}
+	cw := &chunkWriter{nc: nc, max: s.backupChunkSize(), out: s.met.framesOut}
+	_, err := ks.ExportTo(cw)
+	if err == nil {
+		err = cw.flush()
+	}
+	if err != nil {
+		if cw.err != nil {
+			return false // the connection itself is dead
+		}
+		s.logf("key export %s: %v", nc.RemoteAddr(), err)
+		return s.sendErr(nc, wire.CodeSQL, err)
+	}
+	return s.writeFrame(nc, wire.OpBackupDone, wire.EncodeBackupDone(wire.BackupDone{})) == nil
 }
 
 // backupChunkSize bounds OpBackupChunk payloads: comfortably under the

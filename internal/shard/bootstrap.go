@@ -1,0 +1,251 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"instantdb/client"
+	"instantdb/internal/backup"
+	"instantdb/internal/engine"
+	"instantdb/internal/repl"
+	"instantdb/internal/wal"
+	"instantdb/internal/wire"
+)
+
+// BootstrapOptions configures one online shard bootstrap.
+type BootstrapOptions struct {
+	// SourceAddr is the wire address of the shard being split: the
+	// backup archive, the epoch keys and the WAL tail all stream from it.
+	SourceAddr string
+	// Dir is the new shard's database directory (must not exist; the
+	// restore builds it atomically).
+	Dir string
+	// Config templates the new shard's engine configuration (Clock,
+	// degradation options, shred bucket). Dir and Replica are overridden.
+	Config engine.Config
+	// MaxFrame bounds wire frames to the source (default
+	// wire.MaxFrameDefault).
+	MaxFrame int
+	// DrainPoll is how often Drain re-checks the applied position
+	// (default 10ms).
+	DrainPoll time.Duration
+	// Logf receives diagnostics when non-nil.
+	Logf func(format string, args ...any)
+}
+
+// Bootstrap is an in-flight online shard bootstrap: a restored copy of
+// the source shard tailing the source's WAL as a replica, waiting for
+// the cutover. The sequence is the one ISSUE/DESIGN document:
+//
+//	Begin  → backup + key export stream into a fresh directory (the
+//	         source keeps serving; the archive pins a snapshot epoch)
+//	       → the directory opens as a replica whose follower resumes at
+//	         the archive's exact end position (no gap, no overlap)
+//	Drain  → router paused; wait until the replica has applied
+//	         everything the source has written
+//	Promote→ stop the tail, reopen the directory as a leader
+//	       → Trim both sides to the new routing table, Flip, Resume
+//
+// The new shard's degradation clock is its own from the moment the
+// directory opens: deadlines that pass mid-bootstrap fire on the replica
+// locally (PR 4's autonomous-clock rule), so even the bootstrap window
+// never delays an expiry.
+type Bootstrap struct {
+	// DB is the bootstrapping database: a replica until Promote, the new
+	// shard's leader after.
+	DB *engine.DB
+	// Follower tails the source WAL until Promote.
+	Follower *repl.Follower
+	// BaseEnd is the source log position the restored archive covered;
+	// the follower resumed there.
+	BaseEnd wal.Pos
+
+	opts     BootstrapOptions
+	promoted bool
+}
+
+// Begin streams a backup and the epoch keys from the source shard,
+// restores them into opts.Dir, opens the directory as a replica and
+// starts tailing the source's WAL. The source serves normally
+// throughout.
+func Begin(ctx context.Context, opts BootstrapOptions) (*Bootstrap, error) {
+	if opts.SourceAddr == "" || opts.Dir == "" {
+		return nil, errors.New("shard: bootstrap needs SourceAddr and Dir")
+	}
+	if opts.DrainPoll <= 0 {
+		opts.DrainPoll = 10 * time.Millisecond
+	}
+	if opts.MaxFrame <= 0 {
+		opts.MaxFrame = wire.MaxFrameDefault
+	}
+	parent := filepath.Dir(opts.Dir)
+	if err := os.MkdirAll(parent, 0o700); err != nil {
+		return nil, err
+	}
+
+	// 1. Stream the archive and the epoch keys to spool files. The keys
+	// travel separately from the archive on purpose: the archive holds
+	// only sealed payloads (safe at backup trust level), the key file is
+	// live secret material the restored replica needs to serve reads.
+	arch, err := os.CreateTemp(parent, "bootstrap-archive-*")
+	if err != nil {
+		return nil, err
+	}
+	defer func() { arch.Close(); os.Remove(arch.Name()) }()
+	keys, err := os.CreateTemp(parent, "bootstrap-keys-*")
+	if err != nil {
+		return nil, err
+	}
+	defer func() { keys.Close(); os.Remove(keys.Name()) }()
+
+	c, err := client.Dial(ctx, opts.SourceAddr, client.WithMaxFrame(opts.MaxFrame))
+	if err != nil {
+		return nil, fmt.Errorf("shard: bootstrap dial source: %w", err)
+	}
+	_, err = c.Backup(ctx, arch)
+	if err == nil {
+		err = c.ExportKeys(ctx, keys)
+	}
+	c.Close()
+	if err != nil {
+		return nil, fmt.Errorf("shard: bootstrap stream from source: %w", err)
+	}
+	if _, err := arch.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+
+	// 2. Restore into the target directory (atomic promote-by-rename).
+	sum, err := backup.Restore(backup.RestoreOptions{Dir: opts.Dir, KeysPath: keys.Name()}, arch)
+	if err != nil {
+		return nil, fmt.Errorf("shard: bootstrap restore: %w", err)
+	}
+
+	// 3. Seed the replication resume position with the archive's end, so
+	// the WAL tail starts exactly one byte past the archived material —
+	// the no-gap/no-overlap point the bootstrap test pins down.
+	if err := os.WriteFile(filepath.Join(opts.Dir, "repl.pos"), []byte(sum.End.String()), 0o600); err != nil {
+		return nil, err
+	}
+
+	// 4. Open as a replica on its own clock and tail the source.
+	cfg := opts.Config
+	cfg.Dir = opts.Dir
+	cfg.Replica = true
+	db, err := engine.Open(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("shard: bootstrap open replica: %w", err)
+	}
+	f := &repl.Follower{Addr: opts.SourceAddr, DB: db, MaxFrame: opts.MaxFrame, Logf: opts.Logf}
+	f.Start()
+	return &Bootstrap{DB: db, Follower: f, BaseEnd: sum.End, opts: opts}, nil
+}
+
+// Drain blocks until the replica has applied everything the source had
+// written when Drain asked — call it with the router paused, so the
+// position cannot advance underneath the cutover. The source's current
+// log end is learned by asking for an incremental backup from the
+// replica's own position into a discarded stream (its summary carries
+// the exact end position; the bytes are the tail the follower is
+// applying anyway, typically nothing).
+func (b *Bootstrap) Drain(ctx context.Context) error {
+	c, err := client.Dial(ctx, b.opts.SourceAddr, client.WithMaxFrame(b.opts.MaxFrame))
+	if err != nil {
+		return fmt.Errorf("shard: drain dial source: %w", err)
+	}
+	pos := b.DB.ReplPos()
+	info, err := c.BackupIncremental(ctx, uint64(pos.Seg), uint64(pos.Off), io.Discard)
+	c.Close()
+	if err != nil {
+		return fmt.Errorf("shard: drain learn source end: %w", err)
+	}
+	target := wal.Pos{Seg: int(info.EndSeg), Off: int64(info.EndOff)}
+	for b.DB.ReplPos().Before(target) {
+		if err := b.Follower.Err(); err != nil {
+			return fmt.Errorf("shard: drain: follower failed: %w", err)
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("shard: drain to %s stalled at %s: %w", target, b.DB.ReplPos(), ctx.Err())
+		case <-time.After(b.opts.DrainPoll):
+		}
+	}
+	return nil
+}
+
+// Promote ends the tail and reopens the directory as a leader. After
+// Promote, b.DB is the new shard's serving database.
+func (b *Bootstrap) Promote() (*engine.DB, error) {
+	if b.promoted {
+		return b.DB, nil
+	}
+	b.Follower.Stop()
+	if err := b.DB.Close(); err != nil {
+		return nil, err
+	}
+	cfg := b.opts.Config
+	cfg.Dir = b.opts.Dir
+	cfg.Replica = false
+	db, err := engine.Open(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("shard: promote reopen as leader: %w", err)
+	}
+	b.DB = db
+	b.promoted = true
+	return db, nil
+}
+
+// Abort tears down an unpromoted bootstrap (follower, database, and the
+// restored directory).
+func (b *Bootstrap) Abort() {
+	if b.promoted {
+		return
+	}
+	b.Follower.Stop()
+	b.DB.Close()
+	os.RemoveAll(b.opts.Dir)
+}
+
+// Trim deletes every row a shard does not own under routing table t —
+// run on both sides of a split after Promote, before Flip. The session
+// runs coarse (§IV best-effort) so degraded rows are visible and move
+// with their keys; expired attributes are already erased on both sides
+// and stay erased. Returns the number of rows removed.
+func Trim(db *engine.DB, t *Table, shardIdx int) (int, error) {
+	conn := db.NewConn()
+	conn.SetCoarse(true)
+	removed := 0
+	for _, tbl := range db.Catalog().Tables() {
+		if tbl.PrimaryKey < 0 {
+			// A pk-less table lives whole on one shard.
+			if t.ShardForTable(tbl.Name) != shardIdx {
+				res, err := conn.Exec("DELETE FROM " + tbl.Name)
+				if err != nil {
+					return removed, fmt.Errorf("shard: trim %s: %w", tbl.Name, err)
+				}
+				removed += res.RowsAffected
+			}
+			continue
+		}
+		pk := tbl.Columns[tbl.PrimaryKey].Name
+		rows, err := conn.Query("SELECT " + pk + " FROM " + tbl.Name)
+		if err != nil {
+			return removed, fmt.Errorf("shard: trim scan %s: %w", tbl.Name, err)
+		}
+		for _, row := range rows.Data {
+			if t.ShardForKey(row[0]) == shardIdx {
+				continue
+			}
+			res, err := conn.Exec("DELETE FROM "+tbl.Name+" WHERE "+pk+" = ?", row[0])
+			if err != nil {
+				return removed, fmt.Errorf("shard: trim %s key %v: %w", tbl.Name, row[0], err)
+			}
+			removed += res.RowsAffected
+		}
+	}
+	return removed, nil
+}

@@ -1,0 +1,187 @@
+package shard_test
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"instantdb/client"
+	"instantdb/internal/engine"
+	"instantdb/internal/forensic"
+	"instantdb/internal/server"
+	"instantdb/internal/storage"
+	"instantdb/internal/value"
+)
+
+// gaugeValue reads one gauge from a shard's own registry.
+func gaugeValue(t *testing.T, db *engine.DB, key string) float64 {
+	t.Helper()
+	for _, s := range db.Metrics().Snapshot() {
+		if s.Key == key {
+			return s.Value
+		}
+	}
+	t.Fatalf("metric %s not found", key)
+	return 0
+}
+
+// scanShardDir runs the forensic adversary over every persistent
+// artifact of one shard: raw store pages, WAL segments, key file.
+func scanShardDir(t *testing.T, db *engine.DB, dir string, needles []forensic.Needle) forensic.Report {
+	t.Helper()
+	rep, err := forensic.ScanStore(db.StorageManager().Store(), needles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirRep, err := forensic.ScanDir(filepath.Join(dir, "wal"), needles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Merge(dirRep)
+	keyRep, err := forensic.ScanFile(filepath.Join(dir, "keys.db"), needles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Merge(keyRep)
+	return rep
+}
+
+// TestPartitionedShardEnforcesDeadlines is the subsystem's core
+// guarantee, extended from PR 4's replica rule to a partitioned shard:
+// a shard cut off from the router still executes its LCP transitions at
+// the deadline on its OWN clock; point reads on the surviving shards
+// keep answering (a scatter fails fast, naming the dead shard, instead
+// of blocking); and after the partition heals, a forensic scan of every
+// shard's store, WAL and key file finds no trace of the expired
+// accuracy state. Fully deterministic: every shard runs on a simulated
+// clock.
+func TestPartitionedShardEnforcesDeadlines(t *testing.T) {
+	c := startCluster(t, 3)
+	conn := dialRouter(t, c)
+	ctx := context.Background()
+	const n = 60
+	insertVisits(t, conn, n)
+
+	// Every shard must hold rows for the partition to mean something.
+	perShard := make([][]int, 3)
+	for i, s := range c.shards {
+		perShard[i] = shardIDs(t, s)
+		if len(perShard[i]) == 0 {
+			t.Fatalf("shard %d holds no rows; test ids do not cover the ring", i)
+		}
+	}
+
+	// Collect forensic needles for every stored address form, per shard
+	// (tuple ids are shard-local and sequential from 1).
+	needles := make([][]forensic.Needle, 3)
+	for i, s := range c.shards {
+		tbl, err := s.db.Catalog().Table("visits")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for tid := storage.TupleID(1); tid <= storage.TupleID(len(perShard[i])); tid++ {
+			tup, err := s.db.StorageManager().Table(tbl).Get(tid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			needles[i] = append(needles[i],
+				forensic.NeedleForStored(fmt.Sprintf("s%d-address-%d", i, tid), tup.Row[2]))
+		}
+		// The needles are live before the deadline (validates them).
+		if rep, err := forensic.ScanStore(s.db.StorageManager().Store(), needles[i]); err != nil || rep.Clean() {
+			t.Fatalf("shard %d: needles must be present pre-deadline (err=%v)", i, err)
+		}
+	}
+
+	// ---- Partition shard 1: its server goes away, its engine (clock,
+	// degrader, WAL) keeps running, unreachable from the router. ----
+	const p = 1
+	c.shards[p].srv.Close()
+
+	// Cross the 15m address deadline on the partitioned shard's own
+	// clock. Before the tick the lag gauge shows the breach; the tick
+	// (the shard's autonomous degradation loop) brings it back to 0.
+	c.shards[p].clock.Advance(16 * time.Minute)
+	if lag := gaugeValue(t, c.shards[p].db, "instantdb_degrade_lag_seconds"); lag <= 0 {
+		t.Fatalf("pre-tick lag on partitioned shard = %v, want > 0", lag)
+	}
+	done, err := c.shards[p].db.DegradeNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done < len(perShard[p]) {
+		t.Fatalf("partitioned shard executed %d transitions, want >= %d", done, len(perShard[p]))
+	}
+	if lag := gaugeValue(t, c.shards[p].db, "instantdb_degrade_lag_seconds"); lag != 0 {
+		t.Fatalf("post-tick lag on partitioned shard = %v, want 0 (deadline enforced on time)", lag)
+	}
+
+	// Survivors keep serving: a point read owned by a live shard works.
+	survivorID := int64(perShard[0][0])
+	rows, err := conn.Query(ctx, "SELECT who FROM visits WHERE id = ?", value.Int(survivorID))
+	if err != nil || rows.Len() != 1 {
+		t.Fatalf("survivor point read during partition: rows=%v err=%v", rows, err)
+	}
+	// A scatter needs all shards: it fails fast and names the dead one.
+	start := time.Now()
+	_, err = conn.Query(ctx, "SELECT id FROM visits ORDER BY id")
+	if err == nil || !strings.Contains(err.Error(), c.shards[p].name) {
+		t.Fatalf("scatter during partition: err=%v, want failure naming %s", err, c.shards[p].name)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("scatter failure took %v; it must fail fast, not block", elapsed)
+	}
+
+	// ---- Heal: the shard's server comes back on the same address. ----
+	ln, err := net.Listen("tcp", c.shards[p].addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := server.New(c.shards[p].db, server.Options{})
+	go srv2.Serve(ln) //nolint:errcheck // closed in cleanup
+	t.Cleanup(func() { srv2.Close() })
+
+	// The same session recovers on its next statement (the router
+	// redials the healed shard), and scatter works again.
+	var healed *client.Rows
+	for i := 0; i < 50; i++ {
+		healed, err = conn.Query(ctx, "SELECT id FROM visits ORDER BY id")
+		if err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil || healed.Len() != n {
+		t.Fatalf("post-heal scatter: %d rows err=%v", healed.Len(), err)
+	}
+
+	// Cross the deadline on the other shards too, then the forensic
+	// sweep: no shard directory may hold any expired address anywhere —
+	// the sealed-payload/key-shredding invariant survives partitioning.
+	for i := range c.shards {
+		if i == p {
+			continue
+		}
+		c.shards[i].clock.Advance(16 * time.Minute)
+		if _, err := c.shards[i].db.DegradeNow(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, s := range c.shards {
+		if rep := scanShardDir(t, s.db, s.dir, needles[i]); !rep.Clean() {
+			t.Fatalf("forensic scan of shard %d found expired plaintext: %v", i, rep.Findings)
+		}
+	}
+
+	// Degraded-state exposure through the router matches a single node:
+	// the address-level purpose observes nothing anymore.
+	precise := dialRouter(t, c, client.WithPurpose("precise"))
+	rows, err = precise.Query(ctx, "SELECT id, place FROM visits ORDER BY id")
+	if err != nil || rows.Len() != 0 {
+		t.Fatalf("post-deadline precise scatter: %d rows err=%v (expired state served)", rows.Len(), err)
+	}
+}

@@ -1,0 +1,695 @@
+package shard
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"instantdb/client"
+	"instantdb/internal/metrics"
+	"instantdb/internal/query"
+	"instantdb/internal/value"
+	"instantdb/internal/wire"
+)
+
+// Options tunes a Router.
+type Options struct {
+	// MaxConns caps concurrently served client sessions (0 = unlimited).
+	MaxConns int
+	// MaxFrame bounds request payloads on both sides (default
+	// wire.MaxFrameDefault).
+	MaxFrame int
+	// DialTimeout bounds each downstream shard dial (default 5s).
+	DialTimeout time.Duration
+	// RequestTimeout bounds each downstream request, so a partitioned
+	// shard fails a scatter fast instead of hanging the client session
+	// (default 30s).
+	RequestTimeout time.Duration
+	// TablePath, when set, is where Flip persists the routing table.
+	TablePath string
+	// Logf, when non-nil, receives connection-level diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Router serves the internal/wire protocol to clients and speaks it to
+// every shard: single-key statements forward to the owning shard, scans
+// scatter and merge, DDL broadcasts. The router is deliberately a
+// separate process front end rather than client-side routing: clients
+// stay topology-unaware (degradectl, workloads and SQL drivers point at
+// one address), and the fail-loud routing-version handshake
+// (OpShardCheck) runs between two long-lived parties that can both
+// persist what they have seen. The router holds no state a restart
+// cannot rebuild from the routing table and the shards themselves.
+type Router struct {
+	opts   Options
+	schema *Schema
+	reg    *metrics.Registry
+	met    routerMetrics
+
+	tableMu sync.RWMutex
+	table   *Table
+
+	// pauseMu freezes routing during a split cutover: every request
+	// holds it shared, Pause takes it exclusively.
+	pauseMu sync.RWMutex
+
+	// Stats-rollup state (see stats.go): per-shard reachability and the
+	// max lag observed at the last rollup, read back by gauge callbacks.
+	statsMu sync.Mutex
+	shardUp map[string]float64
+	maxLag  float64
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+type routerMetrics struct {
+	conns     *metrics.Gauge
+	requests  *metrics.CounterVec
+	scatters  *metrics.Counter
+	broadcast *metrics.Counter
+}
+
+// New validates the routing table against every shard (each must accept
+// the table's version via OpShardCheck — a shard that has served a newer
+// table fails the start, loud) and mirrors the schema from the first
+// shard. Every shard must be reachable at start; partitions after start
+// degrade only the routes that need the missing shard.
+func New(ctx context.Context, t *Table, opts Options) (*Router, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.MaxFrame <= 0 {
+		opts.MaxFrame = wire.MaxFrameDefault
+	}
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 5 * time.Second
+	}
+	if opts.RequestTimeout <= 0 {
+		opts.RequestTimeout = 30 * time.Second
+	}
+	r := &Router{opts: opts, table: t.Clone(), schema: NewSchema(),
+		reg: metrics.NewRegistry(), conns: make(map[net.Conn]struct{})}
+	r.met = routerMetrics{
+		conns: r.reg.Gauge("instantdb_router_active_conns",
+			"Client connections currently served by the router."),
+		requests: r.reg.CounterVec("instantdb_router_requests_total",
+			"Requests handled by the router, by opcode.", "op"),
+		scatters: r.reg.Counter("instantdb_router_scatter_total",
+			"SELECTs fanned out to every shard and merged."),
+		broadcast: r.reg.Counter("instantdb_router_broadcast_total",
+			"Writes/DDL fanned out to every shard."),
+	}
+	r.reg.GaugeFunc("instantdb_router_shards",
+		"Shards in the active routing table.", func() float64 {
+			return float64(len(r.currentTable().Shards))
+		})
+	r.reg.GaugeFunc("instantdb_router_table_version",
+		"Active routing-table version.", func() float64 {
+			return float64(r.currentTable().Version)
+		})
+	r.registerStatsGauges()
+	for i := range t.Shards {
+		if err := r.checkShard(ctx, t, i); err != nil {
+			return nil, err
+		}
+	}
+	script, err := r.fetchSchema(ctx, t)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.schema.ApplyScript(script); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// checkShard pins the table version on shard i (fresh connection).
+func (r *Router) checkShard(ctx context.Context, t *Table, i int) error {
+	ctx, cancel := context.WithTimeout(ctx, r.opts.DialTimeout)
+	defer cancel()
+	c, err := client.Dial(ctx, t.Shards[i].Addr, client.WithMaxFrame(r.opts.MaxFrame))
+	if err != nil {
+		return fmt.Errorf("shard: %s (%s): %w", t.Shards[i].Name, t.Shards[i].Addr, err)
+	}
+	defer c.Close()
+	if _, err := c.ShardCheck(ctx, t.Version); err != nil {
+		return fmt.Errorf("shard: %s refused table v%d: %w", t.Shards[i].Name, t.Version, err)
+	}
+	return nil
+}
+
+// fetchSchema mirrors the catalog script from the first reachable shard.
+func (r *Router) fetchSchema(ctx context.Context, t *Table) (string, error) {
+	var lastErr error
+	for _, info := range t.Shards {
+		cctx, cancel := context.WithTimeout(ctx, r.opts.DialTimeout)
+		c, err := client.Dial(cctx, info.Addr, client.WithMaxFrame(r.opts.MaxFrame))
+		if err != nil {
+			cancel()
+			lastErr = err
+			continue
+		}
+		script, err := c.Schema(cctx)
+		c.Close()
+		cancel()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return script, nil
+	}
+	return "", fmt.Errorf("shard: no shard answered the schema request: %w", lastErr)
+}
+
+// Metrics exposes the router's own registry (stats rollups add the
+// per-shard aggregation on top; see MergedStats).
+func (r *Router) Metrics() *metrics.Registry { return r.reg }
+
+// Schema exposes the router's schema mirror.
+func (r *Router) Schema() *Schema { return r.schema }
+
+// currentTable returns the active routing table (shared reference; the
+// table is immutable).
+func (r *Router) currentTable() *Table {
+	r.tableMu.RLock()
+	defer r.tableMu.RUnlock()
+	return r.table
+}
+
+// Table returns a copy of the active routing table.
+func (r *Router) Table() *Table { return r.currentTable().Clone() }
+
+// Pause blocks until in-flight requests drain and freezes routing —
+// the cutover window of an online split. Resume unfreezes.
+func (r *Router) Pause() { r.pauseMu.Lock() }
+
+// Resume ends a Pause.
+func (r *Router) Resume() { r.pauseMu.Unlock() }
+
+// Flip activates the next routing-table version: shards may only be
+// appended (existing indexes keep their meaning for live sessions), the
+// version must grow, and every shard of the new table must accept it
+// via OpShardCheck before the swap — after which the shards' persisted
+// versions fence out any router still holding the old table. Call
+// between Pause and Resume when the flip moves data (an online split);
+// the swap itself is atomic either way. When Options.TablePath is set
+// the new table is persisted before activation.
+func (r *Router) Flip(ctx context.Context, next *Table) error {
+	if err := next.Validate(); err != nil {
+		return err
+	}
+	cur := r.currentTable()
+	if next.Version <= cur.Version {
+		return fmt.Errorf("shard: flip to v%d but v%d is active", next.Version, cur.Version)
+	}
+	if next.Slots != cur.Slots {
+		return fmt.Errorf("shard: flip changes slot count %d → %d", cur.Slots, next.Slots)
+	}
+	if len(next.Shards) < len(cur.Shards) {
+		return fmt.Errorf("shard: flip removes shards (%d → %d)", len(cur.Shards), len(next.Shards))
+	}
+	for i, s := range cur.Shards {
+		if next.Shards[i] != s {
+			return fmt.Errorf("shard: flip reorders shard %d (%s → %s); shards are append-only", i, s.Name, next.Shards[i].Name)
+		}
+	}
+	for i := range next.Shards {
+		if err := r.checkShard(ctx, next, i); err != nil {
+			return err
+		}
+	}
+	if r.opts.TablePath != "" {
+		if err := next.Save(r.opts.TablePath); err != nil {
+			return err
+		}
+	}
+	r.tableMu.Lock()
+	r.table = next.Clone()
+	r.tableMu.Unlock()
+	return nil
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (r *Router) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return r.Serve(ln)
+}
+
+// Serve accepts client connections on ln until Close.
+func (r *Router) Serve(ln net.Listener) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		ln.Close()
+		return errors.New("shard: router already closed")
+	}
+	r.ln = ln
+	r.mu.Unlock()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			r.mu.Lock()
+			closed := r.closed
+			r.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		if !r.track(nc) {
+			continue
+		}
+		go func() {
+			defer r.wg.Done()
+			r.handle(nc)
+		}()
+	}
+}
+
+// Addr returns the bound listener address (nil before Serve).
+func (r *Router) Addr() net.Addr {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.ln == nil {
+		return nil
+	}
+	return r.ln.Addr()
+}
+
+// Close stops accepting, closes every live session and waits for the
+// handlers to drain. Idempotent.
+func (r *Router) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	ln := r.ln
+	for nc := range r.conns {
+		nc.Close()
+	}
+	r.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	r.wg.Wait()
+	return err
+}
+
+func (r *Router) track(nc net.Conn) bool {
+	r.mu.Lock()
+	switch {
+	case r.closed:
+		r.mu.Unlock()
+		wire.WriteFrame(nc, wire.OpError, wire.EncodeError(wire.CodeShutdown, "router: shutting down"))
+		nc.Close()
+		return false
+	case r.opts.MaxConns > 0 && len(r.conns) >= r.opts.MaxConns:
+		r.mu.Unlock()
+		wire.WriteFrame(nc, wire.OpError, wire.EncodeError(wire.CodeServerBusy,
+			fmt.Sprintf("router: connection limit (%d) reached", r.opts.MaxConns)))
+		nc.Close()
+		return false
+	}
+	r.conns[nc] = struct{}{}
+	r.wg.Add(1)
+	r.mu.Unlock()
+	r.met.conns.Inc()
+	return true
+}
+
+func (r *Router) untrack(nc net.Conn) {
+	r.mu.Lock()
+	delete(r.conns, nc)
+	r.mu.Unlock()
+	r.met.conns.Dec()
+}
+
+func (r *Router) logf(format string, args ...any) {
+	if r.opts.Logf != nil {
+		r.opts.Logf(format, args...)
+	}
+}
+
+// rsession is one client session's router-side state: the session
+// purpose/coarse flags and one lazily dialed downstream session per
+// shard, each carrying the same purpose — purpose enforcement runs at
+// every shard, never at the router.
+type rsession struct {
+	r       *Router
+	purpose string
+	coarse  bool
+	conns   map[int]*client.Conn
+}
+
+// conn returns the downstream session for shard idx, dialing (and
+// pinning the routing-table version via OpShardCheck) on first use.
+func (ss *rsession) conn(ctx context.Context, t *Table, idx int) (*client.Conn, error) {
+	if c, ok := ss.conns[idx]; ok && !c.Closed() {
+		return c, nil
+	}
+	delete(ss.conns, idx)
+	info := t.Shards[idx]
+	dctx, cancel := context.WithTimeout(ctx, ss.r.opts.DialTimeout)
+	defer cancel()
+	opts := []client.Option{client.WithMaxFrame(ss.r.opts.MaxFrame)}
+	if ss.purpose != "" {
+		opts = append(opts, client.WithPurpose(ss.purpose))
+	}
+	if ss.coarse {
+		opts = append(opts, client.WithCoarse())
+	}
+	c, err := client.Dial(dctx, info.Addr, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("shard %s (%s) unreachable: %w", info.Name, info.Addr, err)
+	}
+	if _, err := c.ShardCheck(dctx, t.Version); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("shard %s refused table v%d: %w", info.Name, t.Version, err)
+	}
+	ss.conns[idx] = c
+	return c, nil
+}
+
+func (ss *rsession) closeAll() {
+	for _, c := range ss.conns {
+		c.Close()
+	}
+}
+
+// handle runs one client session: handshake, then the request loop.
+func (r *Router) handle(nc net.Conn) {
+	defer r.untrack(nc)
+	defer nc.Close()
+	br := bufio.NewReader(nc)
+
+	ss, err := r.handshake(nc, br)
+	if err != nil {
+		if !errors.Is(err, io.EOF) {
+			r.logf("handshake %s: %v", nc.RemoteAddr(), err)
+		}
+		return
+	}
+	defer ss.closeAll()
+	for {
+		op, payload, err := wire.ReadFrame(br, r.opts.MaxFrame)
+		if err != nil {
+			if errors.Is(err, wire.ErrFrameTooLarge) {
+				r.fail(nc, wire.CodeFrameTooLarge, err.Error())
+			}
+			return
+		}
+		r.met.requests.With(routerOpName(op)).Inc()
+		if !r.serveRequest(nc, ss, op, payload) {
+			return
+		}
+	}
+}
+
+// handshake accepts the client Hello. The purpose is not validated here
+// — the router has no purpose catalog — but every downstream dial
+// carries it, so the owning shard enforces it on the session's first
+// routed statement.
+func (r *Router) handshake(nc net.Conn, br *bufio.Reader) (*rsession, error) {
+	op, payload, err := wire.ReadFrame(br, r.opts.MaxFrame)
+	if err != nil {
+		return nil, err
+	}
+	if op != wire.OpHello {
+		r.fail(nc, wire.CodeProtocol, fmt.Sprintf("router: expected hello, got opcode %#x", op))
+		return nil, fmt.Errorf("first frame opcode %#x", op)
+	}
+	h, err := wire.DecodeHello(payload)
+	if err != nil {
+		r.fail(nc, wire.CodeProtocol, err.Error())
+		return nil, err
+	}
+	if h.Version != wire.Version {
+		r.fail(nc, wire.CodeProtocol,
+			fmt.Sprintf("router: protocol version %d unsupported (want %d)", h.Version, wire.Version))
+		return nil, fmt.Errorf("protocol version %d", h.Version)
+	}
+	ss := &rsession{r: r, purpose: h.Purpose, coarse: h.Coarse, conns: make(map[int]*client.Conn)}
+	if err := wire.WriteFrame(nc, wire.OpWelcome, wire.EncodeWelcome()); err != nil {
+		return nil, err
+	}
+	return ss, nil
+}
+
+// serveRequest dispatches one request. Returns false to end the session.
+func (r *Router) serveRequest(nc net.Conn, ss *rsession, op byte, payload []byte) bool {
+	switch op {
+	case wire.OpPing:
+		return wire.WriteFrame(nc, wire.OpPong, nil) == nil
+	case wire.OpStats:
+		ctx, cancel := context.WithTimeout(context.Background(), r.opts.RequestTimeout)
+		defer cancel()
+		stats := r.MergedStats(ctx)
+		return wire.WriteFrame(nc, wire.OpStatsReply, wire.EncodeStats(stats)) == nil
+	case wire.OpSchema:
+		return wire.WriteFrame(nc, wire.OpSchemaReply, []byte(r.schema.Script())) == nil
+	case wire.OpExec, wire.OpQuery:
+		return r.execSQL(nc, ss, string(payload), nil)
+	case wire.OpExecArgs:
+		sql, args, err := wire.DecodeExecArgs(payload)
+		if err != nil {
+			r.fail(nc, wire.CodeProtocol, err.Error())
+			return false
+		}
+		return r.execSQL(nc, ss, sql, args)
+	case wire.OpSetPurpose:
+		return r.setPurpose(nc, ss, string(payload))
+	case wire.OpBegin, wire.OpBeginRO, wire.OpCommit:
+		return r.sendErr(nc, wire.CodeSQL, errors.New(
+			"router: transactions are not supported through the shard router (no cross-shard transaction protocol); connect to a single shard"))
+	case wire.OpRollback:
+		return r.rollbackAll(nc, ss)
+	case wire.OpPrepare, wire.OpExecPrepared, wire.OpCloseStmt:
+		return r.sendErr(nc, wire.CodeSQL, errors.New(
+			"router: prepared statements are not supported through the shard router; use Exec with arguments"))
+	case wire.OpBackup, wire.OpKeyExport:
+		return r.sendErr(nc, wire.CodeSQL, errors.New(
+			"router: back up each shard directly (epoch keys and WALs are per-shard)"))
+	default:
+		r.fail(nc, wire.CodeProtocol, fmt.Sprintf("router: unknown opcode %#x", op))
+		return false
+	}
+}
+
+// setPurpose switches the session purpose and propagates it to every
+// already-open downstream session (future dials carry it at handshake).
+func (r *Router) setPurpose(nc net.Conn, ss *rsession, name string) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), r.opts.RequestTimeout)
+	defer cancel()
+	for idx, c := range ss.conns {
+		if err := c.SetPurpose(ctx, name); err != nil {
+			code := wire.CodeSQL
+			if errors.Is(err, wire.ErrUnknownPurpose) {
+				code = wire.CodeUnknownPurpose
+			}
+			_ = idx
+			return r.sendErr(nc, code, err)
+		}
+	}
+	ss.purpose = name
+	return r.sendResultFrame(nc, &wire.Result{})
+}
+
+// rollbackAll rolls back on every open downstream session; like the
+// single-node server, rollback is idempotent.
+func (r *Router) rollbackAll(nc net.Conn, ss *rsession) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), r.opts.RequestTimeout)
+	defer cancel()
+	for _, c := range ss.conns {
+		if err := c.Rollback(ctx); err != nil {
+			return r.sendErr(nc, wire.CodeSQL, err)
+		}
+	}
+	return r.sendResultFrame(nc, &wire.Result{})
+}
+
+// execSQL parses, plans and executes one statement. The original SQL
+// (and arguments) forward verbatim to the target shards — the router
+// never rewrites statements, it only picks recipients and merges
+// results.
+func (r *Router) execSQL(nc net.Conn, ss *rsession, sql string, args []value.Value) bool {
+	st, err := parseForRouting(sql, args)
+	if err != nil {
+		return r.sendErr(nc, wire.CodeSQL, err)
+	}
+	r.pauseMu.RLock()
+	defer r.pauseMu.RUnlock()
+	t := r.currentTable()
+	p, err := planStatement(t, r.schema, st)
+	if err != nil {
+		return r.sendErr(nc, wire.CodeSQL, err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), r.opts.RequestTimeout)
+	defer cancel()
+
+	switch p.act {
+	case actSingle:
+		c, err := ss.conn(ctx, t, p.shard)
+		if err != nil {
+			return r.sendErr(nc, wire.CodeSQL, err)
+		}
+		res, err := c.Exec(ctx, sql, args...)
+		if err != nil {
+			return r.forwardErr(nc, ss, p.shard, err)
+		}
+		return r.sendResult(nc, res)
+	case actScatter:
+		r.met.scatters.Inc()
+		return r.scatter(ctx, nc, ss, t, p.sel, sql, args)
+	case actBroadcast:
+		r.met.broadcast.Inc()
+		affected := 0
+		for idx := range t.Shards {
+			c, err := ss.conn(ctx, t, idx)
+			if err != nil {
+				return r.sendErr(nc, wire.CodeSQL, err)
+			}
+			res, err := c.Exec(ctx, sql, args...)
+			if err != nil {
+				return r.forwardErr(nc, ss, idx, err)
+			}
+			affected += res.RowsAffected
+		}
+		if p.ddl {
+			r.schema.ApplyStmt(st, sql)
+		}
+		return r.sendResultFrame(nc, &wire.Result{RowsAffected: uint64(affected)})
+	case actSetPurpose:
+		return r.setPurpose(nc, ss, p.name)
+	case actRollback:
+		return r.rollbackAll(nc, ss)
+	}
+	return r.sendErr(nc, wire.CodeSQL, fmt.Errorf("router: unhandled plan action %d", p.act))
+}
+
+// scatter fans a SELECT out to every shard concurrently and merges.
+// A shard that cannot answer fails the query fast (with the shard named)
+// rather than silently returning partial data — but only this query:
+// routes that avoid the dead shard keep working.
+func (r *Router) scatter(ctx context.Context, nc net.Conn, ss *rsession, t *Table, sel *query.Select, sql string, args []value.Value) bool {
+	conns := make([]*client.Conn, len(t.Shards))
+	for idx := range t.Shards {
+		c, err := ss.conn(ctx, t, idx)
+		if err != nil {
+			return r.sendErr(nc, wire.CodeSQL, err)
+		}
+		conns[idx] = c
+	}
+	parts := make([]*wire.Rows, len(conns))
+	errs := make([]error, len(conns))
+	var wg sync.WaitGroup
+	for idx, c := range conns {
+		wg.Add(1)
+		go func(idx int, c *client.Conn) {
+			defer wg.Done()
+			rows, err := c.Query(ctx, sql, args...)
+			if err != nil {
+				errs[idx] = err
+				return
+			}
+			parts[idx] = &wire.Rows{Columns: rows.Columns, Data: rows.Data}
+		}(idx, c)
+	}
+	wg.Wait()
+	for idx, err := range errs {
+		if err != nil {
+			return r.forwardErr(nc, ss, idx, fmt.Errorf("shard %s: %w", t.Shards[idx].Name, err))
+		}
+	}
+	merged, err := mergeSelect(sel, parts)
+	if err != nil {
+		return r.sendErr(nc, wire.CodeSQL, err)
+	}
+	return r.sendResultFrame(nc, &wire.Result{RowsAffected: uint64(len(merged.Data)), Rows: merged})
+}
+
+// forwardErr relays a downstream failure to the client. Wire errors keep
+// their code (purpose denials, read-only refusals and SQL errors arrive
+// exactly as a direct connection would see them); transport failures
+// surface as CodeSQL with the shard named, and the dead downstream
+// session is dropped so the next statement redials.
+func (r *Router) forwardErr(nc net.Conn, ss *rsession, idx int, err error) bool {
+	var werr *wire.Error
+	if errors.As(err, &werr) && !werr.Fatal() {
+		return r.sendErr(nc, werr.Code, werr)
+	}
+	if c, ok := ss.conns[idx]; ok && c.Closed() {
+		delete(ss.conns, idx)
+	}
+	return r.sendErr(nc, wire.CodeSQL, err)
+}
+
+// parseForRouting parses one statement, binding arguments to
+// placeholders so the primary key is visible to the planner.
+func parseForRouting(sql string, args []value.Value) (query.Statement, error) {
+	if len(args) == 0 {
+		return query.Parse(sql)
+	}
+	st, n, err := query.ParseWithParams(sql)
+	if err != nil {
+		return nil, err
+	}
+	return query.BindKnown(st, args, n)
+}
+
+func (r *Router) sendResult(nc net.Conn, res *client.Result) bool {
+	w := &wire.Result{RowsAffected: uint64(res.RowsAffected), LastInsertID: res.LastInsertID}
+	if res.Rows != nil {
+		w.Rows = &wire.Rows{Columns: res.Rows.Columns, Data: res.Rows.Data}
+	}
+	return r.sendResultFrame(nc, w)
+}
+
+func (r *Router) sendResultFrame(nc net.Conn, res *wire.Result) bool {
+	return wire.WriteFrame(nc, wire.OpResult, wire.EncodeResult(res)) == nil
+}
+
+func (r *Router) sendErr(nc net.Conn, code uint16, err error) bool {
+	return wire.WriteFrame(nc, wire.OpError, wire.EncodeError(code, err.Error())) == nil
+}
+
+func (r *Router) fail(nc net.Conn, code uint16, msg string) {
+	wire.WriteFrame(nc, wire.OpError, wire.EncodeError(code, msg))
+}
+
+func routerOpName(op byte) string {
+	switch op {
+	case wire.OpPing:
+		return "ping"
+	case wire.OpExec:
+		return "exec"
+	case wire.OpQuery:
+		return "query"
+	case wire.OpExecArgs:
+		return "exec_args"
+	case wire.OpSetPurpose:
+		return "set_purpose"
+	case wire.OpRollback:
+		return "rollback"
+	case wire.OpStats:
+		return "stats"
+	case wire.OpSchema:
+		return "schema"
+	default:
+		return fmt.Sprintf("0x%02x", op)
+	}
+}

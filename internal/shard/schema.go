@@ -1,0 +1,122 @@
+package shard
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"instantdb/internal/query"
+)
+
+// tableShape is the routing-relevant slice of one table's schema: its
+// column order (for INSERTs without a column list) and primary key.
+type tableShape struct {
+	name string
+	cols []string // lowercase, declaration order
+	pk   string   // lowercase primary-key column, "" if none
+}
+
+// Schema is the router's mirror of the shards' catalog: just enough
+// shape (column order, primary keys) to route statements, learned from
+// the shards' own append-only DDL script (OpSchema) and kept current as
+// the router broadcasts DDL. The shards stay authoritative — the mirror
+// never validates columns or types, it only locates primary keys.
+type Schema struct {
+	mu     sync.RWMutex
+	tables map[string]*tableShape
+	stmts  []string // raw statements, in application order
+}
+
+// NewSchema returns an empty mirror.
+func NewSchema() *Schema {
+	return &Schema{tables: make(map[string]*tableShape)}
+}
+
+// ApplyScript parses a full catalog DDL script and mirrors it,
+// replacing the current state.
+func (s *Schema) ApplyScript(script string) error {
+	stmts, err := query.ParseScript(script)
+	if err != nil {
+		return fmt.Errorf("shard: schema script: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tables = make(map[string]*tableShape)
+	s.stmts = nil
+	for _, st := range stmts {
+		s.applyLocked(st)
+	}
+	s.stmts = append(s.stmts, splitScript(script)...)
+	return nil
+}
+
+// ApplyStmt mirrors one DDL statement the router just broadcast.
+func (s *Schema) ApplyStmt(st query.Statement, raw string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.applyLocked(st)
+	s.stmts = append(s.stmts, strings.TrimSpace(raw))
+}
+
+func (s *Schema) applyLocked(st query.Statement) {
+	switch d := st.(type) {
+	case *query.CreateTable:
+		sh := &tableShape{name: strings.ToLower(d.Name)}
+		for _, c := range d.Columns {
+			name := strings.ToLower(c.Name)
+			sh.cols = append(sh.cols, name)
+			if c.PrimaryKey {
+				sh.pk = name
+			}
+		}
+		s.tables[sh.name] = sh
+	case *query.DropTable:
+		delete(s.tables, strings.ToLower(d.Name))
+	}
+}
+
+// table returns the shape of a table, or nil if unknown.
+func (s *Schema) table(name string) *tableShape {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tables[strings.ToLower(name)]
+}
+
+// TableNames returns the mirrored table names, unordered.
+func (s *Schema) TableNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Script renders the mirrored DDL back as a script (OpSchema replies
+// from the router).
+func (s *Schema) Script() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var b strings.Builder
+	for _, st := range s.stmts {
+		b.WriteString(st)
+		if !strings.HasSuffix(st, ";") {
+			b.WriteString(";")
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// splitScript cuts a DDL script into trimmed statements (best effort:
+// the script is machine-generated, one statement per ';').
+func splitScript(script string) []string {
+	var out []string
+	for _, part := range strings.Split(script, ";") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p+";")
+		}
+	}
+	return out
+}

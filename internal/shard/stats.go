@@ -1,0 +1,112 @@
+package shard
+
+import (
+	"context"
+	"sort"
+	"strings"
+	"time"
+
+	"instantdb/client"
+	"instantdb/internal/wire"
+)
+
+// registerStatsGauges wires the rollup-fed gauges into the router's own
+// registry: the max-over-shards degradation lag headline and a per-shard
+// reachability gauge. Both report the state observed at the last
+// MergedStats rollup (gauges never dial shards themselves).
+func (r *Router) registerStatsGauges() {
+	r.reg.GaugeFunc("instantdb_router_degrade_lag_max_seconds",
+		"Maximum instantdb_degrade_lag_seconds across shards at the last stats rollup.",
+		func() float64 {
+			r.statsMu.Lock()
+			defer r.statsMu.Unlock()
+			return r.maxLag
+		})
+	r.reg.GaugeFuncVec("instantdb_router_shard_up",
+		"Whether the shard answered the last stats rollup (1) or not (0).",
+		"shard", func(emit func(string, float64)) {
+			r.statsMu.Lock()
+			defer r.statsMu.Unlock()
+			names := make([]string, 0, len(r.shardUp))
+			for n := range r.shardUp {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			for _, n := range names {
+				emit(n, r.shardUp[n])
+			}
+		})
+}
+
+// lagKey reports whether a metric must aggregate as a maximum across
+// shards rather than a sum: lag and age gauges answer "how far behind is
+// the worst shard", and summing them would fabricate a lag no shard has.
+// Everything else (counters, queue depths, byte totals) sums.
+func lagKey(k string) bool {
+	return strings.Contains(k, "_lag") || strings.Contains(k, "_age_")
+}
+
+// MergedStats aggregates every shard's wire Stats into one deployment
+// view: keys measuring lag take the max over shards, everything else
+// sums, and the router's own registry (request counters, table version,
+// per-shard up gauges) overlays on top. A shard that cannot answer is
+// skipped and reported down via instantdb_router_shard_up — stats never
+// block on a partitioned shard beyond its dial timeout.
+func (r *Router) MergedStats(ctx context.Context) []wire.Stat {
+	t := r.currentTable()
+	merged := make(map[string]float64)
+	up := make(map[string]float64, len(t.Shards))
+	var maxLag float64
+	for _, info := range t.Shards {
+		stats, err := r.shardStats(ctx, info)
+		if err != nil {
+			r.logf("stats %s (%s): %v", info.Name, info.Addr, err)
+			up[info.Name] = 0
+			continue
+		}
+		up[info.Name] = 1
+		for k, v := range stats {
+			if lagKey(k) {
+				if v > merged[k] {
+					merged[k] = v
+				}
+				if strings.HasPrefix(k, "instantdb_degrade_lag_seconds") && v > maxLag {
+					maxLag = v
+				}
+			} else {
+				merged[k] += v
+			}
+		}
+	}
+	r.statsMu.Lock()
+	r.shardUp = up
+	r.maxLag = maxLag
+	r.statsMu.Unlock()
+	for _, s := range r.reg.Snapshot() {
+		merged[s.Key] = s.Value
+	}
+	out := make([]wire.Stat, 0, len(merged))
+	for k, v := range merged {
+		out = append(out, wire.Stat{Key: k, Value: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// shardStats fetches one shard's stats on a fresh short-lived connection
+// (session conns belong to client sessions; stats must not contend with
+// them).
+func (r *Router) shardStats(ctx context.Context, info Info) (map[string]float64, error) {
+	ctx, cancel := context.WithTimeout(ctx, r.opts.DialTimeout)
+	defer cancel()
+	c, err := client.Dial(ctx, info.Addr, client.WithMaxFrame(r.opts.MaxFrame))
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	// Stats replies can be slow only if the shard is; bound the read so a
+	// half-dead shard cannot stall the whole rollup.
+	sctx, scancel := context.WithTimeout(ctx, 2*time.Second)
+	defer scancel()
+	return c.Stats(sctx)
+}

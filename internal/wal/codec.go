@@ -7,6 +7,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"sync"
 	"time"
@@ -376,6 +377,34 @@ func (ks *KeyStore) SizeBytes() int64 {
 	ks.mu.Lock()
 	defer ks.mu.Unlock()
 	return ks.size
+}
+
+// ExportTo writes the key file's current contents to w, holding the
+// store lock so no shred or compaction interleaves with the copy. The
+// snapshot a shard bootstrap restores against carries exactly the keys
+// live at export time: anything shredded earlier is absent and its
+// payloads restore as erased.
+func (ks *KeyStore) ExportTo(w io.Writer) (int64, error) {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	var written int64
+	buf := make([]byte, 64<<10)
+	for off := int64(0); off < ks.size; {
+		n := int64(len(buf))
+		if ks.size-off < n {
+			n = ks.size - off
+		}
+		if _, err := ks.f.ReadAt(buf[:n], off); err != nil {
+			return written, fmt.Errorf("wal: keystore export read: %w", err)
+		}
+		m, err := w.Write(buf[:n])
+		written += int64(m)
+		if err != nil {
+			return written, err
+		}
+		off += n
+	}
+	return written, nil
 }
 
 // Close closes the key file.

@@ -94,6 +94,29 @@ const (
 	// OpReplSchema frame and then streams OpReplBatch/OpReplHeartbeat
 	// frames until either side closes. The follower sends nothing more.
 	OpReplHello byte = 0x10
+	// OpShardCheck pins the routing-table version a shard router is about
+	// to serve this shard under (EncodeShardCheck payload). The server
+	// persists the highest version it has seen and answers
+	// OpShardCheckReply with the previously stored version; presenting a
+	// version OLDER than the stored one draws a fatal CodeShardStale
+	// error — a router restarted with a stale routing table fails loud
+	// instead of silently misrouting keys. A deliberate new opcode rather
+	// than a Hello field: old servers reject unknown opcodes with
+	// CodeProtocol, so a new router against an unsharded server also
+	// fails loud.
+	OpShardCheck byte = 0x11
+	// OpKeyExport streams the server's epoch key store (empty payload) as
+	// a sequence of OpBackupChunk frames terminated by OpBackupDone. A
+	// shard bootstrap needs the source's live epoch keys to restore its
+	// backup with payloads intact; keys already shredded at export time
+	// are gone from the stream, so expired material restores as erased.
+	// The stream carries raw key material — the same trust level the
+	// replication stream already operates at.
+	OpKeyExport byte = 0x12
+	// OpSchema requests the server's full catalog DDL script (empty
+	// payload); the server answers OpSchemaReply. The shard router uses
+	// it to mirror table shapes (primary keys, columns) for routing.
+	OpSchema byte = 0x13
 )
 
 // Response opcodes (server → client).
@@ -110,6 +133,13 @@ const (
 	// OpStatsReply answers OpStats (EncodeStats payload: a sorted list
 	// of metric samples).
 	OpStatsReply byte = 0x84
+	// OpShardCheckReply answers OpShardCheck (EncodeShardCheckReply
+	// payload: the routing-table version the shard had stored before this
+	// check).
+	OpShardCheckReply byte = 0x85
+	// OpSchemaReply answers OpSchema; the payload is the raw catalog DDL
+	// script (the same append-only script replication streams ship).
+	OpSchemaReply byte = 0x86
 	// OpPong answers OpPing.
 	OpPong byte = 0x88
 	// OpReplBatch carries one replicated commit batch (EncodeReplBatch
@@ -167,6 +197,11 @@ const (
 	// longer exists (checkpointed away) so the follower must be reseeded
 	// from a storage copy. Fatal.
 	CodeReplUnavailable uint16 = 9
+	// CodeShardStale rejects an OpShardCheck presenting a routing-table
+	// version older than the one this shard has already served under. A
+	// router holding a stale table must reload it, not route with it.
+	// Fatal.
+	CodeShardStale uint16 = 10
 )
 
 // ErrFrameTooLarge is returned by ReadFrame when the length prefix
@@ -197,6 +232,9 @@ var (
 	// ErrReplUnavailable matches CodeReplUnavailable (replication
 	// unsupported here, or the requested position was checkpointed away).
 	ErrReplUnavailable = errors.New("wire: replication unavailable")
+	// ErrShardStale matches CodeShardStale (router presented a
+	// routing-table version older than the shard has already seen).
+	ErrShardStale = errors.New("wire: routing table stale")
 )
 
 // WriteFrame writes one frame as a single Write call, so concurrent
@@ -298,7 +336,7 @@ func (e *Error) Error() string { return e.Msg }
 func (e *Error) Fatal() bool {
 	return e.Code == CodeProtocol || e.Code == CodeFrameTooLarge ||
 		e.Code == CodeServerBusy || e.Code == CodeShutdown ||
-		e.Code == CodeReplUnavailable
+		e.Code == CodeReplUnavailable || e.Code == CodeShardStale
 }
 
 // Is maps the error code onto the package's sentinel errors, so
@@ -321,6 +359,8 @@ func (e *Error) Is(target error) bool {
 		return e.Code == CodeReadOnlyReplica
 	case ErrReplUnavailable:
 		return e.Code == CodeReplUnavailable
+	case ErrShardStale:
+		return e.Code == CodeShardStale
 	}
 	return false
 }
@@ -787,6 +827,42 @@ func DecodeStats(p []byte) ([]Stat, error) {
 		return nil, fmt.Errorf("wire: stats payload has %d trailing bytes", len(p))
 	}
 	return stats, nil
+}
+
+// EncodeShardCheck serializes an OpShardCheck payload: the routing-table
+// version the router is serving this shard under.
+func EncodeShardCheck(version uint64) []byte {
+	return binary.AppendUvarint(nil, version)
+}
+
+// DecodeShardCheck parses an OpShardCheck payload.
+func DecodeShardCheck(p []byte) (uint64, error) {
+	v, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, fmt.Errorf("wire: shard-check version")
+	}
+	if n != len(p) {
+		return 0, fmt.Errorf("wire: shard-check has %d trailing bytes", len(p)-n)
+	}
+	return v, nil
+}
+
+// EncodeShardCheckReply serializes an OpShardCheckReply payload: the
+// routing-table version the shard had stored before this check.
+func EncodeShardCheckReply(stored uint64) []byte {
+	return binary.AppendUvarint(nil, stored)
+}
+
+// DecodeShardCheckReply parses an OpShardCheckReply payload.
+func DecodeShardCheckReply(p []byte) (uint64, error) {
+	v, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, fmt.Errorf("wire: shard-check reply version")
+	}
+	if n != len(p) {
+		return 0, fmt.Errorf("wire: shard-check reply has %d trailing bytes", len(p)-n)
+	}
+	return v, nil
 }
 
 // appendString appends a uvarint-length-prefixed string.

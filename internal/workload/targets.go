@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"instantdb/client"
+	"instantdb/internal/value"
+)
+
+// Targets drives a workload against one or more wire endpoints,
+// spreading operations round-robin over one session per endpoint. The
+// endpoints must be equivalent views of the same deployment — several
+// router front ends over one sharded cluster, or a single server — so
+// that any operation is correct on any of them. Pointing Targets at raw
+// shards directly would misroute keyed writes; routing is the router's
+// job, this type only balances sessions.
+type Targets struct {
+	mu    sync.Mutex
+	conns []*client.Conn
+	next  int
+}
+
+// DialTargets opens one session per address, all with the same options.
+func DialTargets(ctx context.Context, addrs []string, opts ...client.Option) (*Targets, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("workload: no target endpoints")
+	}
+	t := &Targets{}
+	for _, addr := range addrs {
+		c, err := client.Dial(ctx, addr, opts...)
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("workload: dial target %s: %w", addr, err)
+		}
+		t.conns = append(t.conns, c)
+	}
+	return t, nil
+}
+
+// Len is the number of endpoints.
+func (t *Targets) Len() int { return len(t.conns) }
+
+// pick returns the next session round-robin.
+func (t *Targets) pick() *client.Conn {
+	t.mu.Lock()
+	c := t.conns[t.next%len(t.conns)]
+	t.next++
+	t.mu.Unlock()
+	return c
+}
+
+// Exec runs one statement on the next endpoint round-robin.
+func (t *Targets) Exec(ctx context.Context, sql string, args ...value.Value) (*client.Result, error) {
+	return t.pick().Exec(ctx, sql, args...)
+}
+
+// Query runs one query on the next endpoint round-robin.
+func (t *Targets) Query(ctx context.Context, sql string, args ...value.Value) (*client.Rows, error) {
+	return t.pick().Query(ctx, sql, args...)
+}
+
+// Close closes every session, keeping the first error.
+func (t *Targets) Close() error {
+	var first error
+	for _, c := range t.conns {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	t.conns = nil
+	return first
+}
