@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check doc-check md-check fuzz bench bench-json bench-shard shard-smoke metrics-smoke serve clean
+.PHONY: build test race vet fmt-check doc-check md-check fuzz fuzz-wal bench bench-json bench-shard bench-groupcommit shard-smoke metrics-smoke groupcommit-smoke serve clean
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,11 @@ md-check:
 fuzz:
 	$(GO) test ./internal/query -run '^$$' -fuzz FuzzParse -fuzztime 30s
 
+# fuzz-wal hammers the WAL batch-payload decoder (replication and
+# recovery both feed it bytes from outside the process).
+fuzz-wal:
+	$(GO) test ./internal/wal -run '^$$' -fuzz FuzzDecodeRecords -fuzztime 30s
+
 bench:
 	$(GO) test ./... -run '^$$' -bench . -benchmem
 
@@ -44,6 +49,18 @@ bench-json:
 # router, 1-shard vs 3-shard.
 bench-shard:
 	$(GO) run ./cmd/benchrunner -exp SHARD -benchjson BENCH_PR7.json
+
+# bench-groupcommit regenerates the committed group-commit reference
+# (BENCH_PR8.json): durable commits/sec and fsyncs/commit at 1/8/32
+# sessions, per-batch fsync vs group commit.
+bench-groupcommit:
+	$(GO) run ./cmd/benchrunner -exp GROUPCOMMIT -n 4000 -rounds 3 -benchjson BENCH_PR8.json
+
+# groupcommit-smoke runs the group-commit and crash-injection suites
+# under the race detector: fsync amortization, durability across
+# injected power cuts, and byte-stability of the WAL stream.
+groupcommit-smoke:
+	$(GO) test -race -v -run 'TestGroupCommit|TestGroupAppend|TestCrash|TestEngineCrash|TestKillDrops|TestNoGroupCommit|TestReplicationGroupCommit|TestIncrementalByteStable' ./internal/wal ./internal/engine ./internal/repl ./internal/backup
 
 # shard-smoke is the sharding E2E under the race detector: router
 # routing and scatter-gather, the partitioned-shard deadline guarantee

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	benchrunner [-exp all|F1|F2|F3|E1|E2|E3|BSTORE|BLOG|BIDX|BTXN|BREC|METRICS|SHARD]
+//	benchrunner [-exp all|F1|F2|F3|E1|E2|E3|BSTORE|BLOG|BIDX|BTXN|BREC|METRICS|SHARD|GROUPCOMMIT]
 //	            [-n tuples] [-quick] [-benchjson out.json]
 //
 // The METRICS experiment measures the observability layer's overhead on
@@ -18,8 +18,14 @@
 // throughput through the router on a 1-shard vs a 3-shard deployment
 // (the 3-shard side runs two router front ends, driven round-robin).
 // With -benchjson it records the ns/op and ops/sec per phase and side
-// (the committed reference is BENCH_PR7.json). -benchjson applies to
-// whichever of METRICS/SHARD runs; use it with a single -exp.
+// (the committed reference is BENCH_PR7.json).
+//
+// The GROUPCOMMIT experiment measures durable commit throughput and
+// fsyncs per commit at 1/8/32 concurrent sessions, per-batch fsync
+// (-wal-no-group-commit) vs group commit (the committed reference is
+// BENCH_PR8.json; the PR 8 bar is >=2x commits/sec at 32 sessions with
+// <0.5 fsyncs/commit). -benchjson applies to whichever of
+// METRICS/SHARD/GROUPCOMMIT runs; use it with a single -exp.
 package main
 
 import (
@@ -33,7 +39,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (all, F1, F2, F3, E1, E2, E3, BSTORE, BLOG, BIDX, BTXN, BREC, METRICS, SHARD)")
+	exp := flag.String("exp", "all", "experiment id (all, F1, F2, F3, E1, E2, E3, BSTORE, BLOG, BIDX, BTXN, BREC, METRICS, SHARD, GROUPCOMMIT)")
 	benchJSON := flag.String("benchjson", "", "write the METRICS or SHARD result to this JSON file")
 	rounds := flag.Int("rounds", 3, "alternating measurement rounds per side for METRICS")
 	n := flag.Int("n", 2000, "workload size (tuples)")
@@ -89,6 +95,19 @@ func main() {
 	})
 	run("SHARD", func() error {
 		res, err := experiments.RunShard(w, *n/4, *n/40)
+		if err != nil {
+			return err
+		}
+		if *benchJSON != "" {
+			if err := res.WriteJSON(*benchJSON); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "wrote %s\n", *benchJSON)
+		}
+		return nil
+	})
+	run("GROUPCOMMIT", func() error {
+		res, err := experiments.RunGroupCommit(w, *n/2, *rounds)
 		if err != nil {
 			return err
 		}

@@ -105,6 +105,22 @@ type Config struct {
 	WALSync *bool
 	// SegmentBytes is the WAL rotation threshold.
 	SegmentBytes int64
+	// NoGroupCommit disables WAL group commit for user transactions:
+	// every commit batch pays its own fsync under the commit mutex, as
+	// before PR 8. The default (group commit on) lets concurrent
+	// committers share one fsync; benchmarks use this switch as the
+	// per-batch-fsync baseline.
+	NoGroupCommit bool
+	// GroupWindow stretches WAL commit groups: the group leader waits
+	// this long before collecting queued batches (0 = natural batching
+	// only; see wal.Options.GroupWindow).
+	GroupWindow time.Duration
+	// GroupMaxBytes caps the payload bytes per group fsync (0 = 1 MiB).
+	GroupMaxBytes int64
+	// WALOpenSegment is a testing hook forwarded to
+	// wal.Options.OpenSegment — the crash-injection harness installs a
+	// fault-point file layer here. Production leaves it nil.
+	WALOpenSegment func(path string) (wal.SegmentFile, error)
 	// LockTimeout bounds lock waits (default 200ms).
 	LockTimeout time.Duration
 	// Degrade tunes the degradation engine.
@@ -145,16 +161,28 @@ type DB struct {
 	reg    *metrics.Registry
 	met    dbMetrics
 
-	mu        sync.Mutex   // serializes commits, DDL and checkpoints
-	idxMu     sync.RWMutex // guards indexes/byTable for lock-free readers
-	indexes   map[string]*indexInst
-	byTable   map[uint32][]*indexInst
-	commits   int
-	ddlFile   *os.File
-	lastVac   time.Time
-	closed    bool
-	failed    bool // a durably logged batch did not apply; commits fenced
-	replaying bool
+	// commitGate fences the phased group-commit path: user committers
+	// hold it shared from PK reservation through apply, so holders of
+	// the exclusive side (BackupPin, Checkpoint, Close) never observe a
+	// batch that is appended to the WAL but not yet applied/published.
+	// Lock order: commitGate before mu; never acquire commitGate while
+	// holding mu.
+	commitGate sync.RWMutex
+	mu         sync.Mutex   // serializes commits, DDL and checkpoints
+	idxMu      sync.RWMutex // guards indexes/byTable for lock-free readers
+	indexes    map[string]*indexInst
+	byTable    map[uint32][]*indexInst
+	// reservedPKs holds the primary keys of inserts currently between
+	// group-commit admission and apply (under mu): the authoritative
+	// uniqueness check runs before the WAL append, the pk index is
+	// updated only at apply, and this set closes the window in between.
+	reservedPKs map[string]struct{}
+	commits     int
+	ddlFile     *os.File
+	lastVac     time.Time
+	closed      bool
+	failed      bool // a durably logged batch did not apply; commits fenced
+	replaying   bool
 	// ddlApplied counts catalog.sql statements applied, in order — the
 	// replication schema stream resumes at this index.
 	ddlApplied int
@@ -185,14 +213,15 @@ func Open(cfg Config) (*DB, error) {
 		cfg.VacuumEvery = time.Hour
 	}
 	db := &DB{
-		cfg:     cfg,
-		cat:     catalog.New(),
-		locks:   txn.NewLockManager(cfg.LockTimeout),
-		ids:     &txn.IDSource{},
-		epochs:  txn.NewEpochSource(),
-		clock:   cfg.Clock,
-		indexes: make(map[string]*indexInst),
-		byTable: make(map[uint32][]*indexInst),
+		cfg:         cfg,
+		cat:         catalog.New(),
+		locks:       txn.NewLockManager(cfg.LockTimeout),
+		ids:         &txn.IDSource{},
+		epochs:      txn.NewEpochSource(),
+		clock:       cfg.Clock,
+		indexes:     make(map[string]*indexInst),
+		byTable:     make(map[uint32][]*indexInst),
+		reservedPKs: make(map[string]struct{}),
 	}
 	if !cfg.NoMetrics {
 		db.reg = metrics.NewRegistry()
@@ -233,7 +262,9 @@ func Open(cfg Config) (*DB, error) {
 		}
 		l, err := wal.Open(filepath.Join(cfg.Dir, "wal"), wal.Options{
 			Sync: sync, Codec: codec, SegmentBytes: cfg.SegmentBytes,
-			Metrics: db.reg,
+			Metrics:     db.reg,
+			GroupWindow: cfg.GroupWindow, GroupMaxBytes: cfg.GroupMaxBytes,
+			OpenSegment: cfg.WALOpenSegment,
 		})
 		if err != nil {
 			return nil, err
@@ -371,6 +402,12 @@ func (db *DB) WALCodec() wal.Codec {
 // exactly once. Ephemeral databases have nothing durable to archive and
 // are refused.
 func (db *DB) BackupPin() (epoch uint64, pos wal.Pos, release func(), err error) {
+	// The exclusive gate drains in-flight group commits first: without
+	// it, a batch appended (before pos) but published after the epoch
+	// snapshot would be missed by the full backup AND by the
+	// incremental tail from pos.
+	db.commitGate.Lock()
+	defer db.commitGate.Unlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
@@ -512,76 +549,258 @@ func (db *DB) ApplyReplicated(recs []*wal.Record, next wal.Pos) error {
 		return errors.New("engine: ApplyReplicated on a non-replica database")
 	}
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	batch := make([]*wal.Record, 0, len(recs)+1)
 	for _, r := range recs {
 		if r.Type == wal.RecReplMark {
 			continue // upstream marks address the wrong log; ours follows
 		}
 		if _, err := db.cat.TableByID(r.Table); err != nil {
+			db.mu.Unlock()
 			return fmt.Errorf("engine: replicated batch references unknown table %d (DDL behind?): %w", r.Table, err)
 		}
 		batch = append(batch, r)
 	}
 	batch = append(batch, &wal.Record{Type: wal.RecReplMark, ReplSeg: next.Seg, ReplOff: next.Off})
 	db.applyingRepl = true
-	defer func() { db.applyingRepl = false }()
-	return db.commitLocked(batch)
+	due, err := db.commitLocked(batch)
+	db.applyingRepl = false
+	db.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if due {
+		return db.Checkpoint()
+	}
+	return nil
 }
 
 // commitSystem is the degrade.Committer: durable append then apply.
 func (db *DB) commitSystem(recs []*wal.Record) error {
 	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.commitLocked(recs)
+	due, err := db.commitLocked(recs)
+	db.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if due {
+		return db.Checkpoint()
+	}
+	return nil
 }
 
-func (db *DB) commitLocked(recs []*wal.Record) error {
+// commitUser commits one user transaction batch: the authoritative
+// primary-key check, then durable append, apply and publish. Durable
+// databases route the append through the WAL's group committer — the
+// fsync is shared with every concurrently committing session — which
+// requires splitting the old single-mutex critical section into phases:
+//
+//  1. Admission (under mu): closed/failed fences, the PK uniqueness
+//     check, and reservation of the batch's insert PKs so a concurrent
+//     same-key insert cannot pass its own check while this one is
+//     between append and apply.
+//  2. Encode (no locks): record encoding and payload sealing — the
+//     crypto leaves the commit mutex.
+//  3. Durable append (no locks): wal.GroupAppend blocks until this
+//     batch's group fsync completes.
+//  4. Apply + publish (under mu): storage/index apply, epoch
+//     publication — visibility strictly after durability, exactly as
+//     before.
+//
+// The whole span holds commitGate shared, so BackupPin/Checkpoint (the
+// exclusive holders) never see an appended-but-unapplied batch. The
+// caller still holds the transaction's 2PL locks until commitUser
+// returns, so concurrent batches never conflict on rows and the WAL
+// append order may safely differ from the apply order.
+func (db *DB) commitUser(recs []*wal.Record) error {
+	if db.log == nil || db.cfg.NoGroupCommit {
+		// Ephemeral databases have no fsync to amortize; NoGroupCommit
+		// keeps the pre-group single-mutex path as a baseline.
+		db.mu.Lock()
+		var due bool
+		err := db.checkUniqueLocked(recs)
+		if err == nil {
+			due, err = db.commitLocked(recs)
+		}
+		db.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		if due {
+			return db.Checkpoint()
+		}
+		return nil
+	}
+
+	db.commitGate.RLock()
+	// Phase 1: admission.
+	db.mu.Lock()
+	if err := db.commitFenceLocked(); err != nil {
+		db.mu.Unlock()
+		db.commitGate.RUnlock()
+		return err
+	}
+	if err := db.checkUniqueLocked(recs); err != nil {
+		db.mu.Unlock()
+		db.commitGate.RUnlock()
+		return err
+	}
+	keys, err := db.reservePKsLocked(recs)
+	if err != nil {
+		db.mu.Unlock()
+		db.commitGate.RUnlock()
+		return err
+	}
+	db.mu.Unlock()
+
+	// Phase 2: encode.
+	payload, err := wal.EncodeRecords(nil, recs, db.codec)
+	if err == nil {
+		// Phase 3: durable group append.
+		_, err = db.log.GroupAppend(payload)
+	}
+	if err != nil {
+		db.releasePKs(keys)
+		db.commitGate.RUnlock()
+		return err
+	}
+
+	// Phase 4: apply + publish.
+	db.mu.Lock()
+	var due bool
+	err = db.commitFenceLocked()
+	if err == nil {
+		due, err = db.applyCommittedLocked(recs)
+	}
+	for _, k := range keys {
+		delete(db.reservedPKs, k)
+	}
+	db.mu.Unlock()
+	db.commitGate.RUnlock()
+	if err != nil {
+		return err
+	}
+	if due {
+		return db.Checkpoint()
+	}
+	return nil
+}
+
+// commitFenceLocked refuses commits on a closed or failed database.
+func (db *DB) commitFenceLocked() error {
 	if db.closed {
 		return errors.New("engine: database closed")
 	}
 	if db.failed {
 		return errors.New("engine: database failed: a committed batch did not fully apply; reopen to replay the WAL (ephemeral databases cannot recover)")
 	}
-	// Stamp this batch's writes with a freshly allocated snapshot
-	// epoch; it is published (made visible to new snapshots) only after
-	// every record has applied, so readers observe commit batches
-	// atomically — except deletes, which take effect at apply: a
-	// deleted tuple's version chain is scrubbed immediately (deletion
-	// is enforcement-grade, never deferred for readers), so a racing
-	// snapshot can see a batch's delete before its other writes
-	// (DESIGN.md, Visibility rules). A mid-batch apply failure leaves
-	// its epoch allocated
-	// but unpublished and fences all further commits (db.failed): the
-	// torn writes stay invisible to snapshots — no later batch can
-	// publish past them. For durable databases, reopening replays the
-	// WAL, which completes the batch and heals the tear; an ephemeral
-	// database has no log to replay and stays fenced for its lifetime.
-	epoch := db.epochs.Next()
-	db.mgr.SetStampEpoch(epoch, db.epochs.OldestActive())
+	return nil
+}
+
+// reservePKsLocked reserves the batch's insert primary keys against
+// concurrent in-flight commits (caller holds mu and has already passed
+// checkUniqueLocked). On conflict nothing stays reserved.
+func (db *DB) reservePKsLocked(recs []*wal.Record) ([]string, error) {
+	var keys []string
+	for _, r := range recs {
+		if r.Type != wal.RecInsert {
+			continue
+		}
+		tbl, err := db.cat.TableByID(r.Table)
+		if err != nil || tbl.PrimaryKey < 0 {
+			continue
+		}
+		if _, ok := db.indexes["pk_"+tbl.Name]; !ok {
+			continue
+		}
+		pk := r.StableRow[tbl.PrimaryKey]
+		key := pkKey(r.Table, pk)
+		if _, busy := db.reservedPKs[key]; busy {
+			for _, k := range keys {
+				delete(db.reservedPKs, k)
+			}
+			return nil, fmt.Errorf("%w: %s=%v", ErrDuplicateKey, tbl.Columns[tbl.PrimaryKey].Name, pk)
+		}
+		db.reservedPKs[key] = struct{}{}
+		keys = append(keys, key)
+	}
+	return keys, nil
+}
+
+// releasePKs drops reservations (error paths; the success path clears
+// them under the mu hold of phase 4).
+func (db *DB) releasePKs(keys []string) {
+	if len(keys) == 0 {
+		return
+	}
+	db.mu.Lock()
+	for _, k := range keys {
+		delete(db.reservedPKs, k)
+	}
+	db.mu.Unlock()
+}
+
+// pkKey builds the reservation/uniqueness key for one insert PK.
+func pkKey(tableID uint32, pk value.Value) string {
+	return string(append([]byte{byte(tableID)}, value.Encode(nil, pk)...))
+}
+
+// commitLocked is the single-mutex commit path (system commits from the
+// degradation engine, replicated batches, ephemeral and NoGroupCommit
+// databases): durable append then apply, all under mu. It returns
+// whether a checkpoint is due; the CALLER runs it after releasing mu —
+// Checkpoint needs the exclusive commitGate, which must never be
+// acquired while holding mu.
+func (db *DB) commitLocked(recs []*wal.Record) (checkpointDue bool, err error) {
+	if err := db.commitFenceLocked(); err != nil {
+		return false, err
+	}
 	if db.log != nil {
 		if err := db.log.Append(recs); err != nil {
-			return err
+			return false, err
 		}
 	}
+	return db.applyCommittedLocked(recs)
+}
+
+// applyCommittedLocked applies a batch whose bytes are already durable
+// in the WAL, then publishes its epoch. Caller holds mu.
+//
+// The batch's writes are stamped with a freshly allocated snapshot
+// epoch; it is published (made visible to new snapshots) only after
+// every record has applied, so readers observe commit batches
+// atomically — except deletes, which take effect at apply: a deleted
+// tuple's version chain is scrubbed immediately (deletion is
+// enforcement-grade, never deferred for readers), so a racing snapshot
+// can see a batch's delete before its other writes (DESIGN.md,
+// Visibility rules). A mid-batch apply failure leaves its epoch
+// allocated but unpublished and fences all further commits (db.failed):
+// the torn writes stay invisible to snapshots — no later batch can
+// publish past them. For durable databases, reopening replays the WAL,
+// which completes the batch and heals the tear; an ephemeral database
+// has no log to replay and stays fenced for its lifetime.
+func (db *DB) applyCommittedLocked(recs []*wal.Record) (checkpointDue bool, err error) {
+	epoch := db.epochs.Next()
+	db.mgr.SetStampEpoch(epoch, db.epochs.OldestActive())
 	for _, r := range recs {
 		if err := db.applyRecord(r, true); err != nil {
 			// Apply failures after a durable append are unrecoverable
 			// in-process: fence commits and surface loudly.
 			db.failed = true
-			return fmt.Errorf("engine: apply after append: %w", err)
+			return false, fmt.Errorf("engine: apply after append: %w", err)
 		}
 	}
 	db.epochs.Publish(epoch)
 	db.commits++
-	if db.cfg.CheckpointEvery > 0 && db.commits%db.cfg.CheckpointEvery == 0 {
-		return db.checkpointLocked()
-	}
-	return nil
+	return db.cfg.CheckpointEvery > 0 && db.commits%db.cfg.CheckpointEvery == 0, nil
 }
 
-// Checkpoint makes the page store durable and truncates (scrubs) the log.
+// Checkpoint makes the page store durable and truncates (scrubs) the
+// log. The exclusive commitGate drains in-flight group commits first: a
+// batch appended but not yet applied would otherwise be scrubbed from
+// the log before the page store captured its writes.
 func (db *DB) Checkpoint() error {
+	db.commitGate.Lock()
+	defer db.commitGate.Unlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	return db.checkpointLocked()
@@ -659,9 +878,13 @@ func (db *DB) RegisterPredicate(name string, p degrade.Predicate) {
 	db.deg.RegisterPredicate(name, p)
 }
 
-// Close stops background work and closes every file.
+// Close stops background work and closes every file. The exclusive
+// commitGate drains in-flight group commits so no committer is left
+// between its durable append and its apply when the files go away.
 func (db *DB) Close() error {
 	db.deg.Stop()
+	db.commitGate.Lock()
+	defer db.commitGate.Unlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {

@@ -367,13 +367,11 @@ func (c *Conn) commitTx() error {
 	if len(tx.recs) == 0 {
 		return nil
 	}
-	c.db.mu.Lock()
-	defer c.db.mu.Unlock()
-	// Authoritative primary-key check under the commit mutex.
-	if err := c.db.checkUniqueLocked(tx.recs); err != nil {
-		return err
-	}
-	return c.db.commitLocked(tx.recs)
+	// commitUser runs the authoritative primary-key check and then the
+	// group-commit path: the transaction's 2PL locks (released by the
+	// defer above, after durability and apply) keep concurrent batches
+	// disjoint while their WAL appends interleave.
+	return c.db.commitUser(tx.recs)
 }
 
 // rollbackTx discards the write set and releases locks (or, for a

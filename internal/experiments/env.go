@@ -62,6 +62,11 @@ type EnvOptions struct {
 	// NoMetrics opens the database without a metrics registry (the
 	// baseline side of the instrumentation-overhead benchmark).
 	NoMetrics bool
+	// NoGroupCommit forces one fsync per commit batch (the baseline
+	// side of the group-commit benchmark). Applies when Dir is set.
+	NoGroupCommit bool
+	// GroupWindow stretches the group-commit leader's gathering window.
+	GroupWindow time.Duration
 	// Seed for the person generator.
 	Seed int64
 }
@@ -94,10 +99,12 @@ func NewEnv(opts EnvOptions) (*Env, error) {
 	opts = opts.withDefaults()
 	clock := vclock.NewSimulated(vclock.Epoch)
 	cfg := engine.Config{
-		Clock:     clock,
-		Dir:       opts.Dir,
-		LogMode:   opts.LogMode,
-		NoMetrics: opts.NoMetrics,
+		Clock:         clock,
+		Dir:           opts.Dir,
+		LogMode:       opts.LogMode,
+		NoMetrics:     opts.NoMetrics,
+		NoGroupCommit: opts.NoGroupCommit,
+		GroupWindow:   opts.GroupWindow,
 	}
 	cfg.Degrade.BatchSize = opts.DegradeBatch
 	db, err := engine.Open(cfg)

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// GroupCommitSide is one measured configuration (per-batch fsync or
+// group commit) at one concurrency level: durable autocommit inserts
+// through the full SQL session path against an on-disk WAL.
+type GroupCommitSide struct {
+	CommitsPerSec   float64 `json:"commits_per_sec"`
+	FsyncsPerCommit float64 `json:"fsyncs_per_commit"`
+}
+
+// GroupCommitLevel pairs the two sides at one session count with the
+// throughput ratio (group over baseline).
+type GroupCommitLevel struct {
+	Sessions int             `json:"sessions"`
+	Baseline GroupCommitSide `json:"baseline"`
+	Group    GroupCommitSide `json:"group"`
+	SpeedupX float64         `json:"speedup_x"`
+}
+
+// GroupCommitResult is the BENCH_PR8.json payload: durable commit
+// throughput and fsyncs per commit at 1/8/32 concurrent sessions, with
+// per-batch fsync (-wal-no-group-commit) as the baseline. The PR 8
+// acceptance bar is >=2x commits/sec at 32 sessions with fewer than 0.5
+// fsyncs per commit.
+type GroupCommitResult struct {
+	CommitsPerLevel int                `json:"commits_per_level"`
+	Rounds          int                `json:"rounds"`
+	Levels          []GroupCommitLevel `json:"levels"`
+}
+
+// groupCommitRound measures one (sessions, side) cell on a fresh durable
+// database: total inserts split evenly across the sessions, each session
+// a goroutine issuing single-row autocommit inserts. It returns the
+// achieved commits/sec and fsyncs/commit read off the WAL counters.
+func groupCommitRound(sessions, total int, noGroup bool) (cps, fpc float64, err error) {
+	dir, err := os.MkdirTemp("", "instantdb-groupcommit-*")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer os.RemoveAll(dir)
+	env, err := NewEnv(EnvOptions{Dir: dir, NoGroupCommit: noGroup})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer env.Close()
+
+	per := total / sessions
+	if per < 1 {
+		per = 1
+	}
+	stmts := make([][]string, sessions)
+	for s := range stmts {
+		stmts[s] = make([]string, per)
+		for i := range stmts[s] {
+			p := env.Gen.Next()
+			stmts[s][i] = fmt.Sprintf(
+				"INSERT INTO person (id, name, location, salary) VALUES (%d, '%s', '%s', %d)",
+				p.ID+IDOffset, p.Name, p.Address, p.Salary)
+		}
+	}
+
+	f0 := env.DB.Log().FsyncCount()
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, sessions)
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			conn := env.DB.NewConn()
+			for _, stmt := range stmts[s] {
+				if _, err := conn.Exec(stmt); err != nil {
+					errs[s] = err
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	commits := sessions * per
+	cps = float64(commits) / elapsed.Seconds()
+	fpc = float64(env.DB.Log().FsyncCount()-f0) / float64(commits)
+	return cps, fpc, nil
+}
+
+// RunGroupCommit measures experiment GROUPCOMMIT: per-batch fsync vs
+// group commit at 1, 8, and 32 concurrent sessions, best of rounds
+// alternating rounds per cell (alternating sides keeps disk and CPU
+// state comparable). Single-session group commit is the honesty check —
+// with nobody to share the fsync, it must cost roughly the baseline.
+func RunGroupCommit(w io.Writer, total, rounds int) (*GroupCommitResult, error) {
+	fmt.Fprintln(w, "== GROUPCOMMIT: durable commit throughput, per-batch fsync vs group commit ==")
+	if rounds < 1 {
+		rounds = 1
+	}
+	res := &GroupCommitResult{CommitsPerLevel: total, Rounds: rounds}
+	fmt.Fprintf(w, "%-9s %16s %16s %9s %14s %14s\n",
+		"sessions", "base commits/s", "group commits/s", "speedup", "base fsy/cmt", "group fsy/cmt")
+	for _, sessions := range []int{1, 8, 32} {
+		var lvl GroupCommitLevel
+		lvl.Sessions = sessions
+		for r := 0; r < rounds; r++ {
+			for _, noGroup := range []bool{true, false} {
+				cps, fpc, err := groupCommitRound(sessions, total, noGroup)
+				if err != nil {
+					return nil, err
+				}
+				side := &lvl.Group
+				if noGroup {
+					side = &lvl.Baseline
+				}
+				if cps > side.CommitsPerSec {
+					side.CommitsPerSec = cps
+					side.FsyncsPerCommit = fpc
+				}
+			}
+		}
+		if lvl.Baseline.CommitsPerSec > 0 {
+			lvl.SpeedupX = lvl.Group.CommitsPerSec / lvl.Baseline.CommitsPerSec
+		}
+		res.Levels = append(res.Levels, lvl)
+		fmt.Fprintf(w, "%-9d %16.0f %16.0f %8.2fx %14.3f %14.3f\n",
+			sessions, lvl.Baseline.CommitsPerSec, lvl.Group.CommitsPerSec, lvl.SpeedupX,
+			lvl.Baseline.FsyncsPerCommit, lvl.Group.FsyncsPerCommit)
+	}
+	return res, nil
+}
+
+// WriteJSON writes the result to path, pretty-printed, 0o644.
+func (r *GroupCommitResult) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

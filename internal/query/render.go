@@ -1,0 +1,224 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"instantdb/internal/value"
+)
+
+// RenderSelect prints a Select back to SQL the parser round-trips. The
+// shard router uses it to rewrite statements (e.g. AVG into SUM+COUNT
+// partials) before fanning them out, so the output must stay within
+// this dialect: every literal renders in a form the lexer accepts
+// (floats always carry a decimal point — there is no exponent notation
+// — and strings escape quotes by doubling). Placeholders are refused:
+// rewritten statements ship with their arguments already bound.
+func RenderSelect(s *Select) (string, error) {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if err := renderItem(&b, it); err != nil {
+			return "", err
+		}
+	}
+	b.WriteString(" FROM ")
+	b.WriteString(s.Table)
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		if err := renderExpr(&b, s.Where); err != nil {
+			return "", err
+		}
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			renderCol(&b, &g)
+		}
+	}
+	for i, ob := range s.Order {
+		if i == 0 {
+			b.WriteString(" ORDER BY ")
+		} else {
+			b.WriteString(", ")
+		}
+		renderCol(&b, &ob.Col)
+		if ob.Desc {
+			b.WriteString(" DESC")
+		}
+	}
+	if s.Limit >= 0 {
+		b.WriteString(" LIMIT ")
+		b.WriteString(strconv.Itoa(s.Limit))
+	}
+	if s.Purpose != "" {
+		b.WriteString(" FOR PURPOSE ")
+		b.WriteString(s.Purpose)
+	}
+	return b.String(), nil
+}
+
+func renderItem(b *strings.Builder, it SelectItem) error {
+	switch {
+	case it.Star:
+		b.WriteString("*")
+		return nil
+	case it.CountStar:
+		b.WriteString("COUNT(*)")
+	case it.Agg != AggNone:
+		name := aggName(it.Agg)
+		if name == "" {
+			return fmt.Errorf("query: cannot render aggregate %d", it.Agg)
+		}
+		b.WriteString(name)
+		b.WriteString("(")
+		renderCol(b, it.Col)
+		b.WriteString(")")
+	default:
+		renderCol(b, it.Col)
+	}
+	if it.Alias != "" {
+		b.WriteString(" AS ")
+		b.WriteString(it.Alias)
+	}
+	return nil
+}
+
+func aggName(fn AggFunc) string {
+	switch fn {
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggAvg:
+		return "AVG"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	}
+	return ""
+}
+
+func renderCol(b *strings.Builder, c *ColumnRef) {
+	if c.Table != "" {
+		b.WriteString(c.Table)
+		b.WriteString(".")
+	}
+	b.WriteString(c.Column)
+}
+
+func renderExpr(b *strings.Builder, e Expr) error {
+	switch x := e.(type) {
+	case *ColumnRef:
+		renderCol(b, x)
+	case *Literal:
+		return renderLiteral(b, x.Val)
+	case *Placeholder:
+		return fmt.Errorf("query: cannot render unbound placeholder ?%d", x.Index+1)
+	case *Compare:
+		if err := renderExpr(b, x.Left); err != nil {
+			return err
+		}
+		b.WriteString(" ")
+		b.WriteString(x.Op)
+		b.WriteString(" ")
+		return renderExpr(b, x.Right)
+	case *Logical:
+		// Parenthesize both sides: the AST carries no precedence, so the
+		// printed form must force the parsed shape.
+		b.WriteString("(")
+		if err := renderExpr(b, x.Left); err != nil {
+			return err
+		}
+		b.WriteString(") ")
+		b.WriteString(x.Op)
+		b.WriteString(" (")
+		if err := renderExpr(b, x.Right); err != nil {
+			return err
+		}
+		b.WriteString(")")
+	case *Not:
+		b.WriteString("NOT (")
+		if err := renderExpr(b, x.Inner); err != nil {
+			return err
+		}
+		b.WriteString(")")
+	case *InList:
+		if err := renderExpr(b, x.Left); err != nil {
+			return err
+		}
+		b.WriteString(" IN (")
+		for i, v := range x.Vals {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			if err := renderExpr(b, v); err != nil {
+				return err
+			}
+		}
+		b.WriteString(")")
+	case *Between:
+		if err := renderExpr(b, x.Left); err != nil {
+			return err
+		}
+		b.WriteString(" BETWEEN ")
+		if err := renderExpr(b, x.Lo); err != nil {
+			return err
+		}
+		b.WriteString(" AND ")
+		return renderExpr(b, x.Hi)
+	case *IsNull:
+		if err := renderExpr(b, x.Left); err != nil {
+			return err
+		}
+		if x.Negate {
+			b.WriteString(" IS NOT NULL")
+		} else {
+			b.WriteString(" IS NULL")
+		}
+	default:
+		return fmt.Errorf("query: cannot render expression %T", e)
+	}
+	return nil
+}
+
+func renderLiteral(b *strings.Builder, v value.Value) error {
+	switch v.Kind() {
+	case value.KindNull:
+		b.WriteString("NULL")
+	case value.KindInt:
+		b.WriteString(strconv.FormatInt(v.Int(), 10))
+	case value.KindFloat:
+		s := strconv.FormatFloat(v.Float(), 'f', -1, 64)
+		if !strings.ContainsAny(s, ".") {
+			s += ".0" // the lexer has no exponent form; keep it a float token
+		}
+		b.WriteString(s)
+	case value.KindText:
+		b.WriteString("'")
+		b.WriteString(strings.ReplaceAll(v.Text(), "'", "''"))
+		b.WriteString("'")
+	case value.KindBool:
+		if v.Bool() {
+			b.WriteString("TRUE")
+		} else {
+			b.WriteString("FALSE")
+		}
+	case value.KindTime:
+		b.WriteString("TIMESTAMP '")
+		b.WriteString(v.Time().UTC().Format(time.RFC3339Nano))
+		b.WriteString("'")
+	default:
+		return fmt.Errorf("query: cannot render literal of kind %v", v.Kind())
+	}
+	return nil
+}

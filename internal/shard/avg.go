@@ -1,0 +1,131 @@
+package shard
+
+import (
+	"fmt"
+
+	"instantdb/internal/query"
+	"instantdb/internal/value"
+	"instantdb/internal/wire"
+)
+
+// AVG cannot be recombined from per-shard averages (they lose their
+// weights), so the router rewrites it into its partials before the
+// fan-out: every AVG(col) item becomes SUM(col) + COUNT(col), the
+// rewritten statement scatters with ORDER BY/LIMIT stripped (they
+// re-apply at the router over the collapsed rows), the partials merge
+// with the ordinary SUM/COUNT rules, and the router collapses each
+// merged row back into the original projection with avg = sum/count —
+// exactly the division a single node would have performed over the
+// union of the shards' rows.
+
+// avgScatter is the rewrite of one AVG-bearing scattered SELECT.
+type avgScatter struct {
+	orig *query.Select
+	sel  *query.Select // partials; no ORDER BY/LIMIT
+	sql  string        // rendered rewritten statement (literals only)
+	// spec maps each original item to rewritten-output positions: pos is
+	// the item's own column (the SUM partial for AVG items), cnt the
+	// COUNT partial (-1 for non-AVG items).
+	spec []avgPos
+}
+
+type avgPos struct{ pos, cnt int }
+
+// hasAvg reports whether any projection item is an AVG.
+func hasAvg(s *query.Select) bool {
+	for _, it := range s.Items {
+		if it.Agg == query.AggAvg {
+			return true
+		}
+	}
+	return false
+}
+
+// rewriteAvg builds the partial-aggregate scatter plan for s (which
+// must contain at least one AVG item). The rewritten statement renders
+// from the bound AST, so a statement whose arguments were not all bound
+// is refused here rather than merged wrong.
+func rewriteAvg(s *query.Select) (*avgScatter, error) {
+	rw := &query.Select{Table: s.Table, Where: s.Where, GroupBy: s.GroupBy,
+		Limit: -1, Purpose: s.Purpose}
+	av := &avgScatter{orig: s}
+	for i, it := range s.Items {
+		if it.Agg != query.AggAvg {
+			av.spec = append(av.spec, avgPos{pos: len(rw.Items), cnt: -1})
+			rw.Items = append(rw.Items, it)
+			continue
+		}
+		av.spec = append(av.spec, avgPos{pos: len(rw.Items), cnt: len(rw.Items) + 1})
+		rw.Items = append(rw.Items,
+			query.SelectItem{Agg: query.AggSum, Col: it.Col, Alias: fmt.Sprintf("__avg%d_sum", i)},
+			query.SelectItem{Agg: query.AggCount, Col: it.Col, Alias: fmt.Sprintf("__avg%d_cnt", i)})
+	}
+	sql, err := query.RenderSelect(rw)
+	if err != nil {
+		return nil, refuse("AVG scatter rewrite: %v", err)
+	}
+	av.sel, av.sql = rw, sql
+	return av, nil
+}
+
+// collapse folds the merged partial rows back into the original
+// projection (avg = sum/count, NULL when no shard contributed a row —
+// matching the engine's NULL-skipping AVG) and re-applies the original
+// ORDER BY/LIMIT, which were withheld from the shards.
+func (av *avgScatter) collapse(merged *wire.Rows) (*wire.Rows, error) {
+	out := &wire.Rows{Columns: make([]string, len(av.orig.Items))}
+	for i, it := range av.orig.Items {
+		out.Columns[i] = itemLabel(it)
+	}
+	for _, row := range merged.Data {
+		if len(row) != len(av.sel.Items) {
+			return nil, fmt.Errorf("shard: AVG partial row width %d != %d", len(row), len(av.sel.Items))
+		}
+		orow := make([]value.Value, len(av.spec))
+		for i, sp := range av.spec {
+			if sp.cnt == -1 {
+				orow[i] = row[sp.pos]
+				continue
+			}
+			sum, cnt := row[sp.pos], row[sp.cnt]
+			if cnt.IsNull() || cnt.Int() == 0 {
+				orow[i] = value.Null()
+				continue
+			}
+			sf, ok := sum.AsFloat()
+			if !ok {
+				return nil, fmt.Errorf("shard: AVG sum partial has kind %s", sum.Kind())
+			}
+			orow[i] = value.Float(sf / float64(cnt.Int()))
+		}
+		out.Data = append(out.Data, orow)
+	}
+	return out, orderAndLimit(av.orig, out)
+}
+
+// itemLabel mirrors the engine's output-column naming (alias, else the
+// lowercase rendered form), so the collapsed result is labeled exactly
+// as a single-node execution of the original statement.
+func itemLabel(it query.SelectItem) string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	switch it.Agg {
+	case query.AggNone:
+		return it.Col.Column
+	case query.AggCount:
+		if it.CountStar {
+			return "count(*)"
+		}
+		return "count(" + it.Col.Column + ")"
+	case query.AggSum:
+		return "sum(" + it.Col.Column + ")"
+	case query.AggAvg:
+		return "avg(" + it.Col.Column + ")"
+	case query.AggMin:
+		return "min(" + it.Col.Column + ")"
+	case query.AggMax:
+		return "max(" + it.Col.Column + ")"
+	}
+	return "?"
+}

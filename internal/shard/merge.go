@@ -13,7 +13,8 @@ import (
 // mergeSelect recombines per-shard result sets of a scattered SELECT
 // into the rows a single-node execution would have produced: plain scans
 // concatenate, aggregates recombine (COUNT/SUM add, MIN/MAX compare —
-// AVG was refused at planning), grouped results merge by group key, and
+// AVG was rewritten into SUM+COUNT partials before the fan-out, see
+// avg.go), grouped results merge by group key, and
 // ORDER BY/LIMIT re-apply at the router with the engine's own comparison
 // semantics. Each shard's rows arrive already purpose-enforced and
 // degradation-filtered by its own clock, so the merge never re-evaluates

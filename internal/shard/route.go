@@ -208,9 +208,6 @@ func wherePin(e query.Expr, pk string) (value.Value, bool) {
 func scatterable(s *query.Select) error {
 	hasAgg := false
 	for _, it := range s.Items {
-		if it.Agg == query.AggAvg {
-			return refuse("AVG cannot be recombined across shards (per-shard averages lose their weights); compute SUM and COUNT instead")
-		}
 		if it.Agg != query.AggNone {
 			hasAgg = true
 		}

@@ -584,8 +584,20 @@ func (r *Router) execSQL(nc net.Conn, ss *rsession, sql string, args []value.Val
 // scatter fans a SELECT out to every shard concurrently and merges.
 // A shard that cannot answer fails the query fast (with the shard named)
 // rather than silently returning partial data — but only this query:
-// routes that avoid the dead shard keep working.
+// routes that avoid the dead shard keep working. AVG statements are the
+// one case where the router rewrites before fanning out: shards receive
+// the SUM+COUNT partial form (see avg.go) and the router divides.
 func (r *Router) scatter(ctx context.Context, nc net.Conn, ss *rsession, t *Table, sel *query.Select, sql string, args []value.Value) bool {
+	var av *avgScatter
+	if hasAvg(sel) {
+		a, err := rewriteAvg(sel)
+		if err != nil {
+			return r.sendErr(nc, wire.CodeSQL, err)
+		}
+		// The rewritten statement carries its literals (arguments were
+		// bound during routing), so it ships without args.
+		av, sel, sql, args = a, a.sel, a.sql, nil
+	}
 	conns := make([]*client.Conn, len(t.Shards))
 	for idx := range t.Shards {
 		c, err := ss.conn(ctx, t, idx)
@@ -618,6 +630,11 @@ func (r *Router) scatter(ctx context.Context, nc net.Conn, ss *rsession, t *Tabl
 	merged, err := mergeSelect(sel, parts)
 	if err != nil {
 		return r.sendErr(nc, wire.CodeSQL, err)
+	}
+	if av != nil {
+		if merged, err = av.collapse(merged); err != nil {
+			return r.sendErr(nc, wire.CodeSQL, err)
+		}
 	}
 	return r.sendResultFrame(nc, &wire.Result{RowsAffected: uint64(len(merged.Data)), Rows: merged})
 }

@@ -3,6 +3,7 @@ package shard_test
 import (
 	"context"
 	"fmt"
+	"math"
 	"net"
 	"path/filepath"
 	"strings"
@@ -283,7 +284,6 @@ func TestRouterScatterGather(t *testing.T) {
 
 	// Refusals: merges that cannot be exact are errors, not wrong answers.
 	for _, q := range []string{
-		"SELECT AVG(id) FROM visits",
 		"SELECT who, COUNT(*) FROM visits GROUP BY who LIMIT 2",
 		"BEGIN",
 	} {
@@ -296,6 +296,99 @@ func TestRouterScatterGather(t *testing.T) {
 	}
 	if err := conn.Ping(ctx); err != nil {
 		t.Fatalf("session should survive refusals: %v", err)
+	}
+}
+
+// TestRouterAvgScatter proves AVG recombines exactly across shards via
+// the SUM+COUNT partial rewrite: global and grouped averages match the
+// single-node arithmetic, output columns keep the engine's naming,
+// NULL-only groups answer NULL, and bound arguments survive the
+// rewrite.
+func TestRouterAvgScatter(t *testing.T) {
+	c := startCluster(t, 3)
+	conn := dialRouter(t, c)
+	ctx := context.Background()
+	const n = 30
+	insertVisits(t, conn, n)
+
+	rows, err := conn.Query(ctx, "SELECT AVG(id) FROM visits")
+	if err != nil || rows.Len() != 1 {
+		t.Fatalf("global AVG: rows=%v err=%v", rows, err)
+	}
+	if len(rows.Columns) != 1 || rows.Columns[0] != "avg(id)" {
+		t.Fatalf("global AVG columns = %v, want [avg(id)]", rows.Columns)
+	}
+	if got := rows.Data[0][0].Float(); got != float64(n+1)/2 {
+		t.Fatalf("global AVG = %v, want %v", got, float64(n+1)/2)
+	}
+
+	// Bound argument: the rewrite renders the bound literal, not the ?.
+	rows, err = conn.Query(ctx, "SELECT AVG(id) AS a FROM visits WHERE id > ?", value.Int(20))
+	if err != nil || rows.Len() != 1 || rows.Columns[0] != "a" {
+		t.Fatalf("AVG with arg: rows=%v err=%v", rows, err)
+	}
+	if got := rows.Data[0][0].Float(); got != 25.5 { // mean of 21..30
+		t.Fatalf("AVG(id) WHERE id > 20 = %v, want 25.5", got)
+	}
+
+	// Grouped AVG, mixed with other aggregates, ordered on the alias.
+	rows, err = conn.Query(ctx,
+		"SELECT who, AVG(id) AS a, COUNT(*) FROM visits GROUP BY who ORDER BY a DESC")
+	if err != nil {
+		t.Fatalf("grouped AVG: %v", err)
+	}
+	want := map[string][2]float64{}
+	for i := 1; i <= n; i++ {
+		who := fmt.Sprintf("user%d", i%5)
+		w := want[who]
+		want[who] = [2]float64{w[0] + float64(i), w[1] + 1}
+	}
+	if rows.Len() != len(want) {
+		t.Fatalf("grouped AVG returned %d groups, want %d", rows.Len(), len(want))
+	}
+	prev := math.Inf(1)
+	for _, r := range rows.Data {
+		who, got, cnt := r[0].Text(), r[1].Float(), r[2].Int()
+		w := want[who]
+		if got != w[0]/w[1] || float64(cnt) != w[1] {
+			t.Fatalf("group %s: avg=%v count=%d, want avg=%v count=%v", who, got, cnt, w[0]/w[1], w[1])
+		}
+		if got > prev {
+			t.Fatalf("ORDER BY a DESC violated: %v after %v", got, prev)
+		}
+		prev = got
+	}
+
+	// NULL-only groups: AVG over no non-NULL input is NULL, exactly as a
+	// single node answers; groups with values are unaffected.
+	if _, err := conn.Exec(ctx, "CREATE TABLE m (id INT PRIMARY KEY, grp TEXT, v INT)"); err != nil {
+		t.Fatalf("create m: %v", err)
+	}
+	for i, row := range []string{
+		"(1, 'empty', NULL)", "(2, 'empty', NULL)", "(3, 'empty', NULL)",
+		"(4, 'full', 10)", "(5, 'full', NULL)", "(6, 'full', 20)",
+	} {
+		if _, err := conn.Exec(ctx, "INSERT INTO m (id, grp, v) VALUES "+row); err != nil {
+			t.Fatalf("insert m row %d: %v", i, err)
+		}
+	}
+	rows, err = conn.Query(ctx, "SELECT grp, AVG(v) FROM m GROUP BY grp")
+	if err != nil {
+		t.Fatalf("NULL-group AVG: %v", err)
+	}
+	got := map[string]value.Value{}
+	for _, r := range rows.Data {
+		got[r[0].Text()] = r[1]
+	}
+	if !got["empty"].IsNull() {
+		t.Fatalf("AVG over NULL-only group = %v, want NULL", got["empty"])
+	}
+	if v := got["full"]; v.IsNull() || v.Float() != 15 {
+		t.Fatalf("AVG over full group = %v, want 15", v)
+	}
+	rows, err = conn.Query(ctx, "SELECT AVG(v) FROM m WHERE grp = 'empty'")
+	if err != nil || rows.Len() != 1 || !rows.Data[0][0].IsNull() {
+		t.Fatalf("global AVG over all-NULL rows: rows=%v err=%v, want one NULL", rows, err)
 	}
 }
 

@@ -1,0 +1,164 @@
+package wal
+
+import (
+	"errors"
+	"time"
+)
+
+// Group commit: concurrent committers hand their encoded batch payloads
+// to GroupAppend; the first waiter to find no flush in flight becomes
+// the leader, collects everything queued, writes every batch's frame in
+// one contiguous write and issues ONE fsync, then releases each waiter
+// with the durable position after its own batch. Batches keep their
+// individual magic/len/CRC framing, so the byte stream is
+// indistinguishable from the same batches appended one at a time —
+// replication tailers and incremental backups (ReadBatchRaw/TailRaw)
+// see identical material either way.
+//
+// The amortization is "natural batching": while the leader's write+fsync
+// is in flight, later committers queue behind it and share the next
+// fsync. Options.GroupWindow optionally stretches groups further by
+// having the leader sleep (lock-free) before collecting the queue, and
+// Options.GroupMaxBytes splits an oversized queue across several fsyncs.
+
+// groupWaiter is one committer's slot in the group-commit queue.
+type groupWaiter struct {
+	payload []byte
+	// Filled by the leader's flush, then published by setting done under
+	// l.gmu (the waiter only reads pos/err after observing done).
+	pos  Pos
+	err  error
+	done bool
+}
+
+// GroupAppend durably appends one commit batch whose record bytes are
+// already encoded (an EncodeRecords sequence), sharing its fsync with
+// every other batch queued at flush time. It returns the position
+// following the batch once the batch — and every batch ahead of it in
+// its group — is durable. Within one session issuing sequential
+// GroupAppends the returned positions are strictly monotone; across
+// sessions the log interleaves groups in queue order.
+//
+// A write or sync failure fails every waiter of the group (no partial
+// acks: the fsync that would have made any of them durable never
+// succeeded) and latches the log broken, exactly like AppendRaw.
+func (l *Log) GroupAppend(payload []byte) (Pos, error) {
+	if len(payload) == 0 {
+		return l.EndPos(), nil
+	}
+	w := &groupWaiter{payload: payload}
+	l.gmu.Lock()
+	l.gqueue = append(l.gqueue, w)
+	for !w.done && l.gflushing {
+		l.gcond.Wait()
+	}
+	if w.done {
+		l.gmu.Unlock()
+		return w.pos, w.err
+	}
+	// No flush in flight: this waiter leads the group.
+	l.gflushing = true
+	l.gmu.Unlock()
+
+	if d := l.opts.GroupWindow; d > 0 {
+		time.Sleep(d) // no locks held: committers keep enqueueing
+	}
+
+	l.gmu.Lock()
+	batch := l.gqueue
+	l.gqueue = nil
+	l.gmu.Unlock()
+
+	for len(batch) > 0 {
+		n := 1
+		total := int64(len(batch[0].payload))
+		for n < len(batch) && total+int64(len(batch[n].payload)) <= l.opts.GroupMaxBytes {
+			total += int64(len(batch[n].payload))
+			n++
+		}
+		chunk := batch[:n]
+		batch = batch[n:]
+		l.flushGroup(chunk)
+		l.gmu.Lock()
+		for _, cw := range chunk {
+			cw.done = true
+		}
+		if len(batch) == 0 {
+			l.gflushing = false
+		}
+		l.gcond.Broadcast()
+		l.gmu.Unlock()
+	}
+	return w.pos, w.err
+}
+
+// flushGroup appends every waiter's batch under one fsync. It fills
+// each waiter's pos/err but does NOT mark done — the caller publishes
+// completion under l.gmu.
+func (l *Log) flushGroup(ws []*groupWaiter) {
+	fail := func(err error) {
+		for _, w := range ws {
+			w.err = err
+		}
+	}
+	size := 0
+	for _, w := range ws {
+		size += batchHeaderSize + len(w.payload)
+	}
+	buf := make([]byte, 0, size)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.active == nil {
+		fail(errors.New("wal: log closed"))
+		return
+	}
+	if l.broken != nil {
+		fail(errors.New("wal: log failed: " + l.broken.Error()))
+		return
+	}
+	off := l.activeSize
+	for _, w := range ws {
+		buf = appendFrame(buf, w.payload)
+		off += int64(batchHeaderSize + len(w.payload))
+		w.pos = Pos{Seg: l.activeID, Off: off}
+	}
+	if _, err := l.active.Write(buf); err != nil {
+		l.broken = err
+		fail(err)
+		return
+	}
+	if l.opts.Sync {
+		start := time.Now()
+		if err := l.active.Sync(); err != nil {
+			// The write may sit partially on disk (a torn group); refuse
+			// all waiters — none of their batches were made durable by a
+			// successful fsync — and latch the log.
+			l.broken = err
+			fail(err)
+			return
+		}
+		l.statFsyncs.Add(1)
+		l.fsyncSeconds.Observe(time.Since(start))
+	}
+	l.activeSize += int64(len(buf))
+	l.appendedBytes.Add(uint64(len(buf)))
+	l.statBatches.Add(uint64(len(ws)))
+	l.statGroups.Add(1)
+	l.groupSize.Observe(time.Duration(len(ws)) * time.Second)
+	l.notifyLocked()
+	if l.activeSize >= l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			// The group is durable and acked; only the rotation failed.
+			// Latch the log so the NEXT append surfaces it loudly.
+			l.broken = err
+		}
+	}
+}
+
+// appendFrame appends one batch frame (magic + length + CRC + payload).
+func appendFrame(dst, payload []byte) []byte {
+	var hdr [batchHeaderSize]byte
+	putBatchHeader(hdr[:], payload)
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}

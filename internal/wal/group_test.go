@@ -1,0 +1,260 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"instantdb/internal/storage"
+	"instantdb/internal/value"
+)
+
+// encodeBatch encodes one single-record test batch whose tuple id makes
+// it uniquely identifiable in a replay.
+func encodeBatch(t *testing.T, tuple int) []byte {
+	t.Helper()
+	payload, err := EncodeRecords(nil, []*Record{insertRec(storage.TupleID(tuple), fmt.Sprintf("r%d", tuple), value.Int(int64(tuple)))}, PlainCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return payload
+}
+
+// replayTuples reopens dir with a plain log and collects the tuple ids
+// of every replayed insert.
+func replayTuples(t *testing.T, dir string) map[int]bool {
+	t.Helper()
+	l, err := Open(dir, Options{Sync: true})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l.Close()
+	got := map[int]bool{}
+	if err := l.Replay(func(r *Record) error {
+		if r.Type == RecInsert {
+			got[int(r.Tuple)] = true
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return got
+}
+
+// TestGroupAppendMatchesAppendBytes proves the group path is
+// byte-identical to per-batch Append for the same batch sequence: the
+// framing never changes, so tailers (replication, incremental backup)
+// cannot tell which path produced the log.
+func TestGroupAppendMatchesAppendBytes(t *testing.T) {
+	base, baseDir := openTestLog(t, Options{Sync: true})
+	grp, grpDir := openTestLog(t, Options{Sync: true})
+	for i := 1; i <= 20; i++ {
+		payload := encodeBatch(t, i)
+		if err := base.AppendRaw(payload); err != nil {
+			t.Fatal(err)
+		}
+		pos, err := grp.GroupAppend(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := grp.EndPos(); pos != want {
+			t.Fatalf("batch %d: ack pos %v != end pos %v", i, pos, want)
+		}
+	}
+	if base.EndPos() != grp.EndPos() {
+		t.Fatalf("end positions differ: %v vs %v", base.EndPos(), grp.EndPos())
+	}
+	base.Close()
+	grp.Close()
+	compareDirs(t, baseDir, grpDir)
+}
+
+func compareDirs(t *testing.T, a, b string) {
+	t.Helper()
+	ae, err := os.ReadDir(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, err := os.ReadDir(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ae) != len(be) {
+		t.Fatalf("segment counts differ: %d vs %d", len(ae), len(be))
+	}
+	for i := range ae {
+		if ae[i].Name() != be[i].Name() {
+			t.Fatalf("segment names differ: %s vs %s", ae[i].Name(), be[i].Name())
+		}
+		ab, err := os.ReadFile(filepath.Join(a, ae[i].Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bb, err := os.ReadFile(filepath.Join(b, be[i].Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(ab) != string(bb) {
+			t.Fatalf("segment %s differs between per-batch and group paths", ae[i].Name())
+		}
+	}
+}
+
+// TestGroupAppendConcurrent is the amortization proof: 32 committers ×
+// 10 batches, every ack position strictly monotone per committer, every
+// batch replayable, and strictly fewer fsyncs than batches.
+func TestGroupAppendConcurrent(t *testing.T) {
+	const committers, perCommitter = 32, 10
+	l, dir := openTestLog(t, Options{Sync: true, GroupWindow: 2 * time.Millisecond})
+	var wg sync.WaitGroup
+	errs := make([]error, committers)
+	for c := 0; c < committers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			var last Pos
+			for i := 0; i < perCommitter; i++ {
+				pos, err := l.GroupAppend(encodeBatch(t, c*perCommitter+i+1))
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				if !last.Before(pos) {
+					errs[c] = fmt.Errorf("ack positions not monotone: %v then %v", last, pos)
+					return
+				}
+				last = pos
+			}
+		}(c)
+	}
+	wg.Wait()
+	for c, err := range errs {
+		if err != nil {
+			t.Fatalf("committer %d: %v", c, err)
+		}
+	}
+	total := uint64(committers * perCommitter)
+	if got := l.BatchCount(); got != total {
+		t.Fatalf("BatchCount = %d, want %d", got, total)
+	}
+	if f := l.FsyncCount(); f >= total {
+		t.Fatalf("fsyncs (%d) not amortized over %d commits", f, total)
+	}
+	if g, f := l.GroupCount(), l.FsyncCount(); g != f {
+		t.Fatalf("groups (%d) != fsyncs (%d): every group must cost exactly one fsync", g, f)
+	}
+
+	// Tailer byte-identity: the raw batch payloads read back are exactly
+	// the payloads handed to GroupAppend, each in its own frame.
+	want := map[string]bool{}
+	for i := 1; i <= int(total); i++ {
+		want[string(encodeBatch(t, i))] = true
+	}
+	seen := 0
+	if err := l.TailRaw(Pos{}, l.EndPos(), func(payload []byte, _ Pos) error {
+		if !want[string(payload)] {
+			return errors.New("tailer observed a payload never appended")
+		}
+		seen++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if seen != int(total) {
+		t.Fatalf("tailer saw %d batches, want %d", seen, total)
+	}
+	l.Close()
+
+	got := replayTuples(t, dir)
+	if len(got) != int(total) {
+		t.Fatalf("replay found %d tuples, want %d", len(got), total)
+	}
+}
+
+// TestGroupAppendMaxBytes proves an oversized queue splits into several
+// fsyncs, each group at most GroupMaxBytes of payload (single batches
+// larger than the cap still flush alone).
+func TestGroupAppendMaxBytes(t *testing.T) {
+	payload := encodeBatch(t, 1)
+	// A cap below two payloads forces one batch per group.
+	l, dir := openTestLog(t, Options{Sync: true,
+		GroupWindow:   5 * time.Millisecond,
+		GroupMaxBytes: int64(len(payload)) + 1})
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = l.GroupAppend(encodeBatch(t, i+1))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if f := l.FsyncCount(); f != n {
+		t.Fatalf("fsyncs = %d, want %d (GroupMaxBytes splits every group to one batch)", f, n)
+	}
+	l.Close()
+	if got := replayTuples(t, dir); len(got) != n {
+		t.Fatalf("replay found %d tuples, want %d", len(got), n)
+	}
+}
+
+// TestGroupAppendEmpty: an empty payload is a no-op ack at the current
+// end position, costing nothing.
+func TestGroupAppendEmpty(t *testing.T) {
+	l, _ := openTestLog(t, Options{Sync: true})
+	defer l.Close()
+	pos, err := l.GroupAppend(nil)
+	if err != nil || pos != l.EndPos() {
+		t.Fatalf("empty GroupAppend: pos=%v err=%v", pos, err)
+	}
+	if l.FsyncCount() != 0 || l.BatchCount() != 0 {
+		t.Fatal("empty GroupAppend must not write or sync")
+	}
+}
+
+// TestGroupAppendFailureFailsWholeGroup: when the shared fsync fails,
+// every waiter of the group gets the error (none were made durable) and
+// the log latches broken for later appends.
+func TestGroupAppendFailureFailsWholeGroup(t *testing.T) {
+	fi := &FaultInjector{}
+	dir := filepath.Join(t.TempDir(), "wal")
+	l, err := Open(dir, Options{Sync: true, GroupWindow: 10 * time.Millisecond, OpenSegment: fi.Open})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.GroupAppend(encodeBatch(t, 1)); err != nil {
+		t.Fatalf("pre-fault append: %v", err)
+	}
+	fi.CrashBeforeSync(1)
+	const n = 4
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = l.GroupAppend(encodeBatch(t, 100+i))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("waiter %d was acked after a failed group fsync", i)
+		}
+	}
+	if _, err := l.GroupAppend(encodeBatch(t, 999)); err == nil {
+		t.Fatal("log must latch broken after a failed group fsync")
+	}
+}

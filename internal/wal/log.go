@@ -5,11 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"instantdb/internal/metrics"
@@ -36,11 +38,38 @@ type Options struct {
 	// Metrics receives WAL instrumentation (fsync latency, rotations,
 	// appended bytes). nil disables it at zero cost.
 	Metrics *metrics.Registry
+	// GroupWindow stretches each commit group: after claiming leadership
+	// the flusher waits this long (holding no locks, so committers keep
+	// enqueueing) before collecting the queue. 0 flushes immediately —
+	// grouping then relies on natural batching: batches that arrive while
+	// a flush's fsync is in flight share the next one.
+	GroupWindow time.Duration
+	// GroupMaxBytes caps the payload bytes flushed under one group
+	// fsync; a larger queue splits into several groups. Default 1 MiB.
+	GroupMaxBytes int64
+	// OpenSegment, when non-nil, intercepts every segment-file open
+	// (active segment at Open, rotation, reset). It exists for the
+	// crash-injection test harness — a wrapper can buffer writes and
+	// drop them at a simulated power cut; see FaultInjector. Production
+	// code leaves it nil (plain os.OpenFile).
+	OpenSegment func(path string) (SegmentFile, error)
+}
+
+// SegmentFile is the write handle a Log holds on its active segment:
+// appends, fsync, close. *os.File satisfies it; the crash-injection
+// harness substitutes a fault-point wrapper via Options.OpenSegment.
+type SegmentFile interface {
+	io.Writer
+	Sync() error
+	Close() error
 }
 
 func (o Options) withDefaults() Options {
 	if o.SegmentBytes <= 0 {
 		o.SegmentBytes = 1 << 20
+	}
+	if o.GroupMaxBytes <= 0 {
+		o.GroupMaxBytes = 1 << 20
 	}
 	if o.Codec == nil {
 		o.Codec = PlainCodec{}
@@ -57,17 +86,35 @@ type Log struct {
 	mu         sync.Mutex
 	dir        string
 	opts       Options
-	active     *os.File
+	active     SegmentFile
 	activeID   int
 	activeSize int64
+	// broken latches the first append-path write/sync failure: the
+	// on-disk tail state is unknown past it, so every later append is
+	// refused rather than risking frames stacked on torn bytes.
+	broken error
 	// notify is closed and replaced on every append/reset, broadcasting
 	// "new batches may exist" to tailers (AppendNotify).
 	notify chan struct{}
+
+	// Group-commit state (see group.go). gmu orders the waiter queue and
+	// leadership flag; it is always taken without l.mu held.
+	gmu       sync.Mutex
+	gcond     *sync.Cond
+	gqueue    []*groupWaiter
+	gflushing bool
+
+	// Commit-path tallies, maintained even with metrics disabled so
+	// tests and benchmarks can assert fsync amortization.
+	statFsyncs  atomic.Uint64 // fsyncs issued for commit batches
+	statBatches atomic.Uint64 // commit batches appended
+	statGroups  atomic.Uint64 // group flushes (each one fsync)
 
 	// Instrumentation (nil-safe no-ops when Options.Metrics is nil).
 	fsyncSeconds  *metrics.Histogram
 	rotations     *metrics.Counter
 	appendedBytes *metrics.Counter
+	groupSize     *metrics.Histogram
 }
 
 // Pos addresses a batch boundary in the log: a segment id and a byte
@@ -130,17 +177,18 @@ func Open(dir string, opts Options) (*Log, error) {
 			return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
 		}
 	}
-	f, err := os.OpenFile(l.segPath(l.activeID), os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o600)
+	f, err := l.openSegment(l.segPath(l.activeID))
 	if err != nil {
 		return nil, fmt.Errorf("wal: open segment: %w", err)
 	}
-	st, err := f.Stat()
+	st, err := os.Stat(l.segPath(l.activeID))
 	if err != nil {
 		f.Close()
 		return nil, err
 	}
 	l.active, l.activeSize = f, st.Size()
 	l.notify = make(chan struct{})
+	l.gcond = sync.NewCond(&l.gmu)
 	reg := l.opts.Metrics
 	l.fsyncSeconds = reg.Histogram("instantdb_wal_fsync_seconds",
 		"Latency of WAL fsync calls on commit batches.", nil)
@@ -148,8 +196,46 @@ func Open(dir string, opts Options) (*Log, error) {
 		"WAL segment rotations (seal + new segment).")
 	l.appendedBytes = reg.Counter("instantdb_wal_appended_bytes_total",
 		"Bytes appended to the WAL, including batch framing.")
+	l.groupSize = reg.Histogram("instantdb_wal_group_size",
+		"Commit batches flushed per WAL group fsync (bucket bounds are batch counts, not seconds).",
+		[]float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128})
+	reg.CounterFunc("instantdb_wal_fsyncs_total",
+		"Fsyncs issued for commit batches (group commit amortizes several batches per fsync).",
+		func() float64 { return float64(l.statFsyncs.Load()) })
+	reg.CounterFunc("instantdb_wal_batches_total",
+		"Commit batches appended to the WAL.",
+		func() float64 { return float64(l.statBatches.Load()) })
+	reg.GaugeFunc("instantdb_wal_fsyncs_per_commit",
+		"Lifetime ratio of commit-path fsyncs to commit batches (1.0 = no amortization; below 1.0 = group commit at work).",
+		func() float64 {
+			b := l.statBatches.Load()
+			if b == 0 {
+				return 0
+			}
+			return float64(l.statFsyncs.Load()) / float64(b)
+		})
 	return l, nil
 }
+
+// openSegment opens a segment file for appending, through the
+// Options.OpenSegment hook when one is installed.
+func (l *Log) openSegment(path string) (SegmentFile, error) {
+	if l.opts.OpenSegment != nil {
+		return l.opts.OpenSegment(path)
+	}
+	return os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o600)
+}
+
+// FsyncCount returns the number of fsyncs issued for commit batches
+// (AppendRaw with Sync, and one per group flush). Group-commit tests
+// assert it stays far below BatchCount under concurrent committers.
+func (l *Log) FsyncCount() uint64 { return l.statFsyncs.Load() }
+
+// BatchCount returns the number of commit batches appended.
+func (l *Log) BatchCount() uint64 { return l.statBatches.Load() }
+
+// GroupCount returns the number of group flushes (each one fsync).
+func (l *Log) GroupCount() uint64 { return l.statGroups.Load() }
 
 // Dir returns the log directory (forensic scans read it directly).
 func (l *Log) Dir() string { return l.dir }
@@ -225,9 +311,7 @@ func (l *Log) AppendRaw(payload []byte) error {
 		return nil
 	}
 	buf := make([]byte, batchHeaderSize+len(payload))
-	binary.LittleEndian.PutUint32(buf[0:], batchMagic)
-	binary.LittleEndian.PutUint32(buf[4:], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(buf[8:], crc32.ChecksumIEEE(payload))
+	putBatchHeader(buf, payload)
 	copy(buf[batchHeaderSize:], payload)
 
 	l.mu.Lock()
@@ -235,16 +319,23 @@ func (l *Log) AppendRaw(payload []byte) error {
 	if l.active == nil {
 		return errors.New("wal: log closed")
 	}
+	if l.broken != nil {
+		return fmt.Errorf("wal: log failed: %w", l.broken)
+	}
 	if _, err := l.active.Write(buf); err != nil {
+		l.broken = err
 		return fmt.Errorf("wal: append: %w", err)
 	}
 	l.activeSize += int64(len(buf))
 	l.appendedBytes.Add(uint64(len(buf)))
+	l.statBatches.Add(1)
 	if l.opts.Sync {
 		start := time.Now()
 		if err := l.active.Sync(); err != nil {
+			l.broken = err
 			return err
 		}
+		l.statFsyncs.Add(1)
 		l.fsyncSeconds.Observe(time.Since(start))
 	}
 	l.notifyLocked()
@@ -252,6 +343,14 @@ func (l *Log) AppendRaw(payload []byte) error {
 		return l.rotateLocked()
 	}
 	return nil
+}
+
+// putBatchHeader writes the batch frame header (magic + length + CRC)
+// for payload into hdr[:batchHeaderSize].
+func putBatchHeader(hdr, payload []byte) {
+	binary.LittleEndian.PutUint32(hdr[0:], batchMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[8:], crc32.ChecksumIEEE(payload))
 }
 
 // notifyLocked wakes every AppendNotify waiter (close-and-replace
@@ -287,7 +386,7 @@ func (l *Log) rotateLocked() error {
 		return err
 	}
 	l.activeID++
-	f, err := os.OpenFile(l.segPath(l.activeID), os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o600)
+	f, err := l.openSegment(l.segPath(l.activeID))
 	if err != nil {
 		return fmt.Errorf("wal: rotate: %w", err)
 	}
@@ -399,7 +498,7 @@ func (l *Log) Reset() error {
 		}
 	}
 	l.activeID++
-	f, err := os.OpenFile(l.segPath(l.activeID), os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o600)
+	f, err := l.openSegment(l.segPath(l.activeID))
 	if err != nil {
 		return err
 	}

@@ -200,6 +200,12 @@ func decodeRecord(src []byte, codec Codec) (Record, []byte, error) {
 		if n, rest, err = readUvarint(rest); err != nil {
 			return r, nil, err
 		}
+		// Every sealed payload costs at least its length varint, so a
+		// count beyond the remaining bytes is corrupt — reject it before
+		// allocating (a crafted count must not drive the allocation).
+		if n > uint64(len(rest)) {
+			return r, nil, fmt.Errorf("wal: degradable count %d exceeds %d remaining bytes", n, len(rest))
+		}
 		r.DegVals = make([]value.Value, n)
 		r.DegLost = make([]bool, n)
 		for i := uint64(0); i < n; i++ {
