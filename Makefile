@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check doc-check md-check fuzz fuzz-wal bench bench-json bench-shard bench-groupcommit shard-smoke metrics-smoke groupcommit-smoke serve clean
+.PHONY: build test race vet fmt-check doc-check md-check fuzz fuzz-wal bench bench-json bench-shard bench-groupcommit bench-trace shard-smoke metrics-smoke trace-smoke groupcommit-smoke serve clean
 
 build:
 	$(GO) build ./...
@@ -74,6 +74,21 @@ shard-smoke:
 # TCP, and lints the Prometheus exposition.
 metrics-smoke:
 	$(GO) run ./internal/tools/metricssmoke
+
+# trace-smoke exercises the tracing and audit surface end to end: a
+# forced trace on a durable INSERT must decompose down to the shared
+# group-commit fsync, a crossed degradation deadline must land in a
+# hash-chain-verifiable audit trail, and /debug/traces + /debug/pprof
+# must answer on the metrics listener.
+trace-smoke:
+	$(GO) run ./internal/tools/tracesmoke
+
+# bench-trace regenerates the committed tracing-overhead reference
+# (BENCH_PR9.json): insert / point-select ns/op and p50/p99 with
+# tracing off, unsampled (sample 0), and fully sampled (sample 1) —
+# unsampled overhead budget <3% per path.
+bench-trace:
+	$(GO) run ./cmd/benchrunner -exp TRACE -n 5000 -rounds 12 -benchjson BENCH_PR9.json
 
 serve:
 	$(GO) run ./cmd/instantdb-server -dir demo.db -listen :7654

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	benchrunner [-exp all|F1|F2|F3|E1|E2|E3|BSTORE|BLOG|BIDX|BTXN|BREC|METRICS|SHARD|GROUPCOMMIT]
+//	benchrunner [-exp all|F1|F2|F3|E1|E2|E3|BSTORE|BLOG|BIDX|BTXN|BREC|METRICS|SHARD|GROUPCOMMIT|TRACE]
 //	            [-n tuples] [-quick] [-benchjson out.json]
 //
 // The METRICS experiment measures the observability layer's overhead on
@@ -24,8 +24,15 @@
 // fsyncs per commit at 1/8/32 concurrent sessions, per-batch fsync
 // (-wal-no-group-commit) vs group commit (the committed reference is
 // BENCH_PR8.json; the PR 8 bar is >=2x commits/sec at 32 sessions with
-// <0.5 fsyncs/commit). -benchjson applies to whichever of
-// METRICS/SHARD/GROUPCOMMIT runs; use it with a single -exp.
+// <0.5 fsyncs/commit).
+//
+// The TRACE experiment measures the request tracer's overhead on the
+// insert/select hot paths across three configurations — tracing off,
+// the unsampled wrapper (sampling branches only), and every request
+// sampled — reporting mean plus p50/p99 per-op latency (the committed
+// reference is BENCH_PR9.json; the PR 9 budget is <3% unsampled
+// overhead per path). -benchjson applies to whichever of
+// METRICS/SHARD/GROUPCOMMIT/TRACE runs; use it with a single -exp.
 package main
 
 import (
@@ -39,9 +46,9 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (all, F1, F2, F3, E1, E2, E3, BSTORE, BLOG, BIDX, BTXN, BREC, METRICS, SHARD, GROUPCOMMIT)")
-	benchJSON := flag.String("benchjson", "", "write the METRICS or SHARD result to this JSON file")
-	rounds := flag.Int("rounds", 3, "alternating measurement rounds per side for METRICS")
+	exp := flag.String("exp", "all", "experiment id (all, F1, F2, F3, E1, E2, E3, BSTORE, BLOG, BIDX, BTXN, BREC, METRICS, SHARD, GROUPCOMMIT, TRACE)")
+	benchJSON := flag.String("benchjson", "", "write the METRICS, SHARD, GROUPCOMMIT or TRACE result to this JSON file")
+	rounds := flag.Int("rounds", 3, "alternating measurement rounds per side for METRICS/GROUPCOMMIT/TRACE")
 	n := flag.Int("n", 2000, "workload size (tuples)")
 	queries := flag.Int("q", 200, "query count for B-IDX")
 	readers := flag.Int("readers", 4, "reader goroutines for B-TXN")
@@ -95,6 +102,19 @@ func main() {
 	})
 	run("SHARD", func() error {
 		res, err := experiments.RunShard(w, *n/4, *n/40)
+		if err != nil {
+			return err
+		}
+		if *benchJSON != "" {
+			if err := res.WriteJSON(*benchJSON); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "wrote %s\n", *benchJSON)
+		}
+		return nil
+	})
+	run("TRACE", func() error {
+		res, err := experiments.RunTraceOverhead(w, *n, *rounds)
 		if err != nil {
 			return err
 		}

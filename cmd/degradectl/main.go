@@ -25,11 +25,26 @@
 //	                       counters summed, plus per-shard up/down state
 //	tick                   run one degradation tick now
 //	fire <event>           raise an application event
-//	audit [-file f]... <needle>...
+//	audit [-chain] [-file f]... [needle...]
 //	                       forensic scan of store+log+keys (plus extra
 //	                       files, e.g. backup archives) for text needles;
 //	                       -dir is repeatable here, so one invocation can
-//	                       sweep every shard directory of a deployment
+//	                       sweep every shard directory of a deployment.
+//	                       -chain additionally verifies each directory's
+//	                       tamper-evident degradation audit trail (CRC +
+//	                       SHA-256 hash chain from genesis) and fails the
+//	                       audit on any break
+//	trace [-connect host:port] [-exec sql] [-id hex] [-slow]
+//	                       request tracing over the wire: -exec runs one
+//	                       statement under a forced trace and prints its
+//	                       span tree (through a router: the stitched
+//	                       cross-shard tree); -id fetches a finished
+//	                       trace, -slow the slow ring, default the
+//	                       recent ring
+//	events [-connect host:port] [-n 20]
+//	                       the degradation audit trail's newest events —
+//	                       over the wire (a router merges every shard's),
+//	                       or locally from -dir
 //	vacuum                 rotate and vacuum the log
 //	checkpoint             sync pages, truncate the log, compact the keys
 //	backup [-base prev] [-connect host:port] <out>
@@ -57,6 +72,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -64,11 +80,13 @@ import (
 	"instantdb/client"
 	"instantdb/internal/backup"
 	"instantdb/internal/forensic"
+	"instantdb/internal/server"
+	"instantdb/internal/trace"
 	"instantdb/internal/wal"
 )
 
 const usageText = "usage: degradectl -dir path [-log shred|plain|vacuum] " +
-	"<status|stats|tick|fire|audit|vacuum|checkpoint|backup|restore> [args]"
+	"<status|stats|tick|fire|audit|trace|events|vacuum|checkpoint|backup|restore> [args]"
 
 func main() {
 	var dirs stringList
@@ -89,6 +107,12 @@ func main() {
 		return
 	case "stats":
 		runStats(rest)
+		return
+	case "trace":
+		runTrace(rest)
+		return
+	case "events":
+		runEvents(dirs, *logMode, rest)
 		return
 	case "audit":
 		if len(dirs) == 0 {
@@ -180,46 +204,154 @@ func runAudit(dirs []string, logMode string, args []string) {
 	fs := flag.NewFlagSet("audit", flag.ExitOnError)
 	var files stringList
 	fs.Var(&files, "file", "extra file to scan (repeatable), e.g. a backup archive")
+	chain := fs.Bool("chain", false, "verify each directory's degradation audit trail (CRC framing + SHA-256 hash chain from genesis); any break fails the audit")
 	fail(fs.Parse(args))
-	if fs.NArg() < 1 {
-		fail(fmt.Errorf("audit needs at least one needle"))
+	if fs.NArg() < 1 && !*chain {
+		fail(fmt.Errorf("audit needs at least one needle (or -chain)"))
 	}
-	var needles []forensic.Needle
-	for _, arg := range fs.Args() {
-		needles = append(needles, forensic.NeedleForText(arg, arg))
+	chainBroken := false
+	if *chain {
+		for _, dir := range dirs {
+			n, err := trace.Verify(filepath.Join(dir, "audit"))
+			if err != nil {
+				fmt.Printf("%s: AUDIT TRAIL BROKEN after %d verified event(s): %v\n", dir, n, err)
+				chainBroken = true
+				continue
+			}
+			fmt.Printf("%s: audit chain intact, %d event(s) verified\n", dir, n)
+		}
 	}
-	var rep forensic.Report
-	for _, dir := range dirs {
-		db := openDB(dir, logMode)
-		dirRep, err := forensic.ScanStore(db.StorageManager().Store(), needles)
-		if err == nil {
-			var walRep forensic.Report
-			if walRep, err = forensic.ScanDir(filepath.Join(dir, "wal"), needles); err == nil {
-				dirRep.Merge(walRep)
-				var keyRep forensic.Report
-				if keyRep, err = forensic.ScanFile(filepath.Join(dir, "keys.db"), needles); err == nil {
-					dirRep.Merge(keyRep)
+	if fs.NArg() > 0 {
+		var needles []forensic.Needle
+		for _, arg := range fs.Args() {
+			needles = append(needles, forensic.NeedleForText(arg, arg))
+		}
+		var rep forensic.Report
+		for _, dir := range dirs {
+			db := openDB(dir, logMode)
+			dirRep, err := forensic.ScanStore(db.StorageManager().Store(), needles)
+			if err == nil {
+				var walRep forensic.Report
+				if walRep, err = forensic.ScanDir(filepath.Join(dir, "wal"), needles); err == nil {
+					dirRep.Merge(walRep)
+					var keyRep forensic.Report
+					if keyRep, err = forensic.ScanFile(filepath.Join(dir, "keys.db"), needles); err == nil {
+						dirRep.Merge(keyRep)
+					}
 				}
 			}
+			db.Close()
+			fail(err)
+			if len(dirs) > 1 {
+				fmt.Printf("%s: %d bytes, %d finding(s)\n", dir, dirRep.BytesScanned, len(dirRep.Findings))
+			}
+			rep.Merge(dirRep)
 		}
-		db.Close()
-		fail(err)
-		if len(dirs) > 1 {
-			fmt.Printf("%s: %d bytes, %d finding(s)\n", dir, dirRep.BytesScanned, len(dirRep.Findings))
+		for _, f := range files {
+			fileRep, err := forensic.ScanFile(f, needles)
+			fail(err)
+			rep.Merge(fileRep)
 		}
-		rep.Merge(dirRep)
+		fmt.Printf("scanned %d bytes, %d finding(s)\n", rep.BytesScanned, len(rep.Findings))
+		for _, f := range rep.Findings {
+			fmt.Println(" ", f)
+		}
+		if !rep.Clean() {
+			chainBroken = true
+		}
 	}
-	for _, f := range files {
-		fileRep, err := forensic.ScanFile(f, needles)
-		fail(err)
-		rep.Merge(fileRep)
-	}
-	fmt.Printf("scanned %d bytes, %d finding(s)\n", rep.BytesScanned, len(rep.Findings))
-	for _, f := range rep.Findings {
-		fmt.Println(" ", f)
-	}
-	if !rep.Clean() {
+	if chainBroken {
 		os.Exit(1)
+	}
+}
+
+// runTrace drives request tracing over the wire. -exec runs one
+// statement under a forced trace (through a router, the trace context
+// fans out to every shard the statement touches) and prints the
+// finished span tree; -id fetches a previously recorded trace; -slow
+// and the default fetch the server's slow/recent rings.
+func runTrace(args []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	connect := fs.String("connect", "localhost:7654", "server or router address (host:port)")
+	exec := fs.String("exec", "", "run this statement under a forced trace, then print its span tree")
+	idStr := fs.String("id", "", "fetch one finished trace by id (hex, as printed)")
+	slow := fs.Bool("slow", false, "fetch the slow-trace ring instead of the recent ring")
+	purpose := fs.String("purpose", "", "session purpose (for -exec against purpose-bound tables)")
+	fail(fs.Parse(args))
+	if fs.NArg() != 0 {
+		fail(fmt.Errorf("trace takes no positional arguments"))
+	}
+	var opts []client.Option
+	if *purpose != "" {
+		opts = append(opts, client.WithPurpose(*purpose))
+	}
+	ctx := context.Background()
+	conn, err := client.Dial(ctx, *connect, opts...)
+	fail(err)
+	defer conn.Close()
+
+	mode, id := client.TraceRecent, uint64(0)
+	switch {
+	case *exec != "":
+		res, tid, err := conn.ExecTraced(ctx, *exec)
+		fail(err)
+		if res.Rows != nil {
+			fmt.Printf("traced: %d row(s), trace id %016x\n", res.Rows.Len(), tid)
+		} else {
+			fmt.Printf("traced: %d row(s) affected, trace id %016x\n", res.RowsAffected, tid)
+		}
+		mode, id = client.TraceByID, tid
+	case *idStr != "":
+		id, err = strconv.ParseUint(strings.TrimPrefix(*idStr, "0x"), 16, 64)
+		fail(err)
+		mode = client.TraceByID
+	case *slow:
+		mode = client.TraceSlow
+	}
+	recs, err := conn.TraceDump(ctx, mode, id)
+	fail(err)
+	if len(recs) == 0 {
+		fmt.Println("no traces (never recorded, or displaced from the bounded ring)")
+		return
+	}
+	for _, r := range recs {
+		server.WriteTraceTree(os.Stdout, r)
+	}
+}
+
+// runEvents prints the degradation audit trail's newest events: over
+// the wire from a running server (a router answers with every shard's
+// tails merged by time), or locally by opening -dir.
+func runEvents(dirs stringList, logMode string, args []string) {
+	fs := flag.NewFlagSet("events", flag.ExitOnError)
+	connect := fs.String("connect", "", "fetch from a running server or router at host:port instead of opening -dir")
+	n := fs.Int("n", 20, "newest events to print (0 = everything retained in memory)")
+	fail(fs.Parse(args))
+	if fs.NArg() != 0 {
+		fail(fmt.Errorf("events takes no positional arguments"))
+	}
+	var evs []trace.Event
+	if *connect != "" {
+		conn, err := client.Dial(context.Background(), *connect)
+		fail(err)
+		defer conn.Close()
+		evs, err = conn.AuditTail(context.Background(), *n)
+		fail(err)
+	} else {
+		dir := oneDirOrEmpty(dirs)
+		if dir == "" {
+			fail(fmt.Errorf("events needs -dir or -connect"))
+		}
+		db := openDB(dir, logMode)
+		defer db.Close()
+		evs = db.AuditLog().Tail(*n)
+	}
+	if len(evs) == 0 {
+		fmt.Println("no audit events")
+		return
+	}
+	for i := range evs {
+		fmt.Println(evs[i].String())
 	}
 }
 

@@ -12,7 +12,8 @@
 //	instantdb-router -table routing.json [-listen :7660]
 //	                 [-shards name=addr,name=addr ...]
 //	                 [-max-conns 0] [-max-frame 4194304]
-//	                 [-metrics-listen :7661] [-v]
+//	                 [-metrics-listen :7661] [-trace-sample 0]
+//	                 [-v]
 //
 // -table names the persisted routing table. With -shards the router
 // generates a fresh version-1 table spreading the slot space uniformly
@@ -24,7 +25,17 @@
 //
 // -metrics-listen serves GET /metrics with the AGGREGATED deployment
 // view: per-shard stats rolled up (lag-style gauges as max over shards,
-// counters summed) plus the router's own instruments, and /healthz.
+// counters summed) plus the router's own instruments, /healthz,
+// /debug/traces (the router's recent and slow traces) and
+// /debug/pprof/* (the Go profiler) — all on a separate HTTP listener,
+// never a session slot, so a scraper or a long CPU profile cannot
+// starve the wire protocol.
+//
+// -trace-sample samples router-side request tracing (0 = only traces
+// forced by clients via degradectl trace, 1 = every request, n = one
+// in n). A traced statement propagates its trace context to every
+// shard it touches, so `degradectl trace -id` against the router
+// returns one stitched cross-shard span tree.
 package main
 
 import (
@@ -40,6 +51,7 @@ import (
 	"syscall"
 	"time"
 
+	"instantdb/internal/server"
 	"instantdb/internal/shard"
 	"instantdb/internal/wire"
 )
@@ -50,7 +62,9 @@ func main() {
 	shards := flag.String("shards", "", "comma-separated name=addr list: generate a fresh version-1 routing table over these shards, save it to -table and serve it")
 	maxConns := flag.Int("max-conns", 0, "max concurrent client sessions (0 = unlimited)")
 	maxFrame := flag.Int("max-frame", wire.MaxFrameDefault, "max request/response payload bytes")
-	metricsListen := flag.String("metrics-listen", "", "HTTP listen address for GET /metrics (aggregated per-shard rollup) and /healthz (empty = disabled)")
+	metricsListen := flag.String("metrics-listen", "", "HTTP listen address for GET /metrics (aggregated per-shard rollup), /healthz, /debug/traces and /debug/pprof (empty = disabled); served on its own listener so scrapers and profilers never consume a session slot")
+	traceSample := flag.Int("trace-sample", 0, "router trace sampling: 0 = only remote-forced traces, 1 = every request, n = one request in n")
+	slowTrace := flag.Duration("slow-trace", 0, "slow-trace ring threshold for /debug/traces (0 = 100ms default)")
 	verbose := flag.Bool("v", false, "log per-connection diagnostics")
 	flag.Parse()
 
@@ -74,7 +88,8 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := shard.Options{MaxConns: *maxConns, MaxFrame: *maxFrame, TablePath: *tablePath}
+	opts := shard.Options{MaxConns: *maxConns, MaxFrame: *maxFrame, TablePath: *tablePath,
+		TraceSample: *traceSample, SlowTrace: *slowTrace}
 	if *verbose {
 		opts.Logf = log.Printf
 	}
@@ -157,6 +172,7 @@ func parseShards(s string) ([]shard.Info, error) {
 // live) and renders the merged samples in Prometheus text form.
 func metricsHandler(r *shard.Router) http.Handler {
 	mux := http.NewServeMux()
+	server.AttachDebug(mux, r.Tracer())
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		ctx, cancel := context.WithTimeout(req.Context(), 10*time.Second)
 		defer cancel()

@@ -13,7 +13,8 @@
 //	                 [-metrics-listen :7655] [-report-interval 0]
 //	                 [-wal-segment-bytes N] [-wal-nosync]
 //	                 [-wal-group-window 0] [-wal-group-max-bytes N]
-//	                 [-wal-no-group-commit] [-v]
+//	                 [-wal-no-group-commit] [-trace-sample 0]
+//	                 [-slow-query 0] [-v]
 //
 // -dir empty (the default) serves an in-memory database; -log picks the
 // log-degradation strategy for durable ones (default shred). -max-conns
@@ -30,10 +31,21 @@
 // wait for stragglers, and -wal-group-max-bytes caps how much one shared
 // fsync covers.
 //
-// -metrics-listen serves GET /metrics (Prometheus text exposition) and
-// GET /healthz on a separate HTTP listener; -report-interval logs a
+// -metrics-listen serves GET /metrics (Prometheus text exposition),
+// GET /healthz, GET /debug/traces (recent and slow request traces) and
+// GET /debug/pprof/* (the Go profiler) on a separate HTTP listener —
+// its own socket, never a session slot, so a scraper or a long CPU
+// profile cannot starve the wire protocol. -report-interval logs a
 // periodic one-line self-report (degradation lag, sessions, replication
 // lag) without requiring a scraper. Both default to off.
+//
+// -trace-sample controls local request tracing: 0 records only traces
+// forced by clients over the wire (degradectl trace, the shard
+// router), 1 records every request, n records one request in n.
+// -slow-query logs statements at or over the given duration with their
+// span breakdown. Traces land in bounded in-memory rings served at
+// /debug/traces and over the wire; see DESIGN.md "Tracing & audit
+// trail".
 //
 // -replica-of starts the server as a read replica of another
 // instantdb-server: it streams the leader's WAL, applies batches
@@ -79,11 +91,14 @@ func main() {
 	walGroupWindow := flag.Duration("wal-group-window", 0, "group-commit window: how long a flush leader waits for more committers before the shared fsync (0 = flush immediately; natural batching still amortizes under load). Raising it trades per-commit latency for fewer fsyncs")
 	walGroupMaxBytes := flag.Int64("wal-group-max-bytes", 0, "max bytes of commit batches flushed under one group fsync (0 = default 1 MiB); oversized queues split across several fsyncs")
 	walNoGroupCommit := flag.Bool("wal-no-group-commit", false, "disable WAL group commit: every commit batch pays its own fsync (the pre-group baseline; mainly for benchmarking)")
+	traceSample := flag.Int("trace-sample", 0, "local trace sampling: 0 = only remote-forced traces, 1 = every request, n = one request in n")
+	slowQuery := flag.Duration("slow-query", 0, "log statements taking at least this long, with span breakdown when traced (0 = disabled)")
 	verbose := flag.Bool("v", false, "log per-connection diagnostics")
 	flag.Parse()
 
 	cfg := instantdb.Config{Dir: *dir, AutoDegrade: *tick, SegmentBytes: *walSegBytes, Replica: *replicaOf != "",
-		GroupWindow: *walGroupWindow, GroupMaxBytes: *walGroupMaxBytes, NoGroupCommit: *walNoGroupCommit}
+		GroupWindow: *walGroupWindow, GroupMaxBytes: *walGroupMaxBytes, NoGroupCommit: *walNoGroupCommit,
+		TraceSample: *traceSample, SlowQuery: *slowQuery}
 	if *walNoSync {
 		sync := false
 		cfg.WALSync = &sync
@@ -98,7 +113,8 @@ func main() {
 		log.Fatal(err)
 	}
 
-	opts := server.Options{MaxConns: *maxConns, MaxFrame: *maxFrame, MaxStmts: *maxStmts}
+	opts := server.Options{MaxConns: *maxConns, MaxFrame: *maxFrame, MaxStmts: *maxStmts,
+		SlowQuery: *slowQuery, SlowLogf: log.Printf}
 	if *verbose {
 		opts.Logf = log.Printf
 	}

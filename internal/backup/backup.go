@@ -10,6 +10,7 @@ import (
 	"instantdb/internal/engine"
 	"instantdb/internal/metrics"
 	"instantdb/internal/storage"
+	"instantdb/internal/trace"
 	"instantdb/internal/value"
 	"instantdb/internal/wal"
 )
@@ -32,20 +33,44 @@ const chunkBytes = 128 << 10
 type sealFallbackCodec struct {
 	wal.Codec
 	lost *metrics.Counter
+	// cat and audit (both optional) let a lost seal land in the
+	// degradation audit trail with the table/attribute named.
+	cat   *catalog.Catalog
+	audit *trace.Audit
 }
 
 // Seal implements wal.Codec.
 func (c sealFallbackCodec) Seal(table uint32, col, state uint8, insertNano int64, tuple storage.TupleID, plain []byte) ([]byte, error) {
 	if state == storage.StateErased {
 		c.lost.Inc()
+		c.lostEvent(table, col, tuple, "attribute already erased")
 		return wal.LostSeal(), nil
 	}
 	out, err := c.Codec.Seal(table, col, state, insertNano, tuple, plain)
 	if errors.Is(err, wal.ErrKeyShredded) {
 		c.lost.Inc()
+		c.lostEvent(table, col, tuple, "epoch key shredded mid-backup")
 		return wal.LostSeal(), nil
 	}
 	return out, err
+}
+
+// lostEvent audits one payload sealed as permanently Lost.
+func (c sealFallbackCodec) lostEvent(table uint32, col uint8, tuple storage.TupleID, why string) {
+	if c.audit == nil {
+		return
+	}
+	name, attr := fmt.Sprint(table), fmt.Sprint(col)
+	if c.cat != nil {
+		if tbl, err := c.cat.TableByID(table); err == nil {
+			name = tbl.Name
+			if deg := tbl.DegradableColumns(); int(col) < len(deg) {
+				attr = tbl.Columns[deg[col]].Name
+			}
+		}
+	}
+	c.audit.Append(trace.Event{Kind: trace.EvBackupLostSeal,
+		Table: name, PK: fmt.Sprint(tuple), Attr: attr, Detail: why})
 }
 
 // instrument registers (idempotently, by name) the backup counters on
@@ -96,7 +121,8 @@ func Full(db *engine.DB, w io.Writer) (*Summary, error) {
 		return nil, err
 	}
 
-	codec := sealFallbackCodec{db.WALCodec(), lostSeals}
+	codec := sealFallbackCodec{Codec: db.WALCodec(), lost: lostSeals,
+		cat: db.Catalog(), audit: db.AuditLog()}
 	tables := db.Catalog().Tables()
 	sort.Slice(tables, func(i, j int) bool { return tables[i].ID < tables[j].ID })
 	tuples := 0

@@ -11,6 +11,7 @@ import (
 
 	"instantdb/internal/catalog"
 	"instantdb/internal/storage"
+	"instantdb/internal/trace"
 	"instantdb/internal/value"
 	"instantdb/internal/wal"
 )
@@ -190,7 +191,18 @@ func buildRestoreDir(dir, keysPath string, archives []io.Reader) (*RestoreSummar
 	}
 	sum.End = prevEnd
 
-	if err := appendLostFixups(log, codec, attrs, sum); err != nil {
+	// The restored directory starts its own audit trail (fresh chain):
+	// every Lost payload served during restore is recorded before the
+	// database ever opens, so the evidence precedes the data.
+	aud, err := trace.OpenAudit(filepath.Join(dir, "audit"))
+	if err != nil {
+		return nil, err
+	}
+	if err := appendLostFixups(log, codec, attrs, sum, aud); err != nil {
+		aud.Close()
+		return nil, err
+	}
+	if err := aud.Close(); err != nil {
 		return nil, err
 	}
 	if err := writeFileSynced(filepath.Join(dir, "catalog.sql"), []byte(ddl)); err != nil {
@@ -287,7 +299,7 @@ func trackRecords(recs []*wal.Record, attrs map[attrKey]attrTrack, sum *RestoreS
 // batches at the end of the restored WAL. Replay applies them through
 // the monotone storage gate, so they can never regress an attribute a
 // later record advanced.
-func appendLostFixups(log *wal.Log, codec wal.Codec, attrs map[attrKey]attrTrack, sum *RestoreSummary) error {
+func appendLostFixups(log *wal.Log, codec wal.Codec, attrs map[attrKey]attrTrack, sum *RestoreSummary, aud *trace.Audit) error {
 	var keys []attrKey
 	for k, t := range attrs {
 		if t.lost {
@@ -321,6 +333,9 @@ func appendLostFixups(log *wal.Log, codec wal.Codec, attrs map[attrKey]attrTrack
 			return err
 		}
 		sum.Erased++
+		aud.Append(trace.Event{Kind: trace.EvLostServed,
+			Table: fmt.Sprint(k.table), PK: fmt.Sprint(k.tuple), Attr: fmt.Sprint(k.attr),
+			Detail: "archived payload irrecoverable (epoch key gone); attribute erased on restore"})
 		if len(chunk) >= chunkBytes {
 			if err := log.AppendRaw(chunk); err != nil {
 				return err

@@ -31,6 +31,7 @@ import (
 	"instantdb/internal/lcp"
 	"instantdb/internal/metrics"
 	"instantdb/internal/storage"
+	"instantdb/internal/trace"
 	"instantdb/internal/txn"
 	"instantdb/internal/value"
 	"instantdb/internal/vclock"
@@ -173,6 +174,10 @@ type Engine struct {
 	queues map[queueKey]*transQueue
 	preds  map[string]Predicate
 	ctr    counters
+	// audit is the tamper-evident degradation trail (nil drops events);
+	// attached by SetAudit after construction so the engine layer can
+	// wire it without recovery replay re-auditing reseeded queues.
+	audit *trace.Audit
 
 	stop chan struct{}
 	done chan struct{}
@@ -197,6 +202,24 @@ func New(clock vclock.Clock, cat *catalog.Catalog, mgr *storage.Manager,
 		queues: make(map[queueKey]*transQueue),
 		preds:  make(map[string]Predicate),
 	}
+}
+
+// SetAudit attaches the degradation audit trail: scheduled, fired,
+// retried and external-transition events append to it from now on.
+// Attach before ticking starts; a nil trail (the default) drops events.
+func (e *Engine) SetAudit(a *trace.Audit) {
+	e.mu.Lock()
+	e.audit = a
+	e.mu.Unlock()
+}
+
+// attrName resolves a degradable-column position to its column name
+// ("" for the tuple-delete queue).
+func attrName(tbl *catalog.Table, attr int) string {
+	if attr < 0 {
+		return ""
+	}
+	return tbl.Columns[tbl.DegradableColumns()[attr]].Name
 }
 
 // RegisterPredicate binds a named predicate used by TriggerPredicate
@@ -256,11 +279,17 @@ func (e *Engine) OnInsert(tbl *catalog.Table, tid storage.TupleID, insertedAt ti
 	for attr := range tbl.DegradableColumns() {
 		if q := e.queueFor(tbl, attr, 0); q != nil {
 			q.fifo = append(q.fifo, task{tid: tid, insertNano: nano})
+			e.audit.Append(trace.Event{Kind: trace.EvScheduled, UnixNano: nano,
+				Table: tbl.Name, PK: fmt.Sprint(tid), Attr: attrName(tbl, attr),
+				Deadline: nano + q.ageNano})
 		}
 	}
 	if _, ok := tl.DeleteAge(); ok {
 		if q := e.queueFor(tbl, -1, 0); q != nil {
 			q.fifo = append(q.fifo, task{tid: tid, insertNano: nano})
+			e.audit.Append(trace.Event{Kind: trace.EvScheduled, UnixNano: nano,
+				Table: tbl.Name, PK: fmt.Sprint(tid), Detail: "tuple-delete",
+				Deadline: nano + q.ageNano})
 		}
 	}
 }
@@ -291,6 +320,11 @@ func (e *Engine) OnExternalTransition(tbl *catalog.Table, tid storage.TupleID, a
 	q.fifo = append(q.fifo, task{})
 	copy(q.fifo[i+1:], q.fifo[i:])
 	q.fifo[i] = task{tid: tid, insertNano: insertNano}
+	e.audit.Append(trace.Event{Kind: trace.EvExternal,
+		UnixNano: e.clock.Now().UTC().UnixNano(),
+		Table:    tbl.Name, PK: fmt.Sprint(tid), Attr: attrName(tbl, attr),
+		Detail:   fmt.Sprintf("replicated to state %d; follow-up scheduled", newState),
+		Deadline: insertNano + q.ageNano})
 }
 
 // Reseed rebuilds all queues from the current storage state — the
@@ -589,6 +623,7 @@ func (e *Engine) runQueue(key queueKey, now time.Time) (int, error) {
 	if q.predicate != "" {
 		pred = e.preds[q.predicate]
 	}
+	aud := e.audit
 	e.mu.Unlock()
 	if len(due) == 0 {
 		return 0, nil
@@ -688,6 +723,36 @@ func (e *Engine) runQueue(key queueKey, now time.Time) (int, error) {
 				}
 			}
 		}
+	}
+	if len(recs) > 0 {
+		// The fired events are the trail's core evidence: identity plus
+		// deadline-vs-actual, the timeliness delta the paper claims.
+		for _, r := range recs {
+			ev := trace.Event{Kind: trace.EvFired, UnixNano: nowNano,
+				Table: q.tbl.Name, PK: fmt.Sprint(r.Tuple),
+				Deadline: r.InsertNano + q.ageNano, Actual: nowNano}
+			if q.isDelete || r.Type == wal.RecDelete {
+				ev.Detail = "tuple-delete"
+			} else {
+				ev.Attr = attrName(q.tbl, key.attr)
+				if r.NewState == storage.StateErased {
+					ev.Detail = "erased"
+				} else {
+					ev.Detail = fmt.Sprintf("state %d\u2192%d", q.fromState, r.NewState)
+				}
+			}
+			aud.Append(ev)
+		}
+	}
+	for _, t := range skipped {
+		aud.Append(trace.Event{Kind: trace.EvRetried, UnixNano: nowNano,
+			Table: q.tbl.Name, PK: fmt.Sprint(t.tid), Attr: attrName(q.tbl, key.attr),
+			Deadline: t.insertNano + q.ageNano, Actual: nowNano, Detail: "row lock busy"})
+	}
+	for _, t := range held {
+		aud.Append(trace.Event{Kind: trace.EvRetried, UnixNano: nowNano,
+			Table: q.tbl.Name, PK: fmt.Sprint(t.tid), Attr: attrName(q.tbl, key.attr),
+			Deadline: t.insertNano + q.ageNano, Actual: nowNano, Detail: "predicate held"})
 	}
 	e.ctr.lockSkips.Add(uint64(len(skipped)))
 	e.ctr.predicateHold.Add(uint64(len(held)))

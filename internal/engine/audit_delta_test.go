@@ -1,0 +1,66 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"instantdb/internal/trace"
+)
+
+// TestAuditDeadlineDelta pins the timeliness guarantee the audit trail
+// exists to prove: on a simulated clock ticking every minute, a fired
+// transition's Actual never trails its Deadline by more than one tick.
+func TestAuditDeadlineDelta(t *testing.T) {
+	db, clock := openSim(t)
+	installSchema(t, db)
+	db.MustExec(`INSERT INTO person (id, name, location, salary) VALUES (1, 'x', 'Dam 1', 2471)`)
+	insertNano := clock.Now().UTC().UnixNano()
+
+	// The insert scheduled the first location transition with the
+	// policy's 15-minute address hold as its deadline.
+	var sched *trace.Event
+	for _, ev := range db.AuditLog().Tail(0) {
+		if ev.Kind == trace.EvScheduled && ev.Table == "person" && ev.Attr == "location" {
+			e := ev
+			sched = &e
+		}
+	}
+	if sched == nil {
+		t.Fatalf("no EvScheduled for person.location in %v", db.AuditLog().Tail(0))
+	}
+	if want := insertNano + (15 * time.Minute).Nanoseconds(); sched.Deadline != want {
+		t.Fatalf("scheduled deadline = %d, want insert+15m = %d", sched.Deadline, want)
+	}
+
+	// Tick the clock a minute at a time, degrading on every tick — the
+	// paper's background enforcement loop under a coarse timer.
+	const tick = time.Minute
+	var fired *trace.Event
+	for i := 0; i < 20 && fired == nil; i++ {
+		clock.Advance(tick)
+		if _, err := db.DegradeNow(); err != nil {
+			t.Fatal(err)
+		}
+		for _, ev := range db.AuditLog().Tail(0) {
+			if ev.Kind == trace.EvFired && ev.Table == "person" && ev.Attr == "location" {
+				e := ev
+				fired = &e
+			}
+		}
+	}
+	if fired == nil {
+		t.Fatal("location transition never fired within 20 ticks")
+	}
+	if fired.Deadline != sched.Deadline {
+		t.Fatalf("fired deadline %d != scheduled deadline %d", fired.Deadline, sched.Deadline)
+	}
+	if d := fired.Delta(); d < 0 || d > tick {
+		t.Fatalf("enforcement delta = %v, want within one %v tick", d, tick)
+	}
+
+	// The trail records the transition itself, not just that something
+	// happened.
+	if fired.Detail == "" {
+		t.Fatal("fired event carries no transition detail")
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"sync"
 	"time"
 
@@ -45,6 +46,7 @@ import (
 	"instantdb/internal/metrics"
 	"instantdb/internal/query"
 	"instantdb/internal/storage"
+	"instantdb/internal/trace"
 	"instantdb/internal/txn"
 	"instantdb/internal/value"
 	"instantdb/internal/vclock"
@@ -134,6 +136,15 @@ type Config struct {
 	// every instrument is a nil no-op. Benchmarks use it to measure the
 	// instrumentation overhead; production leaves it off.
 	NoMetrics bool
+	// TraceSample controls hot-path request tracing: 0 records only
+	// remote-forced traces (the wire OpTraced wrapper), 1 traces every
+	// request, n traces one request in n. Finished traces land in the
+	// tracer's bounded recent/slow rings (trace.RecentCap/SlowCap).
+	TraceSample int
+	// SlowQuery is the threshold above which a finished trace also
+	// enters the slow ring and the server logs its span breakdown
+	// (0 = trace.DefaultSlow).
+	SlowQuery time.Duration
 	// Replica opens the database in read-replica (follower) mode: user
 	// write statements, read-write BEGIN and DDL fail with
 	// ErrReadOnlyReplica, and mutations arrive only through
@@ -160,6 +171,8 @@ type DB struct {
 	clock  vclock.Clock
 	reg    *metrics.Registry
 	met    dbMetrics
+	tracer *trace.Tracer
+	audit  *trace.Audit
 
 	// commitGate fences the phased group-commit path: user committers
 	// hold it shared from PK reservation through apply, so holders of
@@ -283,6 +296,18 @@ func Open(cfg Config) (*DB, error) {
 	}
 	db.deg = degrade.New(db.clock, db.cat, db.mgr, db.locks, db.ids, db.commitSystem, scrub, cfg.Degrade)
 	db.initMetrics(db.reg)
+	db.tracer = trace.New("server", cfg.TraceSample, cfg.SlowQuery)
+
+	auditDir := ""
+	if !ephemeral {
+		auditDir = filepath.Join(cfg.Dir, "audit")
+	}
+	aud, err := trace.OpenAudit(auditDir)
+	if err != nil {
+		db.Close()
+		return nil, err
+	}
+	db.audit = aud
 
 	if !ephemeral {
 		if err := db.recover(); err != nil {
@@ -290,6 +315,11 @@ func Open(cfg Config) (*DB, error) {
 			return nil, err
 		}
 	}
+	// The audit sink attaches after recovery: replay reseeds the
+	// degradation queues from rows the trail already recorded when they
+	// were first inserted, and re-auditing them on every reopen would
+	// bury the genuine events.
+	db.deg.SetAudit(db.audit)
 	if cfg.AutoDegrade > 0 {
 		db.deg.Run(cfg.AutoDegrade)
 	}
@@ -611,10 +641,12 @@ func (db *DB) commitSystem(recs []*wal.Record) error {
 // caller still holds the transaction's 2PL locks until commitUser
 // returns, so concurrent batches never conflict on rows and the WAL
 // append order may safely differ from the apply order.
-func (db *DB) commitUser(recs []*wal.Record) error {
+func (db *DB) commitUser(recs []*wal.Record, tt *trace.T, parent *trace.S) error {
 	if db.log == nil || db.cfg.NoGroupCommit {
 		// Ephemeral databases have no fsync to amortize; NoGroupCommit
 		// keeps the pre-group single-mutex path as a baseline.
+		sp := tt.Span(parent, "commit")
+		defer sp.End()
 		db.mu.Lock()
 		var due bool
 		err := db.checkUniqueLocked(recs)
@@ -653,10 +685,26 @@ func (db *DB) commitUser(recs []*wal.Record) error {
 	db.mu.Unlock()
 
 	// Phase 2: encode.
+	esp := tt.Span(parent, "wal_encode")
 	payload, err := wal.EncodeRecords(nil, recs, db.codec)
+	esp.End()
 	if err == nil {
 		// Phase 3: durable group append.
-		_, err = db.log.GroupAppend(payload)
+		if tt == nil {
+			_, err = db.log.GroupAppend(payload)
+		} else {
+			// Traced commits take the timed variant: the group committer
+			// hands back the ack's phase breakdown, recorded as
+			// pre-measured child spans under the append.
+			wsp := tt.Span(parent, "wal_append")
+			wsp.Attr("bytes", strconv.Itoa(len(payload)))
+			start := time.Now()
+			var tm wal.GroupTiming
+			_, err = db.log.GroupAppendTimed(payload, &tm)
+			tt.Add(wsp, "group_enqueue", start, tm.Enqueue)
+			tt.Add(wsp, "group_fsync", start.Add(tm.Enqueue), tm.Fsync)
+			wsp.End()
+		}
 	}
 	if err != nil {
 		db.releasePKs(keys)
@@ -665,6 +713,7 @@ func (db *DB) commitUser(recs []*wal.Record) error {
 	}
 
 	// Phase 4: apply + publish.
+	psp := tt.Span(parent, "publish")
 	db.mu.Lock()
 	var due bool
 	err = db.commitFenceLocked()
@@ -676,6 +725,7 @@ func (db *DB) commitUser(recs []*wal.Record) error {
 	}
 	db.mu.Unlock()
 	db.commitGate.RUnlock()
+	psp.End()
 	if err != nil {
 		return err
 	}
@@ -828,9 +878,13 @@ func (db *DB) checkpointLocked() error {
 	// durable; fold them into the compaction frontier so the key file
 	// tracks the live key population.
 	if db.keys != nil {
-		return db.keys.Compact()
+		if err := db.keys.Compact(); err != nil {
+			return err
+		}
 	}
-	return nil
+	// The audit trail marks the checkpoint and fsyncs, so its
+	// durability frontier advances with the page store's.
+	return db.audit.Checkpoint()
 }
 
 // writeFileSynced atomically replaces path with data, fsyncing the file
@@ -864,6 +918,14 @@ func writeFileSynced(path string, data []byte) error {
 	defer dir.Close()
 	return dir.Sync()
 }
+
+// Tracer returns the database's request tracer (serves OpTraceDump and
+// /debug/traces; nil-safe to use even with tracing off).
+func (db *DB) Tracer() *trace.Tracer { return db.tracer }
+
+// AuditLog returns the degradation audit trail (serves OpAuditTail and
+// degradectl events).
+func (db *DB) AuditLog() *trace.Audit { return db.audit }
 
 // DegradeNow runs one degradation tick synchronously and returns the
 // number of transitions executed.
@@ -906,6 +968,7 @@ func (db *DB) Close() error {
 	if db.ddlFile != nil {
 		keep(db.ddlFile.Close())
 	}
+	keep(db.audit.Close())
 	keep(db.mgr.Store().Close())
 	return first
 }

@@ -159,7 +159,10 @@ func (c *Conn) qualify(tbl *catalog.Table, where query.Expr, levels []int,
 
 	ts := c.db.mgr.Table(tbl)
 	lockID := c.tx.id
-	if err := c.db.locks.Acquire(lockID, txn.TableRes(tbl.ID), intentionFor(lockMode)); err != nil {
+	lsp := c.tr.Span(c.tsp, "lock_wait")
+	err := c.db.locks.Acquire(lockID, txn.TableRes(tbl.ID), intentionFor(lockMode))
+	lsp.End()
+	if err != nil {
 		return nil, nil, err
 	}
 
@@ -580,15 +583,18 @@ func (c *Conn) runSelectRef(s *query.Select, referenced map[string]bool) (*Resul
 			return nil, err
 		}
 	}
+	psp := c.tr.Span(c.tsp, "plan")
 	if referenced == nil {
 		referenced = referencedColumns(tbl, s)
 	}
 	for name := range referenced {
 		if _, err := tbl.ColumnIndex(name); err != nil {
+			psp.End()
 			return nil, err
 		}
 	}
 	levels, err := resolveLevels(tbl, purpose, referenced)
+	psp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -603,15 +609,21 @@ func (c *Conn) runSelectRef(s *query.Select, referenced map[string]bool) (*Resul
 	switch {
 	case c.tx != nil && c.tx.readOnly:
 		c.db.met.snapshotReads.Inc()
+		rsp := c.tr.Span(c.tsp, "snapshot_read")
 		views, err = c.qualifySnapshot(tbl, s.Where, levels, c.tx.snap)
+		rsp.End()
 	case c.tx != nil:
 		c.db.met.lockedReads.Inc()
+		rsp := c.tr.Span(c.tsp, "locked_read")
 		_, views, err = c.qualify(tbl, s.Where, levels, nil, txn.LockS)
+		rsp.End()
 	default:
 		c.db.met.snapshotReads.Inc()
+		rsp := c.tr.Span(c.tsp, "snapshot_read")
 		snap := c.db.epochs.Snapshot()
 		views, err = c.qualifySnapshot(tbl, s.Where, levels, snap)
 		c.db.epochs.Release(snap)
+		rsp.End()
 	}
 	if err != nil {
 		return nil, err

@@ -57,6 +57,7 @@ func (db *DB) initMetrics(reg *metrics.Registry) {
 			func() float64 { return float64(db.keys.LiveKeys()) })
 	}
 	db.deg.Instrument(reg)
+	metrics.InstrumentBuildInfo(reg)
 }
 
 // Metrics returns the database's metrics registry: every subsystem

@@ -1,10 +1,12 @@
 package engine
 
 import (
+	"fmt"
 	"time"
 
 	"instantdb/internal/catalog"
 	"instantdb/internal/storage"
+	"instantdb/internal/trace"
 	"instantdb/internal/value"
 	"instantdb/internal/wal"
 )
@@ -24,6 +26,15 @@ func (s *shredScrubber) AfterTransition(tbl *catalog.Table, degPos int, fromStat
 	// bucket_end <= cutoff, so passing the cutoff directly is exact.
 	n, err := s.db.keys.Shred(tbl.ID, uint8(degPos), fromState, cutoff, s.db.cfg.ShredBucket)
 	s.db.met.keysShredded.Add(uint64(n))
+	if n > 0 {
+		// Key destruction is the moment expired log/backup ciphertext
+		// becomes permanently unreadable — exactly what the trail proves.
+		s.db.audit.Append(trace.Event{Kind: trace.EvKeyShredded,
+			UnixNano: s.db.clock.Now().UTC().UnixNano(),
+			Table:    tbl.Name, Attr: tbl.Columns[tbl.DegradableColumns()[degPos]].Name,
+			Detail: fmt.Sprintf("%d epoch keys (state %d, cutoff %s)", n, fromState,
+				cutoff.UTC().Format(time.RFC3339))})
+	}
 	return err
 }
 

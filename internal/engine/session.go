@@ -9,6 +9,7 @@ import (
 	"instantdb/internal/metrics"
 	"instantdb/internal/query"
 	"instantdb/internal/storage"
+	"instantdb/internal/trace"
 	"instantdb/internal/txn"
 	"instantdb/internal/value"
 	"instantdb/internal/wal"
@@ -113,7 +114,22 @@ type Conn struct {
 	// (nil when metrics are disabled).
 	qCount *metrics.Counter
 	wCount *metrics.Counter
+	// tr/tsp are the request's trace context, set by AttachTrace for the
+	// duration of one statement (both nil — free nil-check no-ops on
+	// every span site — when the request is untraced).
+	tr  *trace.T
+	tsp *trace.S
 }
+
+// AttachTrace binds a trace context to the session for one request:
+// statement phases (parse/bind, plan, lock waits, reads, WAL append,
+// publish) record as spans under parent until DetachTrace.
+func (c *Conn) AttachTrace(t *trace.T, parent *trace.S) {
+	c.tr, c.tsp = t, parent
+}
+
+// DetachTrace clears the session's trace context.
+func (c *Conn) DetachTrace() { c.tr, c.tsp = nil, nil }
 
 // NewConn opens a session with the built-in full-accuracy purpose.
 func (db *DB) NewConn() *Conn {
@@ -185,11 +201,12 @@ func (c *Conn) SetCoarse(on bool) { c.coarse = on }
 // placeholder-free statement is the classic text path; a statement that
 // does contain placeholders demands exactly matching arguments.
 func (c *Conn) Exec(src string, args ...value.Value) (*Result, error) {
+	sp := c.tr.Span(c.tsp, "parse_bind")
 	st, nparams, err := query.ParseWithParams(src)
-	if err != nil {
-		return nil, err
+	if err == nil {
+		st, err = query.BindKnown(st, args, nparams)
 	}
-	st, err = query.BindKnown(st, args, nparams)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -371,7 +388,7 @@ func (c *Conn) commitTx() error {
 	// group-commit path: the transaction's 2PL locks (released by the
 	// defer above, after durability and apply) keep concurrent batches
 	// disjoint while their WAL appends interleave.
-	return c.db.commitUser(tx.recs)
+	return c.db.commitUser(tx.recs, c.tr, c.tsp)
 }
 
 // rollbackTx discards the write set and releases locks (or, for a
@@ -628,7 +645,10 @@ func (c *Conn) runDelete(s *query.Delete) (*Result, error) {
 
 // matchForWrite finds qualifying tuples under X row locks.
 func (c *Conn) matchForWrite(tbl *catalog.Table, where query.Expr) ([]storage.Tuple, error) {
-	if err := c.db.locks.Acquire(c.tx.id, txn.TableRes(tbl.ID), txn.LockIX); err != nil {
+	sp := c.tr.Span(c.tsp, "lock_wait")
+	err := c.db.locks.Acquire(c.tx.id, txn.TableRes(tbl.ID), txn.LockIX)
+	sp.End()
+	if err != nil {
 		return nil, err
 	}
 	return c.collectMatching(tbl, where, c.purpose, txn.LockX)

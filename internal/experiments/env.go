@@ -62,6 +62,10 @@ type EnvOptions struct {
 	// NoMetrics opens the database without a metrics registry (the
 	// baseline side of the instrumentation-overhead benchmark).
 	NoMetrics bool
+	// TraceSample sets the tracer's sampling rate (0 = remote-forced
+	// traces only, 1 = every request) — the tracing-overhead benchmark
+	// compares its sides.
+	TraceSample int
 	// NoGroupCommit forces one fsync per commit batch (the baseline
 	// side of the group-commit benchmark). Applies when Dir is set.
 	NoGroupCommit bool
@@ -105,6 +109,7 @@ func NewEnv(opts EnvOptions) (*Env, error) {
 		NoMetrics:     opts.NoMetrics,
 		NoGroupCommit: opts.NoGroupCommit,
 		GroupWindow:   opts.GroupWindow,
+		TraceSample:   opts.TraceSample,
 	}
 	cfg.Degrade.BatchSize = opts.DegradeBatch
 	db, err := engine.Open(cfg)

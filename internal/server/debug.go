@@ -1,0 +1,96 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"time"
+
+	"instantdb/internal/trace"
+)
+
+// AttachDebug registers the debug surface on mux:
+//
+//	GET /debug/traces — text rendering of the tracer's recent and slow
+//	                    rings as indented span trees
+//	GET /debug/pprof/ — the standard Go profiler endpoints (index,
+//	                    cmdline, profile, symbol, trace)
+//
+// Routes are registered explicitly rather than through net/http/pprof's
+// DefaultServeMux side effect, so the profiler is reachable only on the
+// metrics listener — a separate socket from the wire protocol, where a
+// long CPU profile can never hold a session slot or a frame in flight.
+// Both the server and the shard router attach this to their metrics mux.
+func AttachDebug(mux *http.ServeMux, tr *trace.Tracer) {
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		writeTraceDump(w, tr)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// writeTraceDump renders both rings, newest first.
+func writeTraceDump(w io.Writer, tr *trace.Tracer) {
+	fmt.Fprintf(w, "== recent traces (newest first, cap %d) ==\n\n", trace.RecentCap)
+	for _, r := range tr.Recent() {
+		WriteTraceTree(w, r)
+	}
+	fmt.Fprintf(w, "== slow traces (root >= %v, newest first, cap %d) ==\n\n",
+		tr.Slow(), trace.SlowCap)
+	for _, r := range tr.SlowTraces() {
+		WriteTraceTree(w, r)
+	}
+}
+
+// WriteTraceTree renders one finished trace as an indented span tree.
+// A span whose parent is not in the record (a remote parent that was
+// never stitched in) renders as a root of its own subtree, so a
+// shard-local dump is readable before and after router-side stitching.
+// Shared by /debug/traces and the degradectl trace subcommand.
+func WriteTraceTree(w io.Writer, r *trace.Rec) {
+	fmt.Fprintf(w, "trace %016x %s %v @ %s\n",
+		r.TraceID, r.Root, r.Duration.Round(time.Microsecond),
+		r.Start.UTC().Format(time.RFC3339Nano))
+	present := make(map[uint64]bool, len(r.Spans))
+	for _, sp := range r.Spans {
+		present[sp.SpanID] = true
+	}
+	children := make(map[uint64][]trace.Span)
+	var roots []trace.Span
+	for _, sp := range r.Spans {
+		if present[sp.ParentID] {
+			children[sp.ParentID] = append(children[sp.ParentID], sp)
+		} else {
+			roots = append(roots, sp)
+		}
+	}
+	byStart := func(s []trace.Span) {
+		sort.SliceStable(s, func(i, j int) bool { return s[i].Start.Before(s[j].Start) })
+	}
+	byStart(roots)
+	var walk func(sp trace.Span, depth int)
+	walk = func(sp trace.Span, depth int) {
+		line := fmt.Sprintf("%s%s (%s) %v", strings.Repeat("  ", depth+1),
+			sp.Name, sp.Service, sp.Duration.Round(time.Microsecond))
+		for _, a := range sp.Attrs {
+			line += fmt.Sprintf(" %s=%s", a.Key, a.Val)
+		}
+		fmt.Fprintln(w, line)
+		kids := children[sp.SpanID]
+		byStart(kids)
+		for _, k := range kids {
+			walk(k, depth+1)
+		}
+	}
+	for _, sp := range roots {
+		walk(sp, 0)
+	}
+	fmt.Fprintln(w)
+}

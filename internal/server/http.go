@@ -10,16 +10,20 @@ import (
 // MetricsHandler returns an http.Handler exposing db's observability
 // surface:
 //
-//	GET /metrics  — Prometheus text exposition of every registered metric
-//	GET /healthz  — liveness plus the headline SLO: 200 and
-//	                "ok lag=<seconds>" while the database is serving
+//	GET /metrics       — Prometheus text exposition of every registered metric
+//	GET /healthz       — liveness plus the headline SLO: 200 and
+//	                     "ok lag=<seconds>" while the database is serving
+//	GET /debug/traces  — recent and slow traces as text span trees
+//	GET /debug/pprof/* — the Go profiler (see AttachDebug)
 //
 // It is served on a separate listener from the wire protocol
-// (cmd/instantdb-server -metrics-listen), so scrapers never consume a
-// database connection slot and a wedged scraper cannot interfere with
-// sessions. A database opened with NoMetrics serves an empty exposition.
+// (cmd/instantdb-server -metrics-listen), so scrapers and profilers
+// never consume a database connection slot and a wedged scraper cannot
+// interfere with sessions. A database opened with NoMetrics serves an
+// empty exposition.
 func MetricsHandler(db *engine.DB) http.Handler {
 	mux := http.NewServeMux()
+	AttachDebug(mux, db.Tracer())
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if err := db.Metrics().WritePrometheus(w); err != nil {

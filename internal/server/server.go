@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
@@ -22,6 +23,7 @@ import (
 	"instantdb/internal/engine"
 	"instantdb/internal/metrics"
 	"instantdb/internal/repl"
+	"instantdb/internal/trace"
 	"instantdb/internal/wal"
 	"instantdb/internal/wire"
 )
@@ -47,6 +49,12 @@ type Options struct {
 	// ReplHeartbeat is the replication stream keepalive interval
 	// (default repl.DefaultHeartbeat). Tests shorten it.
 	ReplHeartbeat time.Duration
+	// SlowQuery, when positive, logs every statement whose handling
+	// time reaches it, with the per-span breakdown when the statement
+	// was traced (locally sampled or remote-forced via OpTraced).
+	SlowQuery time.Duration
+	// SlowLogf receives slow-query lines (default Logf).
+	SlowLogf func(format string, args ...any)
 	// Logf, when non-nil, receives connection-level diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -136,6 +144,12 @@ func opName(op byte) string {
 		return "key_export"
 	case wire.OpSchema:
 		return "schema"
+	case wire.OpTraced:
+		return "traced"
+	case wire.OpTraceDump:
+		return "trace_dump"
+	case wire.OpAuditTail:
+		return "audit_tail"
 	default:
 		return fmt.Sprintf("0x%02x", op)
 	}
@@ -276,6 +290,10 @@ type session struct {
 	lru    *list.List               // front = least recently used
 	nextID uint64
 	max    int
+	// remote is the forced trace of the OpTraced request currently
+	// being served (nil otherwise). While set, statement execution must
+	// not start a competing local trace.
+	remote *trace.T
 }
 
 type stmtEntry struct {
@@ -486,7 +504,10 @@ func (s *Server) serveRequest(nc net.Conn, sess *session, op byte, payload []byt
 			return s.sendErr(nc, wire.CodeUnknownStmt,
 				fmt.Errorf("server: unknown statement id %d (closed or evicted); re-prepare", id))
 		}
-		res, err := st.Exec(args...)
+		var res *engine.Result
+		s.traceStmt(sess, "exec_prepared", fmt.Sprintf("stmt#%d", id), func() {
+			res, err = st.Exec(args...)
+		})
 		if err != nil {
 			return s.sendErr(nc, sqlCode(err), err)
 		}
@@ -505,7 +526,10 @@ func (s *Server) serveRequest(nc net.Conn, sess *session, op byte, payload []byt
 			s.fail(nc, wire.CodeProtocol, err.Error())
 			return false
 		}
-		res, err := sess.conn.Exec(sql, args...)
+		var res *engine.Result
+		s.traceStmt(sess, "exec_args", sql, func() {
+			res, err = sess.conn.Exec(sql, args...)
+		})
 		if err != nil {
 			return s.sendErr(nc, sqlCode(err), err)
 		}
@@ -534,6 +558,28 @@ func (s *Server) serveRequest(nc net.Conn, sess *session, op byte, payload []byt
 		return s.writeFrame(nc, wire.OpShardCheckReply, wire.EncodeShardCheckReply(prev)) == nil
 	case wire.OpKeyExport:
 		return s.serveKeyExport(nc)
+	case wire.OpTraced:
+		trd, err := wire.DecodeTraced(payload)
+		if err != nil {
+			s.fail(nc, wire.CodeProtocol, err.Error())
+			return false
+		}
+		return s.serveTraced(nc, sess, trd)
+	case wire.OpTraceDump:
+		mode, id, err := wire.DecodeTraceDump(payload)
+		if err != nil {
+			s.fail(nc, wire.CodeProtocol, err.Error())
+			return false
+		}
+		return s.serveTraceDump(nc, mode, id)
+	case wire.OpAuditTail:
+		n, err := wire.DecodeAuditTail(payload)
+		if err != nil {
+			s.fail(nc, wire.CodeProtocol, err.Error())
+			return false
+		}
+		evs := s.db.AuditLog().Tail(int(n))
+		return s.writeFrame(nc, wire.OpAuditData, wire.EncodeAuditEvents(evs)) == nil
 	case wire.OpSchema:
 		script, err := s.db.CatalogScript()
 		if err != nil {
@@ -683,11 +729,103 @@ func (cw *chunkWriter) flush() error {
 // execSQL runs one statement on the session and answers with its result
 // or a non-fatal SQL error.
 func (s *Server) execSQL(nc net.Conn, sess *session, sql string) bool {
-	res, err := sess.conn.Exec(sql)
+	var res *engine.Result
+	var err error
+	s.traceStmt(sess, "exec", sql, func() {
+		res, err = sess.conn.Exec(sql)
+	})
 	if err != nil {
 		return s.sendErr(nc, sqlCode(err), err)
 	}
 	return s.sendResult(nc, res)
+}
+
+// traceStmt wraps one statement execution with tracing and the
+// slow-query log. Inside an OpTraced request the session already
+// carries the remote-forced trace, so only timing applies here;
+// otherwise a locally sampled trace is attached for the statement's
+// duration. When nothing sampled the statement, fn runs with zero
+// tracing state and the hot path pays only untaken nil checks.
+func (s *Server) traceStmt(sess *session, name, sql string, fn func()) {
+	t := sess.remote
+	var root *trace.S
+	if t == nil {
+		if t, root = s.db.Tracer().Start(name); root != nil {
+			root.Attr("sql", sql)
+			sess.conn.AttachTrace(t, root)
+		}
+	}
+	start := time.Now()
+	fn()
+	d := time.Since(start)
+	if root != nil {
+		sess.conn.DetachTrace()
+		root.End()
+	}
+	if s.opts.SlowQuery > 0 && d >= s.opts.SlowQuery {
+		s.slowf("slow query (%v): %s%s", d.Round(10*time.Microsecond), sql, spanBreakdown(t))
+	}
+}
+
+// serveTraced unwraps an OpTraced frame: the inner request runs under
+// a forced trace whose root hangs off the caller's span, so a router
+// scatter and its shards later stitch into one cross-process tree. The
+// response frame is the inner request's normal response.
+func (s *Server) serveTraced(nc net.Conn, sess *session, trd wire.Traced) bool {
+	t, root := s.db.Tracer().StartRemote(trd.TraceID, trd.ParentSpanID, "serve_"+opName(trd.Op))
+	sess.conn.AttachTrace(t, root)
+	sess.remote = t
+	start := time.Now()
+	ok := s.serveRequest(nc, sess, trd.Op, trd.Payload)
+	sess.remote = nil
+	sess.conn.DetachTrace()
+	root.End()
+	s.met.reqSeconds.With(opName(trd.Op)).Observe(time.Since(start))
+	return ok
+}
+
+// serveTraceDump answers OpTraceDump from the tracer's bounded rings.
+func (s *Server) serveTraceDump(nc net.Conn, mode byte, id uint64) bool {
+	var recs []*trace.Rec
+	switch mode {
+	case wire.TraceByID:
+		if r := s.db.Tracer().ByID(id); r != nil {
+			recs = []*trace.Rec{r}
+		}
+	case wire.TraceRecent:
+		recs = s.db.Tracer().Recent()
+	case wire.TraceSlow:
+		recs = s.db.Tracer().SlowTraces()
+	}
+	return s.writeFrame(nc, wire.OpTraceData, wire.EncodeTraceRecs(recs)) == nil
+}
+
+// slowf routes a slow-query line to SlowLogf, falling back to Logf.
+func (s *Server) slowf(format string, args ...any) {
+	if s.opts.SlowLogf != nil {
+		s.opts.SlowLogf(format, args...)
+		return
+	}
+	s.logf(format, args...)
+}
+
+// spanBreakdown renders a trace's spans as a compact suffix for the
+// slow-query log line ("" when the statement was not traced).
+func spanBreakdown(t *trace.T) string {
+	spans := t.Spans()
+	if len(spans) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString(" [")
+	for i, sp := range spans {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%v", sp.Name, sp.Duration.Round(time.Microsecond))
+	}
+	b.WriteByte(']')
+	return b.String()
 }
 
 // sqlCode picks the wire error code for a statement failure. Replica

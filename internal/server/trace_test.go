@@ -1,0 +1,197 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"instantdb/client"
+	"instantdb/internal/engine"
+	"instantdb/internal/trace"
+	"instantdb/internal/vclock"
+)
+
+// startDurableServer is startServer on a durable directory: the commit
+// path then routes through the WAL group committer, so traced writes
+// carry the wal_append span and its group-commit phase children.
+func startDurableServer(t *testing.T, cfg engine.Config, opts Options) (*engine.DB, string) {
+	t.Helper()
+	cfg.Dir = t.TempDir()
+	if cfg.Clock == nil {
+		cfg.Clock = vclock.NewSimulated(vclock.Epoch)
+	}
+	db, err := engine.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.ExecScript(paperSchema); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(db, opts)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("server close: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+		db.Close()
+	})
+	return db, ln.Addr().String()
+}
+
+// dumpByID polls the server for the finished trace (the root span ends
+// after the response frame is written, so the record can trail the
+// client's view of the statement by a scheduler beat).
+func dumpByID(t *testing.T, c *client.Conn, tid uint64, wantSpans int) *trace.Rec {
+	t.Helper()
+	ctx := ctxT(t)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		recs, err := c.TraceDump(ctx, client.TraceByID, tid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) == 1 && len(recs[0].Spans) >= wantSpans {
+			return recs[0]
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("trace %016x not dumped with >= %d spans (got %v)", tid, wantSpans, recs)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestTracedInsertSpansCommitPipeline is the single-node acceptance
+// test: a traced INSERT over the wire yields a span tree whose WAL
+// append decomposes into the group-commit phases, with durability
+// (group_fsync) strictly inside the append and publish after it.
+func TestTracedInsertSpansCommitPipeline(t *testing.T) {
+	_, addr := startDurableServer(t, engine.Config{}, Options{})
+	c := dial(t, addr)
+	ctx := ctxT(t)
+
+	_, tid, err := c.ExecTraced(ctx,
+		`INSERT INTO visits (id, who, place) VALUES (1, 'anciaux', 'Dam 1')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// serve_exec root, parse_bind, wal_encode, wal_append,
+	// group_enqueue, group_fsync, publish.
+	rec := dumpByID(t, c, tid, 7)
+	if rec.TraceID != tid {
+		t.Fatalf("TraceID = %016x, want %016x", rec.TraceID, tid)
+	}
+
+	byName := map[string][]trace.Span{}
+	for _, sp := range rec.Spans {
+		byName[sp.Name] = append(byName[sp.Name], sp)
+	}
+	for _, name := range []string{"serve_exec", "parse_bind", "wal_encode",
+		"wal_append", "group_enqueue", "group_fsync", "publish"} {
+		if len(byName[name]) != 1 {
+			t.Fatalf("span %q recorded %d times, want once (have %v)",
+				name, len(byName[name]), names(rec.Spans))
+		}
+	}
+	root := byName["serve_exec"][0]
+	if root.ParentID != 0 {
+		t.Fatalf("serve_exec parent = %016x, want 0 (client-rooted)", root.ParentID)
+	}
+	app := byName["wal_append"][0]
+	for _, phase := range []string{"group_enqueue", "group_fsync"} {
+		if got := byName[phase][0].ParentID; got != app.SpanID {
+			t.Fatalf("%s parent = %016x, want wal_append %016x", phase, got, app.SpanID)
+		}
+	}
+	// Visibility strictly after durability: publish starts at or after
+	// the fsync phase ends.
+	fs := byName["group_fsync"][0]
+	if pub := byName["publish"][0]; pub.Start.Before(fs.Start.Add(fs.Duration)) {
+		t.Fatalf("publish started %v, before fsync finished %v",
+			pub.Start, fs.Start.Add(fs.Duration))
+	}
+}
+
+// TestLocalSamplingRecordsEveryRequest proves Config.TraceSample 1
+// traces unforced wire statements into the recent ring.
+func TestLocalSamplingRecordsEveryRequest(t *testing.T) {
+	db, addr := startDurableServer(t, engine.Config{TraceSample: 1}, Options{})
+	c := dial(t, addr)
+	ctx := ctxT(t)
+
+	if _, err := c.Exec(ctx, `SELECT id FROM visits`); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		for _, rec := range db.Tracer().Recent() {
+			if rec.Root == "exec" {
+				for _, sp := range rec.Spans {
+					if sp.Name == "exec" {
+						for _, a := range sp.Attrs {
+							if a.Key == "sql" && strings.Contains(a.Val, "SELECT id FROM visits") {
+								return
+							}
+						}
+					}
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sampled exec trace never reached the recent ring: %v", db.Tracer().Recent())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestSlowQueryLog proves the slow-query threshold logs statements with
+// their span breakdown through Options.SlowLogf.
+func TestSlowQueryLog(t *testing.T) {
+	var mu sync.Mutex
+	var lines []string
+	logf := func(format string, args ...any) {
+		mu.Lock()
+		lines = append(lines, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+	_, addr := startDurableServer(t, engine.Config{TraceSample: 1},
+		Options{SlowQuery: time.Nanosecond, SlowLogf: logf})
+	c := dial(t, addr)
+	ctx := ctxT(t)
+
+	if _, err := c.Exec(ctx, `SELECT id FROM visits`); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		joined := strings.Join(lines, "\n")
+		mu.Unlock()
+		if strings.Contains(joined, "slow query") &&
+			strings.Contains(joined, "SELECT id FROM visits") {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no slow-query log line; got %q", joined)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func names(spans []trace.Span) []string {
+	var out []string
+	for _, sp := range spans {
+		out = append(out, sp.Name)
+	}
+	return out
+}

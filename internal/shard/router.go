@@ -13,6 +13,7 @@ import (
 	"instantdb/client"
 	"instantdb/internal/metrics"
 	"instantdb/internal/query"
+	"instantdb/internal/trace"
 	"instantdb/internal/value"
 	"instantdb/internal/wire"
 )
@@ -32,6 +33,13 @@ type Options struct {
 	RequestTimeout time.Duration
 	// TablePath, when set, is where Flip persists the routing table.
 	TablePath string
+	// TraceSample controls local router-side tracing: 0 records only
+	// traces forced by clients (OpTraced), 1 every request, n one in n.
+	// Traced statements propagate their context to every shard they
+	// touch, so the shards' spans stitch under the router's.
+	TraceSample int
+	// SlowTrace is the tracer's slow-ring threshold (0 = trace.DefaultSlow).
+	SlowTrace time.Duration
 	// Logf, when non-nil, receives connection-level diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -50,6 +58,7 @@ type Router struct {
 	schema *Schema
 	reg    *metrics.Registry
 	met    routerMetrics
+	tracer *trace.Tracer
 
 	tableMu sync.RWMutex
 	table   *Table
@@ -97,7 +106,9 @@ func New(ctx context.Context, t *Table, opts Options) (*Router, error) {
 		opts.RequestTimeout = 30 * time.Second
 	}
 	r := &Router{opts: opts, table: t.Clone(), schema: NewSchema(),
-		reg: metrics.NewRegistry(), conns: make(map[net.Conn]struct{})}
+		reg: metrics.NewRegistry(), conns: make(map[net.Conn]struct{}),
+		tracer: trace.New("router", opts.TraceSample, opts.SlowTrace)}
+	metrics.InstrumentBuildInfo(r.reg)
 	r.met = routerMetrics{
 		conns: r.reg.Gauge("instantdb_router_active_conns",
 			"Client connections currently served by the router."),
@@ -176,6 +187,9 @@ func (r *Router) Metrics() *metrics.Registry { return r.reg }
 
 // Schema exposes the router's schema mirror.
 func (r *Router) Schema() *Schema { return r.schema }
+
+// Tracer exposes the router's request tracer (for /debug/traces).
+func (r *Router) Tracer() *trace.Tracer { return r.tracer }
 
 // currentTable returns the active routing table (shared reference; the
 // table is immutable).
@@ -484,6 +498,27 @@ func (r *Router) serveRequest(nc net.Conn, ss *rsession, op byte, payload []byte
 	case wire.OpBackup, wire.OpKeyExport:
 		return r.sendErr(nc, wire.CodeSQL, errors.New(
 			"router: back up each shard directly (epoch keys and WALs are per-shard)"))
+	case wire.OpTraced:
+		trd, err := wire.DecodeTraced(payload)
+		if err != nil {
+			r.fail(nc, wire.CodeProtocol, err.Error())
+			return false
+		}
+		return r.serveTraced(nc, ss, trd)
+	case wire.OpTraceDump:
+		mode, id, err := wire.DecodeTraceDump(payload)
+		if err != nil {
+			r.fail(nc, wire.CodeProtocol, err.Error())
+			return false
+		}
+		return r.serveTraceDump(nc, ss, mode, id)
+	case wire.OpAuditTail:
+		n, err := wire.DecodeAuditTail(payload)
+		if err != nil {
+			r.fail(nc, wire.CodeProtocol, err.Error())
+			return false
+		}
+		return r.serveAuditTail(nc, ss, n)
 	default:
 		r.fail(nc, wire.CodeProtocol, fmt.Sprintf("router: unknown opcode %#x", op))
 		return false
@@ -522,19 +557,35 @@ func (r *Router) rollbackAll(nc net.Conn, ss *rsession) bool {
 	return r.sendResultFrame(nc, &wire.Result{})
 }
 
-// execSQL parses, plans and executes one statement. The original SQL
-// (and arguments) forward verbatim to the target shards — the router
-// never rewrites statements, it only picks recipients and merges
-// results.
+// execSQL parses, plans and executes one statement under local trace
+// sampling (a remote-forced trace instead enters via serveTraced).
 func (r *Router) execSQL(nc net.Conn, ss *rsession, sql string, args []value.Value) bool {
+	tt, root := r.tracer.Start("exec")
+	if root != nil {
+		root.Attr("sql", sql)
+		defer root.End()
+	}
+	return r.execSQLTraced(nc, ss, sql, args, tt, root)
+}
+
+// execSQLTraced parses, plans and executes one statement. The original
+// SQL (and arguments) forward verbatim to the target shards — the
+// router never rewrites statements, it only picks recipients and merges
+// results. When tt is non-nil the statement is being traced: routing
+// work records spans under root, and every downstream request wraps in
+// OpTraced so the shards' server-side spans join the same tree.
+func (r *Router) execSQLTraced(nc net.Conn, ss *rsession, sql string, args []value.Value, tt *trace.T, root *trace.S) bool {
+	psp := tt.Span(root, "plan")
 	st, err := parseForRouting(sql, args)
 	if err != nil {
+		psp.End()
 		return r.sendErr(nc, wire.CodeSQL, err)
 	}
 	r.pauseMu.RLock()
 	defer r.pauseMu.RUnlock()
 	t := r.currentTable()
 	p, err := planStatement(t, r.schema, st)
+	psp.End()
 	if err != nil {
 		return r.sendErr(nc, wire.CodeSQL, err)
 	}
@@ -547,14 +598,14 @@ func (r *Router) execSQL(nc net.Conn, ss *rsession, sql string, args []value.Val
 		if err != nil {
 			return r.sendErr(nc, wire.CodeSQL, err)
 		}
-		res, err := c.Exec(ctx, sql, args...)
+		res, err := r.shardExec(ctx, c, tt, root, t.Shards[p.shard].Name, sql, args)
 		if err != nil {
 			return r.forwardErr(nc, ss, p.shard, err)
 		}
 		return r.sendResult(nc, res)
 	case actScatter:
 		r.met.scatters.Inc()
-		return r.scatter(ctx, nc, ss, t, p.sel, sql, args)
+		return r.scatter(ctx, nc, ss, t, p.sel, sql, args, tt, root)
 	case actBroadcast:
 		r.met.broadcast.Inc()
 		affected := 0
@@ -563,7 +614,7 @@ func (r *Router) execSQL(nc net.Conn, ss *rsession, sql string, args []value.Val
 			if err != nil {
 				return r.sendErr(nc, wire.CodeSQL, err)
 			}
-			res, err := c.Exec(ctx, sql, args...)
+			res, err := r.shardExec(ctx, c, tt, root, t.Shards[idx].Name, sql, args)
 			if err != nil {
 				return r.forwardErr(nc, ss, idx, err)
 			}
@@ -581,13 +632,28 @@ func (r *Router) execSQL(nc net.Conn, ss *rsession, sql string, args []value.Val
 	return r.sendErr(nc, wire.CodeSQL, fmt.Errorf("router: unhandled plan action %d", p.act))
 }
 
+// shardExec forwards one statement to a shard. Under a trace, the
+// request wraps in OpTraced with a fresh client-side span as the
+// shard's remote parent, so the shard's root hangs under it in the
+// stitched tree and the span itself shows the round-trip cost.
+func (r *Router) shardExec(ctx context.Context, c *client.Conn, tt *trace.T, parent *trace.S, shard, sql string, args []value.Value) (*client.Result, error) {
+	if tt == nil {
+		return c.Exec(ctx, sql, args...)
+	}
+	sp := tt.Span(parent, "shard_exec")
+	sp.Attr("shard", shard)
+	res, err := c.ExecTracedAs(ctx, tt.ID(), sp.ID(), sql, args...)
+	sp.End()
+	return res, err
+}
+
 // scatter fans a SELECT out to every shard concurrently and merges.
 // A shard that cannot answer fails the query fast (with the shard named)
 // rather than silently returning partial data — but only this query:
 // routes that avoid the dead shard keep working. AVG statements are the
 // one case where the router rewrites before fanning out: shards receive
 // the SUM+COUNT partial form (see avg.go) and the router divides.
-func (r *Router) scatter(ctx context.Context, nc net.Conn, ss *rsession, t *Table, sel *query.Select, sql string, args []value.Value) bool {
+func (r *Router) scatter(ctx context.Context, nc net.Conn, ss *rsession, t *Table, sel *query.Select, sql string, args []value.Value, tt *trace.T, root *trace.S) bool {
 	var av *avgScatter
 	if hasAvg(sel) {
 		a, err := rewriteAvg(sel)
@@ -613,10 +679,14 @@ func (r *Router) scatter(ctx context.Context, nc net.Conn, ss *rsession, t *Tabl
 		wg.Add(1)
 		go func(idx int, c *client.Conn) {
 			defer wg.Done()
-			rows, err := c.Query(ctx, sql, args...)
+			res, err := r.shardExec(ctx, c, tt, root, t.Shards[idx].Name, sql, args)
 			if err != nil {
 				errs[idx] = err
 				return
+			}
+			rows := res.Rows
+			if rows == nil {
+				rows = &client.Rows{}
 			}
 			parts[idx] = &wire.Rows{Columns: rows.Columns, Data: rows.Data}
 		}(idx, c)
@@ -627,7 +697,9 @@ func (r *Router) scatter(ctx context.Context, nc net.Conn, ss *rsession, t *Tabl
 			return r.forwardErr(nc, ss, idx, fmt.Errorf("shard %s: %w", t.Shards[idx].Name, err))
 		}
 	}
+	msp := tt.Span(root, "merge")
 	merged, err := mergeSelect(sel, parts)
+	msp.End()
 	if err != nil {
 		return r.sendErr(nc, wire.CodeSQL, err)
 	}
@@ -706,6 +778,12 @@ func routerOpName(op byte) string {
 		return "stats"
 	case wire.OpSchema:
 		return "schema"
+	case wire.OpTraced:
+		return "traced"
+	case wire.OpTraceDump:
+		return "trace_dump"
+	case wire.OpAuditTail:
+		return "audit_tail"
 	default:
 		return fmt.Sprintf("0x%02x", op)
 	}

@@ -1,0 +1,118 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sort"
+
+	"instantdb/internal/trace"
+	"instantdb/internal/wire"
+)
+
+// serveTraced unwraps a client-forced trace (OpTraced): the inner
+// statement runs with the router's spans rooted under the caller's
+// span, and every shard it touches receives the same trace id — the
+// one stitched tree a later TraceByID dump reassembles.
+func (r *Router) serveTraced(nc net.Conn, ss *rsession, trd wire.Traced) bool {
+	tt, root := r.tracer.StartRemote(trd.TraceID, trd.ParentSpanID, "route_"+routerOpName(trd.Op))
+	defer root.End()
+	switch trd.Op {
+	case wire.OpExec, wire.OpQuery:
+		sql := string(trd.Payload)
+		root.Attr("sql", sql)
+		return r.execSQLTraced(nc, ss, sql, nil, tt, root)
+	case wire.OpExecArgs:
+		sql, args, err := wire.DecodeExecArgs(trd.Payload)
+		if err != nil {
+			r.fail(nc, wire.CodeProtocol, err.Error())
+			return false
+		}
+		root.Attr("sql", sql)
+		return r.execSQLTraced(nc, ss, sql, args, tt, root)
+	default:
+		return r.sendErr(nc, wire.CodeSQL,
+			fmt.Errorf("router: OpTraced wraps unsupported opcode %#x", trd.Op))
+	}
+}
+
+// serveTraceDump answers OpTraceDump. Ring modes (recent, slow) read
+// the router's own rings — per-process views, exactly like asking one
+// shard. TraceByID instead stitches: the router's record plus a by-id
+// dump from every shard merge into one record whose spans link up via
+// the remote parent ids planted at scatter time. A shard that cannot
+// answer is skipped (logged) — a partial tree of a diagnostic dump
+// beats no tree; the audit path below makes the opposite choice.
+func (r *Router) serveTraceDump(nc net.Conn, ss *rsession, mode byte, id uint64) bool {
+	switch mode {
+	case wire.TraceRecent:
+		return r.sendTraceData(nc, r.tracer.Recent())
+	case wire.TraceSlow:
+		return r.sendTraceData(nc, r.tracer.SlowTraces())
+	}
+	var rec *trace.Rec
+	if lr := r.tracer.ByID(id); lr != nil {
+		cp := *lr
+		cp.Spans = append([]trace.Span(nil), lr.Spans...)
+		rec = &cp
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), r.opts.RequestTimeout)
+	defer cancel()
+	t := r.currentTable()
+	for idx := range t.Shards {
+		c, err := ss.conn(ctx, t, idx)
+		if err != nil {
+			r.logf("trace dump: shard %s skipped: %v", t.Shards[idx].Name, err)
+			continue
+		}
+		recs, err := c.TraceDump(ctx, wire.TraceByID, id)
+		if err != nil {
+			r.logf("trace dump: shard %s skipped: %v", t.Shards[idx].Name, err)
+			continue
+		}
+		for _, sr := range recs {
+			if rec == nil {
+				cp := *sr
+				rec = &cp
+			} else {
+				rec.Spans = append(rec.Spans, sr.Spans...)
+			}
+		}
+	}
+	var out []*trace.Rec
+	if rec != nil {
+		out = []*trace.Rec{rec}
+	}
+	return r.sendTraceData(nc, out)
+}
+
+func (r *Router) sendTraceData(nc net.Conn, recs []*trace.Rec) bool {
+	return wire.WriteFrame(nc, wire.OpTraceData, wire.EncodeTraceRecs(recs)) == nil
+}
+
+// serveAuditTail merges the audit tails of every shard, ordered by
+// event time (sequence numbers are per-shard and would collide). An
+// unreachable shard fails the request: an audit answer that silently
+// omits a shard's degradation evidence would be worse than no answer.
+func (r *Router) serveAuditTail(nc net.Conn, ss *rsession, n uint64) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), r.opts.RequestTimeout)
+	defer cancel()
+	t := r.currentTable()
+	var all []trace.Event
+	for idx := range t.Shards {
+		c, err := ss.conn(ctx, t, idx)
+		if err != nil {
+			return r.sendErr(nc, wire.CodeSQL, err)
+		}
+		evs, err := c.AuditTail(ctx, int(n))
+		if err != nil {
+			return r.forwardErr(nc, ss, idx, fmt.Errorf("shard %s: %w", t.Shards[idx].Name, err))
+		}
+		all = append(all, evs...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].UnixNano < all[j].UnixNano })
+	if n > 0 && uint64(len(all)) > n {
+		all = all[uint64(len(all))-n:]
+	}
+	return wire.WriteFrame(nc, wire.OpAuditData, wire.EncodeAuditEvents(all)) == nil
+}

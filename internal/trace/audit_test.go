@@ -1,0 +1,214 @@
+package trace
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAuditNilSafety(t *testing.T) {
+	var a *Audit
+	a.Append(Event{Kind: EvFired})
+	if err := a.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Tail(5) != nil || a.Seq() != 0 {
+		t.Fatal("nil audit should be empty")
+	}
+}
+
+func TestAuditAppendVerifyReopen(t *testing.T) {
+	dir := t.TempDir()
+	a, err := OpenAudit(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Append(Event{Kind: EvScheduled, Table: "msg", PK: "1", Attr: "body", Deadline: 100})
+	a.Append(Event{Kind: EvFired, Table: "msg", PK: "1", Attr: "body", Deadline: 100, Actual: 103, Detail: "to=Summary"})
+	if err := a.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	n, err := Verify(dir)
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if n != 3 { // 2 events + checkpoint marker
+		t.Fatalf("verified %d events, want 3", n)
+	}
+
+	// Reopen: chain and sequence continue, tail is restored.
+	a2, err := OpenAudit(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2.Seq() != 3 {
+		t.Fatalf("reopened seq %d, want 3", a2.Seq())
+	}
+	tail := a2.Tail(0)
+	if len(tail) != 3 || tail[1].Kind != EvFired || tail[1].Delta() != 3 {
+		t.Fatalf("restored tail = %+v", tail)
+	}
+	a2.Append(Event{Kind: EvKeyShredded, Detail: "epoch=4"})
+	if err := a2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := Verify(dir); err != nil || n != 4 {
+		t.Fatalf("after reopen append: n=%d err=%v", n, err)
+	}
+}
+
+func TestAuditTamperFailsLoud(t *testing.T) {
+	dir := t.TempDir()
+	a, err := OpenAudit(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		a.Append(Event{Kind: EvFired, Table: "msg", PK: "k", Attr: "body", Deadline: 50, Actual: 51})
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := auditSegPath(dir, 1)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A naive byte flip mid-log breaks that record's CRC.
+	flipped := append([]byte(nil), data...)
+	flipped[len(flipped)/2] ^= 0x40
+	if err := os.WriteFile(path, flipped, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Verify(dir); err == nil || !strings.Contains(err.Error(), "CRC") {
+		t.Fatalf("byte flip: want CRC failure, got %v", err)
+	}
+
+	// A smarter attacker rewrites a whole record with a consistent CRC;
+	// the hash chain still catches it. Rebuild record #3 with a changed
+	// body and valid CRC but the original chain bytes.
+	if err := os.WriteFile(path, data, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	evs, _, _, err := readAuditSegment(path, [32]byte{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := evs[2]
+	forged.PK = "other" // pretend a different row degraded
+	var out []byte
+	var chain [32]byte
+	for i, ev := range evs {
+		e := ev
+		if i == 2 {
+			e = forged
+			e.Chain = ev.Chain // keep the old chain bytes: CRC valid, chain false
+		}
+		body := appendAuditBody(nil, &e)
+		out = appendForgedFrame(out, body, e.Chain)
+		chain = e.Chain
+	}
+	_ = chain
+	if err := os.WriteFile(path, out, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Verify(dir); err == nil || !strings.Contains(err.Error(), "hash chain broken") {
+		t.Fatalf("forged record: want chain failure, got %v", err)
+	}
+}
+
+func TestAuditRotationCarriesChain(t *testing.T) {
+	dir := t.TempDir()
+	a, err := OpenAudit(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Big Detail payloads force rotation past the 1 MiB threshold.
+	filler := strings.Repeat("x", 64<<10)
+	for i := 0; i < 40; i++ {
+		a.Append(Event{Kind: EvRetried, Table: "t", PK: "p", Attr: "a", Detail: filler})
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := auditSegmentIDs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) < 2 {
+		t.Fatalf("expected rotation, got segments %v", ids)
+	}
+	if n, err := Verify(dir); err != nil || n != 40 {
+		t.Fatalf("cross-segment verify: n=%d err=%v", n, err)
+	}
+	// Reopen after rotation: seq continues from the newest segment.
+	a2, err := OpenAudit(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2.Seq() != 40 {
+		t.Fatalf("seq after rotated reopen = %d, want 40", a2.Seq())
+	}
+	a2.Append(Event{Kind: EvCheckpoint})
+	if err := a2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := Verify(dir); err != nil || n != 41 {
+		t.Fatalf("append after rotated reopen: n=%d err=%v", n, err)
+	}
+}
+
+func TestAuditEphemeralRing(t *testing.T) {
+	a, err := OpenAudit("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < auditRingCap+10; i++ {
+		a.Append(Event{Kind: EvScheduled, Table: "t", UnixNano: int64(i + 1)})
+	}
+	tail := a.Tail(4)
+	if len(tail) != 4 {
+		t.Fatalf("tail len %d", len(tail))
+	}
+	if tail[3].Seq != uint64(auditRingCap+10) {
+		t.Fatalf("newest seq %d, want %d", tail[3].Seq, auditRingCap+10)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAuditEventString(t *testing.T) {
+	ev := Event{Seq: 7, Kind: EvFired, UnixNano: time.Unix(10, 0).UnixNano(),
+		Table: "msg", PK: "3", Attr: "body", Deadline: 1000, Actual: 2000, Detail: "to=Gone"}
+	s := ev.String()
+	for _, want := range []string{"#7", "fired", "msg[3].body", "delta=1µs", "to=Gone"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+// appendForgedFrame writes one frame the way Append does, for the
+// tamper test's forged-record construction.
+func appendForgedFrame(dst, body []byte, chain [32]byte) []byte {
+	payload := append(append([]byte(nil), body...), chain[:]...)
+	var hdr [auditHdrSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	return append(append(dst, hdr[:]...), payload...)
+}

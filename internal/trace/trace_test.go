@@ -1,0 +1,159 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	tt, s := tr.Start("x")
+	if tt != nil || s != nil {
+		t.Fatalf("nil tracer Start = %v, %v", tt, s)
+	}
+	tt, s = tr.StartRemote(1, 2, "x")
+	if tt != nil || s != nil {
+		t.Fatalf("nil tracer StartRemote = %v, %v", tt, s)
+	}
+	// All of these must no-op without panicking.
+	s.Attr("k", "v")
+	s.End()
+	if s.ID() != 0 || tt.ID() != 0 {
+		t.Fatal("nil ids should be 0")
+	}
+	tt.Add(nil, "x", time.Now(), time.Second)
+	if sp := tt.Span(nil, "y"); sp != nil {
+		t.Fatal("nil trace Span should be nil")
+	}
+	if tr.Recent() != nil || tr.SlowTraces() != nil || tr.ByID(7) != nil {
+		t.Fatal("nil tracer rings should be empty")
+	}
+	if tr.Slow() != 0 {
+		t.Fatal("nil tracer Slow should be 0")
+	}
+}
+
+func TestSampling(t *testing.T) {
+	off := New("t", 0, 0)
+	if tt, _ := off.Start("q"); tt != nil {
+		t.Fatal("sample 0 must not sample local requests")
+	}
+	if tt, _ := off.StartRemote(0, 0, "q"); tt == nil {
+		t.Fatal("sample 0 must still honor remote-forced traces")
+	}
+	every := New("t", 1, 0)
+	for i := 0; i < 3; i++ {
+		if tt, _ := every.Start("q"); tt == nil {
+			t.Fatal("sample 1 must sample every request")
+		}
+	}
+	nth := New("t", 4, 0)
+	hits := 0
+	for i := 0; i < 40; i++ {
+		if tt, _ := nth.Start("q"); tt != nil {
+			hits++
+		}
+	}
+	if hits != 10 {
+		t.Fatalf("sample 4 over 40 requests: got %d sampled, want 10", hits)
+	}
+}
+
+func TestSpanTreeAndRings(t *testing.T) {
+	tr := New("server", 1, time.Hour)
+	tt, root := tr.Start("exec")
+	child := tt.Span(root, "wal_append")
+	child.Attr("bytes", "42")
+	child.End()
+	tt.Add(root, "fsync", time.Now(), 3*time.Millisecond)
+	root.End()
+
+	rec := tr.ByID(tt.ID())
+	if rec == nil {
+		t.Fatal("finished trace not found by id")
+	}
+	if rec.Root != "exec" || len(rec.Spans) != 3 {
+		t.Fatalf("rec = %q with %d spans, want exec with 3", rec.Root, len(rec.Spans))
+	}
+	byName := map[string]Span{}
+	for _, sp := range rec.Spans {
+		if sp.TraceID != tt.ID() {
+			t.Fatalf("span %q trace id %d, want %d", sp.Name, sp.TraceID, tt.ID())
+		}
+		byName[sp.Name] = sp
+	}
+	rootSpan := byName["exec"]
+	if rootSpan.ParentID != 0 {
+		t.Fatal("root should have no parent")
+	}
+	for _, name := range []string{"wal_append", "fsync"} {
+		if byName[name].ParentID != rootSpan.SpanID {
+			t.Fatalf("%s parent = %d, want root %d", name, byName[name].ParentID, rootSpan.SpanID)
+		}
+	}
+	if len(byName["wal_append"].Attrs) != 1 || byName["wal_append"].Attrs[0].Val != "42" {
+		t.Fatal("attr lost")
+	}
+	if got := tr.Recent(); len(got) != 1 || got[0].TraceID != tt.ID() {
+		t.Fatalf("recent ring = %v", got)
+	}
+	if got := tr.SlowTraces(); len(got) != 0 {
+		t.Fatal("fast trace must not land in the slow ring")
+	}
+}
+
+func TestRingOverwriteNewestFirst(t *testing.T) {
+	tr := New("server", 1, time.Nanosecond) // everything is "slow"
+	ids := make([]uint64, 0, RecentCap+10)
+	for i := 0; i < RecentCap+10; i++ {
+		tt, root := tr.Start("q")
+		root.End()
+		ids = append(ids, tt.ID())
+	}
+	recent := tr.Recent()
+	if len(recent) != RecentCap {
+		t.Fatalf("recent ring len %d, want %d", len(recent), RecentCap)
+	}
+	// Newest first; the oldest 10 were displaced.
+	for i, r := range recent {
+		want := ids[len(ids)-1-i]
+		if r.TraceID != want {
+			t.Fatalf("recent[%d] = %d, want %d", i, r.TraceID, want)
+		}
+	}
+	if tr.ByID(ids[0]) != nil {
+		t.Fatal("displaced trace should be gone from both rings")
+	}
+	slow := tr.SlowTraces()
+	if len(slow) != SlowCap || slow[0].TraceID != ids[len(ids)-1] {
+		t.Fatalf("slow ring len %d newest %d", len(slow), slow[0].TraceID)
+	}
+}
+
+func TestRemoteStitchIDs(t *testing.T) {
+	router := New("router", 1, 0)
+	shard := New("server", 0, 0)
+
+	rt, rroot := router.Start("scatter")
+	perShard := rt.Span(rroot, "shard-0")
+	// The shard records under the router's trace id, rooted at the
+	// per-shard client span.
+	st, sroot := shard.StartRemote(rt.ID(), perShard.ID(), "exec")
+	if st.ID() != rt.ID() {
+		t.Fatalf("shard trace id %d, want router's %d", st.ID(), rt.ID())
+	}
+	sroot.End()
+	perShard.End()
+	rroot.End()
+
+	srec := shard.ByID(rt.ID())
+	if srec == nil {
+		t.Fatal("shard must record the remote-forced trace")
+	}
+	if srec.Spans[0].ParentID != perShard.ID() {
+		t.Fatalf("shard root parent %d, want router span %d", srec.Spans[0].ParentID, perShard.ID())
+	}
+	if srec.Spans[0].SpanID == perShard.ID() {
+		t.Fatal("span ids must be distinct across processes")
+	}
+}

@@ -29,6 +29,21 @@ type groupWaiter struct {
 	pos  Pos
 	err  error
 	done bool
+	// Timing breakdown, filled by the leader for GroupAppendTimed
+	// callers: when this waiter's group started flushing and how long
+	// its shared fsync took.
+	flushStart time.Time
+	fsyncDur   time.Duration
+}
+
+// GroupTiming decomposes one GroupAppend ack into its phases: Enqueue
+// (queued behind an in-flight flush and the group window), Fsync (the
+// shared fsync this batch rode), Ack (total wall time of the call).
+// Ack - Enqueue - Fsync ≈ the group's buffered write plus wakeup.
+type GroupTiming struct {
+	Enqueue time.Duration
+	Fsync   time.Duration
+	Ack     time.Duration
 }
 
 // GroupAppend durably appends one commit batch whose record bytes are
@@ -43,8 +58,23 @@ type groupWaiter struct {
 // acks: the fsync that would have made any of them durable never
 // succeeded) and latches the log broken, exactly like AppendRaw.
 func (l *Log) GroupAppend(payload []byte) (Pos, error) {
+	return l.groupAppend(payload, nil)
+}
+
+// GroupAppendTimed is GroupAppend, additionally filling tm with the
+// ack's phase breakdown — recorded only when the caller asks, so the
+// untraced hot path pays nothing.
+func (l *Log) GroupAppendTimed(payload []byte, tm *GroupTiming) (Pos, error) {
+	return l.groupAppend(payload, tm)
+}
+
+func (l *Log) groupAppend(payload []byte, tm *GroupTiming) (Pos, error) {
 	if len(payload) == 0 {
 		return l.EndPos(), nil
+	}
+	var t0 time.Time
+	if tm != nil {
+		t0 = time.Now()
 	}
 	w := &groupWaiter{payload: payload}
 	l.gmu.Lock()
@@ -54,6 +84,7 @@ func (l *Log) GroupAppend(payload []byte) (Pos, error) {
 	}
 	if w.done {
 		l.gmu.Unlock()
+		fillTiming(tm, t0, w)
 		return w.pos, w.err
 	}
 	// No flush in flight: this waiter leads the group.
@@ -89,13 +120,30 @@ func (l *Log) GroupAppend(payload []byte) (Pos, error) {
 		l.gcond.Broadcast()
 		l.gmu.Unlock()
 	}
+	fillTiming(tm, t0, w)
 	return w.pos, w.err
+}
+
+// fillTiming decomposes a finished waiter's ack for a timed caller.
+func fillTiming(tm *GroupTiming, t0 time.Time, w *groupWaiter) {
+	if tm == nil {
+		return
+	}
+	tm.Ack = time.Since(t0)
+	if !w.flushStart.IsZero() {
+		tm.Enqueue = w.flushStart.Sub(t0)
+	}
+	tm.Fsync = w.fsyncDur
 }
 
 // flushGroup appends every waiter's batch under one fsync. It fills
 // each waiter's pos/err but does NOT mark done — the caller publishes
 // completion under l.gmu.
 func (l *Log) flushGroup(ws []*groupWaiter) {
+	flushStart := time.Now()
+	for _, w := range ws {
+		w.flushStart = flushStart
+	}
 	fail := func(err error) {
 		for _, w := range ws {
 			w.err = err
@@ -138,7 +186,11 @@ func (l *Log) flushGroup(ws []*groupWaiter) {
 			return
 		}
 		l.statFsyncs.Add(1)
-		l.fsyncSeconds.Observe(time.Since(start))
+		fsyncDur := time.Since(start)
+		l.fsyncSeconds.Observe(fsyncDur)
+		for _, w := range ws {
+			w.fsyncDur = fsyncDur
+		}
 	}
 	l.activeSize += int64(len(buf))
 	l.appendedBytes.Add(uint64(len(buf)))
