@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check doc-check md-check fuzz fuzz-wal bench bench-json bench-shard bench-groupcommit bench-trace shard-smoke metrics-smoke trace-smoke groupcommit-smoke serve clean
+.PHONY: build test race vet fmt-check doc-check md-check fuzz fuzz-wal bench bench-json bench-shard bench-groupcommit bench-trace bench-load shard-smoke metrics-smoke trace-smoke load-smoke groupcommit-smoke serve clean
 
 build:
 	$(GO) build ./...
@@ -82,6 +82,21 @@ metrics-smoke:
 # must answer on the metrics listener.
 trace-smoke:
 	$(GO) run ./internal/tools/tracesmoke
+
+# load-smoke runs the quick open-loop SLO experiment end to end and
+# hard-asserts the ISSUE 10 surface: intended-start quantiles per
+# tenant, the mid-run degradation wave visible in the lag gauge and
+# settled by drain, span attribution for the slowest traced op, the
+# audit chain verified over the wave, and a passing SLO verdict.
+load-smoke:
+	$(GO) run ./internal/tools/loadsmoke
+
+# bench-load regenerates the committed open-loop SLO reference
+# (BENCH_PR10.json): the full (non-quick) LOAD run — three tenants,
+# Poisson arrivals, degradation wave mid-steady-phase — which fails if
+# any SLO gate is violated.
+bench-load:
+	$(GO) run ./cmd/benchrunner -exp LOAD -benchjson BENCH_PR10.json
 
 # bench-trace regenerates the committed tracing-overhead reference
 # (BENCH_PR9.json): insert / point-select ns/op and p50/p99 with

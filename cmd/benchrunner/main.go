@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	benchrunner [-exp all|F1|F2|F3|E1|E2|E3|BSTORE|BLOG|BIDX|BTXN|BREC|METRICS|SHARD|GROUPCOMMIT|TRACE]
+//	benchrunner [-exp all|F1|F2|F3|E1|E2|E3|BSTORE|BLOG|BIDX|BTXN|BREC|METRICS|SHARD|GROUPCOMMIT|TRACE|LOAD]
 //	            [-n tuples] [-quick] [-benchjson out.json]
 //
 // The METRICS experiment measures the observability layer's overhead on
@@ -31,8 +31,16 @@
 // the unsampled wrapper (sampling branches only), and every request
 // sampled — reporting mean plus p50/p99 per-op latency (the committed
 // reference is BENCH_PR9.json; the PR 9 budget is <3% unsampled
-// overhead per path). -benchjson applies to whichever of
-// METRICS/SHARD/GROUPCOMMIT/TRACE runs; use it with a single -exp.
+// overhead per path).
+//
+// The LOAD experiment is the open-loop SLO run (ISSUE 10): three
+// purpose-bound tenants drive an in-process server through the
+// coordinated-omission-free harness in internal/load, a degradation
+// wave lands mid-steady-phase, and the run fails if any SLO gate
+// (intended-start p99, post-drain degrade lag, error rate) is violated
+// (the committed reference is BENCH_PR10.json). -benchjson applies to
+// whichever of METRICS/SHARD/GROUPCOMMIT/TRACE/LOAD runs; use it with
+// a single -exp.
 package main
 
 import (
@@ -46,8 +54,8 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (all, F1, F2, F3, E1, E2, E3, BSTORE, BLOG, BIDX, BTXN, BREC, METRICS, SHARD, GROUPCOMMIT, TRACE)")
-	benchJSON := flag.String("benchjson", "", "write the METRICS, SHARD, GROUPCOMMIT or TRACE result to this JSON file")
+	exp := flag.String("exp", "all", "experiment id (all, F1, F2, F3, E1, E2, E3, BSTORE, BLOG, BIDX, BTXN, BREC, METRICS, SHARD, GROUPCOMMIT, TRACE, LOAD)")
+	benchJSON := flag.String("benchjson", "", "write the METRICS, SHARD, GROUPCOMMIT, TRACE or LOAD result to this JSON file")
 	rounds := flag.Int("rounds", 3, "alternating measurement rounds per side for METRICS/GROUPCOMMIT/TRACE")
 	n := flag.Int("n", 2000, "workload size (tuples)")
 	queries := flag.Int("q", 200, "query count for B-IDX")
@@ -123,6 +131,22 @@ func main() {
 				return err
 			}
 			fmt.Fprintf(w, "wrote %s\n", *benchJSON)
+		}
+		return nil
+	})
+	run("LOAD", func() error {
+		res, err := experiments.RunLoad(w, *quick)
+		if err != nil {
+			return err
+		}
+		if *benchJSON != "" {
+			if err := res.WriteJSON(*benchJSON); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "wrote %s\n", *benchJSON)
+		}
+		if !res.Report.SLO.Pass {
+			return fmt.Errorf("SLO verdict failed: %v", res.Report.SLO.Violations)
 		}
 		return nil
 	})

@@ -510,6 +510,23 @@ func printStats(m map[string]float64, all, stamped bool) {
 			fmt.Printf("%-44s %g\n", k, v)
 		}
 	}
+	// Request-latency quantiles, one row per op label, from the
+	// snapshot's interpolated histogram columns.
+	const latPrefix = `instantdb_server_request_seconds_p50{op="`
+	var ops []string
+	for k := range m {
+		if strings.HasPrefix(k, latPrefix) && strings.HasSuffix(k, `"}`) {
+			ops = append(ops, k[len(latPrefix):len(k)-2])
+		}
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		label := fmt.Sprintf(`{op=%q}`, op)
+		fmt.Printf("%-44s p50=%.3fms p99=%.3fms\n",
+			"instantdb_server_request_seconds"+label,
+			1000*m["instantdb_server_request_seconds_p50"+label],
+			1000*m["instantdb_server_request_seconds_p99"+label])
+	}
 	// Per-shard reachability from a router rollup, sorted for stable
 	// output.
 	var shardKeys []string

@@ -1,0 +1,366 @@
+// Command instantdb-loadgen is the open-loop, coordinated-omission-free
+// load generator (ISSUE 10): per-tenant arrival schedules fire on
+// intended timestamps regardless of in-flight responses, so reported
+// latency includes every queueing delay a wedged or overloaded server
+// causes. While driving traffic it polls wire Stats for the
+// degradation-lag gauge, and on completion it attributes the slowest
+// traced operation to spans and summarizes the audit tail.
+//
+// Usage:
+//
+//	instantdb-loadgen -targets host:port[,host:port] [flags]
+//
+// A single tenant is described by flags (-rate, -purpose, -mix …); a
+// multi-tenant run loads a JSON workload spec with -spec (see
+// DESIGN.md "Load & SLO harness" for the schema). Phases: the rate
+// ramps linearly over -ramp, holds for -duration, then the harness
+// waits -drain before the final lag sample.
+//
+//	-mix "insert=6,point=3,scan=0,traced=1" weights the op kinds
+//	-arrival fixed|poisson selects the arrival process
+//	-text re-sends SQL text each op instead of prepared statements
+//	-out LOAD_run.json writes the committed-format JSON report
+//
+// SLO gates make the run CI-checkable: -slo-p99 bounds the total
+// intended-start p99, -slo-lag bounds the post-drain degradation lag,
+// -slo-errors bounds the failed-op percentage. Any violation prints
+// the verdict and exits with status 2.
+//
+// -init installs the load schema (location domain over the synthetic
+// universe, a hold policy per level from -holds, the person table and
+// the stat/cities/regions purposes) on the first target before the
+// run — handy against a freshly started server. Real-clock servers
+// degrade when the -holds durations expire; in-process harnesses
+// (make load-smoke) orchestrate a simulated-clock wave instead.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"instantdb/client"
+	"instantdb/internal/load"
+	"instantdb/internal/workload"
+)
+
+func main() {
+	targets := flag.String("targets", "", "comma-separated wire endpoints (server or router front ends)")
+	specPath := flag.String("spec", "", "JSON workload spec (overrides the single-tenant flags)")
+	out := flag.String("out", "", "write the JSON report here (LOAD_*.json)")
+
+	arrival := flag.String("arrival", load.ArrivalFixed, "arrival process: fixed or poisson")
+	ramp := flag.Duration("ramp", 2*time.Second, "linear rate ramp duration")
+	duration := flag.Duration("duration", 10*time.Second, "steady-phase duration")
+	drain := flag.Duration("drain", 2*time.Second, "post-run settle time before the final lag sample")
+	sessions := flag.Int("sessions", 2, "sessions per target per tenant")
+	inflight := flag.Int("max-in-flight", 8192, "per-tenant bound on queued+executing ops")
+	text := flag.Bool("text", false, "send SQL text per op instead of prepared statements (comparison mode)")
+
+	rate := flag.Float64("rate", 200, "steady-state ops/sec (single-tenant mode)")
+	purpose := flag.String("purpose", "stat", "session purpose (single-tenant mode; empty = server default)")
+	coarse := flag.Bool("coarse", false, "enable coarse best-effort projections for the session")
+	mix := flag.String("mix", "insert=6,point=3,traced=1", "op mix weights: insert=,point=,scan=,traced=")
+	locLevel := flag.Int("loc-level", 3, "location-tree level point queries target (0=address … 3=country)")
+	seed := flag.Int64("seed", 1, "workload seed (single-tenant mode)")
+	universe := flag.String("universe", "2,2,2,5", "location universe shape: countries,regions,cities,addresses")
+
+	initSchema := flag.Bool("init", false, "install the load schema on the first target before the run")
+	holds := flag.String("holds", "15m,1h,1d,1mo", "per-level hold durations for -init (address,city,region,country)")
+
+	sloP99 := flag.Duration("slo-p99", 0, "fail (exit 2) if total intended-start p99 exceeds this")
+	sloLag := flag.Duration("slo-lag", 0, "fail (exit 2) if the post-drain degradation lag exceeds this")
+	sloErrors := flag.Float64("slo-errors", 0, "fail (exit 2) if failed ops exceed this percentage")
+	quiet := flag.Bool("quiet", false, "suppress the live 1s console line")
+	flag.Parse()
+
+	if err := run(&options{
+		targets: *targets, specPath: *specPath, out: *out,
+		arrival: *arrival, ramp: *ramp, duration: *duration, drain: *drain,
+		sessions: *sessions, inflight: *inflight, text: *text,
+		rate: *rate, purpose: *purpose, coarse: *coarse, mix: *mix,
+		locLevel: *locLevel, seed: *seed, universe: *universe,
+		initSchema: *initSchema, holds: *holds,
+		sloP99: *sloP99, sloLag: *sloLag, sloErrors: *sloErrors, quiet: *quiet,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "instantdb-loadgen:", err)
+		if err == errSLO {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
+
+var errSLO = fmt.Errorf("SLO verdict: FAIL")
+
+type options struct {
+	targets, specPath, out string
+	arrival                string
+	ramp, duration, drain  time.Duration
+	sessions, inflight     int
+	text                   bool
+	rate                   float64
+	purpose                string
+	coarse                 bool
+	mix                    string
+	locLevel               int
+	seed                   int64
+	universe               string
+	initSchema             bool
+	holds                  string
+	sloP99, sloLag         time.Duration
+	sloErrors              float64
+	quiet                  bool
+}
+
+func run(o *options) error {
+	spec, err := buildSpec(o)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	if o.initSchema {
+		if err := installSchema(ctx, spec, o.holds); err != nil {
+			return fmt.Errorf("-init: %w", err)
+		}
+	}
+	hooks := load.Hooks{
+		Logf: func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+	}
+	if !o.quiet {
+		hooks.LiveW = os.Stderr
+	}
+	rep, err := load.Run(ctx, spec, hooks)
+	if err != nil {
+		return err
+	}
+	printSummary(rep)
+	if o.out != "" {
+		if err := rep.WriteJSON(o.out); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", o.out)
+	}
+	if !rep.SLO.Pass {
+		for _, v := range rep.SLO.Violations {
+			fmt.Fprintln(os.Stderr, "SLO violation:", v)
+		}
+		return errSLO
+	}
+	return nil
+}
+
+// buildSpec assembles the workload spec from -spec or the flags.
+func buildSpec(o *options) (*load.Spec, error) {
+	if o.specPath != "" {
+		b, err := os.ReadFile(o.specPath)
+		if err != nil {
+			return nil, err
+		}
+		spec, err := load.ParseSpec(b)
+		if err != nil {
+			return nil, err
+		}
+		if o.targets != "" {
+			spec.Targets = strings.Split(o.targets, ",")
+		}
+		applySLOFlags(spec, o)
+		return spec, nil
+	}
+	if o.targets == "" {
+		return nil, fmt.Errorf("-targets or -spec is required")
+	}
+	m, err := parseMix(o.mix)
+	if err != nil {
+		return nil, err
+	}
+	uni, err := parseUniverse(o.universe)
+	if err != nil {
+		return nil, err
+	}
+	spec := &load.Spec{
+		Targets:           strings.Split(o.targets, ","),
+		Arrival:           o.arrival,
+		Ramp:              load.Dur(o.ramp),
+		Steady:            load.Dur(o.duration),
+		Drain:             load.Dur(o.drain),
+		SessionsPerTarget: o.sessions,
+		MaxInFlight:       o.inflight,
+		Text:              o.text,
+		Universe:          uni,
+		Tenants: []load.Tenant{{
+			Name:     "main",
+			Purpose:  o.purpose,
+			Coarse:   o.coarse,
+			Rate:     o.rate,
+			Mix:      m,
+			LocLevel: o.locLevel,
+			Seed:     o.seed,
+		}},
+	}
+	applySLOFlags(spec, o)
+	if err := spec.Normalize(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+// applySLOFlags lets the gate flags override (or set) the spec's SLO.
+func applySLOFlags(spec *load.Spec, o *options) {
+	if o.sloP99 > 0 {
+		spec.SLO.P99 = load.Dur(o.sloP99)
+	}
+	if o.sloLag > 0 {
+		spec.SLO.FinalLag = load.Dur(o.sloLag)
+	}
+	if o.sloErrors > 0 {
+		spec.SLO.ErrorPct = o.sloErrors
+	}
+}
+
+func parseMix(s string) (load.OpMix, error) {
+	var m load.OpMix
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return m, fmt.Errorf("bad -mix entry %q (want kind=weight)", part)
+		}
+		w, err := strconv.Atoi(kv[1])
+		if err != nil || w < 0 {
+			return m, fmt.Errorf("bad -mix weight %q", part)
+		}
+		switch kv[0] {
+		case "insert":
+			m.Insert = w
+		case "point":
+			m.Point = w
+		case "scan":
+			m.Scan = w
+		case "traced":
+			m.Traced = w
+		default:
+			return m, fmt.Errorf("unknown -mix kind %q (insert, point, scan, traced)", kv[0])
+		}
+	}
+	if m.Insert+m.Point+m.Scan+m.Traced == 0 {
+		return m, fmt.Errorf("-mix has no positive weights")
+	}
+	return m, nil
+}
+
+func parseUniverse(s string) (load.Universe, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return load.Universe{}, fmt.Errorf("bad -universe %q (want countries,regions,cities,addresses)", s)
+	}
+	var dims [4]int
+	for i, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n <= 0 {
+			return load.Universe{}, fmt.Errorf("bad -universe dimension %q", p)
+		}
+		dims[i] = n
+	}
+	return load.Universe{Countries: dims[0], Regions: dims[1], Cities: dims[2], Addresses: dims[3]}, nil
+}
+
+// installSchema creates the load schema on the first target: the
+// location domain enumerating the synthetic universe (one PATH per
+// leaf), a delete policy holding each level for the -holds durations,
+// the person table, and one purpose per accuracy level.
+func installSchema(ctx context.Context, spec *load.Spec, holds string) error {
+	hs := strings.Split(holds, ",")
+	if len(hs) != 4 {
+		return fmt.Errorf("bad -holds %q (want address,city,region,country durations)", holds)
+	}
+	u := spec.Universe
+	uni := workload.NewLocationUniverse(u.Countries, u.Regions, u.Cities, u.Addresses)
+	var sb strings.Builder
+	sb.WriteString("CREATE DOMAIN location TREE LEVELS (address, city, region, country)")
+	for _, leaf := range uni.Addresses {
+		// Leaf "c/r/ci/a": each ancestor value is the path prefix.
+		parts := strings.Split(leaf, "/")
+		if len(parts) != 4 {
+			return fmt.Errorf("unexpected leaf shape %q", leaf)
+		}
+		fmt.Fprintf(&sb, "\n  PATH ('%s', '%s', '%s', '%s')",
+			leaf, strings.Join(parts[:3], "/"), strings.Join(parts[:2], "/"), parts[0])
+	}
+	sb.WriteString(";\n")
+	fmt.Fprintf(&sb, `CREATE POLICY locpol ON location (
+  HOLD address FOR '%s', HOLD city FOR '%s',
+  HOLD region FOR '%s', HOLD country FOR '%s') THEN DELETE;
+CREATE TABLE person (
+  id INT PRIMARY KEY,
+  name TEXT NOT NULL,
+  location TEXT DEGRADABLE DOMAIN location POLICY locpol,
+  salary INT
+);
+DECLARE PURPOSE stat SET ACCURACY LEVEL country FOR person.location;
+DECLARE PURPOSE cities SET ACCURACY LEVEL city FOR person.location;
+DECLARE PURPOSE regions SET ACCURACY LEVEL region FOR person.location;
+`, strings.TrimSpace(hs[0]), strings.TrimSpace(hs[1]), strings.TrimSpace(hs[2]), strings.TrimSpace(hs[3]))
+
+	conn, err := client.Dial(ctx, spec.Targets[0])
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	for _, stmt := range strings.Split(sb.String(), ";") {
+		stmt = strings.TrimSpace(stmt)
+		if stmt == "" {
+			continue
+		}
+		if _, err := conn.Exec(ctx, stmt); err != nil {
+			return fmt.Errorf("%w (statement: %.80s…)", err, stmt)
+		}
+	}
+	return nil
+}
+
+// printSummary renders the run outcome to stdout.
+func printSummary(rep *load.Report) {
+	fmt.Printf("%-10s %10s %8s %9s %10s %10s %10s %10s\n",
+		"tenant", "ops", "errs", "overruns", "p50", "p99", "p999", "max")
+	rows := append(append([]load.TenantReport{}, rep.Tenants...), rep.Total)
+	for _, t := range rows {
+		fmt.Printf("%-10s %10d %8d %9d %9.2fms %9.2fms %9.2fms %9.2fms\n",
+			t.Name, t.Ops, t.Errors, t.Overruns,
+			1000*t.Intended.P50, 1000*t.Intended.P99, 1000*t.Intended.P999, 1000*t.Intended.Max)
+	}
+	fmt.Printf("lag: max %.1fs final %.1fs (%d samples); sheds %d; repl lag %.0fB\n",
+		rep.Lag.MaxSeconds, rep.Lag.FinalSeconds, rep.Lag.Samples, rep.Lag.Sheds, rep.Lag.MaxReplLagBytes)
+	fmt.Printf("availability: %d/%d endpoints live, %d down events, %d reconnects\n",
+		rep.Availability.Live, rep.Availability.Endpoints,
+		rep.Availability.DownEvents, rep.Availability.Reconnects)
+	if st := rep.SlowTrace; st != nil {
+		fmt.Printf("slowest traced op %s (%s, %.2fms): dominated by %s\n",
+			st.TraceID, st.Root, 1000*st.Seconds, st.Slowest)
+		for _, sp := range st.Spans {
+			fmt.Printf("  %-24s %9.3fms %5.1f%%\n", sp.Name, 1000*sp.Seconds, sp.Pct)
+		}
+	}
+	fmt.Printf("audit: %d scheduled, %d fired; chain verified=%v",
+		rep.Audit.Scheduled, rep.Audit.Fired, rep.Audit.ChainVerified)
+	if rep.Audit.Note != "" {
+		fmt.Printf(" (%s)", rep.Audit.Note)
+	}
+	fmt.Println()
+	verdict := "PASS"
+	if !rep.SLO.Pass {
+		verdict = "FAIL"
+	}
+	fmt.Printf("SLO verdict: %s", verdict)
+	for _, g := range rep.SLO.Gates {
+		fmt.Printf("  [%s %.4g<=%.4g ok=%v]", g.Name, g.Measured, g.Limit, g.OK)
+	}
+	fmt.Println()
+}

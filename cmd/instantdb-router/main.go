@@ -24,8 +24,10 @@
 // holding a stale table is refused loudly instead of misrouting.
 //
 // -metrics-listen serves GET /metrics with the AGGREGATED deployment
-// view: per-shard stats rolled up (lag-style gauges as max over shards,
-// counters summed) plus the router's own instruments, /healthz,
+// view: per-shard stats rolled up (lag-style gauges and latency
+// quantile columns like request_seconds_p99 as max over shards —
+// "the worst shard" — counters summed) plus the router's own
+// instruments, /healthz,
 // /debug/traces (the router's recent and slow traces) and
 // /debug/pprof/* (the Go profiler) — all on a separate HTTP listener,
 // never a session slot, so a scraper or a long CPU profile cannot

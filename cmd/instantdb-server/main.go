@@ -216,6 +216,9 @@ func selfReport(db *instantdb.DB, follower *repl.Follower, every time.Duration, 
 			st := db.Degrader().Stats()
 			line := fmt.Sprintf("self-report: degrade_lag=%.3fs pending=%d transitions=%d conns=%.0f",
 				lag.Seconds(), st.Pending, st.Transitions, statValue(db, "instantdb_server_active_conns"))
+			if p99 := statValue(db, `instantdb_server_request_seconds_p99{op="exec"}`); p99 > 0 {
+				line += fmt.Sprintf(" exec_p99=%.3fms", 1000*p99)
+			}
 			if follower != nil {
 				line += fmt.Sprintf(" repl_connected=%v repl_lag_bytes=%d", follower.Connected(), follower.LagBytes())
 			}

@@ -1,0 +1,174 @@
+// The LOAD experiment: the first SLO-verdict run of the open-loop load
+// harness (ISSUE 10). It boots a durable experiment environment on a
+// simulated clock, serves it over TCP, and drives three purpose-bound
+// tenants through internal/load with a degradation wave landing in the
+// middle of the steady phase — so the committed BENCH_PR10.json records
+// coordinated-omission-free latency quantiles, the lag spike the wave
+// caused, the span attribution of the slowest traced operation, and a
+// pass/fail verdict over the SLO gates.
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"time"
+
+	"instantdb/internal/load"
+	"instantdb/internal/server"
+	"instantdb/internal/trace"
+)
+
+// LoadResult is the JSON shape committed as BENCH_PR10.json.
+type LoadResult struct {
+	Quick  bool         `json:"quick"`
+	Report *load.Report `json:"report"`
+}
+
+// WriteJSON writes the result with a trailing newline.
+func (r *LoadResult) WriteJSON(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// RunLoad drives the load harness against an in-process server: ramp,
+// steady phase with a mid-run degradation wave (simulated clock jumps
+// past the 15-minute address hold, then DegradeNow enforces), drain,
+// verdict. quick shrinks rates and durations for CI.
+func RunLoad(w io.Writer, quick bool) (*LoadResult, error) {
+	dir, err := os.MkdirTemp("", "instantdb-load-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	// Durable environment: the degradation audit trail must be on disk
+	// so the run can verify the hash chain covered the wave.
+	env, err := NewEnv(EnvOptions{Dir: dir})
+	if err != nil {
+		return nil, err
+	}
+	defer env.Close()
+	preload := 4000
+	if quick {
+		preload = 800
+	}
+	if err := env.Load(preload); err != nil {
+		return nil, err
+	}
+	// Settle the backlog Load's clock advances created, so the wave's
+	// lag spike is attributable to the wave alone.
+	if _, err := env.DB.DegradeNow(); err != nil {
+		return nil, err
+	}
+
+	srv := server.New(env.DB, server.Options{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go srv.Serve(ln) //nolint:errcheck
+	defer srv.Close()
+	addr := ln.Addr().String()
+
+	// Rates are chosen to sit below the single-server durable-commit
+	// capacity of a modest CI box: an open-loop harness never slows
+	// down for the server, so an offered rate above capacity makes the
+	// queue — and the intended-start quantiles — grow without bound
+	// for the rest of the run (the honest answer, but not a useful
+	// committed reference). The SLO p99 must still absorb the
+	// engine-wide stall the degradation wave's enforcement causes.
+	ramp, steady, drain := 1*time.Second, 6*time.Second, 1500*time.Millisecond
+	rateScale := 1.0
+	if quick {
+		ramp, steady, drain = 500*time.Millisecond, 2*time.Second, time.Second
+		rateScale = 0.6
+	}
+	spec := &load.Spec{
+		Targets:           []string{addr},
+		Arrival:           load.ArrivalPoisson,
+		Ramp:              load.Dur(ramp),
+		Steady:            load.Dur(steady),
+		Drain:             load.Dur(drain),
+		SessionsPerTarget: 6,
+		Universe:          load.Universe{Countries: 3, Regions: 3, Cities: 4, Addresses: 10},
+		Tenants: []load.Tenant{
+			{Name: "stat", Purpose: "stat", Rate: 120 * rateScale,
+				Mix: load.OpMix{Insert: 6, Point: 3, Traced: 1}, LocLevel: 3, Seed: 101},
+			{Name: "cities", Purpose: "cities", Rate: 60 * rateScale,
+				Mix: load.OpMix{Insert: 2, Point: 6}, LocLevel: 1, Seed: 202},
+			{Name: "regions", Purpose: "regions", Rate: 15 * rateScale,
+				Mix: load.OpMix{Point: 2, Scan: 1}, LocLevel: 2, Seed: 303},
+		},
+		SLO: load.SLO{
+			P99:      load.Dur(1500 * time.Millisecond),
+			FinalLag: load.Dur(2 * time.Second),
+			ErrorPct: 0.5,
+		},
+	}
+	hooks := load.Hooks{
+		Logf:  func(format string, args ...any) { fmt.Fprintf(w, format+"\n", args...) },
+		LiveW: w,
+		// Mid-steady wave: jump simulated time past every 15-minute
+		// address hold, sample the lag spike, then enforce.
+		WaveAt:    ramp + steady/2,
+		WaveBegin: func() { env.Clock.Advance(16 * time.Minute) },
+		WaveEnd: func() {
+			if _, err := env.DB.DegradeNow(); err != nil {
+				fmt.Fprintf(w, "load: degrade: %v\n", err)
+			}
+		},
+		VerifyAudit: func() (int, error) {
+			if err := env.DB.AuditLog().Checkpoint(); err != nil {
+				return 0, err
+			}
+			return trace.Verify(filepath.Join(dir, "audit"))
+		},
+	}
+
+	fmt.Fprintf(w, "LOAD: open-loop SLO run against %s (quick=%v)\n", addr, quick)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*(ramp+steady+drain)+60*time.Second)
+	defer cancel()
+	rep, err := load.Run(ctx, spec, hooks)
+	if err != nil {
+		return nil, err
+	}
+	printLoadReport(w, rep)
+	return &LoadResult{Quick: quick, Report: rep}, nil
+}
+
+// printLoadReport renders the run summary table.
+func printLoadReport(w io.Writer, rep *load.Report) {
+	fmt.Fprintf(w, "\n%-10s %10s %8s %10s %10s %10s %10s\n",
+		"tenant", "ops", "errs", "p50", "p99", "p999", "max")
+	rows := append(append([]load.TenantReport{}, rep.Tenants...), rep.Total)
+	for _, t := range rows {
+		fmt.Fprintf(w, "%-10s %10d %8d %9.2fms %9.2fms %9.2fms %9.2fms\n",
+			t.Name, t.Ops, t.Errors,
+			1000*t.Intended.P50, 1000*t.Intended.P99, 1000*t.Intended.P999, 1000*t.Intended.Max)
+	}
+	fmt.Fprintf(w, "lag: max %.1fs final %.1fs (wave observed: %v, %d samples)\n",
+		rep.Lag.MaxSeconds, rep.Lag.FinalSeconds, rep.Lag.WaveObserved, rep.Lag.Samples)
+	if st := rep.SlowTrace; st != nil {
+		fmt.Fprintf(w, "slowest traced op %s (%s, %.2fms): dominated by %s\n",
+			st.TraceID, st.Root, 1000*st.Seconds, st.Slowest)
+	}
+	fmt.Fprintf(w, "audit: %d scheduled, %d fired; chain verified=%v (%d events)\n",
+		rep.Audit.Scheduled, rep.Audit.Fired, rep.Audit.ChainVerified, rep.Audit.ChainEvents)
+	verdict := "PASS"
+	if !rep.SLO.Pass {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(w, "SLO verdict: %s", verdict)
+	for _, g := range rep.SLO.Gates {
+		fmt.Fprintf(w, "  [%s %.4g<=%.4g ok=%v]", g.Name, g.Measured, g.Limit, g.OK)
+	}
+	fmt.Fprintln(w)
+}

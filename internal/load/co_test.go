@@ -1,0 +1,231 @@
+// Coordinated-omission regression test: the measurement model itself
+// is the thing under test. A mock wire server answers instantly until
+// it is wedged for a fixed window mid-run; an open-loop harness must
+// charge that whole stall to the operations scheduled during it
+// (intended-start latency), while the response-start ("service") view
+// — what a closed-loop harness reports — sees almost none of it
+// because queued operations execute instantly once the wedge lifts.
+package load
+
+import (
+	"context"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"instantdb/internal/wire"
+)
+
+// wedgeGate lets the test freeze all request processing: requests take
+// a read lock, the wedge takes the write lock for its duration.
+type wedgeGate struct{ mu sync.RWMutex }
+
+func (g *wedgeGate) pass() {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+}
+
+func (g *wedgeGate) wedge(d time.Duration) {
+	g.mu.Lock()
+	time.Sleep(d)
+	g.mu.Unlock()
+}
+
+// startMockServer serves a minimal wire protocol: handshake, prepare,
+// and instant empty results for every exec/query — all funneled
+// through the gate.
+func startMockServer(t *testing.T, gate *wedgeGate) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go serveMockConn(nc, gate)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func serveMockConn(nc net.Conn, gate *wedgeGate) {
+	defer nc.Close()
+	var nextStmt uint64
+	for {
+		op, payload, err := wire.ReadFrame(nc, wire.MaxFrameDefault)
+		if err != nil {
+			return
+		}
+		var rop byte
+		var rp []byte
+		switch op {
+		case wire.OpHello:
+			if _, err := wire.DecodeHello(payload); err != nil {
+				return
+			}
+			rop, rp = wire.OpWelcome, wire.EncodeWelcome()
+		case wire.OpPrepare:
+			nextStmt++
+			rop, rp = wire.OpStmtReady, wire.EncodeStmtReady(wire.StmtReady{
+				ID:        nextStmt,
+				NumParams: strings.Count(string(payload), "?"),
+			})
+		case wire.OpExec, wire.OpExecArgs, wire.OpExecPrepared, wire.OpQuery:
+			gate.pass()
+			rop, rp = wire.OpResult, wire.EncodeResult(&wire.Result{})
+		case wire.OpStats:
+			rop, rp = wire.OpStatsReply, wire.EncodeStats(nil)
+		case wire.OpPing:
+			rop, rp = wire.OpPong, nil
+		case wire.OpCloseStmt:
+			rop, rp = wire.OpResult, wire.EncodeResult(&wire.Result{})
+		default:
+			rop, rp = wire.OpError, wire.EncodeError(wire.CodeSQL, "mock: unsupported op")
+		}
+		if err := wire.WriteFrame(nc, rop, rp); err != nil {
+			return
+		}
+	}
+}
+
+func TestCoordinatedOmissionVisible(t *testing.T) {
+	gate := &wedgeGate{}
+	addr := startMockServer(t, gate)
+
+	const (
+		rate     = 200.0
+		steady   = 2 * time.Second
+		wedgeAt  = 700 * time.Millisecond
+		wedgeFor = 600 * time.Millisecond
+	)
+	spec := &Spec{
+		Targets:           []string{addr},
+		Arrival:           ArrivalFixed,
+		Steady:            Dur(steady),
+		SessionsPerTarget: 2,
+		Tenants: []Tenant{{
+			Name: "co",
+			Rate: rate,
+			Mix:  OpMix{Insert: 1},
+			Seed: 7,
+		}},
+	}
+
+	go func() {
+		time.Sleep(wedgeAt)
+		gate.wedge(wedgeFor)
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	rep, err := Run(ctx, spec, Hooks{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tot := rep.Total
+	if tot.Errors != 0 {
+		t.Fatalf("mock run had %d errors", tot.Errors)
+	}
+	if tot.Ops < uint64(rate*steady.Seconds())/2 {
+		t.Fatalf("only %d ops issued, schedule was starved", tot.Ops)
+	}
+	if tot.Overruns != 0 {
+		t.Fatalf("%d overruns with a %d-deep queue", tot.Overruns, spec.MaxInFlight)
+	}
+
+	// The op in flight when the wedge landed waited out the whole
+	// window, so the intended max must show (nearly) the full stall.
+	if tot.Intended.Max < 0.8*wedgeFor.Seconds() {
+		t.Errorf("intended max %.3fs hides the %.1fs wedge", tot.Intended.Max, wedgeFor.Seconds())
+	}
+	// Arrivals scheduled during the wedge queued behind it:
+	// ~rate×wedgeFor ops (≈30% of the run) carry large intended
+	// latency, so even the p90 must be stall-sized.
+	if tot.Intended.P90 < 0.15 {
+		t.Errorf("intended p90 %.3fs does not show the stall (CO masked)", tot.Intended.P90)
+	}
+	// The closed-loop view must NOT show it at that rank: only the few
+	// requests physically in flight during the wedge have large
+	// service times; everything queued executed instantly after.
+	if tot.Service.P90 > 0.1 {
+		t.Errorf("service p90 %.3fs unexpectedly large — mock wedge leaked into send path", tot.Service.P90)
+	}
+	if tot.Service.P90*3 > tot.Intended.P90 {
+		t.Errorf("intended p90 (%.3fs) not clearly above service p90 (%.3fs): CO not measured",
+			tot.Intended.P90, tot.Service.P90)
+	}
+	if tot.Intended.Count != tot.Service.Count {
+		t.Errorf("histogram counts diverge: intended %d, service %d", tot.Intended.Count, tot.Service.Count)
+	}
+}
+
+// TestPoissonArrivalRate sanity-checks the Poisson scheduler's mean
+// rate against the mock server (no wedge).
+func TestPoissonArrivalRate(t *testing.T) {
+	gate := &wedgeGate{}
+	addr := startMockServer(t, gate)
+	spec := &Spec{
+		Targets: []string{addr},
+		Arrival: ArrivalPoisson,
+		Steady:  Dur(1500 * time.Millisecond),
+		Tenants: []Tenant{{Name: "p", Rate: 300, Mix: OpMix{Insert: 2, Point: 1}, Seed: 11}},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	rep, err := Run(ctx, spec, Hooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 300 * 1.5
+	got := float64(rep.Total.Ops)
+	if got < want*0.6 || got > want*1.4 {
+		t.Fatalf("poisson run issued %v ops, want ≈%v", got, want)
+	}
+	if rep.Total.Intended.P99 <= 0 {
+		t.Fatal("no latency recorded")
+	}
+	byOp := rep.Tenants[0].ByOp
+	if byOp["insert"] == 0 || byOp["point"] == 0 {
+		t.Fatalf("mix not exercised: %v", byOp)
+	}
+}
+
+// TestSpecParse round-trips a JSON spec with string durations.
+func TestSpecParse(t *testing.T) {
+	js := `{
+		"targets": ["127.0.0.1:7070"],
+		"arrival": "poisson",
+		"ramp": "2s", "steady": "10s", "drain": 1.5,
+		"tenants": [
+			{"name": "stat", "purpose": "stat", "rate": 500, "loc_level": 3,
+			 "mix": {"insert": 6, "point": 3, "scan": 0, "traced": 1}},
+			{"name": "cities", "purpose": "cities", "rate": 100, "loc_level": 1}
+		],
+		"slo": {"p99": "50ms", "final_lag": "1s", "error_pct": 0.5}
+	}`
+	s, err := ParseSpec([]byte(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Ramp.D() != 2*time.Second || s.Drain.D() != 1500*time.Millisecond {
+		t.Fatalf("durations parsed wrong: ramp=%v drain=%v", s.Ramp.D(), s.Drain.D())
+	}
+	if s.SLO.P99.D() != 50*time.Millisecond {
+		t.Fatalf("slo p99 = %v", s.SLO.P99.D())
+	}
+	// Tenant 2 had no mix: defaulted.
+	if s.Tenants[1].Mix.total() == 0 {
+		t.Fatal("empty mix not defaulted")
+	}
+	if _, err := ParseSpec([]byte(`{"targets": [], "steady": "1s"}`)); err == nil {
+		t.Fatal("spec without targets must fail")
+	}
+}

@@ -1,0 +1,210 @@
+// Report types: the committed-format JSON a load run emits
+// (LOAD_*.json, same spirit as the BENCH_*.json references) and the
+// SLO verdict computed over it.
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"instantdb/internal/metrics"
+	"instantdb/internal/trace"
+	"instantdb/internal/workload"
+)
+
+// ReportFormat versions the JSON layout.
+const ReportFormat = "instantdb-load-report/1"
+
+// LatencySummary condenses one HDR histogram. All values are seconds.
+type LatencySummary struct {
+	Count uint64  `json:"count"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+}
+
+func summarize(h *metrics.HDR) LatencySummary {
+	return LatencySummary{
+		Count: h.Count(),
+		P50:   h.Quantile(0.50).Seconds(),
+		P90:   h.Quantile(0.90).Seconds(),
+		P99:   h.Quantile(0.99).Seconds(),
+		P999:  h.Quantile(0.999).Seconds(),
+		Max:   h.Max().Seconds(),
+		Mean:  h.Mean().Seconds(),
+	}
+}
+
+// TenantReport is one tenant's measured outcome. Intended is the
+// coordinated-omission-free view (latency from the arrival schedule's
+// intended start); Service measures from request send and exists only
+// to show what closed-loop measurement would have claimed.
+type TenantReport struct {
+	Name     string            `json:"name"`
+	Purpose  string            `json:"purpose,omitempty"`
+	Rate     float64           `json:"rate"`
+	Ops      uint64            `json:"ops"`
+	Errors   uint64            `json:"errors"`
+	Overruns uint64            `json:"overruns"`
+	ByOp     map[string]uint64 `json:"by_op,omitempty"`
+	Intended LatencySummary    `json:"intended"`
+	Service  LatencySummary    `json:"service"`
+}
+
+// LagReport tracks the degradation-lag gauge over the run: the paper's
+// timeliness promise, watched while traffic is applied.
+type LagReport struct {
+	Samples         int     `json:"samples"`
+	MaxSeconds      float64 `json:"max_seconds"`
+	FinalSeconds    float64 `json:"final_seconds"`
+	WaveObserved    bool    `json:"wave_observed"`
+	MaxReplLagBytes float64 `json:"max_repl_lag_bytes,omitempty"`
+	Sheds           uint64  `json:"sheds,omitempty"`
+}
+
+// SpanAttribution is one span's share of the attributed trace.
+type SpanAttribution struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+	Pct     float64 `json:"pct"`
+}
+
+// TraceAttribution explains where the slowest traced operation spent
+// its time (lock_wait vs group_fsync vs scatter merge …).
+type TraceAttribution struct {
+	TraceID string            `json:"trace_id"`
+	Root    string            `json:"root"`
+	Seconds float64           `json:"seconds"`
+	Slowest string            `json:"slowest_span,omitempty"`
+	Spans   []SpanAttribution `json:"spans,omitempty"`
+}
+
+// attributeTrace condenses a trace record into span shares, longest
+// first, capped at cap spans.
+func attributeTrace(rec *trace.Rec, capN int) *TraceAttribution {
+	if rec == nil {
+		return nil
+	}
+	byName := map[string]time.Duration{}
+	for _, sp := range rec.Spans {
+		byName[sp.Name] += sp.Duration
+	}
+	ta := &TraceAttribution{
+		TraceID: fmt.Sprintf("%016x", rec.TraceID),
+		Root:    rec.Root,
+		Seconds: rec.Duration.Seconds(),
+	}
+	for name, d := range byName {
+		ta.Spans = append(ta.Spans, SpanAttribution{
+			Name:    name,
+			Seconds: d.Seconds(),
+			Pct:     100 * float64(d) / float64(rec.Duration),
+		})
+	}
+	sort.Slice(ta.Spans, func(i, j int) bool {
+		if ta.Spans[i].Seconds != ta.Spans[j].Seconds {
+			return ta.Spans[i].Seconds > ta.Spans[j].Seconds
+		}
+		return ta.Spans[i].Name < ta.Spans[j].Name
+	})
+	// The root span covers the whole request; the slowest *inner* span
+	// is the attribution answer.
+	for _, sp := range ta.Spans {
+		if sp.Name != rec.Root {
+			ta.Slowest = sp.Name
+			break
+		}
+	}
+	if capN > 0 && len(ta.Spans) > capN {
+		ta.Spans = ta.Spans[:capN]
+	}
+	return ta
+}
+
+// AuditReport summarizes the tamper-evident trail over the run window.
+type AuditReport struct {
+	// Scheduled/Fired count audit events of those kinds in the tail
+	// fetched over the wire after the run.
+	Scheduled uint64 `json:"scheduled"`
+	Fired     uint64 `json:"fired"`
+	// ChainVerified is true when the on-disk hash chain verified;
+	// ChainEvents is the verified event count. Note explains an
+	// unverifiable chain (e.g. remote target — no disk access).
+	ChainVerified bool   `json:"chain_verified"`
+	ChainEvents   int    `json:"chain_events,omitempty"`
+	Note          string `json:"note,omitempty"`
+}
+
+// GateResult is one SLO gate's outcome.
+type GateResult struct {
+	Name     string  `json:"name"`
+	Limit    float64 `json:"limit"`
+	Measured float64 `json:"measured"`
+	OK       bool    `json:"ok"`
+}
+
+// SLOResult is the run verdict: every configured gate plus the overall
+// pass/fail the CLI exit code reflects.
+type SLOResult struct {
+	Gates      []GateResult `json:"gates,omitempty"`
+	Violations []string     `json:"violations,omitempty"`
+	Pass       bool         `json:"pass"`
+}
+
+// Report is the committed-format outcome of one load run.
+type Report struct {
+	Format       string                `json:"format"`
+	Spec         *Spec                 `json:"spec"`
+	WallSeconds  float64               `json:"wall_seconds"`
+	Tenants      []TenantReport        `json:"tenants"`
+	Total        TenantReport          `json:"total"`
+	Lag          LagReport             `json:"lag"`
+	Availability workload.TargetsStats `json:"availability"`
+	SlowTrace    *TraceAttribution     `json:"slow_trace,omitempty"`
+	Audit        AuditReport           `json:"audit"`
+	SLO          SLOResult             `json:"slo"`
+}
+
+// evaluateSLO fills r.SLO from the spec's gates and the measured run.
+func (r *Report) evaluateSLO(slo SLO) {
+	res := SLOResult{Pass: true}
+	gate := func(name string, limit, measured float64) {
+		g := GateResult{Name: name, Limit: limit, Measured: measured, OK: measured <= limit}
+		res.Gates = append(res.Gates, g)
+		if !g.OK {
+			res.Pass = false
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("%s: measured %.6g > limit %.6g", name, measured, limit))
+		}
+	}
+	if slo.P99 > 0 {
+		gate("p99_seconds", slo.P99.D().Seconds(), r.Total.Intended.P99)
+	}
+	if slo.FinalLag > 0 {
+		gate("final_degrade_lag_seconds", slo.FinalLag.D().Seconds(), r.Lag.FinalSeconds)
+	}
+	if slo.ErrorPct > 0 {
+		pct := 0.0
+		if r.Total.Ops > 0 {
+			pct = 100 * float64(r.Total.Errors) / float64(r.Total.Ops)
+		}
+		gate("error_pct", slo.ErrorPct, pct)
+	}
+	r.SLO = res
+}
+
+// WriteJSON writes the report with a trailing newline, matching the
+// committed BENCH_*.json conventions.
+func (r *Report) WriteJSON(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -1,0 +1,752 @@
+// The open-loop runner. The coordinated-omission argument, concretely:
+// each tenant has one scheduler goroutine that computes intended
+// arrival instants purely from the arrival process (fixed or Poisson)
+// and wall time — never from response completions — and a worker pool
+// that executes queued operations. Latency is end − intended, so an
+// operation that sat behind a wedged server accrues its full queueing
+// delay; the parallel end − sendStart ("service") histogram is kept
+// only to show what a closed-loop harness would have reported
+// (co_test.go regression-guards the difference). The admission queue
+// is bounded but non-blocking: a full queue counts an overrun instead
+// of stalling the schedule, so the arrival process stays independent
+// of server responsiveness either way.
+package load
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"instantdb/client"
+	"instantdb/internal/metrics"
+	"instantdb/internal/trace"
+	"instantdb/internal/value"
+	"instantdb/internal/workload"
+)
+
+// Hooks connect a run to its surroundings: logging, the live console
+// line, and — for in-process harnesses that own the server's simulated
+// clock — the degradation wave and on-disk audit verification.
+type Hooks struct {
+	// Logf receives progress and availability notices (nil = dropped).
+	Logf func(format string, args ...any)
+	// LiveW, when non-nil, receives a one-line status every LiveEvery
+	// (default 1s).
+	LiveW     io.Writer
+	LiveEvery time.Duration
+	// StatsEvery is the wire Stats polling interval (default 1s).
+	StatsEvery time.Duration
+	// WaveAt schedules a degradation wave that long after the run
+	// starts: WaveBegin (e.g. advance the simulated clock past the
+	// hold deadlines), a lag sample, then WaveEnd (e.g. DegradeNow).
+	// Zero or nil callbacks mean no orchestrated wave; runs against
+	// remote real-clock servers rely on natural deadline expiry
+	// instead.
+	WaveAt    time.Duration
+	WaveBegin func()
+	WaveEnd   func()
+	// VerifyAudit, when non-nil, verifies the tamper-evident audit
+	// chain after the run (in-process harnesses point it at
+	// trace.Verify over the server's audit directory) and returns the
+	// verified event count.
+	VerifyAudit func() (int, error)
+}
+
+func (h *Hooks) normalize() {
+	if h.Logf == nil {
+		h.Logf = func(string, ...any) {}
+	}
+	if h.LiveEvery <= 0 {
+		h.LiveEvery = time.Second
+	}
+	if h.StatsEvery <= 0 {
+		h.StatsEvery = time.Second
+	}
+}
+
+// opKind indexes per-op counters.
+type opKind int
+
+const (
+	opInsert opKind = iota
+	opPoint
+	opScan
+	opTraced
+	opKinds
+)
+
+func (k opKind) String() string {
+	switch k {
+	case opInsert:
+		return "insert"
+	case opPoint:
+		return "point"
+	case opScan:
+		return "scan"
+	default:
+		return "traced"
+	}
+}
+
+// scheduledOp is one arrival: its intended instant and the bound
+// operation (payload drawn at schedule time, in the scheduler
+// goroutine — the generators are not thread-safe).
+type scheduledOp struct {
+	intended time.Time
+	kind     opKind
+	do       func(ctx context.Context) error
+}
+
+const insertSQL = "INSERT INTO person (id, name, location, salary) VALUES (?, ?, ?, ?)"
+
+// tenantIDStride spaces per-tenant insert id ranges far above the
+// experiment preload range (experiments.IDOffset + dataset size).
+const tenantIDStride = 100_000_000
+
+// tenantState is one tenant's connections, generators, schedule and
+// measurements.
+type tenantState struct {
+	spec   Tenant
+	tg     *workload.Targets
+	probe  *client.Conn // pinned session for traced ops + trace dump
+	gen    *workload.PersonGen
+	qgen   *workload.QueryGen
+	idBase int64
+
+	insStmt, pointStmt, scanStmt *workload.Stmt // nil in text mode
+
+	intended *metrics.HDR
+	service  *metrics.HDR
+	ops      atomic.Uint64
+	errs     atomic.Uint64
+	overruns atomic.Uint64
+	byOp     [opKinds]atomic.Uint64
+
+	mu          sync.Mutex
+	worstTraced uint64 // trace id of the slowest traced op
+	worstDur    time.Duration
+
+	ch chan scheduledOp
+}
+
+func (ts *tenantState) noteTraced(id uint64, d time.Duration) {
+	ts.mu.Lock()
+	if d > ts.worstDur {
+		ts.worstDur = d
+		ts.worstTraced = id
+	}
+	ts.mu.Unlock()
+}
+
+// auditTracker merges wire audit-tail snapshots by sequence number.
+// The server's in-memory tail is a bounded ring, so EvFired events from
+// the degradation wave would rotate out by run end under sustained
+// insert traffic — the runner snapshots the tail right after the wave
+// as well as at the end.
+type auditTracker struct {
+	mu   sync.Mutex
+	seen map[uint64]trace.Kind
+}
+
+func (a *auditTracker) fetch(ctx context.Context, conn *client.Conn, logf func(string, ...any)) {
+	if conn == nil {
+		return
+	}
+	actx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	events, err := conn.AuditTail(actx, 0)
+	if err != nil {
+		logf("load: audit tail unavailable: %v", err)
+		return
+	}
+	a.mu.Lock()
+	if a.seen == nil {
+		a.seen = make(map[uint64]trace.Kind)
+	}
+	for _, ev := range events {
+		a.seen[ev.Seq] = ev.Kind
+	}
+	a.mu.Unlock()
+}
+
+func (a *auditTracker) counts() (scheduled, fired uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, k := range a.seen {
+		switch k {
+		case trace.EvScheduled:
+			scheduled++
+		case trace.EvFired:
+			fired++
+		}
+	}
+	return scheduled, fired
+}
+
+// lagTracker accumulates wire Stats samples.
+type lagTracker struct {
+	mu       sync.Mutex
+	samples  int
+	maxLag   float64
+	lastLag  float64
+	maxRepl  float64
+	shedBase float64
+	haveBase bool
+	shedLast float64
+}
+
+func (l *lagTracker) note(m map[string]float64) {
+	lag := m["instantdb_degrade_lag_seconds"]
+	if v := m["instantdb_router_degrade_lag_max_seconds"]; v > lag {
+		lag = v
+	}
+	shed := m["instantdb_server_busy_rejects_total"]
+	l.mu.Lock()
+	l.samples++
+	l.lastLag = lag
+	if lag > l.maxLag {
+		l.maxLag = lag
+	}
+	if v := m["instantdb_repl_lag_bytes"]; v > l.maxRepl {
+		l.maxRepl = v
+	}
+	if !l.haveBase {
+		l.shedBase, l.haveBase = shed, true
+	}
+	l.shedLast = shed
+	l.mu.Unlock()
+}
+
+func (l *lagTracker) report() LagReport {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return LagReport{
+		Samples:         l.samples,
+		MaxSeconds:      l.maxLag,
+		FinalSeconds:    l.lastLag,
+		WaveObserved:    l.maxLag > 0,
+		MaxReplLagBytes: l.maxRepl,
+		Sheds:           uint64(l.shedLast - l.shedBase),
+	}
+}
+
+// Run executes the spec against its targets and returns the report.
+// Setup failures return an error; operation failures during the run
+// are part of the report (and the error SLO gate).
+func Run(ctx context.Context, spec *Spec, hooks Hooks) (*Report, error) {
+	if err := spec.Normalize(); err != nil {
+		return nil, err
+	}
+	hooks.normalize()
+
+	uni := workload.NewLocationUniverse(
+		spec.Universe.Countries, spec.Universe.Regions,
+		spec.Universe.Cities, spec.Universe.Addresses)
+
+	// Session list: each address repeated SessionsPerTarget times.
+	var addrs []string
+	for i := 0; i < spec.SessionsPerTarget; i++ {
+		addrs = append(addrs, spec.Targets...)
+	}
+
+	tenants := make([]*tenantState, len(spec.Tenants))
+	for i := range spec.Tenants {
+		t := spec.Tenants[i]
+		var opts []client.Option
+		if t.Purpose != "" {
+			opts = append(opts, client.WithPurpose(t.Purpose))
+		}
+		if t.Coarse {
+			opts = append(opts, client.WithCoarse())
+		}
+		tg, err := workload.DialTargets(ctx, addrs, opts...)
+		if err != nil {
+			closeTenants(tenants[:i])
+			return nil, fmt.Errorf("load: tenant %s: %w", t.Name, err)
+		}
+		tg.SetLogf(hooks.Logf)
+		ts := &tenantState{
+			spec:     t,
+			tg:       tg,
+			gen:      workload.NewPersonGen(t.Seed, uni, time.Unix(0, 0)),
+			qgen:     workload.NewQueryGen(t.Seed+1, uni, t.Purpose, t.LocLevel),
+			idBase:   int64(i+1) * tenantIDStride,
+			intended: metrics.NewHDR(),
+			service:  metrics.NewHDR(),
+			ch:       make(chan scheduledOp, spec.MaxInFlight),
+		}
+		if !spec.Text {
+			ts.insStmt = tg.Prepare(insertSQL)
+			ts.pointStmt = tg.Prepare(ts.qgen.PointSQL())
+			ts.scanStmt = tg.Prepare(ts.qgen.AggregateSQL())
+		}
+		if t.Mix.Traced > 0 {
+			probe, err := client.Dial(ctx, spec.Targets[0], opts...)
+			if err != nil {
+				tg.Close()
+				closeTenants(tenants[:i])
+				return nil, fmt.Errorf("load: tenant %s probe: %w", t.Name, err)
+			}
+			ts.probe = probe
+		}
+		tenants[i] = ts
+	}
+	defer closeTenants(tenants)
+
+	// Best-effort stats session to the first target; a run without it
+	// still measures client-side latency.
+	lag := &lagTracker{}
+	statsConn, err := client.Dial(ctx, spec.Targets[0])
+	if err != nil {
+		hooks.Logf("load: stats session unavailable (%v); lag gates will read 0", err)
+		statsConn = nil
+	} else {
+		defer statsConn.Close()
+	}
+	sample := func() {
+		if statsConn == nil {
+			return
+		}
+		sctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+		defer cancel()
+		m, err := statsConn.Stats(sctx)
+		if err != nil {
+			hooks.Logf("load: stats poll failed: %v", err)
+			return
+		}
+		lag.note(m)
+	}
+
+	start := time.Now()
+	loadDur := spec.Ramp.D() + spec.Steady.D()
+
+	runCtx, stopRun := context.WithCancel(ctx)
+	defer stopRun()
+
+	// Workers: the pool draining each tenant's admission queue. Sized
+	// to the session count so every session can be busy, with a floor
+	// so tiny specs still overlap requests.
+	workers := 2 * len(addrs)
+	if workers < 4 {
+		workers = 4
+	}
+	if workers > 64 {
+		workers = 64
+	}
+	var workWG sync.WaitGroup
+	for _, ts := range tenants {
+		for w := 0; w < workers; w++ {
+			workWG.Add(1)
+			go func(ts *tenantState) {
+				defer workWG.Done()
+				for op := range ts.ch {
+					sendStart := time.Now()
+					err := op.do(ctx)
+					end := time.Now()
+					ts.intended.Record(end.Sub(op.intended))
+					ts.service.Record(end.Sub(sendStart))
+					ts.ops.Add(1)
+					ts.byOp[op.kind].Add(1)
+					if err != nil {
+						ts.errs.Add(1)
+					}
+				}
+			}(ts)
+		}
+	}
+
+	// Schedulers: one per tenant; close the tenant's queue when its
+	// schedule ends.
+	var schedWG sync.WaitGroup
+	for _, ts := range tenants {
+		schedWG.Add(1)
+		go func(ts *tenantState) {
+			defer schedWG.Done()
+			defer close(ts.ch)
+			ts.schedule(runCtx, spec, start, loadDur)
+		}(ts)
+	}
+
+	// Degradation wave.
+	audit := &auditTracker{}
+	var waveWG sync.WaitGroup
+	if hooks.WaveAt > 0 && hooks.WaveBegin != nil {
+		waveWG.Add(1)
+		go func() {
+			defer waveWG.Done()
+			select {
+			case <-runCtx.Done():
+				return
+			case <-time.After(hooks.WaveAt):
+			}
+			hooks.Logf("load: degradation wave at +%v", time.Since(start).Round(time.Millisecond))
+			hooks.WaveBegin()
+			sample() // capture the lag spike before enforcement
+			if hooks.WaveEnd != nil {
+				hooks.WaveEnd()
+			}
+			sample()
+			// Snapshot the audit tail while the wave's EvFired events
+			// are still in the bounded ring.
+			audit.fetch(ctx, statsConn, hooks.Logf)
+		}()
+	}
+
+	// Stats poller + live console line.
+	var bgWG sync.WaitGroup
+	bgWG.Add(1)
+	go func() {
+		defer bgWG.Done()
+		tick := time.NewTicker(hooks.StatsEvery)
+		defer tick.Stop()
+		for {
+			select {
+			case <-runCtx.Done():
+				return
+			case <-tick.C:
+				sample()
+			}
+		}
+	}()
+	if hooks.LiveW != nil {
+		bgWG.Add(1)
+		go func() {
+			defer bgWG.Done()
+			tick := time.NewTicker(hooks.LiveEvery)
+			defer tick.Stop()
+			var lastOps uint64
+			for {
+				select {
+				case <-runCtx.Done():
+					return
+				case <-tick.C:
+					var ops, errs uint64
+					merged := metrics.NewHDR()
+					for _, ts := range tenants {
+						ops += ts.ops.Load()
+						errs += ts.errs.Load()
+						merged.Merge(ts.intended)
+					}
+					lag.mu.Lock()
+					curLag := lag.lastLag
+					lag.mu.Unlock()
+					avail := tenants[0].tg.Stats()
+					fmt.Fprintf(hooks.LiveW,
+						"[%6.1fs] ops=%-8d (%.0f/s) err=%d p50=%s p99=%s p999=%s lag=%.1fs live=%d/%d\n",
+						time.Since(start).Seconds(), ops,
+						float64(ops-lastOps)/hooks.LiveEvery.Seconds(), errs,
+						fmtDur(merged.Quantile(0.50)), fmtDur(merged.Quantile(0.99)),
+						fmtDur(merged.Quantile(0.999)), curLag, avail.Live, avail.Endpoints)
+					lastOps = ops
+				}
+			}
+		}()
+	}
+
+	// Wait out the driven phases, then the queued backlog.
+	schedWG.Wait()
+	workWG.Wait()
+	waveWG.Wait()
+
+	// Drain: give the degrader and replicas time to settle, then take
+	// the final lag sample the -slo-lag gate reads.
+	if d := spec.Drain.D(); d > 0 {
+		select {
+		case <-ctx.Done():
+		case <-time.After(d):
+		}
+	}
+	stopRun()
+	bgWG.Wait()
+	sample()
+	wall := time.Since(start)
+
+	rep := &Report{
+		Format:      ReportFormat,
+		Spec:        spec,
+		WallSeconds: wall.Seconds(),
+		Lag:         lag.report(),
+	}
+	totalIntended, totalService := metrics.NewHDR(), metrics.NewHDR()
+	for _, ts := range tenants {
+		tr := TenantReport{
+			Name:     ts.spec.Name,
+			Purpose:  ts.spec.Purpose,
+			Rate:     ts.spec.Rate,
+			Ops:      ts.ops.Load(),
+			Errors:   ts.errs.Load(),
+			Overruns: ts.overruns.Load(),
+			ByOp:     map[string]uint64{},
+			Intended: summarize(ts.intended),
+			Service:  summarize(ts.service),
+		}
+		for k := opKind(0); k < opKinds; k++ {
+			if n := ts.byOp[k].Load(); n > 0 {
+				tr.ByOp[k.String()] = n
+			}
+		}
+		rep.Tenants = append(rep.Tenants, tr)
+		rep.Total.Ops += tr.Ops
+		rep.Total.Errors += tr.Errors
+		rep.Total.Overruns += tr.Overruns
+		totalIntended.Merge(ts.intended)
+		totalService.Merge(ts.service)
+		av := ts.tg.Stats()
+		rep.Availability.Endpoints = av.Endpoints
+		rep.Availability.Live = av.Live
+		rep.Availability.DownEvents += av.DownEvents
+		rep.Availability.Reconnects += av.Reconnects
+		rep.Availability.SkippedPicks += av.SkippedPicks
+	}
+	rep.Total.Name = "total"
+	rep.Total.Intended = summarize(totalIntended)
+	rep.Total.Service = summarize(totalService)
+
+	rep.SlowTrace = collectSlowTrace(ctx, tenants, hooks)
+	rep.Audit = collectAudit(ctx, tenants, statsConn, audit, hooks)
+	rep.evaluateSLO(spec.SLO)
+	return rep, nil
+}
+
+// schedule runs one tenant's arrival process until loadDur has elapsed
+// from start: linear rate ramp over the ramp phase, then steady rate.
+// Payloads are drawn here (single goroutine — generators are not
+// thread-safe) and handed to the worker pool with a non-blocking send.
+func (ts *tenantState) schedule(ctx context.Context, spec *Spec, start time.Time, loadDur time.Duration) {
+	rng := rand.New(rand.NewSource(ts.spec.Seed*6364136223846793005 + 1442695040888963407))
+	ramp := spec.Ramp.D()
+	next := start
+	for {
+		elapsed := next.Sub(start)
+		if elapsed >= loadDur {
+			return
+		}
+		rate := ts.spec.Rate
+		if ramp > 0 && elapsed < ramp {
+			frac := float64(elapsed) / float64(ramp)
+			floor := ts.spec.Rate / 10
+			if floor > 1 {
+				floor = 1
+			}
+			if r := ts.spec.Rate * frac; r > floor {
+				rate = r
+			} else {
+				rate = floor
+			}
+		}
+		var dt time.Duration
+		if spec.Arrival == ArrivalPoisson {
+			dt = time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+		} else {
+			dt = time.Duration(float64(time.Second) / rate)
+		}
+		if dt <= 0 {
+			dt = time.Nanosecond
+		}
+		next = next.Add(dt)
+		if next.Sub(start) > loadDur {
+			return
+		}
+		// Sleep until the intended instant. If we're behind (the
+		// previous draw or a slow send), fire immediately — the
+		// intended timestamp still carries the schedule's time.
+		if d := time.Until(next); d > 0 {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(d):
+			}
+		} else if ctx.Err() != nil {
+			return
+		}
+		op := ts.draw(rng, next, spec.Text)
+		select {
+		case ts.ch <- op:
+		default:
+			// Queue full: never block the schedule. The overrun count
+			// is the honest record of saturated backpressure.
+			ts.overruns.Add(1)
+		}
+	}
+}
+
+// draw binds one operation by mix weight.
+func (ts *tenantState) draw(rng *rand.Rand, intended time.Time, text bool) scheduledOp {
+	m := ts.spec.Mix
+	r := rng.Intn(m.total())
+	switch {
+	case r < m.Insert:
+		return ts.drawInsert(intended, text)
+	case r < m.Insert+m.Point:
+		return ts.drawPoint(intended, text)
+	case r < m.Insert+m.Point+m.Scan:
+		return ts.drawScan(intended, text)
+	default:
+		return ts.drawTraced(intended)
+	}
+}
+
+func (ts *tenantState) drawInsert(intended time.Time, text bool) scheduledOp {
+	p := ts.gen.Next()
+	id := ts.idBase + p.ID
+	if text {
+		sql := fmt.Sprintf("INSERT INTO person (id, name, location, salary) VALUES (%d, '%s', '%s', %d)",
+			id, p.Name, p.Address, p.Salary)
+		return scheduledOp{intended: intended, kind: opInsert, do: func(ctx context.Context) error {
+			_, err := ts.tg.Exec(ctx, sql)
+			return err
+		}}
+	}
+	args := []value.Value{value.Int(id), value.Text(p.Name), value.Text(p.Address), value.Int(p.Salary)}
+	return scheduledOp{intended: intended, kind: opInsert, do: func(ctx context.Context) error {
+		_, err := ts.insStmt.Exec(ctx, args...)
+		return err
+	}}
+}
+
+func (ts *tenantState) drawPoint(intended time.Time, text bool) scheduledOp {
+	if text {
+		q := ts.qgen.Point()
+		return scheduledOp{intended: intended, kind: opPoint, do: func(ctx context.Context) error {
+			_, err := ts.tg.Query(ctx, q.SQL)
+			return err
+		}}
+	}
+	pq := ts.qgen.PointArgs()
+	return scheduledOp{intended: intended, kind: opPoint, do: func(ctx context.Context) error {
+		_, err := ts.pointStmt.Query(ctx, pq.Args...)
+		return err
+	}}
+}
+
+func (ts *tenantState) drawScan(intended time.Time, text bool) scheduledOp {
+	if text {
+		q := ts.qgen.Aggregate()
+		return scheduledOp{intended: intended, kind: opScan, do: func(ctx context.Context) error {
+			_, err := ts.tg.Query(ctx, q.SQL)
+			return err
+		}}
+	}
+	return scheduledOp{intended: intended, kind: opScan, do: func(ctx context.Context) error {
+		_, err := ts.scanStmt.Query(ctx)
+		return err
+	}}
+}
+
+// drawTraced issues a forced-trace insert on the pinned probe session,
+// so the resulting trace is dumpable from that same session afterward.
+func (ts *tenantState) drawTraced(intended time.Time) scheduledOp {
+	p := ts.gen.Next()
+	id := ts.idBase + p.ID
+	args := []value.Value{value.Int(id), value.Text(p.Name), value.Text(p.Address), value.Int(p.Salary)}
+	return scheduledOp{intended: intended, kind: opTraced, do: func(ctx context.Context) error {
+		st := time.Now()
+		_, traceID, err := ts.probe.ExecTraced(ctx, insertSQL, args...)
+		if err == nil {
+			ts.noteTraced(traceID, time.Since(st))
+		}
+		return err
+	}}
+}
+
+// collectSlowTrace dumps the worst traced op's span tree (falling back
+// to the server's slow ring if its id rotated out).
+func collectSlowTrace(ctx context.Context, tenants []*tenantState, hooks Hooks) *TraceAttribution {
+	var worst *tenantState
+	var worstDur time.Duration
+	var worstID uint64
+	for _, ts := range tenants {
+		ts.mu.Lock()
+		if ts.probe != nil && ts.worstTraced != 0 && ts.worstDur > worstDur {
+			worst, worstDur, worstID = ts, ts.worstDur, ts.worstTraced
+		}
+		ts.mu.Unlock()
+	}
+	if worst == nil {
+		return nil
+	}
+	dctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	// The worst id may have rotated out of the bounded recent ring;
+	// fall back to the slow ring, then to the longest recent trace.
+	recs, err := worst.probe.TraceDump(dctx, client.TraceByID, worstID)
+	if err != nil || len(recs) == 0 {
+		recs, err = worst.probe.TraceDump(dctx, client.TraceSlow, 0)
+	}
+	if err != nil || len(recs) == 0 {
+		recs, err = worst.probe.TraceDump(dctx, client.TraceRecent, 0)
+	}
+	if err != nil || len(recs) == 0 {
+		hooks.Logf("load: trace dump unavailable: %v", err)
+		return nil
+	}
+	pick := recs[0]
+	for _, r := range recs[1:] {
+		if r.Duration > pick.Duration {
+			pick = r
+		}
+	}
+	return attributeTrace(pick, 12)
+}
+
+// collectAudit pulls the audit tail over the wire (merging with the
+// post-wave snapshot) and, when the hook can reach the server's disk,
+// verifies the hash chain.
+func collectAudit(ctx context.Context, tenants []*tenantState, statsConn *client.Conn, audit *auditTracker, hooks Hooks) AuditReport {
+	var rep AuditReport
+	conn := statsConn
+	if conn == nil {
+		for _, ts := range tenants {
+			if ts.probe != nil {
+				conn = ts.probe
+				break
+			}
+		}
+	}
+	audit.fetch(ctx, conn, hooks.Logf)
+	rep.Scheduled, rep.Fired = audit.counts()
+	if hooks.VerifyAudit == nil {
+		rep.Note = "chain unverified: no disk access to the target (remote run)"
+		return rep
+	}
+	n, err := hooks.VerifyAudit()
+	if err != nil {
+		rep.Note = "chain verification failed: " + err.Error()
+		return rep
+	}
+	rep.ChainVerified = true
+	rep.ChainEvents = n
+	return rep
+}
+
+func closeTenants(tenants []*tenantState) {
+	for _, ts := range tenants {
+		if ts == nil {
+			continue
+		}
+		if ts.probe != nil {
+			ts.probe.Close()
+		}
+		if ts.tg != nil {
+			ts.tg.Close()
+		}
+	}
+}
+
+// fmtDur renders a latency for the live line: µs under 1ms, ms under
+// 1s, else seconds.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d < time.Millisecond:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	case d < time.Second:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	default:
+		return strings.TrimSuffix(fmt.Sprintf("%.2fs", d.Seconds()), "0")
+	}
+}

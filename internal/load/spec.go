@@ -1,0 +1,200 @@
+// Package load is the open-loop, coordinated-omission-free load
+// harness: per-tenant arrival schedules (fixed-rate or Poisson) fire
+// on intended timestamps regardless of in-flight responses, and every
+// operation's latency is recorded from its *intended* start into an
+// HDR histogram — so queueing delay caused by a slow server is
+// measured, not masked (the wrk2 argument). While driving traffic the
+// harness polls wire Stats for the degradation-lag gauge the paper's
+// timeliness claim rests on, and on completion attributes the slowest
+// traced operation to spans and checks the audit chain covered the
+// degradation wave. cmd/instantdb-loadgen is the CLI;
+// experiments.RunLoad and internal/tools/loadsmoke drive it against an
+// in-process server in CI.
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"time"
+)
+
+// Dur is a time.Duration that marshals as a human-readable string
+// ("1m30s") and unmarshals from either that form or a bare number of
+// seconds, so workload specs stay hand-editable.
+type Dur time.Duration
+
+// D converts to time.Duration.
+func (d Dur) D() time.Duration { return time.Duration(d) }
+
+// MarshalJSON renders the duration string form.
+func (d Dur) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts "1m30s" or a bare number of seconds.
+func (d *Dur) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("load: bad duration %q: %w", s, err)
+		}
+		*d = Dur(v)
+		return nil
+	}
+	sec, err := strconv.ParseFloat(string(b), 64)
+	if err != nil {
+		return fmt.Errorf("load: bad duration %s: %w", b, err)
+	}
+	*d = Dur(time.Duration(sec * float64(time.Second)))
+	return nil
+}
+
+// Arrival process names.
+const (
+	ArrivalFixed   = "fixed"   // deterministic 1/rate interarrivals
+	ArrivalPoisson = "poisson" // exponential interarrivals, mean 1/rate
+)
+
+// OpMix weights the four operation kinds a tenant issues. Weights are
+// relative; zero disables a kind.
+type OpMix struct {
+	Insert int `json:"insert"`
+	Point  int `json:"point"`
+	Scan   int `json:"scan"`
+	Traced int `json:"traced"`
+}
+
+func (m OpMix) total() int { return m.Insert + m.Point + m.Scan + m.Traced }
+
+// Tenant is one traffic class: a purpose-bound session population with
+// its own arrival rate and operation mix. Tenants are scheduled
+// independently — one tenant's backlog never delays another's arrival
+// schedule.
+type Tenant struct {
+	Name    string  `json:"name"`
+	Purpose string  `json:"purpose,omitempty"`
+	Coarse  bool    `json:"coarse,omitempty"`
+	Rate    float64 `json:"rate"` // steady-state ops/sec
+	Mix     OpMix   `json:"mix"`
+	// LocLevel selects the location-tree level point queries target
+	// (0=address … 3=country in the default universe). Pick the
+	// purpose's accuracy level so point queries are answerable.
+	LocLevel int   `json:"loc_level"`
+	Seed     int64 `json:"seed,omitempty"`
+}
+
+// SLO are the gate thresholds; a zero field leaves that gate off.
+type SLO struct {
+	// P99 bounds the total intended-start p99 latency.
+	P99 Dur `json:"p99,omitempty"`
+	// FinalLag bounds instantdb_degrade_lag_seconds after the drain
+	// phase — "did the degrader catch up once the wave passed".
+	FinalLag Dur `json:"final_lag,omitempty"`
+	// ErrorPct bounds failed ops as a percentage of issued ops.
+	ErrorPct float64 `json:"error_pct,omitempty"`
+}
+
+// Universe shapes the synthetic location hierarchy
+// (countries×regions×cities×addresses).
+type Universe struct {
+	Countries int `json:"countries"`
+	Regions   int `json:"regions"`
+	Cities    int `json:"cities"`
+	Addresses int `json:"addresses"`
+}
+
+// Spec is a full workload description: targets, phase durations,
+// arrival model, tenants, SLO gates. JSON form is what -spec loads.
+type Spec struct {
+	// Targets are wire endpoints (server or router front ends). Each
+	// address gets SessionsPerTarget sessions per tenant.
+	Targets []string `json:"targets"`
+	// Arrival is the default arrival process (ArrivalFixed default).
+	Arrival string `json:"arrival,omitempty"`
+	// Phases: rate ramps linearly over Ramp, holds for Steady, then
+	// scheduling stops and the harness waits Drain for the backlog and
+	// the degrader to settle before the final lag sample.
+	Ramp   Dur `json:"ramp,omitempty"`
+	Steady Dur `json:"steady"`
+	Drain  Dur `json:"drain,omitempty"`
+	// SessionsPerTarget is the per-tenant session count per address.
+	SessionsPerTarget int `json:"sessions_per_target,omitempty"`
+	// MaxInFlight bounds each tenant's queued+executing ops. The
+	// schedule never blocks on it: an arrival finding the queue full
+	// is counted as an overrun (visible backpressure) instead of
+	// silently stretching the arrival process.
+	MaxInFlight int `json:"max_in_flight,omitempty"`
+	// Text disables prepared statements (the -text escape hatch): ops
+	// send SQL text with inlined literals each time.
+	Text     bool     `json:"text,omitempty"`
+	Universe Universe `json:"universe,omitempty"`
+	Tenants  []Tenant `json:"tenants"`
+	SLO      SLO      `json:"slo,omitempty"`
+}
+
+// Normalize fills defaults and validates.
+func (s *Spec) Normalize() error {
+	if len(s.Targets) == 0 {
+		return fmt.Errorf("load: spec has no targets")
+	}
+	if s.Arrival == "" {
+		s.Arrival = ArrivalFixed
+	}
+	if s.Arrival != ArrivalFixed && s.Arrival != ArrivalPoisson {
+		return fmt.Errorf("load: unknown arrival process %q (want %s or %s)",
+			s.Arrival, ArrivalFixed, ArrivalPoisson)
+	}
+	if s.Steady <= 0 {
+		return fmt.Errorf("load: steady phase duration must be positive")
+	}
+	if s.SessionsPerTarget <= 0 {
+		s.SessionsPerTarget = 2
+	}
+	if s.MaxInFlight <= 0 {
+		s.MaxInFlight = 8192
+	}
+	if s.Universe == (Universe{}) {
+		s.Universe = Universe{Countries: 2, Regions: 2, Cities: 2, Addresses: 5}
+	}
+	if len(s.Tenants) == 0 {
+		return fmt.Errorf("load: spec has no tenants")
+	}
+	seen := map[string]bool{}
+	for i := range s.Tenants {
+		t := &s.Tenants[i]
+		if t.Name == "" {
+			t.Name = fmt.Sprintf("tenant-%d", i)
+		}
+		if seen[t.Name] {
+			return fmt.Errorf("load: duplicate tenant name %q", t.Name)
+		}
+		seen[t.Name] = true
+		if t.Rate <= 0 {
+			return fmt.Errorf("load: tenant %q has non-positive rate", t.Name)
+		}
+		if t.Mix.total() <= 0 {
+			t.Mix = OpMix{Insert: 1, Point: 1}
+		}
+		if t.Seed == 0 {
+			t.Seed = int64(i)*7919 + 1
+		}
+	}
+	return nil
+}
+
+// ParseSpec decodes and normalizes a JSON workload spec.
+func ParseSpec(b []byte) (*Spec, error) {
+	var s Spec
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("load: parse spec: %w", err)
+	}
+	if err := s.Normalize(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}

@@ -160,9 +160,15 @@ func (f *family) flatten() []Sample {
 		case *Gauge:
 			out = append(out, Sample{Key: name, Value: float64(m.Value())})
 		case *Histogram:
+			// Snapshot-only quantile estimates (interpolated; see
+			// Histogram.Quantile). They ride the wire Stats opcode for
+			// degradectl/loadgen but stay out of the Prometheus
+			// exposition, which carries the raw buckets instead.
 			out = append(out,
 				Sample{Key: f.name + "_count" + suffixLabels(f, labels[i]), Value: float64(m.Count())},
-				Sample{Key: f.name + "_sum" + suffixLabels(f, labels[i]), Value: m.Sum().Seconds()})
+				Sample{Key: f.name + "_sum" + suffixLabels(f, labels[i]), Value: m.Sum().Seconds()},
+				Sample{Key: f.name + "_p50" + suffixLabels(f, labels[i]), Value: m.Quantile(0.50)},
+				Sample{Key: f.name + "_p99" + suffixLabels(f, labels[i]), Value: m.Quantile(0.99)})
 		}
 	}
 	return out

@@ -1,0 +1,224 @@
+// HDR is the log-bucketed high-dynamic-range histogram the load
+// harness records client-side latencies into. Unlike the fixed-bucket
+// Histogram (16 buckets, scrape-oriented), HDR covers every duration a
+// 64-bit nanosecond count can hold with a bounded ~3% relative error
+// per bucket, tracks the exact min/max, and merges cheaply across
+// worker goroutines — the properties wrk2-style intended-start
+// latency recording needs for trustworthy p99.9/max under coordinated
+// omission.
+//
+// Layout: values below 2^hdrSubBits land in exact unit buckets; above
+// that, each power-of-two octave is split into hdrSub linear
+// sub-buckets, so bucket width is value/hdrSub and the relative
+// quantile error is at most 1/hdrSub (3.125%).
+package metrics
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	hdrSubBits = 5
+	hdrSub     = 1 << hdrSubBits // linear sub-buckets per octave
+	// hdrSlots covers 64-bit values: octaves 0..(64-hdrSubBits),
+	// hdrSub slots each.
+	hdrSlots = (64 - hdrSubBits + 1) * hdrSub
+)
+
+// HDR is a lock-free mergeable latency histogram with ~3.1% worst-case
+// relative error per quantile and exact min/max. All methods are safe
+// for concurrent use and no-op on a nil receiver, matching the rest of
+// the package.
+type HDR struct {
+	counts [hdrSlots]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Int64 // nanoseconds
+	min    atomic.Int64 // nanoseconds; valid when count > 0
+	max    atomic.Int64 // nanoseconds
+}
+
+// NewHDR returns an empty histogram.
+func NewHDR() *HDR {
+	h := &HDR{}
+	h.min.Store(int64(^uint64(0) >> 1)) // MaxInt64 sentinel until first record
+	return h
+}
+
+// hdrIndex maps a non-negative nanosecond value to its bucket.
+func hdrIndex(v uint64) int {
+	if v < hdrSub*2 {
+		return int(v) // exact buckets for the two lowest octaves
+	}
+	shift := bits.Len64(v) - hdrSubBits - 1
+	return (shift << hdrSubBits) + int(v>>uint(shift))
+}
+
+// hdrRange returns the [lo, hi] nanosecond range a bucket covers.
+func hdrRange(idx int) (lo, hi uint64) {
+	if idx < hdrSub*2 {
+		return uint64(idx), uint64(idx)
+	}
+	shift := uint(idx>>hdrSubBits) - 1
+	lo = uint64(idx&(hdrSub-1)|hdrSub) << shift
+	return lo, lo + (uint64(1) << shift) - 1
+}
+
+// Record adds one observation. Negative durations count as zero.
+func (h *HDR) Record(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.counts[hdrIndex(uint64(ns))].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.min.Load()
+		if ns >= cur || h.min.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *HDR) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total observed time.
+func (h *HDR) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sum.Load())
+}
+
+// Min returns the smallest recorded duration (0 when empty).
+func (h *HDR) Min() time.Duration {
+	if h == nil || h.count.Load() == 0 {
+		return 0
+	}
+	return time.Duration(h.min.Load())
+}
+
+// Max returns the largest recorded duration (0 when empty).
+func (h *HDR) Max() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.max.Load())
+}
+
+// Mean returns the arithmetic mean (0 when empty).
+func (h *HDR) Mean() time.Duration {
+	if h == nil {
+		return 0
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(uint64(h.sum.Load()) / n)
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) with linear
+// interpolation inside the landing bucket. Quantile(1) is the exact
+// recorded maximum; every other quantile is clamped to [Min, Max] so
+// bucket-edge interpolation never reports a latency outside what was
+// observed. Returns 0 on an empty histogram.
+func (h *HDR) Quantile(q float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Snapshot the buckets once so rank math is self-consistent even
+	// under concurrent writers.
+	var counts [hdrSlots]uint64
+	var total uint64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	if q == 1 {
+		return h.Max()
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) >= rank {
+			lo, hi := hdrRange(i)
+			// Interpolate within [lo, hi+1) by the rank's position
+			// inside this bucket's count.
+			frac := (rank - float64(cum)) / float64(c)
+			v := float64(lo) + frac*float64(hi-lo+1)
+			ns := int64(v)
+			if mn := h.min.Load(); h.count.Load() > 0 && ns < mn {
+				ns = mn
+			}
+			if mx := h.max.Load(); ns > mx {
+				ns = mx
+			}
+			return time.Duration(ns)
+		}
+		cum += c
+	}
+	return h.Max()
+}
+
+// Merge adds o's observations into h. Safe while both sides are being
+// written, with the usual caveat that concurrent snapshots may observe
+// partially merged state.
+func (h *HDR) Merge(o *HDR) {
+	if h == nil || o == nil {
+		return
+	}
+	for i := range o.counts {
+		if c := o.counts[i].Load(); c > 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	n := o.count.Load()
+	if n == 0 {
+		return
+	}
+	h.count.Add(n)
+	h.sum.Add(o.sum.Load())
+	omin, omax := o.min.Load(), o.max.Load()
+	for {
+		cur := h.min.Load()
+		if omin >= cur || h.min.CompareAndSwap(cur, omin) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if omax <= cur || h.max.CompareAndSwap(cur, omax) {
+			break
+		}
+	}
+}

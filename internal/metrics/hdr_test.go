@@ -1,0 +1,239 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHDRIndexRangeRoundTrip(t *testing.T) {
+	// Every bucket's range must map back to the same bucket, ranges
+	// must tile the value space contiguously, and relative width must
+	// stay under 1/hdrSub.
+	var prevHi uint64
+	for idx := 0; idx < hdrSlots; idx++ {
+		lo, hi := hdrRange(idx)
+		if hi < lo {
+			t.Fatalf("bucket %d: hi %d < lo %d", idx, hi, lo)
+		}
+		if idx == 0 {
+			if lo != 0 {
+				t.Fatalf("bucket 0 starts at %d, want 0", lo)
+			}
+		} else if lo != prevHi+1 {
+			t.Fatalf("bucket %d starts at %d, previous ended at %d", idx, lo, prevHi)
+		}
+		prevHi = hi
+		if got := hdrIndex(lo); got != idx {
+			t.Fatalf("hdrIndex(%d) = %d, want %d", lo, got, idx)
+		}
+		if got := hdrIndex(hi); got != idx {
+			t.Fatalf("hdrIndex(%d) = %d, want %d", hi, got, idx)
+		}
+		if lo >= hdrSub*2 {
+			width := hi - lo + 1
+			if float64(width)/float64(lo) > 1.0/float64(hdrSub)+1e-9 {
+				t.Fatalf("bucket %d [%d,%d]: relative width %g too wide", idx, lo, hi, float64(width)/float64(lo))
+			}
+		}
+	}
+	if prevHi != ^uint64(0) {
+		t.Fatalf("buckets end at %d, want MaxUint64", prevHi)
+	}
+}
+
+func TestHDRQuantileKnownDistribution(t *testing.T) {
+	h := NewHDR()
+	// 1..1000 ms, once each: p50 ≈ 500ms, p99 ≈ 990ms, max = 1000ms.
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d, want 1000", h.Count())
+	}
+	if h.Max() != time.Second {
+		t.Fatalf("max = %v, want 1s", h.Max())
+	}
+	if h.Min() != time.Millisecond {
+		t.Fatalf("min = %v, want 1ms", h.Min())
+	}
+	checks := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 500 * time.Millisecond},
+		{0.90, 900 * time.Millisecond},
+		{0.99, 990 * time.Millisecond},
+		{0.999, 999 * time.Millisecond},
+		{1.0, 1000 * time.Millisecond},
+	}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		relErr := abs(float64(got)-float64(c.want)) / float64(c.want)
+		if relErr > 1.0/hdrSub {
+			t.Errorf("Quantile(%v) = %v, want %v ±%.1f%% (err %.2f%%)",
+				c.q, got, c.want, 100.0/hdrSub, 100*relErr)
+		}
+	}
+	if q1 := h.Quantile(1); q1 != h.Max() {
+		t.Errorf("Quantile(1) = %v, want exact max %v", q1, h.Max())
+	}
+}
+
+func TestHDRQuantileVsExact(t *testing.T) {
+	// Random heavy-tailed sample: every estimated quantile must be
+	// within the structural error bound of the exact order statistic.
+	rng := rand.New(rand.NewSource(42))
+	h := NewHDR()
+	vals := make([]float64, 20000)
+	for i := range vals {
+		v := rng.ExpFloat64() * 5e6 // ~5ms mean, long tail
+		vals[i] = v
+		h.Record(time.Duration(v))
+	}
+	sort.Float64s(vals)
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := vals[int(q*float64(len(vals)))-1]
+		got := float64(h.Quantile(q))
+		if relErr := abs(got-exact) / exact; relErr > 2.0/hdrSub {
+			t.Errorf("Quantile(%v) = %v, exact %v, rel err %.2f%%", q, got, exact, 100*relErr)
+		}
+	}
+}
+
+func TestHDRMerge(t *testing.T) {
+	a, b := NewHDR(), NewHDR()
+	for i := 1; i <= 500; i++ {
+		a.Record(time.Duration(i) * time.Millisecond)
+	}
+	for i := 501; i <= 1000; i++ {
+		b.Record(time.Duration(i) * time.Millisecond)
+	}
+	merged := NewHDR()
+	merged.Merge(a)
+	merged.Merge(b)
+	if merged.Count() != 1000 {
+		t.Fatalf("merged count = %d, want 1000", merged.Count())
+	}
+	if merged.Min() != time.Millisecond || merged.Max() != time.Second {
+		t.Fatalf("merged min/max = %v/%v, want 1ms/1s", merged.Min(), merged.Max())
+	}
+	full := NewHDR()
+	for i := 1; i <= 1000; i++ {
+		full.Record(time.Duration(i) * time.Millisecond)
+	}
+	for _, q := range []float64{0.5, 0.99, 0.999} {
+		if merged.Quantile(q) != full.Quantile(q) {
+			t.Errorf("Quantile(%v): merged %v != direct %v", q, merged.Quantile(q), full.Quantile(q))
+		}
+	}
+	// Merging an empty histogram must not disturb min/max.
+	merged.Merge(NewHDR())
+	if merged.Min() != time.Millisecond || merged.Max() != time.Second {
+		t.Fatalf("after empty merge min/max = %v/%v", merged.Min(), merged.Max())
+	}
+}
+
+func TestHDRConcurrentRecord(t *testing.T) {
+	h := NewHDR()
+	var wg sync.WaitGroup
+	const workers, per = 8, 5000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Record(time.Duration(rng.Intn(1e6)) * time.Nanosecond)
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
+	}
+	if h.Quantile(0.5) <= 0 || h.Quantile(0.5) >= time.Millisecond {
+		t.Fatalf("p50 = %v outside (0, 1ms)", h.Quantile(0.5))
+	}
+}
+
+func TestHDRNilAndEmpty(t *testing.T) {
+	var h *HDR
+	h.Record(time.Second) // must not panic
+	if h.Count() != 0 || h.Quantile(0.99) != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatal("nil HDR must read as zero")
+	}
+	e := NewHDR()
+	if e.Quantile(0.5) != 0 || e.Min() != 0 || e.Mean() != 0 {
+		t.Fatal("empty HDR must read as zero")
+	}
+	e.Record(-time.Second) // negative clamps to zero
+	if e.Count() != 1 || e.Max() != 0 {
+		t.Fatalf("negative record: count=%d max=%v", e.Count(), e.Max())
+	}
+}
+
+func TestHistogramQuantileKnownDistribution(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_test_seconds", "quantile fixture", []float64{1, 2, 4})
+	// 50 observations ≤ 1s (uniform within bucket → interpolates from
+	// 0), 50 in (1,2]: Q(0.5) lands exactly at the first bound.
+	for i := 0; i < 50; i++ {
+		h.Observe(500 * time.Millisecond)
+		h.Observe(1500 * time.Millisecond)
+	}
+	checks := []struct{ q, want float64 }{
+		{0.25, 0.5}, // rank 25 of 50 in [0,1] → 0.5
+		{0.50, 1.0}, // rank 50 = whole first bucket → upper bound 1.0
+		{0.75, 1.5}, // rank 75: halfway through (1,2]
+		{1.00, 2.0},
+	}
+	for _, c := range checks {
+		if got := h.Quantile(c.q); abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// +Inf bucket clamps to the highest finite bound.
+	h.Observe(100 * time.Second)
+	if got := h.Quantile(1); got != 4 {
+		t.Errorf("Quantile(1) with +Inf observation = %v, want clamp to 4", got)
+	}
+	var nilH *Histogram
+	if nilH.Quantile(0.5) != 0 {
+		t.Error("nil Histogram Quantile must be 0")
+	}
+	if r.Histogram("q_empty_seconds", "empty", nil).Quantile(0.99) != 0 {
+		t.Error("empty Histogram Quantile must be 0")
+	}
+}
+
+func TestSnapshotHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramVec("snap_q_seconds", "labeled quantile fixture", "op", []float64{0.01, 0.1, 1}).With("exec")
+	for i := 0; i < 100; i++ {
+		h.Observe(5 * time.Millisecond)
+	}
+	snap := map[string]float64{}
+	for _, s := range r.Snapshot() {
+		snap[s.Key] = s.Value
+	}
+	p50, ok := snap[`snap_q_seconds_p50{op="exec"}`]
+	if !ok {
+		t.Fatalf("snapshot missing p50 key; have %v", snap)
+	}
+	if p50 <= 0 || p50 > 0.01 {
+		t.Errorf("p50 = %v, want in (0, 0.01]", p50)
+	}
+	if _, ok := snap[`snap_q_seconds_p99{op="exec"}`]; !ok {
+		t.Error("snapshot missing p99 key")
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

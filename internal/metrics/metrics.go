@@ -291,6 +291,57 @@ func (h *Histogram) Count() uint64 {
 	return n
 }
 
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) in seconds by linear
+// interpolation within the landing bucket, the standard fixed-bucket
+// estimator (Prometheus histogram_quantile): the bucket atomics are
+// snapshotted once, the rank q·count is located in the cumulative
+// distribution, and the result interpolates between the bucket's lower
+// and upper bound. Observations in the +Inf bucket clamp to the
+// highest finite bound — fixed buckets cannot see past it (the load
+// harness's HDR histogram exists for exact tails). Returns 0 on an
+// empty or nil histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	counts := make([]uint64, len(h.counts))
+	var total uint64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) >= rank {
+			if i == len(h.bounds) {
+				// +Inf bucket: the best a fixed layout can say.
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			return lo + frac*(h.bounds[i]-lo)
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Sum returns the total observed time.
 func (h *Histogram) Sum() time.Duration {
 	if h == nil {

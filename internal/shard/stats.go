@@ -41,9 +41,13 @@ func (r *Router) registerStatsGauges() {
 // lagKey reports whether a metric must aggregate as a maximum across
 // shards rather than a sum: lag and age gauges answer "how far behind is
 // the worst shard", and summing them would fabricate a lag no shard has.
+// Latency quantile columns (_p50/_p99 from histogram snapshots) are not
+// summable either — adding two shards' p99s fabricates a latency no
+// request saw — so they also take the max ("worst shard's quantile").
 // Everything else (counters, queue depths, byte totals) sums.
 func lagKey(k string) bool {
-	return strings.Contains(k, "_lag") || strings.Contains(k, "_age_")
+	return strings.Contains(k, "_lag") || strings.Contains(k, "_age_") ||
+		strings.Contains(k, "_p50") || strings.Contains(k, "_p99")
 }
 
 // MergedStats aggregates every shard's wire Stats into one deployment

@@ -1,0 +1,69 @@
+// Command loadsmoke is the CI gate for the open-loop load harness
+// (make load-smoke). It runs the quick LOAD experiment — three
+// purpose-bound tenants against an in-process server with a
+// degradation wave landing mid-steady-phase — and then hard-asserts
+// the properties ISSUE 10 promises: per-tenant intended-start
+// quantiles present, the wave visible in the lag gauge and settled by
+// drain time, the slowest traced operation attributed to spans, the
+// audit hash chain verified over the wave, and a passing SLO verdict.
+// Any violation prints the reason and exits non-zero.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"instantdb/internal/experiments"
+)
+
+func main() {
+	res, err := experiments.RunLoad(os.Stdout, true)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadsmoke: run:", err)
+		os.Exit(1)
+	}
+	rep := res.Report
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "loadsmoke: FAIL: "+format+"\n", args...)
+		os.Exit(1)
+	}
+
+	if len(rep.Tenants) != 3 {
+		fail("expected 3 tenant reports, got %d", len(rep.Tenants))
+	}
+	for _, t := range rep.Tenants {
+		if t.Ops == 0 {
+			fail("tenant %s issued no ops", t.Name)
+		}
+		if t.Intended.Count == 0 || t.Intended.P50 <= 0 || t.Intended.P99 < t.Intended.P50 {
+			fail("tenant %s intended-start quantiles missing or inverted: %+v", t.Name, t.Intended)
+		}
+		if t.Service.Count != t.Intended.Count {
+			fail("tenant %s histogram counts diverge: intended %d, service %d",
+				t.Name, t.Intended.Count, t.Service.Count)
+		}
+	}
+	if rep.Total.Errors > rep.Total.Ops/100 {
+		fail("error rate too high: %d/%d", rep.Total.Errors, rep.Total.Ops)
+	}
+	if !rep.Lag.WaveObserved || rep.Lag.MaxSeconds <= 0 {
+		fail("degradation wave not observed in the lag gauge: %+v", rep.Lag)
+	}
+	if rep.Lag.FinalSeconds > 1 {
+		fail("degradation lag did not settle after the wave: final %.1fs", rep.Lag.FinalSeconds)
+	}
+	if rep.SlowTrace == nil || len(rep.SlowTrace.Spans) == 0 || rep.SlowTrace.Slowest == "" {
+		fail("slowest traced op not attributed to spans: %+v", rep.SlowTrace)
+	}
+	if !rep.Audit.ChainVerified || rep.Audit.ChainEvents == 0 {
+		fail("audit chain not verified over the wave: %+v", rep.Audit)
+	}
+	if rep.Audit.Fired == 0 {
+		fail("no EvFired audit events observed for the wave: %+v", rep.Audit)
+	}
+	if !rep.SLO.Pass {
+		fail("SLO verdict failed: %v", rep.SLO.Violations)
+	}
+	fmt.Println("loadsmoke: OK")
+}

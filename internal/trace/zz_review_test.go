@@ -8,25 +8,35 @@ import (
 func TestReopenAfterRotateEmptySegment(t *testing.T) {
 	dir := t.TempDir()
 	a, err := OpenAudit(dir)
-	if err != nil { t.Fatal(err) }
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Write enough to force a rotation: detail ~64KB per event.
 	big := make([]byte, 64<<10)
-	for i := range big { big[i] = 'x' }
+	for i := range big {
+		big[i] = 'x'
+	}
 	for i := 0; i < 20; i++ {
 		a.Append(Event{Kind: EvScheduled, Detail: string(big)})
 	}
 	seqBefore := a.Seq()
-	if err := a.Close(); err != nil { t.Fatal(err) }
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
 	ents, _ := os.ReadDir(dir)
 	t.Logf("segments: %d, seq before close: %d", len(ents), seqBefore)
 
 	// Reopen: if the newest segment is empty (close right after a
 	// rotation), does seq reset?
 	b, err := OpenAudit(dir)
-	if err != nil { t.Fatal(err) }
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Logf("seq after reopen: %d", b.Seq())
 	b.Append(Event{Kind: EvFired})
-	if err := b.Close(); err != nil { t.Fatal(err) }
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
 	if n, err := Verify(dir); err != nil {
 		t.Fatalf("Verify failed after %d events: %v", n, err)
 	}

@@ -4,72 +4,383 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
+	"time"
 
 	"instantdb/client"
 	"instantdb/internal/value"
 )
 
+// Reconnect backoff bounds for a down endpoint: first retry after
+// retryBase, doubling to retryMax.
+const (
+	retryBase = 100 * time.Millisecond
+	retryMax  = 5 * time.Second
+)
+
+// ErrAllEndpointsDown is returned by Exec/Query when every endpoint is
+// down and none is due for a reconnect attempt. Load drivers treat it
+// as an availability event, not a reason to hang.
+var ErrAllEndpointsDown = errors.New("workload: all target endpoints down")
+
 // Targets drives a workload against one or more wire endpoints,
-// spreading operations round-robin over one session per endpoint. The
-// endpoints must be equivalent views of the same deployment — several
-// router front ends over one sharded cluster, or a single server — so
-// that any operation is correct on any of them. Pointing Targets at raw
-// shards directly would misroute keyed writes; routing is the router's
-// job, this type only balances sessions.
+// spreading operations round-robin over one session per endpoint (list
+// an address twice for two sessions to it). The endpoints must be
+// equivalent views of the same deployment — several router front ends
+// over one sharded cluster, or a single server — so that any operation
+// is correct on any of them. Pointing Targets at raw shards directly
+// would misroute keyed writes; routing is the router's job, this type
+// only balances sessions.
+//
+// An endpoint whose dial or connection fails is skipped and logged, not
+// fatal: the round-robin routes around it while reconnect attempts back
+// off from retryBase to retryMax, and Stats counts the outage as an
+// availability event. A load run therefore survives a shard restart
+// and reports it, rather than stalling on a dead socket.
 type Targets struct {
-	mu    sync.Mutex
-	conns []*client.Conn
-	next  int
+	opts []client.Option
+
+	mu         sync.Mutex
+	logf       func(format string, args ...any)
+	eps        []*tEndpoint
+	next       int
+	downEvents uint64 // transitions live → down
+	reconnects uint64 // successful re-dials
+	skips      uint64 // picks that routed around a down endpoint
+}
+
+// tEndpoint is one address slot: its live session (nil while down),
+// the prepared-statement cache for that session, and reconnect state.
+// noPrepare is set when the endpoint refuses Prepare outright (the
+// shard router does); Stmt falls back to parameterized Exec/Query
+// there, so one Targets set can mix servers and routers.
+type tEndpoint struct {
+	addr      string
+	conn      *client.Conn
+	stmts     map[string]*client.Stmt
+	noPrepare bool
+	dialing   bool
+	backoff   time.Duration
+	nextRetry time.Time
+}
+
+// TargetsStats is a snapshot of endpoint availability over the run.
+type TargetsStats struct {
+	Endpoints    int    `json:"endpoints"`
+	Live         int    `json:"live"`
+	DownEvents   uint64 `json:"down_events"`
+	Reconnects   uint64 `json:"reconnects"`
+	SkippedPicks uint64 `json:"skipped_picks"`
 }
 
 // DialTargets opens one session per address, all with the same options.
+// A failed dial is logged and left for reconnect backoff instead of
+// failing the whole set; an error is returned only when no endpoint
+// could be reached at all.
 func DialTargets(ctx context.Context, addrs []string, opts ...client.Option) (*Targets, error) {
 	if len(addrs) == 0 {
 		return nil, errors.New("workload: no target endpoints")
 	}
-	t := &Targets{}
+	t := &Targets{opts: opts, logf: func(string, ...any) {}}
+	var firstErr error
+	live := 0
 	for _, addr := range addrs {
+		ep := &tEndpoint{addr: addr}
 		c, err := client.Dial(ctx, addr, opts...)
 		if err != nil {
-			t.Close()
-			return nil, fmt.Errorf("workload: dial target %s: %w", addr, err)
+			if firstErr == nil {
+				firstErr = err
+			}
+			t.downEvents++
+			ep.backoff = retryBase
+			ep.nextRetry = time.Now().Add(retryBase)
+		} else {
+			ep.conn = c
+			ep.stmts = make(map[string]*client.Stmt)
+			live++
 		}
-		t.conns = append(t.conns, c)
+		t.eps = append(t.eps, ep)
+	}
+	if live == 0 {
+		t.Close()
+		return nil, fmt.Errorf("workload: no target endpoint reachable: %w", firstErr)
+	}
+	if firstErr != nil {
+		t.logf("workload: %d/%d endpoints unreachable at start (first: %v); will retry with backoff",
+			len(addrs)-live, len(addrs), firstErr)
 	}
 	return t, nil
 }
 
-// Len is the number of endpoints.
-func (t *Targets) Len() int { return len(t.conns) }
-
-// pick returns the next session round-robin.
-func (t *Targets) pick() *client.Conn {
+// SetLogf routes skip/reconnect notices (default: dropped).
+func (t *Targets) SetLogf(f func(format string, args ...any)) {
 	t.mu.Lock()
-	c := t.conns[t.next%len(t.conns)]
-	t.next++
+	if f == nil {
+		f = func(string, ...any) {}
+	}
+	t.logf = f
 	t.mu.Unlock()
-	return c
 }
 
-// Exec runs one statement on the next endpoint round-robin.
+// Len is the number of endpoints (live or not).
+func (t *Targets) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.eps)
+}
+
+// Stats snapshots availability counters.
+func (t *Targets) Stats() TargetsStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := TargetsStats{
+		Endpoints:    len(t.eps),
+		DownEvents:   t.downEvents,
+		Reconnects:   t.reconnects,
+		SkippedPicks: t.skips,
+	}
+	for _, ep := range t.eps {
+		if ep.conn != nil && !ep.conn.Closed() {
+			s.Live++
+		}
+	}
+	return s
+}
+
+// pick returns the next live endpoint round-robin, skipping (and
+// counting) down endpoints and attempting at most one due reconnect
+// along the way. It never blocks on a dead socket: with every endpoint
+// down and none due for retry it returns ErrAllEndpointsDown.
+func (t *Targets) pick(ctx context.Context) (*tEndpoint, *client.Conn, error) {
+	t.mu.Lock()
+	n := len(t.eps)
+	if n == 0 {
+		t.mu.Unlock()
+		return nil, nil, ErrAllEndpointsDown
+	}
+	for i := 0; i < n; i++ {
+		ep := t.eps[t.next%n]
+		t.next++
+		if c := ep.conn; c != nil {
+			if !c.Closed() {
+				t.mu.Unlock()
+				return ep, c, nil
+			}
+			// Poisoned by a transport error some caller saw first.
+			t.markDownLocked(ep, c, errors.New("session poisoned"))
+		}
+		if ep.dialing || time.Now().Before(ep.nextRetry) {
+			t.skips++
+			continue
+		}
+		ep.dialing = true
+		t.mu.Unlock()
+		c, err := client.Dial(ctx, ep.addr, t.opts...)
+		t.mu.Lock()
+		ep.dialing = false
+		if err != nil {
+			if ep.backoff < retryBase {
+				ep.backoff = retryBase
+			} else if ep.backoff < retryMax {
+				ep.backoff *= 2
+				if ep.backoff > retryMax {
+					ep.backoff = retryMax
+				}
+			}
+			ep.nextRetry = time.Now().Add(ep.backoff)
+			t.skips++
+			t.logf("workload: endpoint %s still down (%v); next retry in %v", ep.addr, err, ep.backoff)
+			continue
+		}
+		ep.conn = c
+		ep.stmts = make(map[string]*client.Stmt)
+		ep.backoff = 0
+		t.reconnects++
+		t.logf("workload: endpoint %s reconnected", ep.addr)
+		t.mu.Unlock()
+		return ep, c, nil
+	}
+	t.mu.Unlock()
+	return nil, nil, ErrAllEndpointsDown
+}
+
+// markDownLocked records a live→down transition for ep if c is still
+// its current session. Caller holds t.mu.
+func (t *Targets) markDownLocked(ep *tEndpoint, c *client.Conn, err error) {
+	if ep.conn != c {
+		return // already replaced by a reconnect
+	}
+	ep.conn = nil
+	ep.stmts = nil
+	ep.backoff = retryBase
+	ep.nextRetry = time.Now().Add(retryBase)
+	t.downEvents++
+	t.logf("workload: endpoint %s down: %v", ep.addr, err)
+}
+
+// noteErr checks whether an operation error poisoned the session and,
+// if so, schedules the endpoint for reconnect.
+func (t *Targets) noteErr(ep *tEndpoint, c *client.Conn, err error) {
+	if err == nil || !c.Closed() {
+		return // SQL-level error; session still healthy
+	}
+	t.mu.Lock()
+	t.markDownLocked(ep, c, err)
+	t.mu.Unlock()
+}
+
+// Exec runs one statement on the next live endpoint round-robin.
 func (t *Targets) Exec(ctx context.Context, sql string, args ...value.Value) (*client.Result, error) {
-	return t.pick().Exec(ctx, sql, args...)
+	ep, c, err := t.pick(ctx)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.Exec(ctx, sql, args...)
+	t.noteErr(ep, c, err)
+	return res, err
 }
 
-// Query runs one query on the next endpoint round-robin.
+// Query runs one query on the next live endpoint round-robin.
 func (t *Targets) Query(ctx context.Context, sql string, args ...value.Value) (*client.Rows, error) {
-	return t.pick().Query(ctx, sql, args...)
+	ep, c, err := t.pick(ctx)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := c.Query(ctx, sql, args...)
+	t.noteErr(ep, c, err)
+	return rows, err
 }
 
-// Close closes every session, keeping the first error.
+// Stmt is a prepared statement spread over the target set: the SQL is
+// prepared lazily once per endpoint session and re-prepared after a
+// reconnect or a server-side eviction (ErrUnknownStmt), so callers get
+// single-round-trip execution without tracking per-session handles.
+// On an endpoint that refuses Prepare (the shard router), Exec/Query
+// transparently fall back to parameterized one-shot execution.
+type Stmt struct {
+	t   *Targets
+	sql string
+}
+
+// Prepare returns a statement handle for sql over the target set. No
+// wire traffic happens until the first Exec/Query.
+func (t *Targets) Prepare(sql string) *Stmt { return &Stmt{t: t, sql: sql} }
+
+// stmtOn returns the per-endpoint prepared handle, preparing it on
+// first use for this session. A nil, nil return means the endpoint
+// does not support Prepare (a shard router): the caller must fall back
+// to parameterized Exec/Query.
+func (s *Stmt) stmtOn(ctx context.Context, ep *tEndpoint, c *client.Conn) (*client.Stmt, error) {
+	s.t.mu.Lock()
+	if ep.noPrepare {
+		s.t.mu.Unlock()
+		return nil, nil
+	}
+	if ep.conn == c && ep.stmts != nil {
+		if cs, ok := ep.stmts[s.sql]; ok {
+			s.t.mu.Unlock()
+			return cs, nil
+		}
+	}
+	s.t.mu.Unlock()
+	cs, err := c.Prepare(ctx, s.sql)
+	if err != nil {
+		if !c.Closed() && strings.Contains(err.Error(), "prepared statements are not supported") {
+			s.t.mu.Lock()
+			ep.noPrepare = true
+			s.t.logf("workload: endpoint %s refuses Prepare; falling back to parameterized Exec", ep.addr)
+			s.t.mu.Unlock()
+			return nil, nil
+		}
+		s.t.noteErr(ep, c, err)
+		return nil, err
+	}
+	s.t.mu.Lock()
+	if ep.conn == c && ep.stmts != nil {
+		ep.stmts[s.sql] = cs
+	}
+	s.t.mu.Unlock()
+	return cs, nil
+}
+
+// forget drops a cached handle after a server-side eviction.
+func (s *Stmt) forget(ep *tEndpoint, c *client.Conn) {
+	s.t.mu.Lock()
+	if ep.conn == c && ep.stmts != nil {
+		delete(ep.stmts, s.sql)
+	}
+	s.t.mu.Unlock()
+}
+
+// Exec runs the prepared statement on the next live endpoint,
+// re-preparing once if the server evicted the handle.
+func (s *Stmt) Exec(ctx context.Context, args ...value.Value) (*client.Result, error) {
+	ep, c, err := s.t.pick(ctx)
+	if err != nil {
+		return nil, err
+	}
+	for attempt := 0; ; attempt++ {
+		cs, err := s.stmtOn(ctx, ep, c)
+		if err != nil {
+			return nil, err
+		}
+		if cs == nil { // endpoint refuses Prepare: parameterized one-shot
+			res, err := c.Exec(ctx, s.sql, args...)
+			s.t.noteErr(ep, c, err)
+			return res, err
+		}
+		res, err := cs.Exec(ctx, args...)
+		if errors.Is(err, client.ErrUnknownStmt) && attempt == 0 {
+			s.forget(ep, c)
+			continue
+		}
+		s.t.noteErr(ep, c, err)
+		return res, err
+	}
+}
+
+// Query runs the prepared query on the next live endpoint,
+// re-preparing once if the server evicted the handle.
+func (s *Stmt) Query(ctx context.Context, args ...value.Value) (*client.Rows, error) {
+	ep, c, err := s.t.pick(ctx)
+	if err != nil {
+		return nil, err
+	}
+	for attempt := 0; ; attempt++ {
+		cs, err := s.stmtOn(ctx, ep, c)
+		if err != nil {
+			return nil, err
+		}
+		if cs == nil { // endpoint refuses Prepare: parameterized one-shot
+			rows, err := c.Query(ctx, s.sql, args...)
+			s.t.noteErr(ep, c, err)
+			return rows, err
+		}
+		rows, err := cs.Query(ctx, args...)
+		if errors.Is(err, client.ErrUnknownStmt) && attempt == 0 {
+			s.forget(ep, c)
+			continue
+		}
+		s.t.noteErr(ep, c, err)
+		return rows, err
+	}
+}
+
+// Close closes every live session, keeping the first error.
 func (t *Targets) Close() error {
+	t.mu.Lock()
+	eps := t.eps
+	t.eps = nil
+	t.mu.Unlock()
 	var first error
-	for _, c := range t.conns {
-		if err := c.Close(); err != nil && first == nil {
+	for _, ep := range eps {
+		if ep.conn == nil {
+			continue
+		}
+		if err := ep.conn.Close(); err != nil && first == nil {
 			first = err
 		}
 	}
-	t.conns = nil
 	return first
 }

@@ -1,0 +1,328 @@
+package workload
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"instantdb/internal/engine"
+	"instantdb/internal/server"
+	"instantdb/internal/value"
+	"instantdb/internal/vclock"
+	"instantdb/internal/wire"
+)
+
+const targetsSchema = `
+CREATE TABLE kv (id INT PRIMARY KEY, v TEXT NOT NULL);
+`
+
+// startServerOn serves a fresh in-memory database on ln and returns a
+// stop function.
+func startServerOn(t *testing.T, ln net.Listener) (stop func()) {
+	t.Helper()
+	db, err := engine.Open(engine.Config{Clock: vclock.NewSimulated(vclock.Epoch)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.ExecScript(targetsSchema); err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(db, server.Options{})
+	done := make(chan struct{})
+	go func() { srv.Serve(ln); close(done) }()
+	var stopped bool
+	stop = func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		srv.Close()
+		<-done
+		db.Close()
+	}
+	t.Cleanup(stop)
+	return stop
+}
+
+func startTargetServer(t *testing.T) (addr string, stop func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ln.Addr().String(), startServerOn(t, ln)
+}
+
+func TestTargetsSkipsFailedDialAtStart(t *testing.T) {
+	addr, _ := startTargetServer(t)
+	// A dead endpoint in the initial set is skipped-and-logged, not
+	// fatal. 127.0.0.1:1 refuses immediately on loopback.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	tg, err := DialTargets(ctx, []string{addr, "127.0.0.1:1"})
+	if err != nil {
+		t.Fatalf("DialTargets with one dead endpoint: %v", err)
+	}
+	defer tg.Close()
+	for i := 0; i < 10; i++ {
+		if _, err := tg.Exec(ctx, "INSERT INTO kv (id, v) VALUES (?, ?)",
+			value.Int(int64(i)), value.Text("x")); err != nil {
+			t.Fatalf("exec %d: %v", i, err)
+		}
+	}
+	s := tg.Stats()
+	if s.Endpoints != 2 || s.Live != 1 {
+		t.Fatalf("stats = %+v, want 2 endpoints / 1 live", s)
+	}
+	if s.DownEvents == 0 {
+		t.Fatal("initial dial failure must count as a down event")
+	}
+}
+
+func TestTargetsAllDown(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := DialTargets(ctx, []string{"127.0.0.1:1"}); err == nil {
+		t.Fatal("DialTargets with no reachable endpoint must fail")
+	}
+}
+
+func TestTargetsSurvivesEndpointRestart(t *testing.T) {
+	addrA, _ := startTargetServer(t)
+
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrB := lnB.Addr().String()
+	stopB := startServerOn(t, lnB)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	tg, err := DialTargets(ctx, []string{addrA, addrB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tg.Close()
+	var logs []string
+	tg.SetLogf(func(format string, args ...any) {
+		logs = append(logs, fmt.Sprintf(format, args...))
+	})
+
+	exec := func(id int64) error {
+		_, err := tg.Exec(ctx, "INSERT INTO kv (id, v) VALUES (?, ?)",
+			value.Int(id), value.Text("x"))
+		return err
+	}
+	var id int64
+	for i := 0; i < 8; i++ {
+		id++
+		if err := exec(id); err != nil {
+			t.Fatalf("warm-up exec: %v", err)
+		}
+	}
+
+	// Kill B. The next op routed to it poisons the session; after that
+	// the round-robin must route around B without hanging, and the
+	// outage must be visible as a down event.
+	stopB()
+	errs := 0
+	for i := 0; i < 20; i++ {
+		id++
+		if err := exec(id); err != nil {
+			if errors.Is(err, ErrAllEndpointsDown) {
+				t.Fatal("one live endpoint left, yet pick reported all down")
+			}
+			errs++
+		}
+	}
+	if errs == 0 {
+		t.Fatal("expected at least one failed op when B died mid-run")
+	}
+	if s := tg.Stats(); s.Live != 1 || s.DownEvents == 0 {
+		t.Fatalf("after kill stats = %+v, want 1 live and >0 down events", s)
+	}
+
+	// Restart B on the same address; continued traffic must reconnect
+	// within the backoff schedule.
+	lnB2, err := net.Listen("tcp", addrB)
+	if err != nil {
+		t.Fatalf("rebind %s: %v", addrB, err)
+	}
+	startServerOn(t, lnB2)
+	deadline := time.Now().Add(15 * time.Second)
+	for tg.Stats().Live < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("endpoint never reconnected; stats = %+v, logs = %q", tg.Stats(), logs)
+		}
+		id++
+		exec(id) // errors tolerated while B is still in backoff
+		time.Sleep(10 * time.Millisecond)
+	}
+	s := tg.Stats()
+	if s.Reconnects == 0 {
+		t.Fatalf("stats = %+v, want a recorded reconnect", s)
+	}
+}
+
+func TestTargetsPreparedStmt(t *testing.T) {
+	addrA, _ := startTargetServer(t)
+	addrB, _ := startTargetServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	tg, err := DialTargets(ctx, []string{addrA, addrB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tg.Close()
+
+	ins := tg.Prepare("INSERT INTO kv (id, v) VALUES (?, ?)")
+	for i := 0; i < 20; i++ {
+		if _, err := ins.Exec(ctx, value.Int(int64(i)), value.Text("p")); err != nil {
+			t.Fatalf("prepared exec %d: %v", i, err)
+		}
+	}
+	// Both endpoints hold separate databases, so each saw half the
+	// round-robin traffic.
+	sel := tg.Prepare("SELECT v FROM kv WHERE id = ?")
+	found := 0
+	for i := 0; i < 20; i++ {
+		for try := 0; try < 2; try++ { // row lives on one of the two endpoints
+			rows, err := sel.Query(ctx, value.Int(int64(i)))
+			if err != nil {
+				t.Fatalf("prepared query: %v", err)
+			}
+			if rows.Len() > 0 {
+				found++
+				break
+			}
+		}
+	}
+	if found != 20 {
+		t.Fatalf("found %d/20 rows via prepared round-robin queries", found)
+	}
+}
+
+// TestTargetsStmtReprepareAfterRestart exercises the statement cache
+// invalidation path: a prepared handle must survive its endpoint
+// restarting (new session, new server-side statement table).
+func TestTargetsStmtReprepareAfterRestart(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	stop := startServerOn(t, ln)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	tg, err := DialTargets(ctx, []string{addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tg.Close()
+	ins := tg.Prepare("INSERT INTO kv (id, v) VALUES (?, ?)")
+	if _, err := ins.Exec(ctx, value.Int(1), value.Text("a")); err != nil {
+		t.Fatal(err)
+	}
+
+	stop()
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("rebind: %v", err)
+	}
+	startServerOn(t, ln2)
+
+	deadline := time.Now().Add(15 * time.Second)
+	var lastErr error
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("prepared exec never recovered after restart: %v", lastErr)
+		}
+		if _, lastErr = ins.Exec(ctx, value.Int(2), value.Text("b")); lastErr == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// startNoPrepareServer mocks a router-like endpoint: handshake and
+// parameterized exec work, Prepare is refused with the router's
+// message.
+func startNoPrepareServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(nc net.Conn) {
+				defer nc.Close()
+				for {
+					op, _, err := wire.ReadFrame(nc, wire.MaxFrameDefault)
+					if err != nil {
+						return
+					}
+					var rop byte
+					var rp []byte
+					switch op {
+					case wire.OpHello:
+						rop, rp = wire.OpWelcome, wire.EncodeWelcome()
+					case wire.OpPrepare:
+						rop, rp = wire.OpError, wire.EncodeError(wire.CodeSQL,
+							"router: prepared statements are not supported through the shard router; use Exec with arguments")
+					case wire.OpExec, wire.OpExecArgs, wire.OpQuery:
+						rop, rp = wire.OpResult, wire.EncodeResult(&wire.Result{RowsAffected: 1})
+					default:
+						rop, rp = wire.OpError, wire.EncodeError(wire.CodeSQL, "mock: unsupported op")
+					}
+					if wire.WriteFrame(nc, rop, rp) != nil {
+						return
+					}
+				}
+			}(nc)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestTargetsStmtFallsBackWithoutPrepare proves a Stmt keeps working
+// against an endpoint that refuses Prepare (the shard router): the
+// first use probes, the endpoint is marked, and every call lands as a
+// parameterized one-shot exec instead of erroring.
+func TestTargetsStmtFallsBackWithoutPrepare(t *testing.T) {
+	addr := startNoPrepareServer(t)
+	ctx := context.Background()
+	tg, err := DialTargets(ctx, []string{addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tg.Close()
+	tg.SetLogf(t.Logf)
+
+	st := tg.Prepare("INSERT INTO kv (id, v) VALUES (?, ?)")
+	for i := 0; i < 5; i++ {
+		res, err := st.Exec(ctx, value.Int(int64(i)), value.Text("x"))
+		if err != nil {
+			t.Fatalf("exec %d after prepare refusal: %v", i, err)
+		}
+		if res.RowsAffected != 1 {
+			t.Fatalf("exec %d: rows affected = %d", i, res.RowsAffected)
+		}
+	}
+	if _, err := st.Query(ctx); err != nil {
+		t.Fatalf("query after prepare refusal: %v", err)
+	}
+	if got := tg.Stats(); got.Live != 1 || got.DownEvents != 0 {
+		t.Fatalf("fallback cost availability: %+v", got)
+	}
+}
